@@ -1,0 +1,58 @@
+// Shared helpers for the bench harness (one binary per paper table/figure).
+//
+// Every bench accepts:
+//   --full           paper-scale campaigns (Leveugle-derived trial counts at
+//                    95%/3%, or 99%/1% where the paper says so); default is
+//                    a reduced trial count so `for b in build/bench/*` runs
+//                    in minutes on two cores;
+//   --trials=N       override the per-target trial count explicitly;
+//   --seed=N         campaign RNG seed.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/fliptracker.h"
+#include "util/cli.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace ft::bench {
+
+struct BenchConfig {
+  bool full = false;
+  std::size_t trials = 0;  // 0 = pick: full ? Leveugle : quick_default
+  std::uint64_t seed = 0xF11Dull;
+
+  static BenchConfig parse(int argc, char** argv) {
+    const util::Cli cli(argc, argv);
+    BenchConfig c;
+    c.full = cli.get_bool("full", false);
+    c.trials = static_cast<std::size_t>(cli.get_int("trials", 0));
+    c.seed = static_cast<std::uint64_t>(cli.get_int("seed", 0xF11D));
+    return c;
+  }
+
+  /// Campaign config for one target. With --full, trials=0 lets the
+  /// campaign derive the Leveugle sample size from the site population.
+  [[nodiscard]] fault::CampaignConfig campaign(
+      std::size_t quick_default, double confidence = 0.95,
+      double margin = 0.03) const {
+    fault::CampaignConfig cfg;
+    cfg.trials = trials != 0 ? trials : (full ? 0 : quick_default);
+    cfg.confidence = confidence;
+    cfg.margin = margin;
+    cfg.seed = seed;
+    return cfg;
+  }
+};
+
+inline void print_header(const char* what, const BenchConfig& cfg) {
+  std::printf("== FlipTracker reproduction: %s ==\n", what);
+  std::printf("mode: %s (pass --full for paper-scale campaigns)\n\n",
+              cfg.full ? "FULL" : "quick");
+}
+
+}  // namespace ft::bench

@@ -1,0 +1,127 @@
+// Figure 4: parallel tracing overhead — per-rank wall-clock of each MPI
+// application with and without per-process trace files.
+//
+// Two tracing configurations are measured:
+//  * selective (default comparison): trace the first main-loop iteration,
+//    which is the unit every downstream analysis consumes (per-region-
+//    instance trace splitting, §IV-A). This is the configuration whose
+//    overhead lands in the paper's "modest" range; the paper itself points
+//    to selective collection for anything larger ("one can selectively
+//    collect traces for individual functions").
+//  * exhaustive: every dynamic instruction of the run, for reference.
+//    An interpreter retires instructions in ~30ns, so writing a ~180-byte
+//    record per instruction costs several times the baseline — see
+//    EXPERIMENTS.md for the discussion of this substrate difference.
+#include <filesystem>
+
+#include "bench_common.h"
+#include "mpi/world.h"
+#include "trace/file.h"
+#include "trace/file_sink.h"
+#include "trace/segment.h"
+#include "util/cli.h"
+
+namespace {
+
+using namespace ft;
+
+/// Forwards records to the sink only inside instance 0 of `region`.
+class SelectiveTracer final : public vm::ExecObserver {
+ public:
+  SelectiveTracer(vm::ExecObserver* sink, std::uint32_t region)
+      : sink_(sink), region_(region) {}
+
+  void on_instruction(const vm::DynInstr& d) override {
+    if (d.op == ir::Opcode::RegionEnter &&
+        static_cast<std::uint32_t>(d.aux) == region_) {
+      if (instance_count_++ == 0) active_ = true;
+    }
+    if (active_) sink_->on_instruction(d);
+    if (d.op == ir::Opcode::RegionExit &&
+        static_cast<std::uint32_t>(d.aux) == region_) {
+      active_ = false;
+    }
+  }
+
+  /// Trace control: the VM skips record construction outside the window.
+  [[nodiscard]] bool enabled() const override { return active_; }
+
+ private:
+  vm::ExecObserver* sink_;
+  std::uint32_t region_;
+  std::uint32_t instance_count_ = 0;
+  bool active_ = false;
+};
+
+enum class Mode { Plain, Selective, Exhaustive };
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cfg = bench::BenchConfig::parse(argc, argv);
+  const util::Cli cli(argc, argv);
+  const auto nranks = cli.get_int("ranks", 4);
+  bench::print_header("Fig. 4 - parallel tracing overhead", cfg);
+  std::printf("ranks: %lld (paper: 64 on 8 nodes; --ranks=N to change)\n\n",
+              static_cast<long long>(nranks));
+
+  const auto tmp = std::filesystem::temp_directory_path() / "fliptracker_fig4";
+  std::filesystem::create_directories(tmp);
+
+  util::Table table({"app", "baseline (s)", "selective trace (s)",
+                     "selective overhead", "exhaustive trace (s)",
+                     "exhaustive overhead"});
+  double total_sel = 0.0, total_exh = 0.0;
+  int apps_measured = 0;
+
+  for (const std::string name : {"LULESH", "IS", "KMEANS", "MG", "CG"}) {
+    auto app = apps::build_app(name);
+    const auto& mod = app.module;
+
+    auto run_world = [&](Mode mode) {
+      mpi::World world(nranks);
+      util::Stopwatch sw;
+      world.launch([&](std::int64_t rank, vm::MpiEndpoint& ep) {
+        vm::VmOptions opts = app.base;
+        opts.mpi = &ep;
+        if (mode == Mode::Plain) {
+          (void)vm::Vm::run(mod, opts);
+          return;
+        }
+        const auto path = trace::rank_trace_path(
+            (tmp / name).string(), static_cast<int>(rank));
+        trace::StreamingFileTracer sink(path, 1 << 16);
+        SelectiveTracer selective(&sink, app.main_region);
+        opts.observer = mode == Mode::Selective
+                            ? static_cast<vm::ExecObserver*>(&selective)
+                            : &sink;
+        (void)vm::Vm::run(mod, opts);
+      });
+      return sw.seconds();
+    };
+
+    double best_plain = 1e30, best_sel = 1e30, best_exh = 1e30;
+    const int reps = cfg.full ? 5 : 3;
+    for (int rep = 0; rep < reps; ++rep) {
+      best_plain = std::min(best_plain, run_world(Mode::Plain));
+      best_sel = std::min(best_sel, run_world(Mode::Selective));
+      best_exh = std::min(best_exh, run_world(Mode::Exhaustive));
+    }
+    const double sel = best_sel / best_plain - 1.0;
+    const double exh = best_exh / best_plain - 1.0;
+    total_sel += sel;
+    total_exh += exh;
+    apps_measured++;
+    table.add_row({name, util::Table::num(best_plain, 4),
+                   util::Table::num(best_sel, 4), util::Table::pct(sel, 1),
+                   util::Table::num(best_exh, 4), util::Table::pct(exh, 1)});
+  }
+  table.print(std::cout);
+  std::printf("\naverage overhead: selective %s, exhaustive %s "
+              "(paper: 45%% at 64 ranks)\n",
+              util::Table::pct(total_sel / apps_measured, 1).c_str(),
+              util::Table::pct(total_exh / apps_measured, 1).c_str());
+
+  std::filesystem::remove_all(tmp);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 5: fault-injection success rate per code-region instance at
+// iteration 0, for faults on internal vs input locations, over CG, MG,
+// KMEANS, IS and LULESH.
+//
+// Paper shape to check: cg_b/cg_c stand out within CG; MG regions are
+// uniformly high; is_b is boosted by the shift pattern; KMEANS input faults
+// on k_a/k_b are crash-prone while k_c/k_d tolerate; LULESH is the lowest,
+// crash-dominated.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ft;
+  const auto cfg = bench::BenchConfig::parse(argc, argv);
+  bench::print_header("Fig. 5 - per-code-region success rates (iteration 0)",
+                      cfg);
+
+  util::Table table({"app", "region", "SR internal", "SR input",
+                     "crash internal", "crash input", "pop (bits)"});
+  for (const std::string name : {"CG", "MG", "KMEANS", "IS", "LULESH"}) {
+    core::FlipTracker tracker(apps::build_app(name));
+    for (const auto& rd : tracker.app().analysis_regions) {
+      const auto sites = tracker.enumerate_region_sites(rd.id, 0);
+      if (!sites.region_found) continue;
+      const auto internal = fault::run_campaign(
+          tracker.app().module, sites, fault::TargetClass::Internal,
+          tracker.golden().outputs, tracker.app().verifier,
+          tracker.app().base, cfg.campaign(100));
+      const auto input = fault::run_campaign(
+          tracker.app().module, sites, fault::TargetClass::Input,
+          tracker.golden().outputs, tracker.app().verifier,
+          tracker.app().base, cfg.campaign(100));
+      table.add_row(
+          {name, rd.name, util::Table::num(internal.success_rate(), 3),
+           util::Table::num(input.success_rate(), 3),
+           util::Table::num(
+               internal.trials
+                   ? double(internal.crashed) / double(internal.trials)
+                   : 0.0,
+               3),
+           util::Table::num(
+               input.trials ? double(input.crashed) / double(input.trials)
+                            : 0.0,
+               3),
+           std::to_string(sites.sites.internal_bits())});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 6: success rate per iteration of the main loop — the whole main
+// loop treated as one code region, each iteration one instance.
+//
+// Paper shape: iteration-to-iteration success rates are similar for MG
+// (internal) and CG; IS and LULESH can vary with control flow differences.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ft;
+  const auto cfg = bench::BenchConfig::parse(argc, argv);
+  bench::print_header("Fig. 6 - per-iteration success rates of the main loop",
+                      cfg);
+
+  util::Table table({"app", "iteration", "SR internal", "SR input"});
+  for (const std::string name : {"CG", "MG", "KMEANS", "IS", "LULESH"}) {
+    core::FlipTracker tracker(apps::build_app(name));
+    const auto main_region = tracker.app().main_region;
+    const int iters = tracker.app().main_iters;
+    for (int it = 0; it < iters; ++it) {
+      const auto sites = tracker.enumerate_region_sites(
+          main_region, static_cast<std::uint32_t>(it));
+      if (!sites.region_found) continue;
+      const auto internal = fault::run_campaign(
+          tracker.app().module, sites, fault::TargetClass::Internal,
+          tracker.golden().outputs, tracker.app().verifier,
+          tracker.app().base, cfg.campaign(60));
+      const auto input = fault::run_campaign(
+          tracker.app().module, sites, fault::TargetClass::Input,
+          tracker.golden().outputs, tracker.app().verifier,
+          tracker.app().base, cfg.campaign(60));
+      table.add_row({name, std::to_string(it + 1),
+                     util::Table::num(internal.success_rate(), 3),
+                     util::Table::num(input.success_rate(), 3)});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,154 @@
+// google-benchmark microbenchmarks of the substrate: VM dispatch rate,
+// tracing cost, region segmentation, location-event indexing, ACL sweep and
+// DDDG construction throughput. These back the feasibility claims behind
+// Fig. 4 (tracing is cheap enough to use at small/medium scale).
+#include <benchmark/benchmark.h>
+
+#include "acl/diff.h"
+#include "acl/table.h"
+#include "apps/app.h"
+#include "dddg/graph.h"
+#include "hl/builder.h"
+#include "trace/collector.h"
+#include "trace/events.h"
+#include "trace/segment.h"
+#include "vm/interp.h"
+
+namespace {
+
+using namespace ft;
+
+/// A ~50k-instruction compute loop.
+ir::Module make_kernel() {
+  hl::ProgramBuilder pb("kernel");
+  auto a = pb.global_f64("a", 256);
+  const auto fid = pb.declare_function("main");
+  {
+    auto f = pb.define(fid);
+    f.for_("i", 0, 256, [&](hl::Value i) {
+      f.st(a, i, f.sitofp(i) * 0.5);
+    });
+    auto s = f.var_f64("s", 0.0);
+    f.for_("r", 0, 20, [&](hl::Value) {
+      f.for_("i", 0, 256, [&](hl::Value i) {
+        s.set(s.get() + f.ld(a, i) * 1.0001);
+      });
+    });
+    f.emit(s.get());
+    f.ret();
+  }
+  return pb.finish();
+}
+
+void BM_VmDispatch(benchmark::State& state) {
+  const auto mod = make_kernel();
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    const auto r = vm::Vm::run(mod);
+    instructions = r.instructions;
+    benchmark::DoNotOptimize(r.outputs);
+  }
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VmDispatch);
+
+void BM_VmTraced(benchmark::State& state) {
+  const auto mod = make_kernel();
+  for (auto _ : state) {
+    trace::TraceCollector c;
+    vm::VmOptions opts;
+    opts.observer = &c;
+    const auto r = vm::Vm::run(mod, opts);
+    benchmark::DoNotOptimize(c.trace().records.data());
+    state.counters["records"] = static_cast<double>(r.instructions);
+  }
+}
+BENCHMARK(BM_VmTraced);
+
+void BM_RegionSegmentation(benchmark::State& state) {
+  auto app = apps::build_lulesh();
+  trace::TraceCollector c;
+  vm::VmOptions opts = app.base;
+  opts.observer = &c;
+  (void)vm::Vm::run(app.module, opts);
+  for (auto _ : state) {
+    auto instances = trace::segment_regions(c.trace().span());
+    benchmark::DoNotOptimize(instances.data());
+  }
+}
+BENCHMARK(BM_RegionSegmentation);
+
+void BM_LocationEvents(benchmark::State& state) {
+  auto app = apps::build_lulesh();
+  trace::TraceCollector c;
+  vm::VmOptions opts = app.base;
+  opts.observer = &c;
+  (void)vm::Vm::run(app.module, opts);
+  for (auto _ : state) {
+    auto ev = trace::LocationEvents::build(c.trace().span());
+    benchmark::DoNotOptimize(ev.num_locations());
+  }
+}
+BENCHMARK(BM_LocationEvents);
+
+void BM_DiffRun(benchmark::State& state) {
+  const auto mod = make_kernel();
+  for (auto _ : state) {
+    acl::DiffOptions opts;
+    opts.fault = vm::FaultPlan::result_bit(5000, 33);
+    auto diff = acl::diff_run(mod, opts);
+    benchmark::DoNotOptimize(diff.differs.size());
+  }
+}
+BENCHMARK(BM_DiffRun);
+
+void BM_AclSweep(benchmark::State& state) {
+  const auto mod = make_kernel();
+  acl::DiffOptions opts;
+  opts.fault = vm::FaultPlan::result_bit(5000, 33);
+  const auto diff = acl::diff_run(mod, opts);
+  const auto events = trace::LocationEvents::build(
+      std::span<const vm::DynInstr>(diff.faulty.records.data(),
+                                    diff.usable_records()));
+  for (auto _ : state) {
+    auto acl_series = acl::build_acl(diff, events);
+    benchmark::DoNotOptimize(acl_series.count.data());
+  }
+}
+BENCHMARK(BM_AclSweep);
+
+void BM_DddgBuild(benchmark::State& state) {
+  auto app = apps::build_cg();
+  trace::TraceCollector c;
+  vm::VmOptions opts = app.base;
+  opts.observer = &c;
+  (void)vm::Vm::run(app.module, opts);
+  const auto instances = trace::segment_regions(c.trace().span());
+  const auto* cg_c = app.find_region("cg_c");
+  const auto inst = trace::find_instance(instances, cg_c->id, 0).value();
+  const auto slice = c.trace().slice(inst.body_begin(), inst.body_end());
+  for (auto _ : state) {
+    auto g = dddg::Graph::build(slice);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.counters["nodes"] = static_cast<double>(
+      dddg::Graph::build(slice).num_nodes());
+}
+BENCHMARK(BM_DddgBuild);
+
+void BM_FaultyRun(benchmark::State& state) {
+  auto app = apps::build_cg();
+  for (auto _ : state) {
+    vm::VmOptions opts = app.base;
+    opts.fault = vm::FaultPlan::result_bit(100000, 21);
+    const auto r = vm::Vm::run(app.module, opts);
+    benchmark::DoNotOptimize(r.outputs);
+  }
+}
+BENCHMARK(BM_FaultyRun);
+
+}  // namespace
+
+BENCHMARK_MAIN();

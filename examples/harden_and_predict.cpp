@@ -1,0 +1,98 @@
+// The two use cases of §VII on one screen:
+//   1. resilience-aware design — compare baseline CG against the variants
+//      hardened with the paper's patterns (Fig. 12 / Fig. 13) and measure
+//      the resilience delta;
+//   2. resilience prediction — fit the Eq. 3 regression on a set of apps'
+//      pattern rates and predict the success rate of a held-out app
+//      without running a campaign on it.
+//
+//   $ ./harden_and_predict --trials=150 --holdout=KMEANS
+#include <cstdio>
+#include <iostream>
+
+#include "core/fliptracker.h"
+#include "model/regression.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace ft;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 150));
+  const auto holdout = cli.get("holdout", "KMEANS");
+
+  fault::CampaignConfig cfg;
+  cfg.trials = trials;
+
+  // --- Use case 1 -----------------------------------------------------------
+  std::printf("=== use case 1: hardening CG with resilience patterns ===\n");
+  util::Table t1({"variant", "whole-app SR", "makea-phase SR"});
+  struct V {
+    const char* label;
+    apps::CgHardening h;
+  };
+  for (const auto& v :
+       {V{"baseline", {false, false}}, V{"dcl+overwrite", {true, false}},
+        V{"truncation", {false, true}}, V{"all", {true, true}}}) {
+    auto app = (v.h.dcl_overwrite || v.h.truncation)
+                   ? apps::build_cg_hardened(v.h)
+                   : apps::build_cg();
+    core::FlipTracker tracker(std::move(app));
+    const auto whole = tracker.app_campaign(cfg);
+    const auto* makea = tracker.app().find_region("cg_makea");
+    const auto phase = tracker.region_campaign(
+        makea->id, 0, fault::TargetClass::Internal, cfg);
+    t1.add_row({v.label, util::Table::num(whole.success_rate(), 3),
+                util::Table::num(phase.success_rate(), 3)});
+  }
+  t1.print(std::cout);
+
+  // --- Use case 2 -----------------------------------------------------------
+  std::printf("\n=== use case 2: predicting %s's success rate ===\n",
+              holdout.c_str());
+  std::vector<std::string> train;
+  for (const auto& n : apps::all_app_names()) {
+    if (n != holdout) train.push_back(n);
+  }
+
+  model::Matrix x(train.size(), patterns::kNumPatterns);
+  std::vector<double> y;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    core::FlipTracker tracker(apps::build_app(train[i]));
+    const auto rates = tracker.pattern_rates();
+    for (std::size_t j = 0; j < patterns::kNumPatterns; ++j) {
+      x.at(i, j) = rates.rate[j];
+    }
+    tracker.reset_trace();
+    y.push_back(tracker.app_campaign(cfg).success_rate());
+    std::printf("  trained on %-8s (measured SR %.3f)\n", train[i].c_str(),
+                y.back());
+  }
+
+  model::BayesianLinearRegression reg;
+  model::RegressionOptions opts;
+  opts.prior_precision = 1e-6;
+  reg.fit(x, y, opts);
+
+  core::FlipTracker held(apps::build_app(holdout));
+  const auto held_rates = held.pattern_rates();
+  std::vector<double> features(patterns::kNumPatterns);
+  for (std::size_t j = 0; j < patterns::kNumPatterns; ++j) {
+    features[j] = held_rates.rate[j];
+  }
+  const double predicted =
+      std::clamp(reg.predict(features), 0.0, 1.0);
+  held.reset_trace();
+  const double measured = held.app_campaign(cfg).success_rate();
+
+  std::printf("\npredicted SR of %s from pattern rates alone: %.3f\n",
+              holdout.c_str(), predicted);
+  std::printf("measured SR via fault injection:              %.3f\n",
+              measured);
+  std::printf("prediction error: %.1f%%  |  model R^2 on training set: %.3f\n",
+              measured > 0 ? 100.0 * std::abs(predicted - measured) / measured
+                           : 0.0,
+              reg.r_squared(x, y));
+  return 0;
+}

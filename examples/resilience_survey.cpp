@@ -1,0 +1,81 @@
+// Resilience survey: run a statistical fault-injection campaign over every
+// code region of a chosen application and rank the regions by natural
+// resilience — the workflow a resilience engineer would use to decide
+// which regions need protection and which tolerate faults for free
+// (the paper's motivation: "avoid overprotecting regions of code that are
+// naturally resilient").
+//
+//   $ ./resilience_survey --app=CG --trials=150
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "core/fliptracker.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace ft;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto app_name = cli.get("app", "CG");
+  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 120));
+
+  core::FlipTracker tracker(apps::build_app(app_name));
+  const auto& app = tracker.app();
+  std::printf("resilience survey of %s: %d main-loop iterations, %zu regions\n",
+              app_name.c_str(), app.main_iters, app.analysis_regions.size());
+  std::printf("%zu injections per region/class (--trials=N; Leveugle 95%%/3%% "
+              "would use %llu)\n\n",
+              trials,
+              static_cast<unsigned long long>(
+                  util::fault_injection_sample_size(1u << 20, 0.95, 0.03)));
+
+  struct Row {
+    std::string region;
+    double sr_internal, sr_input, crash_rate;
+    std::uint64_t population;
+  };
+  std::vector<Row> rows;
+
+  fault::CampaignConfig cfg;
+  cfg.trials = trials;
+  for (const auto& rd : app.analysis_regions) {
+    const auto sites = tracker.enumerate_region_sites(rd.id, 0);
+    if (!sites.region_found) continue;
+    const auto internal = fault::run_campaign(
+        app.module, sites, fault::TargetClass::Internal,
+        tracker.golden().outputs, app.verifier, app.base, cfg);
+    const auto input = fault::run_campaign(
+        app.module, sites, fault::TargetClass::Input,
+        tracker.golden().outputs, app.verifier, app.base, cfg);
+    rows.push_back(Row{
+        rd.name, internal.success_rate(), input.success_rate(),
+        internal.trials
+            ? static_cast<double>(internal.crashed) / internal.trials
+            : 0.0,
+        sites.sites.internal_bits()});
+  }
+
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.sr_internal > b.sr_internal;
+  });
+
+  util::Table table({"rank", "region", "SR internal", "SR input",
+                     "crash rate", "exposure (fault sites)"});
+  int rank = 1;
+  for (const auto& r : rows) {
+    table.add_row({std::to_string(rank++), r.region,
+                   util::Table::num(r.sr_internal, 3),
+                   util::Table::num(r.sr_input, 3),
+                   util::Table::num(r.crash_rate, 3),
+                   std::to_string(r.population)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nreading the table: high-SR regions are naturally resilient\n"
+              "(protection there is wasted); low-SR, high-exposure regions\n"
+              "are where detectors/replication pay off.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "acl/diff.h"
+
+namespace ft::acl {
+
+DiffResult diff_run(const ir::Module& m, const DiffOptions& opts) {
+  DiffResult out;
+
+  vm::VmOptions clean_opts = opts.base;
+  clean_opts.observer = nullptr;
+  clean_opts.fault = vm::FaultPlan::none();
+  vm::VmOptions faulty_opts = clean_opts;
+  faulty_opts.fault = opts.fault;
+
+  vm::Vm clean(m, clean_opts);
+  vm::Vm faulty(m, faulty_opts);
+
+  vm::DynInstr crec, frec;
+  bool recording = true;
+  while (clean.status() == vm::Vm::Status::Running &&
+         faulty.status() == vm::Vm::Status::Running) {
+    const auto cs = clean.step(&crec);
+    const auto fs = faulty.step(&frec);
+    const bool clean_retired = cs != vm::Vm::Status::Trapped;
+    const bool faulty_retired = fs != vm::Vm::Status::Trapped;
+    if (!clean_retired || !faulty_retired) {
+      // One side trapped mid-instruction: streams end here.
+      if (!faulty_retired && out.divergence_index == kNoIndex) {
+        out.divergence_index = frec.index;
+      }
+      break;
+    }
+
+    const bool same_site = crec.func == frec.func &&
+                           crec.block == frec.block &&
+                           crec.instr == frec.instr && crec.op == frec.op;
+    if (!same_site) {
+      out.divergence_index = frec.index;
+      break;
+    }
+
+    if (recording) {
+      out.faulty.records.push_back(frec);
+      out.clean_bits.push_back(crec.result_bits);
+      out.clean_op_bits.push_back(crec.op_bits);
+      // Register defs, memory stores, and emitted output values are
+      // comparable; Emit/EmitTrunc carry the emitted bits in result_bits
+      // with no result location.
+      const bool comparable = frec.result_loc != vm::kNoLoc ||
+                              frec.op == ir::Opcode::Emit ||
+                              frec.op == ir::Opcode::EmitTrunc;
+      out.differs.push_back(comparable &&
+                            frec.result_bits != crec.result_bits);
+      if (opts.max_records != 0 &&
+          out.faulty.records.size() >= opts.max_records) {
+        recording = false;
+        out.truncated = true;
+      }
+    }
+
+    // When the streams have finished in the same step, stop cleanly.
+    if (cs == vm::Vm::Status::Finished || fs == vm::Vm::Status::Finished) {
+      if ((cs == vm::Vm::Status::Finished) !=
+          (fs == vm::Vm::Status::Finished)) {
+        out.divergence_index = frec.index;
+      }
+      break;
+    }
+  }
+
+  // Drive both runs to completion for outcome classification; past the
+  // divergence (or trap) point there is nothing more to record.
+  while (clean.status() == vm::Vm::Status::Running) clean.step(nullptr);
+  while (faulty.status() == vm::Vm::Status::Running) faulty.step(nullptr);
+
+  out.clean_result = clean.take_result();
+  out.faulty_result = faulty.take_result();
+  return out;
+}
+
+}  // namespace ft::acl

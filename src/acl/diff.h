@@ -1,0 +1,54 @@
+// Lockstep differential execution.
+//
+// FlipTracker's analyses compare a faulty run against a matching fault-free
+// run (§III-D: "we compare the values of input and output locations ...
+// between faulty and fault-free runs"). Because the VM is deterministic, the
+// two instruction streams are identical record-by-record until either the
+// fault alters control flow (a corrupted branch) or the faulty run traps.
+// diff_run() steps both VMs in lockstep, records the faulty stream, the
+// matching clean result values, and the first divergence point if any.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ir/module.h"
+#include "trace/collector.h"
+#include "vm/fault_plan.h"
+#include "vm/interp.h"
+
+namespace ft::acl {
+
+struct DiffOptions {
+  vm::VmOptions base;     // seed / mpi / budget; observer & fault ignored
+  vm::FaultPlan fault;    // the injection for the faulty run
+  std::size_t max_records = 0;  // cap on materialized records (0 = no cap)
+};
+
+inline constexpr std::uint64_t kNoIndex = ~std::uint64_t{0};
+
+struct DiffResult {
+  trace::Trace faulty;                     // faulty-run record stream
+  std::vector<std::uint64_t> clean_bits;   // clean result bits per record
+  // Clean operand bits per record (aligned with DynInstr::op_bits); lets
+  // region-boundary analyses compare input values between the two runs.
+  std::vector<std::array<std::uint64_t, vm::kMaxTracedOps>> clean_op_bits;
+  std::vector<bool> differs;               // result differs at record i
+  std::uint64_t divergence_index = kNoIndex;  // first control-flow divergence
+  bool truncated = false;                  // record cap reached
+  vm::RunResult faulty_result;             // full-run outcomes (always valid)
+  vm::RunResult clean_result;
+
+  [[nodiscard]] bool diverged() const noexcept {
+    return divergence_index != kNoIndex;
+  }
+  /// Records in [0, usable_records()) have trustworthy clean/differs data.
+  [[nodiscard]] std::size_t usable_records() const noexcept {
+    return clean_bits.size();
+  }
+};
+
+[[nodiscard]] DiffResult diff_run(const ir::Module& m, const DiffOptions& opts);
+
+}  // namespace ft::acl

@@ -1,0 +1,54 @@
+#include "apps/app.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ft::apps {
+
+fault::Verifier standard_verifier(double rel_tol) {
+  const auto tol = fault::tolerance_verifier(rel_tol);
+  return [tol](const std::vector<vm::OutputValue>& got,
+               const std::vector<vm::OutputValue>& golden) {
+    if (got.empty() || golden.empty()) return false;
+    // The program's own verification phase must agree...
+    if (got[0].type != ir::Type::I64 || got[0].bits != 1) return false;
+    // ...and the payload must match the golden run within tolerance.
+    return tol(got, golden);
+  };
+}
+
+AppSpec bake(const std::function<AppSpec(double)>& build) {
+  AppSpec draft = build(std::nan(""));
+  const auto run = vm::Vm::run(draft.module, draft.base);
+  if (!run.completed() || run.outputs.empty()) {
+    throw std::runtime_error("apps::bake: draft run of '" + draft.name +
+                             "' failed (trap " +
+                             std::string(vm::trap_name(run.trap)) + ")");
+  }
+  const double ref = run.outputs.back().as_f64();
+  AppSpec baked = build(ref);
+  return baked;
+}
+
+const std::vector<std::string>& all_app_names() {
+  static const std::vector<std::string> names = {
+      "CG", "MG", "LU", "BT", "IS", "DC", "SP", "FT", "KMEANS", "LULESH"};
+  return names;
+}
+
+AppSpec build_app(const std::string& name) {
+  if (name == "CG") return build_cg();
+  if (name == "MG") return build_mg();
+  if (name == "IS") return build_is();
+  if (name == "KMEANS") return build_kmeans();
+  if (name == "LULESH") return build_lulesh();
+  if (name == "LU") return build_lu();
+  if (name == "BT") return build_bt();
+  if (name == "SP") return build_sp();
+  if (name == "DC") return build_dc();
+  if (name == "FT") return build_ft();
+  throw std::runtime_error("unknown app: " + name);
+}
+
+}  // namespace ft::apps

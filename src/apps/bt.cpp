@@ -1,0 +1,114 @@
+// BT — line-implicit tridiagonal solves (Thomas algorithm) along both grid
+// directions, after NAS BT's block-tridiagonal ADI structure (scalar blocks
+// at this scale). Division-heavy forward elimination plus back substitution.
+#include "apps/app.h"
+#include "hl/builder.h"
+
+namespace ft::apps {
+
+namespace {
+
+constexpr std::int64_t kN = 12;  // grid points per dimension
+constexpr std::int64_t kNiter = 4;
+
+AppSpec build_bt_impl(double ref) {
+  hl::ProgramBuilder pb("bt", __FILE__);
+
+  auto g_u = pb.global_f64("u", kN * kN);
+  auto g_rhs = pb.global_f64("rhs", kN * kN);
+  auto g_cp = pb.global_f64("cp", kN);  // Thomas c' coefficients
+  auto g_dp = pb.global_f64("dp", kN);  // Thomas d' values
+
+  const auto r_main = pb.declare_region("main", __LINE__, __LINE__);
+  const auto r_rhs = pb.declare_region("bt_rhs", __LINE__, __LINE__);
+  const auto r_xsolve = pb.declare_region("bt_xsolve", __LINE__, __LINE__);
+  const auto r_ysolve = pb.declare_region("bt_ysolve", __LINE__, __LINE__);
+
+  const auto f_main = pb.declare_function("main");
+  auto f = pb.define(f_main);
+  f.at(__LINE__);
+
+  auto idx = [&](hl::Value i, hl::Value j) { return i * kN + j; };
+
+  f.for_("i", 0, kN * kN, [&](hl::Value i) {
+    f.st(g_u, i, f.rand_());
+  });
+
+  // Solve (2.5, -1, -1)-tridiagonal systems along one line, Thomas style.
+  // line(i, t) returns the flattened index of the t-th point of line i.
+  auto line_solve = [&](const std::function<hl::Value(hl::Value, hl::Value)>& at) {
+    f.for_("i", 0, kN, [&](hl::Value i) {
+      // Forward elimination.
+      auto b0 = f.c_f64(2.5);
+      f.st(g_cp, 0, f.c_f64(-1.0) / b0);
+      f.st(g_dp, 0, f.ld(g_rhs, at(i, f.c_i64(0))) / b0);
+      f.for_("t", 1, kN, [&](hl::Value t) {
+        auto m = f.c_f64(2.5) + f.ld(g_cp, t - 1);
+        f.st(g_cp, t, f.c_f64(-1.0) / m);
+        f.st(g_dp, t,
+             (f.ld(g_rhs, at(i, t)) + f.ld(g_dp, t - 1)) / m);
+      });
+      // Back substitution.
+      f.st(g_u, at(i, f.c_i64(kN - 1)), f.ld(g_dp, kN - 1));
+      f.for_("rt", 1, kN, [&](hl::Value rt) {
+        auto t = f.c_i64(kN - 1) - rt;
+        f.st(g_u, at(i, t),
+             f.ld(g_dp, t) - f.ld(g_cp, t) * f.ld(g_u, at(i, t + 1)));
+      });
+    });
+  };
+
+  f.for_("it", 0, kNiter, [&](hl::Value) {
+    f.region(r_main, [&] {
+      f.region(r_rhs, [&] {  // rhs = u + 0.1 * laplacian-ish coupling
+        f.for_("i", 1, kN - 1, [&](hl::Value i) {
+          f.for_("j", 1, kN - 1, [&](hl::Value j) {
+            auto nb = f.ld(g_u, idx(i - 1, j)) + f.ld(g_u, idx(i + 1, j)) +
+                      f.ld(g_u, idx(i, j - 1)) + f.ld(g_u, idx(i, j + 1));
+            f.st(g_rhs, idx(i, j), f.ld(g_u, idx(i, j)) + nb * 0.1);
+          });
+        });
+      });
+      f.region(r_xsolve, [&] {
+        line_solve([&](hl::Value i, hl::Value t) { return idx(i, t); });
+      });
+      f.region(r_ysolve, [&] {
+        line_solve([&](hl::Value i, hl::Value t) { return idx(t, i); });
+      });
+    });
+  });
+
+  auto chk = f.var_f64("chk", 0.0);
+  f.for_("i", 0, kN * kN, [&](hl::Value i) {
+    chk.set(chk.get() + f.ld(g_u, i));
+  });
+  auto c = chk.get();
+  auto pass = f.select(f.fabs_(c - f.c_f64(ref))
+                           .le(f.fabs_(f.c_f64(ref)) * 1e-6 + 1e-10),
+                       f.c_i64(1), f.c_i64(0));
+  f.emit(pass);
+  f.emit(c);
+  f.ret();
+  f.finish();
+
+  AppSpec spec;
+  spec.name = "bt";
+  spec.analysis_regions = {{r_rhs, "bt_rhs", 0, 0},
+                           {r_xsolve, "bt_xsolve", 0, 0},
+                           {r_ysolve, "bt_ysolve", 0, 0}};
+  spec.main_region = r_main;
+  spec.main_iters = static_cast<int>(kNiter);
+  spec.verify_rel_tol = 1e-6;
+  spec.verifier = standard_verifier(spec.verify_rel_tol);
+  spec.base.max_instructions = std::uint64_t{1} << 28;
+  spec.module = pb.finish();
+  return spec;
+}
+
+}  // namespace
+
+AppSpec build_bt() {
+  return bake([](double ref) { return build_bt_impl(ref); });
+}
+
+}  // namespace ft::apps

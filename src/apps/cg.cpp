@@ -1,0 +1,390 @@
+// CG — conjugate gradient with a random sparse SPD matrix, after NAS CG.
+//
+// Structure follows the original: makea() builds the matrix using repeated
+// sprnvc() calls over the global work arrays v[]/iv[] (the exact shape of
+// the paper's Fig. 12), then the main loop calls conj_grad() whose
+// first-level inner loops are the analysis regions cg_a..cg_e of Table I:
+//   cg_a  initialization loop (z=0, r=p=x)
+//   cg_b  rho = r.r reduction
+//   cg_c  the cgit solver loop (dominant: matvec + axpys + dots)
+//   cg_d  r = A z + ||x-r|| residual
+//   cg_e  zeta update and x normalization
+// Verification compares zeta against a baked reference, like NAS's
+// hardcoded verification constants (conditional-statement pattern).
+//
+// Use Case 1 (§VII-A) variants are built from the same source with the
+// paper's two hardenings applied:
+//   * DCL+overwrite (Fig. 12): sprnvc works on stack temporaries v_tmp/
+//     iv_tmp and copies back, so corruption in the globals is overwritten
+//     and corruption in the temporaries dies with the frame;
+//   * truncation (Fig. 13): a window of the p.q dot product runs through
+//     32-bit integer truncation.
+#include <cassert>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "apps/app.h"
+#include "hl/builder.h"
+
+namespace ft::apps {
+
+namespace {
+
+constexpr std::int64_t kNa = 48;        // matrix order
+constexpr std::int64_t kNonzer = 3;     // sprnvc values per row
+constexpr std::int64_t kNn1 = 64;       // icnvrt power of two >= kNa
+constexpr std::int64_t kNiter = 4;      // main-loop iterations
+constexpr std::int64_t kCgitmax = 8;    // inner CG iterations
+constexpr double kShift = 12.0;         // zeta shift
+constexpr double kDiag = 4.0;           // diagonal (strict dominance)
+// Fig. 13 truncation window. The paper truncates ~10 of ~75k dot-product
+// elements (0.013%); at our 48-element scale a similarly tiny share is two
+// elements — a wide window would add far more fault-vulnerable integer
+// sites than the original ever did.
+constexpr std::int64_t kTruncLo = 22;
+constexpr std::int64_t kTruncHi = 23;
+
+/// Host-side sparsity pattern: symmetric CSR over a chain plus a few
+/// long-range couplings (built once; the *values* are generated in-program
+/// by makea/sprnvc, as in NAS).
+struct CgPattern {
+  std::vector<std::int64_t> rowstr, colidx;   // CSR structure
+  std::vector<std::int64_t> diag_pos;         // slot of (i,i) in a[]
+  std::vector<std::int64_t> edge_start;       // per-row upper-tri edge range
+  std::vector<std::int64_t> slot_a, slot_b;   // the two slots of each edge
+};
+
+CgPattern make_pattern() {
+  std::vector<std::set<std::int64_t>> cols(kNa);
+  std::vector<std::pair<std::int64_t, std::int64_t>> edges;
+  auto add_edge = [&](std::int64_t i, std::int64_t j) {
+    if (i == j || i < 0 || j < 0 || i >= kNa || j >= kNa) return;
+    if (i > j) std::swap(i, j);
+    if (cols[i].count(j)) return;
+    cols[i].insert(j);
+    cols[j].insert(i);
+    edges.emplace_back(i, j);
+  };
+  for (std::int64_t i = 0; i + 1 < kNa; ++i) add_edge(i, i + 1);
+  for (std::int64_t i = 0; i < kNa; ++i) add_edge(i, (i * 17 + 5) % kNa);
+  for (std::int64_t i = 0; i < kNa; ++i) cols[i].insert(i);
+
+  CgPattern p;
+  p.rowstr.resize(kNa + 1, 0);
+  p.diag_pos.resize(kNa, 0);
+  for (std::int64_t i = 0; i < kNa; ++i) {
+    p.rowstr[i + 1] = p.rowstr[i] + static_cast<std::int64_t>(cols[i].size());
+  }
+  p.colidx.resize(p.rowstr[kNa], 0);
+  std::vector<std::int64_t> cursor(p.rowstr.begin(), p.rowstr.end() - 1);
+  // Slot of column j in row i (columns are sorted within a row).
+  auto slot_of = [&](std::int64_t i, std::int64_t j) {
+    std::int64_t s = p.rowstr[i];
+    for (const auto c : cols[i]) {
+      if (c == j) return s;
+      s++;
+    }
+    assert(false);
+    return std::int64_t{0};
+  };
+  for (std::int64_t i = 0; i < kNa; ++i) {
+    std::int64_t s = p.rowstr[i];
+    for (const auto c : cols[i]) p.colidx[s++] = c;
+    p.diag_pos[i] = slot_of(i, i);
+  }
+
+  // Upper-triangular edges grouped by owner row.
+  std::sort(edges.begin(), edges.end());
+  p.edge_start.resize(kNa + 1, 0);
+  for (const auto& [i, j] : edges) p.edge_start[i + 1]++;
+  for (std::int64_t i = 0; i < kNa; ++i) p.edge_start[i + 1] += p.edge_start[i];
+  for (const auto& [i, j] : edges) {
+    p.slot_a.push_back(slot_of(i, j));
+    p.slot_b.push_back(slot_of(j, i));
+  }
+  return p;
+}
+
+AppSpec build_cg_impl(double ref, const CgHardening& hard) {
+  const CgPattern pat = make_pattern();
+  const auto nnz = static_cast<std::int64_t>(pat.colidx.size());
+  const auto nedges = static_cast<std::int64_t>(pat.slot_a.size());
+
+  hl::ProgramBuilder pb(hard.dcl_overwrite || hard.truncation ? "cg-hardened"
+                                                              : "cg",
+                        __FILE__);
+
+  // Matrix + CSR structure.
+  auto g_a = pb.global_f64("a", nnz);
+  auto g_colidx = pb.global_init_i64("colidx", pat.colidx);
+  auto g_rowstr = pb.global_init_i64("rowstr", pat.rowstr);
+  auto g_diag = pb.global_init_i64("diag_pos", pat.diag_pos);
+  auto g_estart = pb.global_init_i64("edge_start", pat.edge_start);
+  auto g_slota = pb.global_init_i64("edge_slot_a", pat.slot_a);
+  auto g_slotb = pb.global_init_i64("edge_slot_b", pat.slot_b);
+  // sprnvc work arrays: global, exactly as in the original (Fig. 12a).
+  auto g_v = pb.global_f64("v", kNonzer + 1);
+  auto g_iv = pb.global_i64("iv", kNonzer + 1);
+  // CG vectors.
+  auto g_x = pb.global_init_f64("x", std::vector<double>(kNa, 1.0));
+  auto g_z = pb.global_f64("z", kNa);
+  auto g_p = pb.global_f64("p", kNa);
+  auto g_q = pb.global_f64("q", kNa);
+  auto g_r = pb.global_f64("r", kNa);
+  // Scalar cells shared between functions.
+  auto g_zeta = pb.global_f64("zeta", 1);
+  auto g_rnorm = pb.global_f64("rnorm", 1);
+
+  // Regions (line numbers point into this builder file, like Table I's
+  // "Line No." column points into the benchmark source).
+  const auto r_main = pb.declare_region("main", __LINE__, __LINE__);
+  const auto r_cg_a = pb.declare_region("cg_a", __LINE__, __LINE__);
+  const auto r_cg_b = pb.declare_region("cg_b", __LINE__, __LINE__);
+  const auto r_cg_c = pb.declare_region("cg_c", __LINE__, __LINE__);
+  const auto r_cg_d = pb.declare_region("cg_d", __LINE__, __LINE__);
+  const auto r_cg_e = pb.declare_region("cg_e", __LINE__, __LINE__);
+  const auto r_makea = pb.declare_region("cg_makea", __LINE__, __LINE__);
+
+  const auto f_sprnvc = pb.declare_function("sprnvc");
+  const auto f_makea = pb.declare_function("makea");
+  const auto f_conj_grad = pb.declare_function("conj_grad");
+  const auto f_main = pb.declare_function("main");
+
+  // --- sprnvc: Fig. 12 (a) original / (b) hardened --------------------------
+  {
+    auto f = pb.define(f_sprnvc);
+    f.at(__LINE__);
+    hl::LocalArray v_tmp, iv_tmp;
+    if (hard.dcl_overwrite) {
+      // Hardened: stack temporaries + init copy (Fig. 12b).
+      v_tmp = f.local_f64("v_tmp", kNonzer + 1);
+      iv_tmp = f.local_i64("iv_tmp", kNonzer + 1);
+      f.for_("init", 0, kNonzer + 1, [&](hl::Value i) {
+        f.st(v_tmp, i, f.ld(g_v, i));
+        f.st(iv_tmp, i, f.ld(g_iv, i));
+      });
+    }
+    auto nzv = f.var_i64("nzv", 0);
+    f.while_([&] { return nzv.get().lt(kNonzer); },
+             [&] {
+               auto vecelt = f.rand_();
+               auto vecloc = f.rand_();
+               // icnvrt(vecloc, nn1) + 1
+               auto i = f.fptosi(vecloc * static_cast<double>(kNn1)) + 1;
+               f.if_(i.le(kNa), [&] {
+                 auto was_gen = f.var_i64("was_gen", 0);
+                 f.for_("ii", 0, nzv.get(), [&](hl::Value ii) {
+                   auto stored = hard.dcl_overwrite ? f.ld(iv_tmp, ii)
+                                                    : f.ld(g_iv, ii);
+                   f.if_(stored.eq(i), [&] { was_gen.set(1); });
+                 });
+                 f.if_(was_gen.get().eq(0), [&] {
+                   if (hard.dcl_overwrite) {
+                     f.st(v_tmp, nzv.get(), vecelt);
+                     f.st(iv_tmp, nzv.get(), i);
+                   } else {
+                     f.st(g_v, nzv.get(), vecelt);
+                     f.st(g_iv, nzv.get(), i);
+                   }
+                   nzv.set(nzv.get() + 1);
+                 });
+               });
+             });
+    if (hard.dcl_overwrite) {
+      // Copy back (Fig. 12b): overwrites any corruption in the globals and
+      // lets corruption in the temporaries die with the frame.
+      f.for_("back", 0, kNonzer + 1, [&](hl::Value i) {
+        f.st(g_v, i, f.ld(v_tmp, i));
+        f.st(g_iv, i, f.ld(iv_tmp, i));
+      });
+    }
+    f.ret();
+  }
+
+  // --- makea: fill matrix values through sprnvc ------------------------------
+  {
+    auto f = pb.define(f_makea);
+    f.at(__LINE__);
+    f.region(r_makea, [&] {
+    f.for_("row", 0, kNa, [&](hl::Value row) {
+      f.call(f_sprnvc);
+      auto es = f.ld(g_estart, row);
+      auto ee = f.ld(g_estart, row + 1);
+      f.for_("k", es, ee, [&](hl::Value k) {
+        auto ordinal = (k - es) % kNonzer;
+        auto vv = f.ld(g_v, ordinal);
+        auto val = vv * -0.1 - 0.2;
+        f.st(g_a, f.ld(g_slota, k), val);
+        f.st(g_a, f.ld(g_slotb, k), val);
+      });
+      f.st(g_a, f.ld(g_diag, row), f.c_f64(kDiag));
+    });
+    });
+    f.ret();
+  }
+  (void)nedges;
+
+  // --- conj_grad --------------------------------------------------------------
+  {
+    auto f = pb.define(f_conj_grad);
+    f.at(__LINE__);
+    auto rho = f.var_f64("rho", 0.0);
+    auto d = f.var_f64("d", 0.0);
+
+    f.region(r_cg_a, [&] {  // q = z = 0, r = p = x
+      f.for_("j", 0, kNa, [&](hl::Value j) {
+        auto xj = f.ld(g_x, j);
+        f.st(g_q, j, 0.0);
+        f.st(g_z, j, 0.0);
+        f.st(g_r, j, xj);
+        f.st(g_p, j, xj);
+      });
+    });
+
+    f.region(r_cg_b, [&] {  // rho = r.r
+      rho.set(0.0);
+      f.for_("j", 0, kNa, [&](hl::Value j) {
+        auto rj = f.ld(g_r, j);
+        rho.set(rho.get() + rj * rj);
+      });
+    });
+
+    f.region(r_cg_c, [&] {  // the cgit loop
+      f.for_("cgit", 0, kCgitmax, [&](hl::Value) {
+        // q = A p
+        f.for_("j", 0, kNa, [&](hl::Value j) {
+          auto sum = f.var_f64("sum", 0.0);
+          f.for_("k", f.ld(g_rowstr, j), f.ld(g_rowstr, j + 1),
+                 [&](hl::Value k) {
+                   auto col = f.ld(g_colidx, k);
+                   sum.set(sum.get() + f.ld(g_a, k) * f.ld(g_p, col));
+                 });
+          f.st(g_q, j, sum.get());
+        });
+        // d = p.q — with the Fig. 13 truncation window when hardened.
+        d.set(0.0);
+        f.for_("j", 0, kNa, [&](hl::Value j) {
+          if (hard.truncation) {
+            auto in_window = j.ge(kTruncLo) & j.le(kTruncHi);
+            f.if_else(
+                in_window,
+                [&] {
+                  // Fig. 13: replace the 64-bit float multiply with a 32-bit
+                  // integer multiply. Our vectors are O(0.1) (the paper's CG
+                  // window covers ~0.01% of a much longer loop), so a plain
+                  // (int)p[j] would zero whole terms; Q10 fixed point keeps
+                  // the magnitude while still discarding mantissa bits.
+                  auto tmp = f.trunc_to_i32(f.fptosi(f.ld(g_p, j) * 1024.0));
+                  auto tmp1 = f.trunc_to_i32(f.fptosi(f.ld(g_q, j) * 1024.0));
+                  auto prod = f.sitofp(f.sext_to_i64(tmp * tmp1)) /
+                              (1024.0 * 1024.0);
+                  d.set(d.get() + prod);
+                },
+                [&] { d.set(d.get() + f.ld(g_p, j) * f.ld(g_q, j)); });
+          } else {
+            d.set(d.get() + f.ld(g_p, j) * f.ld(g_q, j));
+          }
+        });
+        auto alpha = rho.get() / d.get();
+        // z += alpha p ; r -= alpha q
+        f.for_("j", 0, kNa, [&](hl::Value j) {
+          f.st(g_z, j, f.ld(g_z, j) + alpha * f.ld(g_p, j));
+          f.st(g_r, j, f.ld(g_r, j) - alpha * f.ld(g_q, j));
+        });
+        auto rho0 = rho.get();
+        rho.set(0.0);
+        f.for_("j", 0, kNa, [&](hl::Value j) {
+          auto rj = f.ld(g_r, j);
+          rho.set(rho.get() + rj * rj);
+        });
+        auto beta = rho.get() / rho0;
+        f.for_("j", 0, kNa, [&](hl::Value j) {
+          f.st(g_p, j, f.ld(g_r, j) + beta * f.ld(g_p, j));
+        });
+      });
+    });
+
+    f.region(r_cg_d, [&] {  // r = A z ; sum = ||x - r||^2
+      auto sum = f.var_f64("sum", 0.0);
+      f.for_("j", 0, kNa, [&](hl::Value j) {
+        auto rowsum = f.var_f64("rowsum", 0.0);
+        f.for_("k", f.ld(g_rowstr, j), f.ld(g_rowstr, j + 1),
+               [&](hl::Value k) {
+                 auto col = f.ld(g_colidx, k);
+                 rowsum.set(rowsum.get() + f.ld(g_a, k) * f.ld(g_z, col));
+               });
+        f.st(g_r, j, rowsum.get());
+        auto dxr = f.ld(g_x, j) - rowsum.get();
+        sum.set(sum.get() + dxr * dxr);
+      });
+      f.st(g_rnorm, 0, f.fsqrt(sum.get()));
+    });
+
+    f.region(r_cg_e, [&] {  // zeta and x normalization
+      auto xz = f.var_f64("xz", 0.0);
+      auto znorm2 = f.var_f64("znorm2", 0.0);
+      f.for_("j", 0, kNa, [&](hl::Value j) {
+        auto zj = f.ld(g_z, j);
+        xz.set(xz.get() + f.ld(g_x, j) * zj);
+        znorm2.set(znorm2.get() + zj * zj);
+      });
+      // zeta = SHIFT + 1 / (x.z), as in NAS CG.
+      f.st(g_zeta, 0, f.c_f64(kShift) + f.c_f64(1.0) / xz.get());
+      auto inv_norm = f.c_f64(1.0) / f.fsqrt(znorm2.get());
+      f.for_("j", 0, kNa, [&](hl::Value j) {
+        f.st(g_x, j, f.ld(g_z, j) * inv_norm);
+      });
+    });
+    f.ret();
+  }
+
+  // --- main --------------------------------------------------------------------
+  {
+    auto f = pb.define(f_main);
+    f.at(__LINE__);
+    f.call(f_makea);
+    f.for_("it", 0, kNiter, [&](hl::Value) {
+      f.region(r_main, [&] { f.call(f_conj_grad); });
+    });
+    // Verification phase: |zeta - REF| <= eps, NAS-style baked constant.
+    auto zeta = f.ld(g_zeta, 0);
+    auto err = f.fabs_(zeta - f.c_f64(ref));
+    auto pass = f.select(err.le(1e-8), f.c_i64(1), f.c_i64(0));
+    f.emit(pass);
+    f.emit(zeta);  // payload & bake reference (last output)
+    f.ret();
+  }
+
+  AppSpec spec;
+  spec.name = pb.module().name();
+  spec.analysis_regions = {
+      {r_cg_a, "cg_a", 0, 0}, {r_cg_b, "cg_b", 0, 0}, {r_cg_c, "cg_c", 0, 0},
+      {r_cg_d, "cg_d", 0, 0}, {r_cg_e, "cg_e", 0, 0},
+      {r_makea, "cg_makea", 0, 0}};
+  spec.main_region = r_main;
+  spec.main_iters = static_cast<int>(kNiter);
+  spec.verify_rel_tol = 1e-6;
+  spec.verifier = standard_verifier(spec.verify_rel_tol);
+  spec.base.max_instructions = std::uint64_t{1} << 28;
+  // Fill declared region line ranges from the module (declared above).
+  auto& mod = pb.module();
+  for (auto& r : spec.analysis_regions) {
+    r.line_begin = mod.region(r.id).line_begin;
+    r.line_end = mod.region(r.id).line_end;
+  }
+  spec.module = pb.finish();
+  return spec;
+}
+
+}  // namespace
+
+AppSpec build_cg() {
+  return bake([](double ref) { return build_cg_impl(ref, CgHardening{}); });
+}
+
+AppSpec build_cg_hardened(const CgHardening& h) {
+  return bake([h](double ref) { return build_cg_impl(ref, h); });
+}
+
+}  // namespace ft::apps

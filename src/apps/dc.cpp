@@ -1,0 +1,129 @@
+// DC — data-cube group-by aggregation, after NAS DC: a stream of tuples
+// with small-cardinality dimension attributes is aggregated along several
+// group-by views. Hash slots are packed with shifts/ors and rows are
+// filtered with predicates, so the dynamic mix is condition- and
+// shift-heavy with exact integer outputs — the profile that makes DC the
+// paper's prediction outlier in Table IV.
+#include "apps/app.h"
+#include "hl/builder.h"
+
+namespace ft::apps {
+
+namespace {
+
+constexpr std::int64_t kTuples = 256;
+constexpr std::int64_t kCardA = 8;   // attribute cardinalities (powers of 2)
+constexpr std::int64_t kCardB = 4;
+constexpr std::int64_t kCardC = 16;
+constexpr std::int64_t kViewAbc = kCardA * kCardB * kCardC;  // 512 slots
+constexpr std::int64_t kNiter = 4;
+
+AppSpec build_dc_impl(double ref) {
+  hl::ProgramBuilder pb("dc", __FILE__);
+
+  auto g_attr_a = pb.global_i64("attr_a", kTuples);
+  auto g_attr_b = pb.global_i64("attr_b", kTuples);
+  auto g_attr_c = pb.global_i64("attr_c", kTuples);
+  auto g_measure = pb.global_f64("measure", kTuples);
+  auto g_view_a = pb.global_f64("view_a", kCardA);
+  auto g_view_ab = pb.global_f64("view_ab", kCardA * kCardB);
+  auto g_view_abc = pb.global_f64("view_abc", kViewAbc);
+  auto g_counts = pb.global_i64("counts", kCardA);
+
+  const auto r_main = pb.declare_region("main", __LINE__, __LINE__);
+  const auto r_gen = pb.declare_region("dc_gen", __LINE__, __LINE__);
+  const auto r_agg = pb.declare_region("dc_aggregate", __LINE__, __LINE__);
+  const auto r_roll = pb.declare_region("dc_rollup", __LINE__, __LINE__);
+
+  const auto f_main = pb.declare_function("main");
+  auto f = pb.define(f_main);
+  f.at(__LINE__);
+
+  f.region(r_gen, [&] {  // tuple generation
+    f.for_("t", 0, kTuples, [&](hl::Value t) {
+      f.st(g_attr_a, t, f.fptosi(f.rand_() * static_cast<double>(kCardA)));
+      f.st(g_attr_b, t, f.fptosi(f.rand_() * static_cast<double>(kCardB)));
+      f.st(g_attr_c, t, f.fptosi(f.rand_() * static_cast<double>(kCardC)));
+      f.st(g_measure, t, f.rand_());
+    });
+  });
+
+  f.for_("it", 0, kNiter, [&](hl::Value) {
+    f.region(r_main, [&] {
+      f.region(r_agg, [&] {  // base cuboid: group by (a,b,c)
+        f.for_("z", 0, kViewAbc, [&](hl::Value z) {
+          f.st(g_view_abc, z, 0.0);
+        });
+        f.for_("t", 0, kTuples, [&](hl::Value t) {
+          auto a = f.ld(g_attr_a, t);
+          auto b = f.ld(g_attr_b, t);
+          auto c = f.ld(g_attr_c, t);
+          // Packed slot: (a << 6) | (b << 4) | c — shifts as hash packing.
+          auto slot = (a << 6) | (b << 4) | c;
+          // Filter: only rows with measure above the selectivity threshold.
+          f.if_(f.ld(g_measure, t).gt(0.25), [&] {
+            f.st(g_view_abc, slot,
+                 f.ld(g_view_abc, slot) + f.ld(g_measure, t));
+          });
+        });
+      });
+      f.region(r_roll, [&] {  // roll-ups: (a,b) and (a), plus counts
+        f.for_("z", 0, kCardA * kCardB,
+               [&](hl::Value z) { f.st(g_view_ab, z, 0.0); });
+        f.for_("z", 0, kCardA, [&](hl::Value z) {
+          f.st(g_view_a, z, 0.0);
+          f.st(g_counts, z, 0);
+        });
+        f.for_("s", 0, kViewAbc, [&](hl::Value s) {
+          auto ab = s >> 4;      // drop c
+          auto a = s >> 6;       // drop b and c
+          auto v = f.ld(g_view_abc, s);
+          f.if_(v.gt(0.0), [&] {
+            f.st(g_view_ab, ab, f.ld(g_view_ab, ab) + v);
+            f.st(g_view_a, a, f.ld(g_view_a, a) + v);
+            f.st(g_counts, a, f.ld(g_counts, a) + 1);
+          });
+        });
+      });
+    });
+  });
+
+  // Verification: exact slot-count checksum plus aggregate checksum.
+  auto cells = f.var_i64("cells", 0);
+  auto total = f.var_f64("total", 0.0);
+  f.for_("a", 0, kCardA, [&](hl::Value a) {
+    cells.set(cells.get() + f.ld(g_counts, a));
+    total.set(total.get() + f.ld(g_view_a, a));
+  });
+  auto tt = total.get();
+  auto pass_count = f.select(
+      f.fabs_(f.sitofp(cells.get()) - f.c_f64(ref)).lt(0.5), f.c_i64(1),
+      f.c_i64(0));
+  f.emit(pass_count);
+  f.emit(cells.get());
+  f.emit(tt);
+  f.emit(f.sitofp(cells.get()));  // bake reference: occupied-cell count
+  f.ret();
+  f.finish();
+
+  AppSpec spec;
+  spec.name = "dc";
+  spec.analysis_regions = {{r_gen, "dc_gen", 0, 0},
+                           {r_agg, "dc_aggregate", 0, 0},
+                           {r_roll, "dc_rollup", 0, 0}};
+  spec.main_region = r_main;
+  spec.main_iters = static_cast<int>(kNiter);
+  spec.verify_rel_tol = 1e-9;
+  spec.verifier = standard_verifier(spec.verify_rel_tol);
+  spec.base.max_instructions = std::uint64_t{1} << 28;
+  spec.module = pb.finish();
+  return spec;
+}
+
+}  // namespace
+
+AppSpec build_dc() {
+  return bake([](double ref) { return build_dc_impl(ref); });
+}
+
+}  // namespace ft::apps

@@ -1,0 +1,179 @@
+// FT — 1D complex FFT with spectral evolution, after NAS FT: forward FFT,
+// per-iteration phase evolution in frequency space, inverse FFT, checksum.
+// The bit-reversal permutation is shift-driven and the floating checksum
+// tolerates low-order mantissa noise — the truncation-friendly profile that
+// gives FT its high success rate in Table IV.
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "apps/app.h"
+#include "hl/builder.h"
+
+namespace ft::apps {
+
+namespace {
+
+constexpr std::int64_t kNfft = 64;
+constexpr std::int64_t kLogN = 6;
+constexpr std::int64_t kNiter = 4;
+
+AppSpec build_ft_impl(double ref) {
+  hl::ProgramBuilder pb("ft", __FILE__);
+
+  // Host-precomputed twiddle factors (NAS FT also precomputes its roots
+  // of unity) and evolution phases.
+  std::vector<double> wre(kNfft / 2), wim(kNfft / 2);
+  for (std::int64_t k = 0; k < kNfft / 2; ++k) {
+    const double ang = -2.0 * std::numbers::pi * k / kNfft;
+    wre[k] = std::cos(ang);
+    wim[k] = std::sin(ang);
+  }
+  std::vector<double> ere(kNfft), eim(kNfft);
+  for (std::int64_t k = 0; k < kNfft; ++k) {
+    const double ang = 2.0 * std::numbers::pi * k * 0.01;
+    ere[k] = std::cos(ang);
+    eim[k] = std::sin(ang);
+  }
+
+  auto g_re = pb.global_f64("re", kNfft);
+  auto g_im = pb.global_f64("im", kNfft);
+  auto g_tre = pb.global_f64("tre", kNfft);  // permutation scratch
+  auto g_tim = pb.global_f64("tim", kNfft);
+  auto g_wre = pb.global_init_f64("wre", wre);
+  auto g_wim = pb.global_init_f64("wim", wim);
+  auto g_ere = pb.global_init_f64("ere", ere);
+  auto g_eim = pb.global_init_f64("eim", eim);
+
+  const auto r_main = pb.declare_region("main", __LINE__, __LINE__);
+  const auto r_rev = pb.declare_region("ft_bitrev", __LINE__, __LINE__);
+  const auto r_bfly = pb.declare_region("ft_butterfly", __LINE__, __LINE__);
+  const auto r_evolve = pb.declare_region("ft_evolve", __LINE__, __LINE__);
+
+  const auto f_fft = pb.declare_function("fft_pass");
+  const auto f_main = pb.declare_function("main");
+
+  // One full in-place FFT over re/im (sign handled by conjugation outside).
+  {
+    auto f = pb.define(f_fft);
+    f.at(__LINE__);
+    f.region(r_rev, [&] {  // bit-reversal permutation (shift-driven)
+      f.for_("i", 0, kNfft, [&](hl::Value i) {
+        auto rev = f.var_i64("rev", 0);
+        auto x = f.var_i64("x", 0);
+        x.set(i);
+        f.for_("b", 0, kLogN, [&](hl::Value) {
+          rev.set((rev.get() << 1) | (x.get() & f.c_i64(1)));
+          x.set(f.lshr(x.get(), 1));
+        });
+        f.st(g_tre, rev.get(), f.ld(g_re, i));
+        f.st(g_tim, rev.get(), f.ld(g_im, i));
+      });
+      f.for_("i", 0, kNfft, [&](hl::Value i) {
+        f.st(g_re, i, f.ld(g_tre, i));
+        f.st(g_im, i, f.ld(g_tim, i));
+      });
+    });
+    f.region(r_bfly, [&] {  // Cooley-Tukey stages
+      auto len = f.var_i64("len", 2);
+      f.for_("stage", 0, kLogN, [&](hl::Value) {
+        auto half = len.get() / 2;
+        auto stride = f.c_i64(kNfft) / len.get();
+        f.for_("base", 0, f.c_i64(kNfft) / len.get(), [&](hl::Value blk) {
+          auto start = blk * len.get();
+          f.for_("k", 0, half, [&](hl::Value k) {
+            auto tw = k * stride;
+            auto wr = f.ld(g_wre, tw);
+            auto wi = f.ld(g_wim, tw);
+            auto a = start + k;
+            auto b = a + half;
+            auto xr = f.ld(g_re, b) * wr - f.ld(g_im, b) * wi;
+            auto xi = f.ld(g_re, b) * wi + f.ld(g_im, b) * wr;
+            auto ur = f.ld(g_re, a);
+            auto ui = f.ld(g_im, a);
+            f.st(g_re, a, ur + xr);
+            f.st(g_im, a, ui + xi);
+            f.st(g_re, b, ur - xr);
+            f.st(g_im, b, ui - xi);
+          });
+        });
+        len.set(len.get() * 2);
+      });
+    });
+    f.ret();
+  }
+
+  {
+    auto f = pb.define(f_main);
+    f.at(__LINE__);
+    f.for_("i", 0, kNfft, [&](hl::Value i) {
+      f.st(g_re, i, f.rand_() - 0.5);
+      f.st(g_im, i, f.rand_() - 0.5);
+    });
+    f.call(f_fft);  // forward transform once
+    f.for_("it", 0, kNiter, [&](hl::Value) {
+      f.region(r_main, [&] {
+        f.region(r_evolve, [&] {  // frequency-space phase evolution
+          f.for_("k", 0, kNfft, [&](hl::Value k) {
+            auto er = f.ld(g_ere, k);
+            auto ei = f.ld(g_eim, k);
+            auto rr = f.ld(g_re, k);
+            auto ii = f.ld(g_im, k);
+            f.st(g_re, k, rr * er - ii * ei);
+            f.st(g_im, k, rr * ei + ii * er);
+          });
+        });
+        // Inverse FFT via conjugation, checksum in space domain, then
+        // return to frequency space for the next evolution.
+        f.for_("k", 0, kNfft, [&](hl::Value k) {
+          f.st(g_im, k, f.neg(f.ld(g_im, k)));
+        });
+        f.call(f_fft);
+        auto inv = f.c_f64(1.0 / static_cast<double>(kNfft));
+        f.for_("k", 0, kNfft, [&](hl::Value k) {
+          f.st(g_re, k, f.ld(g_re, k) * inv);
+          f.st(g_im, k, f.neg(f.ld(g_im, k) * inv));
+        });
+        f.call(f_fft);  // back to frequency space
+      });
+    });
+
+    // Checksum over a strided subset (NAS FT style).
+    auto csum_r = f.var_f64("csum_r", 0.0);
+    auto csum_i = f.var_f64("csum_i", 0.0);
+    f.for_("j", 0, 16, [&](hl::Value j) {
+      auto k = j * 5 % kNfft;
+      csum_r.set(csum_r.get() + f.ld(g_re, k));
+      csum_i.set(csum_i.get() + f.ld(g_im, k));
+    });
+    auto cr = csum_r.get();
+    auto pass = f.select(f.fabs_(cr - f.c_f64(ref))
+                             .le(f.fabs_(f.c_f64(ref)) * 1e-4 + 1e-8),
+                         f.c_i64(1), f.c_i64(0));
+    f.emit(pass);
+    f.emit(csum_i.get());
+    f.emit(cr);
+    f.ret();
+  }
+
+  AppSpec spec;
+  spec.name = "ft";
+  spec.analysis_regions = {{r_rev, "ft_bitrev", 0, 0},
+                           {r_bfly, "ft_butterfly", 0, 0},
+                           {r_evolve, "ft_evolve", 0, 0}};
+  spec.main_region = r_main;
+  spec.main_iters = static_cast<int>(kNiter);
+  spec.verify_rel_tol = 1e-4;
+  spec.verifier = standard_verifier(spec.verify_rel_tol);
+  spec.base.max_instructions = std::uint64_t{1} << 28;
+  spec.module = pb.finish();
+  return spec;
+}
+
+}  // namespace
+
+AppSpec build_ft() {
+  return bake([](double ref) { return build_ft_impl(ref); });
+}
+
+}  // namespace ft::apps

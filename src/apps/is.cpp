@@ -1,0 +1,151 @@
+// IS — integer bucket sort, after NAS IS.
+//
+// Regions mirror Table I:
+//   is_a  key generation (create_seq: randlc-driven keys)
+//   is_b  bucket counting via the shift of Fig. 11:
+//         bucket_size[key_array[i] >> shift]++
+//   is_c  ranking: bucket pointers (prefix sums), scatter into key_buff,
+//         full counting-sort ranks and the partial verification of five
+//         test keys.
+//
+// Low bits of a key do not affect its bucket, so faults there are masked by
+// the shift (Pattern 4), exactly the behaviour the paper reports for is_b.
+#include <vector>
+
+#include "apps/app.h"
+#include "hl/builder.h"
+
+namespace ft::apps {
+
+namespace {
+
+constexpr std::int64_t kNumKeys = 512;
+constexpr std::int64_t kMaxKey = 512;           // 2^9
+constexpr std::int64_t kNumBuckets = 16;        // 2^4
+constexpr std::int64_t kShift = 5;              // log2(MaxKey/Buckets)
+constexpr std::int64_t kNiter = 4;              // ranking iterations
+constexpr std::int64_t kNumTestKeys = 5;
+
+AppSpec build_is_impl(double ref) {
+  hl::ProgramBuilder pb("is", __FILE__);
+
+  auto g_keys = pb.global_i32("key_array", kNumKeys);  // NAS INT_TYPE is 32-bit
+  auto g_bucket_size = pb.global_i64("bucket_size", kNumBuckets);
+  auto g_bucket_ptrs = pb.global_i64("bucket_ptrs", kNumBuckets);
+  auto g_key_buff = pb.global_i32("key_buff", kNumKeys);
+  auto g_count = pb.global_i64("key_count", kMaxKey);
+  auto g_rank_sum = pb.global_i64("rank_sum", 1);
+  const std::vector<std::int64_t> test_index = {7, 91, 203, 377, 489};
+  auto g_test_idx = pb.global_init_i64("test_index", test_index);
+
+  const auto r_main = pb.declare_region("main", __LINE__, __LINE__);
+  const auto r_is_a = pb.declare_region("is_a", __LINE__, __LINE__);
+  const auto r_is_b = pb.declare_region("is_b", __LINE__, __LINE__);
+  const auto r_is_c = pb.declare_region("is_c", __LINE__, __LINE__);
+
+  const auto f_main = pb.declare_function("main");
+  auto f = pb.define(f_main);
+  f.at(__LINE__);
+
+  // is_a: create_seq — keys from the randlc stream.
+  f.region(r_is_a, [&] {
+    f.for_("i", 0, kNumKeys, [&](hl::Value i) {
+      auto k = f.fptosi(f.rand_() * static_cast<double>(kMaxKey),
+                        ir::Type::I32);
+      f.st(g_keys, i, k);
+    });
+  });
+
+  f.for_("iter", 0, kNiter, [&](hl::Value iter) {
+    f.region(r_main, [&] {
+      // NAS IS perturbs one key per iteration before re-ranking.
+      f.st(g_keys, iter, f.trunc_to_i32(iter * 7 % kMaxKey));
+
+      f.region(r_is_b, [&] {  // Fig. 11: bucket counting by shift
+        f.for_("z", 0, kNumBuckets, [&](hl::Value z) {
+          f.st(g_bucket_size, z, 0);
+        });
+        f.for_("i", 0, kNumKeys, [&](hl::Value i) {
+          auto b = f.ld(g_keys, i) >> kShift;
+          f.st(g_bucket_size, b, f.ld(g_bucket_size, b) + 1);
+        });
+      });
+
+      f.region(r_is_c, [&] {  // ranking
+        // Bucket pointers: exclusive prefix sum.
+        auto acc = f.var_i64("acc", 0);
+        f.for_("b", 0, kNumBuckets, [&](hl::Value b) {
+          f.st(g_bucket_ptrs, b, acc.get());
+          acc.set(acc.get() + f.ld(g_bucket_size, b));
+        });
+        // Scatter keys into their buckets.
+        f.for_("i", 0, kNumKeys, [&](hl::Value i) {
+          auto k = f.ld(g_keys, i);
+          auto b = k >> kShift;
+          auto p = f.ld(g_bucket_ptrs, b);
+          f.st(g_key_buff, p, k);
+          f.st(g_bucket_ptrs, b, p + 1);
+        });
+        // Counting-sort ranks over the full key range.
+        f.for_("z", 0, kMaxKey, [&](hl::Value z) { f.st(g_count, z, 0); });
+        f.for_("i", 0, kNumKeys, [&](hl::Value i) {
+          auto k = f.sext_to_i64(f.ld(g_keys, i));
+          f.st(g_count, k, f.ld(g_count, k) + 1);
+        });
+        auto racc = f.var_i64("racc", 0);
+        f.for_("z", 0, kMaxKey, [&](hl::Value z) {
+          auto c = f.ld(g_count, z);
+          f.st(g_count, z, racc.get());
+          racc.set(racc.get() + c);
+        });
+        // Partial verification: accumulate the ranks of the test keys.
+        auto rs = f.var_i64("rs", 0);
+        f.for_("t", 0, kNumTestKeys, [&](hl::Value t) {
+          auto k = f.sext_to_i64(f.ld(g_keys, f.ld(g_test_idx, t)));
+          rs.set(rs.get() + f.ld(g_count, k));
+        });
+        f.st(g_rank_sum, 0, rs.get());
+      });
+    });
+  });
+
+  // Full verification: key_buff must be bucket-ordered (adjacent elements
+  // from non-decreasing buckets) and the test-key rank sum must match.
+  auto sorted = f.var_i64("sorted", 1);
+  f.for_("i", 1, kNumKeys, [&](hl::Value i) {
+    auto prev = f.ld(g_key_buff, i - 1) >> kShift;
+    auto cur = f.ld(g_key_buff, i) >> kShift;
+    f.if_(prev.gt(cur), [&] { sorted.set(0); });
+  });
+  auto rank_sum = f.ld(g_rank_sum, 0);
+  auto rank_ok = f.select(
+      f.fabs_(f.sitofp(rank_sum) - f.c_f64(ref)).lt(0.5), f.c_i64(1),
+      f.c_i64(0));
+  auto pass = sorted.get() * rank_ok;
+  f.emit(pass);
+  f.emit(rank_sum);
+  f.emit(f.sitofp(rank_sum));  // bake reference
+  f.ret();
+  f.finish();
+
+  AppSpec spec;
+  spec.name = "is";
+  spec.analysis_regions = {{r_is_a, "is_a", 0, 0},
+                           {r_is_b, "is_b", 0, 0},
+                           {r_is_c, "is_c", 0, 0}};
+  spec.main_region = r_main;
+  spec.main_iters = static_cast<int>(kNiter);
+  spec.verify_rel_tol = 1e-9;
+  spec.verifier = standard_verifier(spec.verify_rel_tol);
+  spec.base.max_instructions = std::uint64_t{1} << 28;
+  spec.module = pb.finish();
+  return spec;
+}
+
+}  // namespace
+
+AppSpec build_is() {
+  return bake([](double ref) { return build_is_impl(ref); });
+}
+
+}  // namespace ft::apps

@@ -1,0 +1,148 @@
+// KMEANS — k-means clustering, after Rodinia KMEANS.
+//
+// Regions mirror Table I:
+//   k_a  feature initialization (the data set; input faults here are the
+//        paper's crash-prone case)
+//   k_b  centroid initialization from the first k points
+//   k_c  assignment: euclid_dist_2 + the min-distance conditional of
+//        Fig. 10 — the conditional masks faults in `feature` as long as the
+//        winning cluster is unchanged (Pattern 3)
+//   k_d  centroid update, then the temporary accumulators are cleared
+//        (the free()-like operation the paper credits for k_d's resilience)
+#include "apps/app.h"
+#include "hl/builder.h"
+
+namespace ft::apps {
+
+namespace {
+
+constexpr std::int64_t kNPoints = 128;
+constexpr std::int64_t kNFeatures = 4;
+constexpr std::int64_t kNClusters = 4;
+constexpr std::int64_t kNiter = 1;  // one main iteration, as in Fig. 6
+
+AppSpec build_kmeans_impl(double ref) {
+  hl::ProgramBuilder pb("kmeans", __FILE__);
+
+  auto g_feature = pb.global_f64("feature", kNPoints * kNFeatures);
+  auto g_clusters = pb.global_f64("clusters", kNClusters * kNFeatures);
+  auto g_member = pb.global_i64("membership", kNPoints);
+  auto g_sum = pb.global_f64("new_centers", kNClusters * kNFeatures);
+  auto g_cnt = pb.global_i64("new_counts", kNClusters);
+
+  const auto r_main = pb.declare_region("main", __LINE__, __LINE__);
+  const auto r_k_a = pb.declare_region("k_a", __LINE__, __LINE__);
+  const auto r_k_b = pb.declare_region("k_b", __LINE__, __LINE__);
+  const auto r_k_c = pb.declare_region("k_c", __LINE__, __LINE__);
+  const auto r_k_d = pb.declare_region("k_d", __LINE__, __LINE__);
+
+  const auto f_main = pb.declare_function("main");
+  auto f = pb.define(f_main);
+  f.at(__LINE__);
+
+  f.region(r_k_a, [&] {  // read/generate the data set
+    f.for_("i", 0, kNPoints * kNFeatures, [&](hl::Value i) {
+      f.st(g_feature, i, f.rand_() * 10.0);
+    });
+  });
+
+  f.region(r_k_b, [&] {  // first k points seed the centroids
+    f.for_("c", 0, kNClusters, [&](hl::Value c) {
+      f.for_("j", 0, kNFeatures, [&](hl::Value j) {
+        f.st(g_clusters, c * kNFeatures + j,
+             f.ld(g_feature, c * kNFeatures + j));
+      });
+    });
+  });
+
+  f.for_("it", 0, kNiter, [&](hl::Value) {
+    f.region(r_main, [&] {
+      f.region(r_k_c, [&] {  // assignment (Fig. 10)
+        f.for_("z", 0, kNClusters * kNFeatures,
+               [&](hl::Value z) { f.st(g_sum, z, 0.0); });
+        f.for_("z", 0, kNClusters, [&](hl::Value z) { f.st(g_cnt, z, 0); });
+        f.for_("i", 0, kNPoints, [&](hl::Value i) {
+          auto min_dist = f.var_f64("min_dist", 1e30);
+          auto index = f.var_i64("index", 0);
+          f.for_("c", 0, kNClusters, [&](hl::Value c) {
+            // dist = euclid_dist_2(pt, pts[c], nfeatures)
+            auto dist = f.var_f64("dist", 0.0);
+            f.for_("j", 0, kNFeatures, [&](hl::Value j) {
+              auto d = f.ld(g_feature, i * kNFeatures + j) -
+                       f.ld(g_clusters, c * kNFeatures + j);
+              dist.set(dist.get() + d * d);
+            });
+            // if (dist < min_dist) { min_dist = dist; index = c; }
+            f.if_(dist.get().lt(min_dist.get()), [&] {
+              min_dist.set(dist.get());
+              index.set(c);
+            });
+          });
+          f.st(g_member, i, index.get());
+          f.st(g_cnt, index.get(), f.ld(g_cnt, index.get()) + 1);
+          f.for_("j", 0, kNFeatures, [&](hl::Value j) {
+            auto s = index.get() * kNFeatures + j;
+            f.st(g_sum, s, f.ld(g_sum, s) + f.ld(g_feature, i * kNFeatures + j));
+          });
+        });
+      });
+
+      f.region(r_k_d, [&] {  // centroid update + temporary teardown
+        f.for_("c", 0, kNClusters, [&](hl::Value c) {
+          auto n = f.ld(g_cnt, c);
+          f.if_(n.gt(0), [&] {
+            f.for_("j", 0, kNFeatures, [&](hl::Value j) {
+              f.st(g_clusters, c * kNFeatures + j,
+                   f.ld(g_sum, c * kNFeatures + j) / f.sitofp(n));
+            });
+          });
+        });
+        // The Rodinia code frees its temporaries here; clearing them plays
+        // the same role — corrupted accumulator cells die.
+        f.for_("z", 0, kNClusters * kNFeatures,
+               [&](hl::Value z) { f.st(g_sum, z, 0.0); });
+        f.for_("z", 0, kNClusters, [&](hl::Value z) { f.st(g_cnt, z, 0); });
+      });
+    });
+  });
+
+  // Verification: within-cluster sum of squares against the baked golden.
+  auto wcss = f.var_f64("wcss", 0.0);
+  f.for_("i", 0, kNPoints, [&](hl::Value i) {
+    auto c = f.ld(g_member, i);
+    f.for_("j", 0, kNFeatures, [&](hl::Value j) {
+      auto d = f.ld(g_feature, i * kNFeatures + j) -
+               f.ld(g_clusters, c * kNFeatures + j);
+      wcss.set(wcss.get() + d * d);
+    });
+  });
+  auto w = wcss.get();
+  auto pass = f.select(w.le(f.c_f64(ref) * 1.05 + 1e-12), f.c_i64(1),
+                       f.c_i64(0));
+  f.emit(pass);
+  f.emit(w);
+  f.ret();
+  f.finish();
+
+  AppSpec spec;
+  spec.name = "kmeans";
+  spec.analysis_regions = {{r_k_a, "k_a", 0, 0},
+                           {r_k_b, "k_b", 0, 0},
+                           {r_k_c, "k_c", 0, 0},
+                           {r_k_d, "k_d", 0, 0}};
+  spec.main_region = r_main;
+  spec.main_iters = static_cast<int>(kNiter);
+  spec.verify_rel_tol = 0.05;
+  spec.verifier = standard_verifier(spec.verify_rel_tol);
+  spec.base.max_instructions = std::uint64_t{1} << 28;
+  spec.module = pb.finish();
+  return spec;
+}
+
+}  // namespace
+
+AppSpec build_kmeans() {
+  return bake([](double ref) { return build_kmeans_impl(ref); });
+}
+
+}  // namespace ft::apps

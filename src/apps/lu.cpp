@@ -1,0 +1,111 @@
+// LU — SSOR sweeps on a 2D 5-point system, after NAS LU's lower/upper
+// triangular relaxation structure: a forward (blts-like) sweep, a backward
+// (buts-like) sweep, and a residual update per main iteration.
+#include "apps/app.h"
+#include "hl/builder.h"
+
+namespace ft::apps {
+
+namespace {
+
+constexpr std::int64_t kN = 14;  // grid points per dimension
+constexpr std::int64_t kNiter = 4;
+constexpr double kOmega = 1.2;  // SSOR relaxation factor
+
+AppSpec build_lu_impl(double ref) {
+  hl::ProgramBuilder pb("lu", __FILE__);
+
+  auto g_u = pb.global_f64("u", kN * kN);
+  auto g_b = pb.global_f64("rhs", kN * kN);
+
+  const auto r_main = pb.declare_region("main", __LINE__, __LINE__);
+  const auto r_lower = pb.declare_region("lu_lower", __LINE__, __LINE__);
+  const auto r_upper = pb.declare_region("lu_upper", __LINE__, __LINE__);
+  const auto r_resid = pb.declare_region("lu_resid", __LINE__, __LINE__);
+
+  const auto f_main = pb.declare_function("main");
+  auto f = pb.define(f_main);
+  f.at(__LINE__);
+
+  auto idx = [&](hl::Value i, hl::Value j) { return i * kN + j; };
+
+  // RHS from the randlc stream; u starts at zero.
+  f.for_("i", 0, kN * kN, [&](hl::Value i) {
+    f.st(g_b, i, f.rand_() - 0.5);
+  });
+
+  auto relax = [&](hl::Value i, hl::Value j) {
+    auto nb = f.ld(g_u, idx(i - 1, j)) + f.ld(g_u, idx(i + 1, j)) +
+              f.ld(g_u, idx(i, j - 1)) + f.ld(g_u, idx(i, j + 1));
+    auto gs = (f.ld(g_b, idx(i, j)) + nb) / 4.0;
+    auto old = f.ld(g_u, idx(i, j));
+    f.st(g_u, idx(i, j), old + (gs - old) * kOmega);
+  };
+
+  f.for_("it", 0, kNiter, [&](hl::Value) {
+    f.region(r_main, [&] {
+      f.region(r_lower, [&] {  // forward sweep (lower triangular order)
+        f.for_("i", 1, kN - 1, [&](hl::Value i) {
+          f.for_("j", 1, kN - 1, [&](hl::Value j) { relax(i, j); });
+        });
+      });
+      f.region(r_upper, [&] {  // backward sweep (upper triangular order)
+        f.for_("ri", 1, kN - 1, [&](hl::Value ri) {
+          auto i = f.c_i64(kN - 1) - ri;
+          f.for_("rj", 1, kN - 1, [&](hl::Value rj) {
+            auto j = f.c_i64(kN - 1) - rj;
+            relax(i, j);
+          });
+        });
+      });
+      f.region(r_resid, [&] {  // residual norm of the 5-point system
+        auto sum = f.var_f64("sum", 0.0);
+        f.for_("i", 1, kN - 1, [&](hl::Value i) {
+          f.for_("j", 1, kN - 1, [&](hl::Value j) {
+            auto au = f.ld(g_u, idx(i, j)) * 4.0 -
+                      (f.ld(g_u, idx(i - 1, j)) + f.ld(g_u, idx(i + 1, j)) +
+                       f.ld(g_u, idx(i, j - 1)) + f.ld(g_u, idx(i, j + 1)));
+            auto rr = f.ld(g_b, idx(i, j)) - au;
+            sum.set(sum.get() + rr * rr);
+          });
+        });
+        sum.set(f.fsqrt(sum.get()));
+      });
+    });
+  });
+
+  // Verification: solution checksum against the baked reference.
+  auto chk = f.var_f64("chk", 0.0);
+  f.for_("i", 0, kN * kN, [&](hl::Value i) {
+    chk.set(chk.get() + f.ld(g_u, i));
+  });
+  auto c = chk.get();
+  auto pass = f.select(f.fabs_(c - f.c_f64(ref))
+                           .le(f.fabs_(f.c_f64(ref)) * 1e-6 + 1e-10),
+                       f.c_i64(1), f.c_i64(0));
+  f.emit(pass);
+  f.emit(c);
+  f.ret();
+  f.finish();
+
+  AppSpec spec;
+  spec.name = "lu";
+  spec.analysis_regions = {{r_lower, "lu_lower", 0, 0},
+                           {r_upper, "lu_upper", 0, 0},
+                           {r_resid, "lu_resid", 0, 0}};
+  spec.main_region = r_main;
+  spec.main_iters = static_cast<int>(kNiter);
+  spec.verify_rel_tol = 1e-6;
+  spec.verifier = standard_verifier(spec.verify_rel_tol);
+  spec.base.max_instructions = std::uint64_t{1} << 28;
+  spec.module = pb.finish();
+  return spec;
+}
+
+}  // namespace
+
+AppSpec build_lu() {
+  return bake([](double ref) { return build_lu_impl(ref); });
+}
+
+}  // namespace ft::apps

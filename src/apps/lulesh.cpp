@@ -1,0 +1,166 @@
+// LULESH proxy — the hourglass-force kernel and nodal update of LULESH's
+// LagrangeNodal phase, on a 2x2x2 element / 3x3x3 node mesh.
+//
+// The single analysis region l_a covers the per-element hourglass force
+// computation transcribed from the paper's Fig. 8:
+//     hxx[i]  = sum_n hourgam[n][i] * xd[node(n)]        (4-wide gather)
+//     hgfz[n] = coeff * sum_i hourgam[n][i] * hxx[i]     (8-wide scatter)
+// hourgam[][] and hxx[] are temporaries that die after the element — the
+// Dead Corrupted Locations shape of Fig. 7 — and the force scatter walks
+// the nodelist indirection, whose corruption is the paper's explanation for
+// LULESH's crash-heavy, low-success-rate profile. Final energies print in
+// truncated "%12.6e" form (Pattern 5).
+#include <vector>
+
+#include "apps/app.h"
+#include "hl/builder.h"
+
+namespace ft::apps {
+
+namespace {
+
+constexpr std::int64_t kElems = 8;    // 2x2x2 elements
+constexpr std::int64_t kNodes = 27;   // 3x3x3 nodes
+constexpr std::int64_t kNiter = 10;   // time steps
+constexpr double kDt = 0.01;
+constexpr double kCoeff = -0.2;
+
+std::vector<std::int64_t> make_nodelist() {
+  std::vector<std::int64_t> nl(kElems * 8);
+  std::int64_t e = 0;
+  auto node = [](std::int64_t i, std::int64_t j, std::int64_t k) {
+    return (i * 3 + j) * 3 + k;
+  };
+  for (std::int64_t i = 0; i < 2; ++i) {
+    for (std::int64_t j = 0; j < 2; ++j) {
+      for (std::int64_t k = 0; k < 2; ++k) {
+        std::int64_t* c = &nl[e * 8];
+        c[0] = node(i, j, k);
+        c[1] = node(i, j, k + 1);
+        c[2] = node(i, j + 1, k);
+        c[3] = node(i, j + 1, k + 1);
+        c[4] = node(i + 1, j, k);
+        c[5] = node(i + 1, j, k + 1);
+        c[6] = node(i + 1, j + 1, k);
+        c[7] = node(i + 1, j + 1, k + 1);
+        e++;
+      }
+    }
+  }
+  return nl;
+}
+
+AppSpec build_lulesh_impl(double ref) {
+  hl::ProgramBuilder pb("lulesh", __FILE__);
+
+  auto g_nodelist = pb.global_init_i64("nodelist", make_nodelist());
+  auto g_xd = pb.global_f64("xd", kNodes);   // nodal velocities
+  auto g_fz = pb.global_f64("fz", kNodes);   // nodal forces
+  auto g_z = pb.global_f64("z", kNodes);     // nodal positions
+  // Hourglass shape vectors (the +-1 tensor basis used by LULESH).
+  std::vector<double> gamma(8 * 4);
+  const double gm[4][8] = {{1, 1, -1, -1, -1, -1, 1, 1},
+                           {1, -1, -1, 1, -1, 1, 1, -1},
+                           {1, -1, 1, -1, 1, -1, 1, -1},
+                           {-1, 1, -1, 1, 1, -1, 1, -1}};
+  for (std::int64_t n = 0; n < 8; ++n) {
+    for (std::int64_t i = 0; i < 4; ++i) gamma[n * 4 + i] = gm[i][n];
+  }
+  auto g_gamma = pb.global_init_f64("gamma", gamma);
+  auto g_hourgam = pb.global_f64("hourgam", 8 * 4);  // per-element temp
+  auto g_hxx = pb.global_f64("hxx", 4);              // per-element temp
+
+  const auto r_main = pb.declare_region("main", __LINE__, __LINE__);
+  const auto r_l_a = pb.declare_region("l_a", __LINE__, __LINE__);
+
+  const auto f_main = pb.declare_function("main");
+  auto f = pb.define(f_main);
+  f.at(__LINE__);
+
+  // Initial velocities: a radial kick from the randlc stream.
+  f.for_("n", 0, kNodes, [&](hl::Value n) {
+    f.st(g_xd, n, f.rand_() * 0.1 + 0.01);
+    f.st(g_z, n, f.sitofp(n) * 0.05);
+  });
+
+  f.for_("it", 0, kNiter, [&](hl::Value) {
+    f.region(r_main, [&] {
+      f.region(r_l_a, [&] {  // LagrangeNodal-like: hourglass forces
+        f.for_("n", 0, kNodes, [&](hl::Value n) { f.st(g_fz, n, 0.0); });
+        f.for_("e", 0, kElems, [&](hl::Value e) {
+          // hourgam: element-local modulation of the gamma basis.
+          f.for_("n", 0, 8, [&](hl::Value n) {
+            auto nd = f.ld(g_nodelist, e * 8 + n);
+            f.for_("i", 0, 4, [&](hl::Value i) {
+              f.st(g_hourgam, n * 4 + i,
+                   f.ld(g_gamma, n * 4 + i) +
+                       f.ld(g_z, nd) * 0.01);
+            });
+          });
+          // Fig. 8, first loop: hxx[i] = sum_n hourgam[n][i] * xd[node n].
+          f.for_("i", 0, 4, [&](hl::Value i) {
+            auto acc = f.var_f64("acc", 0.0);
+            f.for_("n", 0, 8, [&](hl::Value n) {
+              auto nd = f.ld(g_nodelist, e * 8 + n);
+              acc.set(acc.get() +
+                      f.ld(g_hourgam, n * 4 + i) * f.ld(g_xd, nd));
+            });
+            f.st(g_hxx, i, acc.get());
+          });
+          // Fig. 8, second loop: hgfz[n] scattered through the nodelist.
+          f.for_("n", 0, 8, [&](hl::Value n) {
+            auto hg = (f.ld(g_hourgam, n * 4 + 0) * f.ld(g_hxx, 0) +
+                       f.ld(g_hourgam, n * 4 + 1) * f.ld(g_hxx, 1) +
+                       f.ld(g_hourgam, n * 4 + 2) * f.ld(g_hxx, 2) +
+                       f.ld(g_hourgam, n * 4 + 3) * f.ld(g_hxx, 3)) *
+                      kCoeff;
+            auto nd = f.ld(g_nodelist, e * 8 + n);
+            f.st(g_fz, nd, f.ld(g_fz, nd) + hg);
+          });
+        });
+        // Nodal integration.
+        f.for_("n", 0, kNodes, [&](hl::Value n) {
+          auto vel = f.ld(g_xd, n) + f.ld(g_fz, n) * kDt;
+          f.st(g_xd, n, vel);
+          f.st(g_z, n, f.ld(g_z, n) + vel * kDt);
+        });
+      });
+    });
+  });
+
+  // Verification: kinetic-energy analog, reported in truncated form
+  // ("%12.6e", Pattern 5) and compared against the baked golden value.
+  auto energy = f.var_f64("energy", 0.0);
+  f.for_("n", 0, kNodes, [&](hl::Value n) {
+    auto v = f.ld(g_xd, n);
+    energy.set(energy.get() + v * v);
+  });
+  auto en = energy.get();
+  auto errv = f.fabs_(en - f.c_f64(ref));
+  auto pass = f.select(errv.le(f.fabs_(f.c_f64(ref)) * 1e-4 + 1e-12),
+                       f.c_i64(1), f.c_i64(0));
+  f.emit(pass);
+  f.emit_trunc(en, 6);
+  f.emit(en);
+  f.ret();
+  f.finish();
+
+  AppSpec spec;
+  spec.name = "lulesh";
+  spec.analysis_regions = {{r_l_a, "l_a", 0, 0}};
+  spec.main_region = r_main;
+  spec.main_iters = static_cast<int>(kNiter);
+  spec.verify_rel_tol = 1e-4;
+  spec.verifier = standard_verifier(spec.verify_rel_tol);
+  spec.base.max_instructions = std::uint64_t{1} << 28;
+  spec.module = pb.finish();
+  return spec;
+}
+
+}  // namespace
+
+AppSpec build_lulesh() {
+  return bake([](double ref) { return build_lulesh_impl(ref); });
+}
+
+}  // namespace ft::apps

@@ -1,0 +1,215 @@
+// MG — a two-level V-cycle multigrid smoother on a 3D grid, after NAS MG.
+//
+// The analysis regions mirror Table I:
+//   mg_a  resid: r = v - A u (7-point stencil)
+//   mg_b  rprj3: restriction of r to the coarse grid
+//   mg_c  coarse psinv + interp (prolongation of the coarse correction)
+//   mg_d  fine-grid psinv — a line-for-line transcription of the paper's
+//         Fig. 9: u[i3][i2][i1] += c[0]*r[...] + c[1]*(...+r1[i1]) +
+//         c[2]*(r2[i1]+r1[i1-1]+r1[i1+1]), with the temporary rows r1/r2
+//         recomputed per (i3,i2) pair (Dead Corrupted Location fodder).
+//
+// The smoother contracts, so an injected error in u shrinks every time the
+// V-cycle re-runs — the Repeated Additions dynamics of Table II.
+#include <vector>
+
+#include "apps/app.h"
+#include "hl/builder.h"
+
+namespace ft::apps {
+
+namespace {
+
+constexpr std::int64_t kN = 8;              // fine grid points per dimension
+constexpr std::int64_t kM = 4;              // coarse grid points per dimension
+constexpr std::int64_t kN3 = kN * kN * kN;  // 512
+constexpr std::int64_t kM3 = kM * kM * kM;  // 64
+constexpr std::int64_t kNiter = 4;
+constexpr double kC0 = 1.0 / 6.0;   // psinv center weight
+constexpr double kC1 = 1.0 / 24.0;  // face-neighbor weight
+constexpr double kC2 = 1.0 / 48.0;  // edge-neighbor weight
+
+AppSpec build_mg_impl(double ref) {
+  hl::ProgramBuilder pb("mg", __FILE__);
+
+  // Source term: a handful of +1/-1 point charges (NAS MG style).
+  std::vector<double> v_init(kN3, 0.0);
+  auto at = [](std::int64_t i3, std::int64_t i2, std::int64_t i1) {
+    return (i3 * kN + i2) * kN + i1;
+  };
+  v_init[at(2, 2, 2)] = 1.0;
+  v_init[at(5, 5, 5)] = -1.0;
+  v_init[at(2, 5, 3)] = 1.0;
+  v_init[at(5, 2, 6)] = -1.0;
+
+  auto g_v = pb.global_init_f64("v", v_init);
+  auto g_u = pb.global_f64("u", kN3);
+  auto g_r = pb.global_f64("r", kN3);
+  auto g_u2 = pb.global_f64("u2", kM3);
+  auto g_r2 = pb.global_f64("r2", kM3);
+  auto g_r1row = pb.global_f64("r1row", kN);   // Fig. 9's r1[] temp row
+  auto g_r2row = pb.global_f64("r2row", kN);   // Fig. 9's r2[] temp row
+
+  const auto r_main = pb.declare_region("main", __LINE__, __LINE__);
+  const auto r_mg_a = pb.declare_region("mg_a", __LINE__, __LINE__);
+  const auto r_mg_b = pb.declare_region("mg_b", __LINE__, __LINE__);
+  const auto r_mg_c = pb.declare_region("mg_c", __LINE__, __LINE__);
+  const auto r_mg_d = pb.declare_region("mg_d", __LINE__, __LINE__);
+
+  const auto f_main = pb.declare_function("main");
+  auto f = pb.define(f_main);
+  f.at(__LINE__);
+
+  auto fine_idx = [&](hl::Value i3, hl::Value i2, hl::Value i1) {
+    return (i3 * kN + i2) * kN + i1;
+  };
+  auto coarse_idx = [&](hl::Value i3, hl::Value i2, hl::Value i1) {
+    return (i3 * kM + i2) * kM + i1;
+  };
+
+  // r = v - A u over the fine interior; A = 7-point (6u - sum(neighbors)).
+  auto resid = [&] {
+    f.for_("i3", 1, kN - 1, [&](hl::Value i3) {
+      f.for_("i2", 1, kN - 1, [&](hl::Value i2) {
+        f.for_("i1", 1, kN - 1, [&](hl::Value i1) {
+          auto c = f.ld(g_u, fine_idx(i3, i2, i1));
+          auto nb = f.ld(g_u, fine_idx(i3, i2, i1 - 1)) +
+                    f.ld(g_u, fine_idx(i3, i2, i1 + 1)) +
+                    f.ld(g_u, fine_idx(i3, i2 - 1, i1)) +
+                    f.ld(g_u, fine_idx(i3, i2 + 1, i1)) +
+                    f.ld(g_u, fine_idx(i3 - 1, i2, i1)) +
+                    f.ld(g_u, fine_idx(i3 + 1, i2, i1));
+          auto au = c * 6.0 - nb;
+          f.st(g_r, fine_idx(i3, i2, i1), f.ld(g_v, fine_idx(i3, i2, i1)) - au);
+        });
+      });
+    });
+  };
+
+  f.for_("it", 0, kNiter, [&](hl::Value) {
+    f.region(r_main, [&] {
+      f.region(r_mg_a, [&] { resid(); });
+
+      f.region(r_mg_b, [&] {  // rprj3: r2 = restrict(r), 8-child average
+        f.for_("j3", 1, kM - 1, [&](hl::Value j3) {
+          f.for_("j2", 1, kM - 1, [&](hl::Value j2) {
+            f.for_("j1", 1, kM - 1, [&](hl::Value j1) {
+              auto i3 = j3 * 2, i2 = j2 * 2, i1 = j1 * 2;
+              auto s = f.ld(g_r, fine_idx(i3, i2, i1)) +
+                       f.ld(g_r, fine_idx(i3, i2, i1 + 1)) +
+                       f.ld(g_r, fine_idx(i3, i2 + 1, i1)) +
+                       f.ld(g_r, fine_idx(i3, i2 + 1, i1 + 1)) +
+                       f.ld(g_r, fine_idx(i3 + 1, i2, i1)) +
+                       f.ld(g_r, fine_idx(i3 + 1, i2, i1 + 1)) +
+                       f.ld(g_r, fine_idx(i3 + 1, i2 + 1, i1)) +
+                       f.ld(g_r, fine_idx(i3 + 1, i2 + 1, i1 + 1));
+              f.st(g_r2, coarse_idx(j3, j2, j1), s * 0.125);
+            });
+          });
+        });
+      });
+
+      f.region(r_mg_c, [&] {  // coarse psinv + interp back onto the fine grid
+        f.for_("z", 0, kM3, [&](hl::Value z) { f.st(g_u2, z, 0.0); });
+        f.for_("j3", 1, kM - 1, [&](hl::Value j3) {
+          f.for_("j2", 1, kM - 1, [&](hl::Value j2) {
+            f.for_("j1", 1, kM - 1, [&](hl::Value j1) {
+              auto rc = f.ld(g_r2, coarse_idx(j3, j2, j1));
+              f.st(g_u2, coarse_idx(j3, j2, j1),
+                   f.ld(g_u2, coarse_idx(j3, j2, j1)) + rc * (4.0 * kC0));
+            });
+          });
+        });
+        // interp: each coarse correction feeds its 8 fine children.
+        f.for_("j3", 1, kM - 1, [&](hl::Value j3) {
+          f.for_("j2", 1, kM - 1, [&](hl::Value j2) {
+            f.for_("j1", 1, kM - 1, [&](hl::Value j1) {
+              auto c = f.ld(g_u2, coarse_idx(j3, j2, j1));
+              auto i3 = j3 * 2, i2 = j2 * 2, i1 = j1 * 2;
+              for (std::int64_t d3 = 0; d3 < 2; ++d3) {
+                for (std::int64_t d2 = 0; d2 < 2; ++d2) {
+                  for (std::int64_t d1 = 0; d1 < 2; ++d1) {
+                    auto idx = fine_idx(i3 + d3, i2 + d2, i1 + d1);
+                    f.st(g_u, idx, f.ld(g_u, idx) + c);
+                  }
+                }
+              }
+            });
+          });
+        });
+      });
+
+      f.region(r_mg_d, [&] {  // fine psinv: the paper's Fig. 9
+        resid();               // refresh r after the coarse correction
+        f.for_("i3", 1, kN - 1, [&](hl::Value i3) {
+          f.for_("i2", 1, kN - 1, [&](hl::Value i2) {
+            f.for_("i1", 0, kN, [&](hl::Value i1) {
+              f.st(g_r1row, i1,
+                   f.ld(g_r, fine_idx(i3, i2 - 1, i1)) +
+                       f.ld(g_r, fine_idx(i3, i2 + 1, i1)) +
+                       f.ld(g_r, fine_idx(i3 - 1, i2, i1)) +
+                       f.ld(g_r, fine_idx(i3 + 1, i2, i1)));
+              f.st(g_r2row, i1,
+                   f.ld(g_r, fine_idx(i3 - 1, i2 - 1, i1)) +
+                       f.ld(g_r, fine_idx(i3 - 1, i2 + 1, i1)) +
+                       f.ld(g_r, fine_idx(i3 + 1, i2 - 1, i1)) +
+                       f.ld(g_r, fine_idx(i3 + 1, i2 + 1, i1)));
+            });
+            f.for_("i1", 1, kN - 1, [&](hl::Value i1) {
+              auto idx = fine_idx(i3, i2, i1);
+              f.st(g_u, idx,
+                   f.ld(g_u, idx) + f.ld(g_r, idx) * kC0 +
+                       (f.ld(g_r, fine_idx(i3, i2, i1 - 1)) +
+                        f.ld(g_r, fine_idx(i3, i2, i1 + 1)) +
+                        f.ld(g_r1row, i1)) *
+                           kC1 +
+                       (f.ld(g_r2row, i1) + f.ld(g_r1row, i1 - 1) +
+                        f.ld(g_r1row, i1 + 1)) *
+                           kC2);
+            });
+          });
+        });
+      });
+    });
+  });
+
+  // Verification: final residual norm against the baked golden norm.
+  resid();
+  auto sum = f.var_f64("sum", 0.0);
+  f.for_("j", 0, kN3, [&](hl::Value j) {
+    auto rj = f.ld(g_r, j);
+    sum.set(sum.get() + rj * rj);
+  });
+  auto rnorm = f.fsqrt(sum.get());
+  // Global norm via MiniMPI (identity in single-rank worlds).
+  auto global = f.mpi_allreduce(rnorm, ir::ReduceOp::Sum) /
+                f.sitofp(f.mpi_size());
+  auto pass = f.select(global.le(f.c_f64(ref) * 1.25 + 1e-12), f.c_i64(1),
+                       f.c_i64(0));
+  f.emit(pass);
+  f.emit(global);
+  f.ret();
+  f.finish();
+
+  AppSpec spec;
+  spec.name = "mg";
+  spec.analysis_regions = {{r_mg_a, "mg_a", 0, 0},
+                           {r_mg_b, "mg_b", 0, 0},
+                           {r_mg_c, "mg_c", 0, 0},
+                           {r_mg_d, "mg_d", 0, 0}};
+  spec.main_region = r_main;
+  spec.main_iters = static_cast<int>(kNiter);
+  spec.verify_rel_tol = 0.25;
+  spec.verifier = standard_verifier(spec.verify_rel_tol);
+  spec.base.max_instructions = std::uint64_t{1} << 28;
+  spec.module = pb.finish();
+  return spec;
+}
+
+}  // namespace
+
+AppSpec build_mg() {
+  return bake([](double ref) { return build_mg_impl(ref); });
+}
+
+}  // namespace ft::apps

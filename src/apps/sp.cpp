@@ -1,0 +1,105 @@
+// SP — approximate-factorization ADI sweeps with a pentadiagonal-like
+// stencil, after NAS SP: per main iteration, an explicit RHS with a wider
+// (+-2) stencil, then damped line relaxations in x and y.
+#include "apps/app.h"
+#include "hl/builder.h"
+
+namespace ft::apps {
+
+namespace {
+
+constexpr std::int64_t kN = 12;  // grid points per dimension
+constexpr std::int64_t kNiter = 4;
+
+AppSpec build_sp_impl(double ref) {
+  hl::ProgramBuilder pb("sp", __FILE__);
+
+  auto g_u = pb.global_f64("u", kN * kN);
+  auto g_rhs = pb.global_f64("rhs", kN * kN);
+
+  const auto r_main = pb.declare_region("main", __LINE__, __LINE__);
+  const auto r_rhs = pb.declare_region("sp_rhs", __LINE__, __LINE__);
+  const auto r_x = pb.declare_region("sp_xsweep", __LINE__, __LINE__);
+  const auto r_y = pb.declare_region("sp_ysweep", __LINE__, __LINE__);
+
+  const auto f_main = pb.declare_function("main");
+  auto f = pb.define(f_main);
+  f.at(__LINE__);
+
+  auto idx = [&](hl::Value i, hl::Value j) { return i * kN + j; };
+
+  f.for_("i", 0, kN * kN, [&](hl::Value i) {
+    f.st(g_u, i, f.rand_() * 0.5);
+  });
+
+  f.for_("it", 0, kNiter, [&](hl::Value) {
+    f.region(r_main, [&] {
+      f.region(r_rhs, [&] {  // pentadiagonal-flavoured explicit RHS
+        f.for_("i", 2, kN - 2, [&](hl::Value i) {
+          f.for_("j", 2, kN - 2, [&](hl::Value j) {
+            auto near = f.ld(g_u, idx(i - 1, j)) + f.ld(g_u, idx(i + 1, j)) +
+                        f.ld(g_u, idx(i, j - 1)) + f.ld(g_u, idx(i, j + 1));
+            auto far = f.ld(g_u, idx(i - 2, j)) + f.ld(g_u, idx(i + 2, j)) +
+                       f.ld(g_u, idx(i, j - 2)) + f.ld(g_u, idx(i, j + 2));
+            f.st(g_rhs, idx(i, j),
+                 f.ld(g_u, idx(i, j)) * 0.4 + near * 0.12 - far * 0.02);
+          });
+        });
+      });
+      f.region(r_x, [&] {  // damped x-direction relaxation
+        f.for_("i", 2, kN - 2, [&](hl::Value i) {
+          f.for_("j", 2, kN - 2, [&](hl::Value j) {
+            auto s = f.ld(g_rhs, idx(i, j)) +
+                     (f.ld(g_u, idx(i - 1, j)) + f.ld(g_u, idx(i + 1, j))) *
+                         0.15;
+            f.st(g_u, idx(i, j), f.ld(g_u, idx(i, j)) * 0.6 + s * 0.4);
+          });
+        });
+      });
+      f.region(r_y, [&] {  // damped y-direction relaxation
+        f.for_("i", 2, kN - 2, [&](hl::Value i) {
+          f.for_("j", 2, kN - 2, [&](hl::Value j) {
+            auto s = f.ld(g_rhs, idx(i, j)) +
+                     (f.ld(g_u, idx(i, j - 1)) + f.ld(g_u, idx(i, j + 1))) *
+                         0.15;
+            f.st(g_u, idx(i, j), f.ld(g_u, idx(i, j)) * 0.6 + s * 0.4);
+          });
+        });
+      });
+    });
+  });
+
+  auto chk = f.var_f64("chk", 0.0);
+  f.for_("i", 0, kN * kN, [&](hl::Value i) {
+    chk.set(chk.get() + f.ld(g_u, i));
+  });
+  auto c = chk.get();
+  auto pass = f.select(f.fabs_(c - f.c_f64(ref))
+                           .le(f.fabs_(f.c_f64(ref)) * 1e-6 + 1e-10),
+                       f.c_i64(1), f.c_i64(0));
+  f.emit(pass);
+  f.emit(c);
+  f.ret();
+  f.finish();
+
+  AppSpec spec;
+  spec.name = "sp";
+  spec.analysis_regions = {{r_rhs, "sp_rhs", 0, 0},
+                           {r_x, "sp_xsweep", 0, 0},
+                           {r_y, "sp_ysweep", 0, 0}};
+  spec.main_region = r_main;
+  spec.main_iters = static_cast<int>(kNiter);
+  spec.verify_rel_tol = 1e-6;
+  spec.verifier = standard_verifier(spec.verify_rel_tol);
+  spec.base.max_instructions = std::uint64_t{1} << 28;
+  spec.module = pb.finish();
+  return spec;
+}
+
+}  // namespace
+
+AppSpec build_sp() {
+  return bake([](double ref) { return build_sp_impl(ref); });
+}
+
+}  // namespace ft::apps

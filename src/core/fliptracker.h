@@ -1,0 +1,78 @@
+// The FlipTracker facade (Fig. 1 of the paper).
+//
+// Ties the substrate together for one application: fault-free golden run
+// and trace, region segmentation (step a), isolated region fault injection
+// (steps b-c), differential ACL / DDDG analysis (step d), pattern detection
+// and pattern-rate extraction. The bench harness and the examples drive
+// everything through this class.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "acl/diff.h"
+#include "acl/table.h"
+#include "apps/app.h"
+#include "dddg/graph.h"
+#include "fault/campaign.h"
+#include "patterns/detect.h"
+#include "patterns/rates.h"
+#include "regions/io.h"
+#include "regions/tolerance.h"
+#include "trace/collector.h"
+#include "trace/events.h"
+#include "trace/segment.h"
+
+namespace ft::core {
+
+class FlipTracker {
+ public:
+  explicit FlipTracker(apps::AppSpec app);
+
+  [[nodiscard]] const apps::AppSpec& app() const noexcept { return app_; }
+
+  // --- golden artifacts (computed lazily, cached) ---------------------------
+  /// Fault-free run (no tracing).
+  const vm::RunResult& golden();
+  /// Fault-free traced run. Costs memory proportional to the dynamic
+  /// instruction count; dropped with reset_trace().
+  const trace::Trace& golden_trace();
+  const std::vector<trace::RegionInstance>& region_instances();
+  const trace::LocationEvents& golden_events();
+  void reset_trace();
+
+  // --- campaigns (Figs. 5/6, Tables III/IV) ----------------------------------
+  [[nodiscard]] fault::SiteEnumerationResult enumerate_region_sites(
+      std::uint32_t region_id, std::uint32_t instance);
+  [[nodiscard]] fault::CampaignResult region_campaign(
+      std::uint32_t region_id, std::uint32_t instance,
+      fault::TargetClass target, const fault::CampaignConfig& config);
+  /// Whole-application campaign (internal sites over the full run).
+  [[nodiscard]] fault::CampaignResult app_campaign(
+      const fault::CampaignConfig& config);
+
+  // --- analyses ---------------------------------------------------------------
+  /// Differential run under one fault plan.
+  [[nodiscard]] acl::DiffResult diff_with(const vm::FaultPlan& plan,
+                                          std::size_t max_records = 0) const;
+  /// ACL series + pattern detection for one fault plan.
+  [[nodiscard]] patterns::PatternReport patterns_for(
+      const vm::FaultPlan& plan, std::size_t max_records = 0) const;
+  /// Fault-free pattern rates of the whole program (Table IV features).
+  [[nodiscard]] patterns::PatternRates pattern_rates();
+  /// DDDG of one region instance of the golden trace.
+  [[nodiscard]] dddg::Graph region_dddg(std::uint32_t region_id,
+                                        std::uint32_t instance);
+  /// Input/output/internal classification of one region instance.
+  [[nodiscard]] std::optional<regions::RegionIo> region_io(
+      std::uint32_t region_id, std::uint32_t instance);
+
+ private:
+  apps::AppSpec app_;
+  std::optional<vm::RunResult> golden_;
+  std::optional<trace::Trace> trace_;
+  std::optional<std::vector<trace::RegionInstance>> instances_;
+  std::optional<trace::LocationEvents> events_;
+};
+
+}  // namespace ft::core

@@ -1,0 +1,118 @@
+#include "dddg/graph.h"
+
+#include <sstream>
+
+#include "util/bits.h"
+#include "util/strfmt.h"
+
+namespace ft::dddg {
+
+Graph Graph::build(std::span<const vm::DynInstr> slice) {
+  Graph g;
+  // Last in-slice producer node of each location.
+  std::unordered_map<vm::Location, std::uint32_t> producer;
+
+  auto root_for = [&](vm::Location loc, const vm::DynInstr& r,
+                      std::uint64_t bits, ir::Type t) -> std::uint32_t {
+    const auto it = producer.find(loc);
+    if (it != producer.end()) return it->second;
+    Node n;
+    n.dyn_index = r.index;
+    n.loc = loc;
+    n.op = r.op;
+    n.type = t;
+    n.bits = bits;
+    n.line = r.line;
+    n.is_root = true;
+    g.nodes_.push_back(n);
+    const auto id = static_cast<std::uint32_t>(g.nodes_.size() - 1);
+    producer.emplace(loc, id);
+    return id;
+  };
+
+  for (const auto& r : slice) {
+    // Resolve operand producers first (roots created lazily), for every
+    // record — pure control (condbr) still consumes values, so e.g. branch
+    // conditions fed from outside the slice become roots.
+    std::uint32_t dep[vm::kMaxTracedOps] = {kNoNode, kNoNode, kNoNode};
+    for (unsigned k = 0; k < r.nops; ++k) {
+      const vm::Location loc = r.op_loc[k];
+      if (loc == vm::kNoLoc) continue;
+      dep[k] = root_for(loc, r, r.op_bits[k], r.op_type[k]);
+    }
+
+    if (r.result_loc == vm::kNoLoc &&
+        !(r.op == ir::Opcode::Emit || r.op == ir::Opcode::EmitTrunc)) {
+      continue;  // no value node for pure control / markers
+    }
+
+    Node n;
+    n.dyn_index = r.index;
+    n.loc = r.result_loc;
+    n.op = r.op;
+    n.type = r.op == ir::Opcode::Store ? r.op_type[0] : r.type;
+    n.bits = r.result_bits;
+    n.line = r.line;
+    n.is_root = false;
+    g.nodes_.push_back(n);
+    const auto id = static_cast<std::uint32_t>(g.nodes_.size() - 1);
+    for (unsigned k = 0; k < r.nops; ++k) {
+      if (dep[k] != kNoNode) {
+        g.edges_.push_back(Edge{dep[k], id, static_cast<std::uint8_t>(k)});
+      }
+    }
+    if (r.result_loc != vm::kNoLoc) producer[r.result_loc] = id;
+  }
+  return g;
+}
+
+std::vector<std::uint32_t> Graph::roots() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].is_root) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> Graph::out_degrees() const {
+  std::vector<std::uint32_t> deg(nodes_.size(), 0);
+  for (const auto& e : edges_) deg[e.from]++;
+  return deg;
+}
+
+std::vector<std::uint32_t> Graph::leaves() const {
+  const auto deg = out_degrees();
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (deg[i] == 0 && !nodes_[i].is_root) out.push_back(i);
+  }
+  return out;
+}
+
+std::string to_dot(const Graph& g, const std::string& title) {
+  std::ostringstream os;
+  os << "digraph \"" << title << "\" {\n";
+  os << "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  for (std::uint32_t i = 0; i < g.nodes().size(); ++i) {
+    const auto& n = g.nodes()[i];
+    std::string value;
+    if (is_float(n.type)) {
+      value = util::format("{:.6g}", n.type == ir::Type::F32
+                                        ? double(util::bits_to_f32(n.bits))
+                                        : util::bits_to_f64(n.bits));
+    } else {
+      value = std::to_string(static_cast<std::int64_t>(n.bits));
+    }
+    os << util::format(
+        "  n{} [label=\"{}\\n{} = {}\\n@{}\"{}];\n", i, opcode_name(n.op),
+        vm::loc_to_string(n.loc), value, n.dyn_index,
+        n.is_root ? ", style=filled, fillcolor=lightblue" : "");
+  }
+  for (const auto& e : g.edges()) {
+    os << util::format("  n{} -> n{};\n", e.from, e.to);
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ft::dddg

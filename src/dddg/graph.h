@@ -1,0 +1,69 @@
+// Dynamic Data Dependency Graph (§III-B).
+//
+// Built per code-region instance from the dynamic record slice, after
+// Holewinski et al. (PLDI'12): vertices are dynamic values (one per record
+// that commits a value, plus one root per region input location); edges are
+// the operations transforming input values into output values. Root nodes
+// are the region's inputs, leaf nodes its outputs (§III-B).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "vm/observer.h"
+
+namespace ft::dddg {
+
+inline constexpr std::uint32_t kNoNode = ~std::uint32_t{0};
+
+struct Node {
+  std::uint64_t dyn_index = 0;  // record index (roots: first-use index)
+  vm::Location loc = vm::kNoLoc;
+  ir::Opcode op = ir::Opcode::Br;  // producing opcode (roots: first user op)
+  ir::Type type = ir::Type::Void;
+  std::uint64_t bits = 0;  // value carried by this node
+  std::uint32_t line = 0;
+  bool is_root = false;  // value flowed in from outside the slice
+};
+
+struct Edge {
+  std::uint32_t from = 0;  // producer node
+  std::uint32_t to = 0;    // consumer node
+  std::uint8_t operand = 0;
+};
+
+class Graph {
+ public:
+  /// Build the DDDG of a record slice (typically one region instance body).
+  static Graph build(std::span<const vm::DynInstr> slice);
+
+  [[nodiscard]] const std::vector<Node>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept {
+    return edges_;
+  }
+
+  /// Node ids of roots (region inputs).
+  [[nodiscard]] std::vector<std::uint32_t> roots() const;
+  /// Node ids of leaves: values no later in-slice instruction consumed.
+  [[nodiscard]] std::vector<std::uint32_t> leaves() const;
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
+
+  /// Out-degree per node (computed on demand).
+  [[nodiscard]] std::vector<std::uint32_t> out_degrees() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+};
+
+/// Render to Graphviz DOT (the paper uses Graphviz for the same purpose).
+[[nodiscard]] std::string to_dot(const Graph& g, const std::string& title);
+
+}  // namespace ft::dddg

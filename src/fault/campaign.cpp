@@ -1,0 +1,105 @@
+#include "fault/campaign.h"
+
+#include <atomic>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace ft::fault {
+
+namespace {
+
+/// Pick the site containing global bit offset `u` (sites weighted by width).
+template <typename Site, typename WidthFn>
+std::pair<const Site*, std::uint32_t> pick_weighted(
+    const std::vector<Site>& sites, std::uint64_t u, const WidthFn& width_of) {
+  for (const auto& s : sites) {
+    const std::uint64_t w = width_of(s);
+    if (u < w) return {&s, static_cast<std::uint32_t>(u)};
+    u -= w;
+  }
+  return {nullptr, 0};
+}
+
+}  // namespace
+
+std::vector<vm::FaultPlan> sample_plans(const SiteEnumerationResult& sites,
+                                        TargetClass target,
+                                        std::size_t trials,
+                                        std::uint64_t seed) {
+  std::vector<vm::FaultPlan> plans;
+  plans.reserve(trials);
+  util::Rng rng(seed);
+  const auto& pop = sites.sites;
+
+  if (target == TargetClass::Internal) {
+    const std::uint64_t total = pop.internal_bits();
+    if (total == 0) return plans;
+    for (std::size_t t = 0; t < trials; ++t) {
+      const auto [site, bit] = pick_weighted(
+          pop.internal, rng.below(total),
+          [](const InternalSite& s) { return std::uint64_t{s.width_bits}; });
+      if (site) plans.push_back(plan_for_internal(*site, bit));
+    }
+  } else {
+    const std::uint64_t total = pop.input_bits();
+    if (total == 0) return plans;
+    for (std::size_t t = 0; t < trials; ++t) {
+      const auto [site, bit] = pick_weighted(
+          pop.input, rng.below(total), [](const InputSite& s) {
+            return std::uint64_t{8} * s.width_bytes;
+          });
+      if (site) plans.push_back(plan_for_input(pop, *site, bit));
+    }
+  }
+  return plans;
+}
+
+CampaignResult run_campaign(const ir::Module& m,
+                            const SiteEnumerationResult& sites,
+                            TargetClass target,
+                            const std::vector<vm::OutputValue>& golden,
+                            const Verifier& verify, const vm::VmOptions& base,
+                            const CampaignConfig& config) {
+  CampaignResult out;
+  const auto& pop = sites.sites;
+  out.population_bits =
+      target == TargetClass::Internal ? pop.internal_bits() : pop.input_bits();
+  if (out.population_bits == 0) return out;
+
+  std::size_t trials = config.trials;
+  if (trials == 0) {
+    trials = util::fault_injection_sample_size(
+        out.population_bits, config.confidence, config.margin);
+  }
+
+  const auto plans = sample_plans(sites, target, trials, config.seed);
+  out.trials = plans.size();
+
+  vm::VmOptions run_opts = base;
+  run_opts.observer = nullptr;
+  run_opts.max_instructions = static_cast<std::uint64_t>(
+      config.budget_factor *
+      static_cast<double>(sites.fault_free_instructions));
+  if (run_opts.max_instructions < 1024) run_opts.max_instructions = 1024;
+
+  std::atomic<std::size_t> success{0}, failed{0}, crashed{0};
+  auto* pool = config.pool ? config.pool : &util::global_pool();
+  pool->parallel_for(plans.size(), [&](std::size_t i) {
+    vm::VmOptions opts = run_opts;
+    opts.fault = plans[i];
+    const auto result = vm::Vm::run(m, opts);
+    switch (classify_outcome(result, golden, verify)) {
+      case Outcome::VerificationSuccess: success.fetch_add(1); break;
+      case Outcome::VerificationFailed: failed.fetch_add(1); break;
+      case Outcome::Crashed: crashed.fetch_add(1); break;
+    }
+  });
+
+  out.success = success.load();
+  out.failed = failed.load();
+  out.crashed = crashed.load();
+  return out;
+}
+
+}  // namespace ft::fault

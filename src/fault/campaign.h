@@ -1,0 +1,63 @@
+// Statistical fault-injection campaigns (§IV-C).
+//
+// A campaign samples single-bit fault sites uniformly from a site
+// population (sites are (value, bit) pairs, so wider values weigh more),
+// runs one VM per injection — in parallel, each run independent — and
+// aggregates the success rate (Eq. 1). Trial counts default to Leveugle et
+// al.'s formula at the requested confidence/margin; the plan list is drawn
+// up-front from one seeded generator, so results are independent of thread
+// scheduling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/outcome.h"
+#include "fault/sites.h"
+#include "util/thread_pool.h"
+
+namespace ft::fault {
+
+struct CampaignConfig {
+  /// Number of injection trials; 0 derives it from the site population via
+  /// fault_injection_sample_size(confidence, margin).
+  std::size_t trials = 0;
+  double confidence = 0.95;
+  double margin = 0.03;
+  std::uint64_t seed = 0xF11Dull;
+  /// Hang budget: faulty runs may retire at most this multiple of the
+  /// fault-free instruction count before classifying as Crashed(hang).
+  double budget_factor = 8.0;
+  util::ThreadPool* pool = nullptr;  // nullptr = util::global_pool()
+};
+
+struct CampaignResult {
+  std::size_t trials = 0;
+  std::size_t success = 0;
+  std::size_t failed = 0;
+  std::size_t crashed = 0;
+  std::uint64_t population_bits = 0;  // sampled site population size
+
+  [[nodiscard]] double success_rate() const noexcept {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(success) /
+                             static_cast<double>(trials);
+  }
+};
+
+/// Run a campaign against one region instance's site population.
+/// `golden` is the fault-free output (from a completed run with the same
+/// `base` options); `verify` is the application's verification phase.
+[[nodiscard]] CampaignResult run_campaign(
+    const ir::Module& m, const SiteEnumerationResult& sites,
+    TargetClass target, const std::vector<vm::OutputValue>& golden,
+    const Verifier& verify, const vm::VmOptions& base,
+    const CampaignConfig& config);
+
+/// Draw the fault plans a campaign would execute (exposed for tests and for
+/// analyses that re-run selected injections with tracing).
+[[nodiscard]] std::vector<vm::FaultPlan> sample_plans(
+    const SiteEnumerationResult& sites, TargetClass target,
+    std::size_t trials, std::uint64_t seed);
+
+}  // namespace ft::fault

@@ -1,0 +1,36 @@
+#include "fault/outcome.h"
+
+#include <cmath>
+
+namespace ft::fault {
+
+Outcome classify_outcome(const vm::RunResult& faulty,
+                         const std::vector<vm::OutputValue>& golden,
+                         const Verifier& verify) {
+  if (!faulty.completed()) return Outcome::Crashed;
+  if (faulty.outputs == golden) return Outcome::VerificationSuccess;
+  return verify(faulty.outputs, golden) ? Outcome::VerificationSuccess
+                                        : Outcome::VerificationFailed;
+}
+
+Verifier tolerance_verifier(double rel_tol, double abs_tol) {
+  return [rel_tol, abs_tol](const std::vector<vm::OutputValue>& got,
+                            const std::vector<vm::OutputValue>& golden) {
+    if (got.size() != golden.size()) return false;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (got[i].type != golden[i].type) return false;
+      if (is_float(golden[i].type)) {
+        const double g = golden[i].as_f64();
+        const double v = got[i].as_f64();
+        if (std::isnan(v) || std::isinf(v)) return false;
+        const double err = std::fabs(v - g);
+        if (err > abs_tol && err > rel_tol * std::fabs(g)) return false;
+      } else if (got[i].bits != golden[i].bits) {
+        return false;
+      }
+    }
+    return true;
+  };
+}
+
+}  // namespace ft::fault

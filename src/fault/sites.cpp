@@ -1,0 +1,105 @@
+#include "fault/sites.h"
+
+#include "trace/collector.h"
+#include "trace/events.h"
+
+namespace ft::fault {
+
+std::uint64_t SitePopulation::internal_bits() const {
+  std::uint64_t n = 0;
+  for (const auto& s : internal) n += s.width_bits;
+  return n;
+}
+
+std::uint64_t SitePopulation::input_bits() const {
+  std::uint64_t n = 0;
+  for (const auto& s : input) n += std::uint64_t{8} * s.width_bytes;
+  return n;
+}
+
+SiteEnumerationResult enumerate_sites(const ir::Module& m,
+                                      std::uint32_t region_id,
+                                      std::uint32_t instance,
+                                      const vm::VmOptions& base) {
+  SiteEnumerationResult out;
+  out.sites.region_id = region_id;
+  out.sites.instance = instance;
+
+  trace::TraceCollector collector;
+  vm::VmOptions opts = base;
+  opts.observer = &collector;
+  opts.fault = vm::FaultPlan::none();
+  const auto run = vm::Vm::run(m, opts);
+  out.fault_free_instructions = run.instructions;
+  if (!run.completed()) return out;
+
+  const auto& tr = collector.trace();
+  const auto instances = trace::segment_regions(tr.span());
+  const auto inst = trace::find_instance(instances, region_id, instance);
+  if (!inst || !inst->complete) return out;
+  out.region_found = true;
+
+  // Internal sites: every value committed inside the instance body.
+  const auto slice = tr.slice(inst->body_begin(), inst->body_end());
+  for (const auto& r : slice) {
+    if (r.result_loc == vm::kNoLoc) continue;
+    const ir::Type t = r.op == ir::Opcode::Store ? r.op_type[0] : r.type;
+    const auto width = bit_width(t);
+    if (width == 0) continue;
+    out.sites.internal.push_back(InternalSite{r.index, width});
+  }
+
+  // Input sites: memory-resident inputs of the instance, flipped at entry.
+  const auto events = trace::LocationEvents::build(tr.span());
+  const auto io = regions::classify_io(slice, events, *inst);
+  for (const auto& in : regions::memory_inputs(io)) {
+    const auto width = store_size(in.type);
+    if (width == 0) continue;
+    out.sites.input.push_back(
+        InputSite{vm::loc_address(in.loc), width});
+  }
+  return out;
+}
+
+SiteEnumerationResult enumerate_whole_program_sites(const ir::Module& m,
+                                                    const vm::VmOptions& base) {
+  // A lightweight observer suffices: only (index, width) pairs are needed,
+  // so the full trace is never materialized.
+  class SiteObserver final : public vm::ExecObserver {
+   public:
+    explicit SiteObserver(std::vector<InternalSite>& out) : out_(out) {}
+    void on_instruction(const vm::DynInstr& d) override {
+      if (d.result_loc == vm::kNoLoc) return;
+      const ir::Type t = d.op == ir::Opcode::Store ? d.op_type[0] : d.type;
+      const auto width = bit_width(t);
+      if (width != 0) out_.push_back(InternalSite{d.index, width});
+    }
+
+   private:
+    std::vector<InternalSite>& out_;
+  };
+
+  SiteEnumerationResult out;
+  SiteObserver obs(out.sites.internal);
+  vm::VmOptions opts = base;
+  opts.observer = &obs;
+  opts.fault = vm::FaultPlan::none();
+  const auto run = vm::Vm::run(m, opts);
+  out.fault_free_instructions = run.instructions;
+  out.region_found = run.completed();
+  if (!run.completed()) out.sites.internal.clear();
+  return out;
+}
+
+vm::FaultPlan plan_for_internal(const InternalSite& s, std::uint32_t bit) {
+  return vm::FaultPlan::result_bit(s.dyn_index, bit % s.width_bits);
+}
+
+vm::FaultPlan plan_for_input(const SitePopulation& pop, const InputSite& s,
+                             std::uint32_t bit) {
+  return vm::FaultPlan::region_input_bit(pop.region_id, pop.instance,
+                                         s.address, s.width_bytes,
+                                         bit % (s.width_bytes * 8));
+}
+
+}  // namespace ft::fault

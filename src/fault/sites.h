@@ -1,0 +1,72 @@
+// Injection-site enumeration (§IV-C).
+//
+// "Given an input or output location for a code region instance, we
+// calculate the number of fault injection sites by analyzing the dynamic
+// LLVM instruction trace." — here: one fault-free traced run, segmented by
+// region; internal sites are (dynamic instruction, bit) pairs over values
+// committed inside the instance, input sites are (memory input word, bit)
+// pairs flipped at region entry.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/module.h"
+#include "regions/io.h"
+#include "trace/segment.h"
+#include "vm/fault_plan.h"
+#include "vm/interp.h"
+
+namespace ft::fault {
+
+struct InternalSite {
+  std::uint64_t dyn_index = 0;
+  std::uint32_t width_bits = 64;
+};
+
+struct InputSite {
+  std::uint64_t address = 0;
+  std::uint32_t width_bytes = 8;
+};
+
+struct SitePopulation {
+  std::uint32_t region_id = 0;
+  std::uint32_t instance = 0;
+  std::vector<InternalSite> internal;
+  std::vector<InputSite> input;
+
+  /// Total single-bit fault sites (instruction/word x bit).
+  [[nodiscard]] std::uint64_t internal_bits() const;
+  [[nodiscard]] std::uint64_t input_bits() const;
+};
+
+/// Which location class a campaign targets (Fig. 5/6 report both).
+enum class TargetClass : std::uint8_t { Internal, Input };
+
+struct SiteEnumerationResult {
+  SitePopulation sites;
+  std::uint64_t fault_free_instructions = 0;  // for hang budgets
+  bool region_found = false;
+};
+
+/// Enumerate the sites of one region instance with one traced fault-free
+/// run. `base` supplies seed/mpi; its observer/fault fields are ignored.
+[[nodiscard]] SiteEnumerationResult enumerate_sites(const ir::Module& m,
+                                                    std::uint32_t region_id,
+                                                    std::uint32_t instance,
+                                                    const vm::VmOptions& base);
+
+/// Enumerate internal sites over the whole program (every committed value
+/// of the full run) — the population for whole-application success rates
+/// (Tables III and IV). Input sites are left empty.
+[[nodiscard]] SiteEnumerationResult enumerate_whole_program_sites(
+    const ir::Module& m, const vm::VmOptions& base);
+
+/// Build the concrete fault plan for one sampled site.
+[[nodiscard]] vm::FaultPlan plan_for_internal(const InternalSite& s,
+                                              std::uint32_t bit);
+[[nodiscard]] vm::FaultPlan plan_for_input(const SitePopulation& pop,
+                                           const InputSite& s,
+                                           std::uint32_t bit);
+
+}  // namespace ft::fault

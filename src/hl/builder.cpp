@@ -1,0 +1,674 @@
+#include "hl/builder.h"
+
+#include <cassert>
+
+#include "util/bits.h"
+
+namespace ft::hl {
+
+using ir::CmpPred;
+using ir::Opcode;
+using ir::Operand;
+using ir::Type;
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+Value Value::make_imm_i(FunctionBuilder* fb, std::int64_t v, Type t) {
+  Value x;
+  x.fb_ = fb;
+  x.kind_ = Kind::ImmI;
+  x.imm_i_ = v;
+  x.type_ = t;
+  return x;
+}
+
+Value Value::make_imm_f(FunctionBuilder* fb, double v, Type t) {
+  Value x;
+  x.fb_ = fb;
+  x.kind_ = Kind::ImmF;
+  x.imm_f_ = v;
+  x.type_ = t;
+  return x;
+}
+
+Value Value::make_arg(FunctionBuilder* fb, std::uint32_t index, Type t) {
+  Value x;
+  x.fb_ = fb;
+  x.kind_ = Kind::Arg;
+  x.reg_ = index;
+  x.type_ = t;
+  return x;
+}
+
+Value Value::operator+(const Value& rhs) const {
+  return fb_->binary(Opcode::Add, Opcode::FAdd, *this, rhs);
+}
+Value Value::operator-(const Value& rhs) const {
+  return fb_->binary(Opcode::Sub, Opcode::FSub, *this, rhs);
+}
+Value Value::operator*(const Value& rhs) const {
+  return fb_->binary(Opcode::Mul, Opcode::FMul, *this, rhs);
+}
+Value Value::operator/(const Value& rhs) const {
+  return fb_->binary(Opcode::SDiv, Opcode::FDiv, *this, rhs);
+}
+Value Value::operator%(const Value& rhs) const {
+  assert(is_int(type_));
+  return fb_->binary(Opcode::SRem, Opcode::SRem, *this, rhs);
+}
+Value Value::operator&(const Value& rhs) const {
+  return fb_->binary(Opcode::And, Opcode::And, *this, rhs);
+}
+Value Value::operator|(const Value& rhs) const {
+  return fb_->binary(Opcode::Or, Opcode::Or, *this, rhs);
+}
+Value Value::operator^(const Value& rhs) const {
+  return fb_->binary(Opcode::Xor, Opcode::Xor, *this, rhs);
+}
+Value Value::operator<<(const Value& rhs) const {
+  return fb_->binary(Opcode::Shl, Opcode::Shl, *this, rhs);
+}
+Value Value::operator>>(const Value& rhs) const {
+  return fb_->binary(Opcode::AShr, Opcode::AShr, *this, rhs);
+}
+
+Value Value::eq(const Value& rhs) const { return fb_->cmp(CmpPred::Eq, *this, rhs); }
+Value Value::ne(const Value& rhs) const { return fb_->cmp(CmpPred::Ne, *this, rhs); }
+Value Value::lt(const Value& rhs) const { return fb_->cmp(CmpPred::Lt, *this, rhs); }
+Value Value::le(const Value& rhs) const { return fb_->cmp(CmpPred::Le, *this, rhs); }
+Value Value::gt(const Value& rhs) const { return fb_->cmp(CmpPred::Gt, *this, rhs); }
+Value Value::ge(const Value& rhs) const { return fb_->cmp(CmpPred::Ge, *this, rhs); }
+
+// ---------------------------------------------------------------------------
+// Var
+// ---------------------------------------------------------------------------
+
+Value Var::get() const {
+  return fb_->emit_result(Opcode::Load, type_,
+                          {Operand::reg(ptr_reg_, Type::Ptr)});
+}
+
+void Var::set(const Value& v) const {
+  assert(v.type() == type_);
+  fb_->emit_void(Opcode::Store,
+                 {fb_->as_operand(v), Operand::reg(ptr_reg_, Type::Ptr)});
+}
+
+void Var::set_i(std::int64_t v) const {
+  assert(is_int(type_));
+  fb_->emit_void(Opcode::Store, {Operand::imm(v, type_),
+                                 Operand::reg(ptr_reg_, Type::Ptr)});
+}
+
+void Var::set_f(double v) const {
+  assert(is_float(type_));
+  fb_->emit_void(Opcode::Store, {Operand::fimm(v, type_),
+                                 Operand::reg(ptr_reg_, Type::Ptr)});
+}
+
+Value Var::addr() const { return Value(fb_, ptr_reg_, Type::Ptr); }
+
+// ---------------------------------------------------------------------------
+// ProgramBuilder
+// ---------------------------------------------------------------------------
+
+ProgramBuilder::ProgramBuilder(std::string name, std::string file)
+    : mod_(std::move(name)), file_(std::move(file)) {}
+
+namespace {
+GlobalArray add_global(ir::Module& m, const std::string& name, Type t,
+                       std::uint64_t count, std::vector<std::uint64_t> init) {
+  ir::Global g;
+  g.name = name;
+  g.elem = t;
+  g.count = count;
+  g.init_bits = std::move(init);
+  return GlobalArray{m.add_global(std::move(g)), t};
+}
+}  // namespace
+
+GlobalArray ProgramBuilder::global_f64(const std::string& name,
+                                       std::uint64_t count) {
+  return add_global(mod_, name, Type::F64, count, {});
+}
+GlobalArray ProgramBuilder::global_f32(const std::string& name,
+                                       std::uint64_t count) {
+  return add_global(mod_, name, Type::F32, count, {});
+}
+GlobalArray ProgramBuilder::global_i64(const std::string& name,
+                                       std::uint64_t count) {
+  return add_global(mod_, name, Type::I64, count, {});
+}
+GlobalArray ProgramBuilder::global_i32(const std::string& name,
+                                       std::uint64_t count) {
+  return add_global(mod_, name, Type::I32, count, {});
+}
+
+GlobalArray ProgramBuilder::global_init_f64(const std::string& name,
+                                            const std::vector<double>& values) {
+  std::vector<std::uint64_t> bits;
+  bits.reserve(values.size());
+  for (const double v : values) bits.push_back(util::f64_to_bits(v));
+  return add_global(mod_, name, Type::F64, values.size(), std::move(bits));
+}
+
+GlobalArray ProgramBuilder::global_init_i64(
+    const std::string& name, const std::vector<std::int64_t>& values) {
+  std::vector<std::uint64_t> bits;
+  bits.reserve(values.size());
+  for (const auto v : values) bits.push_back(static_cast<std::uint64_t>(v));
+  return add_global(mod_, name, Type::I64, values.size(), std::move(bits));
+}
+
+std::uint32_t ProgramBuilder::declare_region(const std::string& name,
+                                             std::uint32_t line_begin,
+                                             std::uint32_t line_end) {
+  ir::RegionInfo r;
+  r.name = name;
+  r.file = file_;
+  r.line_begin = line_begin;
+  r.line_end = line_end;
+  return mod_.add_region(std::move(r));
+}
+
+std::uint32_t ProgramBuilder::declare_function(const std::string& name,
+                                               Type ret,
+                                               std::vector<ir::Param> params) {
+  ir::Function f;
+  f.name = name;
+  f.ret = ret;
+  f.params = std::move(params);
+  const auto id = mod_.add_function(std::move(f));
+  defined_.push_back(false);
+  if (name == "main") mod_.set_entry(id);
+  return id;
+}
+
+FunctionBuilder ProgramBuilder::define(std::uint32_t function_id) {
+  assert(function_id < mod_.num_functions());
+  assert(!defined_[function_id] && "function already defined");
+  defined_[function_id] = true;
+  return FunctionBuilder(this, function_id);
+}
+
+void ProgramBuilder::set_entry(std::uint32_t function_id) {
+  mod_.set_entry(function_id);
+}
+
+ir::Module ProgramBuilder::finish() {
+  for (std::size_t i = 0; i < defined_.size(); ++i) {
+    assert(defined_[i] && "declared function was never defined");
+    (void)i;
+  }
+  mod_.layout();
+  return std::move(mod_);
+}
+
+// ---------------------------------------------------------------------------
+// FunctionBuilder
+// ---------------------------------------------------------------------------
+
+FunctionBuilder::FunctionBuilder(ProgramBuilder* pb, std::uint32_t fid)
+    : pb_(pb), fid_(fid) {
+  const auto& sig = pb_->mod_.function(fid);
+  fn_.name = sig.name;
+  fn_.ret = sig.ret;
+  fn_.params = sig.params;
+  fn_.blocks.push_back(ir::BasicBlock{"entry", {}});
+}
+
+FunctionBuilder::FunctionBuilder(FunctionBuilder&& other) noexcept
+    : pb_(other.pb_),
+      fid_(other.fid_),
+      fn_(std::move(other.fn_)),
+      cur_block_(other.cur_block_),
+      cur_line_(other.cur_line_),
+      finished_(other.finished_) {
+  other.finished_ = true;  // disarm the moved-from destructor
+}
+
+FunctionBuilder::~FunctionBuilder() {
+  if (!finished_) finish();
+}
+
+void FunctionBuilder::finish() {
+  assert(!finished_);
+  assert(!fn_.blocks[cur_block_].instrs.empty() &&
+         is_terminator(fn_.blocks[cur_block_].instrs.back().op) &&
+         "current block must be terminated (call ret())");
+  finished_ = true;
+  pb_->mod_.function(fid_) = std::move(fn_);
+}
+
+std::uint32_t FunctionBuilder::new_block(const std::string& name) {
+  fn_.blocks.push_back(ir::BasicBlock{name, {}});
+  return static_cast<std::uint32_t>(fn_.blocks.size() - 1);
+}
+
+void FunctionBuilder::set_block(std::uint32_t b) { cur_block_ = b; }
+
+ir::Instruction& FunctionBuilder::append(ir::Instruction ins) {
+  ins.line = cur_line_;
+  auto& instrs = fn_.blocks[cur_block_].instrs;
+  instrs.push_back(std::move(ins));
+  return instrs.back();
+}
+
+Value FunctionBuilder::emit_result(Opcode op, Type t,
+                                   std::vector<Operand> ops, std::int64_t aux,
+                                   CmpPred pred) {
+  ir::Instruction ins;
+  ins.op = op;
+  ins.type = t;
+  ins.pred = pred;
+  ins.aux = aux;
+  ins.ops = std::move(ops);
+  ins.result = fn_.fresh_reg();
+  append(std::move(ins));
+  return Value(this, fn_.num_regs - 1, t);
+}
+
+void FunctionBuilder::emit_void(Opcode op, std::vector<Operand> ops,
+                                std::int64_t aux) {
+  ir::Instruction ins;
+  ins.op = op;
+  ins.aux = aux;
+  ins.ops = std::move(ops);
+  append(std::move(ins));
+}
+
+Operand FunctionBuilder::as_operand(const Value& v) const {
+  switch (v.kind_) {
+    case Value::Kind::Reg:
+      return Operand::reg(v.reg_, v.type_);
+    case Value::Kind::ImmI:
+      return Operand::imm(v.imm_i_, v.type_);
+    case Value::Kind::ImmF:
+      return Operand::fimm(v.imm_f_, v.type_);
+    case Value::Kind::Arg:
+      return Operand::arg(v.reg_, v.type_);
+    case Value::Kind::None:
+      break;
+  }
+  assert(false && "invalid value");
+  return Operand{};
+}
+
+Value FunctionBuilder::binary(Opcode int_op, Opcode float_op, const Value& a,
+                              const Value& b) {
+  assert(a.type() == b.type() && "binary op type mismatch");
+  const Opcode op = is_float(a.type()) ? float_op : int_op;
+  return emit_result(op, a.type(), {as_operand(a), as_operand(b)});
+}
+
+Value FunctionBuilder::cmp(CmpPred pred, const Value& a, const Value& b) {
+  assert(a.type() == b.type() && "cmp type mismatch");
+  const Opcode op = is_float(a.type()) ? Opcode::FCmp : Opcode::ICmp;
+  return emit_result(op, Type::I1, {as_operand(a), as_operand(b)}, 0, pred);
+}
+
+// --- constants --------------------------------------------------------------
+
+Value FunctionBuilder::c_i64(std::int64_t v) {
+  return Value::make_imm_i(this, v, Type::I64);
+}
+Value FunctionBuilder::c_i32(std::int32_t v) {
+  return Value::make_imm_i(this, v, Type::I32);
+}
+Value FunctionBuilder::c_f64(double v) {
+  return Value::make_imm_f(this, v, Type::F64);
+}
+Value FunctionBuilder::c_f32(float v) {
+  return Value::make_imm_f(this, v, Type::F32);
+}
+Value FunctionBuilder::c_bool(bool v) {
+  return Value::make_imm_i(this, v ? 1 : 0, Type::I1);
+}
+
+// --- scalars / arrays ---------------------------------------------------------
+
+namespace {
+std::int64_t alloc_bytes(Type t, std::uint64_t count) {
+  return static_cast<std::int64_t>(store_size(t) * count);
+}
+}  // namespace
+
+Var FunctionBuilder::var_i64(const std::string& name, std::int64_t init) {
+  auto ptr = emit_result(Opcode::Alloca, Type::Ptr, {}, alloc_bytes(Type::I64, 1));
+  (void)name;
+  Var v(this, ptr.reg_, Type::I64);
+  v.set(init);
+  return v;
+}
+
+Var FunctionBuilder::var_f64(const std::string& name, double init) {
+  auto ptr = emit_result(Opcode::Alloca, Type::Ptr, {}, alloc_bytes(Type::F64, 1));
+  (void)name;
+  Var v(this, ptr.reg_, Type::F64);
+  v.set(init);
+  return v;
+}
+
+Var FunctionBuilder::var_i32(const std::string& name, std::int32_t init) {
+  auto ptr = emit_result(Opcode::Alloca, Type::Ptr, {}, alloc_bytes(Type::I32, 1));
+  (void)name;
+  Var v(this, ptr.reg_, Type::I32);
+  v.set(static_cast<std::int64_t>(init));
+  return v;
+}
+
+Var FunctionBuilder::var_f32(const std::string& name, float init) {
+  auto ptr = emit_result(Opcode::Alloca, Type::Ptr, {}, alloc_bytes(Type::F32, 1));
+  (void)name;
+  Var v(this, ptr.reg_, Type::F32);
+  v.set(static_cast<double>(init));
+  return v;
+}
+
+LocalArray FunctionBuilder::local_f64(const std::string& name,
+                                      std::uint64_t count) {
+  (void)name;
+  auto ptr =
+      emit_result(Opcode::Alloca, Type::Ptr, {}, alloc_bytes(Type::F64, count));
+  return LocalArray(ptr.reg_, Type::F64);
+}
+
+LocalArray FunctionBuilder::local_i64(const std::string& name,
+                                      std::uint64_t count) {
+  (void)name;
+  auto ptr =
+      emit_result(Opcode::Alloca, Type::Ptr, {}, alloc_bytes(Type::I64, count));
+  return LocalArray(ptr.reg_, Type::I64);
+}
+
+Value FunctionBuilder::ld(GlobalArray a, const Value& index) {
+  const Type t = a.elem;
+  auto ptr = emit_result(Opcode::Gep, Type::Ptr,
+                         {Operand::global(a.index), as_operand(index)},
+                         store_size(t));
+  return emit_result(Opcode::Load, t, {as_operand(ptr)});
+}
+
+Value FunctionBuilder::ld(GlobalArray a, std::int64_t index) {
+  return ld(a, c_i64(index));
+}
+
+void FunctionBuilder::st(GlobalArray a, const Value& index, const Value& v) {
+  assert(v.type() == a.elem && "store element type mismatch");
+  auto ptr = emit_result(Opcode::Gep, Type::Ptr,
+                         {Operand::global(a.index), as_operand(index)},
+                         store_size(a.elem));
+  emit_void(Opcode::Store, {as_operand(v), as_operand(ptr)});
+}
+
+void FunctionBuilder::st(GlobalArray a, std::int64_t index, const Value& v) {
+  st(a, c_i64(index), v);
+}
+
+Value FunctionBuilder::ld(const LocalArray& a, const Value& index) {
+  auto ptr = emit_result(Opcode::Gep, Type::Ptr,
+                         {Operand::reg(a.ptr_reg_, Type::Ptr), as_operand(index)},
+                         store_size(a.elem_));
+  return emit_result(Opcode::Load, a.elem_, {as_operand(ptr)});
+}
+
+Value FunctionBuilder::ld(const LocalArray& a, std::int64_t index) {
+  return ld(a, c_i64(index));
+}
+
+void FunctionBuilder::st(const LocalArray& a, const Value& index,
+                         const Value& v) {
+  assert(v.type() == a.elem_ && "store element type mismatch");
+  auto ptr = emit_result(Opcode::Gep, Type::Ptr,
+                         {Operand::reg(a.ptr_reg_, Type::Ptr), as_operand(index)},
+                         store_size(a.elem_));
+  emit_void(Opcode::Store, {as_operand(v), as_operand(ptr)});
+}
+
+void FunctionBuilder::st(const LocalArray& a, std::int64_t index,
+                         const Value& v) {
+  st(a, c_i64(index), v);
+}
+
+Value FunctionBuilder::addr_of(GlobalArray a) {
+  return emit_result(Opcode::Gep, Type::Ptr,
+                     {Operand::global(a.index), Operand::imm(0, Type::I64)},
+                     store_size(a.elem));
+}
+
+Value FunctionBuilder::addr_of(const LocalArray& a) {
+  return Value(this, a.ptr_reg_, Type::Ptr);
+}
+
+Value FunctionBuilder::gep(const Value& base, const Value& index,
+                           std::int64_t stride) {
+  return emit_result(Opcode::Gep, Type::Ptr,
+                     {as_operand(base), as_operand(index)}, stride);
+}
+
+Value FunctionBuilder::ld_raw(const Value& ptr, Type t) {
+  return emit_result(Opcode::Load, t, {as_operand(ptr)});
+}
+
+void FunctionBuilder::st_raw(const Value& ptr, const Value& v) {
+  emit_void(Opcode::Store, {as_operand(v), as_operand(ptr)});
+}
+
+// --- arithmetic helpers -------------------------------------------------------
+
+Value FunctionBuilder::neg(const Value& v) {
+  if (is_float(v.type())) {
+    return emit_result(Opcode::FNeg, v.type(), {as_operand(v)});
+  }
+  return Value::make_imm_i(this, 0, v.type()) - v;
+}
+
+Value FunctionBuilder::fsqrt(const Value& v) {
+  return emit_result(Opcode::FSqrt, v.type(), {as_operand(v)});
+}
+Value FunctionBuilder::fabs_(const Value& v) {
+  return emit_result(Opcode::FAbs, v.type(), {as_operand(v)});
+}
+Value FunctionBuilder::ffloor(const Value& v) {
+  return emit_result(Opcode::FFloor, v.type(), {as_operand(v)});
+}
+
+Value FunctionBuilder::lshr(const Value& v, const Value& amount) {
+  return emit_result(Opcode::LShr, v.type(),
+                     {as_operand(v), as_operand(amount)});
+}
+Value FunctionBuilder::lshr(const Value& v, std::int64_t amount) {
+  return lshr(v, Value::make_imm_i(this, amount, v.type()));
+}
+
+Value FunctionBuilder::select(const Value& cond, const Value& a,
+                              const Value& b) {
+  assert(cond.type() == Type::I1);
+  assert(a.type() == b.type());
+  return emit_result(Opcode::Select, a.type(),
+                     {as_operand(cond), as_operand(a), as_operand(b)});
+}
+
+Value FunctionBuilder::min_(const Value& a, const Value& b) {
+  return select(a.lt(b), a, b);
+}
+Value FunctionBuilder::max_(const Value& a, const Value& b) {
+  return select(a.gt(b), a, b);
+}
+
+// --- casts --------------------------------------------------------------------
+
+Value FunctionBuilder::trunc_to_i32(const Value& v) {
+  return emit_result(Opcode::Trunc, Type::I32, {as_operand(v)});
+}
+Value FunctionBuilder::sext_to_i64(const Value& v) {
+  return emit_result(Opcode::SExt, Type::I64, {as_operand(v)});
+}
+Value FunctionBuilder::zext_to_i64(const Value& v) {
+  return emit_result(Opcode::ZExt, Type::I64, {as_operand(v)});
+}
+Value FunctionBuilder::fptrunc_to_f32(const Value& v) {
+  return emit_result(Opcode::FPTrunc, Type::F32, {as_operand(v)});
+}
+Value FunctionBuilder::fpext_to_f64(const Value& v) {
+  return emit_result(Opcode::FPExt, Type::F64, {as_operand(v)});
+}
+Value FunctionBuilder::fptosi(const Value& v, Type to) {
+  return emit_result(Opcode::FPToSI, to, {as_operand(v)});
+}
+Value FunctionBuilder::sitofp(const Value& v, Type to) {
+  return emit_result(Opcode::SIToFP, to, {as_operand(v)});
+}
+
+// --- control flow ----------------------------------------------------------------
+
+void FunctionBuilder::for_(const std::string& name, const Value& lo,
+                           const Value& hi, const IndexBodyFn& body) {
+  Var i = var_i64(name);
+  i.set(lo);
+  const auto header = new_block(name + ".header");
+  const auto body_b = new_block(name + ".body");
+  const auto exit_b = new_block(name + ".exit");
+
+  emit_void(Opcode::Br, {Operand::block(header)});
+  set_block(header);
+  Value iv = i.get();
+  Value cond = iv.lt(hi);
+  emit_void(Opcode::CondBr,
+            {as_operand(cond), Operand::block(body_b), Operand::block(exit_b)});
+  set_block(body_b);
+  body(iv);
+  i.set(i.get() + 1);
+  emit_void(Opcode::Br, {Operand::block(header)});
+  set_block(exit_b);
+}
+
+void FunctionBuilder::for_(const std::string& name, std::int64_t lo,
+                           std::int64_t hi, const IndexBodyFn& body) {
+  for_(name, c_i64(lo), c_i64(hi), body);
+}
+
+void FunctionBuilder::for_(const std::string& name, std::int64_t lo,
+                           const Value& hi, const IndexBodyFn& body) {
+  for_(name, c_i64(lo), hi, body);
+}
+
+void FunctionBuilder::while_(const CondFn& cond, const BodyFn& body) {
+  const auto header = new_block("while.header");
+  const auto body_b = new_block("while.body");
+  const auto exit_b = new_block("while.exit");
+
+  emit_void(Opcode::Br, {Operand::block(header)});
+  set_block(header);
+  Value c = cond();
+  emit_void(Opcode::CondBr,
+            {as_operand(c), Operand::block(body_b), Operand::block(exit_b)});
+  set_block(body_b);
+  body();
+  emit_void(Opcode::Br, {Operand::block(header)});
+  set_block(exit_b);
+}
+
+void FunctionBuilder::if_(const Value& cond, const BodyFn& then_body) {
+  const auto then_b = new_block("if.then");
+  const auto join_b = new_block("if.join");
+  emit_void(Opcode::CondBr,
+            {as_operand(cond), Operand::block(then_b), Operand::block(join_b)});
+  set_block(then_b);
+  then_body();
+  emit_void(Opcode::Br, {Operand::block(join_b)});
+  set_block(join_b);
+}
+
+void FunctionBuilder::if_else(const Value& cond, const BodyFn& then_body,
+                              const BodyFn& else_body) {
+  const auto then_b = new_block("if.then");
+  const auto else_b = new_block("if.else");
+  const auto join_b = new_block("if.join");
+  emit_void(Opcode::CondBr,
+            {as_operand(cond), Operand::block(then_b), Operand::block(else_b)});
+  set_block(then_b);
+  then_body();
+  emit_void(Opcode::Br, {Operand::block(join_b)});
+  set_block(else_b);
+  else_body();
+  emit_void(Opcode::Br, {Operand::block(join_b)});
+  set_block(join_b);
+}
+
+void FunctionBuilder::unless(const Value& cond, const BodyFn& body) {
+  if_else(cond, [] {}, body);
+}
+
+void FunctionBuilder::region(std::uint32_t region_id, const BodyFn& body) {
+  emit_void(Opcode::RegionEnter, {}, region_id);
+  body();
+  emit_void(Opcode::RegionExit, {}, region_id);
+}
+
+Value FunctionBuilder::call(std::uint32_t function_id,
+                            const std::vector<Value>& args) {
+  const auto& callee = pb_->mod_.function(function_id);
+  assert(callee.params.size() == args.size() && "call arity mismatch");
+  std::vector<Operand> ops;
+  ops.reserve(args.size());
+  for (const auto& a : args) ops.push_back(as_operand(a));
+  if (callee.ret == Type::Void) {
+    // Calls always define a register slot for uniform handling; a void call
+    // defines an I64 zero the program never reads.
+    return emit_result(Opcode::Call, Type::I64, std::move(ops), function_id);
+  }
+  return emit_result(Opcode::Call, callee.ret, std::move(ops), function_id);
+}
+
+Value FunctionBuilder::arg(std::uint32_t index) {
+  assert(index < fn_.params.size());
+  return Value::make_arg(this, index, fn_.params[index].type);
+}
+
+void FunctionBuilder::ret() { emit_void(Opcode::Ret, {}); }
+
+void FunctionBuilder::ret(const Value& v) {
+  emit_void(Opcode::Ret, {as_operand(v)});
+}
+
+// --- intrinsics --------------------------------------------------------------------
+
+Value FunctionBuilder::rand_() {
+  return emit_result(Opcode::Rand, Type::F64, {});
+}
+
+void FunctionBuilder::emit(const Value& v) {
+  emit_void(Opcode::Emit, {as_operand(v)});
+}
+
+void FunctionBuilder::emit_trunc(const Value& v, std::int64_t digits) {
+  emit_void(Opcode::EmitTrunc, {as_operand(v)}, digits);
+}
+
+Value FunctionBuilder::mpi_rank() {
+  return emit_result(Opcode::MpiRank, Type::I64, {});
+}
+Value FunctionBuilder::mpi_size() {
+  return emit_result(Opcode::MpiSize, Type::I64, {});
+}
+void FunctionBuilder::mpi_send(const Value& dest_rank, const Value& v) {
+  emit_void(Opcode::MpiSend, {as_operand(dest_rank), as_operand(v)});
+}
+Value FunctionBuilder::mpi_recv(const Value& src_rank) {
+  return emit_result(Opcode::MpiRecv, Type::F64, {as_operand(src_rank)});
+}
+Value FunctionBuilder::mpi_allreduce(const Value& v, ir::ReduceOp op) {
+  return emit_result(Opcode::MpiAllreduce, Type::F64, {as_operand(v)},
+                     static_cast<std::int64_t>(op));
+}
+void FunctionBuilder::mpi_barrier() { emit_void(Opcode::MpiBarrier, {}); }
+
+FunctionBuilder& FunctionBuilder::at(std::uint32_t line) {
+  cur_line_ = line;
+  return *this;
+}
+
+}  // namespace ft::hl

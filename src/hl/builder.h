@@ -1,0 +1,403 @@
+// High-level structured builder for MiniIR.
+//
+// Workloads (src/apps/) are written against this layer and read like the C
+// they transcribe: scalar variables, global arrays, for/while/if control
+// flow, and code-region markers. Under the hood every construct lowers to
+// `-O0`-style MiniIR (locals in memory, fresh virtual register per
+// instruction), which is the form the paper's tracer sees.
+//
+//   hl::ProgramBuilder pb("cg");
+//   auto v  = pb.global_f64("v", n);
+//   auto f  = pb.define(pb.declare_function("main"));
+//   f.region(r_id, [&] {
+//     f.for_("i", 0, n, [&](hl::Value i) {
+//       f.st(v, i, f.ld(v, i) + 1.0);
+//     });
+//   });
+//   f.ret();
+//   ir::Module m = pb.finish();
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace ft::hl {
+
+class FunctionBuilder;
+
+/// Handle to an SSA register inside a function under construction.
+/// Arithmetic operators emit instructions into the owning builder, choosing
+/// the integer or floating opcode from the operand type.
+class Value {
+ public:
+  Value() = default;
+
+  [[nodiscard]] ir::Type type() const noexcept { return type_; }
+  [[nodiscard]] bool valid() const noexcept { return fb_ != nullptr; }
+
+  Value operator+(const Value& rhs) const;
+  Value operator-(const Value& rhs) const;
+  Value operator*(const Value& rhs) const;
+  Value operator/(const Value& rhs) const;
+  Value operator%(const Value& rhs) const;
+  Value operator&(const Value& rhs) const;
+  Value operator|(const Value& rhs) const;
+  Value operator^(const Value& rhs) const;
+  Value operator<<(const Value& rhs) const;
+  Value operator>>(const Value& rhs) const;  // arithmetic shift right
+
+  // Scalar-literal forms: the immediate adopts this value's type (an
+  // integer literal against a float value becomes a float immediate).
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  Value operator+(T v) const { return *this + lit(v); }
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  Value operator-(T v) const { return *this - lit(v); }
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  Value operator*(T v) const { return *this * lit(v); }
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  Value operator/(T v) const { return *this / lit(v); }
+  template <typename T>
+    requires std::is_integral_v<T>
+  Value operator%(T v) const { return *this % lit(v); }
+  template <typename T>
+    requires std::is_integral_v<T>
+  Value operator<<(T v) const { return *this << lit(v); }
+  template <typename T>
+    requires std::is_integral_v<T>
+  Value operator>>(T v) const { return *this >> lit(v); }
+  template <typename T>
+    requires std::is_integral_v<T>
+  Value operator&(T v) const { return *this & lit(v); }
+  template <typename T>
+    requires std::is_integral_v<T>
+  Value operator|(T v) const { return *this | lit(v); }
+  template <typename T>
+    requires std::is_integral_v<T>
+  Value operator^(T v) const { return *this ^ lit(v); }
+
+  // Comparisons produce I1 values.
+  Value eq(const Value& rhs) const;
+  Value ne(const Value& rhs) const;
+  Value lt(const Value& rhs) const;
+  Value le(const Value& rhs) const;
+  Value gt(const Value& rhs) const;
+  Value ge(const Value& rhs) const;
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  Value eq(T v) const { return eq(lit(v)); }
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  Value ne(T v) const { return ne(lit(v)); }
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  Value lt(T v) const { return lt(lit(v)); }
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  Value le(T v) const { return le(lit(v)); }
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  Value gt(T v) const { return gt(lit(v)); }
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  Value ge(T v) const { return ge(lit(v)); }
+
+ private:
+  friend class FunctionBuilder;
+  friend class Var;
+  enum class Kind : std::uint8_t { None, Reg, ImmI, ImmF, Arg };
+
+  Value(FunctionBuilder* fb, std::uint32_t reg, ir::Type t)
+      : fb_(fb), kind_(Kind::Reg), reg_(reg), type_(t) {}
+
+  static Value make_imm_i(FunctionBuilder* fb, std::int64_t v, ir::Type t);
+  static Value make_imm_f(FunctionBuilder* fb, double v, ir::Type t);
+  static Value make_arg(FunctionBuilder* fb, std::uint32_t index, ir::Type t);
+
+  /// Literal of this value's type (float literal for float values, integer
+  /// literal for integer values).
+  template <typename T>
+  Value lit(T v) const {
+    if (is_float(type_)) {
+      return make_imm_f(fb_, static_cast<double>(v), type_);
+    }
+    return make_imm_i(fb_, static_cast<std::int64_t>(v), type_);
+  }
+
+  FunctionBuilder* fb_ = nullptr;
+  Kind kind_ = Kind::None;
+  std::uint32_t reg_ = ir::kNoReg;
+  std::int64_t imm_i_ = 0;
+  double imm_f_ = 0.0;
+  ir::Type type_ = ir::Type::Void;
+};
+
+/// A named memory-backed scalar local (an Alloca slot).
+class Var {
+ public:
+  Var() = default;
+  [[nodiscard]] Value get() const;
+  void set(const Value& v) const;
+  /// Scalar literal assignment; the literal adopts the variable's type.
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  void set(T v) const {
+    if (is_float(type_)) {
+      set_f(static_cast<double>(v));
+    } else {
+      set_i(static_cast<std::int64_t>(v));
+    }
+  }
+  /// Address of the slot, as a Ptr value (for aliasing experiments).
+  [[nodiscard]] Value addr() const;
+  [[nodiscard]] ir::Type type() const noexcept { return type_; }
+
+ private:
+  friend class FunctionBuilder;
+  Var(FunctionBuilder* fb, std::uint32_t ptr_reg, ir::Type t)
+      : fb_(fb), ptr_reg_(ptr_reg), type_(t) {}
+  void set_i(std::int64_t v) const;
+  void set_f(double v) const;
+  FunctionBuilder* fb_ = nullptr;
+  std::uint32_t ptr_reg_ = ir::kNoReg;
+  ir::Type type_ = ir::Type::Void;
+};
+
+/// Handle to a module global array.
+struct GlobalArray {
+  std::uint32_t index = 0;
+  ir::Type elem = ir::Type::F64;
+};
+
+/// Handle to a function-local (stack) array.
+class LocalArray {
+ public:
+  LocalArray() = default;
+  [[nodiscard]] ir::Type elem() const noexcept { return elem_; }
+
+ private:
+  friend class FunctionBuilder;
+  LocalArray(std::uint32_t ptr_reg, ir::Type t) : ptr_reg_(ptr_reg), elem_(t) {}
+  std::uint32_t ptr_reg_ = ir::kNoReg;
+  ir::Type elem_ = ir::Type::F64;
+};
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name, std::string file = "");
+
+  // Globals (zero-initialized unless init provided).
+  GlobalArray global_f64(const std::string& name, std::uint64_t count);
+  GlobalArray global_f32(const std::string& name, std::uint64_t count);
+  GlobalArray global_i64(const std::string& name, std::uint64_t count);
+  GlobalArray global_i32(const std::string& name, std::uint64_t count);
+  GlobalArray global_init_f64(const std::string& name,
+                              const std::vector<double>& values);
+  GlobalArray global_init_i64(const std::string& name,
+                              const std::vector<std::int64_t>& values);
+
+  /// Declare a code region (name + source range, used by Table I).
+  std::uint32_t declare_region(const std::string& name,
+                               std::uint32_t line_begin = 0,
+                               std::uint32_t line_end = 0);
+
+  /// Declare a function signature; body is defined later via define().
+  std::uint32_t declare_function(const std::string& name,
+                                 ir::Type ret = ir::Type::Void,
+                                 std::vector<ir::Param> params = {});
+
+  /// Open a builder for the given declared function. Only one function may
+  /// be under construction at a time.
+  FunctionBuilder define(std::uint32_t function_id);
+
+  /// Entry point defaults to a function named "main" if present.
+  void set_entry(std::uint32_t function_id);
+
+  /// Lay out memory and return the finished module. Aborts (assert) if a
+  /// function was declared but never defined.
+  ir::Module finish();
+
+  [[nodiscard]] ir::Module& module() noexcept { return mod_; }
+  [[nodiscard]] const std::string& file() const noexcept { return file_; }
+
+ private:
+  friend class FunctionBuilder;
+  ir::Module mod_;
+  std::string file_;
+  std::vector<bool> defined_;
+};
+
+class FunctionBuilder {
+ public:
+  using BodyFn = std::function<void()>;
+  using IndexBodyFn = std::function<void(Value)>;
+  using CondFn = std::function<Value()>;
+
+  // --- constants -----------------------------------------------------------
+  Value c_i64(std::int64_t v);
+  Value c_i32(std::int32_t v);
+  Value c_f64(double v);
+  Value c_f32(float v);
+  Value c_bool(bool v);
+
+  // --- scalars and arrays --------------------------------------------------
+  Var var_i64(const std::string& name, std::int64_t init = 0);
+  Var var_f64(const std::string& name, double init = 0.0);
+  Var var_i32(const std::string& name, std::int32_t init = 0);
+  Var var_f32(const std::string& name, float init = 0.0f);
+  LocalArray local_f64(const std::string& name, std::uint64_t count);
+  LocalArray local_i64(const std::string& name, std::uint64_t count);
+
+  /// Element load / store with an index value or immediate. Scalar-literal
+  /// stores adopt the array's element type.
+  Value ld(GlobalArray a, const Value& index);
+  Value ld(GlobalArray a, std::int64_t index);
+  void st(GlobalArray a, const Value& index, const Value& v);
+  void st(GlobalArray a, std::int64_t index, const Value& v);
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  void st(GlobalArray a, const Value& index, T v) {
+    st(a, index, typed_literal(a.elem, v));
+  }
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  void st(GlobalArray a, std::int64_t index, T v) {
+    st(a, c_i64(index), typed_literal(a.elem, v));
+  }
+  Value ld(const LocalArray& a, const Value& index);
+  Value ld(const LocalArray& a, std::int64_t index);
+  void st(const LocalArray& a, const Value& index, const Value& v);
+  void st(const LocalArray& a, std::int64_t index, const Value& v);
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  void st(const LocalArray& a, const Value& index, T v) {
+    st(a, index, typed_literal(a.elem(), v));
+  }
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  void st(const LocalArray& a, std::int64_t index, T v) {
+    st(a, c_i64(index), typed_literal(a.elem(), v));
+  }
+
+  /// Scalar literal of the given IR type.
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  [[nodiscard]] Value typed_literal(ir::Type t, T v) {
+    if (is_float(t)) {
+      return Value::make_imm_f(this, static_cast<double>(v), t);
+    }
+    return Value::make_imm_i(this, static_cast<std::int64_t>(v), t);
+  }
+
+  /// Base address of an array (Ptr value).
+  Value addr_of(GlobalArray a);
+  Value addr_of(const LocalArray& a);
+  /// Raw pointer arithmetic: base + index * stride_bytes.
+  Value gep(const Value& base, const Value& index, std::int64_t stride);
+  Value ld_raw(const Value& ptr, ir::Type t);
+  void st_raw(const Value& ptr, const Value& v);
+
+  // --- arithmetic helpers not covered by Value operators --------------------
+  Value neg(const Value& v);
+  Value fsqrt(const Value& v);
+  Value fabs_(const Value& v);
+  Value ffloor(const Value& v);
+  Value lshr(const Value& v, const Value& amount);
+  Value lshr(const Value& v, std::int64_t amount);
+  Value select(const Value& cond, const Value& a, const Value& b);
+  Value min_(const Value& a, const Value& b);
+  Value max_(const Value& a, const Value& b);
+
+  // --- casts ---------------------------------------------------------------
+  Value trunc_to_i32(const Value& v);
+  Value sext_to_i64(const Value& v);
+  Value zext_to_i64(const Value& v);
+  Value fptrunc_to_f32(const Value& v);
+  Value fpext_to_f64(const Value& v);
+  Value fptosi(const Value& v, ir::Type to = ir::Type::I64);
+  Value sitofp(const Value& v, ir::Type to = ir::Type::F64);
+
+  // --- control flow ---------------------------------------------------------
+  /// for (i = lo; i < hi; ++i) body(i)
+  void for_(const std::string& name, const Value& lo, const Value& hi,
+            const IndexBodyFn& body);
+  void for_(const std::string& name, std::int64_t lo, std::int64_t hi,
+            const IndexBodyFn& body);
+  void for_(const std::string& name, std::int64_t lo, const Value& hi,
+            const IndexBodyFn& body);
+  void while_(const CondFn& cond, const BodyFn& body);
+  void if_(const Value& cond, const BodyFn& then_body);
+  void if_else(const Value& cond, const BodyFn& then_body,
+               const BodyFn& else_body);
+  /// `continue`-like guard: executes body only when cond is false.
+  void unless(const Value& cond, const BodyFn& body);
+
+  /// Enter region `region_id`, run body, exit region.
+  void region(std::uint32_t region_id, const BodyFn& body);
+
+  Value call(std::uint32_t function_id, const std::vector<Value>& args = {});
+  Value arg(std::uint32_t index);
+  void ret();
+  void ret(const Value& v);
+
+  // --- intrinsics ------------------------------------------------------------
+  Value rand_();                      // randlc double in (0,1)
+  void emit(const Value& v);          // program output
+  void emit_trunc(const Value& v, std::int64_t digits);  // "%.*e"-style
+  Value mpi_rank();
+  Value mpi_size();
+  void mpi_send(const Value& dest_rank, const Value& v);
+  Value mpi_recv(const Value& src_rank);
+  Value mpi_allreduce(const Value& v, ir::ReduceOp op);
+  void mpi_barrier();
+
+  /// Record the builder source line for subsequently emitted instructions.
+  FunctionBuilder& at(std::uint32_t line);
+
+  /// Finish the function body: moves it into the module. Called by the
+  /// destructor if not called explicitly; requires a terminator in the
+  /// current block (call ret() first).
+  void finish();
+
+  ~FunctionBuilder();
+  FunctionBuilder(FunctionBuilder&&) noexcept;
+  FunctionBuilder(const FunctionBuilder&) = delete;
+  FunctionBuilder& operator=(const FunctionBuilder&) = delete;
+  FunctionBuilder& operator=(FunctionBuilder&&) = delete;
+
+ private:
+  friend class ProgramBuilder;
+  friend class Value;
+  friend class Var;
+
+  FunctionBuilder(ProgramBuilder* pb, std::uint32_t fid);
+
+  std::uint32_t new_block(const std::string& name);
+  void set_block(std::uint32_t b);
+  ir::Instruction& append(ir::Instruction ins);
+  Value emit_result(ir::Opcode op, ir::Type t, std::vector<ir::Operand> ops,
+                    std::int64_t aux = 0, ir::CmpPred pred = ir::CmpPred::None);
+  void emit_void(ir::Opcode op, std::vector<ir::Operand> ops,
+                 std::int64_t aux = 0);
+  Value binary(ir::Opcode int_op, ir::Opcode float_op, const Value& a,
+               const Value& b);
+  Value cmp(ir::CmpPred pred, const Value& a, const Value& b);
+  ir::Operand as_operand(const Value& v) const;
+
+  ProgramBuilder* pb_ = nullptr;
+  std::uint32_t fid_ = 0;
+  ir::Function fn_;
+  std::uint32_t cur_block_ = 0;
+  std::uint32_t cur_line_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace ft::hl

@@ -1,0 +1,38 @@
+// Functions and basic blocks of MiniIR.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.h"
+
+namespace ft::ir {
+
+struct Param {
+  Type type = Type::I64;
+  std::string name;
+};
+
+struct BasicBlock {
+  std::string name;
+  std::vector<Instruction> instrs;
+};
+
+struct Function {
+  std::string name;
+  Type ret = Type::Void;
+  std::vector<Param> params;
+  std::vector<BasicBlock> blocks;  // block 0 is the entry
+  std::uint32_t num_regs = 0;      // next fresh virtual register id
+
+  [[nodiscard]] std::uint32_t fresh_reg() { return num_regs++; }
+
+  [[nodiscard]] std::size_t instruction_count() const {
+    std::size_t n = 0;
+    for (const auto& b : blocks) n += b.instrs.size();
+    return n;
+  }
+};
+
+}  // namespace ft::ir

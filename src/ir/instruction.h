@@ -1,0 +1,97 @@
+// Instructions and operands of MiniIR.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "ir/opcode.h"
+#include "ir/type.h"
+
+namespace ft::ir {
+
+inline constexpr std::uint32_t kNoReg = std::numeric_limits<std::uint32_t>::max();
+
+enum class OperandKind : std::uint8_t {
+  None,
+  Reg,     // virtual register defined earlier in the function
+  ImmI,    // integer immediate (also used for I1)
+  ImmF,    // floating immediate
+  Arg,     // function parameter index
+  Global,  // module global index (yields its base address, type Ptr)
+  Block,   // branch target block index
+};
+
+struct Operand {
+  OperandKind kind = OperandKind::None;
+  Type type = Type::Void;
+  std::uint32_t id = 0;  // reg / arg / global / block index
+  std::int64_t imm_i = 0;
+  double imm_f = 0.0;
+
+  [[nodiscard]] static Operand reg(std::uint32_t r, Type t) {
+    Operand o;
+    o.kind = OperandKind::Reg;
+    o.type = t;
+    o.id = r;
+    return o;
+  }
+  [[nodiscard]] static Operand imm(std::int64_t v, Type t = Type::I64) {
+    Operand o;
+    o.kind = OperandKind::ImmI;
+    o.type = t;
+    o.imm_i = v;
+    return o;
+  }
+  [[nodiscard]] static Operand fimm(double v, Type t = Type::F64) {
+    Operand o;
+    o.kind = OperandKind::ImmF;
+    o.type = t;
+    o.imm_f = v;
+    return o;
+  }
+  [[nodiscard]] static Operand arg(std::uint32_t index, Type t) {
+    Operand o;
+    o.kind = OperandKind::Arg;
+    o.type = t;
+    o.id = index;
+    return o;
+  }
+  [[nodiscard]] static Operand global(std::uint32_t index) {
+    Operand o;
+    o.kind = OperandKind::Global;
+    o.type = Type::Ptr;
+    o.id = index;
+    return o;
+  }
+  [[nodiscard]] static Operand block(std::uint32_t index) {
+    Operand o;
+    o.kind = OperandKind::Block;
+    o.type = Type::Void;
+    o.id = index;
+    return o;
+  }
+};
+
+/// One MiniIR instruction. `aux` multiplexes per-opcode metadata:
+///   Gep        -> element stride in bytes
+///   Alloca     -> allocation size in bytes
+///   Call       -> callee function index
+///   EmitTrunc  -> number of significant decimal digits kept
+///   RegionEnter/Exit -> region id
+///   MpiAllreduce     -> ReduceOp
+struct Instruction {
+  Opcode op = Opcode::Br;
+  Type type = Type::Void;          // result type (Void if no result)
+  CmpPred pred = CmpPred::None;    // for ICmp / FCmp
+  std::uint32_t result = kNoReg;   // defined virtual register
+  std::uint32_t line = 0;          // builder source line (for Table I)
+  std::int64_t aux = 0;
+  std::vector<Operand> ops;
+
+  [[nodiscard]] bool defines_register() const noexcept {
+    return result != kNoReg;
+  }
+};
+
+}  // namespace ft::ir

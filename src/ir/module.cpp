@@ -1,0 +1,25 @@
+#include "ir/module.h"
+
+namespace ft::ir {
+
+namespace {
+constexpr std::uint64_t align_up(std::uint64_t v, std::uint64_t a) {
+  return (v + a - 1) & ~(a - 1);
+}
+}  // namespace
+
+std::uint64_t Module::layout() {
+  if (laid_out_) return stack_base_;
+  std::uint64_t cursor = kGlobalBase;
+  for (auto& g : globals_) {
+    cursor = align_up(cursor, 8);
+    g.addr = cursor;
+    cursor += g.size_bytes();
+  }
+  stack_base_ = align_up(cursor, 16);
+  memory_size_ = stack_base_ + stack_bytes_;
+  laid_out_ = true;
+  return stack_base_;
+}
+
+}  // namespace ft::ir

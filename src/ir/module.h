@@ -1,0 +1,131 @@
+// Modules: functions + global arrays + the code-region registry (§III-A).
+//
+// Memory layout of a module (one linear byte-addressed space per VM):
+//   [0, kGlobalBase)            : unmapped guard page; null-ish accesses trap
+//   [kGlobalBase, stack_base)   : globals, laid out by layout()
+//   [stack_base, memory_size)   : the Alloca stack, bump-allocated per frame
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace ft::ir {
+
+inline constexpr std::uint64_t kGlobalBase = 64;
+
+struct Global {
+  std::string name;
+  Type elem = Type::F64;
+  std::uint64_t count = 1;  // number of elements
+  std::uint64_t addr = 0;   // assigned by Module::layout()
+  // Optional initial element values as raw bit patterns; empty = zeroed.
+  std::vector<std::uint64_t> init_bits;
+
+  [[nodiscard]] std::uint64_t size_bytes() const {
+    return count * store_size(elem);
+  }
+};
+
+/// A code region declared by the program (loop or inter-loop block).
+struct RegionInfo {
+  std::string name;
+  std::string file;
+  std::uint32_t line_begin = 0;
+  std::uint32_t line_end = 0;
+};
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  // --- functions -----------------------------------------------------------
+  std::uint32_t add_function(Function f) {
+    functions_.push_back(std::move(f));
+    return static_cast<std::uint32_t>(functions_.size() - 1);
+  }
+  [[nodiscard]] const Function& function(std::uint32_t id) const {
+    return functions_[id];
+  }
+  [[nodiscard]] Function& function(std::uint32_t id) { return functions_[id]; }
+  [[nodiscard]] std::size_t num_functions() const { return functions_.size(); }
+  [[nodiscard]] std::optional<std::uint32_t> find_function(
+      std::string_view name) const {
+    for (std::uint32_t i = 0; i < functions_.size(); ++i) {
+      if (functions_[i].name == name) return i;
+    }
+    return std::nullopt;
+  }
+
+  void set_entry(std::uint32_t f) { entry_ = f; }
+  [[nodiscard]] std::uint32_t entry() const noexcept { return entry_; }
+
+  // --- globals -------------------------------------------------------------
+  std::uint32_t add_global(Global g) {
+    globals_.push_back(std::move(g));
+    laid_out_ = false;
+    return static_cast<std::uint32_t>(globals_.size() - 1);
+  }
+  [[nodiscard]] const Global& global(std::uint32_t id) const {
+    return globals_[id];
+  }
+  [[nodiscard]] Global& global(std::uint32_t id) { return globals_[id]; }
+  [[nodiscard]] std::size_t num_globals() const { return globals_.size(); }
+  [[nodiscard]] std::optional<std::uint32_t> find_global(
+      std::string_view name) const {
+    for (std::uint32_t i = 0; i < globals_.size(); ++i) {
+      if (globals_[i].name == name) return i;
+    }
+    return std::nullopt;
+  }
+
+  // --- regions -------------------------------------------------------------
+  std::uint32_t add_region(RegionInfo r) {
+    regions_.push_back(std::move(r));
+    return static_cast<std::uint32_t>(regions_.size() - 1);
+  }
+  [[nodiscard]] const RegionInfo& region(std::uint32_t id) const {
+    return regions_[id];
+  }
+  [[nodiscard]] RegionInfo& region(std::uint32_t id) { return regions_[id]; }
+  [[nodiscard]] std::size_t num_regions() const { return regions_.size(); }
+  [[nodiscard]] std::optional<std::uint32_t> find_region(
+      std::string_view name) const {
+    for (std::uint32_t i = 0; i < regions_.size(); ++i) {
+      if (regions_[i].name == name) return i;
+    }
+    return std::nullopt;
+  }
+
+  // --- memory layout -------------------------------------------------------
+  /// Assign global addresses; idempotent. Returns the first free address
+  /// after all globals (== stack base).
+  std::uint64_t layout();
+
+  [[nodiscard]] bool laid_out() const noexcept { return laid_out_; }
+  [[nodiscard]] std::uint64_t stack_base() const noexcept { return stack_base_; }
+
+  /// Total VM memory size (stack region included).
+  [[nodiscard]] std::uint64_t memory_size() const noexcept {
+    return memory_size_;
+  }
+  void set_stack_bytes(std::uint64_t bytes) { stack_bytes_ = bytes; }
+
+ private:
+  std::string name_;
+  std::vector<Function> functions_;
+  std::vector<Global> globals_;
+  std::vector<RegionInfo> regions_;
+  std::uint32_t entry_ = 0;
+  bool laid_out_ = false;
+  std::uint64_t stack_base_ = kGlobalBase;
+  std::uint64_t stack_bytes_ = 1u << 20;  // 1 MiB default stack
+  std::uint64_t memory_size_ = 0;
+};
+
+}  // namespace ft::ir

@@ -1,0 +1,73 @@
+#include "ir/opcode.h"
+
+namespace ft::ir {
+
+std::string_view opcode_name(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::Add: return "add";
+    case Opcode::Sub: return "sub";
+    case Opcode::Mul: return "mul";
+    case Opcode::SDiv: return "sdiv";
+    case Opcode::SRem: return "srem";
+    case Opcode::And: return "and";
+    case Opcode::Or: return "or";
+    case Opcode::Xor: return "xor";
+    case Opcode::Shl: return "shl";
+    case Opcode::LShr: return "lshr";
+    case Opcode::AShr: return "ashr";
+    case Opcode::FAdd: return "fadd";
+    case Opcode::FSub: return "fsub";
+    case Opcode::FMul: return "fmul";
+    case Opcode::FDiv: return "fdiv";
+    case Opcode::FNeg: return "fneg";
+    case Opcode::FSqrt: return "fsqrt";
+    case Opcode::FAbs: return "fabs";
+    case Opcode::FFloor: return "ffloor";
+    case Opcode::ICmp: return "icmp";
+    case Opcode::FCmp: return "fcmp";
+    case Opcode::Select: return "select";
+    case Opcode::Trunc: return "trunc";
+    case Opcode::SExt: return "sext";
+    case Opcode::ZExt: return "zext";
+    case Opcode::FPTrunc: return "fptrunc";
+    case Opcode::FPExt: return "fpext";
+    case Opcode::FPToSI: return "fptosi";
+    case Opcode::SIToFP: return "sitofp";
+    case Opcode::Bitcast: return "bitcast";
+    case Opcode::Alloca: return "alloca";
+    case Opcode::Load: return "load";
+    case Opcode::Store: return "store";
+    case Opcode::Gep: return "gep";
+    case Opcode::Br: return "br";
+    case Opcode::CondBr: return "condbr";
+    case Opcode::Ret: return "ret";
+    case Opcode::Call: return "call";
+    case Opcode::Rand: return "rand";
+    case Opcode::Emit: return "emit";
+    case Opcode::EmitTrunc: return "emit.trunc";
+    case Opcode::RegionEnter: return "region.enter";
+    case Opcode::RegionExit: return "region.exit";
+    case Opcode::MpiRank: return "mpi.rank";
+    case Opcode::MpiSize: return "mpi.size";
+    case Opcode::MpiSend: return "mpi.send";
+    case Opcode::MpiRecv: return "mpi.recv";
+    case Opcode::MpiAllreduce: return "mpi.allreduce";
+    case Opcode::MpiBarrier: return "mpi.barrier";
+  }
+  return "?";
+}
+
+std::string_view pred_name(CmpPred p) noexcept {
+  switch (p) {
+    case CmpPred::None: return "none";
+    case CmpPred::Eq: return "eq";
+    case CmpPred::Ne: return "ne";
+    case CmpPred::Lt: return "lt";
+    case CmpPred::Le: return "le";
+    case CmpPred::Gt: return "gt";
+    case CmpPred::Ge: return "ge";
+  }
+  return "?";
+}
+
+}  // namespace ft::ir

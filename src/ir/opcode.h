@@ -1,0 +1,104 @@
+// Opcode set of MiniIR. Deliberately shaped like unoptimized LLVM IR —
+// locals live in memory through Alloca/Load/Store and each instruction
+// defines a fresh virtual register — because that is the form LLVM-Tracer
+// instruments in the paper, and it is what makes DDDG construction and the
+// pattern detectors (shift, truncation, conditional, overwrite) natural.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ft::ir {
+
+enum class Opcode : std::uint8_t {
+  // Integer binary arithmetic / bitwise.
+  Add, Sub, Mul, SDiv, SRem,
+  And, Or, Xor, Shl, LShr, AShr,
+  // Floating-point binary arithmetic.
+  FAdd, FSub, FMul, FDiv,
+  // Floating-point unary intrinsics.
+  FNeg, FSqrt, FAbs, FFloor,
+  // Comparisons (produce I1).
+  ICmp, FCmp,
+  // Ternary select: (i1, a, b) -> a or b.
+  Select,
+  // Casts.
+  Trunc, SExt, ZExt, FPTrunc, FPExt, FPToSI, SIToFP, Bitcast,
+  // Memory.
+  Alloca, Load, Store, Gep,
+  // Control flow.
+  Br, CondBr, Ret, Call,
+  // Runtime intrinsics.
+  Rand,         // next randlc() double in (0,1)
+  Emit,         // append operand to the program's output vector
+  EmitTrunc,    // like Emit, but rounded to `aux` decimal digits ("%12.6e")
+  RegionEnter,  // aux = region id (code-region model, §III-A)
+  RegionExit,   // aux = region id
+  // MiniMPI intrinsics.
+  MpiRank, MpiSize, MpiSend, MpiRecv, MpiAllreduce, MpiBarrier,
+};
+
+/// Predicates for ICmp/FCmp (floating comparisons are the ordered forms).
+enum class CmpPred : std::uint8_t {
+  None, Eq, Ne, Lt, Le, Gt, Ge,
+};
+
+/// Reduction operators for MpiAllreduce (stored in `aux`).
+enum class ReduceOp : std::int64_t { Sum = 0, Min = 1, Max = 2 };
+
+[[nodiscard]] constexpr bool is_int_binary(Opcode op) noexcept {
+  return op >= Opcode::Add && op <= Opcode::AShr;
+}
+
+[[nodiscard]] constexpr bool is_float_binary(Opcode op) noexcept {
+  return op >= Opcode::FAdd && op <= Opcode::FDiv;
+}
+
+[[nodiscard]] constexpr bool is_float_unary(Opcode op) noexcept {
+  return op >= Opcode::FNeg && op <= Opcode::FFloor;
+}
+
+[[nodiscard]] constexpr bool is_shift(Opcode op) noexcept {
+  return op == Opcode::Shl || op == Opcode::LShr || op == Opcode::AShr;
+}
+
+[[nodiscard]] constexpr bool is_cast(Opcode op) noexcept {
+  return op >= Opcode::Trunc && op <= Opcode::Bitcast;
+}
+
+/// Casts that can discard information (Pattern 5 candidates).
+[[nodiscard]] constexpr bool is_narrowing_cast(Opcode op) noexcept {
+  return op == Opcode::Trunc || op == Opcode::FPTrunc || op == Opcode::FPToSI;
+}
+
+[[nodiscard]] constexpr bool is_terminator(Opcode op) noexcept {
+  return op == Opcode::Br || op == Opcode::CondBr || op == Opcode::Ret;
+}
+
+[[nodiscard]] constexpr bool is_region_marker(Opcode op) noexcept {
+  return op == Opcode::RegionEnter || op == Opcode::RegionExit;
+}
+
+/// Instructions that write a result register.
+[[nodiscard]] constexpr bool has_result(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::Store:
+    case Opcode::Br:
+    case Opcode::CondBr:
+    case Opcode::Ret:
+    case Opcode::Emit:
+    case Opcode::EmitTrunc:
+    case Opcode::RegionEnter:
+    case Opcode::RegionExit:
+    case Opcode::MpiSend:
+    case Opcode::MpiBarrier:
+      return false;
+    default:
+      return true;
+  }
+}
+
+[[nodiscard]] std::string_view opcode_name(Opcode op) noexcept;
+[[nodiscard]] std::string_view pred_name(CmpPred p) noexcept;
+
+}  // namespace ft::ir

@@ -1,0 +1,119 @@
+#include "ir/print.h"
+
+#include <sstream>
+
+#include "util/strfmt.h"
+
+namespace ft::ir {
+
+namespace {
+
+std::string operand_str(const Operand& o, const Module& m) {
+  switch (o.kind) {
+    case OperandKind::Reg:
+      return util::format("%r{}:{}", o.id, type_name(o.type));
+    case OperandKind::ImmI:
+      return util::format("{}:{}", o.imm_i, type_name(o.type));
+    case OperandKind::ImmF:
+      return util::format("{:g}:{}", o.imm_f, type_name(o.type));
+    case OperandKind::Arg:
+      return util::format("%arg{}", o.id);
+    case OperandKind::Global:
+      return util::format("@{}", m.global(o.id).name);
+    case OperandKind::Block:
+      return util::format("^bb{}", o.id);
+    case OperandKind::None:
+      return "<none>";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string to_string(const Instruction& ins, const Module& m) {
+  std::string s;
+  if (ins.defines_register()) {
+    s += util::format("%r{} = ", ins.result);
+  }
+  s += opcode_name(ins.op);
+  if (ins.pred != CmpPred::None) {
+    s += util::format(".{}", pred_name(ins.pred));
+  }
+  if (ins.type != Type::Void) {
+    s += util::format(" {}", type_name(ins.type));
+  }
+  bool first = true;
+  for (const auto& o : ins.ops) {
+    s += first ? " " : ", ";
+    first = false;
+    s += operand_str(o, m);
+  }
+  switch (ins.op) {
+    case Opcode::Gep:
+      s += util::format(" stride={}", ins.aux);
+      break;
+    case Opcode::Alloca:
+      s += util::format(" size={}", ins.aux);
+      break;
+    case Opcode::Call:
+      s += util::format(" @{}", m.function(static_cast<std::uint32_t>(ins.aux)).name);
+      break;
+    case Opcode::RegionEnter:
+    case Opcode::RegionExit:
+      s += util::format(" region={}",
+                       m.region(static_cast<std::uint32_t>(ins.aux)).name);
+      break;
+    case Opcode::EmitTrunc:
+      s += util::format(" digits={}", ins.aux);
+      break;
+    case Opcode::MpiAllreduce:
+      s += util::format(" op={}", ins.aux);
+      break;
+    default:
+      break;
+  }
+  return s;
+}
+
+void print(const Function& f, const Module& m, std::ostream& os) {
+  os << "func @" << f.name << '(';
+  for (std::size_t i = 0; i < f.params.size(); ++i) {
+    if (i) os << ", ";
+    os << '%' << f.params[i].name << ':' << type_name(f.params[i].type);
+  }
+  os << ") -> " << type_name(f.ret) << " {\n";
+  for (std::size_t bi = 0; bi < f.blocks.size(); ++bi) {
+    os << "^bb" << bi;
+    if (!f.blocks[bi].name.empty()) os << " ; " << f.blocks[bi].name;
+    os << ":\n";
+    for (const auto& ins : f.blocks[bi].instrs) {
+      os << "  " << to_string(ins, m) << '\n';
+    }
+  }
+  os << "}\n";
+}
+
+void print(const Module& m, std::ostream& os) {
+  os << "module @" << m.name() << '\n';
+  for (std::uint32_t g = 0; g < m.num_globals(); ++g) {
+    const auto& gl = m.global(g);
+    os << util::format("global @{} : {} x {}\n", gl.name, gl.count,
+                      type_name(gl.elem));
+  }
+  for (std::uint32_t r = 0; r < m.num_regions(); ++r) {
+    const auto& reg = m.region(r);
+    os << util::format("region #{} '{}' {}:{}-{}\n", r, reg.name, reg.file,
+                      reg.line_begin, reg.line_end);
+  }
+  for (std::uint32_t f = 0; f < m.num_functions(); ++f) {
+    print(m.function(f), m, os);
+  }
+}
+
+std::string to_string(const Module& m) {
+  std::ostringstream os;
+  print(m, os);
+  return os.str();
+}
+
+}  // namespace ft::ir

@@ -1,0 +1,18 @@
+// Textual dump of MiniIR, LLVM-assembly flavoured. Used in tests and for
+// debugging workload builders; not a stable serialization format.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "ir/module.h"
+
+namespace ft::ir {
+
+void print(const Module& m, std::ostream& os);
+void print(const Function& f, const Module& m, std::ostream& os);
+
+[[nodiscard]] std::string to_string(const Module& m);
+[[nodiscard]] std::string to_string(const Instruction& ins, const Module& m);
+
+}  // namespace ft::ir

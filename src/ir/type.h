@@ -1,0 +1,70 @@
+// Scalar type system of MiniIR. Mirrors the subset of LLVM types that the
+// paper's workloads exercise: 1-bit booleans, 32/64-bit integers, 32/64-bit
+// IEEE floats and raw pointers into the VM's linear memory.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ft::ir {
+
+enum class Type : std::uint8_t {
+  Void,
+  I1,
+  I32,
+  I64,
+  F32,
+  F64,
+  Ptr,
+};
+
+[[nodiscard]] constexpr bool is_int(Type t) noexcept {
+  return t == Type::I1 || t == Type::I32 || t == Type::I64;
+}
+
+[[nodiscard]] constexpr bool is_float(Type t) noexcept {
+  return t == Type::F32 || t == Type::F64;
+}
+
+/// Width in bits of a value of this type (pointers are 64-bit).
+[[nodiscard]] constexpr unsigned bit_width(Type t) noexcept {
+  switch (t) {
+    case Type::I1: return 1;
+    case Type::I32: return 32;
+    case Type::F32: return 32;
+    case Type::I64: return 64;
+    case Type::F64: return 64;
+    case Type::Ptr: return 64;
+    case Type::Void: return 0;
+  }
+  return 0;
+}
+
+/// Bytes a value of this type occupies in VM memory (I1 stores as 1 byte).
+[[nodiscard]] constexpr unsigned store_size(Type t) noexcept {
+  switch (t) {
+    case Type::I1: return 1;
+    case Type::I32: return 4;
+    case Type::F32: return 4;
+    case Type::I64: return 8;
+    case Type::F64: return 8;
+    case Type::Ptr: return 8;
+    case Type::Void: return 0;
+  }
+  return 0;
+}
+
+[[nodiscard]] constexpr std::string_view type_name(Type t) noexcept {
+  switch (t) {
+    case Type::Void: return "void";
+    case Type::I1: return "i1";
+    case Type::I32: return "i32";
+    case Type::I64: return "i64";
+    case Type::F32: return "f32";
+    case Type::F64: return "f64";
+    case Type::Ptr: return "ptr";
+  }
+  return "?";
+}
+
+}  // namespace ft::ir

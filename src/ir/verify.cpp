@@ -1,0 +1,149 @@
+#include "ir/verify.h"
+
+#include <unordered_set>
+
+#include "util/strfmt.h"
+
+namespace ft::ir {
+
+namespace {
+
+void verify_function(const Module& m, std::uint32_t fid,
+                     std::vector<std::string>& errs) {
+  const Function& f = m.function(fid);
+  auto err = [&](std::string msg) {
+    errs.push_back(util::format("function '{}': {}", f.name, std::move(msg)));
+  };
+
+  if (f.blocks.empty()) {
+    err("has no blocks");
+    return;
+  }
+
+  // Pass 1: collect defined registers; detect duplicate definitions.
+  std::unordered_set<std::uint32_t> defined;
+  for (const auto& b : f.blocks) {
+    for (const auto& ins : b.instrs) {
+      if (!ins.defines_register()) continue;
+      if (!has_result(ins.op)) {
+        err(util::format("{} cannot define a register", opcode_name(ins.op)));
+      }
+      if (ins.result >= f.num_regs) {
+        err(util::format("register r{} out of range", ins.result));
+      }
+      if (!defined.insert(ins.result).second) {
+        err(util::format("register r{} defined more than once", ins.result));
+      }
+    }
+  }
+
+  // Pass 2: per-instruction checks.
+  for (std::size_t bi = 0; bi < f.blocks.size(); ++bi) {
+    const auto& b = f.blocks[bi];
+    if (b.instrs.empty() || !is_terminator(b.instrs.back().op)) {
+      err(util::format("block {} ('{}') does not end with a terminator", bi,
+                      b.name));
+    }
+    for (std::size_t ii = 0; ii < b.instrs.size(); ++ii) {
+      const auto& ins = b.instrs[ii];
+      if (is_terminator(ins.op) && ii + 1 != b.instrs.size()) {
+        err(util::format("terminator mid-block in block {} ('{}')", bi, b.name));
+      }
+      if (has_result(ins.op) && !ins.defines_register()) {
+        err(util::format("{} must define a register", opcode_name(ins.op)));
+      }
+      for (const auto& op : ins.ops) {
+        switch (op.kind) {
+          case OperandKind::Reg:
+            if (!defined.count(op.id)) {
+              err(util::format("use of undefined register r{}", op.id));
+            }
+            break;
+          case OperandKind::Arg:
+            if (op.id >= f.params.size()) {
+              err(util::format("arg index {} out of range", op.id));
+            }
+            break;
+          case OperandKind::Global:
+            if (op.id >= m.num_globals()) {
+              err(util::format("global index {} out of range", op.id));
+            }
+            break;
+          case OperandKind::Block:
+            if (op.id >= f.blocks.size()) {
+              err(util::format("branch target {} out of range", op.id));
+            }
+            break;
+          case OperandKind::ImmI:
+          case OperandKind::ImmF:
+          case OperandKind::None:
+            break;
+        }
+      }
+      if (is_int_binary(ins.op) || is_float_binary(ins.op)) {
+        if (ins.ops.size() != 2) {
+          err(util::format("{} expects 2 operands", opcode_name(ins.op)));
+        } else if (ins.ops[0].type != ins.type || ins.ops[1].type != ins.type) {
+          err(util::format("{} operand/result type mismatch",
+                          opcode_name(ins.op)));
+        }
+        if (is_int_binary(ins.op) && !is_int(ins.type)) {
+          err(util::format("{} on non-integer type", opcode_name(ins.op)));
+        }
+        if (is_float_binary(ins.op) && !is_float(ins.type)) {
+          err(util::format("{} on non-float type", opcode_name(ins.op)));
+        }
+      }
+      if ((ins.op == Opcode::ICmp || ins.op == Opcode::FCmp) &&
+          ins.pred == CmpPred::None) {
+        err("cmp without predicate");
+      }
+      if (ins.op == Opcode::Call) {
+        if (static_cast<std::size_t>(ins.aux) >= m.num_functions()) {
+          err(util::format("call to out-of-range function {}", ins.aux));
+        } else {
+          const auto& callee = m.function(static_cast<std::uint32_t>(ins.aux));
+          if (callee.params.size() != ins.ops.size()) {
+            err(util::format("call to '{}' with {} args, expected {}",
+                            callee.name, ins.ops.size(),
+                            callee.params.size()));
+          }
+        }
+      }
+      if (is_region_marker(ins.op) &&
+          static_cast<std::size_t>(ins.aux) >= m.num_regions()) {
+        err(util::format("region marker references undeclared region {}",
+                        ins.aux));
+      }
+      if (ins.op == Opcode::Gep && ins.aux <= 0) {
+        err("gep with non-positive stride");
+      }
+      if (ins.op == Opcode::Alloca && ins.aux <= 0) {
+        err("alloca with non-positive size");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> verify(const Module& m) {
+  std::vector<std::string> errs;
+  if (m.num_functions() == 0) {
+    errs.emplace_back("module has no functions");
+    return errs;
+  }
+  if (m.entry() >= m.num_functions()) {
+    errs.emplace_back("entry function out of range");
+  } else if (!m.function(m.entry()).params.empty()) {
+    errs.emplace_back("entry function must take no parameters");
+  }
+  for (std::uint32_t f = 0; f < m.num_functions(); ++f) {
+    verify_function(m, f, errs);
+  }
+  return errs;
+}
+
+bool is_valid(const Module& m) { return verify(m).empty(); }
+
+}  // namespace ft::ir

@@ -1,0 +1,30 @@
+// Structural verification of MiniIR modules. Run after building every
+// workload (and by tests) so malformed programs fail fast instead of
+// producing nonsense traces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace ft::ir {
+
+/// Returns the list of structural problems; empty means the module is valid.
+/// Checks performed:
+///  * every block ends with exactly one terminator, none mid-block;
+///  * branch targets are valid block indices;
+///  * operand registers are defined somewhere in the function and result
+///    registers are defined exactly once (SSA discipline);
+///  * operand arg/global/function indices are in range;
+///  * binary-op operand types match the instruction type;
+///  * region markers reference declared regions, and enters/exits nest
+///    properly per function (statically balanced on every path is not
+///    checked, only id validity);
+///  * the entry function exists and takes no parameters.
+[[nodiscard]] std::vector<std::string> verify(const Module& m);
+
+/// Convenience: true if verify(m) is empty.
+[[nodiscard]] bool is_valid(const Module& m);
+
+}  // namespace ft::ir

@@ -1,0 +1,93 @@
+#include "model/linalg.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ft::model {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  assert(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = at(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out.at(i, j) += a * rhs.at(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::mul(std::span<const double> v) const {
+  assert(v.size() == cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) s += at(i, j) * v[j];
+    out[i] = s;
+  }
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+std::vector<double> cholesky_solve(const Matrix& a, std::span<const double> b) {
+  const std::size_t n = a.rows();
+  assert(a.cols() == n && b.size() == n);
+
+  // Lower-triangular factor L with A = L L^T.
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l.at(i, k) * l.at(j, k);
+      if (i == j) {
+        if (s <= 0.0 || !std::isfinite(s)) {
+          throw std::runtime_error("cholesky_solve: matrix not SPD");
+        }
+        l.at(i, i) = std::sqrt(s);
+      } else {
+        l.at(i, j) = s / l.at(j, j);
+      }
+    }
+  }
+
+  // Forward substitution: L y = b.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l.at(i, k) * y[k];
+    y[i] = s / l.at(i, i);
+  }
+  // Back substitution: L^T x = y.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l.at(k, ii) * x[k];
+    x[ii] = s / l.at(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace ft::model

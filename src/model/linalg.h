@@ -1,0 +1,49 @@
+// Minimal dense linear algebra for the resilience-prediction model
+// (Use Case 2): row-major matrices, products, and an SPD Cholesky solver.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ft::model {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] Matrix transpose() const;
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+  [[nodiscard]] std::vector<double> mul(std::span<const double> v) const;
+
+  Matrix& operator+=(const Matrix& rhs);
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b for symmetric positive-definite A via Cholesky. Throws
+/// std::runtime_error if A is not (numerically) positive definite.
+[[nodiscard]] std::vector<double> cholesky_solve(const Matrix& a,
+                                                 std::span<const double> b);
+
+}  // namespace ft::model

@@ -1,0 +1,122 @@
+#include "model/regression.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace ft::model {
+
+namespace {
+
+/// X with a leading all-ones column when fitting an intercept.
+Matrix design(const Matrix& x, bool intercept) {
+  if (!intercept) return x;
+  Matrix d(x.rows(), x.cols() + 1);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    d.at(r, 0) = 1.0;
+    for (std::size_t c = 0; c < x.cols(); ++c) d.at(r, c + 1) = x.at(r, c);
+  }
+  return d;
+}
+
+}  // namespace
+
+void BayesianLinearRegression::fit(const Matrix& x, std::span<const double> y,
+                                   const RegressionOptions& opts) {
+  assert(x.rows() == y.size());
+  const Matrix d = design(x, opts.fit_intercept);
+  const Matrix dt = d.transpose();
+  Matrix gram = dt * d;
+  for (std::size_t i = 0; i < gram.rows(); ++i) {
+    gram.at(i, i) += opts.prior_precision;
+  }
+  std::vector<double> rhs(d.cols(), 0.0);
+  for (std::size_t r = 0; r < d.rows(); ++r) {
+    for (std::size_t c = 0; c < d.cols(); ++c) rhs[c] += d.at(r, c) * y[r];
+  }
+  auto w = cholesky_solve(gram, rhs);
+  if (opts.fit_intercept) {
+    intercept_ = w[0];
+    beta_.assign(w.begin() + 1, w.end());
+  } else {
+    intercept_ = 0.0;
+    beta_ = std::move(w);
+  }
+}
+
+double BayesianLinearRegression::predict(
+    std::span<const double> features) const {
+  assert(features.size() == beta_.size());
+  double s = intercept_;
+  for (std::size_t i = 0; i < beta_.size(); ++i) s += beta_[i] * features[i];
+  return s;
+}
+
+std::vector<double> BayesianLinearRegression::predict_all(
+    const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict(x.row(r));
+  return out;
+}
+
+double BayesianLinearRegression::r_squared(const Matrix& x,
+                                           std::span<const double> y) const {
+  const auto pred = predict_all(x);
+  const double mean_y = util::mean(y);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ss_res += (y[i] - pred[i]) * (y[i] - pred[i]);
+    ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+std::vector<double> BayesianLinearRegression::standardized_coefficients(
+    const Matrix& x, std::span<const double> y) const {
+  const double sd_y = util::stdev(y);
+  std::vector<double> out(beta_.size(), 0.0);
+  if (sd_y == 0.0) return out;
+  std::vector<double> col(x.rows());
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    for (std::size_t r = 0; r < x.rows(); ++r) col[r] = x.at(r, c);
+    out[c] = beta_[c] * util::stdev(col) / sd_y;
+  }
+  return out;
+}
+
+LooResult leave_one_out(const Matrix& x, std::span<const double> y,
+                        const RegressionOptions& opts) {
+  LooResult out;
+  const std::size_t n = x.rows();
+  out.predicted.resize(n);
+  out.error_rate.resize(n);
+
+  for (std::size_t hold = 0; hold < n; ++hold) {
+    Matrix xt(n - 1, x.cols());
+    std::vector<double> yt;
+    yt.reserve(n - 1);
+    std::size_t rr = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == hold) continue;
+      for (std::size_t c = 0; c < x.cols(); ++c) xt.at(rr, c) = x.at(r, c);
+      yt.push_back(y[r]);
+      rr++;
+    }
+    BayesianLinearRegression reg;
+    reg.fit(xt, yt, opts);
+    const double raw = reg.predict(x.row(hold));
+    const double pred = std::clamp(raw, 0.0, 1.0);
+    out.predicted[hold] = pred;
+    out.error_rate[hold] =
+        y[hold] == 0.0 ? std::fabs(pred) : std::fabs(pred - y[hold]) / y[hold];
+  }
+  double s = 0.0;
+  for (const double e : out.error_rate) s += e;
+  out.mean_error_rate = s / static_cast<double>(n);
+  return out;
+}
+
+}  // namespace ft::model

@@ -1,0 +1,114 @@
+#include "mpi/world.h"
+
+#include <algorithm>
+#include <cassert>
+#include <exception>
+#include <thread>
+
+namespace ft::mpi {
+
+std::int64_t RankEndpoint::size() const { return world_->size(); }
+
+void RankEndpoint::send(std::int64_t dest_rank, double value) {
+  world_->p2p_send(rank_, dest_rank, value);
+}
+
+double RankEndpoint::recv(std::int64_t src_rank) {
+  return world_->p2p_recv(rank_, src_rank);
+}
+
+double RankEndpoint::allreduce(double value, ir::ReduceOp op) {
+  return world_->collective_allreduce(rank_, value, op);
+}
+
+void RankEndpoint::barrier() {
+  world_->collective_allreduce(0 /*unused*/, 0.0, ir::ReduceOp::Sum);
+}
+
+World::World(std::int64_t nranks) : nranks_(nranks) {
+  assert(nranks >= 1);
+  channels_.resize(static_cast<std::size_t>(nranks * nranks));
+  coll_values_.resize(static_cast<std::size_t>(nranks));
+  for (std::int64_t r = 0; r < nranks; ++r) {
+    endpoints_.emplace_back(new RankEndpoint(this, r));
+  }
+}
+
+void World::launch(
+    const std::function<void(std::int64_t, vm::MpiEndpoint&)>& body) {
+  std::vector<std::thread> threads;
+  std::exception_ptr first_error;
+  std::mutex err_mutex;
+  threads.reserve(static_cast<std::size_t>(nranks_));
+  for (std::int64_t r = 0; r < nranks_; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        body(r, *endpoints_[static_cast<std::size_t>(r)]);
+      } catch (...) {
+        std::lock_guard lock(err_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void World::p2p_send(std::int64_t src, std::int64_t dest, double value) {
+  assert(dest >= 0 && dest < nranks_);
+  {
+    std::lock_guard lock(p2p_mutex_);
+    channels_[static_cast<std::size_t>(dest * nranks_ + src)].queue.push_back(
+        value);
+  }
+  p2p_cv_.notify_all();
+}
+
+double World::p2p_recv(std::int64_t dest, std::int64_t src) {
+  assert(src >= 0 && src < nranks_);
+  std::unique_lock lock(p2p_mutex_);
+  auto& ch = channels_[static_cast<std::size_t>(dest * nranks_ + src)];
+  p2p_cv_.wait(lock, [&] { return !ch.queue.empty(); });
+  const double v = ch.queue.front();
+  ch.queue.pop_front();
+  return v;
+}
+
+double World::collective_allreduce(std::int64_t rank, double value,
+                                   ir::ReduceOp op) {
+  std::unique_lock lock(coll_mutex_);
+  // Wait for the previous collective to fully drain before joining a new one.
+  coll_cv_.wait(lock, [&] { return coll_left_ == 0; });
+  const std::uint64_t my_generation = coll_generation_;
+  if (rank >= 0 && rank < nranks_) {
+    coll_values_[static_cast<std::size_t>(rank)] = value;
+  }
+  coll_arrived_++;
+  if (coll_arrived_ == nranks_) {
+    // Last arriver reduces in rank order for determinism.
+    double acc = coll_values_[0];
+    for (std::int64_t r = 1; r < nranks_; ++r) {
+      const double v = coll_values_[static_cast<std::size_t>(r)];
+      switch (op) {
+        case ir::ReduceOp::Sum: acc += v; break;
+        case ir::ReduceOp::Min: acc = std::min(acc, v); break;
+        case ir::ReduceOp::Max: acc = std::max(acc, v); break;
+      }
+    }
+    coll_result_ = acc;
+    coll_arrived_ = 0;
+    coll_left_ = nranks_;
+    coll_generation_++;
+    coll_cv_.notify_all();
+  } else {
+    coll_cv_.wait(lock, [&] { return coll_generation_ != my_generation; });
+  }
+  const double result = coll_result_;
+  coll_left_--;
+  if (coll_left_ == 0) coll_cv_.notify_all();
+  return result;
+}
+
+void World::collective_barrier() { collective_allreduce(0, 0.0, ir::ReduceOp::Sum); }
+
+}  // namespace ft::mpi

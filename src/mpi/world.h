@@ -1,0 +1,86 @@
+// MiniMPI: a rank-parallel message-passing runtime.
+//
+// Stands in for the MPI substrate of the paper's experiments (§IV-A): each
+// rank is a VM running on its own thread with a private trace sink, so
+// "parallel tracing is a per-process task [and] no synchronization is
+// required" holds here exactly as it does for the paper's per-process trace
+// files. Collectives reduce in rank order, keeping every run deterministic
+// (this subsumes the record-and-replay the paper needs for nondeterministic
+// MPI apps, §V-B).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "vm/mpi_endpoint.h"
+
+namespace ft::mpi {
+
+class World;
+
+/// Per-rank endpoint handed to a Vm through VmOptions::mpi.
+class RankEndpoint final : public vm::MpiEndpoint {
+ public:
+  [[nodiscard]] std::int64_t rank() const override { return rank_; }
+  [[nodiscard]] std::int64_t size() const override;
+
+  void send(std::int64_t dest_rank, double value) override;
+  [[nodiscard]] double recv(std::int64_t src_rank) override;
+  [[nodiscard]] double allreduce(double value, ir::ReduceOp op) override;
+  void barrier() override;
+
+ private:
+  friend class World;
+  RankEndpoint(World* world, std::int64_t rank) : world_(world), rank_(rank) {}
+  World* world_;
+  std::int64_t rank_;
+};
+
+/// A fixed-size communicator. Construct with the rank count, then launch():
+/// the callable runs once per rank, concurrently, with that rank's endpoint.
+class World {
+ public:
+  explicit World(std::int64_t nranks);
+
+  [[nodiscard]] std::int64_t size() const noexcept { return nranks_; }
+
+  /// Run `body(rank, endpoint)` on `nranks` threads; returns when all ranks
+  /// finish. Exceptions from a rank propagate to the caller (first one wins).
+  void launch(const std::function<void(std::int64_t, vm::MpiEndpoint&)>& body);
+
+ private:
+  friend class RankEndpoint;
+
+  void p2p_send(std::int64_t src, std::int64_t dest, double value);
+  double p2p_recv(std::int64_t dest, std::int64_t src);
+  double collective_allreduce(std::int64_t rank, double value,
+                              ir::ReduceOp op);
+  void collective_barrier();
+
+  struct Channel {
+    std::deque<double> queue;
+  };
+
+  std::int64_t nranks_;
+  std::vector<std::unique_ptr<RankEndpoint>> endpoints_;
+
+  std::mutex p2p_mutex_;
+  std::condition_variable p2p_cv_;
+  // channels_[dest * nranks + src]
+  std::vector<Channel> channels_;
+
+  std::mutex coll_mutex_;
+  std::condition_variable coll_cv_;
+  std::vector<double> coll_values_;
+  std::int64_t coll_arrived_ = 0;
+  std::int64_t coll_left_ = 0;
+  std::uint64_t coll_generation_ = 0;
+  double coll_result_ = 0.0;
+};
+
+}  // namespace ft::mpi

@@ -1,0 +1,87 @@
+// Streaming def-use chaining over a dynamic record stream.
+//
+// Keeps, for every location, the record that last defined it, so detectors
+// can chase short producer chains — e.g. recognizing the accumulation idiom
+// `store(A[i], load(A[i]) + x)` behind the Repeated Additions pattern
+// without materializing a full DDDG.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "vm/observer.h"
+
+namespace ft::patterns {
+
+class DefTracker {
+ public:
+  struct Def {
+    ir::Opcode op = ir::Opcode::Br;
+    std::array<vm::Location, vm::kMaxTracedOps> op_loc{};
+    std::uint8_t nops = 0;
+    std::uint64_t index = 0;
+    std::uint32_t line = 0;
+    std::uint64_t mem_addr = 0;  // for Load: the loaded address
+  };
+
+  /// Record `r` as the defining instruction of its result location.
+  /// Call once per record, *after* running any queries about its operands.
+  void update(const vm::DynInstr& r) {
+    if (r.result_loc == vm::kNoLoc) return;
+    Def d;
+    d.op = r.op;
+    d.op_loc = r.op_loc;
+    d.nops = r.nops;
+    d.index = r.index;
+    d.line = r.line;
+    d.mem_addr = r.mem_addr;
+    defs_[r.result_loc] = d;
+  }
+
+  [[nodiscard]] const Def* find(vm::Location l) const {
+    const auto it = defs_.find(l);
+    return it == defs_.end() ? nullptr : &it->second;
+  }
+
+  /// True if `store` commits `load(addr) (+|fadd) ...` back to the same
+  /// address — the Repeated Additions shape (paper Fig. 9: the MG smoother
+  /// u[i3][i2][i1] = u[i3][i2][i1] + c[0]*r[...] + c[1]*(...) + c[2]*(...)).
+  /// Multi-term accumulations are chains of adds, so the chase descends
+  /// through add operands (bounded depth) looking for the reload of `addr`.
+  [[nodiscard]] bool is_accumulation_store(const vm::DynInstr& store) const {
+    if (store.op != ir::Opcode::Store || store.result_loc == vm::kNoLoc) {
+      return false;
+    }
+    const Def* add = find(store.op_loc[0]);
+    if (!add || (add->op != ir::Opcode::FAdd && add->op != ir::Opcode::Add)) {
+      return false;
+    }
+    return add_chain_loads_from(add, store.mem_addr, /*depth=*/8);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return defs_.size(); }
+
+ private:
+  [[nodiscard]] bool add_chain_loads_from(const Def* add,
+                                          std::uint64_t mem_addr,
+                                          int depth) const {
+    for (unsigned k = 0; k < add->nops; ++k) {
+      const Def* src = find(add->op_loc[k]);
+      if (!src) continue;
+      if (src->op == ir::Opcode::Load && src->mem_addr == mem_addr) {
+        return true;
+      }
+      if (depth > 0 &&
+          (src->op == ir::Opcode::FAdd || src->op == ir::Opcode::Add) &&
+          add_chain_loads_from(src, mem_addr, depth - 1)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::unordered_map<vm::Location, Def> defs_;
+};
+
+}  // namespace ft::patterns

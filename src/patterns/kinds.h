@@ -1,0 +1,43 @@
+// The six resilience computation patterns (§VI).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace ft::patterns {
+
+enum class PatternKind : std::uint8_t {
+  DeadCorruptedLocations,  // Pattern 1 (DCL)
+  RepeatedAdditions,       // Pattern 2 (RA)
+  ConditionalStatement,    // Pattern 3 (CS)
+  Shifting,                // Pattern 4
+  Truncation,              // Pattern 5
+  DataOverwriting,         // Pattern 6 (DO)
+};
+
+inline constexpr std::size_t kNumPatterns = 6;
+
+inline constexpr std::array<PatternKind, kNumPatterns> kAllPatterns = {
+    PatternKind::DeadCorruptedLocations, PatternKind::RepeatedAdditions,
+    PatternKind::ConditionalStatement,   PatternKind::Shifting,
+    PatternKind::Truncation,             PatternKind::DataOverwriting,
+};
+
+[[nodiscard]] constexpr std::string_view pattern_name(PatternKind k) noexcept {
+  switch (k) {
+    case PatternKind::DeadCorruptedLocations: return "DCL";
+    case PatternKind::RepeatedAdditions: return "RA";
+    case PatternKind::ConditionalStatement: return "CS";
+    case PatternKind::Shifting: return "Shifting";
+    case PatternKind::Truncation: return "Trunc";
+    case PatternKind::DataOverwriting: return "DO";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::size_t pattern_index(PatternKind k) noexcept {
+  return static_cast<std::size_t>(k);
+}
+
+}  // namespace ft::patterns

@@ -1,0 +1,73 @@
+#include "patterns/rates.h"
+
+#include <unordered_set>
+
+#include "patterns/def_tracker.h"
+
+namespace ft::patterns {
+
+PatternRates measure_rates(std::span<const vm::DynInstr> records,
+                           const trace::LocationEvents& events) {
+  PatternRates out;
+  out.total_instructions = records.size();
+  if (records.empty()) return out;
+
+  std::uint64_t conditions = 0, shifts = 0, truncations = 0;
+  std::uint64_t writes = 0, dead_writes = 0, overwrites = 0, accum = 0;
+  DefTracker defs;
+  std::unordered_set<vm::Location> written;
+
+  for (const auto& r : records) {
+    switch (r.op) {
+      case ir::Opcode::ICmp:
+      case ir::Opcode::FCmp:
+      case ir::Opcode::Select:
+      case ir::Opcode::CondBr:
+        conditions++;
+        break;
+      case ir::Opcode::Shl:
+      case ir::Opcode::LShr:
+      case ir::Opcode::AShr:
+        shifts++;
+        break;
+      case ir::Opcode::Trunc:
+      case ir::Opcode::FPTrunc:
+      case ir::Opcode::FPToSI:
+      case ir::Opcode::EmitTrunc:
+        truncations++;
+        break;
+      default:
+        break;
+    }
+    if (r.op == ir::Opcode::Store && defs.is_accumulation_store(r)) accum++;
+
+    if (r.result_loc != vm::kNoLoc) {
+      writes++;
+      if (!written.insert(r.result_loc).second) overwrites++;
+      if (events.read_before_overwrite_after(r.result_loc, r.index) ==
+          trace::LocationEvents::kNoIndex) {
+        dead_writes++;
+      }
+    }
+    defs.update(r);
+  }
+
+  const auto total = static_cast<double>(out.total_instructions);
+  out.total_writes = writes;
+  const double w = writes == 0 ? 1.0 : static_cast<double>(writes);
+  out.rate[pattern_index(PatternKind::ConditionalStatement)] =
+      static_cast<double>(conditions) / total;
+  out.rate[pattern_index(PatternKind::Shifting)] =
+      static_cast<double>(shifts) / total;
+  out.rate[pattern_index(PatternKind::Truncation)] =
+      static_cast<double>(truncations) / total;
+  out.rate[pattern_index(PatternKind::DeadCorruptedLocations)] =
+      static_cast<double>(dead_writes) / w;
+  out.rate[pattern_index(PatternKind::RepeatedAdditions)] =
+      static_cast<double>(accum) / total;
+  out.rate[pattern_index(PatternKind::DataOverwriting)] =
+      static_cast<double>(overwrites) / w;
+  return out;
+}
+
+}  // namespace ft::patterns

@@ -1,0 +1,43 @@
+// Fault-free pattern-rate measurement (§VII-B, Table IV).
+//
+// Use Case 2 predicts an application's success rate from how often each
+// pattern's *shape* occurs in its dynamic instruction stream, normalized by
+// the total instruction count. No fault injection is involved; these are
+// structural rates:
+//   condition rate  — comparisons / selects / conditional branches;
+//   shift rate      — shift instructions;
+//   truncation rate — narrowing casts + truncated output formatting;
+//   dead location   — fraction of writes whose value is never read before
+//                     being overwritten (dead on arrival);
+//   repeated adds   — accumulation stores (load-add-store to same address);
+//   overwrite rate  — fraction of writes that overwrite an already-written
+//                     location.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "patterns/kinds.h"
+#include "trace/events.h"
+#include "vm/observer.h"
+
+namespace ft::patterns {
+
+struct PatternRates {
+  // Indexed by pattern_index(PatternKind).
+  std::array<double, kNumPatterns> rate{};
+  std::uint64_t total_instructions = 0;
+  std::uint64_t total_writes = 0;
+
+  [[nodiscard]] double of(PatternKind k) const noexcept {
+    return rate[pattern_index(k)];
+  }
+};
+
+/// Measure rates over a fault-free record stream. `events` must index the
+/// same records (for the dead-write liveness queries).
+[[nodiscard]] PatternRates measure_rates(std::span<const vm::DynInstr> records,
+                                         const trace::LocationEvents& events);
+
+}  // namespace ft::patterns

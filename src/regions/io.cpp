@@ -1,0 +1,81 @@
+#include "regions/io.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ft::regions {
+
+bool RegionIo::is_input(vm::Location l) const {
+  return std::any_of(inputs.begin(), inputs.end(),
+                     [l](const IoValue& v) { return v.loc == l; });
+}
+
+bool RegionIo::is_output(vm::Location l) const {
+  return std::any_of(outputs.begin(), outputs.end(),
+                     [l](const IoValue& v) { return v.loc == l; });
+}
+
+RegionIo classify_io(std::span<const vm::DynInstr> slice,
+                     const trace::LocationEvents& whole_trace_events,
+                     const trace::RegionInstance& inst) {
+  RegionIo io;
+  std::unordered_set<vm::Location> written, read_first, seen;
+  std::unordered_map<vm::Location, IoValue> last_write;
+
+  for (const auto& r : slice) {
+    // Reads before any in-region write are inputs.
+    for (unsigned k = 0; k < r.nops; ++k) {
+      const vm::Location loc = r.op_loc[k];
+      if (loc == vm::kNoLoc) continue;
+      seen.insert(loc);
+      if (!written.count(loc) && read_first.insert(loc).second) {
+        io.inputs.push_back(IoValue{loc, r.op_bits[k], r.op_type[k], r.index,
+                                    static_cast<std::uint8_t>(k)});
+      }
+    }
+    if (r.result_loc != vm::kNoLoc) {
+      written.insert(r.result_loc);
+      seen.insert(r.result_loc);
+      ir::Type t = r.type;
+      if (r.op == ir::Opcode::Store) t = r.op_type[0];
+      last_write[r.result_loc] =
+          IoValue{r.result_loc, r.result_bits, t, r.index, 0};
+    }
+  }
+
+  // Outputs: written in-region, and the final in-region value is read after
+  // the region exits before being overwritten.
+  for (const auto& [loc, wv] : last_write) {
+    const auto next_read =
+        whole_trace_events.next_read_after(loc, wv.index);
+    const auto next_write =
+        whole_trace_events.next_write_after(loc, wv.index);
+    const bool live_out = next_read != trace::LocationEvents::kNoIndex &&
+                          next_read >= inst.exit_index &&
+                          (next_write == trace::LocationEvents::kNoIndex ||
+                           next_read < next_write);
+    if (live_out) io.outputs.push_back(wv);
+  }
+
+  // Internals: touched but neither input nor output.
+  for (const vm::Location loc : seen) {
+    if (!io.is_input(loc) && !io.is_output(loc)) io.internals.push_back(loc);
+  }
+
+  // Deterministic ordering for reproducible reports.
+  auto by_loc = [](const IoValue& a, const IoValue& b) { return a.loc < b.loc; };
+  std::sort(io.inputs.begin(), io.inputs.end(), by_loc);
+  std::sort(io.outputs.begin(), io.outputs.end(), by_loc);
+  std::sort(io.internals.begin(), io.internals.end());
+  return io;
+}
+
+std::vector<IoValue> memory_inputs(const RegionIo& io) {
+  std::vector<IoValue> out;
+  for (const auto& v : io.inputs) {
+    if (vm::is_mem_loc(v.loc)) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace ft::regions

@@ -1,0 +1,56 @@
+// Input/output/internal classification of code-region instances (§III-B).
+//
+// Given the record slice of one region instance and the event index of the
+// *whole* trace:
+//   * inputs    — locations read inside the region before any write inside
+//                 it (their value flows in from outside; DDDG roots);
+//   * outputs   — locations written inside whose final value is read after
+//                 the region before being overwritten (DDDG leaves that are
+//                 live-out);
+//   * internals — every other location the region touches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/events.h"
+#include "trace/segment.h"
+#include "vm/observer.h"
+
+namespace ft::regions {
+
+struct IoValue {
+  vm::Location loc = vm::kNoLoc;
+  std::uint64_t bits = 0;   // inputs: value at first in-region read;
+                            // outputs: last value written in-region
+  ir::Type type = ir::Type::Void;
+  std::uint64_t index = 0;  // dynamic index of that read/write
+  std::uint8_t op_slot = 0;  // inputs: operand slot of the first read
+};
+
+struct RegionIo {
+  std::vector<IoValue> inputs;
+  std::vector<IoValue> outputs;
+  std::vector<vm::Location> internals;
+
+  [[nodiscard]] bool is_input(vm::Location l) const;
+  [[nodiscard]] bool is_output(vm::Location l) const;
+};
+
+/// Classify the locations of one region instance. `slice` must be the
+/// record span of the instance body (markers excluded is fine either way);
+/// `whole_trace_events` must cover the full run so liveness after the
+/// region is visible.
+[[nodiscard]] RegionIo classify_io(
+    std::span<const vm::DynInstr> slice,
+    const trace::LocationEvents& whole_trace_events,
+    const trace::RegionInstance& inst);
+
+/// Only the memory-resident inputs (registers filtered out) — these are the
+/// candidate targets for region-entry input injection (§IV-C injects into
+/// "input and internal locations").
+[[nodiscard]] std::vector<IoValue> memory_inputs(const RegionIo& io);
+
+}  // namespace ft::regions

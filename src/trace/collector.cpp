@@ -1,0 +1,22 @@
+#include "trace/collector.h"
+
+#include <algorithm>
+
+namespace ft::trace {
+
+std::span<const vm::DynInstr> Trace::slice(std::uint64_t begin,
+                                           std::uint64_t end) const {
+  // Records are stored in dynamic-index order; record i has index i when the
+  // whole run was collected, but a capped/filtered collection may not start
+  // at 0, so locate by index.
+  auto lo = std::lower_bound(
+      records.begin(), records.end(), begin,
+      [](const vm::DynInstr& r, std::uint64_t v) { return r.index < v; });
+  auto hi = std::lower_bound(
+      lo, records.end(), end,
+      [](const vm::DynInstr& r, std::uint64_t v) { return r.index < v; });
+  if (lo == hi) return {};
+  return {&*lo, static_cast<std::size_t>(hi - lo)};
+}
+
+}  // namespace ft::trace

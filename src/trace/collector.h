@@ -1,0 +1,56 @@
+// In-memory dynamic traces.
+//
+// A Trace is the materialized stream of DynInstr records for one execution
+// (one MPI rank). Campaign runs never materialize traces (the fast VM path);
+// analysis runs do, optionally bounded, and the per-region "trace splitting"
+// of §IV-A is a cheap span slice over the record vector.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "vm/observer.h"
+
+namespace ft::trace {
+
+struct Trace {
+  std::vector<vm::DynInstr> records;
+
+  [[nodiscard]] std::size_t size() const noexcept { return records.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records.empty(); }
+  [[nodiscard]] std::span<const vm::DynInstr> span() const noexcept {
+    return records;
+  }
+  /// Slice of records with dynamic index in [begin, end).
+  [[nodiscard]] std::span<const vm::DynInstr> slice(std::uint64_t begin,
+                                                    std::uint64_t end) const;
+};
+
+/// Observer that appends every record to a Trace, up to an optional cap.
+class TraceCollector final : public vm::ExecObserver {
+ public:
+  explicit TraceCollector(std::size_t max_records = 0)
+      : max_records_(max_records) {}
+
+  void on_instruction(const vm::DynInstr& d) override {
+    if (max_records_ != 0 && trace_.records.size() >= max_records_) {
+      truncated_ = true;
+      return;
+    }
+    trace_.records.push_back(d);
+  }
+
+  [[nodiscard]] Trace& trace() noexcept { return trace_; }
+  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+  [[nodiscard]] Trace take() noexcept { return std::move(trace_); }
+  [[nodiscard]] bool truncated() const noexcept { return truncated_; }
+
+ private:
+  Trace trace_;
+  std::size_t max_records_;
+  bool truncated_ = false;
+};
+
+}  // namespace ft::trace

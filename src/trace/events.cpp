@@ -1,0 +1,69 @@
+#include "trace/events.h"
+
+#include <algorithm>
+
+namespace ft::trace {
+
+LocationEvents LocationEvents::build(std::span<const vm::DynInstr> records) {
+  LocationEvents ev;
+  for (const auto& r : records) {
+    for (unsigned i = 0; i < r.nops; ++i) {
+      if (r.op_loc[i] != vm::kNoLoc) {
+        ev.map_[r.op_loc[i]].push_back({r.index, /*is_write=*/false});
+      }
+    }
+    if (r.result_loc != vm::kNoLoc) {
+      ev.map_[r.result_loc].push_back({r.index, /*is_write=*/true});
+    }
+  }
+  return ev;
+}
+
+namespace {
+/// First event with index strictly greater than `index`.
+std::vector<LocEvent>::const_iterator first_after(
+    const std::vector<LocEvent>& evs, std::uint64_t index) {
+  return std::upper_bound(
+      evs.begin(), evs.end(), index,
+      [](std::uint64_t v, const LocEvent& e) { return v < e.index; });
+}
+}  // namespace
+
+std::uint64_t LocationEvents::next_read_after(vm::Location l,
+                                              std::uint64_t index) const {
+  const auto* evs = events(l);
+  if (!evs) return kNoIndex;
+  for (auto it = first_after(*evs, index); it != evs->end(); ++it) {
+    if (!it->is_write) return it->index;
+  }
+  return kNoIndex;
+}
+
+std::uint64_t LocationEvents::next_write_after(vm::Location l,
+                                               std::uint64_t index) const {
+  const auto* evs = events(l);
+  if (!evs) return kNoIndex;
+  for (auto it = first_after(*evs, index); it != evs->end(); ++it) {
+    if (it->is_write) return it->index;
+  }
+  return kNoIndex;
+}
+
+bool LocationEvents::touched_after(vm::Location l, std::uint64_t index) const {
+  const auto* evs = events(l);
+  if (!evs) return false;
+  return first_after(*evs, index) != evs->end();
+}
+
+std::uint64_t LocationEvents::read_before_overwrite_after(
+    vm::Location l, std::uint64_t index) const {
+  const auto* evs = events(l);
+  if (!evs) return kNoIndex;
+  for (auto it = first_after(*evs, index); it != evs->end(); ++it) {
+    if (it->is_write) return kNoIndex;
+    return it->index;  // first post-index event is a read
+  }
+  return kNoIndex;
+}
+
+}  // namespace ft::trace

@@ -1,0 +1,60 @@
+// Per-location event index: for every location touched by a trace, the
+// ordered list of reads and writes. This is the "will this value be
+// referenced again?" oracle behind the ACL table's liveness (§III-C) and
+// the input/output classification of code regions (§III-B).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "vm/observer.h"
+
+namespace ft::trace {
+
+struct LocEvent {
+  std::uint64_t index;  // dynamic instruction index
+  bool is_write;        // write (result/store) vs read (operand use)
+};
+
+class LocationEvents {
+ public:
+  /// Build the index from a record span. Reads are operand locations;
+  /// writes are result locations (register defs and memory stores).
+  static LocationEvents build(std::span<const vm::DynInstr> records);
+
+  [[nodiscard]] const std::vector<LocEvent>* events(vm::Location l) const {
+    const auto it = map_.find(l);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  /// Index of the last read of `l` strictly after `index`; kNoIndex if none.
+  [[nodiscard]] std::uint64_t next_read_after(vm::Location l,
+                                              std::uint64_t index) const;
+  /// Index of the next write to `l` strictly after `index`; kNoIndex if none.
+  [[nodiscard]] std::uint64_t next_write_after(vm::Location l,
+                                               std::uint64_t index) const;
+  /// True if `l` has any read strictly after `index`.
+  [[nodiscard]] bool read_after(vm::Location l, std::uint64_t index) const {
+    return next_read_after(l, index) != kNoIndex;
+  }
+  /// True if `l` has any event (read or write) strictly after `index`.
+  [[nodiscard]] bool touched_after(vm::Location l, std::uint64_t index) const;
+
+  /// First event index of `l` at or after `index` that is a read occurring
+  /// before any intervening write ("value flows out"), kNoIndex otherwise.
+  [[nodiscard]] std::uint64_t read_before_overwrite_after(
+      vm::Location l, std::uint64_t index) const;
+
+  [[nodiscard]] std::size_t num_locations() const noexcept {
+    return map_.size();
+  }
+
+  static constexpr std::uint64_t kNoIndex = ~std::uint64_t{0};
+
+ private:
+  std::unordered_map<vm::Location, std::vector<LocEvent>> map_;
+};
+
+}  // namespace ft::trace

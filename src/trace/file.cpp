@@ -1,0 +1,60 @@
+#include "trace/file.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace ft::trace {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x46545452'43453031ull;  // "FTTRCE01"
+
+struct Header {
+  std::uint64_t magic;
+  std::uint64_t record_size;
+  std::uint64_t count;
+};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+bool write_trace_file(const std::string& path, const Trace& t) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  const Header h{kMagic, sizeof(vm::DynInstr), t.records.size()};
+  if (std::fwrite(&h, sizeof h, 1, f.get()) != 1) return false;
+  if (!t.records.empty() &&
+      std::fwrite(t.records.data(), sizeof(vm::DynInstr), t.records.size(),
+                  f.get()) != t.records.size()) {
+    return false;
+  }
+  return true;
+}
+
+bool read_trace_file(const std::string& path, Trace& out) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;
+  Header h{};
+  if (std::fread(&h, sizeof h, 1, f.get()) != 1) return false;
+  if (h.magic != kMagic || h.record_size != sizeof(vm::DynInstr)) return false;
+  out.records.assign(h.count, vm::DynInstr{});
+  if (h.count != 0 && std::fread(out.records.data(), sizeof(vm::DynInstr),
+                                 h.count, f.get()) != h.count) {
+    out.records.clear();
+    return false;
+  }
+  return true;
+}
+
+std::string rank_trace_path(const std::string& stem, int rank) {
+  return stem + ".rank" + std::to_string(rank) + ".fttrace";
+}
+
+}  // namespace ft::trace

@@ -1,0 +1,23 @@
+// Binary trace files (one per MPI rank, as in the paper's parallel tracer).
+// Fixed-size little-endian records with a small header; no compression —
+// the paper's answer to trace size is splitting, which we do by region.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/collector.h"
+
+namespace ft::trace {
+
+/// Serialize a trace. Returns false on I/O failure.
+bool write_trace_file(const std::string& path, const Trace& t);
+
+/// Deserialize a trace written by write_trace_file. Returns false on I/O or
+/// format error (bad magic / truncated payload).
+bool read_trace_file(const std::string& path, Trace& out);
+
+/// Conventional per-rank path: "<stem>.rank<r>.fttrace".
+[[nodiscard]] std::string rank_trace_path(const std::string& stem, int rank);
+
+}  // namespace ft::trace

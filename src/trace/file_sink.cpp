@@ -1,0 +1,49 @@
+#include "trace/file_sink.h"
+
+namespace ft::trace {
+
+namespace {
+// Header layout matches trace/file.cpp so read_trace_file can load these.
+constexpr std::uint64_t kMagic = 0x46545452'43453031ull;  // "FTTRCE01"
+struct Header {
+  std::uint64_t magic;
+  std::uint64_t record_size;
+  std::uint64_t count;
+};
+}  // namespace
+
+StreamingFileTracer::StreamingFileTracer(const std::string& path,
+                                         std::size_t buffer_records) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (!file_) return;
+  buffer_.reserve(buffer_records);
+  const Header placeholder{kMagic, sizeof(vm::DynInstr), 0};
+  std::fwrite(&placeholder, sizeof placeholder, 1, file_);
+}
+
+StreamingFileTracer::~StreamingFileTracer() { close(); }
+
+void StreamingFileTracer::on_instruction(const vm::DynInstr& d) {
+  if (!file_) return;
+  buffer_.push_back(d);
+  count_++;
+  if (buffer_.size() == buffer_.capacity()) {
+    std::fwrite(buffer_.data(), sizeof(vm::DynInstr), buffer_.size(), file_);
+    buffer_.clear();
+  }
+}
+
+void StreamingFileTracer::close() {
+  if (!file_) return;
+  if (!buffer_.empty()) {
+    std::fwrite(buffer_.data(), sizeof(vm::DynInstr), buffer_.size(), file_);
+    buffer_.clear();
+  }
+  const Header final_header{kMagic, sizeof(vm::DynInstr), count_};
+  std::fseek(file_, 0, SEEK_SET);
+  std::fwrite(&final_header, sizeof final_header, 1, file_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+}  // namespace ft::trace

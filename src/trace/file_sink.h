@@ -1,0 +1,43 @@
+// Streaming per-rank trace sink: serializes records to disk as they retire
+// (the LLVM-Tracer behaviour), with bounded memory. Used by the Fig. 4
+// tracing-overhead experiment, where materializing every rank's trace in
+// memory would be dishonest about cost.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "vm/observer.h"
+
+namespace ft::trace {
+
+class StreamingFileTracer final : public vm::ExecObserver {
+ public:
+  /// Opens `path` for writing; check ok() before use. Buffers `buffer_records`
+  /// records between write() calls.
+  explicit StreamingFileTracer(const std::string& path,
+                               std::size_t buffer_records = 4096);
+  ~StreamingFileTracer() override;
+
+  StreamingFileTracer(const StreamingFileTracer&) = delete;
+  StreamingFileTracer& operator=(const StreamingFileTracer&) = delete;
+
+  [[nodiscard]] bool ok() const noexcept { return file_ != nullptr; }
+  [[nodiscard]] std::uint64_t records_written() const noexcept {
+    return count_;
+  }
+
+  void on_instruction(const vm::DynInstr& d) override;
+
+  /// Flush buffered records and finalize the header; called by the dtor.
+  void close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::vector<vm::DynInstr> buffer_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace ft::trace

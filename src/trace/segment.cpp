@@ -1,0 +1,65 @@
+#include "trace/segment.h"
+
+namespace ft::trace {
+
+void RegionSegmenter::on_instruction(const vm::DynInstr& d) {
+  last_index_ = d.index;
+  if (d.op == ir::Opcode::RegionEnter) {
+    const auto rid = static_cast<std::uint32_t>(d.aux);
+    if (rid >= counts_.size()) counts_.resize(rid + 1, 0);
+    RegionInstance inst;
+    inst.region_id = rid;
+    inst.instance = counts_[rid]++;
+    inst.enter_index = d.index;
+    instances_.push_back(inst);
+    stack_.push_back(Open{rid, instances_.size() - 1});
+  } else if (d.op == ir::Opcode::RegionExit) {
+    const auto rid = static_cast<std::uint32_t>(d.aux);
+    // Pop to the matching open region; tolerate mismatches from crashes.
+    while (!stack_.empty()) {
+      const Open open = stack_.back();
+      stack_.pop_back();
+      auto& inst = instances_[open.instance_slot];
+      inst.exit_index = d.index;
+      inst.complete = open.region_id == rid;
+      if (open.region_id == rid) break;
+    }
+  }
+}
+
+void RegionSegmenter::finish() {
+  while (!stack_.empty()) {
+    const Open open = stack_.back();
+    stack_.pop_back();
+    auto& inst = instances_[open.instance_slot];
+    inst.exit_index = last_index_ + 1;
+    inst.complete = false;
+  }
+}
+
+std::vector<RegionInstance> segment_regions(
+    std::span<const vm::DynInstr> records) {
+  RegionSegmenter seg;
+  for (const auto& r : records) seg.on_instruction(r);
+  return seg.take();
+}
+
+std::vector<RegionInstance> instances_of(std::span<const RegionInstance> all,
+                                         std::uint32_t region_id) {
+  std::vector<RegionInstance> out;
+  for (const auto& i : all) {
+    if (i.region_id == region_id) out.push_back(i);
+  }
+  return out;
+}
+
+std::optional<RegionInstance> find_instance(std::span<const RegionInstance> all,
+                                            std::uint32_t region_id,
+                                            std::uint32_t instance) {
+  for (const auto& i : all) {
+    if (i.region_id == region_id && i.instance == instance) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ft::trace

@@ -1,0 +1,76 @@
+// Region segmentation: turning the marker stream (RegionEnter/RegionExit)
+// into code-region *instances* (§III-A: "a code region can have many dynamic
+// instances, each of which corresponds to one invocation of the code region
+// at runtime"). Works both streaming (as an observer) and post-hoc over a
+// materialized trace.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "trace/collector.h"
+#include "vm/observer.h"
+
+namespace ft::trace {
+
+struct RegionInstance {
+  std::uint32_t region_id = 0;
+  std::uint32_t instance = 0;       // nth dynamic entry of this region
+  std::uint64_t enter_index = 0;    // dyn index of the RegionEnter record
+  std::uint64_t exit_index = 0;     // dyn index of the RegionExit record
+  bool complete = false;            // false if the run ended mid-region
+
+  /// Dynamic-instruction span strictly inside the region (markers excluded).
+  [[nodiscard]] std::uint64_t body_begin() const noexcept {
+    return enter_index + 1;
+  }
+  [[nodiscard]] std::uint64_t body_end() const noexcept { return exit_index; }
+  [[nodiscard]] std::uint64_t body_length() const noexcept {
+    return exit_index > enter_index ? exit_index - enter_index - 1 : 0;
+  }
+};
+
+/// Streaming segmenter. Feed records (possibly via the VM observer hook);
+/// finish() closes any open regions at the last seen index.
+class RegionSegmenter final : public vm::ExecObserver {
+ public:
+  void on_instruction(const vm::DynInstr& d) override;
+
+  /// Close unterminated regions (crashed runs); idempotent.
+  void finish();
+
+  [[nodiscard]] const std::vector<RegionInstance>& instances() const noexcept {
+    return instances_;
+  }
+  [[nodiscard]] std::vector<RegionInstance> take() noexcept {
+    finish();
+    return std::move(instances_);
+  }
+
+ private:
+  struct Open {
+    std::uint32_t region_id;
+    std::size_t instance_slot;  // index into instances_
+  };
+  std::vector<RegionInstance> instances_;
+  std::vector<Open> stack_;
+  std::vector<std::uint32_t> counts_;
+  std::uint64_t last_index_ = 0;
+};
+
+/// Post-hoc segmentation of a materialized trace.
+[[nodiscard]] std::vector<RegionInstance> segment_regions(
+    std::span<const vm::DynInstr> records);
+
+/// All instances of one region, in dynamic order.
+[[nodiscard]] std::vector<RegionInstance> instances_of(
+    std::span<const RegionInstance> all, std::uint32_t region_id);
+
+/// The nth instance of a region, if present.
+[[nodiscard]] std::optional<RegionInstance> find_instance(
+    std::span<const RegionInstance> all, std::uint32_t region_id,
+    std::uint32_t instance);
+
+}  // namespace ft::trace

@@ -1,0 +1,15 @@
+#include "trace/stats.h"
+
+namespace ft::trace {
+
+OpcodeMix opcode_mix(std::span<const vm::DynInstr> records) {
+  OpcodeMix mix;
+  for (const auto& r : records) mix.add(r.op);
+  return mix;
+}
+
+std::uint64_t instructions_in(const RegionInstance& inst) {
+  return inst.body_length();
+}
+
+}  // namespace ft::trace

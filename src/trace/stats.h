@@ -1,0 +1,34 @@
+// Trace statistics: dynamic opcode mix and per-region-instance instruction
+// counts (the "#instr in an iteration" column of Table I).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "trace/segment.h"
+#include "vm/observer.h"
+
+namespace ft::trace {
+
+struct OpcodeMix {
+  std::array<std::uint64_t, 64> counts{};  // indexed by Opcode value
+  std::uint64_t total = 0;
+
+  void add(ir::Opcode op) noexcept {
+    counts[static_cast<std::size_t>(op)]++;
+    total++;
+  }
+  [[nodiscard]] std::uint64_t of(ir::Opcode op) const noexcept {
+    return counts[static_cast<std::size_t>(op)];
+  }
+};
+
+/// Dynamic opcode histogram of a record span.
+[[nodiscard]] OpcodeMix opcode_mix(std::span<const vm::DynInstr> records);
+
+/// Number of dynamic instructions inside one region instance (markers
+/// excluded).
+[[nodiscard]] std::uint64_t instructions_in(const RegionInstance& inst);
+
+}  // namespace ft::trace

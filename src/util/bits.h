@@ -1,0 +1,60 @@
+// Bit-level utilities shared by the fault injector, the ACL tracker and the
+// trace encoders. All values travel through FlipTracker as raw 64-bit
+// patterns; these helpers convert between typed values and patterns and
+// perform single-bit perturbations (the paper's fault model, §II-A).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace ft::util {
+
+/// Reinterpret a double as its IEEE-754 bit pattern.
+[[nodiscard]] constexpr std::uint64_t f64_to_bits(double v) noexcept {
+  return std::bit_cast<std::uint64_t>(v);
+}
+
+/// Reinterpret a 64-bit pattern as a double.
+[[nodiscard]] constexpr double bits_to_f64(std::uint64_t b) noexcept {
+  return std::bit_cast<double>(b);
+}
+
+/// Reinterpret a float as its IEEE-754 bit pattern (zero-extended to 64).
+[[nodiscard]] constexpr std::uint64_t f32_to_bits(float v) noexcept {
+  return std::bit_cast<std::uint32_t>(v);
+}
+
+/// Reinterpret the low 32 bits of a pattern as a float.
+[[nodiscard]] constexpr float bits_to_f32(std::uint64_t b) noexcept {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(b));
+}
+
+/// Flip bit `bit` (0 = LSB) of a 64-bit pattern.
+[[nodiscard]] constexpr std::uint64_t flip_bit(std::uint64_t v,
+                                               unsigned bit) noexcept {
+  return v ^ (std::uint64_t{1} << (bit & 63u));
+}
+
+/// True if exactly one bit differs between the two patterns.
+[[nodiscard]] constexpr bool differs_by_one_bit(std::uint64_t a,
+                                                std::uint64_t b) noexcept {
+  return std::popcount(a ^ b) == 1;
+}
+
+/// Keep only the low `width` bits (width in [1,64]).
+[[nodiscard]] constexpr std::uint64_t truncate_to(std::uint64_t v,
+                                                  unsigned width) noexcept {
+  return width >= 64 ? v : (v & ((std::uint64_t{1} << width) - 1));
+}
+
+/// Sign-extend the low `width` bits of `v` to a full int64.
+[[nodiscard]] constexpr std::int64_t sign_extend(std::uint64_t v,
+                                                 unsigned width) noexcept {
+  if (width >= 64) return static_cast<std::int64_t>(v);
+  const std::uint64_t m = std::uint64_t{1} << (width - 1);
+  const std::uint64_t low = truncate_to(v, width);
+  return static_cast<std::int64_t>((low ^ m) - m);
+}
+
+}  // namespace ft::util

@@ -1,0 +1,89 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace ft::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // Never allow the all-zero state; splitmix64 guarantees that for any seed.
+  for (auto& s : s_) s = splitmix64(seed);
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  // Lemire's rejection-free-ish multiply-shift with rejection for exactness.
+  for (;;) {
+    const std::uint64_t x = (*this)();
+    const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    const auto lo = static_cast<std::uint64_t>(m);
+    if (lo >= bound || lo >= static_cast<std::uint64_t>(-bound) % bound) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::uniform() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+Rng Rng::split() noexcept {
+  std::uint64_t seed = (*this)();
+  return Rng{splitmix64(seed)};
+}
+
+Randlc::Randlc(double seed, double a) noexcept : x_(seed) {
+  // Split the multiplier a = a1 * 2^23 + a2, following the NAS reference.
+  constexpr double r23 = 0x1.0p-23, t23 = 0x1.0p23;
+  const double t1 = r23 * a;
+  a1_ = static_cast<double>(static_cast<long long>(t1));
+  a2_ = a - t23 * a1_;
+}
+
+double Randlc::next() noexcept {
+  constexpr double r23 = 0x1.0p-23, t23 = 0x1.0p23;
+  constexpr double r46 = 0x1.0p-46, t46 = 0x1.0p46;
+
+  // Break x into two 23-bit halves and combine partial products mod 2^46.
+  const double t1 = r23 * x_;
+  const double x1 = static_cast<double>(static_cast<long long>(t1));
+  const double x2 = x_ - t23 * x1;
+
+  double t = a1_ * x2 + a2_ * x1;
+  const double t2 = static_cast<double>(static_cast<long long>(r23 * t));
+  const double z = t - t23 * t2;
+  t = t23 * z + a2_ * x2;
+  const double t3 = static_cast<double>(static_cast<long long>(r46 * t));
+  x_ = t - t46 * t3;
+  return r46 * x_;
+}
+
+}  // namespace ft::util

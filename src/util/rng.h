@@ -1,0 +1,70 @@
+// Deterministic random number generation.
+//
+// Two generators are provided:
+//  * Rng       — xoshiro256** for host-side sampling (fault-site selection,
+//                campaign scheduling). Fast, splittable via jump-free
+//                reseeding with splitmix64.
+//  * Randlc    — the NAS Parallel Benchmarks 48-bit linear congruential
+//                generator (x_{k+1} = a*x_k mod 2^46, result scaled to
+//                (0,1)). The MiniIR `Rand` opcode uses this so our CG/IS/MG
+//                workloads draw inputs from the same stream family as the
+//                originals, and every VM run is reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ft::util {
+
+/// splitmix64: used to expand a single 64-bit seed into generator state.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Derive an independent child generator (for per-task streams).
+  [[nodiscard]] Rng split() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// NAS `randlc` 48-bit LCG. Produces doubles in (0, 1).
+class Randlc {
+ public:
+  /// NAS default multiplier 5^13 and seed 314159265.
+  explicit Randlc(double seed = 314159265.0, double a = 1220703125.0) noexcept;
+
+  /// Next pseudo-random double in (0, 1); advances the stream.
+  double next() noexcept;
+
+  /// Current state (the NAS `tran` variable).
+  [[nodiscard]] double state() const noexcept { return x_; }
+
+ private:
+  double x_;
+  // Precomputed halves of the multiplier, as in the NAS reference code.
+  double a1_, a2_;
+};
+
+}  // namespace ft::util

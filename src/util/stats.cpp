@@ -1,0 +1,52 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ft::util {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (const double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stdev(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (const double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double min_of(std::span<const double> xs) noexcept {
+  return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) noexcept {
+  return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+double z_for_confidence(double confidence) noexcept {
+  if (confidence >= 0.989) return 2.5758;
+  if (confidence >= 0.949) return 1.9600;
+  if (confidence >= 0.899) return 1.6449;
+  return 1.9600;  // default to 95%
+}
+
+std::uint64_t fault_injection_sample_size(std::uint64_t population,
+                                          double confidence,
+                                          double margin) noexcept {
+  if (population == 0) return 0;
+  const double N = static_cast<double>(population);
+  const double z = z_for_confidence(confidence);
+  const double p = 0.5;
+  const double e = margin;
+  const double n = N / (1.0 + e * e * (N - 1.0) / (z * z * p * (1.0 - p)));
+  const auto rounded = static_cast<std::uint64_t>(std::ceil(n));
+  return std::min<std::uint64_t>(std::max<std::uint64_t>(rounded, 1),
+                                 population);
+}
+
+}  // namespace ft::util

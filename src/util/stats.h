@@ -1,0 +1,33 @@
+// Basic descriptive statistics plus the statistical fault-injection
+// machinery from Leveugle et al. (DATE'09), which the paper uses to size
+// its campaigns (§IV-C: 95% confidence / 3% margin; §VII: 99% / 1%).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace ft::util {
+
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 points.
+[[nodiscard]] double stdev(std::span<const double> xs) noexcept;
+
+[[nodiscard]] double min_of(std::span<const double> xs) noexcept;
+[[nodiscard]] double max_of(std::span<const double> xs) noexcept;
+
+/// z-score for a two-sided confidence level (supported: 0.90, 0.95, 0.99).
+[[nodiscard]] double z_for_confidence(double confidence) noexcept;
+
+/// Number of fault-injection trials for a population of `population` sites,
+/// confidence level `confidence` (e.g. 0.95), margin of error `margin`
+/// (e.g. 0.03), worst-case p = 0.5:
+///
+///   n = N / (1 + e^2 * (N - 1) / (z^2 * p * (1 - p)))
+///
+/// Matches Leveugle et al. Returns at least 1, never more than population.
+[[nodiscard]] std::uint64_t fault_injection_sample_size(
+    std::uint64_t population, double confidence, double margin) noexcept;
+
+}  // namespace ft::util

@@ -1,0 +1,81 @@
+// String formatting helpers (libstdc++ 12 has no <format>):
+//   * strfmt  — printf-style;
+//   * format  — a tiny std::format-alike supporting "{}" placeholders
+//               (format specs inside the braces are accepted and ignored;
+//               doubles print as %g, which matches the "{:g}"/"{:.6g}" uses
+//               in this codebase).
+#pragma once
+
+#include <array>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace ft::util {
+
+namespace detail {
+inline std::string display(const std::string& s) { return s; }
+inline std::string display(std::string_view s) { return std::string(s); }
+inline std::string display(const char* s) { return s; }
+inline std::string display(char c) { return std::string(1, c); }
+inline std::string display(double v) {
+  char b[64];
+  std::snprintf(b, sizeof b, "%g", v);
+  return b;
+}
+inline std::string display(float v) { return display(static_cast<double>(v)); }
+template <typename T>
+  requires std::is_integral_v<T>
+std::string display(T v) {
+  return std::to_string(v);
+}
+}  // namespace detail
+
+template <typename... Args>
+std::string format(std::string_view fmt, Args&&... args) {
+  const std::array<std::string, sizeof...(Args)> vals = {
+      detail::display(args)...};
+  std::string out;
+  out.reserve(fmt.size() + 16 * sizeof...(Args));
+  std::size_t ai = 0;
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    const char c = fmt[i];
+    if (c == '{') {
+      if (i + 1 < fmt.size() && fmt[i + 1] == '{') {
+        out += '{';
+        ++i;
+        continue;
+      }
+      const auto close = fmt.find('}', i);
+      if (close == std::string_view::npos) break;
+      if (ai < vals.size()) out += vals[ai++];
+      i = close;
+    } else if (c == '}' && i + 1 < fmt.size() && fmt[i + 1] == '}') {
+      out += '}';
+      ++i;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+[[gnu::format(printf, 1, 2)]] inline std::string strfmt(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace ft::util

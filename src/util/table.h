@@ -1,0 +1,34 @@
+// ASCII table rendering. Every bench binary regenerating one of the paper's
+// tables/figures prints through this so output is uniform and greppable.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ft::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Format a double with `prec` significant decimal digits.
+  static std::string num(double v, int prec = 3);
+  /// Format as a percentage ("12.3%").
+  static std::string pct(double fraction, int prec = 1);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ft::util

@@ -1,0 +1,51 @@
+// A small fixed-size thread pool used to parallelize fault-injection
+// campaigns (each injection run is an independent VM execution) and the
+// MiniMPI rank runtime. Follows CP.4 from the C++ Core Guidelines: callers
+// think in tasks; threads are an implementation detail.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ft::util {
+
+class ThreadPool {
+ public:
+  /// Creates `n` worker threads. n == 0 means hardware_concurrency().
+  explicit ThreadPool(std::size_t n = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(i) for i in [0, count) across the pool and wait for all.
+  /// Work is distributed in contiguous chunks for cache friendliness.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide pool (lazily constructed); used by campaign runners unless
+/// an explicit pool is supplied.
+ThreadPool& global_pool();
+
+}  // namespace ft::util

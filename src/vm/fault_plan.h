@@ -1,0 +1,59 @@
+// Fault plans: a description of one single-bit flip the VM applies while
+// running (the FlipIt-analog injection mechanism, §IV-C).
+#pragma once
+
+#include <cstdint>
+
+namespace ft::vm {
+
+struct FaultPlan {
+  enum class Kind : std::uint8_t {
+    None,
+    /// Flip `bit` of the result of dynamic instruction `dyn_index` before it
+    /// is committed (register write or memory store). Models a soft error in
+    /// the producing ALU/registers — faults on "internal locations".
+    ResultBit,
+    /// Flip `bit` of the memory word of width `width_bytes` at `address`
+    /// when RegionEnter for (region_id, region_instance) retires. Models a
+    /// corrupted *input location* of a code-region instance.
+    RegionInputMemoryBit,
+  };
+
+  Kind kind = Kind::None;
+  std::uint64_t dyn_index = 0;
+  std::uint32_t region_id = 0;
+  std::uint32_t region_instance = 0;
+  std::uint64_t address = 0;
+  std::uint32_t width_bytes = 8;
+  std::uint32_t bit = 0;
+
+  [[nodiscard]] bool armed() const noexcept { return kind != Kind::None; }
+
+  [[nodiscard]] static FaultPlan none() { return {}; }
+
+  [[nodiscard]] static FaultPlan result_bit(std::uint64_t dyn_index,
+                                            std::uint32_t bit) {
+    FaultPlan p;
+    p.kind = Kind::ResultBit;
+    p.dyn_index = dyn_index;
+    p.bit = bit;
+    return p;
+  }
+
+  [[nodiscard]] static FaultPlan region_input_bit(std::uint32_t region_id,
+                                                  std::uint32_t instance,
+                                                  std::uint64_t address,
+                                                  std::uint32_t width_bytes,
+                                                  std::uint32_t bit) {
+    FaultPlan p;
+    p.kind = Kind::RegionInputMemoryBit;
+    p.region_id = region_id;
+    p.region_instance = instance;
+    p.address = address;
+    p.width_bytes = width_bytes;
+    p.bit = bit;
+    return p;
+  }
+};
+
+}  // namespace ft::vm

@@ -1,0 +1,147 @@
+// The MiniIR interpreter.
+//
+// One Vm executes one module deterministically: same module + same options
+// (seed, fault plan) => bit-identical instruction stream. Determinism is
+// what lets FlipTracker match faulty runs against fault-free runs
+// record-by-record (the paper relies on record-and-replay for this, §V-B;
+// our VM is deterministic by construction).
+//
+// Two driving styles:
+//   * Vm::run()  — run to completion, streaming records to the observer in
+//                  VmOptions (if any). Fast path: with no observer, records
+//                  are not materialized.
+//   * Vm::step() — retire one instruction at a time; used by the lockstep
+//                  differential engine (src/acl/) to compare a faulty and a
+//                  fault-free execution.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ir/module.h"
+#include "util/rng.h"
+#include "vm/fault_plan.h"
+#include "vm/mpi_endpoint.h"
+#include "vm/observer.h"
+#include "vm/trap.h"
+
+namespace ft::vm {
+
+struct OutputValue {
+  std::uint64_t bits = 0;
+  ir::Type type = ir::Type::F64;
+
+  [[nodiscard]] double as_f64() const noexcept;
+  [[nodiscard]] std::int64_t as_i64() const noexcept;
+
+  bool operator==(const OutputValue&) const = default;
+};
+
+struct VmOptions {
+  std::uint64_t max_instructions = std::uint64_t{1} << 31;
+  double rand_seed = 314159265.0;  // NAS randlc default
+  ExecObserver* observer = nullptr;
+  FaultPlan fault{};
+  MpiEndpoint* mpi = nullptr;
+  std::uint32_t max_call_depth = 256;
+};
+
+struct RunResult {
+  TrapKind trap = TrapKind::None;
+  std::uint64_t instructions = 0;
+  bool fault_fired = false;
+  std::vector<OutputValue> outputs;
+
+  [[nodiscard]] bool completed() const noexcept {
+    return trap == TrapKind::None;
+  }
+};
+
+class Vm {
+ public:
+  enum class Status : std::uint8_t { Running, Finished, Trapped };
+
+  /// The module must outlive the Vm and must be laid out (Module::layout(),
+  /// done by ProgramBuilder::finish()).
+  explicit Vm(const ir::Module& m, VmOptions opts = {});
+
+  /// Retire one instruction. If `out` is non-null it receives the dynamic
+  /// record of the retired instruction (unset when the instruction trapped).
+  Status step(DynInstr* out);
+
+  /// Run to completion (or trap), feeding opts.observer if present.
+  RunResult run();
+
+  /// One-shot convenience.
+  static RunResult run(const ir::Module& m, VmOptions opts = {});
+
+  // --- introspection ---------------------------------------------------------
+  [[nodiscard]] Status status() const noexcept { return status_; }
+  [[nodiscard]] TrapKind trap() const noexcept { return trap_; }
+  [[nodiscard]] std::uint64_t instructions_retired() const noexcept {
+    return n_retired_;
+  }
+  [[nodiscard]] bool fault_fired() const noexcept { return fault_fired_; }
+  [[nodiscard]] const std::vector<OutputValue>& outputs() const noexcept {
+    return outputs_;
+  }
+  [[nodiscard]] RunResult take_result();
+
+  /// Raw memory access (bounds-checked; aborts on misuse). Used by fault
+  /// tooling and tests to read/poke program state.
+  [[nodiscard]] std::uint64_t read_word(std::uint64_t addr,
+                                        std::uint32_t size_bytes) const;
+  void write_word(std::uint64_t addr, std::uint32_t size_bytes,
+                  std::uint64_t bits);
+  [[nodiscard]] std::span<const std::uint8_t> memory() const noexcept {
+    return mem_;
+  }
+
+  /// How many instances of region `rid` have been entered so far.
+  [[nodiscard]] std::uint32_t region_instances(std::uint32_t rid) const;
+
+ private:
+  struct Frame {
+    std::uint32_t func = 0;
+    std::uint64_t activation = 0;
+    std::uint32_t block = 0;
+    std::uint32_t pc = 0;
+    std::vector<std::uint64_t> regs;
+    std::vector<std::uint64_t> arg_bits;
+    std::vector<Location> arg_locs;
+    std::uint64_t saved_sp = 0;
+    // Where the Call result goes when this frame returns.
+    std::uint32_t ret_reg = ir::kNoReg;
+  };
+
+  struct OpVal {
+    std::uint64_t bits = 0;
+    Location loc = kNoLoc;
+    ir::Type type = ir::Type::Void;
+  };
+
+  OpVal eval(const ir::Operand& o, const Frame& fr) const;
+  void push_frame(std::uint32_t func, const ir::Instruction& call_ins,
+                  Frame& caller, DynInstr* out);
+  [[nodiscard]] bool mem_ok(std::uint64_t addr, std::uint32_t size) const;
+  void set_trap(TrapKind t) noexcept;
+  void maybe_flip_result(std::uint64_t& bits);
+  void apply_region_entry_fault(std::uint32_t rid);
+
+  const ir::Module* mod_;
+  VmOptions opts_;
+  std::vector<std::uint8_t> mem_;
+  std::vector<Frame> frames_;
+  std::uint64_t sp_ = 0;
+  std::uint64_t next_activation_ = 1;
+  std::uint64_t n_retired_ = 0;
+  std::vector<OutputValue> outputs_;
+  std::vector<std::uint32_t> region_counts_;
+  util::Randlc randlc_;
+  TrapKind trap_ = TrapKind::None;
+  Status status_ = Status::Running;
+  bool fault_fired_ = false;
+};
+
+}  // namespace ft::vm

@@ -1,0 +1,65 @@
+// Location encoding (§III-C of the paper).
+//
+// A *location* is where a value lives: a virtual-register instance or a
+// memory word. The paper's ACL table is keyed by locations; we encode both
+// flavours into one uint64 so trace records and taint sets stay flat:
+//
+//   0                                  -> "no location" (immediates, none)
+//   [1, 2^48)                          -> memory address
+//   bit 63 set | activation<<20 | reg  -> register `reg` of the activation
+//
+// Register locations are per *activation* (function-frame instance), so the
+// same static register in two calls is two distinct locations — matching
+// the dynamic-trace view of LLVM-Tracer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ft::vm {
+
+using Location = std::uint64_t;
+
+inline constexpr Location kNoLoc = 0;
+inline constexpr std::uint64_t kRegTag = std::uint64_t{1} << 63;
+inline constexpr unsigned kRegBits = 20;  // up to 2^20 registers per function
+
+[[nodiscard]] constexpr Location mem_loc(std::uint64_t address) noexcept {
+  return address;
+}
+
+[[nodiscard]] constexpr Location reg_loc(std::uint64_t activation,
+                                         std::uint32_t reg) noexcept {
+  return kRegTag | (activation << kRegBits) | reg;
+}
+
+[[nodiscard]] constexpr bool is_reg_loc(Location l) noexcept {
+  return (l & kRegTag) != 0;
+}
+
+[[nodiscard]] constexpr bool is_mem_loc(Location l) noexcept {
+  return l != kNoLoc && !is_reg_loc(l);
+}
+
+[[nodiscard]] constexpr std::uint64_t loc_address(Location l) noexcept {
+  return l;  // valid only for memory locations
+}
+
+[[nodiscard]] constexpr std::uint32_t loc_reg(Location l) noexcept {
+  return static_cast<std::uint32_t>(l & ((1u << kRegBits) - 1));
+}
+
+[[nodiscard]] constexpr std::uint64_t loc_activation(Location l) noexcept {
+  return (l & ~kRegTag) >> kRegBits;
+}
+
+[[nodiscard]] inline std::string loc_to_string(Location l) {
+  if (l == kNoLoc) return "<none>";
+  if (is_reg_loc(l)) {
+    return "r" + std::to_string(loc_reg(l)) + "@" +
+           std::to_string(loc_activation(l));
+  }
+  return "mem:" + std::to_string(loc_address(l));
+}
+
+}  // namespace ft::vm

@@ -1,0 +1,27 @@
+// Interface the VM uses for MiniMPI intrinsics. A null endpoint behaves as
+// a single-rank world (rank 0, size 1, allreduce is identity); the real
+// multi-rank runtime lives in src/mpi/.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/opcode.h"
+
+namespace ft::vm {
+
+class MpiEndpoint {
+ public:
+  virtual ~MpiEndpoint() = default;
+
+  [[nodiscard]] virtual std::int64_t rank() const = 0;
+  [[nodiscard]] virtual std::int64_t size() const = 0;
+
+  /// Blocking point-to-point send/receive of one f64 payload.
+  virtual void send(std::int64_t dest_rank, double value) = 0;
+  [[nodiscard]] virtual double recv(std::int64_t src_rank) = 0;
+
+  [[nodiscard]] virtual double allreduce(double value, ir::ReduceOp op) = 0;
+  virtual void barrier() = 0;
+};
+
+}  // namespace ft::vm

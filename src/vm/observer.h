@@ -1,0 +1,69 @@
+// Dynamic-instruction records and the observer hook.
+//
+// The VM invokes an ExecObserver after each retired instruction with a
+// DynInstr record carrying everything LLVM-Tracer's trace format carries
+// (instruction type, register names, operand values, §IV-A): static
+// coordinates, operand/result locations and bit patterns, memory effective
+// address and branch outcome. Tracers, region segmenters, ACL trackers and
+// pattern counters are all observers; analyses can run streaming without
+// materializing multi-gigabyte traces.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "ir/instruction.h"
+#include "vm/location.h"
+
+namespace ft::vm {
+
+inline constexpr unsigned kMaxTracedOps = 3;
+
+struct DynInstr {
+  std::uint64_t index = 0;  // dynamic instruction index, 0-based
+  std::uint32_t func = 0;   // static coordinates
+  std::uint32_t block = 0;
+  std::uint32_t instr = 0;  // index within block
+  ir::Opcode op = ir::Opcode::Br;
+  ir::CmpPred pred = ir::CmpPred::None;
+  ir::Type type = ir::Type::Void;
+  std::uint8_t nops = 0;
+  std::uint32_t line = 0;
+  std::int64_t aux = 0;
+
+  Location result_loc = kNoLoc;
+  std::uint64_t result_bits = 0;
+
+  std::array<Location, kMaxTracedOps> op_loc{};
+  std::array<std::uint64_t, kMaxTracedOps> op_bits{};
+  std::array<ir::Type, kMaxTracedOps> op_type{};
+
+  std::uint64_t mem_addr = 0;  // effective address for load/store
+  std::uint32_t mem_size = 0;
+  bool branch_taken = false;  // for condbr
+};
+
+class ExecObserver {
+ public:
+  virtual ~ExecObserver() = default;
+  /// Called after every retired dynamic instruction (subject to enabled()).
+  virtual void on_instruction(const DynInstr& d) = 0;
+  /// Trace control: when false, the VM skips record construction and
+  /// delivery for non-marker instructions. RegionEnter/RegionExit are
+  /// always delivered so gating observers can toggle on region boundaries.
+  [[nodiscard]] virtual bool enabled() const { return true; }
+};
+
+/// Fans one VM execution out to several observers.
+class MultiObserver final : public ExecObserver {
+ public:
+  void add(ExecObserver* o) { observers_.push_back(o); }
+  void on_instruction(const DynInstr& d) override {
+    for (auto* o : observers_) o->on_instruction(d);
+  }
+
+ private:
+  std::vector<ExecObserver*> observers_;
+};
+
+}  // namespace ft::vm

@@ -1,0 +1,37 @@
+// Abnormal-termination model. Traps map to the paper's "Crashed" fault
+// manifestation (§II-A1): crashes and hangs.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ft::vm {
+
+enum class TrapKind : std::uint8_t {
+  None,            // ran to completion
+  OutOfBounds,     // load/store outside mapped memory (segfault analog)
+  DivByZero,       // integer division/remainder by zero
+  IntOverflowDiv,  // INT_MIN / -1
+  BadShift,        // shift amount >= bit width (UB in C; crashes here)
+  FpDomain,        // fptosi of NaN / out-of-range value
+  StackOverflow,   // alloca exhausted the stack segment
+  CallDepth,       // runaway recursion
+  Hang,            // instruction budget exhausted (hang/livelock analog)
+};
+
+[[nodiscard]] constexpr std::string_view trap_name(TrapKind t) noexcept {
+  switch (t) {
+    case TrapKind::None: return "none";
+    case TrapKind::OutOfBounds: return "out-of-bounds";
+    case TrapKind::DivByZero: return "div-by-zero";
+    case TrapKind::IntOverflowDiv: return "int-overflow-div";
+    case TrapKind::BadShift: return "bad-shift";
+    case TrapKind::FpDomain: return "fp-domain";
+    case TrapKind::StackOverflow: return "stack-overflow";
+    case TrapKind::CallDepth: return "call-depth";
+    case TrapKind::Hang: return "hang";
+  }
+  return "?";
+}
+
+}  // namespace ft::vm

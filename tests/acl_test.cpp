@@ -1,0 +1,303 @@
+// ACL table tests, including the paper's Fig. 3 worked example, the
+// differential engine, and liveness/kill invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "acl/diff.h"
+#include "acl/table.h"
+#include "hl/builder.h"
+#include "trace/collector.h"
+#include "trace/events.h"
+#include "util/bits.h"
+#include "vm/interp.h"
+
+namespace ft {
+namespace {
+
+// --- Fig. 3: hand-built record stream, taint mode -----------------------------
+//
+// Instr 1 writes Loc_1 (the injected corruption), 2 and 4 touch an
+// unrelated location, 3 reads Loc_1 and writes Loc_2, 5 overwrites Loc_1
+// with a clean value, 6 ends the stream. Expected ACL counts after each
+// instruction: 1 1 2 2 1 0 (the last row of the paper's figure).
+
+vm::DynInstr rec(std::uint64_t index, ir::Opcode op, vm::Location result,
+                 std::initializer_list<vm::Location> reads) {
+  vm::DynInstr d;
+  d.index = index;
+  d.op = op;
+  d.result_loc = result;
+  d.type = ir::Type::F64;
+  unsigned k = 0;
+  for (const auto l : reads) {
+    d.op_loc[k] = l;
+    d.op_type[k] = ir::Type::F64;
+    k++;
+  }
+  d.nops = k;
+  return d;
+}
+
+TEST(AclTable, Figure3WorkedExample) {
+  constexpr vm::Location loc1 = 100, loc2 = 108, other = 200;
+  std::vector<vm::DynInstr> records = {
+      rec(0, ir::Opcode::Store, loc1, {}),        // 1: fault lands in Loc_1
+      rec(1, ir::Opcode::Store, other, {}),       // 2: unrelated
+      rec(2, ir::Opcode::Store, loc2, {loc1}),    // 3: Loc_1 -> Loc_2
+      rec(3, ir::Opcode::Store, other, {}),       // 4: unrelated
+      rec(4, ir::Opcode::Store, loc1, {}),        // 5: clean overwrite
+      rec(5, ir::Opcode::Ret, vm::kNoLoc, {}),    // 6: end
+  };
+  const auto events = trace::LocationEvents::build(records);
+  const auto acl = acl::build_acl_taint(records, events, loc1, 0);
+
+  ASSERT_EQ(acl.count.size(), 6u);
+  EXPECT_EQ(acl.count[0], 1u);
+  EXPECT_EQ(acl.count[1], 1u);
+  EXPECT_EQ(acl.count[2], 2u);
+  EXPECT_EQ(acl.count[3], 2u);
+  EXPECT_EQ(acl.count[4], 1u);  // Loc_1 overwritten by a clean value
+  EXPECT_EQ(acl.count[5], 0u);  // Loc_2 dead at end of trace
+  EXPECT_EQ(acl.max_count, 2u);
+
+  EXPECT_EQ(acl.kills(acl::AclEventKind::KillOverwrite), 1u);
+  EXPECT_EQ(acl.kills(acl::AclEventKind::KillEndOfTrace), 1u);
+  EXPECT_EQ(acl.first_corruption_index, 0u);
+}
+
+TEST(AclTable, TaintKillDeadAtLastUse) {
+  constexpr vm::Location loc1 = 100, loc2 = 108;
+  // Loc_1 corrupted at 0; its only use is at 1 and it is never written
+  // again -> it must die *at* instruction 1 (the consuming instruction).
+  std::vector<vm::DynInstr> records = {
+      rec(0, ir::Opcode::Store, loc1, {}),
+      rec(1, ir::Opcode::Store, loc2, {loc1}),
+      rec(2, ir::Opcode::Store, loc2, {}),  // clean overwrite of Loc_2
+      rec(3, ir::Opcode::Ret, vm::kNoLoc, {}),
+  };
+  const auto events = trace::LocationEvents::build(records);
+  const auto acl = acl::build_acl_taint(records, events, loc1, 0);
+  ASSERT_EQ(acl.count.size(), 4u);
+  EXPECT_EQ(acl.count[0], 1u);
+  EXPECT_EQ(acl.count[1], 1u);  // Loc_1 died (dead), Loc_2 born
+  EXPECT_EQ(acl.count[2], 0u);  // Loc_2 overwritten clean
+  EXPECT_EQ(acl.kills(acl::AclEventKind::KillDead), 1u);
+  EXPECT_EQ(acl.kills(acl::AclEventKind::KillOverwrite), 1u);
+}
+
+// --- differential engine ------------------------------------------------------
+
+TEST(DiffRun, NoFaultMeansNoDifference) {
+  hl::ProgramBuilder pb("t");
+  const auto fid = pb.declare_function("main");
+  {
+    auto f = pb.define(fid);
+    auto s = f.var_f64("s", 0.0);
+    f.for_("i", 0, 20, [&](hl::Value i) { s.set(s.get() + f.sitofp(i)); });
+    f.emit(s.get());
+    f.ret();
+  }
+  auto mod = pb.finish();
+  acl::DiffOptions opts;
+  opts.fault = vm::FaultPlan::none();
+  const auto diff = acl::diff_run(mod, opts);
+  EXPECT_FALSE(diff.diverged());
+  for (std::size_t i = 0; i < diff.usable_records(); ++i) {
+    EXPECT_FALSE(diff.differs[i]);
+  }
+  EXPECT_EQ(diff.faulty_result.outputs, diff.clean_result.outputs);
+}
+
+TEST(DiffRun, FaultShowsUpExactlyAtInjection) {
+  hl::ProgramBuilder pb("t");
+  auto arr = pb.global_init_f64("arr", {1.0, 2.0, 3.0, 4.0});
+  const auto fid = pb.declare_function("main");
+  {
+    auto f = pb.define(fid);
+    auto s = f.var_f64("s", 0.0);
+    f.for_("i", 0, 4, [&](hl::Value i) { s.set(s.get() + f.ld(arr, i)); });
+    f.emit(s.get());
+    f.ret();
+  }
+  auto mod = pb.finish();
+
+  // Find a load to corrupt.
+  trace::TraceCollector c;
+  vm::VmOptions vopts;
+  vopts.observer = &c;
+  (void)vm::Vm::run(mod, vopts);
+  std::uint64_t load_index = 0;
+  for (const auto& r : c.trace().records) {
+    if (r.op == ir::Opcode::Load &&
+        r.result_bits == util::f64_to_bits(3.0)) {
+      load_index = r.index;
+    }
+  }
+  ASSERT_NE(load_index, 0u);
+
+  acl::DiffOptions opts;
+  opts.fault = vm::FaultPlan::result_bit(load_index, 51);
+  const auto diff = acl::diff_run(mod, opts);
+  ASSERT_FALSE(diff.diverged());
+  // Nothing differs before the injection; the injected record differs.
+  for (std::uint64_t i = 0; i < load_index; ++i) {
+    EXPECT_FALSE(diff.differs[i]);
+  }
+  EXPECT_TRUE(diff.differs[load_index]);
+  EXPECT_NE(diff.faulty_result.outputs, diff.clean_result.outputs);
+}
+
+TEST(DiffRun, ControlFlowDivergenceIsDetected) {
+  hl::ProgramBuilder pb("t");
+  const auto fid = pb.declare_function("main");
+  {
+    auto f = pb.define(fid);
+    auto x = f.var_i64("x", 4);
+    // Branch on x: corrupting the comparison flips control flow.
+    f.if_else(x.get().gt(2), [&] { f.emit(f.c_i64(111)); },
+              [&] { f.emit(f.c_i64(222)); });
+    f.ret();
+  }
+  auto mod = pb.finish();
+  trace::TraceCollector c;
+  vm::VmOptions vopts;
+  vopts.observer = &c;
+  (void)vm::Vm::run(mod, vopts);
+  std::uint64_t cmp_index = 0;
+  for (const auto& r : c.trace().records) {
+    if (r.op == ir::Opcode::ICmp) cmp_index = r.index;
+  }
+  acl::DiffOptions opts;
+  opts.fault = vm::FaultPlan::result_bit(cmp_index, 0);  // flip the i1
+  const auto diff = acl::diff_run(mod, opts);
+  EXPECT_TRUE(diff.diverged());
+  EXPECT_GT(diff.divergence_index, cmp_index);
+  EXPECT_NE(diff.faulty_result.outputs, diff.clean_result.outputs);
+}
+
+TEST(DiffRun, CrashingFaultStillReportsOutcome) {
+  hl::ProgramBuilder pb("t");
+  auto arr = pb.global_init_i64("idx", {1});
+  auto data = pb.global_f64("data", 4);
+  const auto fid = pb.declare_function("main");
+  {
+    auto f = pb.define(fid);
+    f.emit(f.ld(data, f.ld(arr, 0)));
+    f.ret();
+  }
+  auto mod = pb.finish();
+  trace::TraceCollector c;
+  vm::VmOptions vopts;
+  vopts.observer = &c;
+  (void)vm::Vm::run(mod, vopts);
+  std::uint64_t idx_load = 0;
+  for (const auto& r : c.trace().records) {
+    if (r.op == ir::Opcode::Load && r.type == ir::Type::I64) {
+      idx_load = r.index;
+      break;
+    }
+  }
+  acl::DiffOptions opts;
+  opts.fault = vm::FaultPlan::result_bit(idx_load, 40);  // huge index
+  const auto diff = acl::diff_run(mod, opts);
+  EXPECT_EQ(diff.faulty_result.trap, vm::TrapKind::OutOfBounds);
+  EXPECT_TRUE(diff.clean_result.completed());
+}
+
+// --- value-diff ACL over a real program ------------------------------------------
+
+TEST(AclValueDiff, OverwriteKillsCorruption) {
+  hl::ProgramBuilder pb("t");
+  auto arr = pb.global_init_f64("arr", {1.0, 0.0});
+  const auto fid = pb.declare_function("main");
+  {
+    auto f = pb.define(fid);
+    auto v = f.ld(arr, 0);
+    f.st(arr, 1, v);          // propagate
+    f.st(arr, 1, f.c_f64(9.0));  // clean overwrite
+    f.emit(f.ld(arr, 1));
+    f.ret();
+  }
+  auto mod = pb.finish();
+
+  trace::TraceCollector c;
+  vm::VmOptions vopts;
+  vopts.observer = &c;
+  (void)vm::Vm::run(mod, vopts);
+  std::uint64_t load_idx = 0;
+  for (const auto& r : c.trace().records) {
+    if (r.op == ir::Opcode::Load &&
+        r.result_bits == util::f64_to_bits(1.0)) {
+      load_idx = r.index;
+      break;
+    }
+  }
+
+  acl::DiffOptions opts;
+  opts.fault = vm::FaultPlan::result_bit(load_idx, 50);
+  const auto diff = acl::diff_run(mod, opts);
+  ASSERT_FALSE(diff.diverged());
+  const auto events = trace::LocationEvents::build(
+      std::span<const vm::DynInstr>(diff.faulty.records));
+  const auto acl_series = acl::build_acl(diff, events);
+
+  // Corruption was born, propagated, and fully eliminated by the overwrite
+  // (outputs match the clean run).
+  EXPECT_GT(acl_series.births(), 0u);
+  EXPECT_GT(acl_series.kills(acl::AclEventKind::KillOverwrite), 0u);
+  EXPECT_EQ(diff.faulty_result.outputs, diff.clean_result.outputs);
+}
+
+TEST(AclValueDiff, CountNeverNegativeAndEndsAtZeroWhenMasked) {
+  // Property over several injection points: counts are sane.
+  hl::ProgramBuilder pb("t");
+  auto arr = pb.global_init_f64("arr", {1.0, 2.0, 3.0, 4.0});
+  const auto fid = pb.declare_function("main");
+  {
+    auto f = pb.define(fid);
+    auto s = f.var_f64("s", 0.0);
+    f.for_("i", 0, 4, [&](hl::Value i) { s.set(s.get() + f.ld(arr, i)); });
+    f.st(arr, 0, f.c_f64(5.0));  // clean overwrite of arr[0]
+    f.emit(s.get());
+    f.ret();
+  }
+  auto mod = pb.finish();
+  for (const std::uint64_t idx : {2ull, 5ull, 8ull, 11ull}) {
+    acl::DiffOptions opts;
+    opts.fault = vm::FaultPlan::result_bit(idx, 13);
+    const auto diff = acl::diff_run(mod, opts);
+    if (diff.diverged()) continue;
+    const auto events = trace::LocationEvents::build(
+        std::span<const vm::DynInstr>(diff.faulty.records));
+    const auto acl_series = acl::build_acl(diff, events);
+    for (std::size_t i = 1; i < acl_series.count.size(); ++i) {
+      // Counts move by bounded steps and stay non-negative (unsigned).
+      EXPECT_LE(acl_series.count[i],
+                acl_series.count[i - 1] + 2u);
+    }
+    if (!acl_series.count.empty()) {
+      EXPECT_EQ(acl_series.count.back(), 0u);  // end-of-trace cleanup
+    }
+  }
+}
+
+TEST(AclErrorMagnitude, MatchesEquation2) {
+  const auto clean = util::f64_to_bits(4.0);
+  const auto faulty = util::f64_to_bits(5.0);
+  EXPECT_DOUBLE_EQ(acl::error_magnitude(clean, faulty, ir::Type::F64), 0.25);
+  EXPECT_DOUBLE_EQ(acl::error_magnitude(clean, clean, ir::Type::F64), 0.0);
+  EXPECT_TRUE(std::isinf(
+      acl::error_magnitude(util::f64_to_bits(0.0), faulty, ir::Type::F64)));
+  // Integer magnitudes.
+  EXPECT_DOUBLE_EQ(acl::error_magnitude(10, 15, ir::Type::I64), 0.5);
+}
+
+TEST(AclEvents, KindNamesAreStable) {
+  EXPECT_EQ(acl::acl_event_kind_name(acl::AclEventKind::Birth), "birth");
+  EXPECT_EQ(acl::acl_event_kind_name(acl::AclEventKind::KillDead),
+            "kill-dead");
+}
+
+}  // namespace
+}  // namespace ft

@@ -1,0 +1,130 @@
+// Workload health: every app must build valid MiniIR, run fault-free to a
+// passing verification, be deterministic, and expose the paper's region
+// structure.
+#include <gtest/gtest.h>
+
+#include "apps/app.h"
+#include "ir/verify.h"
+#include "trace/collector.h"
+#include "trace/segment.h"
+#include "vm/interp.h"
+
+namespace ft {
+namespace {
+
+class AllApps : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllApps, BuildsValidModule) {
+  auto app = apps::build_app(GetParam());
+  const auto errs = ir::verify(app.module);
+  EXPECT_TRUE(errs.empty()) << (errs.empty() ? "" : errs[0]);
+  EXPECT_FALSE(app.analysis_regions.empty());
+  EXPECT_GT(app.main_iters, 0);
+}
+
+TEST_P(AllApps, FaultFreeRunPassesOwnVerification) {
+  auto app = apps::build_app(GetParam());
+  const auto r = vm::Vm::run(app.module, app.base);
+  ASSERT_TRUE(r.completed()) << trap_name(r.trap);
+  ASSERT_GE(r.outputs.size(), 2u);
+  // Program-internal verification flag (output 0) must pass.
+  EXPECT_EQ(r.outputs[0].type, ir::Type::I64);
+  EXPECT_EQ(r.outputs[0].bits, 1u) << "internal verification failed";
+  // The host verifier must accept the golden run against itself.
+  EXPECT_TRUE(app.verifier(r.outputs, r.outputs));
+}
+
+TEST_P(AllApps, Deterministic) {
+  auto app = apps::build_app(GetParam());
+  const auto a = vm::Vm::run(app.module, app.base);
+  const auto b = vm::Vm::run(app.module, app.base);
+  EXPECT_EQ(a.outputs, b.outputs);
+  EXPECT_EQ(a.instructions, b.instructions);
+}
+
+TEST_P(AllApps, MainLoopRegionHasExpectedInstances) {
+  auto app = apps::build_app(GetParam());
+  trace::TraceCollector c;
+  auto opts = app.base;
+  opts.observer = &c;
+  const auto r = vm::Vm::run(app.module, opts);
+  ASSERT_TRUE(r.completed());
+  const auto instances = trace::segment_regions(c.trace().span());
+  const auto main_insts = trace::instances_of(instances, app.main_region);
+  EXPECT_EQ(main_insts.size(), static_cast<std::size_t>(app.main_iters));
+  for (const auto& inst : main_insts) {
+    EXPECT_TRUE(inst.complete);
+    EXPECT_GT(inst.body_length(), 0u);
+  }
+}
+
+TEST_P(AllApps, AnalysisRegionsAllHaveInstances) {
+  auto app = apps::build_app(GetParam());
+  trace::TraceCollector c;
+  auto opts = app.base;
+  opts.observer = &c;
+  (void)vm::Vm::run(app.module, opts);
+  const auto instances = trace::segment_regions(c.trace().span());
+  for (const auto& rd : app.analysis_regions) {
+    const auto insts = trace::instances_of(instances, rd.id);
+    EXPECT_FALSE(insts.empty()) << "region " << rd.name << " never entered";
+  }
+}
+
+TEST_P(AllApps, RunSizeIsAnalysisFriendly) {
+  auto app = apps::build_app(GetParam());
+  const auto r = vm::Vm::run(app.module, app.base);
+  ASSERT_TRUE(r.completed());
+  EXPECT_GT(r.instructions, 10000u) << "workload too trivial";
+  EXPECT_LT(r.instructions, 5000000u) << "workload too large for campaigns";
+}
+
+INSTANTIATE_TEST_SUITE_P(Paper, AllApps,
+                         ::testing::ValuesIn(apps::all_app_names()),
+                         [](const auto& info) { return info.param; });
+
+// --- hardened CG variants (Use Case 1) ---------------------------------------
+
+TEST(CgVariants, HardenedVariantsPassVerification) {
+  for (const auto h :
+       {apps::CgHardening{true, false}, apps::CgHardening{false, true},
+        apps::CgHardening{true, true}}) {
+    auto app = apps::build_cg_hardened(h);
+    const auto r = vm::Vm::run(app.module, app.base);
+    ASSERT_TRUE(r.completed()) << trap_name(r.trap);
+    EXPECT_EQ(r.outputs[0].bits, 1u)
+        << "dcl=" << h.dcl_overwrite << " trunc=" << h.truncation;
+  }
+}
+
+TEST(CgVariants, HardenedZetaIsCloseToBaseline) {
+  auto base = apps::build_cg();
+  auto hard = apps::build_cg_hardened({true, true});
+  const auto rb = vm::Vm::run(base.module, base.base);
+  const auto rh = vm::Vm::run(hard.module, hard.base);
+  ASSERT_TRUE(rb.completed());
+  ASSERT_TRUE(rh.completed());
+  const double zb = rb.outputs.back().as_f64();
+  const double zh = rh.outputs.back().as_f64();
+  // The truncation window costs a little precision but must stay close.
+  EXPECT_NEAR(zb, zh, std::abs(zb) * 0.05);
+}
+
+TEST(CgVariants, HardenedRuntimeOverheadIsSmall) {
+  auto base = apps::build_cg();
+  auto hard = apps::build_cg_hardened({true, false});
+  const auto rb = vm::Vm::run(base.module, base.base);
+  const auto rh = vm::Vm::run(hard.module, hard.base);
+  // Table III: < 0.1% wall-clock cost; in instruction counts the copy-in/
+  // copy-back is bounded by a few percent at this scale.
+  EXPECT_LT(static_cast<double>(rh.instructions),
+            static_cast<double>(rb.instructions) * 1.10);
+}
+
+TEST(Registry, KnowsAllTenApps) {
+  EXPECT_EQ(apps::all_app_names().size(), 10u);
+  EXPECT_THROW(apps::build_app("NOPE"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ft

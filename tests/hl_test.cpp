@@ -1,0 +1,289 @@
+// Tests for the high-level builder: every control-flow construct and
+// expression form must lower to valid MiniIR that computes the same result
+// the equivalent C code would.
+#include <gtest/gtest.h>
+
+#include "hl/builder.h"
+#include "ir/print.h"
+#include "ir/verify.h"
+#include "vm/interp.h"
+
+namespace ft {
+namespace {
+
+/// Build a module whose main emits values via `body`, run it, return
+/// outputs. The body receives the FunctionBuilder.
+std::vector<vm::OutputValue> run_program(
+    const std::function<void(hl::FunctionBuilder&)>& body) {
+  hl::ProgramBuilder pb("t");
+  const auto fid = pb.declare_function("main");
+  {
+    auto f = pb.define(fid);
+    body(f);
+    f.ret();
+  }
+  auto mod = pb.finish();
+  const auto errs = ir::verify(mod);
+  EXPECT_TRUE(errs.empty()) << (errs.empty() ? "" : errs[0]);
+  const auto r = vm::Vm::run(mod);
+  EXPECT_TRUE(r.completed()) << trap_name(r.trap);
+  return r.outputs;
+}
+
+TEST(HlBuilder, ArithmeticInt) {
+  const auto out = run_program([](hl::FunctionBuilder& f) {
+    auto a = f.var_i64("a", 7);
+    auto b = f.var_i64("b", 3);
+    f.emit(a.get() + b.get());
+    f.emit(a.get() - b.get());
+    f.emit(a.get() * b.get());
+    f.emit(a.get() / b.get());
+    f.emit(a.get() % b.get());
+  });
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0].as_i64(), 10);
+  EXPECT_EQ(out[1].as_i64(), 4);
+  EXPECT_EQ(out[2].as_i64(), 21);
+  EXPECT_EQ(out[3].as_i64(), 2);
+  EXPECT_EQ(out[4].as_i64(), 1);
+}
+
+TEST(HlBuilder, ArithmeticFloat) {
+  const auto out = run_program([](hl::FunctionBuilder& f) {
+    auto a = f.var_f64("a", 1.5);
+    f.emit(a.get() + 2.5);
+    f.emit(a.get() * 2.0);
+    f.emit(f.fsqrt(f.c_f64(9.0)));
+    f.emit(f.fabs_(f.c_f64(-4.0)));
+    f.emit(f.ffloor(f.c_f64(2.9)));
+    f.emit(f.neg(a.get()));
+  });
+  EXPECT_DOUBLE_EQ(out[0].as_f64(), 4.0);
+  EXPECT_DOUBLE_EQ(out[1].as_f64(), 3.0);
+  EXPECT_DOUBLE_EQ(out[2].as_f64(), 3.0);
+  EXPECT_DOUBLE_EQ(out[3].as_f64(), 4.0);
+  EXPECT_DOUBLE_EQ(out[4].as_f64(), 2.0);
+  EXPECT_DOUBLE_EQ(out[5].as_f64(), -1.5);
+}
+
+TEST(HlBuilder, BitwiseAndShifts) {
+  const auto out = run_program([](hl::FunctionBuilder& f) {
+    auto a = f.var_i64("a", 0b1100);
+    f.emit(a.get() & 0b1010);
+    f.emit(a.get() | 0b0011);
+    f.emit(a.get() ^ 0b1111);
+    f.emit(a.get() << 2);
+    f.emit(a.get() >> 1);
+    f.emit(f.lshr(a.get(), 2));
+  });
+  EXPECT_EQ(out[0].as_i64(), 0b1000);
+  EXPECT_EQ(out[1].as_i64(), 0b1111);
+  EXPECT_EQ(out[2].as_i64(), 0b0011);
+  EXPECT_EQ(out[3].as_i64(), 0b110000);
+  EXPECT_EQ(out[4].as_i64(), 0b110);
+  EXPECT_EQ(out[5].as_i64(), 0b11);
+}
+
+TEST(HlBuilder, ForLoopSum) {
+  const auto out = run_program([](hl::FunctionBuilder& f) {
+    auto sum = f.var_i64("sum", 0);
+    f.for_("i", 0, 100, [&](hl::Value i) { sum.set(sum.get() + i); });
+    f.emit(sum.get());
+  });
+  EXPECT_EQ(out[0].as_i64(), 4950);
+}
+
+TEST(HlBuilder, NestedLoops) {
+  const auto out = run_program([](hl::FunctionBuilder& f) {
+    auto sum = f.var_i64("sum", 0);
+    f.for_("i", 0, 10, [&](hl::Value i) {
+      f.for_("j", 0, 10, [&](hl::Value j) {
+        sum.set(sum.get() + i * 10 + j);
+      });
+    });
+    f.emit(sum.get());
+  });
+  EXPECT_EQ(out[0].as_i64(), 4950);
+}
+
+TEST(HlBuilder, WhileLoop) {
+  const auto out = run_program([](hl::FunctionBuilder& f) {
+    auto x = f.var_i64("x", 1);
+    f.while_([&] { return x.get().lt(100); },
+             [&] { x.set(x.get() * 2); });
+    f.emit(x.get());
+  });
+  EXPECT_EQ(out[0].as_i64(), 128);
+}
+
+TEST(HlBuilder, IfElse) {
+  const auto out = run_program([](hl::FunctionBuilder& f) {
+    auto x = f.var_i64("x", 5);
+    auto y = f.var_i64("y", 0);
+    f.if_else(x.get().gt(3), [&] { y.set(1); }, [&] { y.set(2); });
+    f.emit(y.get());
+    f.if_else(x.get().gt(10), [&] { y.set(3); }, [&] { y.set(4); });
+    f.emit(y.get());
+    f.if_(x.get().eq(5), [&] { y.set(7); });
+    f.emit(y.get());
+    f.unless(x.get().eq(5), [&] { y.set(9); });
+    f.emit(y.get());
+  });
+  EXPECT_EQ(out[0].as_i64(), 1);
+  EXPECT_EQ(out[1].as_i64(), 4);
+  EXPECT_EQ(out[2].as_i64(), 7);
+  EXPECT_EQ(out[3].as_i64(), 7);  // unless body skipped
+}
+
+TEST(HlBuilder, SelectMinMax) {
+  const auto out = run_program([](hl::FunctionBuilder& f) {
+    auto a = f.c_f64(2.0);
+    auto b = f.c_f64(5.0);
+    f.emit(f.min_(a, b));
+    f.emit(f.max_(a, b));
+    f.emit(f.select(f.c_bool(true), f.c_i64(1), f.c_i64(2)));
+  });
+  EXPECT_DOUBLE_EQ(out[0].as_f64(), 2.0);
+  EXPECT_DOUBLE_EQ(out[1].as_f64(), 5.0);
+  EXPECT_EQ(out[2].as_i64(), 1);
+}
+
+TEST(HlBuilder, GlobalArrays) {
+  hl::ProgramBuilder pb("t");
+  auto arr = pb.global_init_f64("arr", {1.0, 2.0, 3.0});
+  auto iarr = pb.global_init_i64("iarr", {10, 20, 30});
+  const auto fid = pb.declare_function("main");
+  {
+    auto f = pb.define(fid);
+    f.st(arr, 1, f.c_f64(9.0));
+    auto sum = f.var_f64("sum", 0.0);
+    f.for_("i", 0, 3, [&](hl::Value i) { sum.set(sum.get() + f.ld(arr, i)); });
+    f.emit(sum.get());
+    f.emit(f.ld(iarr, 2));
+    f.ret();
+  }
+  auto mod = pb.finish();
+  const auto r = vm::Vm::run(mod);
+  ASSERT_TRUE(r.completed());
+  EXPECT_DOUBLE_EQ(r.outputs[0].as_f64(), 13.0);
+  EXPECT_EQ(r.outputs[1].as_i64(), 30);
+}
+
+TEST(HlBuilder, LocalArrays) {
+  const auto out = run_program([](hl::FunctionBuilder& f) {
+    auto a = f.local_f64("a", 4);
+    f.for_("i", 0, 4, [&](hl::Value i) { f.st(a, i, f.sitofp(i * i)); });
+    auto sum = f.var_f64("sum", 0.0);
+    f.for_("i", 0, 4, [&](hl::Value i) { sum.set(sum.get() + f.ld(a, i)); });
+    f.emit(sum.get());
+  });
+  EXPECT_DOUBLE_EQ(out[0].as_f64(), 14.0);  // 0+1+4+9
+}
+
+TEST(HlBuilder, CallsAndArgs) {
+  hl::ProgramBuilder pb("t");
+  const auto f_add = pb.declare_function(
+      "add", ir::Type::I64,
+      {{ir::Type::I64, "a"}, {ir::Type::I64, "b"}});
+  const auto f_main = pb.declare_function("main");
+  {
+    auto f = pb.define(f_add);
+    f.ret(f.arg(0) + f.arg(1));
+  }
+  {
+    auto f = pb.define(f_main);
+    auto r = f.call(f_add, {f.c_i64(20), f.c_i64(22)});
+    f.emit(r);
+    f.ret();
+  }
+  auto mod = pb.finish();
+  const auto run = vm::Vm::run(mod);
+  ASSERT_TRUE(run.completed());
+  EXPECT_EQ(run.outputs[0].as_i64(), 42);
+}
+
+TEST(HlBuilder, RecursiveCall) {
+  hl::ProgramBuilder pb("t");
+  const auto f_fib =
+      pb.declare_function("fib", ir::Type::I64, {{ir::Type::I64, "n"}});
+  const auto f_main = pb.declare_function("main");
+  {
+    auto f = pb.define(f_fib);
+    auto result = f.var_i64("result", 0);
+    f.if_else(
+        f.arg(0).lt(2), [&] { result.set(f.arg(0)); },
+        [&] {
+          auto a = f.call(f_fib, {f.arg(0) - 1});
+          auto b = f.call(f_fib, {f.arg(0) - 2});
+          result.set(a + b);
+        });
+    f.ret(result.get());
+  }
+  {
+    auto f = pb.define(f_main);
+    f.emit(f.call(f_fib, {f.c_i64(12)}));
+    f.ret();
+  }
+  auto mod = pb.finish();
+  const auto run = vm::Vm::run(mod);
+  ASSERT_TRUE(run.completed());
+  EXPECT_EQ(run.outputs[0].as_i64(), 144);
+}
+
+TEST(HlBuilder, CastChain) {
+  const auto out = run_program([](hl::FunctionBuilder& f) {
+    auto x = f.c_f64(3.75);
+    f.emit(f.fptosi(x));                      // 3
+    f.emit(f.sitofp(f.c_i64(5)));             // 5.0
+    f.emit(f.fpext_to_f64(f.fptrunc_to_f32(f.c_f64(1.5))));  // exact in f32
+    auto i = f.trunc_to_i32(f.c_i64(-7));
+    f.emit(f.sext_to_i64(i));                 // -7
+    f.emit(f.zext_to_i64(f.trunc_to_i32(f.c_i64(0xFFFFFFFFll))));
+  });
+  EXPECT_EQ(out[0].as_i64(), 3);
+  EXPECT_DOUBLE_EQ(out[1].as_f64(), 5.0);
+  EXPECT_DOUBLE_EQ(out[2].as_f64(), 1.5);
+  EXPECT_EQ(out[3].as_i64(), -7);
+  EXPECT_EQ(out[4].as_i64(), 0xFFFFFFFFll);
+}
+
+TEST(HlBuilder, RegionsEmitMarkers) {
+  hl::ProgramBuilder pb("t");
+  const auto rid = pb.declare_region("loop", 1, 2);
+  const auto fid = pb.declare_function("main");
+  {
+    auto f = pb.define(fid);
+    f.region(rid, [&] { f.emit(f.c_i64(1)); });
+    f.ret();
+  }
+  auto mod = pb.finish();
+  EXPECT_EQ(mod.num_regions(), 1u);
+  EXPECT_EQ(mod.region(rid).name, "loop");
+  EXPECT_TRUE(ir::is_valid(mod));
+}
+
+TEST(HlBuilder, FloatLiteralAgainstIntValueAdoptsType) {
+  const auto out = run_program([](hl::FunctionBuilder& f) {
+    auto x = f.var_f64("x", 2.0);
+    f.emit(x.get() + 1);  // int literal against a float value
+  });
+  EXPECT_DOUBLE_EQ(out[0].as_f64(), 3.0);
+}
+
+TEST(HlBuilder, ModulePrinterProducesText) {
+  hl::ProgramBuilder pb("printme");
+  const auto fid = pb.declare_function("main");
+  {
+    auto f = pb.define(fid);
+    f.emit(f.c_i64(1) + f.c_i64(2));
+    f.ret();
+  }
+  auto mod = pb.finish();
+  const auto text = ir::to_string(mod);
+  EXPECT_NE(text.find("module @printme"), std::string::npos);
+  EXPECT_NE(text.find("add"), std::string::npos);
+  EXPECT_NE(text.find("emit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ft

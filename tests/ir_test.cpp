@@ -1,0 +1,222 @@
+// MiniIR structural tests: type/opcode properties, module layout, verifier
+// diagnostics, printer.
+#include <gtest/gtest.h>
+
+#include "ir/module.h"
+#include "ir/opcode.h"
+#include "ir/print.h"
+#include "ir/type.h"
+#include "ir/verify.h"
+
+namespace ft::ir {
+namespace {
+
+TEST(Types, WidthsAndSizes) {
+  EXPECT_EQ(bit_width(Type::I1), 1u);
+  EXPECT_EQ(bit_width(Type::I32), 32u);
+  EXPECT_EQ(bit_width(Type::I64), 64u);
+  EXPECT_EQ(bit_width(Type::F32), 32u);
+  EXPECT_EQ(bit_width(Type::F64), 64u);
+  EXPECT_EQ(bit_width(Type::Ptr), 64u);
+  EXPECT_EQ(store_size(Type::I1), 1u);
+  EXPECT_EQ(store_size(Type::I32), 4u);
+  EXPECT_EQ(store_size(Type::F64), 8u);
+  EXPECT_TRUE(is_int(Type::I1));
+  EXPECT_TRUE(is_float(Type::F32));
+  EXPECT_FALSE(is_int(Type::F64));
+  EXPECT_EQ(type_name(Type::F64), "f64");
+}
+
+TEST(Opcodes, Properties) {
+  EXPECT_TRUE(is_int_binary(Opcode::Add));
+  EXPECT_TRUE(is_int_binary(Opcode::AShr));
+  EXPECT_FALSE(is_int_binary(Opcode::FAdd));
+  EXPECT_TRUE(is_float_binary(Opcode::FDiv));
+  EXPECT_TRUE(is_float_unary(Opcode::FSqrt));
+  EXPECT_TRUE(is_shift(Opcode::Shl));
+  EXPECT_TRUE(is_shift(Opcode::LShr));
+  EXPECT_FALSE(is_shift(Opcode::And));
+  EXPECT_TRUE(is_cast(Opcode::Trunc));
+  EXPECT_TRUE(is_narrowing_cast(Opcode::FPToSI));
+  EXPECT_FALSE(is_narrowing_cast(Opcode::SExt));
+  EXPECT_TRUE(is_terminator(Opcode::Ret));
+  EXPECT_TRUE(is_terminator(Opcode::CondBr));
+  EXPECT_FALSE(is_terminator(Opcode::Call));
+  EXPECT_TRUE(is_region_marker(Opcode::RegionEnter));
+  EXPECT_TRUE(has_result(Opcode::Load));
+  EXPECT_FALSE(has_result(Opcode::Store));
+  EXPECT_FALSE(has_result(Opcode::Br));
+  EXPECT_EQ(opcode_name(Opcode::FAdd), "fadd");
+  EXPECT_EQ(pred_name(CmpPred::Le), "le");
+}
+
+TEST(ModuleLayout, AssignsAlignedNonOverlappingAddresses) {
+  Module m("t");
+  m.add_global(Global{"a", Type::F64, 10, 0, {}});
+  m.add_global(Global{"b", Type::I32, 3, 0, {}});
+  m.add_global(Global{"c", Type::I64, 1, 0, {}});
+  m.layout();
+  const auto& a = m.global(0);
+  const auto& b = m.global(1);
+  const auto& c = m.global(2);
+  EXPECT_GE(a.addr, kGlobalBase);
+  EXPECT_EQ(a.addr % 8, 0u);
+  EXPECT_GE(b.addr, a.addr + a.size_bytes());
+  EXPECT_GE(c.addr, b.addr + b.size_bytes());
+  EXPECT_EQ(c.addr % 8, 0u);
+  EXPECT_GT(m.stack_base(), c.addr);
+  EXPECT_GT(m.memory_size(), m.stack_base());
+}
+
+TEST(ModuleLayout, FindersWork) {
+  Module m("t");
+  m.add_global(Global{"data", Type::F64, 1, 0, {}});
+  Function f;
+  f.name = "main";
+  m.add_function(std::move(f));
+  m.add_region(RegionInfo{"r0", "f.cpp", 1, 2});
+  EXPECT_TRUE(m.find_global("data").has_value());
+  EXPECT_FALSE(m.find_global("absent").has_value());
+  EXPECT_TRUE(m.find_function("main").has_value());
+  EXPECT_TRUE(m.find_region("r0").has_value());
+  EXPECT_FALSE(m.find_region("r9").has_value());
+}
+
+// --- verifier diagnostics (parameterized over corruption kinds) -------------
+
+Module valid_module() {
+  Module m("v");
+  Function f;
+  f.name = "main";
+  BasicBlock bb{"entry", {}};
+  Instruction add;
+  add.op = Opcode::Add;
+  add.type = Type::I64;
+  add.result = 0;
+  add.ops = {Operand::imm(1), Operand::imm(2)};
+  bb.instrs.push_back(add);
+  Instruction ret;
+  ret.op = Opcode::Ret;
+  bb.instrs.push_back(ret);
+  f.blocks.push_back(std::move(bb));
+  f.num_regs = 1;
+  m.add_function(std::move(f));
+  m.layout();
+  return m;
+}
+
+TEST(Verifier, AcceptsValidModule) {
+  auto m = valid_module();
+  EXPECT_TRUE(is_valid(m)) << verify(m)[0];
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  auto m = valid_module();
+  m.function(0).blocks[0].instrs.pop_back();
+  EXPECT_FALSE(is_valid(m));
+}
+
+TEST(Verifier, RejectsUndefinedRegisterUse) {
+  auto m = valid_module();
+  auto& instrs = m.function(0).blocks[0].instrs;
+  Instruction bad;
+  bad.op = Opcode::Add;
+  bad.type = Type::I64;
+  bad.result = 1;
+  bad.ops = {Operand::reg(7, Type::I64), Operand::imm(1)};
+  m.function(0).num_regs = 8;
+  instrs.insert(instrs.end() - 1, bad);
+  EXPECT_FALSE(is_valid(m));
+}
+
+TEST(Verifier, RejectsDoubleDefinition) {
+  auto m = valid_module();
+  auto& instrs = m.function(0).blocks[0].instrs;
+  Instruction dup = instrs[0];  // defines r0 again
+  instrs.insert(instrs.end() - 1, dup);
+  EXPECT_FALSE(is_valid(m));
+}
+
+TEST(Verifier, RejectsBadBranchTarget) {
+  auto m = valid_module();
+  auto& instrs = m.function(0).blocks[0].instrs;
+  instrs.back() = Instruction{};
+  instrs.back().op = Opcode::Br;
+  instrs.back().ops = {Operand::block(9)};
+  EXPECT_FALSE(is_valid(m));
+}
+
+TEST(Verifier, RejectsTypeMismatchedBinary) {
+  auto m = valid_module();
+  auto& add = m.function(0).blocks[0].instrs[0];
+  add.ops[0].type = Type::F64;
+  EXPECT_FALSE(is_valid(m));
+}
+
+TEST(Verifier, RejectsIntOpOnFloatType) {
+  auto m = valid_module();
+  auto& add = m.function(0).blocks[0].instrs[0];
+  add.type = Type::F64;
+  add.ops[0].type = Type::F64;
+  add.ops[1].type = Type::F64;
+  EXPECT_FALSE(is_valid(m));
+}
+
+TEST(Verifier, RejectsCmpWithoutPredicate) {
+  auto m = valid_module();
+  auto& add = m.function(0).blocks[0].instrs[0];
+  add.op = Opcode::ICmp;
+  add.type = Type::I1;
+  add.ops[0].type = Type::I1;
+  add.ops[1].type = Type::I1;
+  EXPECT_FALSE(is_valid(m));
+}
+
+TEST(Verifier, RejectsBadCallArity) {
+  auto m = valid_module();
+  Function callee;
+  callee.name = "callee";
+  callee.params = {{Type::I64, "x"}};
+  BasicBlock bb{"entry", {}};
+  Instruction ret;
+  ret.op = Opcode::Ret;
+  bb.instrs.push_back(ret);
+  callee.blocks.push_back(std::move(bb));
+  const auto cid = m.add_function(std::move(callee));
+  auto& instrs = m.function(0).blocks[0].instrs;
+  Instruction call;
+  call.op = Opcode::Call;
+  call.type = Type::I64;
+  call.result = 5;
+  call.aux = cid;
+  call.ops = {};  // missing the argument
+  m.function(0).num_regs = 6;
+  instrs.insert(instrs.end() - 1, call);
+  EXPECT_FALSE(is_valid(m));
+}
+
+TEST(Verifier, RejectsUndeclaredRegionMarker) {
+  auto m = valid_module();
+  auto& instrs = m.function(0).blocks[0].instrs;
+  Instruction enter;
+  enter.op = Opcode::RegionEnter;
+  enter.aux = 3;  // no region declared
+  instrs.insert(instrs.end() - 1, enter);
+  EXPECT_FALSE(is_valid(m));
+}
+
+TEST(Verifier, RejectsEntryWithParams) {
+  auto m = valid_module();
+  m.function(0).params = {{Type::I64, "x"}};
+  EXPECT_FALSE(is_valid(m));
+}
+
+TEST(Printer, InstructionToString) {
+  auto m = valid_module();
+  const auto s = to_string(m.function(0).blocks[0].instrs[0], m);
+  EXPECT_NE(s.find("add"), std::string::npos);
+  EXPECT_NE(s.find("%r0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ft::ir

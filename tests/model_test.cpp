@@ -1,0 +1,172 @@
+// Regression model (Use Case 2): linear algebra, planted-model recovery,
+// R², standardized coefficients, leave-one-out validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/linalg.h"
+#include "model/regression.h"
+#include "util/rng.h"
+
+namespace ft::model {
+namespace {
+
+TEST(Linalg, MatrixProductAndTranspose) {
+  Matrix a(2, 3);
+  a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(0, 2) = 3;
+  a.at(1, 0) = 4; a.at(1, 1) = 5; a.at(1, 2) = 6;
+  const auto at = a.transpose();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_EQ(at.at(2, 1), 6);
+  const auto g = at * a;  // 3x3 gram
+  EXPECT_EQ(g.rows(), 3u);
+  EXPECT_DOUBLE_EQ(g.at(0, 0), 17.0);
+  EXPECT_DOUBLE_EQ(g.at(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(g.at(2, 2), 45.0);
+}
+
+TEST(Linalg, MatVec) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 2; a.at(0, 1) = 1;
+  a.at(1, 0) = 0; a.at(1, 1) = 3;
+  const std::vector<double> v = {1.0, 2.0};
+  const auto r = a.mul(v);
+  EXPECT_DOUBLE_EQ(r[0], 4.0);
+  EXPECT_DOUBLE_EQ(r[1], 6.0);
+}
+
+TEST(Linalg, CholeskySolvesSpdSystem) {
+  Matrix a(3, 3);
+  // SPD matrix: diag-dominant symmetric.
+  const double vals[3][3] = {{4, 1, 0}, {1, 5, 2}, {0, 2, 6}};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) a.at(i, j) = vals[i][j];
+  }
+  const std::vector<double> x_true = {1.0, -2.0, 0.5};
+  const auto b = a.mul(x_true);
+  const auto x = cholesky_solve(a, b);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-12);
+}
+
+TEST(Linalg, CholeskyRejectsIndefinite) {
+  Matrix a = Matrix::identity(2);
+  a.at(1, 1) = -1.0;
+  EXPECT_THROW(cholesky_solve(a, std::vector<double>{1.0, 1.0}),
+               std::runtime_error);
+}
+
+TEST(Regression, RecoversPlantedCoefficients) {
+  util::Rng rng(7);
+  const std::size_t n = 40, p = 3;
+  const std::vector<double> beta_true = {0.5, -1.25, 2.0};
+  const double intercept_true = 0.3;
+  Matrix x(n, p);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = intercept_true;
+    for (std::size_t j = 0; j < p; ++j) {
+      x.at(i, j) = rng.uniform();
+      s += beta_true[j] * x.at(i, j);
+    }
+    y[i] = s;
+  }
+  BayesianLinearRegression reg;
+  RegressionOptions opts;
+  opts.prior_precision = 1e-8;
+  reg.fit(x, y, opts);
+  for (std::size_t j = 0; j < p; ++j) {
+    EXPECT_NEAR(reg.coefficients()[j], beta_true[j], 1e-5);
+  }
+  EXPECT_NEAR(reg.intercept(), intercept_true, 1e-5);
+  EXPECT_NEAR(reg.r_squared(x, y), 1.0, 1e-9);
+}
+
+TEST(Regression, NoiseLowersRSquaredButFitsSign) {
+  util::Rng rng(11);
+  const std::size_t n = 60;
+  Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x.at(i, 0) = rng.uniform();
+    y[i] = 2.0 * x.at(i, 0) + 0.2 * (rng.uniform() - 0.5);
+  }
+  BayesianLinearRegression reg;
+  reg.fit(x, y);
+  EXPECT_GT(reg.coefficients()[0], 1.5);
+  const double r2 = reg.r_squared(x, y);
+  EXPECT_GT(r2, 0.8);
+  EXPECT_LT(r2, 1.0);
+}
+
+TEST(Regression, PriorShrinksCoefficients) {
+  Matrix x(4, 1);
+  std::vector<double> y(4);
+  for (int i = 0; i < 4; ++i) {
+    x.at(i, 0) = i;
+    y[i] = 3.0 * i;
+  }
+  BayesianLinearRegression loose, tight;
+  RegressionOptions lo, hi;
+  lo.prior_precision = 1e-9;
+  hi.prior_precision = 100.0;
+  loose.fit(x, y, lo);
+  tight.fit(x, y, hi);
+  EXPECT_NEAR(loose.coefficients()[0], 3.0, 1e-6);
+  EXPECT_LT(tight.coefficients()[0], loose.coefficients()[0]);
+}
+
+TEST(Regression, StandardizedCoefficientsRankImportance) {
+  util::Rng rng(3);
+  const std::size_t n = 50;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x.at(i, 0) = rng.uniform();          // strong predictor
+    x.at(i, 1) = rng.uniform() * 0.01;   // weak (tiny variance)
+    y[i] = 1.0 * x.at(i, 0) + 1.0 * x.at(i, 1);
+  }
+  BayesianLinearRegression reg;
+  reg.fit(x, y);
+  const auto std_coef = reg.standardized_coefficients(x, y);
+  // Equal raw betas, but the high-variance feature dominates standardized.
+  EXPECT_GT(std::fabs(std_coef[0]), std::fabs(std_coef[1]) * 10);
+}
+
+TEST(Regression, LeaveOneOutPredictsHeldOutRows) {
+  util::Rng rng(5);
+  const std::size_t n = 12, p = 2;
+  Matrix x(n, p);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x.at(i, 0) = rng.uniform();
+    x.at(i, 1) = rng.uniform();
+    y[i] = 0.2 + 0.5 * x.at(i, 0) + 0.3 * x.at(i, 1);
+  }
+  const auto loo = leave_one_out(x, y);
+  ASSERT_EQ(loo.predicted.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(loo.predicted[i], y[i], 1e-3);
+    EXPECT_LT(loo.error_rate[i], 0.02);
+    EXPECT_GE(loo.predicted[i], 0.0);
+    EXPECT_LE(loo.predicted[i], 1.0);  // clamped like a success rate
+  }
+  EXPECT_LT(loo.mean_error_rate, 0.02);
+}
+
+TEST(Regression, LooClampsPredictionsToUnitInterval) {
+  // Extrapolation that would exceed 1 gets clamped (predicted SRs).
+  Matrix x(5, 1);
+  std::vector<double> y(5);
+  for (int i = 0; i < 5; ++i) {
+    x.at(i, 0) = i;
+    y[i] = 0.3 * i;  // row 4 has y = 1.2 -> clamp at predict time
+  }
+  const auto loo = leave_one_out(x, y);
+  for (const auto p : loo.predicted) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace ft::model

@@ -1,0 +1,161 @@
+// MiniMPI runtime: collectives, point-to-point ordering, VM integration,
+// per-rank trace files (the paper's parallel tracer shape, §IV-A).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "hl/builder.h"
+#include "mpi/world.h"
+#include "trace/collector.h"
+#include "trace/file.h"
+#include "vm/interp.h"
+
+namespace ft {
+namespace {
+
+TEST(World, AllreduceSum) {
+  mpi::World world(4);
+  std::vector<double> results(4);
+  world.launch([&](std::int64_t rank, vm::MpiEndpoint& ep) {
+    results[rank] = ep.allreduce(static_cast<double>(rank + 1),
+                                 ir::ReduceOp::Sum);
+  });
+  for (const double r : results) EXPECT_DOUBLE_EQ(r, 10.0);
+}
+
+TEST(World, AllreduceMinMax) {
+  mpi::World world(3);
+  std::vector<double> mins(3), maxs(3);
+  world.launch([&](std::int64_t rank, vm::MpiEndpoint& ep) {
+    mins[rank] = ep.allreduce(static_cast<double>(rank), ir::ReduceOp::Min);
+    maxs[rank] = ep.allreduce(static_cast<double>(rank), ir::ReduceOp::Max);
+  });
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_DOUBLE_EQ(mins[r], 0.0);
+    EXPECT_DOUBLE_EQ(maxs[r], 2.0);
+  }
+}
+
+TEST(World, RepeatedCollectivesStayInSync) {
+  mpi::World world(3);
+  std::vector<double> finals(3);
+  world.launch([&](std::int64_t rank, vm::MpiEndpoint& ep) {
+    double acc = static_cast<double>(rank);
+    for (int i = 0; i < 50; ++i) {
+      acc = ep.allreduce(acc, ir::ReduceOp::Sum) / 3.0 + rank;
+    }
+    finals[rank] = acc;
+  });
+  // All ranks see the same reduction sequence; totals differ only by rank.
+  EXPECT_NEAR(finals[1] - finals[0], 1.0, 1e-9);
+  EXPECT_NEAR(finals[2] - finals[1], 1.0, 1e-9);
+}
+
+TEST(World, PointToPointFifo) {
+  mpi::World world(2);
+  std::vector<double> got;
+  world.launch([&](std::int64_t rank, vm::MpiEndpoint& ep) {
+    if (rank == 0) {
+      for (int i = 0; i < 10; ++i) ep.send(1, i * 1.5);
+    } else {
+      for (int i = 0; i < 10; ++i) got.push_back(ep.recv(0));
+    }
+  });
+  ASSERT_EQ(got.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(got[i], i * 1.5);
+}
+
+TEST(World, PingPong) {
+  mpi::World world(2);
+  double final0 = 0;
+  world.launch([&](std::int64_t rank, vm::MpiEndpoint& ep) {
+    if (rank == 0) {
+      ep.send(1, 1.0);
+      final0 = ep.recv(1);
+    } else {
+      const double v = ep.recv(0);
+      ep.send(0, v + 1.0);
+    }
+  });
+  EXPECT_DOUBLE_EQ(final0, 2.0);
+}
+
+TEST(World, BarrierCompletes) {
+  mpi::World world(4);
+  std::atomic<int> after{0};
+  world.launch([&](std::int64_t, vm::MpiEndpoint& ep) {
+    ep.barrier();
+    after.fetch_add(1);
+    ep.barrier();
+  });
+  EXPECT_EQ(after.load(), 4);
+}
+
+ir::Module mpi_program() {
+  hl::ProgramBuilder pb("mpiapp");
+  const auto fid = pb.declare_function("main");
+  {
+    auto f = pb.define(fid);
+    auto rank = f.mpi_rank();
+    auto size = f.mpi_size();
+    auto sum = f.mpi_allreduce(f.sitofp(rank + 1), ir::ReduceOp::Sum);
+    f.emit(rank);
+    f.emit(size);
+    f.emit(sum);
+    f.ret();
+  }
+  return pb.finish();
+}
+
+TEST(VmIntegration, RankSizeAllreduceThroughOpcodes) {
+  auto mod = mpi_program();
+  mpi::World world(3);
+  std::vector<vm::RunResult> results(3);
+  world.launch([&](std::int64_t rank, vm::MpiEndpoint& ep) {
+    vm::VmOptions opts;
+    opts.mpi = &ep;
+    results[rank] = vm::Vm::run(mod, opts);
+  });
+  for (std::int64_t r = 0; r < 3; ++r) {
+    ASSERT_TRUE(results[r].completed());
+    EXPECT_EQ(results[r].outputs[0].as_i64(), r);
+    EXPECT_EQ(results[r].outputs[1].as_i64(), 3);
+    EXPECT_DOUBLE_EQ(results[r].outputs[2].as_f64(), 6.0);  // 1+2+3
+  }
+}
+
+TEST(VmIntegration, NullEndpointIsSingleRankWorld) {
+  auto mod = mpi_program();
+  const auto r = vm::Vm::run(mod);
+  ASSERT_TRUE(r.completed());
+  EXPECT_EQ(r.outputs[0].as_i64(), 0);
+  EXPECT_EQ(r.outputs[1].as_i64(), 1);
+  EXPECT_DOUBLE_EQ(r.outputs[2].as_f64(), 1.0);  // identity allreduce
+}
+
+TEST(ParallelTracing, PerRankTraceFiles) {
+  auto mod = mpi_program();
+  const auto stem =
+      (std::filesystem::temp_directory_path() / "ft_mpi_test").string();
+  mpi::World world(3);
+  world.launch([&](std::int64_t rank, vm::MpiEndpoint& ep) {
+    trace::TraceCollector c;
+    vm::VmOptions opts;
+    opts.mpi = &ep;
+    opts.observer = &c;
+    (void)vm::Vm::run(mod, opts);
+    // Per-process trace files, written without any cross-rank synchronization.
+    ASSERT_TRUE(trace::write_trace_file(
+        trace::rank_trace_path(stem, static_cast<int>(rank)), c.trace()));
+  });
+  for (int r = 0; r < 3; ++r) {
+    trace::Trace t;
+    const auto path = trace::rank_trace_path(stem, r);
+    ASSERT_TRUE(trace::read_trace_file(path, t));
+    EXPECT_GT(t.size(), 0u);
+    std::filesystem::remove(path);
+  }
+}
+
+}  // namespace
+}  // namespace ft

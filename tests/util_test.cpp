@@ -1,0 +1,239 @@
+// Unit tests for src/util: bits, rng, stats, thread pool, cli, table.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/bits.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace ft::util {
+namespace {
+
+// --- bits ---------------------------------------------------------------------
+
+TEST(Bits, F64RoundTrip) {
+  for (const double v : {0.0, 1.0, -1.5, 3.141592653589793, 1e300, -1e-300}) {
+    EXPECT_EQ(bits_to_f64(f64_to_bits(v)), v);
+  }
+}
+
+TEST(Bits, F32RoundTrip) {
+  for (const float v : {0.0f, 1.0f, -2.5f, 3.14f}) {
+    EXPECT_EQ(bits_to_f32(f32_to_bits(v)), v);
+  }
+}
+
+TEST(Bits, FlipBitChangesExactlyOneBit) {
+  const std::uint64_t v = 0xDEADBEEFCAFEF00Dull;
+  for (unsigned b = 0; b < 64; ++b) {
+    const auto flipped = flip_bit(v, b);
+    EXPECT_TRUE(differs_by_one_bit(v, flipped));
+    EXPECT_EQ(flip_bit(flipped, b), v);  // involution
+  }
+}
+
+TEST(Bits, TruncateTo) {
+  EXPECT_EQ(truncate_to(0xFFFFFFFFFFFFFFFFull, 32), 0xFFFFFFFFull);
+  EXPECT_EQ(truncate_to(0x1234ull, 64), 0x1234ull);
+  EXPECT_EQ(truncate_to(0xFFull, 1), 1ull);
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0x80000000ull, 32), -2147483648ll);
+  EXPECT_EQ(sign_extend(0x7FFFFFFFull, 32), 2147483647ll);
+  EXPECT_EQ(sign_extend(0x1ull, 1), -1ll);
+  EXPECT_EQ(sign_extend(0x0ull, 1), 0ll);
+}
+
+// --- rng ----------------------------------------------------------------------
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a() == b();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(13), 13u);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.split();
+  EXPECT_NE(a(), child());
+}
+
+TEST(Randlc, MatchesNasFirstDraw) {
+  // With the NAS defaults, the first randlc draw is a known constant.
+  Randlc r;
+  const double first = r.next();
+  EXPECT_GT(first, 0.0);
+  EXPECT_LT(first, 1.0);
+  Randlc r2;
+  EXPECT_EQ(r2.next(), first);  // deterministic
+}
+
+TEST(Randlc, StreamStaysInUnitInterval) {
+  Randlc r(12345.0);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.next();
+    ASSERT_GT(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+// --- stats ---------------------------------------------------------------------
+
+TEST(Stats, MeanAndStdev) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_NEAR(stdev(xs), std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(min_of(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 5.0);
+}
+
+TEST(Stats, EmptyInputsAreSafe) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stdev({}), 0.0);
+}
+
+TEST(Stats, ZScores) {
+  EXPECT_NEAR(z_for_confidence(0.95), 1.96, 1e-3);
+  EXPECT_NEAR(z_for_confidence(0.99), 2.5758, 1e-3);
+  EXPECT_NEAR(z_for_confidence(0.90), 1.6449, 1e-3);
+}
+
+TEST(Stats, LeveugleSampleSizeMatchesPaperPresets) {
+  // For large populations, 95%/3% -> ~1067 trials; 99%/1% -> ~16587.
+  EXPECT_NEAR(static_cast<double>(
+                  fault_injection_sample_size(100000000, 0.95, 0.03)),
+              1067.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(
+                  fault_injection_sample_size(100000000, 0.99, 0.01)),
+              16587.0, 30.0);
+}
+
+TEST(Stats, SampleSizeNeverExceedsPopulation) {
+  EXPECT_EQ(fault_injection_sample_size(10, 0.95, 0.03), 10u);
+  EXPECT_EQ(fault_injection_sample_size(0, 0.95, 0.03), 0u);
+  EXPECT_EQ(fault_injection_sample_size(1, 0.95, 0.03), 1u);
+}
+
+class SampleSizeMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SampleSizeMonotone, GrowsWithPopulation) {
+  const auto n = GetParam();
+  EXPECT_LE(fault_injection_sample_size(n, 0.95, 0.03),
+            fault_injection_sample_size(n * 2, 0.95, 0.03));
+  EXPECT_LE(fault_injection_sample_size(n, 0.95, 0.03), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Populations, SampleSizeMonotone,
+                         ::testing::Values(1, 10, 100, 1000, 10000, 1000000));
+
+// --- thread pool ------------------------------------------------------------------
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SubmitRuns) {
+  ThreadPool pool(2);
+  std::atomic<int> x{0};
+  auto f = pool.submit([&] { x = 42; });
+  f.get();
+  EXPECT_EQ(x.load(), 42);
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [&](std::size_t) { FAIL(); });
+}
+
+// --- cli -----------------------------------------------------------------------------
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+  const char* argv[] = {"prog", "--trials=50", "--full", "pos1",
+                        "--name=cg"};
+  Cli cli(5, argv);
+  EXPECT_EQ(cli.get_int("trials", 0), 50);
+  EXPECT_TRUE(cli.get_bool("full", false));
+  EXPECT_EQ(cli.get("name"), "cg");
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+  EXPECT_FALSE(cli.has("absent"));
+  EXPECT_EQ(cli.get_int("absent", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("absent", 0.5), 0.5);
+  EXPECT_FALSE(cli.get_bool("off", true) == false);
+}
+
+// --- table ----------------------------------------------------------------------------
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22222"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::pct(0.123, 1), "12.3%");
+}
+
+TEST(Stopwatch, MeasuresElapsed) {
+  Stopwatch sw;
+  EXPECT_GE(sw.seconds(), 0.0);
+  sw.reset();
+  EXPECT_GE(sw.millis(), 0.0);
+}
+
+}  // namespace
+}  // namespace ft::util

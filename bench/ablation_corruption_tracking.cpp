@@ -27,17 +27,15 @@ int main(int argc, char** argv) {
                      "dead kills", "masked ops seen"});
 
   for (const std::string name : {"CG", "MG", "IS", "KMEANS", "LULESH"}) {
-    core::FlipTracker tracker(apps::build_app(name));
-    const auto& app = tracker.app();
-    const auto sites = fault::enumerate_whole_program_sites(app.module,
-                                                            app.base);
+    core::AnalysisSession session(apps::build_app(name));
+    const auto sites = session.whole_program_sites();
     const auto plans = fault::sample_plans(
-        sites, fault::TargetClass::Internal, samples, cfg.seed);
+        *sites, fault::TargetClass::Internal, samples, cfg.seed);
 
     std::uint64_t vd_max = 0, vd_over = 0, vd_dead = 0, vd_masked = 0;
     std::uint64_t tt_max = 0, tt_over = 0, tt_dead = 0;
     for (const auto& plan : plans) {
-      const auto diff = tracker.diff_with(plan);
+      const auto diff = session.diff_with(plan);
       const auto span = std::span<const vm::DynInstr>(
           diff.faulty.records.data(), diff.usable_records());
       const auto events = trace::LocationEvents::build(span);

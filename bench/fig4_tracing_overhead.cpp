@@ -25,33 +25,9 @@ namespace {
 
 using namespace ft;
 
-/// Forwards records to the sink only inside instance 0 of `region`.
-class SelectiveTracer final : public vm::ExecObserver {
- public:
-  SelectiveTracer(vm::ExecObserver* sink, std::uint32_t region)
-      : sink_(sink), region_(region) {}
-
-  void on_instruction(const vm::DynInstr& d) override {
-    if (d.op == ir::Opcode::RegionEnter &&
-        static_cast<std::uint32_t>(d.aux) == region_) {
-      if (instance_count_++ == 0) active_ = true;
-    }
-    if (active_) sink_->on_instruction(d);
-    if (d.op == ir::Opcode::RegionExit &&
-        static_cast<std::uint32_t>(d.aux) == region_) {
-      active_ = false;
-    }
-  }
-
-  /// Trace control: the VM skips record construction outside the window.
-  [[nodiscard]] bool enabled() const override { return active_; }
-
- private:
-  vm::ExecObserver* sink_;
-  std::uint32_t region_;
-  std::uint32_t instance_count_ = 0;
-  bool active_ = false;
-};
+// Selective tracing is now a stock pipeline: vm::RegionWindowGate wraps the
+// file sink inside a vm::ObserverChain, and the chain's enabled() keeps the
+// VM on the fast path outside the traced window.
 
 enum class Mode { Plain, Selective, Exhaustive };
 
@@ -91,9 +67,11 @@ int main(int argc, char** argv) {
         const auto path = trace::rank_trace_path(
             (tmp / name).string(), static_cast<int>(rank));
         trace::StreamingFileTracer sink(path, 1 << 16);
-        SelectiveTracer selective(&sink, app.main_region);
+        vm::RegionWindowGate gate(&sink, app.main_region);
+        vm::ObserverChain chain;
+        chain.then(&gate);
         opts.observer = mode == Mode::Selective
-                            ? static_cast<vm::ExecObserver*>(&selective)
+                            ? static_cast<vm::ExecObserver*>(&chain)
                             : &sink;
         (void)vm::Vm::run(mod, opts);
       });

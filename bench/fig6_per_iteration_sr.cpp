@@ -3,6 +3,9 @@
 //
 // Paper shape: iteration-to-iteration success rates are similar for MG
 // (internal) and CG; IS and LULESH can vary with control flow differences.
+//
+// Expressed as one main_loop_iterations() request: every (app, iteration,
+// target) campaign lands on the same batched work queue.
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
@@ -11,28 +14,30 @@ int main(int argc, char** argv) {
   bench::print_header("Fig. 6 - per-iteration success rates of the main loop",
                       cfg);
 
+  const auto report =
+      core::run_analysis(core::AnalysisRequest()
+                             .app("CG")
+                             .app("MG")
+                             .app("KMEANS")
+                             .app("IS")
+                             .app("LULESH")
+                             .main_loop_iterations()
+                             .target(fault::TargetClass::Internal)
+                             .target(fault::TargetClass::Input)
+                             .success_rates(cfg.campaign(60))
+                             .execution(cfg.mode()));
+
   util::Table table({"app", "iteration", "SR internal", "SR input"});
-  for (const std::string name : {"CG", "MG", "KMEANS", "IS", "LULESH"}) {
-    core::FlipTracker tracker(apps::build_app(name));
-    const auto main_region = tracker.app().main_region;
-    const int iters = tracker.app().main_iters;
-    for (int it = 0; it < iters; ++it) {
-      const auto sites = tracker.enumerate_region_sites(
-          main_region, static_cast<std::uint32_t>(it));
-      if (!sites.region_found) continue;
-      const auto internal = fault::run_campaign(
-          tracker.app().module, sites, fault::TargetClass::Internal,
-          tracker.golden().outputs, tracker.app().verifier,
-          tracker.app().base, cfg.campaign(60));
-      const auto input = fault::run_campaign(
-          tracker.app().module, sites, fault::TargetClass::Input,
-          tracker.golden().outputs, tracker.app().verifier,
-          tracker.app().base, cfg.campaign(60));
-      table.add_row({name, std::to_string(it + 1),
-                     util::Table::num(internal.success_rate(), 3),
-                     util::Table::num(input.success_rate(), 3)});
-    }
+  for (const auto& e : report.entries) {
+    if (e.target != fault::TargetClass::Internal || !e.region_found) continue;
+    const auto* input = report.find(e.app, e.region_name,
+                                    fault::TargetClass::Input, e.instance);
+    table.add_row({e.app, std::to_string(e.instance + 1),
+                   util::Table::num(e.campaign.success_rate(), 3),
+                   util::Table::num(
+                       input ? input->campaign.success_rate() : 0.0, 3)});
   }
   table.print(std::cout);
+  bench::print_report_meta(report);
   return 0;
 }

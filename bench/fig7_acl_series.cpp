@@ -13,8 +13,8 @@ int main(int argc, char** argv) {
   const auto cfg = bench::BenchConfig::parse(argc, argv);
   bench::print_header("Fig. 7 - LULESH ACL series", cfg);
 
-  core::FlipTracker tracker(apps::build_lulesh());
-  const auto& app = tracker.app();
+  core::AnalysisSession session(apps::build_lulesh());
+  const auto& app = session.app();
 
   // Fault: one bit of a velocity word at entry of iteration 7 of 10 — the
   // "last third iteration of the main loop" of the paper.
@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   const auto plan = vm::FaultPlan::region_input_bit(
       app.main_region, instance, xd.addr + 13 * 8, 8, bit);
 
-  const auto rep = tracker.patterns_for(plan);
+  const auto rep = session.patterns_for(plan);
   const auto& acl = rep.acl;
   if (acl.count.empty()) {
     std::printf("no usable lockstep prefix (fault diverged immediately)\n");

@@ -138,6 +138,25 @@ void BM_DddgBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_DddgBuild);
 
+// Observer-pipeline gating: a fully gated ObserverChain must keep the VM
+// near the no-observer dispatch rate (the fast path MultiObserver's old
+// always-true enabled() used to defeat).
+void BM_ObserverChainGated(benchmark::State& state) {
+  const auto mod = make_kernel();
+  for (auto _ : state) {
+    trace::TraceCollector c;
+    vm::RegionWindowGate gate(&c, /*region_id=*/9999);  // never opens
+    vm::ObserverChain chain;
+    chain.then(&gate);
+    vm::VmOptions opts;
+    opts.observer = &chain;
+    const auto r = vm::Vm::run(mod, opts);
+    benchmark::DoNotOptimize(r.instructions);
+    state.counters["records"] = static_cast<double>(c.trace().size());
+  }
+}
+BENCHMARK(BM_ObserverChainGated);
+
 void BM_FaultyRun(benchmark::State& state) {
   auto app = apps::build_cg();
   for (auto _ : state) {

@@ -39,11 +39,11 @@ int main(int argc, char** argv) {
   util::Table table(header);
 
   for (const std::string name : {"CG", "MG", "KMEANS", "IS", "LULESH"}) {
-    core::FlipTracker tracker(apps::build_app(name));
-    const auto& app = tracker.app();
+    core::AnalysisSession session(apps::build_app(name));
+    const auto& app = session.app();
+    const auto instances = session.region_instances();
     for (const auto& rd : app.analysis_regions) {
-      const auto inst = trace::find_instance(tracker.region_instances(),
-                                             rd.id, 0);
+      const auto inst = trace::find_instance(*instances, rd.id, 0);
       if (!inst) continue;
       RegionPatterns rp;
       rp.instr_per_iteration = inst->body_length();
@@ -51,8 +51,7 @@ int main(int argc, char** argv) {
       // A pattern is credited to this region when it fires inside *any*
       // dynamic instance of it — Repeated Additions, for example, amortizes
       // the error across later instances of the same loop (Table II).
-      const auto region_spans =
-          trace::instances_of(tracker.region_instances(), rd.id);
+      const auto region_spans = trace::instances_of(*instances, rd.id);
       auto inside_region = [&](std::uint64_t index) {
         for (const auto& span : region_spans) {
           if (index >= span.enter_index && index <= span.exit_index) {
@@ -62,14 +61,14 @@ int main(int argc, char** argv) {
         return false;
       };
 
-      const auto sites = tracker.enumerate_region_sites(rd.id, 0);
+      const auto sites = session.region_sites(rd.id, 0);
       for (const auto target :
            {fault::TargetClass::Internal, fault::TargetClass::Input}) {
         const auto plans = fault::sample_plans(
-            sites, target, samples,
+            *sites, target, samples,
             cfg.seed + (target == fault::TargetClass::Input ? 17 : 0));
         for (const auto& plan : plans) {
-          const auto rep = tracker.patterns_for(plan);
+          const auto rep = session.patterns_for(plan);
           for (const auto& pi : rep.instances) {
             if (!inside_region(pi.index)) continue;
             rp.found[patterns::pattern_index(pi.kind)] = true;

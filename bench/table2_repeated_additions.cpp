@@ -16,8 +16,8 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   bench::print_header("Table II - Repeated Additions in MG", cfg);
 
-  core::FlipTracker tracker(apps::build_mg());
-  const auto& app = tracker.app();
+  core::AnalysisSession session(apps::build_mg());
+  const auto& app = session.app();
   const auto u = app.module.global(*app.module.find_global("u"));
   // u[2][2][3] on the 8^3 fine grid; bit 40, like the paper's experiment.
   // Injected at the second V-cycle entry: u is still zero at the first
@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
 
   const auto plan =
       vm::FaultPlan::region_input_bit(app.main_region, instance, addr, 8, bit);
-  const auto diff = tracker.diff_with(plan);
+  const auto diff = session.diff_with(plan);
   if (diff.diverged()) {
     std::printf("unexpected control-flow divergence at %llu\n",
                 static_cast<unsigned long long>(diff.divergence_index));

@@ -23,16 +23,23 @@ int main(int argc, char** argv) {
   model::Matrix x(names.size(), patterns::kNumPatterns);
   std::vector<double> sr(names.size());
 
+  // One request measures all ten benchmarks: pattern rates from the golden
+  // traces (dropped after prep to bound memory) plus whole-app campaigns,
+  // batched across apps on the shared pool. The paper uses 99%/1% for the
+  // use cases.
+  core::AnalysisRequest request;
+  for (const auto& name : names) request.app(name);
+  const auto report = core::run_analysis(
+      request.pattern_rates()
+          .app_campaign(cfg.campaign(250, 0.99, 0.01))
+          .execution(cfg.mode()));
+
   util::Table features({"benchmark", "cond rate", "shift rate", "trunc rate",
                         "dead loc rate", "rep add rate", "overwrite rate",
                         "measured SR"});
   for (std::size_t i = 0; i < names.size(); ++i) {
-    core::FlipTracker tracker(apps::build_app(names[i]));
-    const auto rates = tracker.pattern_rates();
-    tracker.reset_trace();  // free the golden trace before the campaign
-    // The paper uses 99%/1% for the use cases.
-    const auto campaign = tracker.app_campaign(cfg.campaign(250, 0.99, 0.01));
-    sr[i] = campaign.success_rate();
+    const auto& app_report = report.apps[i];
+    sr[i] = app_report.whole_app->success_rate();
 
     using PK = patterns::PatternKind;
     const PK order[] = {PK::ConditionalStatement, PK::Shifting,
@@ -40,13 +47,14 @@ int main(int argc, char** argv) {
                         PK::RepeatedAdditions, PK::DataOverwriting};
     std::vector<std::string> row = {names[i]};
     for (std::size_t j = 0; j < patterns::kNumPatterns; ++j) {
-      x.at(i, j) = rates.of(order[j]);
+      x.at(i, j) = app_report.rates->of(order[j]);
       row.push_back(util::Table::num(x.at(i, j), 6));
     }
     row.push_back(util::Table::num(sr[i], 3));
     features.add_row(std::move(row));
   }
   features.print(std::cout);
+  bench::print_report_meta(report);
 
   // Experiment 1: fit on all ten benchmarks.
   model::BayesianLinearRegression reg;

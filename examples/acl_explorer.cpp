@@ -11,7 +11,7 @@
 #include <fstream>
 #include <iostream>
 
-#include "core/fliptracker.h"
+#include "core/analysis.h"
 #include "dddg/graph.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -25,8 +25,8 @@ int main(int argc, char** argv) {
   const auto instance = static_cast<std::uint32_t>(cli.get_int("instance", 0));
   const auto bit = static_cast<std::uint32_t>(cli.get_int("bit", 40));
 
-  core::FlipTracker tracker(apps::build_app(app_name));
-  const auto& app = tracker.app();
+  core::AnalysisSession session(apps::build_app(app_name));
+  const auto& app = session.app();
 
   const apps::RegionDesc* rd = region_name.empty()
                                    ? &app.analysis_regions.front()
@@ -43,9 +43,9 @@ int main(int argc, char** argv) {
               rd->name.c_str(), instance, bit);
 
   // Region anatomy: size, inputs/outputs, DDDG.
-  const auto io = tracker.region_io(rd->id, instance);
+  const auto io = session.region_io(rd->id, instance);
   const auto inst =
-      trace::find_instance(tracker.region_instances(), rd->id, instance);
+      trace::find_instance(*session.region_instances(), rd->id, instance);
   if (!io || !inst) {
     std::fprintf(stderr, "region instance not found\n");
     return 1;
@@ -59,11 +59,11 @@ int main(int argc, char** argv) {
 
   const auto dot_path = cli.get("dot", "");
   if (!dot_path.empty()) {
-    const auto g = tracker.region_dddg(rd->id, instance);
+    const auto g = session.region_dddg(rd->id, instance);
     std::ofstream out(dot_path);
-    out << dddg::to_dot(g, app_name + ":" + rd->name);
-    std::printf("DDDG (%zu nodes, %zu edges) written to %s\n", g.num_nodes(),
-                g.num_edges(), dot_path.c_str());
+    out << dddg::to_dot(*g, app_name + ":" + rd->name);
+    std::printf("DDDG (%zu nodes, %zu edges) written to %s\n",
+                g->num_nodes(), g->num_edges(), dot_path.c_str());
   }
 
   // Inject into the first memory input of the instance and show the ACL.
@@ -79,7 +79,7 @@ int main(int argc, char** argv) {
   std::printf("\ninjecting bit %u of input %s at region entry\n", bit,
               vm::loc_to_string(target.loc).c_str());
 
-  const auto rep = tracker.patterns_for(plan);
+  const auto rep = session.patterns_for(plan);
   const auto& acl = rep.acl;
   std::printf("ACL: max=%u births=%zu overwrite-kills=%zu dead-kills=%zu\n",
               acl.max_count, acl.births(),
@@ -117,7 +117,7 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", any ? "" : "none observed");
 
-  const auto diff = tracker.diff_with(plan);
+  const auto diff = session.diff_with(plan);
   std::printf("outcome: %s\n",
               std::string(fault::outcome_name(fault::classify_outcome(
                   diff.faulty_result, diff.clean_result.outputs,

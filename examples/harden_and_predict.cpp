@@ -6,11 +6,16 @@
 //      pattern rates and predict the success rate of a held-out app
 //      without running a campaign on it.
 //
+// Each use case is one AnalysisRequest: all variant campaigns (use case 1)
+// and all ten apps' rates + campaigns (use case 2) batch onto the shared
+// pool instead of running serially app-by-app.
+//
 //   $ ./harden_and_predict --trials=150 --holdout=KMEANS
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
-#include "core/fliptracker.h"
+#include "core/analysis.h"
 #include "model/regression.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -27,24 +32,41 @@ int main(int argc, char** argv) {
 
   // --- Use case 1 -----------------------------------------------------------
   std::printf("=== use case 1: hardening CG with resilience patterns ===\n");
-  util::Table t1({"variant", "whole-app SR", "makea-phase SR"});
   struct V {
     const char* label;
     apps::CgHardening h;
   };
-  for (const auto& v :
-       {V{"baseline", {false, false}}, V{"dcl+overwrite", {true, false}},
-        V{"truncation", {false, true}}, V{"all", {true, true}}}) {
+  const V variants[] = {{"baseline", {false, false}},
+                        {"dcl+overwrite", {true, false}},
+                        {"truncation", {false, true}},
+                        {"all", {true, true}}};
+
+  core::AnalysisRequest harden;
+  for (const auto& v : variants) {
     auto app = (v.h.dcl_overwrite || v.h.truncation)
                    ? apps::build_cg_hardened(v.h)
                    : apps::build_cg();
-    core::FlipTracker tracker(std::move(app));
-    const auto whole = tracker.app_campaign(cfg);
-    const auto* makea = tracker.app().find_region("cg_makea");
-    const auto phase = tracker.region_campaign(
-        makea->id, 0, fault::TargetClass::Internal, cfg);
-    t1.add_row({v.label, util::Table::num(whole.success_rate(), 3),
-                util::Table::num(phase.success_rate(), 3)});
+    app.name = v.label;
+    harden.app(std::move(app));
+  }
+  const auto harden_report = core::run_analysis(
+      harden.region("cg_makea")
+          .target(fault::TargetClass::Internal)
+          .success_rates(cfg)
+          .app_campaign(cfg));
+
+  util::Table t1({"variant", "whole-app SR", "makea-phase SR"});
+  for (const auto& v : variants) {
+    const auto* app_report = harden_report.find_app(v.label);
+    const auto* phase = harden_report.find(v.label, "cg_makea",
+                                           fault::TargetClass::Internal);
+    t1.add_row({v.label,
+                util::Table::num(app_report && app_report->whole_app
+                                     ? app_report->whole_app->success_rate()
+                                     : 0.0,
+                                 3),
+                util::Table::num(
+                    phase ? phase->campaign.success_rate() : 0.0, 3)});
   }
   t1.print(std::cout);
 
@@ -56,16 +78,22 @@ int main(int argc, char** argv) {
     if (n != holdout) train.push_back(n);
   }
 
+  // One batched request measures rates + campaigns for all ten apps (the
+  // holdout's campaign only serves the measured-vs-predicted comparison).
+  core::AnalysisRequest predict_req;
+  for (const auto& n : train) predict_req.app(n);
+  predict_req.app(holdout);
+  const auto predict_report =
+      core::run_analysis(predict_req.pattern_rates().app_campaign(cfg));
+
   model::Matrix x(train.size(), patterns::kNumPatterns);
   std::vector<double> y;
   for (std::size_t i = 0; i < train.size(); ++i) {
-    core::FlipTracker tracker(apps::build_app(train[i]));
-    const auto rates = tracker.pattern_rates();
+    const auto& app_report = predict_report.apps[i];
     for (std::size_t j = 0; j < patterns::kNumPatterns; ++j) {
-      x.at(i, j) = rates.rate[j];
+      x.at(i, j) = app_report.rates->rate[j];
     }
-    tracker.reset_trace();
-    y.push_back(tracker.app_campaign(cfg).success_rate());
+    y.push_back(app_report.whole_app->success_rate());
     std::printf("  trained on %-8s (measured SR %.3f)\n", train[i].c_str(),
                 y.back());
   }
@@ -75,16 +103,13 @@ int main(int argc, char** argv) {
   opts.prior_precision = 1e-6;
   reg.fit(x, y, opts);
 
-  core::FlipTracker held(apps::build_app(holdout));
-  const auto held_rates = held.pattern_rates();
+  const auto& held = predict_report.apps.back();
   std::vector<double> features(patterns::kNumPatterns);
   for (std::size_t j = 0; j < patterns::kNumPatterns; ++j) {
-    features[j] = held_rates.rate[j];
+    features[j] = held.rates->rate[j];
   }
-  const double predicted =
-      std::clamp(reg.predict(features), 0.0, 1.0);
-  held.reset_trace();
-  const double measured = held.app_campaign(cfg).success_rate();
+  const double predicted = std::clamp(reg.predict(features), 0.0, 1.0);
+  const double measured = held.whole_app->success_rate();
 
   std::printf("\npredicted SR of %s from pattern rates alone: %.3f\n",
               holdout.c_str(), predicted);

@@ -1,20 +1,18 @@
-// Quickstart: build a tiny program with the high-level builder, run it,
-// inject one bit flip, and watch FlipTracker explain what happened.
+// Quickstart: build a tiny program with the high-level builder, wrap it in
+// an AnalysisSession, inject one bit flip, and watch the analysis explain
+// what happened.
 //
 //   $ ./quickstart
 //
-// Walks through the library's core loop: program -> golden run -> fault
-// plan -> differential run -> ACL table -> pattern report.
+// Walks through the library's core loop: program -> session (golden run +
+// trace, cached) -> fault plan -> differential run -> ACL table -> pattern
+// report.
 #include <cstdio>
 
-#include "acl/diff.h"
 #include "acl/table.h"
+#include "core/analysis.h"
 #include "hl/builder.h"
-#include "patterns/detect.h"
-#include "trace/collector.h"
-#include "trace/events.h"
 #include "util/bits.h"
-#include "vm/interp.h"
 
 using namespace ft;
 
@@ -38,21 +36,23 @@ int main() {
     f.emit(sum.get());
     f.ret();
   }
-  auto module = pb.finish();
 
-  // 2. Golden (fault-free) run.
-  const auto golden = vm::Vm::run(module);
+  // 2. An AnalysisSession owns the golden artifacts (run, trace, region
+  //    instances) behind caches; any analysis below reuses them.
+  apps::AppSpec spec;
+  spec.name = "quickstart";
+  spec.module = pb.finish();
+  spec.verifier = apps::standard_verifier(1e-9);
+  core::AnalysisSession session(std::move(spec));
+
+  const auto golden = session.golden();
   std::printf("golden sum = %.3f (%llu dynamic instructions)\n",
-              golden.outputs[0].as_f64(),
-              static_cast<unsigned long long>(golden.instructions));
+              golden->outputs[0].as_f64(),
+              static_cast<unsigned long long>(golden->instructions));
 
-  // 3. Find an injection target: the load of data[2] in the trace.
-  trace::TraceCollector collector;
-  vm::VmOptions topts;
-  topts.observer = &collector;
-  (void)vm::Vm::run(module, topts);
+  // 3. Find an injection target: the load of data[2] in the golden trace.
   std::uint64_t target = 0;
-  for (const auto& r : collector.trace().records) {
+  for (const auto& r : session.golden_trace()->records) {
     if (r.op == ir::Opcode::Load &&
         r.result_bits == util::f64_to_bits(3.0)) {
       target = r.index;
@@ -64,18 +64,14 @@ int main() {
               static_cast<unsigned long long>(target));
 
   // 4. Differential run: faulty vs fault-free, in lockstep.
-  acl::DiffOptions dopts;
-  dopts.fault = vm::FaultPlan::result_bit(target, 50);
-  const auto diff = acl::diff_run(module, dopts);
+  const auto plan = vm::FaultPlan::result_bit(target, 50);
+  const auto diff = session.diff_with(plan);
   std::printf("faulty sum = %.3f (clean %.3f)\n",
               diff.faulty_result.outputs[0].as_f64(),
               diff.clean_result.outputs[0].as_f64());
 
-  // 5. ACL table + pattern report.
-  const auto events = trace::LocationEvents::build(
-      std::span<const vm::DynInstr>(diff.faulty.records.data(),
-                                    diff.usable_records()));
-  const auto report = patterns::detect_patterns(diff, events);
+  // 5. ACL table + pattern report, straight from the session.
+  const auto report = session.patterns_for(plan);
   std::printf("\nACL: max alive corrupted locations = %u\n",
               report.acl.max_count);
   for (const auto& e : report.acl.events) {

@@ -5,12 +5,15 @@
 // (the paper's motivation: "avoid overprotecting regions of code that are
 // naturally resilient").
 //
+// The whole survey is one declarative AnalysisRequest; every region's
+// internal and input campaigns interleave on the shared pool.
+//
 //   $ ./resilience_survey --app=CG --trials=150
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
 
-#include "core/fliptracker.h"
+#include "core/analysis.h"
 #include "util/cli.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -22,10 +25,21 @@ int main(int argc, char** argv) {
   const auto app_name = cli.get("app", "CG");
   const auto trials = static_cast<std::size_t>(cli.get_int("trials", 120));
 
-  core::FlipTracker tracker(apps::build_app(app_name));
-  const auto& app = tracker.app();
-  std::printf("resilience survey of %s: %d main-loop iterations, %zu regions\n",
-              app_name.c_str(), app.main_iters, app.analysis_regions.size());
+  fault::CampaignConfig cfg;
+  cfg.trials = trials;
+  const auto report =
+      core::run_analysis(core::AnalysisRequest()
+                             .app(app_name)
+                             .analysis_regions()
+                             .target(fault::TargetClass::Internal)
+                             .target(fault::TargetClass::Input)
+                             .success_rates(cfg));
+
+  std::printf("resilience survey of %s: %zu regions, %zu injections over "
+              "%zu campaigns in %.1f ms (%.0f trials/s)\n",
+              app_name.c_str(), report.entries.size() / 2,
+              report.total_trials, report.campaign_units, report.campaign_ms,
+              report.trials_per_second());
   std::printf("%zu injections per region/class (--trials=N; Leveugle 95%%/3%% "
               "would use %llu)\n\n",
               trials,
@@ -38,24 +52,17 @@ int main(int argc, char** argv) {
     std::uint64_t population;
   };
   std::vector<Row> rows;
-
-  fault::CampaignConfig cfg;
-  cfg.trials = trials;
-  for (const auto& rd : app.analysis_regions) {
-    const auto sites = tracker.enumerate_region_sites(rd.id, 0);
-    if (!sites.region_found) continue;
-    const auto internal = fault::run_campaign(
-        app.module, sites, fault::TargetClass::Internal,
-        tracker.golden().outputs, app.verifier, app.base, cfg);
-    const auto input = fault::run_campaign(
-        app.module, sites, fault::TargetClass::Input,
-        tracker.golden().outputs, app.verifier, app.base, cfg);
+  for (const auto& e : report.entries) {
+    if (e.target != fault::TargetClass::Internal || !e.region_found) continue;
+    const auto* input = report.find(e.app, e.region_name,
+                                    fault::TargetClass::Input, e.instance);
     rows.push_back(Row{
-        rd.name, internal.success_rate(), input.success_rate(),
-        internal.trials
-            ? static_cast<double>(internal.crashed) / internal.trials
-            : 0.0,
-        sites.sites.internal_bits()});
+        e.region_name, e.campaign.success_rate(),
+        input ? input->campaign.success_rate() : 0.0,
+        e.campaign.trials ? static_cast<double>(e.campaign.crashed) /
+                                static_cast<double>(e.campaign.trials)
+                          : 0.0,
+        e.campaign.population_bits});
   }
 
   std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Perf-regression canary: run the Fig. 5 per-region campaign on CG at
+# reduced trial counts, once on the batched analysis executor and once in
+# legacy per-region scheduling, and report both wall-clocks. The batched
+# run must never be slower than legacy beyond noise; on multi-core machines
+# it should win outright (regions interleave on one shared work queue).
+#
+#   scripts/bench_smoke.sh [build-dir] [trials]
+set -euo pipefail
+
+build_dir="${1:-build}"
+trials="${2:-40}"
+bench="$build_dir/fig5_per_region_sr"
+
+if [[ ! -x "$bench" ]]; then
+  echo "error: $bench not found (build first: cmake -B $build_dir -S . && cmake --build $build_dir -j)" >&2
+  exit 1
+fi
+
+extract_ms() {
+  # "campaign wall: 1410.9 ms (255 trials/s); total wall: 1504.6 ms"
+  sed -n 's/^campaign wall: \([0-9.]*\) ms.*/\1/p' "$1"
+}
+
+tmp_batched=$(mktemp) tmp_legacy=$(mktemp)
+trap 'rm -f "$tmp_batched" "$tmp_legacy"' EXIT
+
+echo "== bench smoke: fig5 on CG, $trials trials per region/class =="
+"$bench" --apps=CG --trials="$trials" | tee "$tmp_batched" | grep -E "^(schedule|campaign wall)"
+echo
+echo "-- legacy per-region scheduling --"
+"$bench" --apps=CG --trials="$trials" --legacy | tee "$tmp_legacy" | grep -E "^(schedule|campaign wall)"
+
+batched_ms=$(extract_ms "$tmp_batched")
+legacy_ms=$(extract_ms "$tmp_legacy")
+
+echo
+awk -v b="$batched_ms" -v l="$legacy_ms" 'BEGIN {
+  printf "batched: %.1f ms   legacy: %.1f ms   speedup: %.2fx\n", b, l, l / b;
+  # Fail only on a clear regression: batched >25% slower than legacy.
+  if (b > l * 1.25) { print "REGRESSION: batched scheduling slower than legacy"; exit 1 }
+  print "OK"
+}'

@@ -1,0 +1,579 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+#include "util/stopwatch.h"
+#include "vm/interp.h"
+
+namespace ft::core {
+
+// ---------------------------------------------------------------------------
+// AnalysisSession
+// ---------------------------------------------------------------------------
+
+AnalysisSession::AnalysisSession(apps::AppSpec app) : app_(std::move(app)) {}
+
+const std::shared_ptr<const vm::RunResult>& AnalysisSession::golden_locked() {
+  if (!golden_) {
+    auto run = vm::Vm::run(app_.module, app_.base);
+    if (!run.completed()) {
+      throw std::runtime_error("fault-free run of '" + app_.name +
+                               "' trapped: " +
+                               std::string(vm::trap_name(run.trap)));
+    }
+    golden_ = std::make_shared<const vm::RunResult>(std::move(run));
+  }
+  return golden_;
+}
+
+const std::shared_ptr<const trace::Trace>& AnalysisSession::trace_locked() {
+  if (!trace_) {
+    trace::TraceCollector collector;
+    vm::VmOptions opts = app_.base;
+    opts.observer = &collector;
+    auto run = vm::Vm::run(app_.module, opts);
+    if (!run.completed()) {
+      throw std::runtime_error("traced fault-free run of '" + app_.name +
+                               "' trapped");
+    }
+    if (!golden_) {
+      golden_ = std::make_shared<const vm::RunResult>(std::move(run));
+    }
+    trace_ = std::make_shared<const trace::Trace>(collector.take());
+  }
+  return trace_;
+}
+
+const std::shared_ptr<const std::vector<trace::RegionInstance>>&
+AnalysisSession::instances_locked() {
+  if (!instances_) {
+    instances_ = std::make_shared<const std::vector<trace::RegionInstance>>(
+        trace::segment_regions(trace_locked()->span()));
+  }
+  return instances_;
+}
+
+const std::shared_ptr<const trace::LocationEvents>&
+AnalysisSession::events_locked() {
+  if (!events_) {
+    events_ = std::make_shared<const trace::LocationEvents>(
+        trace::LocationEvents::build(trace_locked()->span()));
+  }
+  return events_;
+}
+
+std::shared_ptr<const fault::SiteEnumerationResult>
+AnalysisSession::sites_locked(std::uint32_t region_id,
+                              std::uint32_t instance) {
+  const auto k = key(region_id, instance);
+  if (const auto it = sites_.find(k); it != sites_.end()) return it->second;
+  auto sites = std::make_shared<const fault::SiteEnumerationResult>(
+      fault::enumerate_sites_from_trace(*trace_locked(), *instances_locked(),
+                                        *events_locked(), region_id,
+                                        instance));
+  sites_.emplace(k, sites);
+  return sites;
+}
+
+std::shared_ptr<const vm::RunResult> AnalysisSession::golden() {
+  std::lock_guard lock(mu_);
+  return golden_locked();
+}
+
+std::shared_ptr<const trace::Trace> AnalysisSession::golden_trace() {
+  std::lock_guard lock(mu_);
+  return trace_locked();
+}
+
+std::shared_ptr<const std::vector<trace::RegionInstance>>
+AnalysisSession::region_instances() {
+  std::lock_guard lock(mu_);
+  return instances_locked();
+}
+
+std::shared_ptr<const trace::LocationEvents> AnalysisSession::golden_events() {
+  std::lock_guard lock(mu_);
+  return events_locked();
+}
+
+std::shared_ptr<const patterns::PatternRates>
+AnalysisSession::pattern_rates() {
+  std::lock_guard lock(mu_);
+  if (!rates_) {
+    rates_ = std::make_shared<const patterns::PatternRates>(
+        patterns::measure_rates(trace_locked()->span(), *events_locked()));
+  }
+  return rates_;
+}
+
+std::shared_ptr<const fault::SiteEnumerationResult>
+AnalysisSession::region_sites(std::uint32_t region_id,
+                              std::uint32_t instance) {
+  std::lock_guard lock(mu_);
+  return sites_locked(region_id, instance);
+}
+
+std::shared_ptr<const fault::SiteEnumerationResult>
+AnalysisSession::whole_program_sites() {
+  std::lock_guard lock(mu_);
+  if (!whole_sites_) {
+    whole_sites_ = std::make_shared<const fault::SiteEnumerationResult>(
+        fault::enumerate_whole_program_sites(app_.module, app_.base));
+  }
+  return whole_sites_;
+}
+
+std::shared_ptr<const dddg::Graph> AnalysisSession::region_dddg(
+    std::uint32_t region_id, std::uint32_t instance) {
+  std::lock_guard lock(mu_);
+  const auto k = key(region_id, instance);
+  if (const auto it = dddgs_.find(k); it != dddgs_.end()) return it->second;
+  const auto inst =
+      trace::find_instance(*instances_locked(), region_id, instance);
+  auto graph = std::make_shared<const dddg::Graph>(
+      inst ? dddg::Graph::build(
+                 trace_locked()->slice(inst->body_begin(), inst->body_end()))
+           : dddg::Graph{});
+  dddgs_.emplace(k, graph);
+  return graph;
+}
+
+std::optional<regions::RegionIo> AnalysisSession::region_io(
+    std::uint32_t region_id, std::uint32_t instance) {
+  std::lock_guard lock(mu_);
+  const auto inst =
+      trace::find_instance(*instances_locked(), region_id, instance);
+  if (!inst) return std::nullopt;
+  return regions::classify_io(
+      trace_locked()->slice(inst->body_begin(), inst->body_end()),
+      *events_locked(), *inst);
+}
+
+void AnalysisSession::invalidate_trace() {
+  std::lock_guard lock(mu_);
+  trace_.reset();
+  instances_.reset();
+  events_.reset();
+  rates_.reset();
+}
+
+void AnalysisSession::invalidate_all() {
+  std::lock_guard lock(mu_);
+  golden_.reset();
+  trace_.reset();
+  instances_.reset();
+  events_.reset();
+  rates_.reset();
+  whole_sites_.reset();
+  sites_.clear();
+  dddgs_.clear();
+}
+
+fault::CampaignResult AnalysisSession::region_campaign(
+    std::uint32_t region_id, std::uint32_t instance, fault::TargetClass target,
+    const fault::CampaignConfig& config) {
+  const auto sites = region_sites(region_id, instance);
+  const auto golden_run = golden();
+  return fault::run_campaign(app_.module, *sites, target, golden_run->outputs,
+                             app_.verifier, app_.base, config);
+}
+
+fault::CampaignResult AnalysisSession::app_campaign(
+    const fault::CampaignConfig& config) {
+  const auto sites = whole_program_sites();
+  const auto golden_run = golden();
+  return fault::run_campaign(app_.module, *sites, fault::TargetClass::Internal,
+                             golden_run->outputs, app_.verifier, app_.base,
+                             config);
+}
+
+acl::DiffResult AnalysisSession::diff_with(const vm::FaultPlan& plan,
+                                           std::size_t max_records) const {
+  acl::DiffOptions opts;
+  opts.base = app_.base;
+  opts.fault = plan;
+  opts.max_records = max_records;
+  return acl::diff_run(app_.module, opts);
+}
+
+patterns::PatternReport AnalysisSession::patterns_for(
+    const vm::FaultPlan& plan, std::size_t max_records) const {
+  const auto diff = diff_with(plan, max_records);
+  const auto events = trace::LocationEvents::build(
+      std::span<const vm::DynInstr>(diff.faulty.records.data(),
+                                    diff.usable_records()));
+  patterns::DetectOptions opts;
+  if (plan.kind == vm::FaultPlan::Kind::RegionInputMemoryBit) {
+    opts.seed_loc = vm::mem_loc(plan.address);
+    // Seed at the matching RegionEnter record (where the VM flipped the
+    // word); fall back to 0 if the marker is past the usable prefix.
+    std::uint32_t count = 0;
+    for (std::size_t i = 0; i < diff.usable_records(); ++i) {
+      const auto& r = diff.faulty.records[i];
+      if (r.op == ir::Opcode::RegionEnter &&
+          static_cast<std::uint32_t>(r.aux) == plan.region_id) {
+        if (count == plan.region_instance) {
+          opts.seed_index = r.index;
+          break;
+        }
+        count++;
+      }
+    }
+  }
+  return patterns::detect_patterns(diff, events, opts);
+}
+
+// ---------------------------------------------------------------------------
+// AnalysisRequest builder
+// ---------------------------------------------------------------------------
+
+AnalysisRequest& AnalysisRequest::app(std::string name) {
+  apps_.push_back(AppRef{std::move(name), std::nullopt, nullptr});
+  return *this;
+}
+
+AnalysisRequest& AnalysisRequest::app(apps::AppSpec spec) {
+  apps_.push_back(AppRef{spec.name, std::move(spec), nullptr});
+  return *this;
+}
+
+AnalysisRequest& AnalysisRequest::session(
+    std::shared_ptr<AnalysisSession> s) {
+  apps_.push_back(AppRef{s->app().name, std::nullopt, std::move(s)});
+  return *this;
+}
+
+AnalysisRequest& AnalysisRequest::analysis_regions(std::uint32_t instance) {
+  scope_ = RegionScope::AnalysisRegions;
+  scope_instance_ = instance;
+  return *this;
+}
+
+AnalysisRequest& AnalysisRequest::region(std::string name,
+                                         std::uint32_t instance) {
+  scope_ = RegionScope::NamedRegions;
+  named_regions_.emplace_back(std::move(name), instance);
+  return *this;
+}
+
+AnalysisRequest& AnalysisRequest::main_loop_iterations() {
+  scope_ = RegionScope::MainLoopIterations;
+  return *this;
+}
+
+AnalysisRequest& AnalysisRequest::target(fault::TargetClass t) {
+  if (std::find(targets_.begin(), targets_.end(), t) == targets_.end()) {
+    targets_.push_back(t);
+  }
+  return *this;
+}
+
+AnalysisRequest& AnalysisRequest::success_rates(
+    const fault::CampaignConfig& cfg) {
+  region_campaign_ = cfg;
+  return *this;
+}
+
+AnalysisRequest& AnalysisRequest::app_campaign(
+    const fault::CampaignConfig& cfg) {
+  app_campaign_ = cfg;
+  return *this;
+}
+
+AnalysisRequest& AnalysisRequest::pattern_rates() {
+  want_pattern_rates_ = true;
+  return *this;
+}
+
+AnalysisRequest& AnalysisRequest::region_io() {
+  want_region_io_ = true;
+  return *this;
+}
+
+AnalysisRequest& AnalysisRequest::pool(util::ThreadPool* p) {
+  pool_ = p;
+  return *this;
+}
+
+AnalysisRequest& AnalysisRequest::execution(ExecutionMode mode) {
+  mode_ = mode;
+  return *this;
+}
+
+AnalysisRequest& AnalysisRequest::keep_traces(bool keep) {
+  keep_traces_ = keep;
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// AnalysisReport lookup
+// ---------------------------------------------------------------------------
+
+const AnalysisEntry* AnalysisReport::find(std::string_view app,
+                                          std::string_view region_name,
+                                          fault::TargetClass target,
+                                          std::uint32_t instance) const {
+  for (const auto& e : entries) {
+    if (e.app == app && e.region_name == region_name && e.target == target &&
+        e.instance == instance) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+const AppReport* AnalysisReport::find_app(std::string_view app) const {
+  for (const auto& a : apps) {
+    if (a.app == app) return &a;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// run_analysis: the batched executor
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One campaign scheduled into the shared work queue: either a region
+/// entry's campaign or an app-level campaign.
+struct CampaignUnit {
+  std::shared_ptr<AnalysisSession> session;
+  std::shared_ptr<const vm::RunResult> golden;
+  fault::PreparedCampaign prepared;
+  std::size_t entry_index = ~std::size_t{0};  // into report.entries, or
+  std::size_t app_index = ~std::size_t{0};    // into report.apps
+};
+
+struct UnitCounts {
+  std::atomic<std::size_t> success{0};
+  std::atomic<std::size_t> failed{0};
+  std::atomic<std::size_t> crashed{0};
+};
+
+fault::CampaignResult unit_result(const CampaignUnit& unit,
+                                  const UnitCounts& counts) {
+  fault::CampaignResult r;
+  r.trials = unit.prepared.plans.size();
+  r.population_bits = unit.prepared.population_bits;
+  r.success = counts.success.load();
+  r.failed = counts.failed.load();
+  r.crashed = counts.crashed.load();
+  return r;
+}
+
+/// The concrete (region_id, name, instance) rows one request selects for
+/// one application.
+struct RegionRow {
+  std::uint32_t region_id = 0;
+  std::string name;
+  std::uint32_t instance = 0;
+};
+
+}  // namespace
+
+AnalysisReport run_analysis(const AnalysisRequest& request) {
+  const util::Stopwatch total;
+  AnalysisReport report;
+  // Pool resolution: the request's pool wins; otherwise a pool carried in
+  // a campaign config is honored (matching run_campaign's contract), and
+  // two configs naming different pools is a contradiction we reject
+  // rather than silently picking one.
+  auto* pool = request.pool_;
+  if (!pool) {
+    auto* region_pool =
+        request.region_campaign_ ? request.region_campaign_->pool : nullptr;
+    auto* app_pool =
+        request.app_campaign_ ? request.app_campaign_->pool : nullptr;
+    if (region_pool && app_pool && region_pool != app_pool) {
+      throw std::invalid_argument(
+          "run_analysis: success_rates and app_campaign configs name "
+          "different pools; set AnalysisRequest::pool instead");
+    }
+    pool = region_pool ? region_pool : app_pool;
+  }
+  if (!pool) pool = &util::global_pool();
+  report.pool_workers = pool->size();
+
+  auto targets = request.targets_;
+  if (targets.empty()) targets.push_back(fault::TargetClass::Internal);
+
+  std::vector<CampaignUnit> units;
+
+  for (const auto& ref : request.apps_) {
+    // 1. Materialize the session (reusing caller-owned ones).
+    std::shared_ptr<AnalysisSession> session = ref.session;
+    const bool internal_session = session == nullptr;
+    if (!session) {
+      session = std::make_shared<AnalysisSession>(
+          ref.spec ? *ref.spec : apps::build_app(ref.name));
+    }
+    const auto& spec = session->app();
+    // Apps added by registry name keep that name as their report key
+    // ("CG"), matching what the caller will look up; explicit specs and
+    // caller sessions key by their spec name.
+    const std::string label =
+        (!ref.session && !ref.spec) ? ref.name : spec.name;
+
+    AppReport app_report;
+    app_report.app = label;
+    const auto golden_run = session->golden();
+    app_report.golden_instructions = golden_run->instructions;
+    if (request.want_pattern_rates_) {
+      app_report.rates = *session->pattern_rates();
+    }
+
+    // 2. Resolve the region sweep for this application.
+    std::vector<RegionRow> rows;
+    switch (request.scope_) {
+      case RegionScope::AnalysisRegions:
+        for (const auto& rd : spec.analysis_regions) {
+          rows.push_back(RegionRow{rd.id, rd.name, request.scope_instance_});
+        }
+        break;
+      case RegionScope::NamedRegions:
+        for (const auto& [name, instance] : request.named_regions_) {
+          const auto* rd = spec.find_region(name);
+          if (!rd) {
+            throw std::invalid_argument("run_analysis: app '" + spec.name +
+                                        "' has no region '" + name + "'");
+          }
+          rows.push_back(RegionRow{rd->id, rd->name, instance});
+        }
+        break;
+      case RegionScope::MainLoopIterations: {
+        const auto& name = spec.module.region(spec.main_region).name;
+        for (int it = 0; it < spec.main_iters; ++it) {
+          rows.push_back(RegionRow{spec.main_region, name,
+                                   static_cast<std::uint32_t>(it)});
+        }
+        break;
+      }
+      case RegionScope::None:
+        break;
+    }
+
+    // 3. Build entries and prepare their campaigns (plans drawn up-front,
+    //    per unit, from the request seed — schedule-invariant).
+    for (const auto& row : rows) {
+      const auto sites = session->region_sites(row.region_id, row.instance);
+      std::optional<regions::RegionIo> io;
+      if (request.want_region_io_ && sites->region_found) {
+        io = session->region_io(row.region_id, row.instance);
+      }
+      for (const auto target : targets) {
+        AnalysisEntry entry;
+        entry.app = label;
+        entry.region_id = row.region_id;
+        entry.region_name = row.name;
+        entry.instance = row.instance;
+        entry.target = target;
+        entry.region_found = sites->region_found;
+        entry.io = io;
+        const auto entry_index = report.entries.size();
+        report.entries.push_back(std::move(entry));
+
+        if (request.region_campaign_ && sites->region_found) {
+          CampaignUnit unit;
+          unit.session = session;
+          unit.golden = golden_run;
+          unit.prepared = fault::prepare_campaign(
+              *sites, target, spec.base, *request.region_campaign_);
+          unit.entry_index = entry_index;
+          report.entries[entry_index].campaign.population_bits =
+              unit.prepared.population_bits;
+          report.entries[entry_index].campaign.trials =
+              unit.prepared.plans.size();
+          units.push_back(std::move(unit));
+        }
+      }
+    }
+
+    if (request.app_campaign_) {
+      CampaignUnit unit;
+      unit.session = session;
+      unit.golden = golden_run;
+      unit.prepared =
+          fault::prepare_campaign(*session->whole_program_sites(),
+                                  fault::TargetClass::Internal, spec.base,
+                                  *request.app_campaign_);
+      unit.app_index = report.apps.size();
+      units.push_back(std::move(unit));
+    }
+
+    report.apps.push_back(std::move(app_report));
+
+    // 4. Bound memory: internally built sessions drop their bulk trace once
+    //    campaign prep is done (the old reset_trace() discipline).
+    if (internal_session && !request.keep_traces_) {
+      session->invalidate_trace();
+    }
+  }
+
+  // 5. Execute every campaign trial of every unit as one batched queue.
+  report.campaign_units = units.size();
+  std::vector<std::size_t> offsets(units.size() + 1, 0);
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    offsets[u + 1] = offsets[u] + units[u].prepared.plans.size();
+  }
+  report.total_trials = offsets.back();
+
+  const util::Stopwatch campaign_sw;
+  std::vector<UnitCounts> counts(units.size());
+  if (request.mode_ == ExecutionMode::Batched) {
+    if (report.total_trials > 0) {
+      pool->parallel_for(report.total_trials, [&](std::size_t i) {
+        // Locate the unit owning global trial i (offsets is sorted).
+        const auto it =
+            std::upper_bound(offsets.begin(), offsets.end(), i);
+        const auto u = static_cast<std::size_t>(it - offsets.begin()) - 1;
+        const auto& unit = units[u];
+        const auto& plan = unit.prepared.plans[i - offsets[u]];
+        switch (fault::run_trial(unit.session->app().module, unit.prepared,
+                                 plan, unit.golden->outputs,
+                                 unit.session->app().verifier)) {
+          case fault::Outcome::VerificationSuccess:
+            counts[u].success.fetch_add(1);
+            break;
+          case fault::Outcome::VerificationFailed:
+            counts[u].failed.fetch_add(1);
+            break;
+          case fault::Outcome::Crashed:
+            counts[u].crashed.fetch_add(1);
+            break;
+        }
+      });
+      report.pool_batches = 1;
+    }
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      const auto result = unit_result(units[u], counts[u]);
+      if (units[u].entry_index != ~std::size_t{0}) {
+        report.entries[units[u].entry_index].campaign = result;
+      } else {
+        report.apps[units[u].app_index].whole_app = result;
+      }
+    }
+  } else {
+    // Legacy mode: one blocking parallel_for per unit, serializing between
+    // regions exactly as the facade-era call pattern did.
+    for (const auto& unit : units) {
+      const auto& spec = unit.session->app();
+      const auto result = fault::run_prepared_campaign(
+          spec.module, unit.prepared, unit.golden->outputs, spec.verifier,
+          *pool);
+      report.pool_batches += unit.prepared.plans.empty() ? 0 : 1;
+      if (unit.entry_index != ~std::size_t{0}) {
+        report.entries[unit.entry_index].campaign = result;
+      } else {
+        report.apps[unit.app_index].whole_app = result;
+      }
+    }
+  }
+  report.campaign_ms = campaign_sw.millis();
+  report.wall_ms = total.millis();
+  return report;
+}
+
+}  // namespace ft::core

@@ -1,0 +1,293 @@
+// The composable analysis API (Fig. 1 of the paper, as a library).
+//
+// Three layers replace the old FlipTracker facade:
+//
+//  * AnalysisSession — owns one application's golden artifacts (fault-free
+//    run, trace, region instances, location events, per-region site
+//    enumerations and DDDGs) behind thread-safe, explicitly invalidatable
+//    caches. Sessions are cheap to construct from an apps::AppSpec and safe
+//    to share across a util::ThreadPool; every accessor returns a
+//    shared_ptr snapshot so invalidation never pulls data out from under a
+//    concurrent reader.
+//
+//  * AnalysisRequest / AnalysisReport — a declarative request ("these apps,
+//    these regions, these target classes, these analyses") executed by
+//    run_analysis(), which schedules every region campaign of every
+//    requested application as ONE batched work queue on a shared pool.
+//    The old facade parallelized only within one region_campaign call, so
+//    multi-region sweeps serialized between regions; here all trials of
+//    all (app, region, target) units interleave and the report carries
+//    timing/throughput metadata the bench harness serializes.
+//
+//  * vm::ObserverChain (src/vm/observer.h) — the observer-pipeline layer
+//    the session builds its traced runs on.
+//
+// FlipTracker (core/fliptracker.h) survives one release as a thin
+// deprecated shim over AnalysisSession.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "acl/diff.h"
+#include "apps/app.h"
+#include "dddg/graph.h"
+#include "fault/campaign.h"
+#include "fault/sites.h"
+#include "patterns/detect.h"
+#include "patterns/rates.h"
+#include "regions/io.h"
+#include "trace/collector.h"
+#include "trace/events.h"
+#include "trace/segment.h"
+#include "util/thread_pool.h"
+
+namespace ft::core {
+
+// ---------------------------------------------------------------------------
+// Layer 1: the per-application artifact cache.
+// ---------------------------------------------------------------------------
+
+class AnalysisSession {
+ public:
+  explicit AnalysisSession(apps::AppSpec app);
+
+  [[nodiscard]] const apps::AppSpec& app() const noexcept { return app_; }
+
+  // --- golden artifacts (lazy, cached, thread-safe) -------------------------
+  /// Fault-free run (no tracing). Throws if the fault-free run traps.
+  std::shared_ptr<const vm::RunResult> golden();
+  /// Fault-free traced run. Costs memory proportional to the dynamic
+  /// instruction count; dropped with invalidate_trace().
+  std::shared_ptr<const trace::Trace> golden_trace();
+  std::shared_ptr<const std::vector<trace::RegionInstance>> region_instances();
+  std::shared_ptr<const trace::LocationEvents> golden_events();
+  /// Fault-free pattern rates of the whole program (Table IV features).
+  std::shared_ptr<const patterns::PatternRates> pattern_rates();
+
+  // --- derived per-region artifacts (lazy, cached, thread-safe) -------------
+  /// Site enumeration of one region instance, computed from the cached
+  /// golden trace (one traced run serves every region of the app).
+  std::shared_ptr<const fault::SiteEnumerationResult> region_sites(
+      std::uint32_t region_id, std::uint32_t instance);
+  /// Internal sites over the whole run (Tables III/IV campaigns).
+  std::shared_ptr<const fault::SiteEnumerationResult> whole_program_sites();
+  /// DDDG of one region instance of the golden trace.
+  std::shared_ptr<const dddg::Graph> region_dddg(std::uint32_t region_id,
+                                                 std::uint32_t instance);
+  /// Input/output/internal classification of one region instance.
+  [[nodiscard]] std::optional<regions::RegionIo> region_io(
+      std::uint32_t region_id, std::uint32_t instance);
+
+  // --- invalidation ---------------------------------------------------------
+  /// Drop the bulk trace artifacts (trace, region instances, location
+  /// events, pattern rates). Compact derived summaries (site enumerations,
+  /// DDDGs) are kept: they are what campaigns consume after the trace is
+  /// no longer needed. Concurrent readers holding snapshots are unaffected.
+  void invalidate_trace();
+  /// Drop every cached artifact, including the golden run and the compact
+  /// derived summaries.
+  void invalidate_all();
+
+  // --- campaigns ------------------------------------------------------------
+  [[nodiscard]] fault::CampaignResult region_campaign(
+      std::uint32_t region_id, std::uint32_t instance,
+      fault::TargetClass target, const fault::CampaignConfig& config);
+  /// Whole-application campaign (internal sites over the full run).
+  [[nodiscard]] fault::CampaignResult app_campaign(
+      const fault::CampaignConfig& config);
+
+  // --- per-plan analyses (stateless; safe from any thread) ------------------
+  /// Differential run under one fault plan.
+  [[nodiscard]] acl::DiffResult diff_with(const vm::FaultPlan& plan,
+                                          std::size_t max_records = 0) const;
+  /// ACL series + pattern detection for one fault plan.
+  [[nodiscard]] patterns::PatternReport patterns_for(
+      const vm::FaultPlan& plan, std::size_t max_records = 0) const;
+
+ private:
+  // All *_locked helpers assume mu_ is held and may compute + fill caches.
+  const std::shared_ptr<const vm::RunResult>& golden_locked();
+  const std::shared_ptr<const trace::Trace>& trace_locked();
+  const std::shared_ptr<const std::vector<trace::RegionInstance>>&
+  instances_locked();
+  const std::shared_ptr<const trace::LocationEvents>& events_locked();
+  std::shared_ptr<const fault::SiteEnumerationResult> sites_locked(
+      std::uint32_t region_id, std::uint32_t instance);
+
+  static std::uint64_t key(std::uint32_t region_id,
+                           std::uint32_t instance) noexcept {
+    return (std::uint64_t{region_id} << 32) | instance;
+  }
+
+  apps::AppSpec app_;
+  mutable std::mutex mu_;
+  std::shared_ptr<const vm::RunResult> golden_;
+  std::shared_ptr<const trace::Trace> trace_;
+  std::shared_ptr<const std::vector<trace::RegionInstance>> instances_;
+  std::shared_ptr<const trace::LocationEvents> events_;
+  std::shared_ptr<const patterns::PatternRates> rates_;
+  std::shared_ptr<const fault::SiteEnumerationResult> whole_sites_;
+  std::unordered_map<std::uint64_t,
+                     std::shared_ptr<const fault::SiteEnumerationResult>>
+      sites_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const dddg::Graph>>
+      dddgs_;
+};
+
+// ---------------------------------------------------------------------------
+// Layer 2: the declarative request / report model.
+// ---------------------------------------------------------------------------
+
+/// Which region-instance sweep a request covers (uniform across its apps).
+enum class RegionScope : std::uint8_t {
+  /// Every AppSpec::analysis_regions entry at one fixed instance (Fig. 5).
+  AnalysisRegions,
+  /// An explicit list of named regions, each with its own instance.
+  NamedRegions,
+  /// The main-loop region, one entry per iteration [0, main_iters) (Fig. 6).
+  MainLoopIterations,
+  /// No region sweep (whole-app analyses only, Table IV).
+  None,
+};
+
+/// How the campaigns of a request are scheduled.
+enum class ExecutionMode : std::uint8_t {
+  /// All trials of all (app, region, target) units interleave on one
+  /// shared work queue — regions and apps execute concurrently.
+  Batched,
+  /// One blocking run_campaign per unit, as the old facade drove it.
+  /// Kept for A/B comparison (scripts/bench_smoke.sh, determinism tests).
+  LegacyPerRegion,
+};
+
+/// One (app, region instance, target class) result row.
+struct AnalysisEntry {
+  std::string app;
+  std::uint32_t region_id = 0;
+  std::string region_name;
+  std::uint32_t instance = 0;
+  fault::TargetClass target = fault::TargetClass::Internal;
+  /// False when the region instance does not occur in the golden trace;
+  /// such entries carry empty results.
+  bool region_found = false;
+  /// Filled when the request asked for success rates.
+  fault::CampaignResult campaign;
+  /// Filled when the request asked for region IO classification.
+  std::optional<regions::RegionIo> io;
+};
+
+/// Per-application results that are not tied to one region.
+struct AppReport {
+  std::string app;
+  std::uint64_t golden_instructions = 0;
+  std::optional<patterns::PatternRates> rates;
+  std::optional<fault::CampaignResult> whole_app;
+};
+
+struct AnalysisReport {
+  std::vector<AnalysisEntry> entries;
+  std::vector<AppReport> apps;
+
+  // --- scheduling / throughput metadata -------------------------------------
+  double wall_ms = 0.0;      // end-to-end run_analysis time
+  double campaign_ms = 0.0;  // time spent in the injection work queue
+  std::size_t campaign_units = 0;  // (app, region, target) + app campaigns
+  std::size_t total_trials = 0;    // injections across all units
+  std::size_t pool_batches = 0;    // parallel_for dispatches (batched: 1)
+  std::size_t pool_workers = 0;
+
+  [[nodiscard]] double trials_per_second() const noexcept {
+    return campaign_ms > 0.0
+               ? static_cast<double>(total_trials) / (campaign_ms / 1e3)
+               : 0.0;
+  }
+
+  [[nodiscard]] const AnalysisEntry* find(
+      std::string_view app, std::string_view region_name,
+      fault::TargetClass target, std::uint32_t instance = 0) const;
+  [[nodiscard]] const AppReport* find_app(std::string_view app) const;
+};
+
+/// Builder-style request. Example (Fig. 5 shape):
+///
+///   auto report = core::run_analysis(
+///       core::AnalysisRequest()
+///           .app("CG").app("MG")
+///           .analysis_regions()
+///           .target(fault::TargetClass::Internal)
+///           .target(fault::TargetClass::Input)
+///           .success_rates(cfg));
+class AnalysisRequest {
+ public:
+  // --- applications ---------------------------------------------------------
+  /// Add an application by registry name (built when the request runs).
+  AnalysisRequest& app(std::string name);
+  /// Add an explicit application spec (hardened variants, custom programs).
+  AnalysisRequest& app(apps::AppSpec spec);
+  /// Add a caller-owned session, sharing its cached golden artifacts.
+  AnalysisRequest& session(std::shared_ptr<AnalysisSession> s);
+
+  // --- region sweep (default: no region entries) ----------------------------
+  AnalysisRequest& analysis_regions(std::uint32_t instance = 0);
+  AnalysisRequest& region(std::string name, std::uint32_t instance = 0);
+  AnalysisRequest& main_loop_iterations();
+
+  // --- target classes (default: Internal only) ------------------------------
+  AnalysisRequest& target(fault::TargetClass t);
+
+  // --- analyses -------------------------------------------------------------
+  /// Per-region fault-injection success rates with this campaign config.
+  AnalysisRequest& success_rates(const fault::CampaignConfig& cfg);
+  /// Whole-application campaign per app with this config.
+  AnalysisRequest& app_campaign(const fault::CampaignConfig& cfg);
+  /// Fault-free pattern rates per app (Table IV features).
+  AnalysisRequest& pattern_rates();
+  /// Input/output/internal classification per region entry.
+  AnalysisRequest& region_io();
+
+  // --- execution ------------------------------------------------------------
+  /// Pool the batched work queue runs on. When unset, a pool named by the
+  /// campaign configs is honored (two configs naming different pools is
+  /// rejected); otherwise util::global_pool().
+  AnalysisRequest& pool(util::ThreadPool* p);
+  AnalysisRequest& execution(ExecutionMode mode);
+  /// Keep golden traces of internally built sessions after artifact prep
+  /// (default: dropped to bound memory, as the old reset_trace() flow did).
+  AnalysisRequest& keep_traces(bool keep = true);
+
+ private:
+  friend AnalysisReport run_analysis(const AnalysisRequest& request);
+
+  struct AppRef {
+    std::string name;                          // registry name, or
+    std::optional<apps::AppSpec> spec;         // explicit spec, or
+    std::shared_ptr<AnalysisSession> session;  // caller-owned session
+  };
+  std::vector<AppRef> apps_;
+  RegionScope scope_ = RegionScope::None;
+  std::uint32_t scope_instance_ = 0;
+  std::vector<std::pair<std::string, std::uint32_t>> named_regions_;
+  std::vector<fault::TargetClass> targets_;
+  std::optional<fault::CampaignConfig> region_campaign_;
+  std::optional<fault::CampaignConfig> app_campaign_;
+  bool want_pattern_rates_ = false;
+  bool want_region_io_ = false;
+  util::ThreadPool* pool_ = nullptr;
+  ExecutionMode mode_ = ExecutionMode::Batched;
+  bool keep_traces_ = false;
+};
+
+/// Execute a request. Campaign results are deterministic in the request
+/// (plans are drawn up-front per unit from CampaignConfig::seed) and
+/// independent of pool size and execution mode. Throws std::invalid_argument
+/// for unknown app/region names and propagates golden-run failures.
+[[nodiscard]] AnalysisReport run_analysis(const AnalysisRequest& request);
+
+}  // namespace ft::core

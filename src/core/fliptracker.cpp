@@ -1,50 +1,27 @@
 #include "core/fliptracker.h"
 
-#include <stdexcept>
-
 namespace ft::core {
 
-FlipTracker::FlipTracker(apps::AppSpec app) : app_(std::move(app)) {}
+FlipTracker::FlipTracker(apps::AppSpec app)
+    : session_(std::make_shared<AnalysisSession>(std::move(app))) {}
 
 const vm::RunResult& FlipTracker::golden() {
-  if (!golden_) {
-    golden_ = vm::Vm::run(app_.module, app_.base);
-    if (!golden_->completed()) {
-      throw std::runtime_error("fault-free run of '" + app_.name +
-                               "' trapped: " +
-                               std::string(vm::trap_name(golden_->trap)));
-    }
-  }
+  golden_ = session_->golden();
   return *golden_;
 }
 
 const trace::Trace& FlipTracker::golden_trace() {
-  if (!trace_) {
-    trace::TraceCollector collector;
-    vm::VmOptions opts = app_.base;
-    opts.observer = &collector;
-    const auto run = vm::Vm::run(app_.module, opts);
-    if (!run.completed()) {
-      throw std::runtime_error("traced fault-free run of '" + app_.name +
-                               "' trapped");
-    }
-    if (!golden_) golden_ = run;
-    trace_ = collector.take();
-  }
+  trace_ = session_->golden_trace();
   return *trace_;
 }
 
 const std::vector<trace::RegionInstance>& FlipTracker::region_instances() {
-  if (!instances_) {
-    instances_ = trace::segment_regions(golden_trace().span());
-  }
+  instances_ = session_->region_instances();
   return *instances_;
 }
 
 const trace::LocationEvents& FlipTracker::golden_events() {
-  if (!events_) {
-    events_ = trace::LocationEvents::build(golden_trace().span());
-  }
+  events_ = session_->golden_events();
   return *events_;
 }
 
@@ -52,87 +29,47 @@ void FlipTracker::reset_trace() {
   trace_.reset();
   instances_.reset();
   events_.reset();
+  session_->invalidate_trace();
 }
 
 fault::SiteEnumerationResult FlipTracker::enumerate_region_sites(
     std::uint32_t region_id, std::uint32_t instance) {
-  return fault::enumerate_sites(app_.module, region_id, instance, app_.base);
+  return *session_->region_sites(region_id, instance);
 }
 
 fault::CampaignResult FlipTracker::region_campaign(
     std::uint32_t region_id, std::uint32_t instance, fault::TargetClass target,
     const fault::CampaignConfig& config) {
-  const auto sites = enumerate_region_sites(region_id, instance);
-  return fault::run_campaign(app_.module, sites, target, golden().outputs,
-                             app_.verifier, app_.base, config);
+  return session_->region_campaign(region_id, instance, target, config);
 }
 
 fault::CampaignResult FlipTracker::app_campaign(
     const fault::CampaignConfig& config) {
-  const auto sites =
-      fault::enumerate_whole_program_sites(app_.module, app_.base);
-  return fault::run_campaign(app_.module, sites, fault::TargetClass::Internal,
-                             golden().outputs, app_.verifier, app_.base,
-                             config);
+  return session_->app_campaign(config);
 }
 
 acl::DiffResult FlipTracker::diff_with(const vm::FaultPlan& plan,
                                        std::size_t max_records) const {
-  acl::DiffOptions opts;
-  opts.base = app_.base;
-  opts.fault = plan;
-  opts.max_records = max_records;
-  return acl::diff_run(app_.module, opts);
+  return session_->diff_with(plan, max_records);
 }
 
 patterns::PatternReport FlipTracker::patterns_for(
     const vm::FaultPlan& plan, std::size_t max_records) const {
-  const auto diff = diff_with(plan, max_records);
-  const auto events = trace::LocationEvents::build(
-      std::span<const vm::DynInstr>(diff.faulty.records.data(),
-                                    diff.usable_records()));
-  patterns::DetectOptions opts;
-  if (plan.kind == vm::FaultPlan::Kind::RegionInputMemoryBit) {
-    opts.seed_loc = vm::mem_loc(plan.address);
-    // Seed at the matching RegionEnter record (where the VM flipped the
-    // word); fall back to 0 if the marker is past the usable prefix.
-    std::uint32_t count = 0;
-    for (std::size_t i = 0; i < diff.usable_records(); ++i) {
-      const auto& r = diff.faulty.records[i];
-      if (r.op == ir::Opcode::RegionEnter &&
-          static_cast<std::uint32_t>(r.aux) == plan.region_id) {
-        if (count == plan.region_instance) {
-          opts.seed_index = r.index;
-          break;
-        }
-        count++;
-      }
-    }
-  }
-  return patterns::detect_patterns(diff, events, opts);
+  return session_->patterns_for(plan, max_records);
 }
 
 patterns::PatternRates FlipTracker::pattern_rates() {
-  return patterns::measure_rates(golden_trace().span(), golden_events());
+  return *session_->pattern_rates();
 }
 
 dddg::Graph FlipTracker::region_dddg(std::uint32_t region_id,
                                      std::uint32_t instance) {
-  const auto inst =
-      trace::find_instance(region_instances(), region_id, instance);
-  if (!inst) return dddg::Graph{};
-  return dddg::Graph::build(
-      golden_trace().slice(inst->body_begin(), inst->body_end()));
+  return *session_->region_dddg(region_id, instance);
 }
 
 std::optional<regions::RegionIo> FlipTracker::region_io(
     std::uint32_t region_id, std::uint32_t instance) {
-  const auto inst =
-      trace::find_instance(region_instances(), region_id, instance);
-  if (!inst) return std::nullopt;
-  return regions::classify_io(
-      golden_trace().slice(inst->body_begin(), inst->body_end()),
-      golden_events(), *inst);
+  return session_->region_io(region_id, instance);
 }
 
 }  // namespace ft::core

@@ -1,27 +1,32 @@
-// The FlipTracker facade (Fig. 1 of the paper).
+// DEPRECATED: the FlipTracker facade is now a thin shim over
+// core::AnalysisSession (core/analysis.h) and will be removed after one
+// release. New code should construct an AnalysisSession directly (same
+// per-app surface, but thread-safe and shareable) or describe whole
+// experiments declaratively with AnalysisRequest / run_analysis, which
+// batches every region campaign of every app onto one shared work queue.
 //
-// Ties the substrate together for one application: fault-free golden run
-// and trace, region segmentation (step a), isolated region fault injection
-// (steps b-c), differential ACL / DDDG analysis (step d), pattern detection
-// and pattern-rate extraction. The bench harness and the examples drive
-// everything through this class.
+// Migration map:
+//   FlipTracker t(spec);             -> AnalysisSession s(spec);
+//   t.golden()                       -> *s.golden()           (shared_ptr)
+//   t.golden_trace()                 -> *s.golden_trace()
+//   t.region_instances()             -> *s.region_instances()
+//   t.golden_events()                -> *s.golden_events()
+//   t.reset_trace()                  -> s.invalidate_trace()
+//   t.enumerate_region_sites(r, i)   -> *s.region_sites(r, i) (cached now)
+//   t.region_campaign(...)           -> s.region_campaign(...)
+//   t.app_campaign(cfg)              -> s.app_campaign(cfg)
+//   t.diff_with / patterns_for       -> unchanged on the session
+//   t.pattern_rates()                -> *s.pattern_rates()
+//   t.region_dddg(r, i)              -> *s.region_dddg(r, i)  (cached now)
+//   t.region_io(r, i)                -> s.region_io(r, i)
+//   hand-rolled loops over apps x regions x targets
+//                                    -> AnalysisRequest + run_analysis
 #pragma once
 
 #include <memory>
 #include <optional>
 
-#include "acl/diff.h"
-#include "acl/table.h"
-#include "apps/app.h"
-#include "dddg/graph.h"
-#include "fault/campaign.h"
-#include "patterns/detect.h"
-#include "patterns/rates.h"
-#include "regions/io.h"
-#include "regions/tolerance.h"
-#include "trace/collector.h"
-#include "trace/events.h"
-#include "trace/segment.h"
+#include "core/analysis.h"
 
 namespace ft::core {
 
@@ -29,7 +34,16 @@ class FlipTracker {
  public:
   explicit FlipTracker(apps::AppSpec app);
 
-  [[nodiscard]] const apps::AppSpec& app() const noexcept { return app_; }
+  [[nodiscard]] const apps::AppSpec& app() const noexcept {
+    return session_->app();
+  }
+
+  /// The session this shim delegates to (an escape hatch for incremental
+  /// migration).
+  [[nodiscard]] const std::shared_ptr<AnalysisSession>& session()
+      const noexcept {
+    return session_;
+  }
 
   // --- golden artifacts (computed lazily, cached) ---------------------------
   /// Fault-free run (no tracing).
@@ -68,11 +82,13 @@ class FlipTracker {
       std::uint32_t region_id, std::uint32_t instance);
 
  private:
-  apps::AppSpec app_;
-  std::optional<vm::RunResult> golden_;
-  std::optional<trace::Trace> trace_;
-  std::optional<std::vector<trace::RegionInstance>> instances_;
-  std::optional<trace::LocationEvents> events_;
+  std::shared_ptr<AnalysisSession> session_;
+  // Pinned snapshots backing the reference-returning accessors above; reset
+  // by reset_trace() together with the session caches.
+  std::shared_ptr<const vm::RunResult> golden_;
+  std::shared_ptr<const trace::Trace> trace_;
+  std::shared_ptr<const std::vector<trace::RegionInstance>> instances_;
+  std::shared_ptr<const trace::LocationEvents> events_;
 };
 
 }  // namespace ft::core

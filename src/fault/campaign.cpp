@@ -55,13 +55,11 @@ std::vector<vm::FaultPlan> sample_plans(const SiteEnumerationResult& sites,
   return plans;
 }
 
-CampaignResult run_campaign(const ir::Module& m,
-                            const SiteEnumerationResult& sites,
-                            TargetClass target,
-                            const std::vector<vm::OutputValue>& golden,
-                            const Verifier& verify, const vm::VmOptions& base,
-                            const CampaignConfig& config) {
-  CampaignResult out;
+PreparedCampaign prepare_campaign(const SiteEnumerationResult& sites,
+                                  TargetClass target,
+                                  const vm::VmOptions& base,
+                                  const CampaignConfig& config) {
+  PreparedCampaign out;
   const auto& pop = sites.sites;
   out.population_bits =
       target == TargetClass::Internal ? pop.internal_bits() : pop.input_bits();
@@ -72,24 +70,39 @@ CampaignResult run_campaign(const ir::Module& m,
     trials = util::fault_injection_sample_size(
         out.population_bits, config.confidence, config.margin);
   }
+  out.plans = sample_plans(sites, target, trials, config.seed);
 
-  const auto plans = sample_plans(sites, target, trials, config.seed);
-  out.trials = plans.size();
-
-  vm::VmOptions run_opts = base;
-  run_opts.observer = nullptr;
-  run_opts.max_instructions = static_cast<std::uint64_t>(
+  out.run_opts = base;
+  out.run_opts.observer = nullptr;
+  out.run_opts.max_instructions = static_cast<std::uint64_t>(
       config.budget_factor *
       static_cast<double>(sites.fault_free_instructions));
-  if (run_opts.max_instructions < 1024) run_opts.max_instructions = 1024;
+  if (out.run_opts.max_instructions < 1024) out.run_opts.max_instructions = 1024;
+  return out;
+}
+
+Outcome run_trial(const ir::Module& m, const PreparedCampaign& prepared,
+                  const vm::FaultPlan& plan,
+                  const std::vector<vm::OutputValue>& golden,
+                  const Verifier& verify) {
+  vm::VmOptions opts = prepared.run_opts;
+  opts.fault = plan;
+  return classify_outcome(vm::Vm::run(m, opts), golden, verify);
+}
+
+CampaignResult run_prepared_campaign(const ir::Module& m,
+                                     const PreparedCampaign& prepared,
+                                     const std::vector<vm::OutputValue>& golden,
+                                     const Verifier& verify,
+                                     util::ThreadPool& pool) {
+  CampaignResult out;
+  out.population_bits = prepared.population_bits;
+  out.trials = prepared.plans.size();
+  if (prepared.plans.empty()) return out;
 
   std::atomic<std::size_t> success{0}, failed{0}, crashed{0};
-  auto* pool = config.pool ? config.pool : &util::global_pool();
-  pool->parallel_for(plans.size(), [&](std::size_t i) {
-    vm::VmOptions opts = run_opts;
-    opts.fault = plans[i];
-    const auto result = vm::Vm::run(m, opts);
-    switch (classify_outcome(result, golden, verify)) {
+  pool.parallel_for(prepared.plans.size(), [&](std::size_t i) {
+    switch (run_trial(m, prepared, prepared.plans[i], golden, verify)) {
       case Outcome::VerificationSuccess: success.fetch_add(1); break;
       case Outcome::VerificationFailed: failed.fetch_add(1); break;
       case Outcome::Crashed: crashed.fetch_add(1); break;
@@ -100,6 +113,17 @@ CampaignResult run_campaign(const ir::Module& m,
   out.failed = failed.load();
   out.crashed = crashed.load();
   return out;
+}
+
+CampaignResult run_campaign(const ir::Module& m,
+                            const SiteEnumerationResult& sites,
+                            TargetClass target,
+                            const std::vector<vm::OutputValue>& golden,
+                            const Verifier& verify, const vm::VmOptions& base,
+                            const CampaignConfig& config) {
+  auto* pool = config.pool ? config.pool : &util::global_pool();
+  return run_prepared_campaign(m, prepare_campaign(sites, target, base, config),
+                               golden, verify, *pool);
 }
 
 }  // namespace ft::fault

@@ -45,9 +45,44 @@ struct CampaignResult {
   }
 };
 
+/// A campaign broken into its deterministic prelude: the up-front sampled
+/// fault plans and the per-trial VM options (observer cleared, hang budget
+/// applied). Trials are then independent — run them with run_trial() in any
+/// order, on any pool, and the aggregated counts are schedule-invariant.
+/// This is the unit the batched executor (core::run_analysis) concatenates
+/// across regions and applications into one shared work queue.
+struct PreparedCampaign {
+  std::vector<vm::FaultPlan> plans;
+  vm::VmOptions run_opts;
+  std::uint64_t population_bits = 0;
+};
+
+/// Sample the plans and fix the per-trial options for one campaign.
+/// `config.trials == 0` derives the Leveugle sample size from the site
+/// population as run_campaign does.
+[[nodiscard]] PreparedCampaign prepare_campaign(
+    const SiteEnumerationResult& sites, TargetClass target,
+    const vm::VmOptions& base, const CampaignConfig& config);
+
+/// Execute one prepared trial and classify its outcome.
+[[nodiscard]] Outcome run_trial(const ir::Module& m,
+                                const PreparedCampaign& prepared,
+                                const vm::FaultPlan& plan,
+                                const std::vector<vm::OutputValue>& golden,
+                                const Verifier& verify);
+
+/// Execute every trial of one prepared campaign on `pool` (one blocking
+/// parallel_for) and aggregate the counts.
+[[nodiscard]] CampaignResult run_prepared_campaign(
+    const ir::Module& m, const PreparedCampaign& prepared,
+    const std::vector<vm::OutputValue>& golden, const Verifier& verify,
+    util::ThreadPool& pool);
+
 /// Run a campaign against one region instance's site population.
 /// `golden` is the fault-free output (from a completed run with the same
 /// `base` options); `verify` is the application's verification phase.
+/// Equivalent to prepare_campaign + run_trial over every plan on one
+/// parallel_for.
 [[nodiscard]] CampaignResult run_campaign(
     const ir::Module& m, const SiteEnumerationResult& sites,
     TargetClass target, const std::vector<vm::OutputValue>& golden,

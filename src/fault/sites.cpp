@@ -17,24 +17,15 @@ std::uint64_t SitePopulation::input_bits() const {
   return n;
 }
 
-SiteEnumerationResult enumerate_sites(const ir::Module& m,
-                                      std::uint32_t region_id,
-                                      std::uint32_t instance,
-                                      const vm::VmOptions& base) {
+SiteEnumerationResult enumerate_sites_from_trace(
+    const trace::Trace& tr, std::span<const trace::RegionInstance> instances,
+    const trace::LocationEvents& events, std::uint32_t region_id,
+    std::uint32_t instance) {
   SiteEnumerationResult out;
   out.sites.region_id = region_id;
   out.sites.instance = instance;
+  out.fault_free_instructions = tr.size();
 
-  trace::TraceCollector collector;
-  vm::VmOptions opts = base;
-  opts.observer = &collector;
-  opts.fault = vm::FaultPlan::none();
-  const auto run = vm::Vm::run(m, opts);
-  out.fault_free_instructions = run.instructions;
-  if (!run.completed()) return out;
-
-  const auto& tr = collector.trace();
-  const auto instances = trace::segment_regions(tr.span());
   const auto inst = trace::find_instance(instances, region_id, instance);
   if (!inst || !inst->complete) return out;
   out.region_found = true;
@@ -50,14 +41,38 @@ SiteEnumerationResult enumerate_sites(const ir::Module& m,
   }
 
   // Input sites: memory-resident inputs of the instance, flipped at entry.
-  const auto events = trace::LocationEvents::build(tr.span());
   const auto io = regions::classify_io(slice, events, *inst);
   for (const auto& in : regions::memory_inputs(io)) {
     const auto width = store_size(in.type);
     if (width == 0) continue;
-    out.sites.input.push_back(
-        InputSite{vm::loc_address(in.loc), width});
+    out.sites.input.push_back(InputSite{vm::loc_address(in.loc), width});
   }
+  return out;
+}
+
+SiteEnumerationResult enumerate_sites(const ir::Module& m,
+                                      std::uint32_t region_id,
+                                      std::uint32_t instance,
+                                      const vm::VmOptions& base) {
+  trace::TraceCollector collector;
+  vm::VmOptions opts = base;
+  opts.observer = &collector;
+  opts.fault = vm::FaultPlan::none();
+  const auto run = vm::Vm::run(m, opts);
+  if (!run.completed()) {
+    SiteEnumerationResult out;
+    out.sites.region_id = region_id;
+    out.sites.instance = instance;
+    out.fault_free_instructions = run.instructions;
+    return out;
+  }
+
+  const auto& tr = collector.trace();
+  const auto instances = trace::segment_regions(tr.span());
+  const auto events = trace::LocationEvents::build(tr.span());
+  auto out = enumerate_sites_from_trace(tr, instances, events, region_id,
+                                        instance);
+  out.fault_free_instructions = run.instructions;
   return out;
 }
 

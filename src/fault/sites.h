@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "ir/module.h"
 #include "regions/io.h"
+#include "trace/events.h"
 #include "trace/segment.h"
 #include "vm/fault_plan.h"
 #include "vm/interp.h"
@@ -55,6 +57,17 @@ struct SiteEnumerationResult {
                                                     std::uint32_t region_id,
                                                     std::uint32_t instance,
                                                     const vm::VmOptions& base);
+
+/// Enumerate the sites of one region instance from golden artifacts that
+/// were already collected (trace + its segmentation + its event index).
+/// Produces bit-identical results to enumerate_sites without re-running the
+/// program — the per-region fast path used by core::AnalysisSession when
+/// many regions of one application are analyzed.
+[[nodiscard]] SiteEnumerationResult enumerate_sites_from_trace(
+    const trace::Trace& tr,
+    std::span<const trace::RegionInstance> instances,
+    const trace::LocationEvents& events, std::uint32_t region_id,
+    std::uint32_t instance);
 
 /// Enumerate internal sites over the whole program (every committed value
 /// of the full run) — the population for whole-application success rates

@@ -27,6 +27,7 @@ ThreadPool::~ThreadPool() {
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   auto fut = packaged.get_future();
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard lock(mutex_);
     queue_.push(std::move(packaged));
@@ -38,6 +39,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
+  parallel_for_calls_.fetch_add(1, std::memory_order_relaxed);
   const std::size_t nchunks = std::min(count, size() * 4);
   std::atomic<std::size_t> next_chunk{0};
   const std::size_t chunk = (count + nchunks - 1) / nchunks;

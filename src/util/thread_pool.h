@@ -4,8 +4,10 @@
 // think in tasks; threads are an implementation detail.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -34,6 +36,19 @@ class ThreadPool {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 
+  // --- scheduling telemetry ---------------------------------------------------
+  // Monotonic counters since construction; the batching tests use them to
+  // prove that a multi-region analysis dispatches as ONE work queue rather
+  // than one parallel_for per region.
+  /// Number of parallel_for invocations dispatched through this pool.
+  [[nodiscard]] std::uint64_t parallel_for_calls() const noexcept {
+    return parallel_for_calls_.load(std::memory_order_relaxed);
+  }
+  /// Number of tasks submitted to the queue (chunk drains + submit()s).
+  [[nodiscard]] std::uint64_t tasks_submitted() const noexcept {
+    return tasks_submitted_.load(std::memory_order_relaxed);
+  }
+
  private:
   void worker_loop();
 
@@ -42,6 +57,8 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+  std::atomic<std::uint64_t> parallel_for_calls_{0};
+  std::atomic<std::uint64_t> tasks_submitted_{0};
 };
 
 /// Process-wide pool (lazily constructed); used by campaign runners unless

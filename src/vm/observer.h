@@ -11,6 +11,9 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
 
 #include "ir/instruction.h"
 #include "vm/location.h"
@@ -54,12 +57,117 @@ class ExecObserver {
   [[nodiscard]] virtual bool enabled() const { return true; }
 };
 
+/// Region markers are always delivered (even through disabled observers) so
+/// gating observers can toggle on region boundaries.
+[[nodiscard]] inline bool is_region_marker(const DynInstr& d) noexcept {
+  return ir::is_region_marker(d.op);
+}
+
+/// Observer pipeline with per-stage gating.
+///
+/// Each stage is an observer plus an optional per-record filter. A record is
+/// delivered to a stage when the stage's own enabled() says so (region
+/// markers bypass stage gating, mirroring the VM contract) and the filter —
+/// if any — accepts it. The chain's enabled() is the OR over its stages, so
+/// a fully gated pipeline keeps the VM on the fast path (no DynInstr
+/// materialization outside marker instructions).
+class ObserverChain final : public ExecObserver {
+ public:
+  using Filter = std::function<bool(const DynInstr&)>;
+
+  /// Append a stage; records reach it subject to `o->enabled()`.
+  ObserverChain& then(ExecObserver* o) { return then(o, Filter{}); }
+  /// Append a stage with a per-record filter. Filters see region markers
+  /// too; stateful filters (e.g. region_window_filter) rely on that.
+  ObserverChain& then(ExecObserver* o, Filter filter) {
+    stages_.push_back(Stage{o, std::move(filter)});
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return stages_.size(); }
+
+  void on_instruction(const DynInstr& d) override {
+    const bool marker = is_region_marker(d);
+    for (auto& s : stages_) {
+      if (!marker && !s.observer->enabled()) continue;
+      if (s.filter && !s.filter(d)) continue;
+      s.observer->on_instruction(d);
+    }
+  }
+
+  /// True iff any stage wants records — the VM's fast-path gate.
+  [[nodiscard]] bool enabled() const override {
+    for (const auto& s : stages_) {
+      if (s.observer->enabled()) return true;
+    }
+    return false;
+  }
+
+ private:
+  struct Stage {
+    ExecObserver* observer = nullptr;
+    Filter filter;
+  };
+  std::vector<Stage> stages_;
+};
+
+/// Forwards records to a sink only inside one dynamic-instance window of a
+/// region, markers of that window included ("selectively collect traces for
+/// individual functions", §IV-A). enabled() tracks the window, so a chain
+/// of gated sinks keeps the VM on the fast path outside the window.
+class RegionWindowGate final : public ExecObserver {
+ public:
+  RegionWindowGate(ExecObserver* sink, std::uint32_t region_id,
+                   std::uint32_t instance = 0)
+      : sink_(sink), region_(region_id), instance_(instance) {}
+
+  void on_instruction(const DynInstr& d) override {
+    if (d.op == ir::Opcode::RegionEnter &&
+        static_cast<std::uint32_t>(d.aux) == region_) {
+      if (seen_++ == instance_) active_ = true;
+      // Depth-count same-id re-entries so a region nested inside itself
+      // does not close the window early (instances are numbered per
+      // RegionEnter, matching trace::RegionSegmenter).
+      if (active_) depth_++;
+    }
+    if (active_) sink_->on_instruction(d);
+    if (d.op == ir::Opcode::RegionExit &&
+        static_cast<std::uint32_t>(d.aux) == region_ && active_) {
+      if (--depth_ == 0) active_ = false;
+    }
+  }
+
+  [[nodiscard]] bool enabled() const override { return active_; }
+
+ private:
+  ExecObserver* sink_;
+  std::uint32_t region_;
+  std::uint32_t instance_;
+  std::uint32_t seen_ = 0;
+  std::uint32_t depth_ = 0;
+  bool active_ = false;
+};
+
 /// Fans one VM execution out to several observers.
+///
+/// Deprecated: prefer ObserverChain, which adds per-stage gating and
+/// filters. Kept for one release as the legacy fan-out primitive.
 class MultiObserver final : public ExecObserver {
  public:
   void add(ExecObserver* o) { observers_.push_back(o); }
   void on_instruction(const DynInstr& d) override {
-    for (auto* o : observers_) o->on_instruction(d);
+    const bool marker = is_region_marker(d);
+    for (auto* o : observers_) {
+      if (marker || o->enabled()) o->on_instruction(d);
+    }
+  }
+  /// Enabled iff any child is — an always-true default here used to defeat
+  /// the VM fast path even when every child was gated off.
+  [[nodiscard]] bool enabled() const override {
+    for (const auto* o : observers_) {
+      if (o->enabled()) return true;
+    }
+    return false;
   }
 
  private:

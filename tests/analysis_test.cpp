@@ -1,0 +1,412 @@
+// The composable analysis API: AnalysisSession caching and thread safety,
+// declarative AnalysisRequest execution, cross-region campaign batching,
+// seed determinism across pool sizes and execution modes, and the
+// observer-pipeline gating semantics.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/analysis.h"
+#include "hl/builder.h"
+#include "trace/collector.h"
+
+namespace ft {
+namespace {
+
+fault::CampaignConfig quick_campaign(std::size_t trials,
+                                     std::uint64_t seed = 0xF11Dull) {
+  fault::CampaignConfig cfg;
+  cfg.trials = trials;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// --- session caching -----------------------------------------------------------
+
+TEST(AnalysisSession, ArtifactsAreCachedAndConsistent) {
+  core::AnalysisSession session(apps::build_sp());
+  const auto golden = session.golden();
+  EXPECT_TRUE(golden->completed());
+  const auto tr = session.golden_trace();
+  EXPECT_EQ(tr->size(), golden->instructions);
+  // Repeat accessors return the same snapshot, not a recomputation.
+  EXPECT_EQ(session.golden_trace().get(), tr.get());
+  EXPECT_EQ(session.golden().get(), golden.get());
+  const auto instances = session.region_instances();
+  EXPECT_FALSE(instances->empty());
+  EXPECT_EQ(session.region_instances().get(), instances.get());
+  EXPECT_GT(session.golden_events()->num_locations(), 0u);
+}
+
+TEST(AnalysisSession, InvalidateTraceRebuildsEqualArtifacts) {
+  core::AnalysisSession session(apps::build_sp());
+  const auto tr = session.golden_trace();
+  const auto n1 = tr->size();
+  const auto e1 = session.golden_events()->num_locations();
+  session.invalidate_trace();
+  // The old snapshot stays valid for concurrent readers...
+  EXPECT_EQ(tr->size(), n1);
+  // ...and the rebuilt artifacts are equal (the VM is deterministic).
+  const auto tr2 = session.golden_trace();
+  EXPECT_NE(tr2.get(), tr.get());
+  EXPECT_EQ(tr2->size(), n1);
+  EXPECT_EQ(session.golden_events()->num_locations(), e1);
+}
+
+TEST(AnalysisSession, RegionSitesMatchLegacyEnumeration) {
+  core::AnalysisSession session(apps::build_cg());
+  const auto& spec = session.app();
+  for (const auto& rd : spec.analysis_regions) {
+    const auto cached = session.region_sites(rd.id, 0);
+    const auto legacy =
+        fault::enumerate_sites(spec.module, rd.id, 0, spec.base);
+    ASSERT_EQ(cached->region_found, legacy.region_found) << rd.name;
+    EXPECT_EQ(cached->fault_free_instructions,
+              legacy.fault_free_instructions);
+    ASSERT_EQ(cached->sites.internal.size(), legacy.sites.internal.size());
+    EXPECT_EQ(cached->sites.internal_bits(), legacy.sites.internal_bits());
+    ASSERT_EQ(cached->sites.input.size(), legacy.sites.input.size());
+    for (std::size_t i = 0; i < cached->sites.input.size(); ++i) {
+      EXPECT_EQ(cached->sites.input[i].address,
+                legacy.sites.input[i].address);
+    }
+    // Cached: second lookup is the same object.
+    EXPECT_EQ(session.region_sites(rd.id, 0).get(), cached.get());
+  }
+}
+
+TEST(AnalysisSession, SharedAcrossThreadsYieldsOneSnapshot) {
+  core::AnalysisSession session(apps::build_sp());
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const trace::Trace>> seen(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] { seen[t] = session.golden_trace(); });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t].get(), seen[0].get());
+  }
+}
+
+// --- campaign determinism ------------------------------------------------------
+
+TEST(CampaignDeterminism, IdenticalCountsAcrossPoolSizes) {
+  core::AnalysisSession session(apps::build_cg());
+  const auto* cg_b = session.app().find_region("cg_b");
+  ASSERT_NE(cg_b, nullptr);
+
+  std::vector<fault::CampaignResult> results;
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    util::ThreadPool pool(workers);
+    auto cfg = quick_campaign(12, /*seed=*/77);
+    cfg.pool = &pool;
+    results.push_back(session.region_campaign(
+        cg_b->id, 0, fault::TargetClass::Internal, cfg));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].trials, results[0].trials);
+    EXPECT_EQ(results[i].success, results[0].success);
+    EXPECT_EQ(results[i].failed, results[0].failed);
+    EXPECT_EQ(results[i].crashed, results[0].crashed);
+    EXPECT_EQ(results[i].population_bits, results[0].population_bits);
+  }
+}
+
+TEST(CampaignDeterminism, BatchedMatchesLegacyAndFacadeFlow) {
+  auto session = std::make_shared<core::AnalysisSession>(apps::build_cg());
+  const auto cfg = quick_campaign(10, /*seed=*/42);
+
+  const auto run_mode = [&](core::ExecutionMode mode) {
+    return core::run_analysis(core::AnalysisRequest()
+                                  .session(session)
+                                  .region("cg_a")
+                                  .region("cg_b")
+                                  .target(fault::TargetClass::Internal)
+                                  .target(fault::TargetClass::Input)
+                                  .success_rates(cfg)
+                                  .execution(mode));
+  };
+  const auto batched = run_mode(core::ExecutionMode::Batched);
+  const auto legacy = run_mode(core::ExecutionMode::LegacyPerRegion);
+
+  ASSERT_EQ(batched.entries.size(), 4u);
+  ASSERT_EQ(legacy.entries.size(), batched.entries.size());
+  for (std::size_t i = 0; i < batched.entries.size(); ++i) {
+    const auto& b = batched.entries[i].campaign;
+    const auto& l = legacy.entries[i].campaign;
+    EXPECT_EQ(b.trials, l.trials);
+    EXPECT_EQ(b.success, l.success);
+    EXPECT_EQ(b.failed, l.failed);
+    EXPECT_EQ(b.crashed, l.crashed);
+
+    // And both match the imperative per-region session call.
+    const auto& e = batched.entries[i];
+    const auto direct =
+        session->region_campaign(e.region_id, e.instance, e.target, cfg);
+    EXPECT_EQ(b.success, direct.success);
+    EXPECT_EQ(b.failed, direct.failed);
+    EXPECT_EQ(b.crashed, direct.crashed);
+  }
+}
+
+// --- cross-region batching -----------------------------------------------------
+
+TEST(Batching, MultiRegionRequestDispatchesOnePoolBatch) {
+  util::ThreadPool pool(2);
+  const auto report =
+      core::run_analysis(core::AnalysisRequest()
+                             .app("CG")
+                             .analysis_regions()
+                             .target(fault::TargetClass::Internal)
+                             .target(fault::TargetClass::Input)
+                             .success_rates(quick_campaign(6))
+                             .pool(&pool));
+
+  // Every (region, target) campaign of the request went through exactly ONE
+  // parallel_for dispatch: regions execute concurrently on the shared pool
+  // instead of serializing between per-region campaigns.
+  EXPECT_EQ(pool.parallel_for_calls(), 1u);
+  EXPECT_EQ(report.pool_batches, 1u);
+  EXPECT_GT(report.campaign_units, 1u);
+  EXPECT_EQ(report.pool_workers, 2u);
+
+  std::size_t sum = 0;
+  for (const auto& e : report.entries) {
+    if (e.region_found) {
+      EXPECT_EQ(e.campaign.trials, 6u);
+      EXPECT_EQ(e.campaign.success + e.campaign.failed + e.campaign.crashed,
+                e.campaign.trials);
+    }
+    sum += e.campaign.trials;
+  }
+  EXPECT_EQ(report.total_trials, sum);
+  EXPECT_GT(report.total_trials, 0u);
+  EXPECT_GT(report.campaign_ms, 0.0);
+  EXPECT_GT(report.trials_per_second(), 0.0);
+}
+
+TEST(Batching, CampaignConfigPoolIsHonored) {
+  // run_campaign's contract (CampaignConfig::pool) must hold through the
+  // declarative path too when no request-level pool is set.
+  util::ThreadPool pool(2);
+  auto cfg = quick_campaign(5);
+  cfg.pool = &pool;
+  const auto report = core::run_analysis(
+      core::AnalysisRequest().app("CG").region("cg_a").success_rates(cfg));
+  EXPECT_EQ(pool.parallel_for_calls(), 1u);
+  EXPECT_EQ(report.pool_workers, 2u);
+}
+
+TEST(Batching, LegacyModeDispatchesPerUnit) {
+  util::ThreadPool pool(2);
+  const auto report =
+      core::run_analysis(core::AnalysisRequest()
+                             .app("CG")
+                             .region("cg_a")
+                             .region("cg_b")
+                             .success_rates(quick_campaign(5))
+                             .pool(&pool)
+                             .execution(core::ExecutionMode::LegacyPerRegion));
+  EXPECT_EQ(report.campaign_units, 2u);
+  EXPECT_EQ(report.pool_batches, 2u);
+  EXPECT_EQ(pool.parallel_for_calls(), 2u);
+}
+
+// --- the request/report model --------------------------------------------------
+
+TEST(AnalysisRequest, ReportCarriesAppAnalysesAndLookups) {
+  const auto report = core::run_analysis(core::AnalysisRequest()
+                                             .app("CG")
+                                             .region("cg_b")
+                                             .region_io()
+                                             .success_rates(quick_campaign(5))
+                                             .pattern_rates()
+                                             .app_campaign(quick_campaign(8)));
+  const auto* app = report.find_app("CG");
+  ASSERT_NE(app, nullptr);
+  EXPECT_GT(app->golden_instructions, 0u);
+  ASSERT_TRUE(app->rates.has_value());
+  EXPECT_GT(app->rates->total_instructions, 0u);
+  ASSERT_TRUE(app->whole_app.has_value());
+  EXPECT_EQ(app->whole_app->trials, 8u);
+
+  const auto* entry =
+      report.find("CG", "cg_b", fault::TargetClass::Internal);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->region_found);
+  ASSERT_TRUE(entry->io.has_value());
+  EXPECT_FALSE(entry->io->inputs.empty());
+  EXPECT_EQ(entry->campaign.trials, 5u);
+  EXPECT_EQ(report.find("CG", "cg_b", fault::TargetClass::Input), nullptr);
+}
+
+TEST(AnalysisRequest, UnknownRegionNameThrows) {
+  EXPECT_THROW(
+      (void)core::run_analysis(core::AnalysisRequest().app("CG").region(
+          "no_such_region")),
+      std::invalid_argument);
+}
+
+TEST(AnalysisRequest, MainLoopIterationsEnumerateInstances) {
+  const auto report = core::run_analysis(
+      core::AnalysisRequest().app("SP").main_loop_iterations());
+  const auto iters =
+      static_cast<std::size_t>(apps::build_sp().main_iters);
+  EXPECT_EQ(report.entries.size(), iters);
+  for (std::size_t i = 0; i < report.entries.size(); ++i) {
+    EXPECT_EQ(report.entries[i].instance, i);
+    EXPECT_TRUE(report.entries[i].region_found);
+  }
+}
+
+// --- observer pipeline ---------------------------------------------------------
+
+ir::Module gated_module(std::uint32_t* rid_out) {
+  hl::ProgramBuilder pb("t");
+  const auto rid = pb.declare_region("r", 0, 0);
+  const auto fid = pb.declare_function("main");
+  {
+    auto f = pb.define(fid);
+    auto s = f.var_i64("s", 0);
+    f.for_("i", 0, 40, [&](hl::Value i) { s.set(s.get() + i); });  // outside
+    f.region(rid, [&] {
+      f.for_("i", 0, 10, [&](hl::Value i) { s.set(s.get() + i); });
+    });
+    f.for_("i", 0, 40, [&](hl::Value i) { s.set(s.get() + i); });  // outside
+    f.emit(s.get());
+    f.ret();
+  }
+  *rid_out = rid;
+  return pb.finish();
+}
+
+TEST(ObserverChain, EnabledIsOrOverStages) {
+  trace::TraceCollector always_on;
+  std::uint32_t rid = 0;
+  const auto mod = gated_module(&rid);
+
+  vm::ObserverChain empty;
+  EXPECT_FALSE(empty.enabled());
+
+  trace::TraceCollector sink;
+  vm::RegionWindowGate gate(&sink, rid);
+  vm::ObserverChain gated;
+  gated.then(&gate);
+  EXPECT_FALSE(gated.enabled());  // window not open yet
+
+  vm::ObserverChain mixed;
+  mixed.then(&gate).then(&always_on);
+  EXPECT_TRUE(mixed.enabled());
+}
+
+TEST(ObserverChain, PerStageGatingSkipsDisabledStages) {
+  std::uint32_t rid = 0;
+  const auto mod = gated_module(&rid);
+
+  trace::TraceCollector windowed_sink;
+  vm::RegionWindowGate gate(&windowed_sink, rid);
+  trace::TraceCollector full_sink;
+  vm::ObserverChain chain;
+  chain.then(&gate).then(&full_sink);
+  vm::VmOptions opts;
+  opts.observer = &chain;
+  const auto run = vm::Vm::run(mod, opts);
+  ASSERT_TRUE(run.completed());
+
+  // The ungated stage saw the whole stream; the gated one only its window.
+  EXPECT_EQ(full_sink.trace().size(), run.instructions);
+  EXPECT_GT(windowed_sink.trace().size(), 10u);
+  EXPECT_LT(windowed_sink.trace().size(), full_sink.trace().size() / 2);
+  // The window includes its own markers.
+  EXPECT_EQ(windowed_sink.trace().records.front().op,
+            ir::Opcode::RegionEnter);
+}
+
+TEST(RegionWindowGate, SelfNestedRegionKeepsWindowOpen) {
+  // A region whose body re-enters the same region id must not close the
+  // outer window at the inner exit: the gated capture has to match the
+  // segmenter's [enter, exit] span for the outer instance.
+  hl::ProgramBuilder pb("t");
+  const auto rid = pb.declare_region("r", 0, 0);
+  const auto fid = pb.declare_function("main");
+  {
+    auto f = pb.define(fid);
+    auto s = f.var_i64("s", 0);
+    f.region(rid, [&] {
+      f.for_("i", 0, 5, [&](hl::Value i) { s.set(s.get() + i); });
+      f.region(rid, [&] {  // nested instance of the SAME region
+        f.for_("i", 0, 5, [&](hl::Value i) { s.set(s.get() + i); });
+      });
+      f.for_("i", 0, 5, [&](hl::Value i) { s.set(s.get() + i); });  // tail
+    });
+    f.emit(s.get());
+    f.ret();
+  }
+  const auto mod = pb.finish();
+
+  trace::TraceCollector all;
+  vm::VmOptions aopts;
+  aopts.observer = &all;
+  ASSERT_TRUE(vm::Vm::run(mod, aopts).completed());
+  const auto instances = trace::segment_regions(all.trace().span());
+  const auto outer = trace::find_instance(instances, rid, 0);
+  ASSERT_TRUE(outer.has_value());
+
+  trace::TraceCollector windowed;
+  vm::RegionWindowGate gate(&windowed, rid, /*instance=*/0);
+  vm::VmOptions gopts;
+  gopts.observer = &gate;
+  ASSERT_TRUE(vm::Vm::run(mod, gopts).completed());
+
+  // Markers included: the window is exactly the outer instance's span.
+  EXPECT_EQ(windowed.trace().size(),
+            outer->exit_index - outer->enter_index + 1);
+  EXPECT_EQ(windowed.trace().records.back().op, ir::Opcode::RegionExit);
+}
+
+TEST(ObserverChain, StageFiltersSelectRecords) {
+  std::uint32_t rid = 0;
+  const auto mod = gated_module(&rid);
+  trace::TraceCollector stores;
+  vm::ObserverChain chain;
+  chain.then(&stores,
+             [](const vm::DynInstr& d) { return d.op == ir::Opcode::Store; });
+  vm::VmOptions opts;
+  opts.observer = &chain;
+  ASSERT_TRUE(vm::Vm::run(mod, opts).completed());
+  ASSERT_FALSE(stores.trace().empty());
+  for (const auto& r : stores.trace().records) {
+    EXPECT_EQ(r.op, ir::Opcode::Store);
+  }
+}
+
+TEST(MultiObserver, EnabledReflectsChildren) {
+  // A fully gated observer set must not defeat the VM fast path: with the
+  // old always-true default the VM materialized every DynInstr even though
+  // no child wanted records.
+  std::uint32_t rid = 0;
+  const auto mod = gated_module(&rid);
+  trace::TraceCollector sink;
+  vm::RegionWindowGate gate(&sink, rid);
+  vm::MultiObserver multi;
+  EXPECT_FALSE(multi.enabled());  // no children
+  multi.add(&gate);
+  EXPECT_FALSE(multi.enabled());  // gated child, window closed
+
+  vm::VmOptions opts;
+  opts.observer = &multi;
+  const auto run = vm::Vm::run(mod, opts);
+  ASSERT_TRUE(run.completed());
+  // Only the region window (plus its markers) was delivered.
+  EXPECT_GT(sink.trace().size(), 10u);
+  EXPECT_LT(sink.trace().size(), run.instructions / 2);
+
+  trace::TraceCollector always;
+  multi.add(&always);
+  EXPECT_TRUE(multi.enabled());
+}
+
+}  // namespace
+}  // namespace ft

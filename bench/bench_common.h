@@ -74,6 +74,9 @@ inline void print_report_meta(const core::AnalysisReport& report) {
       report.pool_batches == 1 ? "" : "es", report.pool_workers);
   std::printf("campaign wall: %.1f ms (%.0f trials/s); total wall: %.1f ms\n",
               report.campaign_ms, report.trials_per_second(), report.wall_ms);
+  std::printf("campaign instructions: %llu (%.1f M instr/s, decoded engine)\n",
+              static_cast<unsigned long long>(report.total_instructions),
+              report.instructions_per_second() / 1e6);
 }
 
 }  // namespace ft::bench

@@ -20,6 +20,7 @@
 #include "trace/file_sink.h"
 #include "trace/segment.h"
 #include "util/cli.h"
+#include "vm/decode.h"
 
 namespace {
 
@@ -29,7 +30,7 @@ using namespace ft;
 // file sink inside a vm::ObserverChain, and the chain's enabled() keeps the
 // VM on the fast path outside the traced window.
 
-enum class Mode { Plain, Selective, Exhaustive };
+enum class Mode { Plain, PlainDecoded, Selective, Exhaustive };
 
 }  // namespace
 
@@ -44,15 +45,18 @@ int main(int argc, char** argv) {
   const auto tmp = std::filesystem::temp_directory_path() / "fliptracker_fig4";
   std::filesystem::create_directories(tmp);
 
-  util::Table table({"app", "baseline (s)", "selective trace (s)",
-                     "selective overhead", "exhaustive trace (s)",
-                     "exhaustive overhead"});
-  double total_sel = 0.0, total_exh = 0.0;
+  util::Table table({"app", "baseline (s)", "decoded (s)", "engine speedup",
+                     "selective trace (s)", "selective overhead",
+                     "exhaustive trace (s)", "exhaustive overhead"});
+  double total_sel = 0.0, total_exh = 0.0, total_engine = 0.0;
   int apps_measured = 0;
 
   for (const std::string name : {"LULESH", "IS", "KMEANS", "MG", "CG"}) {
     auto app = apps::build_app(name);
     const auto& mod = app.module;
+    // Decoded once per app, shared read-only by all ranks (the per-rank Vms
+    // only read it — the same sharing AnalysisSession relies on).
+    const auto prog = vm::DecodedProgram::decode(mod);
 
     auto run_world = [&](Mode mode) {
       mpi::World world(nranks);
@@ -62,6 +66,10 @@ int main(int argc, char** argv) {
         opts.mpi = &ep;
         if (mode == Mode::Plain) {
           (void)vm::Vm::run(mod, opts);
+          return;
+        }
+        if (mode == Mode::PlainDecoded) {
+          (void)vm::Vm::run(prog, opts);
           return;
         }
         const auto path = trace::rank_trace_path(
@@ -78,19 +86,25 @@ int main(int argc, char** argv) {
       return sw.seconds();
     };
 
-    double best_plain = 1e30, best_sel = 1e30, best_exh = 1e30;
+    double best_plain = 1e30, best_dec = 1e30, best_sel = 1e30,
+           best_exh = 1e30;
     const int reps = cfg.full ? 5 : 3;
     for (int rep = 0; rep < reps; ++rep) {
       best_plain = std::min(best_plain, run_world(Mode::Plain));
+      best_dec = std::min(best_dec, run_world(Mode::PlainDecoded));
       best_sel = std::min(best_sel, run_world(Mode::Selective));
       best_exh = std::min(best_exh, run_world(Mode::Exhaustive));
     }
     const double sel = best_sel / best_plain - 1.0;
     const double exh = best_exh / best_plain - 1.0;
+    const double engine = best_plain / best_dec;
     total_sel += sel;
     total_exh += exh;
+    total_engine += engine;
     apps_measured++;
     table.add_row({name, util::Table::num(best_plain, 4),
+                   util::Table::num(best_dec, 4),
+                   util::Table::num(engine, 2) + "x",
                    util::Table::num(best_sel, 4), util::Table::pct(sel, 1),
                    util::Table::num(best_exh, 4), util::Table::pct(exh, 1)});
   }
@@ -99,6 +113,9 @@ int main(int argc, char** argv) {
               "(paper: 45%% at 64 ranks)\n",
               util::Table::pct(total_sel / apps_measured, 1).c_str(),
               util::Table::pct(total_exh / apps_measured, 1).c_str());
+  std::printf("decoded engine (untraced baseline): %.2fx the legacy "
+              "interpreter on average\n",
+              total_engine / apps_measured);
 
   std::filesystem::remove_all(tmp);
   return 0;

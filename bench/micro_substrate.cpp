@@ -12,6 +12,7 @@
 #include "trace/collector.h"
 #include "trace/events.h"
 #include "trace/segment.h"
+#include "vm/decode.h"
 #include "vm/interp.h"
 
 namespace {
@@ -53,6 +54,35 @@ void BM_VmDispatch(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_VmDispatch);
+
+// The decoded engine on the same kernel: flat pre-resolved stream,
+// contiguous register stack, computed-goto hot loop. Compare against
+// BM_VmDispatch for the raw dispatch speedup.
+void BM_VmDispatchDecoded(benchmark::State& state) {
+  const auto mod = make_kernel();
+  const auto prog = vm::DecodedProgram::decode(mod);
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    const auto r = vm::Vm::run(prog);
+    instructions = r.instructions;
+    benchmark::DoNotOptimize(r.outputs);
+  }
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VmDispatchDecoded);
+
+// Decode cost itself — paid once per AnalysisSession, amortized over
+// thousands of trials.
+void BM_DecodeModule(benchmark::State& state) {
+  const auto app = apps::build_cg();
+  for (auto _ : state) {
+    auto prog = vm::DecodedProgram::decode(app.module);
+    benchmark::DoNotOptimize(prog.code_size());
+  }
+}
+BENCHMARK(BM_DecodeModule);
 
 void BM_VmTraced(benchmark::State& state) {
   const auto mod = make_kernel();
@@ -167,6 +197,20 @@ void BM_FaultyRun(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FaultyRun);
+
+// One campaign trial on the decoded engine — the shape every injection
+// takes since the pre-decoded execution refactor (decode amortized away).
+void BM_FaultyRunDecoded(benchmark::State& state) {
+  auto app = apps::build_cg();
+  const auto prog = vm::DecodedProgram::decode(app.module);
+  for (auto _ : state) {
+    vm::VmOptions opts = app.base;
+    opts.fault = vm::FaultPlan::result_bit(100000, 21);
+    const auto r = vm::Vm::run(prog, opts);
+    benchmark::DoNotOptimize(r.outputs);
+  }
+}
+BENCHMARK(BM_FaultyRunDecoded);
 
 }  // namespace
 

@@ -1,9 +1,18 @@
 #!/usr/bin/env bash
-# Perf-regression canary: run the Fig. 5 per-region campaign on CG at
-# reduced trial counts, once on the batched analysis executor and once in
-# legacy per-region scheduling, and report both wall-clocks. The batched
-# run must never be slower than legacy beyond noise; on multi-core machines
-# it should win outright (regions interleave on one shared work queue).
+# Perf-regression canary, two sections:
+#
+#  1. Engine A/B (vm_engine_ab): decoded vs legacy interpreter on the CG
+#     whole-program campaign. The decoded engine must stay >= 2x the
+#     legacy tree-walking interpreter in instructions/sec (and both must
+#     produce identical outcome counts — the binary exits nonzero on a
+#     mismatch).
+#
+#  2. Scheduling A/B (fig5 on CG): the batched analysis executor vs legacy
+#     per-region scheduling. Batched must never be slower than legacy
+#     beyond noise; on multi-core machines it should win outright.
+#
+# The combined output is also written to <build-dir>/bench_smoke.out so CI
+# can upload it as an artifact.
 #
 #   scripts/bench_smoke.sh [build-dir] [trials]
 set -euo pipefail
@@ -11,25 +20,47 @@ set -euo pipefail
 build_dir="${1:-build}"
 trials="${2:-40}"
 bench="$build_dir/fig5_per_region_sr"
+engine_ab="$build_dir/vm_engine_ab"
+out="$build_dir/bench_smoke.out"
 
-if [[ ! -x "$bench" ]]; then
-  echo "error: $bench not found (build first: cmake -B $build_dir -S . && cmake --build $build_dir -j)" >&2
-  exit 1
-fi
+for bin in "$bench" "$engine_ab"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not found (build first: cmake -B $build_dir -S . && cmake --build $build_dir -j)" >&2
+    exit 1
+  fi
+done
+
+: > "$out"
 
 extract_ms() {
   # "campaign wall: 1410.9 ms (255 trials/s); total wall: 1504.6 ms"
   sed -n 's/^campaign wall: \([0-9.]*\) ms.*/\1/p' "$1"
 }
 
-tmp_batched=$(mktemp) tmp_legacy=$(mktemp)
-trap 'rm -f "$tmp_batched" "$tmp_legacy"' EXIT
+tmp_engine=$(mktemp) tmp_batched=$(mktemp) tmp_legacy=$(mktemp)
+trap 'rm -f "$tmp_engine" "$tmp_batched" "$tmp_legacy"' EXIT
 
-echo "== bench smoke: fig5 on CG, $trials trials per region/class =="
-"$bench" --apps=CG --trials="$trials" | tee "$tmp_batched" | grep -E "^(schedule|campaign wall)"
+echo "== bench smoke 1/2: decoded vs legacy engine on the CG campaign =="
+# A longer campaign than section 2 (and interleaved best-of-3 inside the
+# bench) keeps the speedup measurement steady on busy/single-core hosts.
+engine_trials=$(( trials * 2 > 60 ? trials * 2 : 60 ))
+"$engine_ab" --trials="$engine_trials" | tee "$tmp_engine"
+cat "$tmp_engine" >> "$out"
+
+engine_speedup=$(sed -n 's/^engine speedup: \([0-9.]*\)x$/\1/p' "$tmp_engine")
+awk -v s="$engine_speedup" 'BEGIN {
+  if (s == "") { print "ERROR: no engine speedup reported"; exit 1 }
+  if (s < 2.0) { printf "REGRESSION: decoded engine only %.2fx the legacy interpreter (need >= 2x)\n", s; exit 1 }
+  printf "engine OK (%.2fx >= 2x)\n", s
+}' | tee -a "$out"
+
+echo
+echo "== bench smoke 2/2: fig5 on CG, $trials trials per region/class =="
+"$bench" --apps=CG --trials="$trials" | tee "$tmp_batched" | grep -E "^(schedule|campaign)"
 echo
 echo "-- legacy per-region scheduling --"
-"$bench" --apps=CG --trials="$trials" --legacy | tee "$tmp_legacy" | grep -E "^(schedule|campaign wall)"
+"$bench" --apps=CG --trials="$trials" --legacy | tee "$tmp_legacy" | grep -E "^(schedule|campaign)"
+cat "$tmp_batched" "$tmp_legacy" >> "$out"
 
 batched_ms=$(extract_ms "$tmp_batched")
 legacy_ms=$(extract_ms "$tmp_legacy")
@@ -40,4 +71,4 @@ awk -v b="$batched_ms" -v l="$legacy_ms" 'BEGIN {
   # Fail only on a clear regression: batched >25% slower than legacy.
   if (b > l * 1.25) { print "REGRESSION: batched scheduling slower than legacy"; exit 1 }
   print "OK"
-}'
+}' | tee -a "$out"

@@ -2,17 +2,13 @@
 
 namespace ft::acl {
 
-DiffResult diff_run(const ir::Module& m, const DiffOptions& opts) {
+namespace {
+
+/// The engine-agnostic lockstep core: both VMs are already constructed
+/// (same program, clean vs faulty fault plan) and are stepped side by side.
+DiffResult diff_between(vm::Vm& clean, vm::Vm& faulty,
+                        const DiffOptions& opts) {
   DiffResult out;
-
-  vm::VmOptions clean_opts = opts.base;
-  clean_opts.observer = nullptr;
-  clean_opts.fault = vm::FaultPlan::none();
-  vm::VmOptions faulty_opts = clean_opts;
-  faulty_opts.fault = opts.fault;
-
-  vm::Vm clean(m, clean_opts);
-  vm::Vm faulty(m, faulty_opts);
 
   vm::DynInstr crec, frec;
   bool recording = true;
@@ -75,6 +71,35 @@ DiffResult diff_run(const ir::Module& m, const DiffOptions& opts) {
   out.clean_result = clean.take_result();
   out.faulty_result = faulty.take_result();
   return out;
+}
+
+std::pair<vm::VmOptions, vm::VmOptions> split_options(
+    const DiffOptions& opts) {
+  vm::VmOptions clean_opts = opts.base;
+  clean_opts.observer = nullptr;
+  clean_opts.fault = vm::FaultPlan::none();
+  vm::VmOptions faulty_opts = clean_opts;
+  faulty_opts.fault = opts.fault;
+  return {clean_opts, faulty_opts};
+}
+
+}  // namespace
+
+DiffResult diff_run(const ir::Module& m, const DiffOptions& opts) {
+  auto [clean_opts, faulty_opts] = split_options(opts);
+  clean_opts.program = nullptr;  // module overload stays on the legacy engine
+  faulty_opts.program = nullptr;
+  vm::Vm clean(m, clean_opts);
+  vm::Vm faulty(m, faulty_opts);
+  return diff_between(clean, faulty, opts);
+}
+
+DiffResult diff_run(const vm::DecodedProgram& program,
+                    const DiffOptions& opts) {
+  auto [clean_opts, faulty_opts] = split_options(opts);
+  vm::Vm clean(program, clean_opts);
+  vm::Vm faulty(program, faulty_opts);
+  return diff_between(clean, faulty, opts);
 }
 
 }  // namespace ft::acl

@@ -51,4 +51,11 @@ struct DiffResult {
 
 [[nodiscard]] DiffResult diff_run(const ir::Module& m, const DiffOptions& opts);
 
+/// Same lockstep diff on the decoded engine: both VMs execute the shared
+/// pre-decoded program, so callers that diff many plans against one module
+/// (core::AnalysisSession) pay the decode cost once, not per diff. Results
+/// are bit-identical to the module overload.
+[[nodiscard]] DiffResult diff_run(const vm::DecodedProgram& program,
+                                  const DiffOptions& opts);
+
 }  // namespace ft::acl

@@ -13,11 +13,14 @@ namespace ft::core {
 // AnalysisSession
 // ---------------------------------------------------------------------------
 
-AnalysisSession::AnalysisSession(apps::AppSpec app) : app_(std::move(app)) {}
+AnalysisSession::AnalysisSession(apps::AppSpec app)
+    : app_(std::move(app)),
+      program_(std::make_shared<const vm::DecodedProgram>(
+          vm::DecodedProgram::decode(app_.module))) {}
 
 const std::shared_ptr<const vm::RunResult>& AnalysisSession::golden_locked() {
   if (!golden_) {
-    auto run = vm::Vm::run(app_.module, app_.base);
+    auto run = vm::Vm::run(*program_, app_.base);
     if (!run.completed()) {
       throw std::runtime_error("fault-free run of '" + app_.name +
                                "' trapped: " +
@@ -33,7 +36,7 @@ const std::shared_ptr<const trace::Trace>& AnalysisSession::trace_locked() {
     trace::TraceCollector collector;
     vm::VmOptions opts = app_.base;
     opts.observer = &collector;
-    auto run = vm::Vm::run(app_.module, opts);
+    auto run = vm::Vm::run(*program_, opts);
     if (!run.completed()) {
       throw std::runtime_error("traced fault-free run of '" + app_.name +
                                "' trapped");
@@ -120,7 +123,7 @@ AnalysisSession::whole_program_sites() {
   std::lock_guard lock(mu_);
   if (!whole_sites_) {
     whole_sites_ = std::make_shared<const fault::SiteEnumerationResult>(
-        fault::enumerate_whole_program_sites(app_.module, app_.base));
+        fault::enumerate_whole_program_sites(*program_, app_.base));
   }
   return whole_sites_;
 }
@@ -176,17 +179,22 @@ fault::CampaignResult AnalysisSession::region_campaign(
     const fault::CampaignConfig& config) {
   const auto sites = region_sites(region_id, instance);
   const auto golden_run = golden();
-  return fault::run_campaign(app_.module, *sites, target, golden_run->outputs,
-                             app_.verifier, app_.base, config);
+  auto* pool = config.pool ? config.pool : &util::global_pool();
+  return fault::run_prepared_campaign(
+      *program_, fault::prepare_campaign(*sites, target, app_.base, config),
+      golden_run->outputs, app_.verifier, *pool);
 }
 
 fault::CampaignResult AnalysisSession::app_campaign(
     const fault::CampaignConfig& config) {
   const auto sites = whole_program_sites();
   const auto golden_run = golden();
-  return fault::run_campaign(app_.module, *sites, fault::TargetClass::Internal,
-                             golden_run->outputs, app_.verifier, app_.base,
-                             config);
+  auto* pool = config.pool ? config.pool : &util::global_pool();
+  return fault::run_prepared_campaign(
+      *program_,
+      fault::prepare_campaign(*sites, fault::TargetClass::Internal, app_.base,
+                              config),
+      golden_run->outputs, app_.verifier, *pool);
 }
 
 acl::DiffResult AnalysisSession::diff_with(const vm::FaultPlan& plan,
@@ -195,7 +203,7 @@ acl::DiffResult AnalysisSession::diff_with(const vm::FaultPlan& plan,
   opts.base = app_.base;
   opts.fault = plan;
   opts.max_records = max_records;
-  return acl::diff_run(app_.module, opts);
+  return acl::diff_run(*program_, opts);
 }
 
 patterns::PatternReport AnalysisSession::patterns_for(
@@ -338,9 +346,12 @@ const AppReport* AnalysisReport::find_app(std::string_view app) const {
 namespace {
 
 /// One campaign scheduled into the shared work queue: either a region
-/// entry's campaign or an app-level campaign.
+/// entry's campaign or an app-level campaign. The unit pins the session's
+/// decoded program and golden snapshot, so workers touch only immutable
+/// shared state — no decode, no session lock — per trial.
 struct CampaignUnit {
   std::shared_ptr<AnalysisSession> session;
+  std::shared_ptr<const vm::DecodedProgram> program;
   std::shared_ptr<const vm::RunResult> golden;
   fault::PreparedCampaign prepared;
   std::size_t entry_index = ~std::size_t{0};  // into report.entries, or
@@ -351,6 +362,7 @@ struct UnitCounts {
   std::atomic<std::size_t> success{0};
   std::atomic<std::size_t> failed{0};
   std::atomic<std::size_t> crashed{0};
+  std::atomic<std::uint64_t> instructions{0};
 };
 
 fault::CampaignResult unit_result(const CampaignUnit& unit,
@@ -361,6 +373,7 @@ fault::CampaignResult unit_result(const CampaignUnit& unit,
   r.success = counts.success.load();
   r.failed = counts.failed.load();
   r.crashed = counts.crashed.load();
+  r.instructions_retired = counts.instructions.load();
   return r;
 }
 
@@ -478,6 +491,7 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
         if (request.region_campaign_ && sites->region_found) {
           CampaignUnit unit;
           unit.session = session;
+          unit.program = session->program();
           unit.golden = golden_run;
           unit.prepared = fault::prepare_campaign(
               *sites, target, spec.base, *request.region_campaign_);
@@ -494,6 +508,7 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
     if (request.app_campaign_) {
       CampaignUnit unit;
       unit.session = session;
+      unit.program = session->program();
       unit.golden = golden_run;
       unit.prepared =
           fault::prepare_campaign(*session->whole_program_sites(),
@@ -531,9 +546,10 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
         const auto u = static_cast<std::size_t>(it - offsets.begin()) - 1;
         const auto& unit = units[u];
         const auto& plan = unit.prepared.plans[i - offsets[u]];
-        switch (fault::run_trial(unit.session->app().module, unit.prepared,
-                                 plan, unit.golden->outputs,
-                                 unit.session->app().verifier)) {
+        std::uint64_t n = 0;
+        switch (fault::run_trial(*unit.program, unit.prepared, plan,
+                                 unit.golden->outputs,
+                                 unit.session->app().verifier, &n)) {
           case fault::Outcome::VerificationSuccess:
             counts[u].success.fetch_add(1);
             break;
@@ -544,11 +560,13 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
             counts[u].crashed.fetch_add(1);
             break;
         }
+        counts[u].instructions.fetch_add(n);
       });
       report.pool_batches = 1;
     }
     for (std::size_t u = 0; u < units.size(); ++u) {
       const auto result = unit_result(units[u], counts[u]);
+      report.total_instructions += result.instructions_retired;
       if (units[u].entry_index != ~std::size_t{0}) {
         report.entries[units[u].entry_index].campaign = result;
       } else {
@@ -557,13 +575,15 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
     }
   } else {
     // Legacy mode: one blocking parallel_for per unit, serializing between
-    // regions exactly as the facade-era call pattern did.
+    // regions exactly as the facade-era call pattern did (same decoded
+    // engine — this mode A/Bs the scheduling, not the interpreter).
     for (const auto& unit : units) {
       const auto& spec = unit.session->app();
       const auto result = fault::run_prepared_campaign(
-          spec.module, unit.prepared, unit.golden->outputs, spec.verifier,
+          *unit.program, unit.prepared, unit.golden->outputs, spec.verifier,
           *pool);
       report.pool_batches += unit.prepared.plans.empty() ? 0 : 1;
+      report.total_instructions += result.instructions_retired;
       if (unit.entry_index != ~std::size_t{0}) {
         report.entries[unit.entry_index].campaign = result;
       } else {

@@ -2,13 +2,17 @@
 //
 // Three layers replace the old FlipTracker facade:
 //
-//  * AnalysisSession — owns one application's golden artifacts (fault-free
-//    run, trace, region instances, location events, per-region site
-//    enumerations and DDDGs) behind thread-safe, explicitly invalidatable
-//    caches. Sessions are cheap to construct from an apps::AppSpec and safe
-//    to share across a util::ThreadPool; every accessor returns a
-//    shared_ptr snapshot so invalidation never pulls data out from under a
-//    concurrent reader.
+//  * AnalysisSession — owns one application's executable form and golden
+//    artifacts (pre-decoded program, fault-free run, trace, region
+//    instances, location events, per-region site enumerations and DDDGs)
+//    behind thread-safe, explicitly invalidatable caches. The module is
+//    decoded once (vm/decode.h) at construction and every run the session
+//    performs — golden, traced, diffed, or campaign trial — executes the
+//    decoded engine; campaigns share the immutable decoded program across
+//    all pool workers. Sessions are cheap to construct from an
+//    apps::AppSpec and safe to share across a util::ThreadPool; every
+//    accessor returns a shared_ptr snapshot so invalidation never pulls
+//    data out from under a concurrent reader.
 //
 //  * AnalysisRequest / AnalysisReport — a declarative request ("these apps,
 //    these regions, these target classes, these analyses") executed by
@@ -22,8 +26,8 @@
 //  * vm::ObserverChain (src/vm/observer.h) — the observer-pipeline layer
 //    the session builds its traced runs on.
 //
-// FlipTracker (core/fliptracker.h) survives one release as a thin
-// deprecated shim over AnalysisSession.
+// The deprecated FlipTracker shim was removed after its one promised
+// release; see README.md ("Migrating from FlipTracker") for the mapping.
 #pragma once
 
 #include <cstdint>
@@ -59,6 +63,21 @@ class AnalysisSession {
   explicit AnalysisSession(apps::AppSpec app);
 
   [[nodiscard]] const apps::AppSpec& app() const noexcept { return app_; }
+
+  /// The application's pre-decoded executable form (vm/decode.h), built
+  /// once at session construction and shared immutably by every run the
+  /// session performs — golden/traced runs, lockstep diffs, and all
+  /// campaign trials on all pool workers. Campaign executors hold this
+  /// alongside the golden snapshot so no per-trial decode happens anywhere.
+  ///
+  /// Lifetime: the decoded program refers into the session-owned module,
+  /// so the snapshot is valid only while the session lives. Anything that
+  /// keeps the program past a call must pin the session too, as
+  /// run_analysis's CampaignUnit does.
+  [[nodiscard]] const std::shared_ptr<const vm::DecodedProgram>& program()
+      const noexcept {
+    return program_;
+  }
 
   // --- golden artifacts (lazy, cached, thread-safe) -------------------------
   /// Fault-free run (no tracing). Throws if the fault-free run traps.
@@ -127,6 +146,8 @@ class AnalysisSession {
   }
 
   apps::AppSpec app_;
+  // Immutable after construction (no lock needed): the decoded executable.
+  std::shared_ptr<const vm::DecodedProgram> program_;
   mutable std::mutex mu_;
   std::shared_ptr<const vm::RunResult> golden_;
   std::shared_ptr<const trace::Trace> trace_;
@@ -200,12 +221,20 @@ struct AnalysisReport {
   double campaign_ms = 0.0;  // time spent in the injection work queue
   std::size_t campaign_units = 0;  // (app, region, target) + app campaigns
   std::size_t total_trials = 0;    // injections across all units
+  /// Dynamic instructions retired across all campaign trials (the decoded
+  /// engine's throughput figure of merit; see bench/vm_engine_ab.cpp).
+  std::uint64_t total_instructions = 0;
   std::size_t pool_batches = 0;    // parallel_for dispatches (batched: 1)
   std::size_t pool_workers = 0;
 
   [[nodiscard]] double trials_per_second() const noexcept {
     return campaign_ms > 0.0
                ? static_cast<double>(total_trials) / (campaign_ms / 1e3)
+               : 0.0;
+  }
+  [[nodiscard]] double instructions_per_second() const noexcept {
+    return campaign_ms > 0.0
+               ? static_cast<double>(total_instructions) / (campaign_ms / 1e3)
                : 0.0;
   }
 

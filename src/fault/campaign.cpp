@@ -1,6 +1,7 @@
 #include "fault/campaign.h"
 
 #include <atomic>
+#include <type_traits>
 
 #include "util/rng.h"
 #include "util/stats.h"
@@ -81,13 +82,79 @@ PreparedCampaign prepare_campaign(const SiteEnumerationResult& sites,
   return out;
 }
 
+namespace {
+
+/// Shared trial/campaign bodies, parameterized over the executable form
+/// (vm::DecodedProgram for the decoded engine, ir::Module for the legacy
+/// baseline) — the two overload sets below instantiate them.
+template <typename Executable>
+Outcome run_trial_impl(const Executable& exe, const PreparedCampaign& prepared,
+                       const vm::FaultPlan& plan,
+                       const std::vector<vm::OutputValue>& golden,
+                       const Verifier& verify, std::uint64_t* instructions) {
+  vm::VmOptions opts = prepared.run_opts;
+  opts.fault = plan;
+  if constexpr (std::is_same_v<Executable, ir::Module>) {
+    opts.program = nullptr;  // the module overloads are the legacy baseline
+  }
+  auto run = vm::Vm::run(exe, opts);
+  if (instructions) *instructions = run.instructions;
+  return classify_outcome(run, golden, verify);
+}
+
+template <typename Executable>
+CampaignResult run_prepared_impl(const Executable& exe,
+                                 const PreparedCampaign& prepared,
+                                 const std::vector<vm::OutputValue>& golden,
+                                 const Verifier& verify,
+                                 util::ThreadPool& pool) {
+  CampaignResult out;
+  out.population_bits = prepared.population_bits;
+  out.trials = prepared.plans.size();
+  if (prepared.plans.empty()) return out;
+
+  std::atomic<std::size_t> success{0}, failed{0}, crashed{0};
+  std::atomic<std::uint64_t> instructions{0};
+  pool.parallel_for(prepared.plans.size(), [&](std::size_t i) {
+    std::uint64_t n = 0;
+    switch (run_trial_impl(exe, prepared, prepared.plans[i], golden, verify,
+                           &n)) {
+      case Outcome::VerificationSuccess: success.fetch_add(1); break;
+      case Outcome::VerificationFailed: failed.fetch_add(1); break;
+      case Outcome::Crashed: crashed.fetch_add(1); break;
+    }
+    instructions.fetch_add(n);
+  });
+
+  out.success = success.load();
+  out.failed = failed.load();
+  out.crashed = crashed.load();
+  out.instructions_retired = instructions.load();
+  return out;
+}
+
+}  // namespace
+
+Outcome run_trial(const vm::DecodedProgram& program,
+                  const PreparedCampaign& prepared, const vm::FaultPlan& plan,
+                  const std::vector<vm::OutputValue>& golden,
+                  const Verifier& verify, std::uint64_t* instructions) {
+  return run_trial_impl(program, prepared, plan, golden, verify, instructions);
+}
+
 Outcome run_trial(const ir::Module& m, const PreparedCampaign& prepared,
                   const vm::FaultPlan& plan,
                   const std::vector<vm::OutputValue>& golden,
-                  const Verifier& verify) {
-  vm::VmOptions opts = prepared.run_opts;
-  opts.fault = plan;
-  return classify_outcome(vm::Vm::run(m, opts), golden, verify);
+                  const Verifier& verify, std::uint64_t* instructions) {
+  return run_trial_impl(m, prepared, plan, golden, verify, instructions);
+}
+
+CampaignResult run_prepared_campaign(const vm::DecodedProgram& program,
+                                     const PreparedCampaign& prepared,
+                                     const std::vector<vm::OutputValue>& golden,
+                                     const Verifier& verify,
+                                     util::ThreadPool& pool) {
+  return run_prepared_impl(program, prepared, golden, verify, pool);
 }
 
 CampaignResult run_prepared_campaign(const ir::Module& m,
@@ -95,24 +162,7 @@ CampaignResult run_prepared_campaign(const ir::Module& m,
                                      const std::vector<vm::OutputValue>& golden,
                                      const Verifier& verify,
                                      util::ThreadPool& pool) {
-  CampaignResult out;
-  out.population_bits = prepared.population_bits;
-  out.trials = prepared.plans.size();
-  if (prepared.plans.empty()) return out;
-
-  std::atomic<std::size_t> success{0}, failed{0}, crashed{0};
-  pool.parallel_for(prepared.plans.size(), [&](std::size_t i) {
-    switch (run_trial(m, prepared, prepared.plans[i], golden, verify)) {
-      case Outcome::VerificationSuccess: success.fetch_add(1); break;
-      case Outcome::VerificationFailed: failed.fetch_add(1); break;
-      case Outcome::Crashed: crashed.fetch_add(1); break;
-    }
-  });
-
-  out.success = success.load();
-  out.failed = failed.load();
-  out.crashed = crashed.load();
-  return out;
+  return run_prepared_impl(m, prepared, golden, verify, pool);
 }
 
 CampaignResult run_campaign(const ir::Module& m,

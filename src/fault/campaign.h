@@ -37,6 +37,9 @@ struct CampaignResult {
   std::size_t failed = 0;
   std::size_t crashed = 0;
   std::uint64_t population_bits = 0;  // sampled site population size
+  /// Dynamic instructions retired across all trials (filled by
+  /// run_prepared_campaign; the engine-throughput figure of merit).
+  std::uint64_t instructions_retired = 0;
 
   [[nodiscard]] double success_rate() const noexcept {
     return trials == 0 ? 0.0
@@ -64,15 +67,36 @@ struct PreparedCampaign {
     const SiteEnumerationResult& sites, TargetClass target,
     const vm::VmOptions& base, const CampaignConfig& config);
 
-/// Execute one prepared trial and classify its outcome.
+/// Execute one prepared trial on the decoded engine and classify its
+/// outcome. The program is decoded ONCE per application (by the caller —
+/// core::AnalysisSession caches it) and shared immutably by every trial on
+/// every pool worker; nothing is decoded or heap-allocated per frame in the
+/// steady state. `instructions` (optional) receives the trial's retired
+/// instruction count.
+[[nodiscard]] Outcome run_trial(const vm::DecodedProgram& program,
+                                const PreparedCampaign& prepared,
+                                const vm::FaultPlan& plan,
+                                const std::vector<vm::OutputValue>& golden,
+                                const Verifier& verify,
+                                std::uint64_t* instructions = nullptr);
+
+/// Legacy-engine trial (tree-walking interpreter). Kept as the A/B baseline
+/// the engine benchmarks compare against (bench/vm_engine_ab.cpp).
 [[nodiscard]] Outcome run_trial(const ir::Module& m,
                                 const PreparedCampaign& prepared,
                                 const vm::FaultPlan& plan,
                                 const std::vector<vm::OutputValue>& golden,
-                                const Verifier& verify);
+                                const Verifier& verify,
+                                std::uint64_t* instructions = nullptr);
 
 /// Execute every trial of one prepared campaign on `pool` (one blocking
-/// parallel_for) and aggregate the counts.
+/// parallel_for) and aggregate the counts. Decoded-engine form.
+[[nodiscard]] CampaignResult run_prepared_campaign(
+    const vm::DecodedProgram& program, const PreparedCampaign& prepared,
+    const std::vector<vm::OutputValue>& golden, const Verifier& verify,
+    util::ThreadPool& pool);
+
+/// Legacy-engine form (A/B baseline).
 [[nodiscard]] CampaignResult run_prepared_campaign(
     const ir::Module& m, const PreparedCampaign& prepared,
     const std::vector<vm::OutputValue>& golden, const Verifier& verify,
@@ -82,7 +106,8 @@ struct PreparedCampaign {
 /// `golden` is the fault-free output (from a completed run with the same
 /// `base` options); `verify` is the application's verification phase.
 /// Equivalent to prepare_campaign + run_trial over every plan on one
-/// parallel_for.
+/// parallel_for, on the legacy engine (one-shot convenience; decode-once
+/// callers should prepare_campaign + run_prepared_campaign instead).
 [[nodiscard]] CampaignResult run_campaign(
     const ir::Module& m, const SiteEnumerationResult& sites,
     TargetClass target, const std::vector<vm::OutputValue>& golden,

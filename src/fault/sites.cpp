@@ -76,34 +76,49 @@ SiteEnumerationResult enumerate_sites(const ir::Module& m,
   return out;
 }
 
-SiteEnumerationResult enumerate_whole_program_sites(const ir::Module& m,
-                                                    const vm::VmOptions& base) {
-  // A lightweight observer suffices: only (index, width) pairs are needed,
-  // so the full trace is never materialized.
-  class SiteObserver final : public vm::ExecObserver {
-   public:
-    explicit SiteObserver(std::vector<InternalSite>& out) : out_(out) {}
-    void on_instruction(const vm::DynInstr& d) override {
-      if (d.result_loc == vm::kNoLoc) return;
-      const ir::Type t = d.op == ir::Opcode::Store ? d.op_type[0] : d.type;
-      const auto width = bit_width(t);
-      if (width != 0) out_.push_back(InternalSite{d.index, width});
-    }
+namespace {
 
-   private:
-    std::vector<InternalSite>& out_;
-  };
+// A lightweight observer suffices: only (index, width) pairs are needed,
+// so the full trace is never materialized.
+class SiteObserver final : public vm::ExecObserver {
+ public:
+  explicit SiteObserver(std::vector<InternalSite>& out) : out_(out) {}
+  void on_instruction(const vm::DynInstr& d) override {
+    if (d.result_loc == vm::kNoLoc) return;
+    const ir::Type t = d.op == ir::Opcode::Store ? d.op_type[0] : d.type;
+    const auto width = bit_width(t);
+    if (width != 0) out_.push_back(InternalSite{d.index, width});
+  }
 
+ private:
+  std::vector<InternalSite>& out_;
+};
+
+template <typename Executable>
+SiteEnumerationResult whole_program_sites_impl(const Executable& exe,
+                                               const vm::VmOptions& base) {
   SiteEnumerationResult out;
   SiteObserver obs(out.sites.internal);
   vm::VmOptions opts = base;
   opts.observer = &obs;
   opts.fault = vm::FaultPlan::none();
-  const auto run = vm::Vm::run(m, opts);
+  const auto run = vm::Vm::run(exe, opts);
   out.fault_free_instructions = run.instructions;
   out.region_found = run.completed();
   if (!run.completed()) out.sites.internal.clear();
   return out;
+}
+
+}  // namespace
+
+SiteEnumerationResult enumerate_whole_program_sites(const ir::Module& m,
+                                                    const vm::VmOptions& base) {
+  return whole_program_sites_impl(m, base);
+}
+
+SiteEnumerationResult enumerate_whole_program_sites(
+    const vm::DecodedProgram& program, const vm::VmOptions& base) {
+  return whole_program_sites_impl(program, base);
 }
 
 vm::FaultPlan plan_for_internal(const InternalSite& s, std::uint32_t bit) {

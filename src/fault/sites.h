@@ -75,6 +75,12 @@ struct SiteEnumerationResult {
 [[nodiscard]] SiteEnumerationResult enumerate_whole_program_sites(
     const ir::Module& m, const vm::VmOptions& base);
 
+/// Decoded-engine form of the whole-program enumeration: the traced run
+/// executes the shared pre-decoded program (bit-identical record stream),
+/// so sessions that already decoded the app pay no extra walk of the IR.
+[[nodiscard]] SiteEnumerationResult enumerate_whole_program_sites(
+    const vm::DecodedProgram& program, const vm::VmOptions& base);
+
 /// Build the concrete fault plan for one sampled site.
 [[nodiscard]] vm::FaultPlan plan_for_internal(const InternalSite& s,
                                               std::uint32_t bit);

@@ -6,6 +6,11 @@ namespace ft::trace {
 
 LocationEvents LocationEvents::build(std::span<const vm::DynInstr> records) {
   LocationEvents ev;
+  // Size the bucket array up front: multi-million-record traces otherwise
+  // rehash the map a dozen times while it grows incrementally. The record
+  // count is the right hint — locations repeat heavily (loops), so the
+  // distinct-location count stays at or below it in practice.
+  ev.map_.reserve(records.size());
   for (const auto& r : records) {
     for (unsigned i = 0; i < r.nops; ++i) {
       if (r.op_loc[i] != vm::kNoLoc) {

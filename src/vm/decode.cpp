@@ -1,0 +1,118 @@
+#include "vm/decode.h"
+
+#include <cassert>
+
+#include "util/bits.h"
+#include "vm/observer.h"
+
+namespace ft::vm {
+
+namespace {
+
+Src decode_operand(const ir::Module& m, const ir::Operand& o) {
+  Src s;
+  switch (o.kind) {
+    case ir::OperandKind::Reg:
+      s.kind = SrcKind::Reg;
+      s.type = o.type;
+      s.index = o.id;
+      break;
+    case ir::OperandKind::Arg:
+      s.kind = SrcKind::Arg;
+      s.type = o.type;
+      s.index = o.id;
+      break;
+    case ir::OperandKind::ImmI:
+      s.kind = SrcKind::Const;
+      s.type = o.type;
+      s.bits = canon_int(static_cast<std::uint64_t>(o.imm_i), o.type);
+      break;
+    case ir::OperandKind::ImmF:
+      s.kind = SrcKind::Const;
+      s.type = o.type;
+      s.bits = o.type == ir::Type::F32
+                   ? util::f32_to_bits(static_cast<float>(o.imm_f))
+                   : util::f64_to_bits(o.imm_f);
+      break;
+    case ir::OperandKind::Global:
+      // Globals evaluate to their laid-out base address (type Ptr); folding
+      // it here removes the per-use module lookup from the hot loop.
+      s.kind = SrcKind::Const;
+      s.type = ir::Type::Ptr;
+      s.bits = m.global(o.id).addr;
+      break;
+    case ir::OperandKind::Block:
+    case ir::OperandKind::None:
+      break;  // stays SrcKind::None, evaluating to the empty value
+  }
+  return s;
+}
+
+}  // namespace
+
+DecodedProgram DecodedProgram::decode(const ir::Module& m) {
+  assert(m.laid_out() && "module must be laid out before decoding");
+  DecodedProgram p;
+  p.mod_ = &m;
+  p.entry_ = m.entry();
+  p.funcs_.resize(m.num_functions());
+
+  // Pass 1: assign flat pcs — functions in order, blocks in order within a
+  // function — so branch targets can be resolved densely in pass 2.
+  std::vector<std::vector<std::uint32_t>> block_start(m.num_functions());
+  std::uint32_t pc = 0;
+  std::size_t total_ops = 0;
+  for (std::uint32_t f = 0; f < m.num_functions(); ++f) {
+    const auto& fn = m.function(f);
+    auto& df = p.funcs_[f];
+    df.entry_pc = pc;
+    df.num_regs = fn.num_regs;
+    df.num_params = static_cast<std::uint32_t>(fn.params.size());
+    block_start[f].reserve(fn.blocks.size());
+    for (const auto& b : fn.blocks) {
+      block_start[f].push_back(pc);
+      pc += static_cast<std::uint32_t>(b.instrs.size());
+      for (const auto& ins : b.instrs) total_ops += ins.ops.size();
+    }
+  }
+  p.code_.reserve(pc);
+  p.srcs_.reserve(total_ops);
+
+  // Pass 2: emit the flat stream with pre-resolved operands and targets.
+  for (std::uint32_t f = 0; f < m.num_functions(); ++f) {
+    const auto& fn = m.function(f);
+    for (std::uint32_t b = 0; b < fn.blocks.size(); ++b) {
+      const auto& blk = fn.blocks[b];
+      for (std::uint32_t i = 0; i < blk.instrs.size(); ++i) {
+        const auto& ins = blk.instrs[i];
+        DecodedInstr d;
+        d.op = ins.op;
+        d.pred = ins.pred;
+        d.type = ins.type;
+        d.nops = static_cast<std::uint8_t>(
+            std::min<std::size_t>(ins.ops.size(), kMaxTracedOps));
+        d.result = ins.result;
+        d.aux = ins.aux;
+        d.func = f;
+        d.block = b;
+        d.instr = i;
+        d.line = ins.line;
+        d.src_begin = static_cast<std::uint32_t>(p.srcs_.size());
+        d.src_count = static_cast<std::uint16_t>(ins.ops.size());
+        for (const auto& o : ins.ops) {
+          p.srcs_.push_back(decode_operand(m, o));
+        }
+        if (ins.op == ir::Opcode::Br) {
+          d.target_taken = block_start[f][ins.ops[0].id];
+        } else if (ins.op == ir::Opcode::CondBr) {
+          d.target_taken = block_start[f][ins.ops[1].id];
+          d.target_fall = block_start[f][ins.ops[2].id];
+        }
+        p.code_.push_back(d);
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace ft::vm

@@ -1,8 +1,8 @@
 #include "vm/interp.h"
 
 #include <cassert>
+#include <charconv>
 #include <cmath>
-#include <cstdio>
 #include <cstring>
 #include <limits>
 
@@ -22,22 +22,21 @@ using util::f64_to_bits;
 
 namespace {
 
-/// Canonical in-register form: I1 is 0/1, I32 is sign-extended to 64 bits,
-/// I64/Ptr are raw, floats are their IEEE patterns (F32 zero-extended).
-std::uint64_t canon_int(std::uint64_t bits, Type t) noexcept {
-  switch (t) {
-    case Type::I1: return bits & 1;
-    case Type::I32:
-      return static_cast<std::uint64_t>(
-          static_cast<std::int64_t>(static_cast<std::int32_t>(bits)));
-    default: return bits;
-  }
-}
-
+/// Round `v` to `digits` significant decimal digits after the leading one,
+/// exactly as the old snprintf("%.*e") / strtod round trip did in the C
+/// locale — but locale-independent and allocation-free: std::to_chars and
+/// std::from_chars are correctly rounded in both directions and ignore the
+/// global locale. This sits on the retire path of every EmitTrunc.
 double round_to_digits(double v, int digits) {
   char buf[64];
-  std::snprintf(buf, sizeof buf, "%.*e", digits, v);
-  return std::strtod(buf, nullptr);
+  const auto res = std::to_chars(buf, buf + sizeof buf, v,
+                                 std::chars_format::scientific, digits);
+  // A digit count that overflows the buffer keeps more precision than the
+  // value has anyway; fall back to the unrounded value.
+  if (res.ec != std::errc{}) return v;
+  double out = v;
+  std::from_chars(buf, res.ptr, out);
+  return out;
 }
 
 }  // namespace
@@ -55,9 +54,7 @@ std::int64_t OutputValue::as_i64() const noexcept {
   return static_cast<std::int64_t>(bits);
 }
 
-Vm::Vm(const ir::Module& m, VmOptions opts)
-    : mod_(&m), opts_(opts), randlc_(opts.rand_seed) {
-  assert(m.laid_out() && "module must be laid out before execution");
+void Vm::init_memory(const ir::Module& m) {
   mem_.assign(m.memory_size(), 0);
   for (std::uint32_t g = 0; g < m.num_globals(); ++g) {
     const auto& gl = m.global(g);
@@ -69,14 +66,43 @@ Vm::Vm(const ir::Module& m, VmOptions opts)
   }
   sp_ = m.stack_base();
   region_counts_.assign(m.num_regions(), 0);
-
-  Frame main;
-  main.func = m.entry();
-  main.activation = next_activation_++;
-  main.regs.assign(m.function(m.entry()).num_regs, 0);
-  main.saved_sp = sp_;
-  frames_.push_back(std::move(main));
 }
+
+Vm::Vm(const ir::Module& m, VmOptions opts)
+    : mod_(&m), prog_(opts.program), opts_(opts), randlc_(opts.rand_seed) {
+  assert(m.laid_out() && "module must be laid out before execution");
+  assert((!prog_ || &prog_->module() == &m) &&
+         "VmOptions::program must be decoded from the module being run");
+  init_memory(m);
+
+  if (prog_) {
+    dframes_.reserve(opts_.max_call_depth);
+    slots_.reserve(4096);
+    const auto entry_fn = prog_->entry_function();
+    const DecodedFunction& entry = prog_->function(entry_fn);
+    DFrame main;
+    main.func = entry_fn;
+    main.activation = next_activation_++;
+    main.pc = entry.entry_pc;
+    main.reg_base = 0;
+    main.arg_base = entry.num_regs;
+    main.saved_sp = sp_;
+    if (slots_.size() < entry.num_regs) slots_.resize(entry.num_regs);
+    std::fill(slots_.begin(), slots_.begin() + entry.num_regs, 0);
+    slot_top_ = entry.num_regs;
+    dframes_.push_back(main);
+  } else {
+    Frame main;
+    main.func = m.entry();
+    main.activation = next_activation_++;
+    main.regs.assign(m.function(m.entry()).num_regs, 0);
+    main.saved_sp = sp_;
+    frames_.push_back(std::move(main));
+  }
+}
+
+Vm::Vm(const DecodedProgram& p, VmOptions opts)
+    : Vm(p.module(), (opts.program = &p, opts)) {}
 
 Vm::OpVal Vm::eval(const Operand& o, const Frame& fr) const {
   switch (o.kind) {
@@ -96,6 +122,22 @@ Vm::OpVal Vm::eval(const Operand& o, const Frame& fr) const {
       return {mod_->global(o.id).addr, kNoLoc, Type::Ptr};
     case OperandKind::Block:
     case OperandKind::None:
+      break;
+  }
+  return {};
+}
+
+Vm::OpVal Vm::eval_src(const Src& s, const DFrame& fr) const {
+  switch (s.kind) {
+    case SrcKind::Reg:
+      return {slots_[fr.reg_base + s.index], reg_loc(fr.activation, s.index),
+              s.type};
+    case SrcKind::Arg:
+      return {slots_[fr.arg_base + s.index],
+              arg_locs_[fr.arg_loc_base + s.index], s.type};
+    case SrcKind::Const:
+      return {s.bits, kNoLoc, s.type};
+    case SrcKind::None:
       break;
   }
   return {};
@@ -152,6 +194,15 @@ std::uint32_t Vm::region_instances(std::uint32_t rid) const {
   return rid < region_counts_.size() ? region_counts_[rid] : 0;
 }
 
+bool Vm::next_is_region_marker() const {
+  if (prog_) {
+    return ir::is_region_marker(prog_->code()[dframes_.back().pc].op);
+  }
+  const Frame& fr = frames_.back();
+  return ir::is_region_marker(
+      mod_->function(fr.func).blocks[fr.block].instrs[fr.pc].op);
+}
+
 void Vm::push_frame(std::uint32_t func, const ir::Instruction& call_ins,
                     Frame& caller, DynInstr* out) {
   const auto& callee = mod_->function(func);
@@ -176,7 +227,508 @@ void Vm::push_frame(std::uint32_t func, const ir::Instruction& call_ins,
   frames_.push_back(std::move(fr));
 }
 
-Vm::Status Vm::step(DynInstr* out) {
+void Vm::push_dframe(const DecodedInstr& call_ins, const DFrame& caller,
+                     DynInstr* out) {
+  const auto func = static_cast<std::uint32_t>(call_ins.aux);
+  const DecodedFunction& callee = prog_->function(func);
+  DFrame fr;
+  fr.func = func;
+  fr.activation = next_activation_++;
+  fr.pc = callee.entry_pc;
+  fr.reg_base = slot_top_;
+  fr.arg_base = slot_top_ + callee.num_regs;
+  fr.arg_loc_base = arg_loc_top_;
+  fr.nargs = call_ins.src_count;
+  fr.saved_sp = sp_;
+  fr.ret_reg = call_ins.result;
+
+  const std::uint32_t new_top = fr.arg_base + fr.nargs;
+  if (slots_.size() < new_top) slots_.resize(new_top);
+  if (arg_locs_.size() < arg_loc_top_ + fr.nargs) {
+    arg_locs_.resize(arg_loc_top_ + fr.nargs);
+  }
+  std::fill(slots_.begin() + fr.reg_base, slots_.begin() + fr.arg_base, 0);
+
+  const Src* const args = prog_->srcs() + call_ins.src_begin;
+  for (std::uint32_t i = 0; i < fr.nargs; ++i) {
+    const OpVal v = eval_src(args[i], caller);
+    slots_[fr.arg_base + i] = v.bits;
+    arg_locs_[fr.arg_loc_base + i] = v.loc;
+    if (out && i < kMaxTracedOps) {
+      out->op_loc[i] = v.loc;
+      out->op_bits[i] = v.bits;
+      out->op_type[i] = v.type;
+    }
+  }
+  slot_top_ = new_top;
+  arg_loc_top_ += fr.nargs;
+  dframes_.push_back(fr);
+}
+
+// ---------------------------------------------------------------------------
+// Decoded engine: dispatch over the flat pre-resolved instruction stream.
+// Must stay semantically and record-by-record identical to step_legacy —
+// tests/decode_test.cpp pins the equivalence across all ten workloads.
+// ---------------------------------------------------------------------------
+
+template <bool Traced>
+Vm::Status Vm::step_decoded(DynInstr* out) {
+  if (status_ != Status::Running) return status_;
+  if (n_retired_ >= opts_.max_instructions) {
+    set_trap(TrapKind::Hang);
+    return status_;
+  }
+
+  DFrame& fr = dframes_.back();
+  const DecodedInstr& ins = prog_->code()[fr.pc];
+
+  if constexpr (Traced) {
+    *out = DynInstr{};
+    out->index = n_retired_;
+    out->func = ins.func;
+    out->block = ins.block;
+    out->instr = ins.instr;
+    out->op = ins.op;
+    out->pred = ins.pred;
+    out->type = ins.type;
+    out->line = ins.line;
+    out->aux = ins.aux;
+    out->nops = ins.nops;
+  } else {
+    (void)out;
+  }
+
+  // Operands were pre-resolved at decode time; evaluating one is a slot
+  // read (or nothing, for pre-folded constants). Block operands decode to
+  // SrcKind::None and evaluate to the empty value, matching the legacy
+  // engine's skip.
+  const Src* const srcs = prog_->srcs() + ins.src_begin;
+  OpVal a{}, b{}, c{};
+  const std::size_t nsrc = ins.src_count;
+  if (ins.op != Opcode::Call) {
+    if (nsrc > 0) a = eval_src(srcs[0], fr);
+    if (nsrc > 1) b = eval_src(srcs[1], fr);
+    if (nsrc > 2) c = eval_src(srcs[2], fr);
+    if constexpr (Traced) {
+      const OpVal* vals[3] = {&a, &b, &c};
+      for (std::size_t i = 0; i < std::min<std::size_t>(nsrc, 3); ++i) {
+        out->op_loc[i] = vals[i]->loc;
+        out->op_bits[i] = vals[i]->bits;
+        out->op_type[i] = vals[i]->type;
+      }
+    }
+  }
+
+  std::uint64_t result = 0;
+  bool has_res = ins.result != ir::kNoReg;
+  Location result_location =
+      has_res ? reg_loc(fr.activation, ins.result) : kNoLoc;
+  bool advance_pc = true;
+
+  const Type t = ins.type;
+  const auto ia = static_cast<std::int64_t>(a.bits);
+  const auto ib = static_cast<std::int64_t>(b.bits);
+
+  switch (ins.op) {
+    // --- integer binary -----------------------------------------------------
+    case Opcode::Add:
+      result = canon_int(a.bits + b.bits, t);
+      break;
+    case Opcode::Sub:
+      result = canon_int(a.bits - b.bits, t);
+      break;
+    case Opcode::Mul:
+      result = canon_int(a.bits * b.bits, t);
+      break;
+    case Opcode::SDiv:
+    case Opcode::SRem: {
+      if (ib == 0) {
+        set_trap(TrapKind::DivByZero);
+        return status_;
+      }
+      if (ia == std::numeric_limits<std::int64_t>::min() && ib == -1) {
+        set_trap(TrapKind::IntOverflowDiv);
+        return status_;
+      }
+      const std::int64_t r = ins.op == Opcode::SDiv ? ia / ib : ia % ib;
+      result = canon_int(static_cast<std::uint64_t>(r), t);
+      break;
+    }
+    case Opcode::And:
+      result = canon_int(a.bits & b.bits, t);
+      break;
+    case Opcode::Or:
+      result = canon_int(a.bits | b.bits, t);
+      break;
+    case Opcode::Xor:
+      result = canon_int(a.bits ^ b.bits, t);
+      break;
+    case Opcode::Shl:
+    case Opcode::LShr:
+    case Opcode::AShr: {
+      const unsigned width = bit_width(t);
+      const std::uint64_t amt = b.bits;
+      if (amt >= width) {
+        set_trap(TrapKind::BadShift);
+        return status_;
+      }
+      if (ins.op == Opcode::Shl) {
+        result = canon_int(a.bits << amt, t);
+      } else if (ins.op == Opcode::LShr) {
+        const std::uint64_t ua = util::truncate_to(a.bits, width);
+        result = canon_int(ua >> amt, t);
+      } else {
+        result = canon_int(static_cast<std::uint64_t>(ia >> amt), t);
+      }
+      break;
+    }
+
+    // --- floating binary ----------------------------------------------------
+    case Opcode::FAdd:
+    case Opcode::FSub:
+    case Opcode::FMul:
+    case Opcode::FDiv: {
+      if (t == Type::F32) {
+        const float x = bits_to_f32(a.bits), y = bits_to_f32(b.bits);
+        float r = 0;
+        switch (ins.op) {
+          case Opcode::FAdd: r = x + y; break;
+          case Opcode::FSub: r = x - y; break;
+          case Opcode::FMul: r = x * y; break;
+          default: r = x / y; break;
+        }
+        result = f32_to_bits(r);
+      } else {
+        const double x = bits_to_f64(a.bits), y = bits_to_f64(b.bits);
+        double r = 0;
+        switch (ins.op) {
+          case Opcode::FAdd: r = x + y; break;
+          case Opcode::FSub: r = x - y; break;
+          case Opcode::FMul: r = x * y; break;
+          default: r = x / y; break;
+        }
+        result = f64_to_bits(r);
+      }
+      break;
+    }
+
+    // --- floating unary -----------------------------------------------------
+    case Opcode::FNeg:
+    case Opcode::FSqrt:
+    case Opcode::FAbs:
+    case Opcode::FFloor: {
+      if (t == Type::F32) {
+        const float x = bits_to_f32(a.bits);
+        float r = 0;
+        switch (ins.op) {
+          case Opcode::FNeg: r = -x; break;
+          case Opcode::FSqrt: r = std::sqrt(x); break;
+          case Opcode::FAbs: r = std::fabs(x); break;
+          default: r = std::floor(x); break;
+        }
+        result = f32_to_bits(r);
+      } else {
+        const double x = bits_to_f64(a.bits);
+        double r = 0;
+        switch (ins.op) {
+          case Opcode::FNeg: r = -x; break;
+          case Opcode::FSqrt: r = std::sqrt(x); break;
+          case Opcode::FAbs: r = std::fabs(x); break;
+          default: r = std::floor(x); break;
+        }
+        result = f64_to_bits(r);
+      }
+      break;
+    }
+
+    // --- comparisons --------------------------------------------------------
+    case Opcode::ICmp: {
+      bool r = false;
+      switch (ins.pred) {
+        case CmpPred::Eq: r = ia == ib; break;
+        case CmpPred::Ne: r = ia != ib; break;
+        case CmpPred::Lt: r = ia < ib; break;
+        case CmpPred::Le: r = ia <= ib; break;
+        case CmpPred::Gt: r = ia > ib; break;
+        case CmpPred::Ge: r = ia >= ib; break;
+        case CmpPred::None: break;
+      }
+      result = r ? 1 : 0;
+      break;
+    }
+    case Opcode::FCmp: {
+      const double x = a.type == Type::F32
+                           ? static_cast<double>(bits_to_f32(a.bits))
+                           : bits_to_f64(a.bits);
+      const double y = b.type == Type::F32
+                           ? static_cast<double>(bits_to_f32(b.bits))
+                           : bits_to_f64(b.bits);
+      bool r = false;
+      switch (ins.pred) {
+        case CmpPred::Eq: r = x == y; break;
+        case CmpPred::Ne: r = x != y; break;
+        case CmpPred::Lt: r = x < y; break;
+        case CmpPred::Le: r = x <= y; break;
+        case CmpPred::Gt: r = x > y; break;
+        case CmpPred::Ge: r = x >= y; break;
+        case CmpPred::None: break;
+      }
+      result = r ? 1 : 0;
+      break;
+    }
+    case Opcode::Select:
+      result = (a.bits & 1) ? b.bits : c.bits;
+      break;
+
+    // --- casts ---------------------------------------------------------------
+    case Opcode::Trunc:
+      result = canon_int(a.bits, t);
+      break;
+    case Opcode::SExt:
+      result = a.bits;  // canonical form is already sign-extended
+      break;
+    case Opcode::ZExt:
+      result = util::truncate_to(a.bits, bit_width(a.type));
+      break;
+    case Opcode::FPTrunc:
+      result = f32_to_bits(static_cast<float>(bits_to_f64(a.bits)));
+      break;
+    case Opcode::FPExt:
+      result = f64_to_bits(static_cast<double>(bits_to_f32(a.bits)));
+      break;
+    case Opcode::FPToSI: {
+      const double x = a.type == Type::F32
+                           ? static_cast<double>(bits_to_f32(a.bits))
+                           : bits_to_f64(a.bits);
+      if (std::isnan(x) || x < -9.3e18 || x > 9.3e18) {
+        set_trap(TrapKind::FpDomain);
+        return status_;
+      }
+      result = canon_int(static_cast<std::uint64_t>(
+                             static_cast<std::int64_t>(x)),
+                         t);
+      break;
+    }
+    case Opcode::SIToFP: {
+      const auto x = static_cast<double>(ia);
+      result = t == Type::F32 ? f32_to_bits(static_cast<float>(x))
+                              : f64_to_bits(x);
+      break;
+    }
+    case Opcode::Bitcast:
+      if (t == Type::I32) {
+        result = canon_int(a.bits, t);  // keep I32 canonical (sign-extended)
+      } else {
+        result = bit_width(t) == 32 ? util::truncate_to(a.bits, 32) : a.bits;
+      }
+      break;
+
+    // --- memory ---------------------------------------------------------------
+    case Opcode::Alloca: {
+      const auto size = static_cast<std::uint64_t>(ins.aux);
+      const std::uint64_t aligned = (sp_ + 7) & ~std::uint64_t{7};
+      if (aligned + size > mem_.size()) {
+        set_trap(TrapKind::StackOverflow);
+        return status_;
+      }
+      result = aligned;
+      sp_ = aligned + size;
+      break;
+    }
+    case Opcode::Load: {
+      // Operand order in records: [0] = memory cell, [1] = pointer dep.
+      const std::uint64_t addr = a.bits;
+      const auto size = store_size(t);
+      if (!mem_ok(addr, size)) {
+        set_trap(TrapKind::OutOfBounds);
+        return status_;
+      }
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &mem_[addr], size);
+      result = is_int(t) ? canon_int(bits, t) : bits;
+      if constexpr (Traced) {
+        out->mem_addr = addr;
+        out->mem_size = size;
+        out->nops = 2;
+        out->op_loc[0] = mem_loc(addr);
+        out->op_bits[0] = result;
+        out->op_type[0] = t;
+        out->op_loc[1] = a.loc;  // the pointer value's own location
+        out->op_bits[1] = a.bits;
+        out->op_type[1] = Type::Ptr;
+      }
+      break;
+    }
+    case Opcode::Store: {
+      const std::uint64_t addr = b.bits;
+      const auto size = store_size(a.type);
+      if (!mem_ok(addr, size)) {
+        set_trap(TrapKind::OutOfBounds);
+        return status_;
+      }
+      std::uint64_t bits = a.bits;
+      maybe_flip_result(bits);
+      std::memcpy(&mem_[addr], &bits, size);
+      has_res = false;
+      result_location = mem_loc(addr);
+      result = bits;
+      if constexpr (Traced) {
+        out->mem_addr = addr;
+        out->mem_size = size;
+      }
+      break;
+    }
+    case Opcode::Gep: {
+      const std::uint64_t base = a.bits;
+      const auto idx = static_cast<std::int64_t>(b.bits);
+      result = base + static_cast<std::uint64_t>(idx * ins.aux);
+      break;
+    }
+
+    // --- control -----------------------------------------------------------------
+    case Opcode::Br:
+      fr.pc = ins.target_taken;
+      advance_pc = false;
+      break;
+    case Opcode::CondBr: {
+      const bool taken = (a.bits & 1) != 0;
+      fr.pc = taken ? ins.target_taken : ins.target_fall;
+      advance_pc = false;
+      if constexpr (Traced) out->branch_taken = taken;
+      break;
+    }
+    case Opcode::Ret: {
+      const bool has_val = nsrc > 0;
+      const std::uint64_t ret_bits = has_val ? a.bits : 0;
+      if (dframes_.size() == 1) {
+        status_ = Status::Finished;
+        advance_pc = false;
+      } else {
+        sp_ = fr.saved_sp;
+        const std::uint32_t dest_reg = fr.ret_reg;
+        slot_top_ = fr.reg_base;
+        arg_loc_top_ = fr.arg_loc_base;
+        dframes_.pop_back();
+        DFrame& caller = dframes_.back();
+        if (dest_reg != ir::kNoReg) {
+          std::uint64_t bits = ret_bits;
+          maybe_flip_result(bits);
+          slots_[caller.reg_base + dest_reg] = bits;
+          result_location = reg_loc(caller.activation, dest_reg);
+          result = bits;
+          if constexpr (Traced) {
+            out->result_loc = result_location;
+            out->result_bits = bits;
+          }
+        }
+        advance_pc = false;  // caller pc was advanced at call time
+      }
+      has_res = false;
+      break;
+    }
+    case Opcode::Call: {
+      if (dframes_.size() >= opts_.max_call_depth) {
+        set_trap(TrapKind::CallDepth);
+        return status_;
+      }
+      fr.pc++;  // resume point after return
+      advance_pc = false;
+      // NB: push_dframe may reallocate dframes_, invalidating `fr`; it
+      // copies what it needs from the caller frame before pushing.
+      push_dframe(ins, fr, Traced ? out : nullptr);
+      has_res = false;  // result is committed by Ret
+      break;
+    }
+
+    // --- intrinsics -----------------------------------------------------------------
+    case Opcode::Rand:
+      result = f64_to_bits(randlc_.next());
+      break;
+    case Opcode::Emit: {
+      outputs_.push_back({a.bits, a.type});
+      // Expose the emitted bits for differential comparison (no location).
+      if constexpr (Traced) out->result_bits = a.bits;
+      break;
+    }
+    case Opcode::EmitTrunc: {
+      const double x = a.type == Type::F32
+                           ? static_cast<double>(bits_to_f32(a.bits))
+                           : bits_to_f64(a.bits);
+      const double r = round_to_digits(x, static_cast<int>(ins.aux));
+      outputs_.push_back({f64_to_bits(r), Type::F64});
+      // The *rounded* value is what the user sees; comparing it is what
+      // makes Pattern 5 (data truncation) observable in the diff.
+      if constexpr (Traced) out->result_bits = f64_to_bits(r);
+      break;
+    }
+    case Opcode::RegionEnter: {
+      const auto rid = static_cast<std::uint32_t>(ins.aux);
+      apply_region_entry_fault(rid);
+      region_counts_[rid]++;
+      break;
+    }
+    case Opcode::RegionExit:
+      break;
+
+    // --- MiniMPI --------------------------------------------------------------------
+    case Opcode::MpiRank:
+      result = static_cast<std::uint64_t>(opts_.mpi ? opts_.mpi->rank() : 0);
+      break;
+    case Opcode::MpiSize:
+      result = static_cast<std::uint64_t>(opts_.mpi ? opts_.mpi->size() : 1);
+      break;
+    case Opcode::MpiSend:
+      if (opts_.mpi) {
+        opts_.mpi->send(static_cast<std::int64_t>(a.bits),
+                        bits_to_f64(b.bits));
+      }
+      break;
+    case Opcode::MpiRecv:
+      result =
+          f64_to_bits(opts_.mpi ? opts_.mpi->recv(static_cast<std::int64_t>(
+                                      a.bits))
+                                : 0.0);
+      break;
+    case Opcode::MpiAllreduce: {
+      const double v = bits_to_f64(a.bits);
+      const double r = opts_.mpi
+                           ? opts_.mpi->allreduce(
+                                 v, static_cast<ir::ReduceOp>(ins.aux))
+                           : v;
+      result = f64_to_bits(r);
+      break;
+    }
+    case Opcode::MpiBarrier:
+      if (opts_.mpi) opts_.mpi->barrier();
+      break;
+  }
+
+  if (has_res) {
+    maybe_flip_result(result);
+    // `fr` may dangle only after Call/Ret, which set has_res = false.
+    slots_[fr.reg_base + ins.result] = result;
+  }
+
+  if constexpr (Traced) {
+    if (has_res || ins.op == Opcode::Store) {
+      out->result_loc = result_location;
+      out->result_bits = result;
+    }
+  } else {
+    (void)result_location;
+  }
+
+  if (advance_pc) fr.pc++;
+  n_retired_++;
+  return status_;
+}
+
+// ---------------------------------------------------------------------------
+// Legacy engine: walks the ir::Instruction representation directly. The
+// reference implementation and the decoded engine's A/B baseline.
+// ---------------------------------------------------------------------------
+
+Vm::Status Vm::step_legacy(DynInstr* out) {
   if (status_ != Status::Running) return status_;
   if (n_retired_ >= opts_.max_instructions) {
     set_trap(TrapKind::Hang);
@@ -629,27 +1181,522 @@ Vm::Status Vm::step(DynInstr* out) {
   return status_;
 }
 
+// ---------------------------------------------------------------------------
+// Decoded hot loop: the no-observer run-to-completion path every campaign
+// trial takes. Machine state (retired count, current frame, code/operand
+// base pointers) lives in locals; dispatch is computed goto where the
+// toolchain supports labels-as-values (each opcode body ends in its own
+// indirect jump, so the branch predictor learns per-opcode successor
+// patterns), with a dense-opcode switch fallback elsewhere. Semantics must
+// stay identical to step_decoded<false> — tests/decode_test.cpp pins the
+// untraced equivalence against the legacy engine for all ten workloads.
+// ---------------------------------------------------------------------------
+
+#if !defined(FT_VM_NO_COMPUTED_GOTO) && (defined(__GNUC__) || defined(__clang__))
+#define FT_VM_COMPUTED_GOTO 1
+#else
+#define FT_VM_COMPUTED_GOTO 0
+#endif
+
+void Vm::run_decoded_hot() {
+  if (status_ != Status::Running) return;
+
+  const DecodedInstr* const code = prog_->code();
+  const Src* const srcs_all = prog_->srcs();
+  const std::uint64_t max_instr = opts_.max_instructions;
+  const bool fault_rb = opts_.fault.kind == FaultPlan::Kind::ResultBit;
+  std::uint64_t retired = n_retired_;
+  DFrame* fr = &dframes_.back();
+  const DecodedInstr* ins = nullptr;
+  const Src* srcs = nullptr;
+
+  // Operand value (bits only — no locations are needed untraced). Const and
+  // None read the pre-computed bits; None carries 0, matching the legacy
+  // engine's empty evaluation of absent operands.
+  const auto val = [&](const Src& s) -> std::uint64_t {
+    switch (s.kind) {
+      case SrcKind::Reg: return slots_[fr->reg_base + s.index];
+      case SrcKind::Arg: return slots_[fr->arg_base + s.index];
+      default: return s.bits;
+    }
+  };
+  // Fault application at commit time; `retired` is this instruction's
+  // dynamic index (pre-increment), exactly as maybe_flip_result sees it.
+  const auto flip = [&](std::uint64_t& bits) {
+    if (fault_rb && !fault_fired_ && retired == opts_.fault.dyn_index) {
+      bits = util::flip_bit(bits, opts_.fault.bit);
+      fault_fired_ = true;
+    }
+  };
+  // Commit a register-defining result (every defining opcode flips here,
+  // mirroring the has_res path of the stepping engines).
+  const auto commit = [&](std::uint64_t bits) {
+    flip(bits);
+    slots_[fr->reg_base + ins->result] = bits;
+  };
+
+  static_assert(static_cast<int>(Opcode::MpiBarrier) == 48,
+                "opcode set changed: update the hot-loop dispatch table");
+
+#if FT_VM_COMPUTED_GOTO
+  static const void* const kOpTable[] = {
+      &&op_Add, &&op_Sub, &&op_Mul, &&op_SDiv, &&op_SRem,
+      &&op_And, &&op_Or, &&op_Xor, &&op_Shl, &&op_LShr, &&op_AShr,
+      &&op_FAdd, &&op_FSub, &&op_FMul, &&op_FDiv,
+      &&op_FNeg, &&op_FSqrt, &&op_FAbs, &&op_FFloor,
+      &&op_ICmp, &&op_FCmp, &&op_Select,
+      &&op_Trunc, &&op_SExt, &&op_ZExt, &&op_FPTrunc, &&op_FPExt,
+      &&op_FPToSI, &&op_SIToFP, &&op_Bitcast,
+      &&op_Alloca, &&op_Load, &&op_Store, &&op_Gep,
+      &&op_Br, &&op_CondBr, &&op_Ret, &&op_Call,
+      &&op_Rand, &&op_Emit, &&op_EmitTrunc, &&op_RegionEnter, &&op_RegionExit,
+      &&op_MpiRank, &&op_MpiSize, &&op_MpiSend, &&op_MpiRecv,
+      &&op_MpiAllreduce, &&op_MpiBarrier,
+  };
+#define FT_OP(name) op_##name
+#define FT_NEXT()                                            \
+  do {                                                       \
+    if (++retired >= max_instr) goto hang_trap;              \
+    ins = &code[fr->pc];                                     \
+    srcs = srcs_all + ins->src_begin;                        \
+    goto* kOpTable[static_cast<std::uint8_t>(ins->op)];      \
+  } while (0)
+
+  if (retired >= max_instr) goto hang_trap;
+  ins = &code[fr->pc];
+  srcs = srcs_all + ins->src_begin;
+  goto* kOpTable[static_cast<std::uint8_t>(ins->op)];
+#else
+#define FT_OP(name) case Opcode::name
+#define FT_NEXT()                                            \
+  {                                                          \
+    ++retired;                                               \
+    break;                                                   \
+  }
+
+  for (;;) {
+    if (retired >= max_instr) goto hang_trap;
+    ins = &code[fr->pc];
+    srcs = srcs_all + ins->src_begin;
+    switch (ins->op) {
+#endif
+
+  FT_OP(Add) : {
+    commit(canon_int(val(srcs[0]) + val(srcs[1]), ins->type));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(Sub) : {
+    commit(canon_int(val(srcs[0]) - val(srcs[1]), ins->type));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(Mul) : {
+    commit(canon_int(val(srcs[0]) * val(srcs[1]), ins->type));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(SDiv) : FT_OP(SRem) : {
+    const auto ia = static_cast<std::int64_t>(val(srcs[0]));
+    const auto ib = static_cast<std::int64_t>(val(srcs[1]));
+    if (ib == 0) {
+      set_trap(TrapKind::DivByZero);
+      goto done;
+    }
+    if (ia == std::numeric_limits<std::int64_t>::min() && ib == -1) {
+      set_trap(TrapKind::IntOverflowDiv);
+      goto done;
+    }
+    const std::int64_t r = ins->op == Opcode::SDiv ? ia / ib : ia % ib;
+    commit(canon_int(static_cast<std::uint64_t>(r), ins->type));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(And) : {
+    commit(canon_int(val(srcs[0]) & val(srcs[1]), ins->type));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(Or) : {
+    commit(canon_int(val(srcs[0]) | val(srcs[1]), ins->type));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(Xor) : {
+    commit(canon_int(val(srcs[0]) ^ val(srcs[1]), ins->type));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(Shl) : FT_OP(LShr) : FT_OP(AShr) : {
+    const unsigned width = bit_width(ins->type);
+    const std::uint64_t x = val(srcs[0]);
+    const std::uint64_t amt = val(srcs[1]);
+    if (amt >= width) {
+      set_trap(TrapKind::BadShift);
+      goto done;
+    }
+    std::uint64_t r;
+    if (ins->op == Opcode::Shl) {
+      r = canon_int(x << amt, ins->type);
+    } else if (ins->op == Opcode::LShr) {
+      r = canon_int(util::truncate_to(x, width) >> amt, ins->type);
+    } else {
+      r = canon_int(static_cast<std::uint64_t>(
+                        static_cast<std::int64_t>(x) >> amt),
+                    ins->type);
+    }
+    commit(r);
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(FAdd) : FT_OP(FSub) : FT_OP(FMul) : FT_OP(FDiv) : {
+    const std::uint64_t xb = val(srcs[0]), yb = val(srcs[1]);
+    std::uint64_t rb;
+    if (ins->type == Type::F32) {
+      const float x = bits_to_f32(xb), y = bits_to_f32(yb);
+      float r = 0;
+      switch (ins->op) {
+        case Opcode::FAdd: r = x + y; break;
+        case Opcode::FSub: r = x - y; break;
+        case Opcode::FMul: r = x * y; break;
+        default: r = x / y; break;
+      }
+      rb = f32_to_bits(r);
+    } else {
+      const double x = bits_to_f64(xb), y = bits_to_f64(yb);
+      double r = 0;
+      switch (ins->op) {
+        case Opcode::FAdd: r = x + y; break;
+        case Opcode::FSub: r = x - y; break;
+        case Opcode::FMul: r = x * y; break;
+        default: r = x / y; break;
+      }
+      rb = f64_to_bits(r);
+    }
+    commit(rb);
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(FNeg) : FT_OP(FSqrt) : FT_OP(FAbs) : FT_OP(FFloor) : {
+    const std::uint64_t xb = val(srcs[0]);
+    std::uint64_t rb;
+    if (ins->type == Type::F32) {
+      const float x = bits_to_f32(xb);
+      float r = 0;
+      switch (ins->op) {
+        case Opcode::FNeg: r = -x; break;
+        case Opcode::FSqrt: r = std::sqrt(x); break;
+        case Opcode::FAbs: r = std::fabs(x); break;
+        default: r = std::floor(x); break;
+      }
+      rb = f32_to_bits(r);
+    } else {
+      const double x = bits_to_f64(xb);
+      double r = 0;
+      switch (ins->op) {
+        case Opcode::FNeg: r = -x; break;
+        case Opcode::FSqrt: r = std::sqrt(x); break;
+        case Opcode::FAbs: r = std::fabs(x); break;
+        default: r = std::floor(x); break;
+      }
+      rb = f64_to_bits(r);
+    }
+    commit(rb);
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(ICmp) : {
+    const auto ia = static_cast<std::int64_t>(val(srcs[0]));
+    const auto ib = static_cast<std::int64_t>(val(srcs[1]));
+    bool r = false;
+    switch (ins->pred) {
+      case CmpPred::Eq: r = ia == ib; break;
+      case CmpPred::Ne: r = ia != ib; break;
+      case CmpPred::Lt: r = ia < ib; break;
+      case CmpPred::Le: r = ia <= ib; break;
+      case CmpPred::Gt: r = ia > ib; break;
+      case CmpPred::Ge: r = ia >= ib; break;
+      case CmpPred::None: break;
+    }
+    commit(r ? 1 : 0);
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(FCmp) : {
+    const double x = srcs[0].type == Type::F32
+                         ? static_cast<double>(bits_to_f32(val(srcs[0])))
+                         : bits_to_f64(val(srcs[0]));
+    const double y = srcs[1].type == Type::F32
+                         ? static_cast<double>(bits_to_f32(val(srcs[1])))
+                         : bits_to_f64(val(srcs[1]));
+    bool r = false;
+    switch (ins->pred) {
+      case CmpPred::Eq: r = x == y; break;
+      case CmpPred::Ne: r = x != y; break;
+      case CmpPred::Lt: r = x < y; break;
+      case CmpPred::Le: r = x <= y; break;
+      case CmpPred::Gt: r = x > y; break;
+      case CmpPred::Ge: r = x >= y; break;
+      case CmpPred::None: break;
+    }
+    commit(r ? 1 : 0);
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(Select) : {
+    commit((val(srcs[0]) & 1) ? val(srcs[1]) : val(srcs[2]));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(Trunc) : {
+    commit(canon_int(val(srcs[0]), ins->type));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(SExt) : {
+    commit(val(srcs[0]));  // canonical form is already sign-extended
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(ZExt) : {
+    commit(util::truncate_to(val(srcs[0]), bit_width(srcs[0].type)));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(FPTrunc) : {
+    commit(f32_to_bits(static_cast<float>(bits_to_f64(val(srcs[0])))));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(FPExt) : {
+    commit(f64_to_bits(static_cast<double>(bits_to_f32(val(srcs[0])))));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(FPToSI) : {
+    const double x = srcs[0].type == Type::F32
+                         ? static_cast<double>(bits_to_f32(val(srcs[0])))
+                         : bits_to_f64(val(srcs[0]));
+    if (std::isnan(x) || x < -9.3e18 || x > 9.3e18) {
+      set_trap(TrapKind::FpDomain);
+      goto done;
+    }
+    commit(canon_int(
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(x)), ins->type));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(SIToFP) : {
+    const auto x =
+        static_cast<double>(static_cast<std::int64_t>(val(srcs[0])));
+    commit(ins->type == Type::F32 ? f32_to_bits(static_cast<float>(x))
+                                  : f64_to_bits(x));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(Bitcast) : {
+    const std::uint64_t x = val(srcs[0]);
+    std::uint64_t r;
+    if (ins->type == Type::I32) {
+      r = canon_int(x, ins->type);  // keep I32 canonical (sign-extended)
+    } else {
+      r = bit_width(ins->type) == 32 ? util::truncate_to(x, 32) : x;
+    }
+    commit(r);
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(Alloca) : {
+    const auto size = static_cast<std::uint64_t>(ins->aux);
+    const std::uint64_t aligned = (sp_ + 7) & ~std::uint64_t{7};
+    if (aligned + size > mem_.size()) {
+      set_trap(TrapKind::StackOverflow);
+      goto done;
+    }
+    sp_ = aligned + size;
+    commit(aligned);
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(Load) : {
+    const std::uint64_t addr = val(srcs[0]);
+    const auto size = store_size(ins->type);
+    if (!mem_ok(addr, size)) {
+      set_trap(TrapKind::OutOfBounds);
+      goto done;
+    }
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &mem_[addr], size);
+    commit(is_int(ins->type) ? canon_int(bits, ins->type) : bits);
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(Store) : {
+    const std::uint64_t addr = val(srcs[1]);
+    const auto size = store_size(srcs[0].type);
+    if (!mem_ok(addr, size)) {
+      set_trap(TrapKind::OutOfBounds);
+      goto done;
+    }
+    std::uint64_t bits = val(srcs[0]);
+    flip(bits);
+    std::memcpy(&mem_[addr], &bits, size);
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(Gep) : {
+    const std::uint64_t base = val(srcs[0]);
+    const auto idx = static_cast<std::int64_t>(val(srcs[1]));
+    commit(base + static_cast<std::uint64_t>(idx * ins->aux));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(Br) : {
+    fr->pc = ins->target_taken;
+    FT_NEXT();
+  }
+  FT_OP(CondBr) : {
+    fr->pc = (val(srcs[0]) & 1) != 0 ? ins->target_taken : ins->target_fall;
+    FT_NEXT();
+  }
+  FT_OP(Ret) : {
+    const std::uint64_t ret_bits = ins->src_count > 0 ? val(srcs[0]) : 0;
+    if (dframes_.size() == 1) {
+      status_ = Status::Finished;
+      ++retired;
+      goto done;
+    }
+    sp_ = fr->saved_sp;
+    const std::uint32_t dest_reg = fr->ret_reg;
+    slot_top_ = fr->reg_base;
+    arg_loc_top_ = fr->arg_loc_base;
+    dframes_.pop_back();
+    fr = &dframes_.back();
+    if (dest_reg != ir::kNoReg) {
+      std::uint64_t bits = ret_bits;
+      flip(bits);
+      slots_[fr->reg_base + dest_reg] = bits;
+    }
+    FT_NEXT();
+  }
+  FT_OP(Call) : {
+    if (dframes_.size() >= opts_.max_call_depth) {
+      set_trap(TrapKind::CallDepth);
+      goto done;
+    }
+    fr->pc++;  // resume point after return
+    push_dframe(*ins, *fr, nullptr);
+    fr = &dframes_.back();
+    FT_NEXT();
+  }
+  FT_OP(Rand) : {
+    commit(f64_to_bits(randlc_.next()));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(Emit) : {
+    outputs_.push_back({val(srcs[0]), srcs[0].type});
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(EmitTrunc) : {
+    const double x = srcs[0].type == Type::F32
+                         ? static_cast<double>(bits_to_f32(val(srcs[0])))
+                         : bits_to_f64(val(srcs[0]));
+    const double r = round_to_digits(x, static_cast<int>(ins->aux));
+    outputs_.push_back({f64_to_bits(r), Type::F64});
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(RegionEnter) : {
+    const auto rid = static_cast<std::uint32_t>(ins->aux);
+    apply_region_entry_fault(rid);
+    region_counts_[rid]++;
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(RegionExit) : {
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(MpiRank) : {
+    commit(static_cast<std::uint64_t>(opts_.mpi ? opts_.mpi->rank() : 0));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(MpiSize) : {
+    commit(static_cast<std::uint64_t>(opts_.mpi ? opts_.mpi->size() : 1));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(MpiSend) : {
+    if (opts_.mpi) {
+      opts_.mpi->send(static_cast<std::int64_t>(val(srcs[0])),
+                      bits_to_f64(val(srcs[1])));
+    }
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(MpiRecv) : {
+    commit(f64_to_bits(
+        opts_.mpi ? opts_.mpi->recv(static_cast<std::int64_t>(val(srcs[0])))
+                  : 0.0));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(MpiAllreduce) : {
+    const double v = bits_to_f64(val(srcs[0]));
+    const double r =
+        opts_.mpi ? opts_.mpi->allreduce(v, static_cast<ir::ReduceOp>(ins->aux))
+                  : v;
+    commit(f64_to_bits(r));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(MpiBarrier) : {
+    if (opts_.mpi) opts_.mpi->barrier();
+    fr->pc++;
+    FT_NEXT();
+  }
+
+#if !FT_VM_COMPUTED_GOTO
+    }
+  }
+#endif
+#undef FT_OP
+#undef FT_NEXT
+
+hang_trap:
+  set_trap(TrapKind::Hang);
+done:
+  n_retired_ = retired;
+}
+
+Vm::Status Vm::step(DynInstr* out) {
+  if (prog_) {
+    return out ? step_decoded<true>(out) : step_decoded<false>(nullptr);
+  }
+  return step_legacy(out);
+}
+
 RunResult Vm::run() {
   if (opts_.observer) {
     DynInstr rec;
     while (status_ == Status::Running) {
       // Trace control: skip record construction while the observer is
       // gated off, except for region markers (which toggle the gates).
-      bool deliver = true;
-      if (!opts_.observer->enabled()) {
-        const Frame& fr = frames_.back();
-        const auto& ins =
-            mod_->function(fr.func).blocks[fr.block].instrs[fr.pc];
-        deliver = is_region_marker(ins.op);
-      }
+      const bool deliver =
+          opts_.observer->enabled() || next_is_region_marker();
       const auto before = n_retired_;
       if (step(deliver ? &rec : nullptr) == Status::Trapped) break;
       if (deliver && n_retired_ > before) {
         opts_.observer->on_instruction(rec);
       }
     }
+  } else if (prog_) {
+    run_decoded_hot();
   } else {
-    while (status_ == Status::Running) step(nullptr);
+    while (status_ == Status::Running) step_legacy(nullptr);
   }
   return take_result();
 }
@@ -665,6 +1712,11 @@ RunResult Vm::take_result() {
 
 RunResult Vm::run(const ir::Module& m, VmOptions opts) {
   Vm vm(m, opts);
+  return vm.run();
+}
+
+RunResult Vm::run(const DecodedProgram& p, VmOptions opts) {
+  Vm vm(p, opts);
   return vm.run();
 }
 

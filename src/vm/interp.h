@@ -6,6 +6,18 @@
 // record-by-record (the paper relies on record-and-replay for this, §V-B;
 // our VM is deterministic by construction).
 //
+// Two execution engines, bit-identical by construction and pinned so by
+// tests/decode_test.cpp:
+//   * decoded — constructed from a vm::DecodedProgram (vm/decode.h): flat
+//     pre-resolved instruction stream dispatched over a dense-opcode jump
+//     table, with one contiguous register/argument stack shared by all
+//     frames (no per-frame heap allocation). This is the hot engine every
+//     campaign trial runs on; decode once per program, execute thousands
+//     of times.
+//   * legacy — constructed from an ir::Module directly: walks the nested
+//     ir::Instruction/ir::Operand representation. Kept as the reference
+//     implementation and the A/B baseline for the decoded engine.
+//
 // Two driving styles:
 //   * Vm::run()  — run to completion, streaming records to the observer in
 //                  VmOptions (if any). Fast path: with no observer, records
@@ -21,6 +33,7 @@
 
 #include "ir/module.h"
 #include "util/rng.h"
+#include "vm/decode.h"
 #include "vm/fault_plan.h"
 #include "vm/mpi_endpoint.h"
 #include "vm/observer.h"
@@ -45,6 +58,10 @@ struct VmOptions {
   FaultPlan fault{};
   MpiEndpoint* mpi = nullptr;
   std::uint32_t max_call_depth = 256;
+  /// When set, the Vm executes this pre-decoded form of the module instead
+  /// of walking the IR (the Vm(const DecodedProgram&, ...) constructor
+  /// fills it in). Must be decoded from the module being run.
+  const DecodedProgram* program = nullptr;
 };
 
 struct RunResult {
@@ -63,8 +80,13 @@ class Vm {
   enum class Status : std::uint8_t { Running, Finished, Trapped };
 
   /// The module must outlive the Vm and must be laid out (Module::layout(),
-  /// done by ProgramBuilder::finish()).
+  /// done by ProgramBuilder::finish()). Runs the legacy tree-walking engine
+  /// unless `opts.program` carries a decoded form of `m`.
   explicit Vm(const ir::Module& m, VmOptions opts = {});
+
+  /// Execute the decoded engine over `p` (which must outlive the Vm, as
+  /// must the module it was decoded from).
+  explicit Vm(const DecodedProgram& p, VmOptions opts = {});
 
   /// Retire one instruction. If `out` is non-null it receives the dynamic
   /// record of the retired instruction (unset when the instruction trapped).
@@ -73,8 +95,9 @@ class Vm {
   /// Run to completion (or trap), feeding opts.observer if present.
   RunResult run();
 
-  /// One-shot convenience.
+  /// One-shot conveniences.
   static RunResult run(const ir::Module& m, VmOptions opts = {});
+  static RunResult run(const DecodedProgram& p, VmOptions opts = {});
 
   // --- introspection ---------------------------------------------------------
   [[nodiscard]] Status status() const noexcept { return status_; }
@@ -102,6 +125,7 @@ class Vm {
   [[nodiscard]] std::uint32_t region_instances(std::uint32_t rid) const;
 
  private:
+  // --- legacy engine ---------------------------------------------------------
   struct Frame {
     std::uint32_t func = 0;
     std::uint64_t activation = 0;
@@ -115,6 +139,24 @@ class Vm {
     std::uint32_t ret_reg = ir::kNoReg;
   };
 
+  // --- decoded engine --------------------------------------------------------
+  // Frames index into one contiguous slot stack (`slots_`): registers at
+  // [reg_base, arg_base), argument bits at [arg_base, arg_base + nargs).
+  // Argument locations live on a parallel stack (`arg_locs_`). Pushing a
+  // frame bumps the tops; popping restores them — no heap allocation after
+  // the stacks reach their high-water mark.
+  struct DFrame {
+    std::uint32_t func = 0;
+    std::uint64_t activation = 0;
+    std::uint32_t pc = 0;  // flat index into DecodedProgram::code()
+    std::uint32_t reg_base = 0;
+    std::uint32_t arg_base = 0;
+    std::uint32_t arg_loc_base = 0;
+    std::uint32_t nargs = 0;
+    std::uint64_t saved_sp = 0;
+    std::uint32_t ret_reg = ir::kNoReg;
+  };
+
   struct OpVal {
     std::uint64_t bits = 0;
     Location loc = kNoLoc;
@@ -122,17 +164,32 @@ class Vm {
   };
 
   OpVal eval(const ir::Operand& o, const Frame& fr) const;
+  OpVal eval_src(const Src& s, const DFrame& fr) const;
   void push_frame(std::uint32_t func, const ir::Instruction& call_ins,
                   Frame& caller, DynInstr* out);
+  void push_dframe(const DecodedInstr& call_ins, const DFrame& caller,
+                   DynInstr* out);
+  Status step_legacy(DynInstr* out);
+  template <bool Traced>
+  Status step_decoded(DynInstr* out);
+  void run_decoded_hot();
+  [[nodiscard]] bool next_is_region_marker() const;
   [[nodiscard]] bool mem_ok(std::uint64_t addr, std::uint32_t size) const;
+  void init_memory(const ir::Module& m);
   void set_trap(TrapKind t) noexcept;
   void maybe_flip_result(std::uint64_t& bits);
   void apply_region_entry_fault(std::uint32_t rid);
 
   const ir::Module* mod_;
+  const DecodedProgram* prog_ = nullptr;  // non-null => decoded engine
   VmOptions opts_;
   std::vector<std::uint8_t> mem_;
   std::vector<Frame> frames_;
+  std::vector<DFrame> dframes_;
+  std::vector<std::uint64_t> slots_;  // contiguous regs+args, decoded engine
+  std::vector<Location> arg_locs_;
+  std::uint32_t slot_top_ = 0;
+  std::uint32_t arg_loc_top_ = 0;
   std::uint64_t sp_ = 0;
   std::uint64_t next_activation_ = 1;
   std::uint64_t n_retired_ = 0;

@@ -1,10 +1,10 @@
-// Facade-level and leftover-utility coverage: FlipTracker caching
+// Session-level and leftover-utility coverage: AnalysisSession caching
 // semantics, string formatting, streaming trace sinks, observer gating.
 #include <gtest/gtest.h>
 
 #include <filesystem>
 
-#include "core/fliptracker.h"
+#include "core/analysis.h"
 #include "hl/builder.h"
 #include "trace/file.h"
 #include "trace/file_sink.h"
@@ -130,41 +130,41 @@ TEST(ObserverGating, OnlyWindowAndMarkersDelivered) {
   EXPECT_TRUE(rg.completed());
 }
 
-// --- facade caching ---------------------------------------------------------------------
+// --- session caching ---------------------------------------------------------------------
 
-TEST(FacadeCaching, TraceRebuildAfterReset) {
-  core::FlipTracker tracker(apps::build_sp());
-  const auto n1 = tracker.golden_trace().size();
-  const auto e1 = tracker.golden_events().num_locations();
-  tracker.reset_trace();
-  const auto n2 = tracker.golden_trace().size();
+TEST(SessionCaching, TraceRebuildAfterInvalidate) {
+  core::AnalysisSession session(apps::build_sp());
+  const auto n1 = session.golden_trace()->size();
+  const auto e1 = session.golden_events()->num_locations();
+  session.invalidate_trace();
+  const auto n2 = session.golden_trace()->size();
   EXPECT_EQ(n1, n2);
-  EXPECT_EQ(e1, tracker.golden_events().num_locations());
+  EXPECT_EQ(e1, session.golden_events()->num_locations());
 }
 
-TEST(FacadeCaching, MissingRegionInstanceHandledGracefully) {
-  core::FlipTracker tracker(apps::build_sp());
-  EXPECT_FALSE(tracker.region_io(0, 9999).has_value());
-  const auto g = tracker.region_dddg(0, 9999);
-  EXPECT_EQ(g.num_nodes(), 0u);
+TEST(SessionCaching, MissingRegionInstanceHandledGracefully) {
+  core::AnalysisSession session(apps::build_sp());
+  EXPECT_FALSE(session.region_io(0, 9999).has_value());
+  const auto g = session.region_dddg(0, 9999);
+  EXPECT_EQ(g->num_nodes(), 0u);
 }
 
-TEST(FacadeCaching, DiffWithRecordCap) {
-  core::FlipTracker tracker(apps::build_sp());
+TEST(SessionCaching, DiffWithRecordCap) {
+  core::AnalysisSession session(apps::build_sp());
   const auto diff =
-      tracker.diff_with(vm::FaultPlan::result_bit(1000, 5), /*max=*/500);
+      session.diff_with(vm::FaultPlan::result_bit(1000, 5), /*max=*/500);
   EXPECT_TRUE(diff.truncated);
   EXPECT_EQ(diff.usable_records(), 500u);
   // Outcome classification still covers the full run.
   EXPECT_TRUE(diff.clean_result.completed());
 }
 
-class FacadeOverApps : public ::testing::TestWithParam<std::string> {};
+class SessionOverApps : public ::testing::TestWithParam<std::string> {};
 
-TEST_P(FacadeOverApps, AllAnalysisRegionsClassifiable) {
-  core::FlipTracker tracker(apps::build_app(GetParam()));
-  for (const auto& rd : tracker.app().analysis_regions) {
-    const auto io = tracker.region_io(rd.id, 0);
+TEST_P(SessionOverApps, AllAnalysisRegionsClassifiable) {
+  core::AnalysisSession session(apps::build_app(GetParam()));
+  for (const auto& rd : session.app().analysis_regions) {
+    const auto io = session.region_io(rd.id, 0);
     ASSERT_TRUE(io.has_value()) << rd.name;
     // Every region must write something the program later consumes, except
     // pure sinks; at minimum the classification must be self-consistent.
@@ -179,7 +179,7 @@ TEST_P(FacadeOverApps, AllAnalysisRegionsClassifiable) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Paper, FacadeOverApps,
+INSTANTIATE_TEST_SUITE_P(Paper, SessionOverApps,
                          ::testing::Values("CG", "MG", "IS", "LU", "SP"),
                          [](const auto& info) { return info.param; });
 

@@ -10,6 +10,7 @@
 #include "dddg/graph.h"
 #include "hl/builder.h"
 #include "trace/collector.h"
+#include "trace/column.h"
 #include "trace/events.h"
 #include "trace/segment.h"
 #include "vm/decode.h"
@@ -97,6 +98,27 @@ void BM_VmTraced(benchmark::State& state) {
 }
 BENCHMARK(BM_VmTraced);
 
+// Direct-emit columnar tracing on the decoded engine: the traced
+// counterpart of BM_VmDispatchDecoded, and the substrate every session
+// analysis reads. Compare against BM_VmTraced for the traced-path speedup
+// and against bytes/record for the resident-size win.
+void BM_VmTracedColumnar(benchmark::State& state) {
+  const auto mod = make_kernel();
+  const auto prog = std::make_shared<const vm::DecodedProgram>(
+      vm::DecodedProgram::decode(mod));
+  for (auto _ : state) {
+    trace::ColumnTrace c(prog);
+    vm::VmOptions opts;
+    opts.program = prog.get();
+    opts.column_sink = &c;
+    const auto r = vm::Vm::run(*prog, opts);
+    benchmark::DoNotOptimize(r.instructions);
+    state.counters["records"] = static_cast<double>(c.size());
+    state.counters["bytes/record"] = c.bytes_per_record();
+  }
+}
+BENCHMARK(BM_VmTracedColumnar);
+
 void BM_RegionSegmentation(benchmark::State& state) {
   auto app = apps::build_lulesh();
   trace::TraceCollector c;
@@ -122,6 +144,49 @@ void BM_LocationEvents(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LocationEvents);
+
+// The legacy map-of-vectors builder on the same trace — the A/B baseline
+// for the CSR index above.
+void BM_LocationEventsLegacyMap(benchmark::State& state) {
+  auto app = apps::build_lulesh();
+  trace::TraceCollector c;
+  vm::VmOptions opts = app.base;
+  opts.observer = &c;
+  (void)vm::Vm::run(app.module, opts);
+  for (auto _ : state) {
+    auto ev = trace::LegacyLocationEvents::build(c.trace().span());
+    benchmark::DoNotOptimize(ev.num_locations());
+  }
+}
+BENCHMARK(BM_LocationEventsLegacyMap);
+
+// Liveness queries over the CSR index (binary search in per-location
+// spans) — the per-write cost pattern_rates and the ACL sweep pay.
+void BM_LocationEventsQueries(benchmark::State& state) {
+  auto app = apps::build_lulesh();
+  const auto prog = std::make_shared<const vm::DecodedProgram>(
+      vm::DecodedProgram::decode(app.module));
+  trace::ColumnTrace c(prog);
+  vm::VmOptions opts = app.base;
+  opts.program = prog.get();
+  opts.column_sink = &c;
+  (void)vm::Vm::run(app.module, opts);
+  const auto ev = trace::LocationEvents::build(c.view());
+  std::vector<std::pair<vm::Location, std::uint64_t>> probes;
+  for (const vm::DynInstr& r : c.view()) {
+    if (r.result_loc != vm::kNoLoc) probes.emplace_back(r.result_loc, r.index);
+    if (probes.size() >= 100000) break;
+  }
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (const auto& [loc, at] : probes) {
+      acc ^= ev.read_before_overwrite_after(loc, at);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["queries"] = static_cast<double>(probes.size());
+}
+BENCHMARK(BM_LocationEventsQueries);
 
 void BM_DiffRun(benchmark::State& state) {
   const auto mod = make_kernel();

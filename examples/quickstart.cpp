@@ -50,9 +50,11 @@ int main() {
               golden->outputs[0].as_f64(),
               static_cast<unsigned long long>(golden->instructions));
 
-  // 3. Find an injection target: the load of data[2] in the golden trace.
+  // 3. Find an injection target: the load of data[2] in the golden trace
+  //    (a columnar trace; the view's cursor materializes records on
+  //    demand).
   std::uint64_t target = 0;
-  for (const auto& r : session.golden_trace()->records) {
+  for (const vm::DynInstr& r : session.golden_trace()->view()) {
     if (r.op == ir::Opcode::Load &&
         r.result_bits == util::f64_to_bits(3.0)) {
       target = r.index;

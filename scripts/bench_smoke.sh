@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Perf-regression canary, two sections:
+# Perf-regression canary, three sections:
 #
 #  1. Engine A/B (vm_engine_ab): decoded vs legacy interpreter on the CG
 #     whole-program campaign. The decoded engine must stay >= 2x the
@@ -7,7 +7,14 @@
 #     produce identical outcome counts — the binary exits nonzero on a
 #     mismatch).
 #
-#  2. Scheduling A/B (fig5 on CG): the batched analysis executor vs legacy
+#  2. Trace substrate A/B (trace_substrate_ab): columnar direct-emit traced
+#     execution vs the DynInstr-observer baseline on the CG traced run.
+#     Columnar must stay >= 2x in instructions/sec and >= 3x smaller in
+#     resident bytes/record, with bit-identical ACL series/events and
+#     pattern counts on both substrates (the binary exits nonzero on an
+#     equivalence failure).
+#
+#  3. Scheduling A/B (fig5 on CG): the batched analysis executor vs legacy
 #     per-region scheduling. Batched must never be slower than legacy
 #     beyond noise; on multi-core machines it should win outright.
 #
@@ -21,9 +28,10 @@ build_dir="${1:-build}"
 trials="${2:-40}"
 bench="$build_dir/fig5_per_region_sr"
 engine_ab="$build_dir/vm_engine_ab"
+trace_ab="$build_dir/trace_substrate_ab"
 out="$build_dir/bench_smoke.out"
 
-for bin in "$bench" "$engine_ab"; do
+for bin in "$bench" "$engine_ab" "$trace_ab"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not found (build first: cmake -B $build_dir -S . && cmake --build $build_dir -j)" >&2
     exit 1
@@ -37,11 +45,11 @@ extract_ms() {
   sed -n 's/^campaign wall: \([0-9.]*\) ms.*/\1/p' "$1"
 }
 
-tmp_engine=$(mktemp) tmp_batched=$(mktemp) tmp_legacy=$(mktemp)
-trap 'rm -f "$tmp_engine" "$tmp_batched" "$tmp_legacy"' EXIT
+tmp_engine=$(mktemp) tmp_trace=$(mktemp) tmp_batched=$(mktemp) tmp_legacy=$(mktemp)
+trap 'rm -f "$tmp_engine" "$tmp_trace" "$tmp_batched" "$tmp_legacy"' EXIT
 
-echo "== bench smoke 1/2: decoded vs legacy engine on the CG campaign =="
-# A longer campaign than section 2 (and interleaved best-of-3 inside the
+echo "== bench smoke 1/3: decoded vs legacy engine on the CG campaign =="
+# A longer campaign than section 3 (and interleaved best-of-3 inside the
 # bench) keeps the speedup measurement steady on busy/single-core hosts.
 engine_trials=$(( trials * 2 > 60 ? trials * 2 : 60 ))
 "$engine_ab" --trials="$engine_trials" | tee "$tmp_engine"
@@ -55,7 +63,24 @@ awk -v s="$engine_speedup" 'BEGIN {
 }' | tee -a "$out"
 
 echo
-echo "== bench smoke 2/2: fig5 on CG, $trials trials per region/class =="
+echo "== bench smoke 2/3: columnar vs DynInstr-observer traced run on CG =="
+# The binary exits nonzero when the ACL series/events or pattern counts
+# differ between substrates, failing the smoke under pipefail.
+"$trace_ab" | tee "$tmp_trace"
+cat "$tmp_trace" >> "$out"
+
+trace_speedup=$(sed -n 's/^trace speedup: \([0-9.]*\)x$/\1/p' "$tmp_trace")
+bytes_ratio=$(sed -n 's/^bytes\/record ratio: \([0-9.]*\)x smaller$/\1/p' "$tmp_trace")
+awk -v s="$trace_speedup" -v r="$bytes_ratio" 'BEGIN {
+  if (s == "") { print "ERROR: no trace speedup reported"; exit 1 }
+  if (r == "") { print "ERROR: no bytes/record ratio reported"; exit 1 }
+  if (s < 2.0) { printf "REGRESSION: columnar traced run only %.2fx the observer baseline (need >= 2x)\n", s; exit 1 }
+  if (r < 3.0) { printf "REGRESSION: columnar records only %.2fx smaller than DynInstr (need >= 3x)\n", r; exit 1 }
+  printf "trace substrate OK (%.2fx >= 2x instr/s, %.2fx >= 3x smaller records)\n", s, r
+}' | tee -a "$out"
+
+echo
+echo "== bench smoke 3/3: fig5 on CG, $trials trials per region/class =="
 "$bench" --apps=CG --trials="$trials" | tee "$tmp_batched" | grep -E "^(schedule|campaign)"
 echo
 echo "-- legacy per-region scheduling --"

@@ -4,16 +4,52 @@ namespace ft::acl {
 
 namespace {
 
-/// The engine-agnostic lockstep core: both VMs are already constructed
-/// (same program, clean vs faulty fault plan) and are stepped side by side.
-DiffResult diff_between(vm::Vm& clean, vm::Vm& faulty,
-                        const DiffOptions& opts) {
-  DiffResult out;
+/// Per-record faulty-stream recorder for the array-of-structs substrate.
+struct TraceRecorder {
+  DiffResult& out;
+  void reserve(std::size_t n) { out.faulty.records.reserve(n); }
+  void append(const vm::DynInstr& frec, std::uint32_t /*pc*/) {
+    out.faulty.records.push_back(frec);
+  }
+  [[nodiscard]] std::size_t size() const { return out.faulty.records.size(); }
+};
+
+/// Columnar recorder: appends straight into the ColumnTrace.
+struct ColumnRecorder {
+  ColumnDiff& out;
+  void reserve(std::size_t n) { out.faulty.reserve(n); }
+  void append(const vm::DynInstr& frec, std::uint32_t pc) {
+    out.faulty.append(frec, pc);
+  }
+  [[nodiscard]] std::size_t size() const { return out.faulty.size(); }
+};
+
+/// The engine- and substrate-agnostic lockstep core: both VMs are already
+/// constructed (same program, clean vs faulty fault plan) and are stepped
+/// side by side; `rec` owns the faulty-stream representation.
+template <typename Result, typename Recorder>
+void diff_between(vm::Vm& clean, vm::Vm& faulty, const DiffOptions& opts,
+                  Result& out, Recorder rec) {
+  if (opts.reserve_records != 0) {
+    const auto n = opts.max_records != 0
+                       ? std::min(opts.reserve_records, opts.max_records)
+                       : opts.reserve_records;
+    rec.reserve(n);
+    out.clean_bits.reserve(n);
+    out.clean_op_bits.reserve(n);
+    out.differs.reserve(n);
+  }
+
+  // Lockstep same-site check: with one shared decoded program the flat pc
+  // identifies the static site; the legacy engine compares coordinates.
+  const bool decoded = opts.base.program != nullptr;
 
   vm::DynInstr crec, frec;
   bool recording = true;
   while (clean.status() == vm::Vm::Status::Running &&
          faulty.status() == vm::Vm::Status::Running) {
+    const std::uint32_t fpc = decoded ? faulty.next_pc() : 0;
+    const std::uint32_t cpc = decoded ? clean.next_pc() : 0;
     const auto cs = clean.step(&crec);
     const auto fs = faulty.step(&frec);
     const bool clean_retired = cs != vm::Vm::Status::Trapped;
@@ -26,16 +62,17 @@ DiffResult diff_between(vm::Vm& clean, vm::Vm& faulty,
       break;
     }
 
-    const bool same_site = crec.func == frec.func &&
-                           crec.block == frec.block &&
-                           crec.instr == frec.instr && crec.op == frec.op;
+    const bool same_site =
+        decoded ? cpc == fpc
+                : crec.func == frec.func && crec.block == frec.block &&
+                      crec.instr == frec.instr && crec.op == frec.op;
     if (!same_site) {
       out.divergence_index = frec.index;
       break;
     }
 
     if (recording) {
-      out.faulty.records.push_back(frec);
+      rec.append(frec, fpc);
       out.clean_bits.push_back(crec.result_bits);
       out.clean_op_bits.push_back(crec.op_bits);
       // Register defs, memory stores, and emitted output values are
@@ -46,8 +83,7 @@ DiffResult diff_between(vm::Vm& clean, vm::Vm& faulty,
                               frec.op == ir::Opcode::EmitTrunc;
       out.differs.push_back(comparable &&
                             frec.result_bits != crec.result_bits);
-      if (opts.max_records != 0 &&
-          out.faulty.records.size() >= opts.max_records) {
+      if (opts.max_records != 0 && rec.size() >= opts.max_records) {
         recording = false;
         out.truncated = true;
       }
@@ -70,13 +106,13 @@ DiffResult diff_between(vm::Vm& clean, vm::Vm& faulty,
 
   out.clean_result = clean.take_result();
   out.faulty_result = faulty.take_result();
-  return out;
 }
 
 std::pair<vm::VmOptions, vm::VmOptions> split_options(
     const DiffOptions& opts) {
   vm::VmOptions clean_opts = opts.base;
   clean_opts.observer = nullptr;
+  clean_opts.column_sink = nullptr;
   clean_opts.fault = vm::FaultPlan::none();
   vm::VmOptions faulty_opts = clean_opts;
   faulty_opts.fault = opts.fault;
@@ -86,20 +122,40 @@ std::pair<vm::VmOptions, vm::VmOptions> split_options(
 }  // namespace
 
 DiffResult diff_run(const ir::Module& m, const DiffOptions& opts) {
-  auto [clean_opts, faulty_opts] = split_options(opts);
-  clean_opts.program = nullptr;  // module overload stays on the legacy engine
-  faulty_opts.program = nullptr;
+  DiffOptions local = opts;
+  local.base.program = nullptr;  // module overload stays on the legacy engine
+  auto [clean_opts, faulty_opts] = split_options(local);
   vm::Vm clean(m, clean_opts);
   vm::Vm faulty(m, faulty_opts);
-  return diff_between(clean, faulty, opts);
+  DiffResult out;
+  diff_between(clean, faulty, local, out, TraceRecorder{out});
+  return out;
 }
 
 DiffResult diff_run(const vm::DecodedProgram& program,
                     const DiffOptions& opts) {
-  auto [clean_opts, faulty_opts] = split_options(opts);
+  DiffOptions local = opts;
+  local.base.program = &program;
+  auto [clean_opts, faulty_opts] = split_options(local);
   vm::Vm clean(program, clean_opts);
   vm::Vm faulty(program, faulty_opts);
-  return diff_between(clean, faulty, opts);
+  DiffResult out;
+  diff_between(clean, faulty, local, out, TraceRecorder{out});
+  return out;
+}
+
+ColumnDiff diff_run_columnar(
+    std::shared_ptr<const vm::DecodedProgram> program,
+    const DiffOptions& opts) {
+  DiffOptions local = opts;
+  local.base.program = program.get();
+  auto [clean_opts, faulty_opts] = split_options(local);
+  vm::Vm clean(*program, clean_opts);
+  vm::Vm faulty(*program, faulty_opts);
+  ColumnDiff out;
+  out.faulty = trace::ColumnTrace(std::move(program));
+  diff_between(clean, faulty, local, out, ColumnRecorder{out});
+  return out;
 }
 
 }  // namespace ft::acl

@@ -7,14 +7,28 @@
 // fault alters control flow (a corrupted branch) or the faulty run traps.
 // diff_run() steps both VMs in lockstep, records the faulty stream, the
 // matching clean result values, and the first divergence point if any.
+//
+// Two result substrates:
+//  * DiffResult      — array-of-structs trace::Trace faulty stream; produced
+//                      by both diff_run overloads. The module overload (the
+//                      legacy-engine A/B reference) only produces this form.
+//  * ColumnDiff      — columnar trace::ColumnTrace faulty stream, produced
+//                      by diff_run_columnar on the decoded engine. Same
+//                      clean-side columns and divergence semantics; the ACL
+//                      sweep and the pattern detectors consume it through
+//                      TraceView without materializing records. This is
+//                      what core::AnalysisSession::patterns_for runs on.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "ir/module.h"
 #include "trace/collector.h"
+#include "trace/column.h"
+#include "util/bitset.h"
 #include "vm/fault_plan.h"
 #include "vm/interp.h"
 
@@ -24,6 +38,10 @@ struct DiffOptions {
   vm::VmOptions base;     // seed / mpi / budget; observer & fault ignored
   vm::FaultPlan fault;    // the injection for the faulty run
   std::size_t max_records = 0;  // cap on materialized records (0 = no cap)
+  /// Expected record count (e.g. the session's golden-trace size): the
+  /// faulty stream and the per-record clean columns reserve this up front
+  /// instead of growing through a dozen reallocations.
+  std::size_t reserve_records = 0;
 };
 
 inline constexpr std::uint64_t kNoIndex = ~std::uint64_t{0};
@@ -34,7 +52,7 @@ struct DiffResult {
   // Clean operand bits per record (aligned with DynInstr::op_bits); lets
   // region-boundary analyses compare input values between the two runs.
   std::vector<std::array<std::uint64_t, vm::kMaxTracedOps>> clean_op_bits;
-  std::vector<bool> differs;               // result differs at record i
+  util::Bitset differs;                    // result differs at record i
   std::uint64_t divergence_index = kNoIndex;  // first control-flow divergence
   bool truncated = false;                  // record cap reached
   vm::RunResult faulty_result;             // full-run outcomes (always valid)
@@ -49,6 +67,30 @@ struct DiffResult {
   }
 };
 
+/// Columnar differential result: identical semantics to DiffResult with the
+/// faulty stream on the columnar substrate (~4x smaller resident).
+struct ColumnDiff {
+  trace::ColumnTrace faulty;
+  std::vector<std::uint64_t> clean_bits;
+  std::vector<std::array<std::uint64_t, vm::kMaxTracedOps>> clean_op_bits;
+  util::Bitset differs;
+  std::uint64_t divergence_index = kNoIndex;
+  bool truncated = false;
+  vm::RunResult faulty_result;
+  vm::RunResult clean_result;
+
+  [[nodiscard]] bool diverged() const noexcept {
+    return divergence_index != kNoIndex;
+  }
+  [[nodiscard]] std::size_t usable_records() const noexcept {
+    return clean_bits.size();
+  }
+  /// The usable lockstep prefix as a zero-copy view.
+  [[nodiscard]] trace::TraceView records() const noexcept {
+    return faulty.view().prefix(usable_records());
+  }
+};
+
 [[nodiscard]] DiffResult diff_run(const ir::Module& m, const DiffOptions& opts);
 
 /// Same lockstep diff on the decoded engine: both VMs execute the shared
@@ -57,5 +99,13 @@ struct DiffResult {
 /// are bit-identical to the module overload.
 [[nodiscard]] DiffResult diff_run(const vm::DecodedProgram& program,
                                   const DiffOptions& opts);
+
+/// Columnar lockstep diff on the decoded engine. The faulty stream lands in
+/// a ColumnTrace that shares `program` (the shared_ptr keeps the decoded
+/// form alive past the call); records materialize bit-identically to the
+/// diff_run overloads (pinned by tests/column_trace_test.cpp).
+[[nodiscard]] ColumnDiff diff_run_columnar(
+    std::shared_ptr<const vm::DecodedProgram> program,
+    const DiffOptions& opts);
 
 }  // namespace ft::acl

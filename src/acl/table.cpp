@@ -72,8 +72,10 @@ struct CorruptInfo {
 /// Shared forward sweep. `write_corrupt(i, record)` decides whether the
 /// value committed by record i is corrupted; everything else (liveness,
 /// kills, series) is identical between value-diff and taint modes.
-template <typename WriteCorruptFn, typename CleanBitsFn>
-AclSeries sweep(std::span<const vm::DynInstr> records,
+/// `Range` is any ordered record range — a DynInstr span or a columnar
+/// TraceView (whose cursor materializes records on the fly).
+template <typename Range, typename WriteCorruptFn, typename CleanBitsFn>
+AclSeries sweep(const Range& records,
                 const trace::LocationEvents& events,
                 const WriteCorruptFn& write_corrupt,
                 const CleanBitsFn& clean_bits_of,
@@ -99,9 +101,11 @@ AclSeries sweep(std::span<const vm::DynInstr> records,
   const std::function<bool(vm::Location)> is_corrupted =
       [&corrupted](vm::Location l) { return corrupted.count(l) != 0; };
 
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    const auto& r = records[i];
-
+  // Kept for the end-of-trace kill events (the cursor's buffer is
+  // transient, so the last record is copied out of the loop).
+  vm::DynInstr last{};
+  std::size_t i = 0;
+  for (const vm::DynInstr& r : records) {
     // Verdict for this record's write (also consumed by the inspector; in
     // taint mode computing it advances the taint state, so compute once).
     const bool corrupt = write_corrupt(i, r);
@@ -145,12 +149,12 @@ AclSeries sweep(std::span<const vm::DynInstr> records,
 
     out.count.push_back(static_cast<std::uint32_t>(corrupted.size()));
     out.max_count = std::max(out.max_count, out.count.back());
+    if (++i == records.size()) last = r;
   }
 
   // Locations still corrupted when the stream ends die at the last record
   // (Fig. 3's instruction N).
   if (!records.empty() && !corrupted.empty()) {
-    const auto& last = records.back();
     for (const auto& [loc, info] : corrupted) {
       add_event(last, loc, AclEventKind::KillEndOfTrace, info);
     }
@@ -159,14 +163,12 @@ AclSeries sweep(std::span<const vm::DynInstr> records,
   return out;
 }
 
-}  // namespace
-
-AclSeries build_acl(const DiffResult& diff,
-                    const trace::LocationEvents& events,
-                    vm::Location seed_loc, std::uint64_t seed_index,
-                    SweepInspector* inspector) {
-  const auto records = std::span<const vm::DynInstr>(
-      diff.faulty.records.data(), diff.usable_records());
+/// Value-diff build over either diff substrate.
+template <typename Diff, typename Range>
+AclSeries build_acl_impl(const Diff& diff, const Range& records,
+                         const trace::LocationEvents& events,
+                         vm::Location seed_loc, std::uint64_t seed_index,
+                         SweepInspector* inspector) {
   std::unordered_map<vm::Location, CorruptInfo> init;
   if (seed_loc != vm::kNoLoc) {
     init.emplace(seed_loc, CorruptInfo{seed_index, 0, 0, ir::Type::Void});
@@ -177,9 +179,30 @@ AclSeries build_acl(const DiffResult& diff,
       [&](std::size_t i) { return diff.clean_bits[i]; }, std::move(init),
       inspector);
   if (seed_loc != vm::kNoLoc) {
-    out.first_corruption_index = std::min(out.first_corruption_index, seed_index);
+    out.first_corruption_index =
+        std::min(out.first_corruption_index, seed_index);
   }
   return out;
+}
+
+}  // namespace
+
+AclSeries build_acl(const DiffResult& diff,
+                    const trace::LocationEvents& events,
+                    vm::Location seed_loc, std::uint64_t seed_index,
+                    SweepInspector* inspector) {
+  return build_acl_impl(diff,
+                        std::span<const vm::DynInstr>(
+                            diff.faulty.records.data(), diff.usable_records()),
+                        events, seed_loc, seed_index, inspector);
+}
+
+AclSeries build_acl(const ColumnDiff& diff,
+                    const trace::LocationEvents& events,
+                    vm::Location seed_loc, std::uint64_t seed_index,
+                    SweepInspector* inspector) {
+  return build_acl_impl(diff, diff.records(), events, seed_loc, seed_index,
+                        inspector);
 }
 
 AclSeries build_acl_taint(std::span<const vm::DynInstr> records,

@@ -93,6 +93,15 @@ class SweepInspector {
                                   std::uint64_t seed_index = 0,
                                   SweepInspector* inspector = nullptr);
 
+/// Columnar form: the sweep walks the faulty ColumnTrace through a
+/// TraceView cursor (`events` must be built over diff.records()). Event
+/// streams and series are bit-identical to the DiffResult form.
+[[nodiscard]] AclSeries build_acl(const ColumnDiff& diff,
+                                  const trace::LocationEvents& events,
+                                  vm::Location seed_loc = vm::kNoLoc,
+                                  std::uint64_t seed_index = 0,
+                                  SweepInspector* inspector = nullptr);
+
 /// Taint-mode ACL: location `seed` is corrupted from `seed_index` on (pass
 /// a record span starting at or after the injection); corruption propagates
 /// through operand->result dataflow regardless of values.

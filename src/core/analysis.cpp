@@ -31,11 +31,16 @@ const std::shared_ptr<const vm::RunResult>& AnalysisSession::golden_locked() {
   return golden_;
 }
 
-const std::shared_ptr<const trace::Trace>& AnalysisSession::trace_locked() {
+const std::shared_ptr<const trace::ColumnTrace>&
+AnalysisSession::trace_locked() {
   if (!trace_) {
-    trace::TraceCollector collector;
+    // Direct-emit traced run: the decoded hot loop appends columnar
+    // records itself — no observer, no DynInstr materialization.
+    trace::ColumnTrace sink(program_);
+    if (golden_) sink.reserve(golden_->instructions);
     vm::VmOptions opts = app_.base;
-    opts.observer = &collector;
+    opts.observer = nullptr;  // an observer would win over the sink
+    opts.column_sink = &sink;
     auto run = vm::Vm::run(*program_, opts);
     if (!run.completed()) {
       throw std::runtime_error("traced fault-free run of '" + app_.name +
@@ -44,7 +49,7 @@ const std::shared_ptr<const trace::Trace>& AnalysisSession::trace_locked() {
     if (!golden_) {
       golden_ = std::make_shared<const vm::RunResult>(std::move(run));
     }
-    trace_ = std::make_shared<const trace::Trace>(collector.take());
+    trace_ = std::make_shared<const trace::ColumnTrace>(std::move(sink));
   }
   return trace_;
 }
@@ -52,8 +57,10 @@ const std::shared_ptr<const trace::Trace>& AnalysisSession::trace_locked() {
 const std::shared_ptr<const std::vector<trace::RegionInstance>>&
 AnalysisSession::instances_locked() {
   if (!instances_) {
+    // Columnar fast path: marker opcodes resolve through the pc column, so
+    // segmentation touches no record at all.
     instances_ = std::make_shared<const std::vector<trace::RegionInstance>>(
-        trace::segment_regions(trace_locked()->span()));
+        trace::segment_regions(*trace_locked()));
   }
   return instances_;
 }
@@ -62,7 +69,7 @@ const std::shared_ptr<const trace::LocationEvents>&
 AnalysisSession::events_locked() {
   if (!events_) {
     events_ = std::make_shared<const trace::LocationEvents>(
-        trace::LocationEvents::build(trace_locked()->span()));
+        trace::LocationEvents::build(trace_locked()->view()));
   }
   return events_;
 }
@@ -73,7 +80,8 @@ AnalysisSession::sites_locked(std::uint32_t region_id,
   const auto k = key(region_id, instance);
   if (const auto it = sites_.find(k); it != sites_.end()) return it->second;
   auto sites = std::make_shared<const fault::SiteEnumerationResult>(
-      fault::enumerate_sites_from_trace(*trace_locked(), *instances_locked(),
+      fault::enumerate_sites_from_trace(trace_locked()->view(),
+                                        *instances_locked(),
                                         *events_locked(), region_id,
                                         instance));
   sites_.emplace(k, sites);
@@ -85,7 +93,7 @@ std::shared_ptr<const vm::RunResult> AnalysisSession::golden() {
   return golden_locked();
 }
 
-std::shared_ptr<const trace::Trace> AnalysisSession::golden_trace() {
+std::shared_ptr<const trace::ColumnTrace> AnalysisSession::golden_trace() {
   std::lock_guard lock(mu_);
   return trace_locked();
 }
@@ -106,7 +114,7 @@ AnalysisSession::pattern_rates() {
   std::lock_guard lock(mu_);
   if (!rates_) {
     rates_ = std::make_shared<const patterns::PatternRates>(
-        patterns::measure_rates(trace_locked()->span(), *events_locked()));
+        patterns::measure_rates(trace_locked()->view(), *events_locked()));
   }
   return rates_;
 }
@@ -197,37 +205,55 @@ fault::CampaignResult AnalysisSession::app_campaign(
       golden_run->outputs, app_.verifier, *pool);
 }
 
+std::size_t AnalysisSession::diff_reserve_hint() const {
+  std::lock_guard lock(mu_);
+  // A clean-vs-faulty lockstep stream has exactly one record per golden
+  // instruction until divergence — the right reserve when it is known.
+  return golden_ ? static_cast<std::size_t>(golden_->instructions) : 0;
+}
+
 acl::DiffResult AnalysisSession::diff_with(const vm::FaultPlan& plan,
                                            std::size_t max_records) const {
   acl::DiffOptions opts;
   opts.base = app_.base;
   opts.fault = plan;
   opts.max_records = max_records;
+  opts.reserve_records = diff_reserve_hint();
   return acl::diff_run(*program_, opts);
+}
+
+acl::ColumnDiff AnalysisSession::column_diff_with(
+    const vm::FaultPlan& plan, std::size_t max_records) const {
+  acl::DiffOptions opts;
+  opts.base = app_.base;
+  opts.fault = plan;
+  opts.max_records = max_records;
+  opts.reserve_records = diff_reserve_hint();
+  return acl::diff_run_columnar(program_, opts);
 }
 
 patterns::PatternReport AnalysisSession::patterns_for(
     const vm::FaultPlan& plan, std::size_t max_records) const {
-  const auto diff = diff_with(plan, max_records);
-  const auto events = trace::LocationEvents::build(
-      std::span<const vm::DynInstr>(diff.faulty.records.data(),
-                                    diff.usable_records()));
+  const auto diff = column_diff_with(plan, max_records);
+  const auto events = trace::LocationEvents::build(diff.records());
   patterns::DetectOptions opts;
   if (plan.kind == vm::FaultPlan::Kind::RegionInputMemoryBit) {
     opts.seed_loc = vm::mem_loc(plan.address);
     // Seed at the matching RegionEnter record (where the VM flipped the
-    // word); fall back to 0 if the marker is past the usable prefix.
+    // word); fall back to 0 if the marker is past the usable prefix. The
+    // scan is columnar: opcode and aux resolve through the pc column.
     std::uint32_t count = 0;
-    for (std::size_t i = 0; i < diff.usable_records(); ++i) {
-      const auto& r = diff.faulty.records[i];
-      if (r.op == ir::Opcode::RegionEnter &&
-          static_cast<std::uint32_t>(r.aux) == plan.region_id) {
-        if (count == plan.region_instance) {
-          opts.seed_index = r.index;
-          break;
-        }
-        count++;
+    for (std::size_t row = 0; row < diff.usable_records(); ++row) {
+      if (diff.faulty.opcode_at(row) != ir::Opcode::RegionEnter ||
+          static_cast<std::uint32_t>(diff.faulty.aux_at(row)) !=
+              plan.region_id) {
+        continue;
       }
+      if (count == plan.region_instance) {
+        opts.seed_index = row;
+        break;
+      }
+      count++;
     }
   }
   return patterns::detect_patterns(diff, events, opts);

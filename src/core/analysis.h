@@ -82,9 +82,14 @@ class AnalysisSession {
   // --- golden artifacts (lazy, cached, thread-safe) -------------------------
   /// Fault-free run (no tracing). Throws if the fault-free run traps.
   std::shared_ptr<const vm::RunResult> golden();
-  /// Fault-free traced run. Costs memory proportional to the dynamic
-  /// instruction count; dropped with invalidate_trace().
-  std::shared_ptr<const trace::Trace> golden_trace();
+  /// Fault-free traced run on the columnar substrate (trace/column.h): the
+  /// decoded engine emits records straight into the ColumnTrace, and every
+  /// downstream golden artifact (region instances, location events, site
+  /// enumerations, DDDGs, IO classification, pattern rates) reads it
+  /// through TraceView spans. Costs ~20 bytes + 8 per recorded operand per
+  /// dynamic instruction (vs 128 for a DynInstr vector); dropped with
+  /// invalidate_trace().
+  std::shared_ptr<const trace::ColumnTrace> golden_trace();
   std::shared_ptr<const std::vector<trace::RegionInstance>> region_instances();
   std::shared_ptr<const trace::LocationEvents> golden_events();
   /// Fault-free pattern rates of the whole program (Table IV features).
@@ -123,17 +128,26 @@ class AnalysisSession {
       const fault::CampaignConfig& config);
 
   // --- per-plan analyses (stateless; safe from any thread) ------------------
-  /// Differential run under one fault plan.
+  /// Differential run under one fault plan (array-of-structs faulty
+  /// stream; prefer column_diff_with for bulk analyses).
   [[nodiscard]] acl::DiffResult diff_with(const vm::FaultPlan& plan,
                                           std::size_t max_records = 0) const;
-  /// ACL series + pattern detection for one fault plan.
+  /// Differential run on the columnar substrate (~4x smaller faulty
+  /// stream, direct column appends instead of 128-byte record pushes).
+  [[nodiscard]] acl::ColumnDiff column_diff_with(
+      const vm::FaultPlan& plan, std::size_t max_records = 0) const;
+  /// ACL series + pattern detection for one fault plan. Runs on the
+  /// columnar differential pipeline.
   [[nodiscard]] patterns::PatternReport patterns_for(
       const vm::FaultPlan& plan, std::size_t max_records = 0) const;
 
  private:
   // All *_locked helpers assume mu_ is held and may compute + fill caches.
   const std::shared_ptr<const vm::RunResult>& golden_locked();
-  const std::shared_ptr<const trace::Trace>& trace_locked();
+  const std::shared_ptr<const trace::ColumnTrace>& trace_locked();
+  /// Record-count reserve hint for differential runs: the golden
+  /// instruction count when the golden run is cached, else 0.
+  [[nodiscard]] std::size_t diff_reserve_hint() const;
   const std::shared_ptr<const std::vector<trace::RegionInstance>>&
   instances_locked();
   const std::shared_ptr<const trace::LocationEvents>& events_locked();
@@ -150,7 +164,7 @@ class AnalysisSession {
   std::shared_ptr<const vm::DecodedProgram> program_;
   mutable std::mutex mu_;
   std::shared_ptr<const vm::RunResult> golden_;
-  std::shared_ptr<const trace::Trace> trace_;
+  std::shared_ptr<const trace::ColumnTrace> trace_;
   std::shared_ptr<const std::vector<trace::RegionInstance>> instances_;
   std::shared_ptr<const trace::LocationEvents> events_;
   std::shared_ptr<const patterns::PatternRates> rates_;

@@ -7,7 +7,10 @@
 
 namespace ft::dddg {
 
-Graph Graph::build(std::span<const vm::DynInstr> slice) {
+/// Shared construction over any ordered record range (a DynInstr span or a
+/// columnar TraceView).
+template <typename Range>
+Graph Graph::build_impl(const Range& slice) {
   Graph g;
   // Last in-slice producer node of each location.
   std::unordered_map<vm::Location, std::uint32_t> producer;
@@ -65,6 +68,12 @@ Graph Graph::build(std::span<const vm::DynInstr> slice) {
   }
   return g;
 }
+
+Graph Graph::build(std::span<const vm::DynInstr> slice) {
+  return build_impl(slice);
+}
+
+Graph Graph::build(trace::TraceView slice) { return build_impl(slice); }
 
 std::vector<std::uint32_t> Graph::roots() const {
   std::vector<std::uint32_t> out;

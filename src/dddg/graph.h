@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "trace/column.h"
 #include "vm/observer.h"
 
 namespace ft::dddg {
@@ -39,6 +40,8 @@ class Graph {
  public:
   /// Build the DDDG of a record slice (typically one region instance body).
   static Graph build(std::span<const vm::DynInstr> slice);
+  /// Columnar form: identical graph from a TraceView slice.
+  static Graph build(trace::TraceView slice);
 
   [[nodiscard]] const std::vector<Node>& nodes() const noexcept {
     return nodes_;
@@ -59,6 +62,9 @@ class Graph {
   [[nodiscard]] std::vector<std::uint32_t> out_degrees() const;
 
  private:
+  template <typename Range>
+  static Graph build_impl(const Range& slice);
+
   std::vector<Node> nodes_;
   std::vector<Edge> edges_;
 };

@@ -17,8 +17,13 @@ std::uint64_t SitePopulation::input_bits() const {
   return n;
 }
 
-SiteEnumerationResult enumerate_sites_from_trace(
-    const trace::Trace& tr, std::span<const trace::RegionInstance> instances,
+namespace {
+
+/// Shared enumeration over either trace substrate; `tr` must expose size()
+/// and slice(begin, end) over the full golden trace.
+template <typename Trace>
+SiteEnumerationResult enumerate_from_trace_impl(
+    const Trace& tr, std::span<const trace::RegionInstance> instances,
     const trace::LocationEvents& events, std::uint32_t region_id,
     std::uint32_t instance) {
   SiteEnumerationResult out;
@@ -32,7 +37,7 @@ SiteEnumerationResult enumerate_sites_from_trace(
 
   // Internal sites: every value committed inside the instance body.
   const auto slice = tr.slice(inst->body_begin(), inst->body_end());
-  for (const auto& r : slice) {
+  for (const vm::DynInstr& r : slice) {
     if (r.result_loc == vm::kNoLoc) continue;
     const ir::Type t = r.op == ir::Opcode::Store ? r.op_type[0] : r.type;
     const auto width = bit_width(t);
@@ -48,6 +53,24 @@ SiteEnumerationResult enumerate_sites_from_trace(
     out.sites.input.push_back(InputSite{vm::loc_address(in.loc), width});
   }
   return out;
+}
+
+}  // namespace
+
+SiteEnumerationResult enumerate_sites_from_trace(
+    const trace::Trace& tr, std::span<const trace::RegionInstance> instances,
+    const trace::LocationEvents& events, std::uint32_t region_id,
+    std::uint32_t instance) {
+  return enumerate_from_trace_impl(tr, instances, events, region_id,
+                                   instance);
+}
+
+SiteEnumerationResult enumerate_sites_from_trace(
+    trace::TraceView tr, std::span<const trace::RegionInstance> instances,
+    const trace::LocationEvents& events, std::uint32_t region_id,
+    std::uint32_t instance) {
+  return enumerate_from_trace_impl(tr, instances, events, region_id,
+                                   instance);
 }
 
 SiteEnumerationResult enumerate_sites(const ir::Module& m,

@@ -69,6 +69,12 @@ struct SiteEnumerationResult {
     const trace::LocationEvents& events, std::uint32_t region_id,
     std::uint32_t instance);
 
+/// Columnar form: `tr` is the full-trace view of the golden ColumnTrace.
+[[nodiscard]] SiteEnumerationResult enumerate_sites_from_trace(
+    trace::TraceView tr, std::span<const trace::RegionInstance> instances,
+    const trace::LocationEvents& events, std::uint32_t region_id,
+    std::uint32_t instance);
+
 /// Enumerate internal sites over the whole program (every committed value
 /// of the full run) — the population for whole-application success rates
 /// (Tables III and IV). Input sites are left empty.

@@ -17,9 +17,9 @@ namespace {
 
 class Detector final : public acl::SweepInspector {
  public:
-  Detector(const acl::DiffResult& diff, const DetectOptions& opts,
-           PatternReport& report)
-      : diff_(diff), opts_(opts), report_(report) {}
+  Detector(const std::vector<std::uint64_t>& clean_bits,
+           const DetectOptions& opts, PatternReport& report)
+      : clean_bits_(clean_bits), opts_(opts), report_(report) {}
 
   void on_record(const vm::DynInstr& r, std::size_t pos, bool result_corrupt,
                  const std::function<bool(vm::Location)>& corrupted) override {
@@ -75,7 +75,7 @@ class Detector final : public acl::SweepInspector {
   }
 
   void track_repeated_addition(const vm::DynInstr& r, std::size_t pos) {
-    const double mag = acl::error_magnitude(diff_.clean_bits[pos],
+    const double mag = acl::error_magnitude(clean_bits_[pos],
                                             r.result_bits, r.op_type[0]);
     auto& h = ra_history_[r.result_loc];
     if (h.last_magnitude > 0.0 && mag < h.last_magnitude) {
@@ -102,20 +102,21 @@ class Detector final : public acl::SweepInspector {
     unsigned decreases = 0;
   };
 
-  const acl::DiffResult& diff_;
+  const std::vector<std::uint64_t>& clean_bits_;
   const DetectOptions& opts_;
   PatternReport& report_;
   DefTracker defs_;
   std::unordered_map<vm::Location, RaHistory> ra_history_;
 };
 
-}  // namespace
-
-PatternReport detect_patterns(const acl::DiffResult& diff,
-                              const trace::LocationEvents& events,
-                              const DetectOptions& opts) {
+/// Substrate-agnostic core: `diff` is DiffResult or ColumnDiff; build_acl
+/// resolves to the matching sweep.
+template <typename Diff>
+PatternReport detect_patterns_impl(const Diff& diff,
+                                   const trace::LocationEvents& events,
+                                   const DetectOptions& opts) {
   PatternReport report;
-  Detector detector(diff, opts, report);
+  Detector detector(diff.clean_bits, opts, report);
   report.acl =
       acl::build_acl(diff, events, opts.seed_loc, opts.seed_index, &detector);
 
@@ -138,6 +139,20 @@ PatternReport detect_patterns(const acl::DiffResult& diff,
     }
   }
   return report;
+}
+
+}  // namespace
+
+PatternReport detect_patterns(const acl::DiffResult& diff,
+                              const trace::LocationEvents& events,
+                              const DetectOptions& opts) {
+  return detect_patterns_impl(diff, events, opts);
+}
+
+PatternReport detect_patterns(const acl::ColumnDiff& diff,
+                              const trace::LocationEvents& events,
+                              const DetectOptions& opts) {
+  return detect_patterns_impl(diff, events, opts);
 }
 
 }  // namespace ft::patterns

@@ -69,4 +69,10 @@ struct DetectOptions {
                                             const trace::LocationEvents& events,
                                             const DetectOptions& opts = {});
 
+/// Columnar form (`events` built over diff.records()); counts, instances
+/// and the underlying ACL series are bit-identical to the DiffResult form.
+[[nodiscard]] PatternReport detect_patterns(const acl::ColumnDiff& diff,
+                                            const trace::LocationEvents& events,
+                                            const DetectOptions& opts = {});
+
 }  // namespace ft::patterns

@@ -6,8 +6,12 @@
 
 namespace ft::patterns {
 
-PatternRates measure_rates(std::span<const vm::DynInstr> records,
-                           const trace::LocationEvents& events) {
+namespace {
+
+/// Shared measurement over any ordered record range.
+template <typename Range>
+PatternRates measure_rates_range(const Range& records,
+                                 const trace::LocationEvents& events) {
   PatternRates out;
   out.total_instructions = records.size();
   if (records.empty()) return out;
@@ -68,6 +72,18 @@ PatternRates measure_rates(std::span<const vm::DynInstr> records,
   out.rate[pattern_index(PatternKind::DataOverwriting)] =
       static_cast<double>(overwrites) / w;
   return out;
+}
+
+}  // namespace
+
+PatternRates measure_rates(std::span<const vm::DynInstr> records,
+                           const trace::LocationEvents& events) {
+  return measure_rates_range(records, events);
+}
+
+PatternRates measure_rates(trace::TraceView records,
+                           const trace::LocationEvents& events) {
+  return measure_rates_range(records, events);
 }
 
 }  // namespace ft::patterns

@@ -40,4 +40,8 @@ struct PatternRates {
 [[nodiscard]] PatternRates measure_rates(std::span<const vm::DynInstr> records,
                                          const trace::LocationEvents& events);
 
+/// Columnar form: identical rates from a TraceView.
+[[nodiscard]] PatternRates measure_rates(trace::TraceView records,
+                                         const trace::LocationEvents& events);
+
 }  // namespace ft::patterns

@@ -15,9 +15,13 @@ bool RegionIo::is_output(vm::Location l) const {
                      [l](const IoValue& v) { return v.loc == l; });
 }
 
-RegionIo classify_io(std::span<const vm::DynInstr> slice,
-                     const trace::LocationEvents& whole_trace_events,
-                     const trace::RegionInstance& inst) {
+namespace {
+
+/// Shared classification over any ordered record range.
+template <typename Range>
+RegionIo classify_io_range(const Range& slice,
+                           const trace::LocationEvents& whole_trace_events,
+                           const trace::RegionInstance& inst) {
   RegionIo io;
   std::unordered_set<vm::Location> written, read_first, seen;
   std::unordered_map<vm::Location, IoValue> last_write;
@@ -68,6 +72,20 @@ RegionIo classify_io(std::span<const vm::DynInstr> slice,
   std::sort(io.outputs.begin(), io.outputs.end(), by_loc);
   std::sort(io.internals.begin(), io.internals.end());
   return io;
+}
+
+}  // namespace
+
+RegionIo classify_io(std::span<const vm::DynInstr> slice,
+                     const trace::LocationEvents& whole_trace_events,
+                     const trace::RegionInstance& inst) {
+  return classify_io_range(slice, whole_trace_events, inst);
+}
+
+RegionIo classify_io(trace::TraceView slice,
+                     const trace::LocationEvents& whole_trace_events,
+                     const trace::RegionInstance& inst) {
+  return classify_io_range(slice, whole_trace_events, inst);
 }
 
 std::vector<IoValue> memory_inputs(const RegionIo& io) {

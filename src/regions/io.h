@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "trace/column.h"
 #include "trace/events.h"
 #include "trace/segment.h"
 #include "vm/observer.h"
@@ -46,6 +47,11 @@ struct RegionIo {
 [[nodiscard]] RegionIo classify_io(
     std::span<const vm::DynInstr> slice,
     const trace::LocationEvents& whole_trace_events,
+    const trace::RegionInstance& inst);
+
+/// Columnar form: identical classification from a TraceView slice.
+[[nodiscard]] RegionIo classify_io(
+    trace::TraceView slice, const trace::LocationEvents& whole_trace_events,
     const trace::RegionInstance& inst);
 
 /// Only the memory-resident inputs (registers filtered out) — these are the

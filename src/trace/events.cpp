@@ -4,13 +4,154 @@
 
 namespace ft::trace {
 
-LocationEvents LocationEvents::build(std::span<const vm::DynInstr> records) {
+// ---------------------------------------------------------------------------
+// CSR implementation
+// ---------------------------------------------------------------------------
+
+template <class Range>
+LocationEvents LocationEvents::build_range(const Range& records,
+                                           std::size_t num_records) {
   LocationEvents ev;
-  // Size the bucket array up front: multi-million-record traces otherwise
-  // rehash the map a dozen times while it grows incrementally. The record
-  // count is the right hint — locations repeat heavily (loops), so the
-  // distinct-location count stays at or below it in practice.
-  ev.map_.reserve(records.size());
+  // Count pass: one walk of the records (a TraceView materializes each
+  // record exactly once here) assigns dense slots, counts per-location
+  // reads/writes, and flattens every event to a (slot, index) triple so
+  // the fill pass needs no second walk and no hash lookups. The slot map
+  // is the only hashed structure; it holds one entry per distinct
+  // location, so sizing it from a fraction of the record count keeps the
+  // bucket array proportionate (locations repeat heavily in loops).
+  ev.slot_.reserve(num_records / 16 + 16);
+  struct FlatEvent {
+    std::uint64_t index;
+    std::uint32_t slot;
+    bool is_write;
+  };
+  std::vector<FlatEvent> flat;
+  flat.reserve(num_records * 2);
+  std::vector<std::uint64_t> read_count, write_count;
+  const auto slot_of = [&](vm::Location l) -> std::uint32_t {
+    const auto [it, inserted] =
+        ev.slot_.try_emplace(l, static_cast<std::uint32_t>(ev.slot_.size()));
+    if (inserted) {
+      read_count.push_back(0);
+      write_count.push_back(0);
+    }
+    return it->second;
+  };
+  for (const vm::DynInstr& r : records) {
+    for (unsigned i = 0; i < r.nops; ++i) {
+      if (r.op_loc[i] != vm::kNoLoc) {
+        const auto s = slot_of(r.op_loc[i]);
+        read_count[s]++;
+        flat.push_back({r.index, s, /*is_write=*/false});
+      }
+    }
+    if (r.result_loc != vm::kNoLoc) {
+      const auto s = slot_of(r.result_loc);
+      write_count[s]++;
+      flat.push_back({r.index, s, /*is_write=*/true});
+    }
+  }
+
+  // Offsets by exclusive prefix sum; the fill reuses the count arrays as
+  // write cursors.
+  const std::size_t nloc = ev.slot_.size();
+  ev.read_off_.assign(nloc + 1, 0);
+  ev.write_off_.assign(nloc + 1, 0);
+  for (std::size_t s = 0; s < nloc; ++s) {
+    ev.read_off_[s + 1] = ev.read_off_[s] + read_count[s];
+    ev.write_off_[s + 1] = ev.write_off_[s] + write_count[s];
+    read_count[s] = ev.read_off_[s];
+    write_count[s] = ev.write_off_[s];
+  }
+  ev.reads_.resize(ev.read_off_.back());
+  ev.writes_.resize(ev.write_off_.back());
+
+  // Fill pass over the flat events. Dynamic order leaves every span sorted.
+  for (const auto& e : flat) {
+    if (e.is_write) {
+      ev.writes_[write_count[e.slot]++] = e.index;
+    } else {
+      ev.reads_[read_count[e.slot]++] = e.index;
+    }
+  }
+  return ev;
+}
+
+LocationEvents LocationEvents::build(std::span<const vm::DynInstr> records) {
+  return build_range(records, records.size());
+}
+
+LocationEvents LocationEvents::build(TraceView records) {
+  return build_range(records, records.size());
+}
+
+std::span<const std::uint64_t> LocationEvents::span_of(
+    vm::Location l, const std::vector<std::uint64_t>& seq,
+    const std::vector<std::uint64_t>& off) const {
+  const auto it = slot_.find(l);
+  if (it == slot_.end()) return {};
+  return {seq.data() + off[it->second],
+          static_cast<std::size_t>(off[it->second + 1] - off[it->second])};
+}
+
+namespace {
+/// First index strictly greater than `index` in a sorted span, kNoIndex
+/// when none.
+std::uint64_t first_after(std::span<const std::uint64_t> seq,
+                          std::uint64_t index) {
+  const auto it = std::upper_bound(seq.begin(), seq.end(), index);
+  return it == seq.end() ? LocationEvents::kNoIndex : *it;
+}
+}  // namespace
+
+std::uint64_t LocationEvents::next_read_after(vm::Location l,
+                                              std::uint64_t index) const {
+  return first_after(span_of(l, reads_, read_off_), index);
+}
+
+std::uint64_t LocationEvents::next_write_after(vm::Location l,
+                                               std::uint64_t index) const {
+  return first_after(span_of(l, writes_, write_off_), index);
+}
+
+bool LocationEvents::touched_after(vm::Location l, std::uint64_t index) const {
+  const auto it = slot_.find(l);
+  if (it == slot_.end()) return false;
+  const auto s = it->second;
+  const std::span<const std::uint64_t> reads{
+      reads_.data() + read_off_[s],
+      static_cast<std::size_t>(read_off_[s + 1] - read_off_[s])};
+  const std::span<const std::uint64_t> writes{
+      writes_.data() + write_off_[s],
+      static_cast<std::size_t>(write_off_[s + 1] - write_off_[s])};
+  // Spans are sorted: anything after `index` shows in the last element.
+  return (!reads.empty() && reads.back() > index) ||
+         (!writes.empty() && writes.back() > index);
+}
+
+std::uint64_t LocationEvents::read_before_overwrite_after(
+    vm::Location l, std::uint64_t index) const {
+  const auto nr = next_read_after(l, index);
+  if (nr == kNoIndex) return kNoIndex;
+  const auto nw = next_write_after(l, index);
+  // A write strictly before the read kills the value first. At equal
+  // indices the read wins: one record consumes its operands before it
+  // commits its result.
+  return (nw != kNoIndex && nw < nr) ? kNoIndex : nr;
+}
+
+// ---------------------------------------------------------------------------
+// Legacy map-of-vectors reference implementation
+// ---------------------------------------------------------------------------
+
+LegacyLocationEvents LegacyLocationEvents::build(
+    std::span<const vm::DynInstr> records) {
+  LegacyLocationEvents ev;
+  // Bucket hint: locations repeat heavily (loops), so the distinct count is
+  // a small fraction of the record count — reserving one bucket per record
+  // made the empty bucket array dwarf the events themselves on
+  // multi-million-record traces.
+  ev.map_.reserve(records.size() / 16 + 16);
   for (const auto& r : records) {
     for (unsigned i = 0; i < r.nops; ++i) {
       if (r.op_loc[i] != vm::kNoLoc) {
@@ -26,7 +167,7 @@ LocationEvents LocationEvents::build(std::span<const vm::DynInstr> records) {
 
 namespace {
 /// First event with index strictly greater than `index`.
-std::vector<LocEvent>::const_iterator first_after(
+std::vector<LocEvent>::const_iterator first_event_after(
     const std::vector<LocEvent>& evs, std::uint64_t index) {
   return std::upper_bound(
       evs.begin(), evs.end(), index,
@@ -34,37 +175,38 @@ std::vector<LocEvent>::const_iterator first_after(
 }
 }  // namespace
 
-std::uint64_t LocationEvents::next_read_after(vm::Location l,
-                                              std::uint64_t index) const {
+std::uint64_t LegacyLocationEvents::next_read_after(
+    vm::Location l, std::uint64_t index) const {
   const auto* evs = events(l);
   if (!evs) return kNoIndex;
-  for (auto it = first_after(*evs, index); it != evs->end(); ++it) {
+  for (auto it = first_event_after(*evs, index); it != evs->end(); ++it) {
     if (!it->is_write) return it->index;
   }
   return kNoIndex;
 }
 
-std::uint64_t LocationEvents::next_write_after(vm::Location l,
-                                               std::uint64_t index) const {
+std::uint64_t LegacyLocationEvents::next_write_after(
+    vm::Location l, std::uint64_t index) const {
   const auto* evs = events(l);
   if (!evs) return kNoIndex;
-  for (auto it = first_after(*evs, index); it != evs->end(); ++it) {
+  for (auto it = first_event_after(*evs, index); it != evs->end(); ++it) {
     if (it->is_write) return it->index;
   }
   return kNoIndex;
 }
 
-bool LocationEvents::touched_after(vm::Location l, std::uint64_t index) const {
+bool LegacyLocationEvents::touched_after(vm::Location l,
+                                         std::uint64_t index) const {
   const auto* evs = events(l);
   if (!evs) return false;
-  return first_after(*evs, index) != evs->end();
+  return first_event_after(*evs, index) != evs->end();
 }
 
-std::uint64_t LocationEvents::read_before_overwrite_after(
+std::uint64_t LegacyLocationEvents::read_before_overwrite_after(
     vm::Location l, std::uint64_t index) const {
   const auto* evs = events(l);
   if (!evs) return kNoIndex;
-  for (auto it = first_after(*evs, index); it != evs->end(); ++it) {
+  for (auto it = first_event_after(*evs, index); it != evs->end(); ++it) {
     if (it->is_write) return kNoIndex;
     return it->index;  // first post-index event is a read
   }

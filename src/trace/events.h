@@ -1,7 +1,20 @@
 // Per-location event index: for every location touched by a trace, the
-// ordered list of reads and writes. This is the "will this value be
+// ordered reads and writes of it. This is the "will this value be
 // referenced again?" oracle behind the ACL table's liveness (§III-C) and
 // the input/output classification of code regions (§III-B).
+//
+// LocationEvents is a flat CSR index built in one count-then-fill pass:
+// locations hash to dense slots, and each slot owns a contiguous span of a
+// single sorted read-index array and a single sorted write-index array.
+// Liveness queries (next_read_after / next_write_after / touched_after /
+// read_before_overwrite_after) are then one hash lookup plus a binary
+// search over the location's span — the map-of-vectors implementation
+// paid the lookup plus a linear scan over interleaved events, and its
+// per-location vector headers tripled the resident size.
+//
+// LegacyLocationEvents keeps that map-of-vectors builder as the A/B
+// reference; tests/column_trace_test.cpp pins the two implementations
+// query-by-query.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "trace/column.h"
 #include "vm/observer.h"
 
 namespace ft::trace {
@@ -20,16 +34,12 @@ struct LocEvent {
 
 class LocationEvents {
  public:
-  /// Build the index from a record span. Reads are operand locations;
+  /// Build the index from a record range. Reads are operand locations;
   /// writes are result locations (register defs and memory stores).
   static LocationEvents build(std::span<const vm::DynInstr> records);
+  static LocationEvents build(TraceView records);
 
-  [[nodiscard]] const std::vector<LocEvent>* events(vm::Location l) const {
-    const auto it = map_.find(l);
-    return it == map_.end() ? nullptr : &it->second;
-  }
-
-  /// Index of the last read of `l` strictly after `index`; kNoIndex if none.
+  /// Index of the first read of `l` strictly after `index`; kNoIndex if none.
   [[nodiscard]] std::uint64_t next_read_after(vm::Location l,
                                               std::uint64_t index) const;
   /// Index of the next write to `l` strictly after `index`; kNoIndex if none.
@@ -44,6 +54,60 @@ class LocationEvents {
 
   /// First event index of `l` at or after `index` that is a read occurring
   /// before any intervening write ("value flows out"), kNoIndex otherwise.
+  /// A read and a write at the same index order read-first (operands are
+  /// consumed before the result commits).
+  [[nodiscard]] std::uint64_t read_before_overwrite_after(
+      vm::Location l, std::uint64_t index) const;
+
+  [[nodiscard]] std::size_t num_locations() const noexcept {
+    return slot_.size();
+  }
+  [[nodiscard]] std::size_t num_events() const noexcept {
+    return reads_.size() + writes_.size();
+  }
+
+  static constexpr std::uint64_t kNoIndex = ~std::uint64_t{0};
+
+ private:
+  template <class Range>
+  static LocationEvents build_range(const Range& records,
+                                    std::size_t num_records);
+
+  /// Events of `l` in `seq` (reads_ or writes_): the slot's span.
+  [[nodiscard]] std::span<const std::uint64_t> span_of(
+      vm::Location l, const std::vector<std::uint64_t>& seq,
+      const std::vector<std::uint64_t>& off) const;
+
+  std::unordered_map<vm::Location, std::uint32_t> slot_;  // loc -> dense id
+  // CSR arrays: slot s owns reads_[read_off_[s], read_off_[s+1]) and
+  // writes_[write_off_[s], write_off_[s+1]), each sorted by construction
+  // (records are scanned in dynamic order).
+  std::vector<std::uint64_t> read_off_;
+  std::vector<std::uint64_t> write_off_;
+  std::vector<std::uint64_t> reads_;
+  std::vector<std::uint64_t> writes_;
+};
+
+/// The pre-CSR map-of-vectors implementation, kept as the A/B reference
+/// for the flat index (same queries, same results, measurably slower and
+/// larger). Not used by any analysis path.
+class LegacyLocationEvents {
+ public:
+  static LegacyLocationEvents build(std::span<const vm::DynInstr> records);
+
+  [[nodiscard]] const std::vector<LocEvent>* events(vm::Location l) const {
+    const auto it = map_.find(l);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] std::uint64_t next_read_after(vm::Location l,
+                                              std::uint64_t index) const;
+  [[nodiscard]] std::uint64_t next_write_after(vm::Location l,
+                                               std::uint64_t index) const;
+  [[nodiscard]] bool read_after(vm::Location l, std::uint64_t index) const {
+    return next_read_after(l, index) != kNoIndex;
+  }
+  [[nodiscard]] bool touched_after(vm::Location l, std::uint64_t index) const;
   [[nodiscard]] std::uint64_t read_before_overwrite_after(
       vm::Location l, std::uint64_t index) const;
 

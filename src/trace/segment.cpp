@@ -44,6 +44,23 @@ std::vector<RegionInstance> segment_regions(
   return seg.take();
 }
 
+std::vector<RegionInstance> segment_regions(const ColumnTrace& trace) {
+  // The segmenter only reads index/op/aux, and all three are cheap columnar
+  // lookups — feed it skeleton records for the marker rows (plus the final
+  // row, so finish() closes crashed regions at the right index).
+  RegionSegmenter seg;
+  vm::DynInstr d;
+  for (std::size_t row = 0; row < trace.size(); ++row) {
+    const auto op = trace.opcode_at(row);
+    if (!ir::is_region_marker(op) && row + 1 != trace.size()) continue;
+    d.index = row;
+    d.op = op;
+    d.aux = trace.aux_at(row);
+    seg.on_instruction(d);
+  }
+  return seg.take();
+}
+
 std::vector<RegionInstance> instances_of(std::span<const RegionInstance> all,
                                          std::uint32_t region_id) {
   std::vector<RegionInstance> out;

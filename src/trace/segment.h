@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "trace/collector.h"
+#include "trace/column.h"
 #include "vm/observer.h"
 
 namespace ft::trace {
@@ -30,6 +31,8 @@ struct RegionInstance {
   [[nodiscard]] std::uint64_t body_length() const noexcept {
     return exit_index > enter_index ? exit_index - enter_index - 1 : 0;
   }
+
+  bool operator==(const RegionInstance&) const = default;
 };
 
 /// Streaming segmenter. Feed records (possibly via the VM observer hook);
@@ -63,6 +66,12 @@ class RegionSegmenter final : public vm::ExecObserver {
 /// Post-hoc segmentation of a materialized trace.
 [[nodiscard]] std::vector<RegionInstance> segment_regions(
     std::span<const vm::DynInstr> records);
+
+/// Columnar fast path: only marker rows are touched — the opcode of every
+/// record is a static lookup through the pc column, so no record is
+/// materialized at all.
+[[nodiscard]] std::vector<RegionInstance> segment_regions(
+    const ColumnTrace& trace);
 
 /// All instances of one region, in dynamic order.
 [[nodiscard]] std::vector<RegionInstance> instances_of(

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <limits>
 
+#include "trace/column.h"
 #include "util/bits.h"
 
 namespace ft::vm {
@@ -73,6 +74,11 @@ Vm::Vm(const ir::Module& m, VmOptions opts)
   assert(m.laid_out() && "module must be laid out before execution");
   assert((!prog_ || &prog_->module() == &m) &&
          "VmOptions::program must be decoded from the module being run");
+  assert((!opts_.column_sink || prog_) &&
+         "VmOptions::column_sink requires the decoded engine");
+  assert((!opts_.column_sink || (&opts_.column_sink->program() == prog_ &&
+                                 opts_.column_sink->empty())) &&
+         "column sink must be empty and built over the program being run");
   init_memory(m);
 
   if (prog_) {
@@ -579,9 +585,11 @@ Vm::Status Vm::step_decoded(DynInstr* out) {
       break;
     }
     case Opcode::Gep: {
+      // Unsigned multiply: a fault-corrupted index can overflow, and two's
+      // complement wraparound (not signed-overflow UB) is the semantic all
+      // three engine copies share.
       const std::uint64_t base = a.bits;
-      const auto idx = static_cast<std::int64_t>(b.bits);
-      result = base + static_cast<std::uint64_t>(idx * ins.aux);
+      result = base + b.bits * static_cast<std::uint64_t>(ins.aux);
       break;
     }
 
@@ -1039,9 +1047,11 @@ Vm::Status Vm::step_legacy(DynInstr* out) {
       break;
     }
     case Opcode::Gep: {
+      // Unsigned multiply: a fault-corrupted index can overflow, and two's
+      // complement wraparound (not signed-overflow UB) is the semantic all
+      // three engine copies share.
       const std::uint64_t base = a.bits;
-      const auto idx = static_cast<std::int64_t>(b.bits);
-      result = base + static_cast<std::uint64_t>(idx * ins.aux);
+      result = base + b.bits * static_cast<std::uint64_t>(ins.aux);
       break;
     }
 
@@ -1182,14 +1192,26 @@ Vm::Status Vm::step_legacy(DynInstr* out) {
 }
 
 // ---------------------------------------------------------------------------
-// Decoded hot loop: the no-observer run-to-completion path every campaign
-// trial takes. Machine state (retired count, current frame, code/operand
-// base pointers) lives in locals; dispatch is computed goto where the
-// toolchain supports labels-as-values (each opcode body ends in its own
-// indirect jump, so the branch predictor learns per-opcode successor
-// patterns), with a dense-opcode switch fallback elsewhere. Semantics must
-// stay identical to step_decoded<false> — tests/decode_test.cpp pins the
-// untraced equivalence against the legacy engine for all ten workloads.
+// Decoded hot loop: the run-to-completion path every campaign trial and —
+// since the columnar-trace refactor — every full traced run takes. Machine
+// state (retired count, current frame, code/operand base pointers) lives in
+// locals; dispatch is computed goto where the toolchain supports
+// labels-as-values (each opcode body ends in its own indirect jump, so the
+// branch predictor learns per-opcode successor patterns), with a
+// dense-opcode switch fallback elsewhere.
+//
+// Two instantiations:
+//   * Traced == false — the no-observer campaign path (nothing recorded);
+//   * Traced == true  — direct emission into VmOptions::column_sink: each
+//     fetched instruction opens a columnar record (pc, activation, packed
+//     operand bits), results land via set_result at commit time, and a
+//     record whose instruction traps mid-flight is rolled back at `done`.
+//     No DynInstr is materialized and no virtual observer dispatch runs.
+//
+// Semantics must stay identical to step_decoded — tests/decode_test.cpp
+// pins the untraced equivalence against the legacy engine for all ten
+// workloads, and tests/column_trace_test.cpp pins the emitted columnar
+// records against the observer-collected DynInstr stream.
 // ---------------------------------------------------------------------------
 
 #if !defined(FT_VM_NO_COMPUTED_GOTO) && (defined(__GNUC__) || defined(__clang__))
@@ -1198,6 +1220,7 @@ Vm::Status Vm::step_legacy(DynInstr* out) {
 #define FT_VM_COMPUTED_GOTO 0
 #endif
 
+template <bool Traced>
 void Vm::run_decoded_hot() {
   if (status_ != Status::Running) return;
 
@@ -1209,10 +1232,12 @@ void Vm::run_decoded_hot() {
   DFrame* fr = &dframes_.back();
   const DecodedInstr* ins = nullptr;
   const Src* srcs = nullptr;
+  trace::ColumnTrace* const sink = opts_.column_sink;
+  (void)sink;  // only the Traced instantiation reads it
 
-  // Operand value (bits only — no locations are needed untraced). Const and
-  // None read the pre-computed bits; None carries 0, matching the legacy
-  // engine's empty evaluation of absent operands.
+  // Operand value (bits only — locations are derived or escaped at emit
+  // time). Const and None read the pre-computed bits; None carries 0,
+  // matching the legacy engine's empty evaluation of absent operands.
   const auto val = [&](const Src& s) -> std::uint64_t {
     switch (s.kind) {
       case SrcKind::Reg: return slots_[fr->reg_base + s.index];
@@ -1229,10 +1254,31 @@ void Vm::run_decoded_hot() {
     }
   };
   // Commit a register-defining result (every defining opcode flips here,
-  // mirroring the has_res path of the stepping engines).
+  // mirroring the has_res path of the stepping engines). Traced: the
+  // committed bits are the record's result column.
   const auto commit = [&](std::uint64_t bits) {
     flip(bits);
     slots_[fr->reg_base + ins->result] = bits;
+    if constexpr (Traced) sink->set_result(bits);
+  };
+  // Open the columnar record of the fetched instruction: pc + activation
+  // fixed columns, operand values into the packed pool, caller-provided
+  // Arg locations into the escape list. Runs before the handler, so
+  // operand values are read pre-commit (a = add a, b records the old a).
+  const auto emit_record = [&] {
+    if constexpr (Traced) {
+      sink->begin_record(fr->pc, fr->activation);
+      const auto nrec = std::min<unsigned>(ins->src_count, kMaxTracedOps);
+      for (unsigned i = 0; i < nrec; ++i) {
+        const Src& s = srcs[i];
+        if (s.kind == SrcKind::None) continue;
+        sink->push_op(val(s));
+        if (s.kind == SrcKind::Arg) {
+          sink->push_op_loc(static_cast<std::uint8_t>(i),
+                            arg_locs_[fr->arg_loc_base + s.index]);
+        }
+      }
+    }
   };
 
   static_assert(static_cast<int>(Opcode::MpiBarrier) == 48,
@@ -1259,12 +1305,14 @@ void Vm::run_decoded_hot() {
     if (++retired >= max_instr) goto hang_trap;              \
     ins = &code[fr->pc];                                     \
     srcs = srcs_all + ins->src_begin;                        \
+    emit_record();                                           \
     goto* kOpTable[static_cast<std::uint8_t>(ins->op)];      \
   } while (0)
 
   if (retired >= max_instr) goto hang_trap;
   ins = &code[fr->pc];
   srcs = srcs_all + ins->src_begin;
+  emit_record();
   goto* kOpTable[static_cast<std::uint8_t>(ins->op)];
 #else
 #define FT_OP(name) case Opcode::name
@@ -1278,6 +1326,7 @@ void Vm::run_decoded_hot() {
     if (retired >= max_instr) goto hang_trap;
     ins = &code[fr->pc];
     srcs = srcs_all + ins->src_begin;
+    emit_record();
     switch (ins->op) {
 #endif
 
@@ -1527,7 +1576,16 @@ void Vm::run_decoded_hot() {
     }
     std::uint64_t bits = 0;
     std::memcpy(&bits, &mem_[addr], size);
-    commit(is_int(ins->type) ? canon_int(bits, ins->type) : bits);
+    const std::uint64_t loaded =
+        is_int(ins->type) ? canon_int(bits, ins->type) : bits;
+    commit(loaded);
+    if constexpr (Traced) {
+      // Rare escape: a result-bit fault on this very load makes the
+      // recorded memory-cell operand (pre-flip) differ from the result.
+      if (slots_[fr->reg_base + ins->result] != loaded) {
+        sink->set_load_value(loaded);
+      }
+    }
     fr->pc++;
     FT_NEXT();
   }
@@ -1541,13 +1599,14 @@ void Vm::run_decoded_hot() {
     std::uint64_t bits = val(srcs[0]);
     flip(bits);
     std::memcpy(&mem_[addr], &bits, size);
+    if constexpr (Traced) sink->set_result(bits);
     fr->pc++;
     FT_NEXT();
   }
   FT_OP(Gep) : {
+    // Unsigned multiply — see the Gep note in the stepping engines.
     const std::uint64_t base = val(srcs[0]);
-    const auto idx = static_cast<std::int64_t>(val(srcs[1]));
-    commit(base + static_cast<std::uint64_t>(idx * ins->aux));
+    commit(base + val(srcs[1]) * static_cast<std::uint64_t>(ins->aux));
     fr->pc++;
     FT_NEXT();
   }
@@ -1576,6 +1635,10 @@ void Vm::run_decoded_hot() {
       std::uint64_t bits = ret_bits;
       flip(bits);
       slots_[fr->reg_base + dest_reg] = bits;
+      if constexpr (Traced) {
+        sink->set_result(bits);
+        sink->set_result_loc(reg_loc(fr->activation, dest_reg));
+      }
     }
     FT_NEXT();
   }
@@ -1595,7 +1658,10 @@ void Vm::run_decoded_hot() {
     FT_NEXT();
   }
   FT_OP(Emit) : {
-    outputs_.push_back({val(srcs[0]), srcs[0].type});
+    const std::uint64_t bits = val(srcs[0]);
+    outputs_.push_back({bits, srcs[0].type});
+    // The emitted bits are the record's comparable result (no location).
+    if constexpr (Traced) sink->set_result(bits);
     fr->pc++;
     FT_NEXT();
   }
@@ -1605,6 +1671,7 @@ void Vm::run_decoded_hot() {
                          : bits_to_f64(val(srcs[0]));
     const double r = round_to_digits(x, static_cast<int>(ins->aux));
     outputs_.push_back({f64_to_bits(r), Type::F64});
+    if constexpr (Traced) sink->set_result(f64_to_bits(r));
     fr->pc++;
     FT_NEXT();
   }
@@ -1670,6 +1737,9 @@ hang_trap:
   set_trap(TrapKind::Hang);
 done:
   n_retired_ = retired;
+  // A record is opened per *fetched* instruction; an instruction that
+  // trapped mid-execution did not retire, so its partial record rolls back.
+  if constexpr (Traced) sink->truncate_to(retired);
 }
 
 Vm::Status Vm::step(DynInstr* out) {
@@ -1693,8 +1763,10 @@ RunResult Vm::run() {
         opts_.observer->on_instruction(rec);
       }
     }
+  } else if (prog_ && opts_.column_sink) {
+    run_decoded_hot<true>();
   } else if (prog_) {
-    run_decoded_hot();
+    run_decoded_hot<false>();
   } else {
     while (status_ == Status::Running) step_legacy(nullptr);
   }

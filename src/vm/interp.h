@@ -18,10 +18,14 @@
 //     ir::Instruction/ir::Operand representation. Kept as the reference
 //     implementation and the A/B baseline for the decoded engine.
 //
-// Two driving styles:
-//   * Vm::run()  — run to completion, streaming records to the observer in
-//                  VmOptions (if any). Fast path: with no observer, records
-//                  are not materialized.
+// Three driving styles:
+//   * Vm::run()  — run to completion. With VmOptions::column_sink set (and
+//                  no observer), the decoded hot loop appends every record
+//                  directly into the columnar trace — no DynInstr, no
+//                  virtual dispatch. With an observer, records stream
+//                  through the ExecObserver hook (the gating/selective
+//                  path). With neither, nothing is materialized (the
+//                  campaign fast path).
 //   * Vm::step() — retire one instruction at a time; used by the lockstep
 //                  differential engine (src/acl/) to compare a faulty and a
 //                  fault-free execution.
@@ -38,6 +42,10 @@
 #include "vm/mpi_endpoint.h"
 #include "vm/observer.h"
 #include "vm/trap.h"
+
+namespace ft::trace {
+class ColumnTrace;
+}  // namespace ft::trace
 
 namespace ft::vm {
 
@@ -62,6 +70,12 @@ struct VmOptions {
   /// of walking the IR (the Vm(const DecodedProgram&, ...) constructor
   /// fills it in). Must be decoded from the module being run.
   const DecodedProgram* program = nullptr;
+  /// When set (decoded engine only, must be empty, built over the same
+  /// program), run() executes the direct-emit hot loop: every retired
+  /// record is appended straight into the columnar trace — no DynInstr is
+  /// materialized and no observer dispatch runs. Ignored when an observer
+  /// is also set (the observer path keeps gating/streaming semantics).
+  trace::ColumnTrace* column_sink = nullptr;
 };
 
 struct RunResult {
@@ -124,6 +138,13 @@ class Vm {
   /// How many instances of region `rid` have been entered so far.
   [[nodiscard]] std::uint32_t region_instances(std::uint32_t rid) const;
 
+  /// Flat pc of the next instruction to retire (decoded engine only). The
+  /// lockstep differential engine pairs this with step() to append faulty
+  /// records into a ColumnTrace without a static-coordinate lookup.
+  [[nodiscard]] std::uint32_t next_pc() const noexcept {
+    return dframes_.back().pc;
+  }
+
  private:
   // --- legacy engine ---------------------------------------------------------
   struct Frame {
@@ -172,6 +193,7 @@ class Vm {
   Status step_legacy(DynInstr* out);
   template <bool Traced>
   Status step_decoded(DynInstr* out);
+  template <bool Traced>
   void run_decoded_hot();
   [[nodiscard]] bool next_is_region_marker() const;
   [[nodiscard]] bool mem_ok(std::uint64_t addr, std::uint32_t size) const;

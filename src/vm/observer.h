@@ -11,8 +11,6 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
-#include <utility>
 #include <vector>
 
 #include "ir/instruction.h"
@@ -73,14 +71,38 @@ class ExecObserver {
 /// materialization outside marker instructions).
 class ObserverChain final : public ExecObserver {
  public:
-  using Filter = std::function<bool(const DynInstr&)>;
+  /// Per-record predicate as a plain function pointer plus an opaque
+  /// context — invoked once per delivered record, so the type-erased
+  /// dispatch (and potential allocation) of std::function has no place
+  /// here. Stateless filters (captureless lambdas) convert implicitly via
+  /// the then() overload below; stateful ones pass their state as `ctx`.
+  struct Filter {
+    bool (*fn)(const DynInstr&, void*) = nullptr;
+    void* ctx = nullptr;
+
+    [[nodiscard]] explicit operator bool() const noexcept {
+      return fn != nullptr;
+    }
+    [[nodiscard]] bool operator()(const DynInstr& d) const {
+      return fn(d, ctx);
+    }
+  };
 
   /// Append a stage; records reach it subject to `o->enabled()`.
   ObserverChain& then(ExecObserver* o) { return then(o, Filter{}); }
-  /// Append a stage with a per-record filter. Filters see region markers
-  /// too; stateful filters (e.g. region_window_filter) rely on that.
+  /// Append a stage with a stateless per-record filter (captureless
+  /// lambdas decay to this). Filters see region markers too; stateful
+  /// filters rely on that.
+  ObserverChain& then(ExecObserver* o, bool (*fn)(const DynInstr&)) {
+    return then(o, Filter{[](const DynInstr& d, void* ctx) {
+                            return reinterpret_cast<bool (*)(const DynInstr&)>(
+                                ctx)(d);
+                          },
+                          reinterpret_cast<void*>(fn)});
+  }
+  /// Append a stage with a contextful per-record filter.
   ObserverChain& then(ExecObserver* o, Filter filter) {
-    stages_.push_back(Stage{o, std::move(filter)});
+    stages_.push_back(Stage{o, filter});
     return *this;
   }
 

@@ -78,7 +78,7 @@ TEST(AnalysisSession, RegionSitesMatchLegacyEnumeration) {
 TEST(AnalysisSession, SharedAcrossThreadsYieldsOneSnapshot) {
   core::AnalysisSession session(apps::build_sp());
   constexpr int kThreads = 8;
-  std::vector<std::shared_ptr<const trace::Trace>> seen(kThreads);
+  std::vector<std::shared_ptr<const trace::ColumnTrace>> seen(kThreads);
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {

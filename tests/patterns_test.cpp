@@ -327,8 +327,10 @@ TEST(Rates, LoopHeavyProgramHasHighConditionRate) {
 }
 
 TEST(Rates, EmptyTraceIsSafe) {
-  const auto events = trace::LocationEvents::build({});
-  const auto rates = patterns::measure_rates({}, events);
+  const auto events =
+      trace::LocationEvents::build(std::span<const vm::DynInstr>{});
+  const auto rates =
+      patterns::measure_rates(std::span<const vm::DynInstr>{}, events);
   EXPECT_EQ(rates.total_instructions, 0u);
 }
 

@@ -77,6 +77,15 @@ inline void print_report_meta(const core::AnalysisReport& report) {
   std::printf("campaign instructions: %llu (%.1f M instr/s, decoded engine)\n",
               static_cast<unsigned long long>(report.total_instructions),
               report.instructions_per_second() / 1e6);
+  if (report.snapshots_taken > 0) {
+    std::printf(
+        "prefix reuse: %llu snapshots, %llu instr saved, %llu early exits, "
+        "max resume depth %llu\n",
+        static_cast<unsigned long long>(report.snapshots_taken),
+        static_cast<unsigned long long>(report.instructions_saved),
+        static_cast<unsigned long long>(report.early_exits),
+        static_cast<unsigned long long>(report.max_resume_depth));
+  }
 }
 
 }  // namespace ft::bench

@@ -190,14 +190,32 @@ BENCHMARK(BM_LocationEventsQueries);
 
 void BM_DiffRun(benchmark::State& state) {
   const auto mod = make_kernel();
+  // Both diff BMs thread the same reserve hint (the record count a session
+  // would pass), so the legacy/columnar substrate A/B times appending, not
+  // reallocation churn.
+  acl::DiffOptions opts;
+  opts.fault = vm::FaultPlan::result_bit(5000, 33);
+  opts.reserve_records = acl::diff_run(mod, opts).usable_records();
   for (auto _ : state) {
-    acl::DiffOptions opts;
-    opts.fault = vm::FaultPlan::result_bit(5000, 33);
     auto diff = acl::diff_run(mod, opts);
     benchmark::DoNotOptimize(diff.differs.size());
   }
 }
 BENCHMARK(BM_DiffRun);
+
+void BM_DiffRunColumnar(benchmark::State& state) {
+  const auto mod = make_kernel();
+  const auto prog = std::make_shared<const vm::DecodedProgram>(
+      vm::DecodedProgram::decode(mod));
+  acl::DiffOptions opts;
+  opts.fault = vm::FaultPlan::result_bit(5000, 33);
+  opts.reserve_records = acl::diff_run(*prog, opts).usable_records();
+  for (auto _ : state) {
+    auto diff = acl::diff_run_columnar(prog, opts);
+    benchmark::DoNotOptimize(diff.differs.size());
+  }
+}
+BENCHMARK(BM_DiffRunColumnar);
 
 void BM_AclSweep(benchmark::State& state) {
   const auto mod = make_kernel();

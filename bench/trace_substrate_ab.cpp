@@ -95,8 +95,19 @@ int main(int argc, char** argv) {
   acl::DiffOptions dopts;
   dopts.base = app.base;
   dopts.fault = vm::FaultPlan::result_bit(20000, 33);
+  // Apples-to-apples timing: both substrates get the same reserve hint
+  // (the golden record count, what AnalysisSession passes), so neither
+  // side pays reallocation churn the other avoided.
+  dopts.reserve_records = columnar.records;
+  const util::Stopwatch legacy_sw;
   const auto legacy_diff = acl::diff_run(*prog, dopts);
+  const double legacy_diff_ms = legacy_sw.millis();
+  const util::Stopwatch col_sw;
   const auto col_diff = acl::diff_run_columnar(prog, dopts);
+  const double col_diff_ms = col_sw.millis();
+  std::printf("diff wall (reserved %zu records): legacy %.1f ms, "
+              "columnar %.1f ms\n",
+              dopts.reserve_records, legacy_diff_ms, col_diff_ms);
 
   const auto legacy_events = trace::LocationEvents::build(
       std::span<const vm::DynInstr>(legacy_diff.faulty.records.data(),

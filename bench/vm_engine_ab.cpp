@@ -23,8 +23,13 @@ int main(int argc, char** argv) {
   const auto& spec = session.app();
   const auto sites = session.whole_program_sites();
   const auto golden = session.golden();
+  // From-scratch trials on BOTH sides: this bench isolates the interpreter
+  // engines, so the snapshot-forked scheduler (its own A/B lives in
+  // campaign_fork_ab) must not shorten the decoded side's trials.
+  auto campaign_cfg = cfg.campaign(40);
+  campaign_cfg.fork.enabled = false;
   const auto prepared = fault::prepare_campaign(
-      *sites, fault::TargetClass::Internal, spec.base, cfg.campaign(40));
+      *sites, fault::TargetClass::Internal, spec.base, campaign_cfg);
   auto& pool = util::global_pool();
   std::printf("campaign: %zu trials over %llu population bits, %zu workers\n",
               prepared.plans.size(),

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Perf-regression canary, three sections:
+# Perf-regression canary, four sections:
 #
 #  1. Engine A/B (vm_engine_ab): decoded vs legacy interpreter on the CG
 #     whole-program campaign. The decoded engine must stay >= 2x the
@@ -18,6 +18,12 @@
 #     per-region scheduling. Batched must never be slower than legacy
 #     beyond noise; on multi-core machines it should win outright.
 #
+#  4. Campaign-scheduler A/B (campaign_fork_ab): snapshot-forked trials vs
+#     the from-scratch trial loop on the CG whole-program campaign (one
+#     pool worker — per-worker efficiency, stable across hosts). Forked
+#     must stay >= 2x in trials/sec with identical outcome counts (the
+#     binary exits nonzero on a mismatch) and must report prefix reuse.
+#
 # The combined output is also written to <build-dir>/bench_smoke.out so CI
 # can upload it as an artifact.
 #
@@ -29,9 +35,10 @@ trials="${2:-40}"
 bench="$build_dir/fig5_per_region_sr"
 engine_ab="$build_dir/vm_engine_ab"
 trace_ab="$build_dir/trace_substrate_ab"
+fork_ab="$build_dir/campaign_fork_ab"
 out="$build_dir/bench_smoke.out"
 
-for bin in "$bench" "$engine_ab" "$trace_ab"; do
+for bin in "$bench" "$engine_ab" "$trace_ab" "$fork_ab"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not found (build first: cmake -B $build_dir -S . && cmake --build $build_dir -j)" >&2
     exit 1
@@ -45,10 +52,10 @@ extract_ms() {
   sed -n 's/^campaign wall: \([0-9.]*\) ms.*/\1/p' "$1"
 }
 
-tmp_engine=$(mktemp) tmp_trace=$(mktemp) tmp_batched=$(mktemp) tmp_legacy=$(mktemp)
-trap 'rm -f "$tmp_engine" "$tmp_trace" "$tmp_batched" "$tmp_legacy"' EXIT
+tmp_engine=$(mktemp) tmp_trace=$(mktemp) tmp_batched=$(mktemp) tmp_legacy=$(mktemp) tmp_fork=$(mktemp)
+trap 'rm -f "$tmp_engine" "$tmp_trace" "$tmp_batched" "$tmp_legacy" "$tmp_fork"' EXIT
 
-echo "== bench smoke 1/3: decoded vs legacy engine on the CG campaign =="
+echo "== bench smoke 1/4: decoded vs legacy engine on the CG campaign =="
 # A longer campaign than section 3 (and interleaved best-of-3 inside the
 # bench) keeps the speedup measurement steady on busy/single-core hosts.
 engine_trials=$(( trials * 2 > 60 ? trials * 2 : 60 ))
@@ -63,7 +70,7 @@ awk -v s="$engine_speedup" 'BEGIN {
 }' | tee -a "$out"
 
 echo
-echo "== bench smoke 2/3: columnar vs DynInstr-observer traced run on CG =="
+echo "== bench smoke 2/4: columnar vs DynInstr-observer traced run on CG =="
 # The binary exits nonzero when the ACL series/events or pattern counts
 # differ between substrates, failing the smoke under pipefail.
 "$trace_ab" | tee "$tmp_trace"
@@ -80,7 +87,7 @@ awk -v s="$trace_speedup" -v r="$bytes_ratio" 'BEGIN {
 }' | tee -a "$out"
 
 echo
-echo "== bench smoke 3/3: fig5 on CG, $trials trials per region/class =="
+echo "== bench smoke 3/4: fig5 on CG, $trials trials per region/class =="
 "$bench" --apps=CG --trials="$trials" | tee "$tmp_batched" | grep -E "^(schedule|campaign)"
 echo
 echo "-- legacy per-region scheduling --"
@@ -96,4 +103,22 @@ awk -v b="$batched_ms" -v l="$legacy_ms" 'BEGIN {
   # Fail only on a clear regression: batched >25% slower than legacy.
   if (b > l * 1.25) { print "REGRESSION: batched scheduling slower than legacy"; exit 1 }
   print "OK"
+}' | tee -a "$out"
+
+echo
+echo "== bench smoke 4/4: snapshot-forked vs from-scratch campaign trials on CG =="
+# A longer campaign than section 3 amortizes the one-time golden pass and
+# keeps the best-of interleaved measurement steady; the binary itself
+# exits nonzero if the two schedulers disagree on any outcome count.
+fork_trials=$(( trials * 3 > 120 ? trials * 3 : 120 ))
+"$fork_ab" --trials="$fork_trials" | tee "$tmp_fork"
+cat "$tmp_fork" >> "$out"
+
+fork_speedup=$(sed -n 's/^fork speedup: \([0-9.]*\)x$/\1/p' "$tmp_fork")
+fork_snaps=$(sed -n 's/^prefix reuse: \([0-9]*\) snapshots.*/\1/p' "$tmp_fork")
+awk -v s="$fork_speedup" -v n="$fork_snaps" 'BEGIN {
+  if (s == "") { print "ERROR: no fork speedup reported"; exit 1 }
+  if (n == "" || n == 0) { print "ERROR: forked campaign took no snapshots (prefix reuse inactive)"; exit 1 }
+  if (s < 2.0) { printf "REGRESSION: snapshot-forked campaign only %.2fx from-scratch trial throughput (need >= 2x)\n", s; exit 1 }
+  printf "campaign scheduler OK (%.2fx >= 2x trials/s, %d snapshots)\n", s, n
 }' | tee -a "$out"

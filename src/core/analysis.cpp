@@ -388,11 +388,27 @@ struct UnitCounts {
   std::atomic<std::size_t> success{0};
   std::atomic<std::size_t> failed{0};
   std::atomic<std::size_t> crashed{0};
+  std::atomic<std::size_t> early_exits{0};
   std::atomic<std::uint64_t> instructions{0};
+  std::atomic<std::uint64_t> prefix_saved{0};
+  std::atomic<std::uint64_t> convergence_saved{0};
+};
+
+/// Per-unit mutable state of the batched executor: lazily-built waypoint
+/// snapshots (first touching chunk builds, last finishing chunk frees) and
+/// the counters that outlive the freed snapshots.
+struct UnitRuntime {
+  std::once_flag once;
+  fault::CampaignSnapshots snapshots;
+  std::vector<std::uint32_t> order;       // fork_schedule over the snapshots
+  std::atomic<std::size_t> remaining{0};  // trials not yet finished
+  std::uint64_t snapshots_taken = 0;
+  std::uint64_t resume_depth = 0;
 };
 
 fault::CampaignResult unit_result(const CampaignUnit& unit,
-                                  const UnitCounts& counts) {
+                                  const UnitCounts& counts,
+                                  const UnitRuntime& runtime) {
   fault::CampaignResult r;
   r.trials = unit.prepared.plans.size();
   r.population_bits = unit.prepared.population_bits;
@@ -400,7 +416,24 @@ fault::CampaignResult unit_result(const CampaignUnit& unit,
   r.failed = counts.failed.load();
   r.crashed = counts.crashed.load();
   r.instructions_retired = counts.instructions.load();
+  r.snapshots_taken = runtime.snapshots_taken;
+  r.resume_depth = runtime.resume_depth;
+  r.prefix_instructions_saved = counts.prefix_saved.load();
+  r.convergence_instructions_saved = counts.convergence_saved.load();
+  r.early_exits = counts.early_exits.load();
   return r;
+}
+
+/// Fold one unit's campaign result into the report's rollup counters.
+void fold_prefix_reuse(AnalysisReport& report,
+                       const fault::CampaignResult& result) {
+  report.total_instructions += result.instructions_retired;
+  report.instructions_saved += result.prefix_instructions_saved +
+                               result.convergence_instructions_saved;
+  report.snapshots_taken += result.snapshots_taken;
+  report.early_exits += result.early_exits;
+  report.max_resume_depth =
+      std::max(report.max_resume_depth, result.resume_depth);
 }
 
 /// The concrete (region_id, name, instance) rows one request selects for
@@ -564,35 +597,73 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
   const util::Stopwatch campaign_sw;
   std::vector<UnitCounts> counts(units.size());
   if (request.mode_ == ExecutionMode::Batched) {
-    if (report.total_trials > 0) {
-      pool->parallel_for(report.total_trials, [&](std::size_t i) {
-        // Locate the unit owning global trial i (offsets is sorted).
-        const auto it =
-            std::upper_bound(offsets.begin(), offsets.end(), i);
-        const auto u = static_cast<std::size_t>(it - offsets.begin()) - 1;
+    // The global queue is chunked per unit: each chunk task owns one
+    // TrialRunner (machine reuse across its trials). A unit's waypoint
+    // snapshots are placed lazily by the first chunk that touches it
+    // (workers on other units keep draining the queue meanwhile) and
+    // freed by the last chunk to finish, so peak snapshot memory tracks
+    // the units in flight, not the whole request.
+    struct TrialChunk {
+      std::size_t unit = 0;
+      std::size_t begin = 0;  // plan indices within the unit
+      std::size_t end = 0;
+    };
+    std::vector<TrialChunk> chunks;
+    std::vector<UnitRuntime> runtimes(units.size());
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      const std::size_t n = units[u].prepared.plans.size();
+      runtimes[u].remaining.store(n);
+      if (n == 0) continue;
+      const std::size_t chunk =
+          std::clamp<std::size_t>(n / (pool->size() * 8), 1, 32);
+      for (std::size_t b = 0; b < n; b += chunk) {
+        chunks.push_back(TrialChunk{u, b, std::min(n, b + chunk)});
+      }
+    }
+    if (!chunks.empty()) {
+      pool->parallel_for(chunks.size(), [&](std::size_t c) {
+        const auto& [u, begin, end] = chunks[c];
         const auto& unit = units[u];
-        const auto& plan = unit.prepared.plans[i - offsets[u]];
-        std::uint64_t n = 0;
-        switch (fault::run_trial(*unit.program, unit.prepared, plan,
-                                 unit.golden->outputs,
-                                 unit.session->app().verifier, &n)) {
-          case fault::Outcome::VerificationSuccess:
-            counts[u].success.fetch_add(1);
-            break;
-          case fault::Outcome::VerificationFailed:
-            counts[u].failed.fetch_add(1);
-            break;
-          case fault::Outcome::Crashed:
-            counts[u].crashed.fetch_add(1);
-            break;
+        auto& rt = runtimes[u];
+        std::call_once(rt.once, [&] {
+          rt.snapshots =
+              fault::prepare_snapshots(*unit.program, unit.prepared);
+          rt.order = fault::fork_schedule(unit.prepared);
+          rt.snapshots_taken = rt.snapshots.waypoints.size();
+          rt.resume_depth = rt.snapshots.resume_depth;
+        });
+        fault::TrialRunner runner(*unit.program, unit.prepared, rt.snapshots,
+                                  unit.golden->outputs,
+                                  unit.session->app().verifier);
+        for (std::size_t pos = begin; pos < end; ++pos) {
+          const std::size_t i = rt.order.empty() ? pos : rt.order[pos];
+          fault::TrialAccounting acct;
+          switch (runner.run(i, &acct)) {
+            case fault::Outcome::VerificationSuccess:
+              counts[u].success.fetch_add(1);
+              break;
+            case fault::Outcome::VerificationFailed:
+              counts[u].failed.fetch_add(1);
+              break;
+            case fault::Outcome::Crashed:
+              counts[u].crashed.fetch_add(1);
+              break;
+          }
+          counts[u].instructions.fetch_add(acct.instructions);
+          counts[u].prefix_saved.fetch_add(acct.prefix_saved);
+          counts[u].convergence_saved.fetch_add(acct.convergence_saved);
+          if (acct.early_exit) counts[u].early_exits.fetch_add(1);
         }
-        counts[u].instructions.fetch_add(n);
+        // Last finisher of the unit releases its waypoint memory.
+        if (rt.remaining.fetch_sub(end - begin) == end - begin) {
+          rt.snapshots = fault::CampaignSnapshots{};
+        }
       });
       report.pool_batches = 1;
     }
     for (std::size_t u = 0; u < units.size(); ++u) {
-      const auto result = unit_result(units[u], counts[u]);
-      report.total_instructions += result.instructions_retired;
+      const auto result = unit_result(units[u], counts[u], runtimes[u]);
+      fold_prefix_reuse(report, result);
       if (units[u].entry_index != ~std::size_t{0}) {
         report.entries[units[u].entry_index].campaign = result;
       } else {
@@ -602,14 +673,15 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
   } else {
     // Legacy mode: one blocking parallel_for per unit, serializing between
     // regions exactly as the facade-era call pattern did (same decoded
-    // engine — this mode A/Bs the scheduling, not the interpreter).
+    // engine and same snapshot-forked trials — this mode A/Bs the
+    // scheduling, not the interpreter or the fork policy).
     for (const auto& unit : units) {
       const auto& spec = unit.session->app();
       const auto result = fault::run_prepared_campaign(
           *unit.program, unit.prepared, unit.golden->outputs, spec.verifier,
           *pool);
       report.pool_batches += unit.prepared.plans.empty() ? 0 : 1;
-      report.total_instructions += result.instructions_retired;
+      fold_prefix_reuse(report, result);
       if (unit.entry_index != ~std::size_t{0}) {
         report.entries[unit.entry_index].campaign = result;
       } else {

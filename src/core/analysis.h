@@ -1,33 +1,34 @@
-// The composable analysis API (Fig. 1 of the paper, as a library).
-//
-// Three layers replace the old FlipTracker facade:
-//
-//  * AnalysisSession — owns one application's executable form and golden
-//    artifacts (pre-decoded program, fault-free run, trace, region
-//    instances, location events, per-region site enumerations and DDDGs)
-//    behind thread-safe, explicitly invalidatable caches. The module is
-//    decoded once (vm/decode.h) at construction and every run the session
-//    performs — golden, traced, diffed, or campaign trial — executes the
-//    decoded engine; campaigns share the immutable decoded program across
-//    all pool workers. Sessions are cheap to construct from an
-//    apps::AppSpec and safe to share across a util::ThreadPool; every
-//    accessor returns a shared_ptr snapshot so invalidation never pulls
-//    data out from under a concurrent reader.
-//
-//  * AnalysisRequest / AnalysisReport — a declarative request ("these apps,
-//    these regions, these target classes, these analyses") executed by
-//    run_analysis(), which schedules every region campaign of every
-//    requested application as ONE batched work queue on a shared pool.
-//    The old facade parallelized only within one region_campaign call, so
-//    multi-region sweeps serialized between regions; here all trials of
-//    all (app, region, target) units interleave and the report carries
-//    timing/throughput metadata the bench harness serializes.
-//
-//  * vm::ObserverChain (src/vm/observer.h) — the observer-pipeline layer
-//    the session builds its traced runs on.
-//
-// The deprecated FlipTracker shim was removed after its one promised
-// release; see README.md ("Migrating from FlipTracker") for the mapping.
+/// @file
+/// The composable analysis API (Fig. 1 of the paper, as a library).
+///
+/// Three layers replace the old FlipTracker facade:
+///
+///  * AnalysisSession — owns one application's executable form and golden
+///    artifacts (pre-decoded program, fault-free run, trace, region
+///    instances, location events, per-region site enumerations and DDDGs)
+///    behind thread-safe, explicitly invalidatable caches. The module is
+///    decoded once (vm/decode.h) at construction and every run the session
+///    performs — golden, traced, diffed, or campaign trial — executes the
+///    decoded engine; campaigns share the immutable decoded program across
+///    all pool workers. Sessions are cheap to construct from an
+///    apps::AppSpec and safe to share across a util::ThreadPool; every
+///    accessor returns a shared_ptr snapshot so invalidation never pulls
+///    data out from under a concurrent reader.
+///
+///  * AnalysisRequest / AnalysisReport — a declarative request ("these apps,
+///    these regions, these target classes, these analyses") executed by
+///    run_analysis(), which schedules every region campaign of every
+///    requested application as ONE batched work queue on a shared pool.
+///    The old facade parallelized only within one region_campaign call, so
+///    multi-region sweeps serialized between regions; here all trials of
+///    all (app, region, target) units interleave and the report carries
+///    timing/throughput metadata the bench harness serializes.
+///
+///  * vm::ObserverChain (src/vm/observer.h) — the observer-pipeline layer
+///    the session builds its traced runs on.
+///
+/// The deprecated FlipTracker shim was removed after its one promised
+/// release; see README.md ("Migrating from FlipTracker") for the mapping.
 #pragma once
 
 #include <cstdint>
@@ -238,7 +239,18 @@ struct AnalysisReport {
   /// Dynamic instructions retired across all campaign trials (the decoded
   /// engine's throughput figure of merit; see bench/vm_engine_ab.cpp).
   std::uint64_t total_instructions = 0;
-  std::size_t pool_batches = 0;    // parallel_for dispatches (batched: 1)
+  // --- prefix-reuse rollup (snapshot-forked scheduler, all units) -----------
+  /// Instructions trials did NOT execute: golden prefixes reused through
+  /// snapshot forks plus tails cut by early convergence exits.
+  std::uint64_t instructions_saved = 0;
+  std::uint64_t snapshots_taken = 0;  // waypoint snapshots across all units
+  std::uint64_t early_exits = 0;      // trials classified at a probe
+  /// Deepest golden resume point of any unit (the longest serial prefix the
+  /// scheduler had to execute once).
+  std::uint64_t max_resume_depth = 0;
+  /// Injection work-queue dispatches (batched: 1). Snapshot preparation is
+  /// artifact prep and is not counted here.
+  std::size_t pool_batches = 0;
   std::size_t pool_workers = 0;
 
   [[nodiscard]] double trials_per_second() const noexcept {

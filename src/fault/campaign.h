@@ -1,15 +1,30 @@
-// Statistical fault-injection campaigns (§IV-C).
-//
-// A campaign samples single-bit fault sites uniformly from a site
-// population (sites are (value, bit) pairs, so wider values weigh more),
-// runs one VM per injection — in parallel, each run independent — and
-// aggregates the success rate (Eq. 1). Trial counts default to Leveugle et
-// al.'s formula at the requested confidence/margin; the plan list is drawn
-// up-front from one seeded generator, so results are independent of thread
-// scheduling.
+/// @file
+/// Statistical fault-injection campaigns (§IV-C).
+///
+/// A campaign samples single-bit fault sites uniformly from a site
+/// population (sites are (value, bit) pairs, so wider values weigh more),
+/// runs one VM per injection — in parallel, each run independent — and
+/// aggregates the success rate (Eq. 1). Trial counts default to Leveugle et
+/// al.'s formula at the requested confidence/margin; the plan list is drawn
+/// up-front from one seeded generator, so results are independent of thread
+/// scheduling.
+///
+/// Trial execution is snapshot-forked by default (docs/campaign-lifecycle.md):
+/// every trial of a campaign shares the same fault-free prefix up to its
+/// injection point, so the scheduler executes the golden prefix ONCE,
+/// snapshots it at waypoints (vm::Vm::Snapshot), and forks each trial from
+/// the nearest waypoint at or before its fork bound instead of replaying the
+/// prefix from instruction zero. A forked trial may also finish early: once
+/// its full machine state re-converges with a later golden waypoint (and the
+/// fault has fired), the remainder provably replays the golden run, so the
+/// outcome is VerificationSuccess without executing the tail. Outcome counts
+/// are bit-identical to from-scratch execution by construction — pinned by
+/// tests/snapshot_test.cpp and gated at campaign scale by
+/// bench/campaign_fork_ab.cpp via scripts/bench_smoke.sh.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "fault/outcome.h"
@@ -17,6 +32,32 @@
 #include "util/thread_pool.h"
 
 namespace ft::fault {
+
+/// Prefix-reuse policy of the snapshot-forked trial scheduler.
+struct ForkPolicy {
+  /// Fork trials from golden-prefix snapshots (the default). Disable for a
+  /// from-scratch A/B reference — outcome counts never change, only cost.
+  bool enabled = true;
+  /// Upper bound on waypoint snapshots per campaign (each waypoint
+  /// deep-copies the machine state).
+  std::size_t max_snapshots = 128;
+  /// Memory budget for one campaign's waypoints; lowers the effective
+  /// snapshot cap for applications with large memory images. 0 = only
+  /// max_snapshots bounds.
+  std::size_t max_snapshot_bytes = std::size_t{96} << 20;
+  /// Minimum retired-instruction gap between consecutive waypoints. The
+  /// effective gap is max(min_gap, fault_free_instructions/max_snapshots).
+  std::uint64_t min_gap = 2048;
+  /// Probe later waypoints for state re-convergence and classify the trial
+  /// early when the machine state equals the golden state bit for bit.
+  bool probe_convergence = true;
+  /// Failed-probe budget per trial. Probes back off geometrically from the
+  /// fork point (next waypoint, then 2, 4, ... waypoints further), so the
+  /// budget spreads across time scales; once it is spent the trial has
+  /// almost certainly diverged for good (a live corrupted value keeps
+  /// every later probe failing too) and runs out without further compares.
+  std::size_t max_probes = 6;
+};
 
 struct CampaignConfig {
   /// Number of injection trials; 0 derives it from the site population via
@@ -29,6 +70,8 @@ struct CampaignConfig {
   /// fault-free instruction count before classifying as Crashed(hang).
   double budget_factor = 8.0;
   util::ThreadPool* pool = nullptr;  // nullptr = util::global_pool()
+  /// Snapshot-forked trial execution (copied into the prepared campaign).
+  ForkPolicy fork{};
 };
 
 struct CampaignResult {
@@ -38,8 +81,26 @@ struct CampaignResult {
   std::size_t crashed = 0;
   std::uint64_t population_bits = 0;  // sampled site population size
   /// Dynamic instructions retired across all trials (filled by
-  /// run_prepared_campaign; the engine-throughput figure of merit).
+  /// run_prepared_campaign; the engine-throughput figure of merit). Under
+  /// snapshot-forking this counts only instructions actually executed —
+  /// skipped prefixes and early-exited tails are in the counters below.
   std::uint64_t instructions_retired = 0;
+
+  // --- prefix-reuse accounting (zero when the from-scratch path ran) --------
+  /// Waypoint snapshots the scheduler took along the golden prefix.
+  std::uint64_t snapshots_taken = 0;
+  /// Golden-prefix instructions trials did NOT re-execute (sum of fork
+  /// indices across trials).
+  std::uint64_t prefix_instructions_saved = 0;
+  /// Instructions classified away by early state-convergence exits (the
+  /// from-scratch trial would have executed them to reach the same
+  /// verdict).
+  std::uint64_t convergence_instructions_saved = 0;
+  /// Trials classified at a convergence probe instead of running out.
+  std::uint64_t early_exits = 0;
+  /// Deepest golden-prefix point the scheduler resumed to (the golden
+  /// instructions it executed once, serially, to place the snapshots).
+  std::uint64_t resume_depth = 0;
 
   [[nodiscard]] double success_rate() const noexcept {
     return trials == 0 ? 0.0
@@ -58,7 +119,119 @@ struct PreparedCampaign {
   std::vector<vm::FaultPlan> plans;
   vm::VmOptions run_opts;
   std::uint64_t population_bits = 0;
+  /// Per-plan fork bound (parallel to `plans`): the largest retired count a
+  /// trial may be forked at so its execution from there is bit-identical to
+  /// running from scratch. ResultBit plans fork at their dynamic index (the
+  /// flip fires on the very next retired instruction); RegionInputMemoryBit
+  /// plans fork at the target instance's RegionEnter index. Empty when the
+  /// enumeration carried no fork information — trials then run from scratch.
+  std::vector<std::uint64_t> fork_bounds;
+  /// Retired count of the fault-free run (waypoint spacing + early-exit
+  /// accounting).
+  std::uint64_t fault_free_instructions = 0;
+  /// Prefix-reuse policy, copied from CampaignConfig::fork.
+  ForkPolicy fork{};
 };
+
+/// Waypoint snapshots along ONE golden execution of a prepared campaign,
+/// plus the per-plan assignment of each trial to its fork waypoint. Built
+/// once per campaign by prepare_snapshots (a single serial pass over the
+/// golden prefix up to the deepest fork bound) and then shared read-only by
+/// every trial on every pool worker.
+struct CampaignSnapshots {
+  struct Waypoint {
+    std::uint64_t index = 0;  // retired count the snapshot was taken at
+    vm::Vm::Snapshot state;
+  };
+  std::vector<Waypoint> waypoints;  // strictly increasing by index
+  /// Per plan: 1 + the waypoint the trial forks from, or 0 for from-scratch
+  /// (no waypoint at or before the plan's fork bound).
+  std::vector<std::uint32_t> fork_waypoint;
+  /// Deepest golden point reached while placing waypoints.
+  std::uint64_t resume_depth = 0;
+
+  [[nodiscard]] bool empty() const noexcept { return waypoints.empty(); }
+};
+
+/// Execute the golden prefix once and snapshot it at the campaign's
+/// waypoints (chosen from the sorted fork bounds, spaced by the policy's
+/// effective gap, capped at max_snapshots). Returns an empty plan (all
+/// trials from scratch) when forking is disabled or no bounds are known.
+[[nodiscard]] CampaignSnapshots prepare_snapshots(
+    const vm::DecodedProgram& program, const PreparedCampaign& prepared);
+
+/// Per-trial prefix-reuse accounting filled by run_forked_trial.
+struct TrialAccounting {
+  std::uint64_t instructions = 0;       // actually executed by this trial
+  std::uint64_t prefix_saved = 0;       // golden prefix skipped via the fork
+  std::uint64_t convergence_saved = 0;  // tail skipped via early exit
+  bool early_exit = false;
+};
+
+/// Per-worker forked-trial executor. Each run() forks the trial machine at
+/// EXACTLY its plan's fork bound — a golden-cursor Vm crawls the fault-free
+/// prefix monotonically (resuming from where the previous trial left it,
+/// never from zero; chunk starts seed it from the nearest waypoint
+/// snapshot), and the trial machine becomes a copy of the cursor through a
+/// dirty-page union sync (vm::Vm::fork_from) instead of a full memory-image
+/// copy. The trial then runs with its plan armed, probing later waypoints
+/// for state re-convergence: a converged trial is classified
+/// VerificationSuccess without executing its tail — sound because
+/// full-state equality with the golden machine implies the remainder
+/// replays the golden run. Outcomes are bit-identical to run_trial on the
+/// same plan.
+///
+/// Run trials in fork_schedule() order (ascending fork bound) to keep the
+/// cursor monotonic; an out-of-order bound re-seeds the cursor from a
+/// waypoint, which only costs time, never correctness. Keep one runner per
+/// worker (it is not thread-safe); the referenced campaign, snapshots,
+/// golden outputs and verifier must outlive it.
+class TrialRunner {
+ public:
+  TrialRunner(const vm::DecodedProgram& program,
+              const PreparedCampaign& prepared,
+              const CampaignSnapshots& snapshots,
+              const std::vector<vm::OutputValue>& golden,
+              const Verifier& verify)
+      : program_(&program),
+        prepared_(&prepared),
+        snapshots_(&snapshots),
+        golden_(&golden),
+        verify_(&verify) {}
+
+  [[nodiscard]] Outcome run(std::size_t plan_index,
+                            TrialAccounting* accounting = nullptr);
+
+ private:
+  /// Place the cursor at retired count `bound` on the fault-free prefix.
+  /// Returns false when the golden run cannot reach `bound` still Running
+  /// (stale bounds) — the caller then forks from scratch.
+  bool seek_cursor(std::uint64_t bound);
+
+  const vm::DecodedProgram* program_;
+  const PreparedCampaign* prepared_;
+  const CampaignSnapshots* snapshots_;
+  const std::vector<vm::OutputValue>* golden_;
+  const Verifier* verify_;
+  std::optional<vm::Vm> cursor_;  // golden prefix cursor (never faulted)
+  std::optional<vm::Vm> vm_;      // reused trial machine
+  bool synced_ = false;  // trial machine has fork_from'd this cursor before
+};
+
+/// Plan execution order that maximizes TrialRunner reuse: trial indices
+/// sorted by fork bound (stable), so a worker's golden cursor only ever
+/// moves forward and consecutive trials sync through small dirty-page
+/// unions. Identity order when the campaign carries no fork bounds.
+/// Outcome counts never depend on the order.
+[[nodiscard]] std::vector<std::uint32_t> fork_schedule(
+    const PreparedCampaign& prepared);
+
+/// One-shot convenience over TrialRunner (no Vm reuse across calls).
+[[nodiscard]] Outcome run_forked_trial(
+    const vm::DecodedProgram& program, const PreparedCampaign& prepared,
+    const CampaignSnapshots& snapshots, std::size_t plan_index,
+    const std::vector<vm::OutputValue>& golden, const Verifier& verify,
+    TrialAccounting* accounting = nullptr);
 
 /// Sample the plans and fix the per-trial options for one campaign.
 /// `config.trials == 0` derives the Leveugle sample size from the site
@@ -90,7 +263,11 @@ struct PreparedCampaign {
                                 std::uint64_t* instructions = nullptr);
 
 /// Execute every trial of one prepared campaign on `pool` (one blocking
-/// parallel_for) and aggregate the counts. Decoded-engine form.
+/// parallel_for) and aggregate the counts. Decoded-engine form; runs the
+/// snapshot-forked scheduler when the prepared campaign's ForkPolicy is
+/// enabled and fork bounds are known (prepare_snapshots + run_forked_trial),
+/// the from-scratch trial loop otherwise. Outcome counts are identical
+/// either way; only cost and the prefix-reuse counters differ.
 [[nodiscard]] CampaignResult run_prepared_campaign(
     const vm::DecodedProgram& program, const PreparedCampaign& prepared,
     const std::vector<vm::OutputValue>& golden, const Verifier& verify,

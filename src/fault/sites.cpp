@@ -34,6 +34,7 @@ SiteEnumerationResult enumerate_from_trace_impl(
   const auto inst = trace::find_instance(instances, region_id, instance);
   if (!inst || !inst->complete) return out;
   out.region_found = true;
+  out.region_entry_index = inst->enter_index;
 
   // Internal sites: every value committed inside the instance body.
   const auto slice = tr.slice(inst->body_begin(), inst->body_end());

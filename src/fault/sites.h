@@ -46,8 +46,17 @@ struct SitePopulation {
 enum class TargetClass : std::uint8_t { Internal, Input };
 
 struct SiteEnumerationResult {
+  /// Sentinel for region_entry_index: no single region-entry retire point
+  /// (whole-program enumerations, missing instances).
+  static constexpr std::uint64_t kNoEntry = ~std::uint64_t{0};
+
   SitePopulation sites;
   std::uint64_t fault_free_instructions = 0;  // for hang budgets
+  /// Dynamic index of the enumerated instance's RegionEnter record — the
+  /// retire point where RegionInputMemoryBit plans fire. The snapshot-
+  /// forked campaign scheduler uses it as the fork bound of input-class
+  /// trials (any prefix up to this index is fault-free).
+  std::uint64_t region_entry_index = kNoEntry;
   bool region_found = false;
 };
 

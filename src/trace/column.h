@@ -1,38 +1,39 @@
-// Columnar trace substrate.
-//
-// The legacy Trace is an array-of-structs vector of ~128-byte vm::DynInstr
-// records, and every record duplicates static facts (func/block/instr,
-// opcode, predicate, type, operand count, line, aux) that the decoded
-// program already holds once per flat pc. ColumnTrace stores one traced
-// execution as structure-of-arrays *dynamic* columns keyed by flat pc:
-//
-//   pc          u32  flat pc into DecodedProgram::code() — resolves every
-//                    static field of the record
-//   activation  u32  frame instance executing the instruction — resolves
-//                    register locations (reg_loc(activation, reg))
-//   result_bits u64  the committed/stored/emitted value (0 when none)
-//   ops_offset  u32  per-record start into the packed operand-bits pool
-//   op_bits     u64  pool: one entry per non-empty recorded operand
-//
-// plus a rare-escape side list (`extras`) for the few locations that are
-// not derivable from the columns: Arg-operand locations (they flow in from
-// the caller) and the caller-side register a Ret commits to. Everything
-// else a DynInstr carries is reconstructed: memory effective addresses are
-// the recorded pointer/address operand values, the branch bit is bit 0 of
-// the recorded condition, operand types come from the pre-resolved Src
-// descriptors, and record indices are row numbers (a ColumnTrace always
-// holds one contiguous stream from dynamic instruction 0).
-//
-// Net effect (the "memory of a trace"): ~20 fixed bytes + 8 bytes per
-// recorded operand instead of 128, a 3-4x resident-size reduction on the
-// paper workloads, measured by bench/trace_substrate_ab.cpp.
-//
-// The decoded engine appends into a ColumnTrace directly (the direct-emit
-// instantiation of the hot loop, vm/interp.cpp) — no DynInstr is
-// materialized and no virtual observer dispatch runs per record. Analyses
-// read through TraceView, a zero-copy span whose cursor materializes a
-// bit-identical vm::DynInstr on demand (pinned against the legacy observer
-// path by tests/column_trace_test.cpp).
+/// @file
+/// Columnar trace substrate.
+///
+/// The legacy Trace is an array-of-structs vector of ~128-byte vm::DynInstr
+/// records, and every record duplicates static facts (func/block/instr,
+/// opcode, predicate, type, operand count, line, aux) that the decoded
+/// program already holds once per flat pc. ColumnTrace stores one traced
+/// execution as structure-of-arrays *dynamic* columns keyed by flat pc:
+///
+///   pc          u32  flat pc into DecodedProgram::code() — resolves every
+///                    static field of the record
+///   activation  u32  frame instance executing the instruction — resolves
+///                    register locations (reg_loc(activation, reg))
+///   result_bits u64  the committed/stored/emitted value (0 when none)
+///   ops_offset  u32  per-record start into the packed operand-bits pool
+///   op_bits     u64  pool: one entry per non-empty recorded operand
+///
+/// plus a rare-escape side list (`extras`) for the few locations that are
+/// not derivable from the columns: Arg-operand locations (they flow in from
+/// the caller) and the caller-side register a Ret commits to. Everything
+/// else a DynInstr carries is reconstructed: memory effective addresses are
+/// the recorded pointer/address operand values, the branch bit is bit 0 of
+/// the recorded condition, operand types come from the pre-resolved Src
+/// descriptors, and record indices are row numbers (a ColumnTrace always
+/// holds one contiguous stream from dynamic instruction 0).
+///
+/// Net effect (the "memory of a trace"): ~20 fixed bytes + 8 bytes per
+/// recorded operand instead of 128, a 3-4x resident-size reduction on the
+/// paper workloads, measured by bench/trace_substrate_ab.cpp.
+///
+/// The decoded engine appends into a ColumnTrace directly (the direct-emit
+/// instantiation of the hot loop, vm/interp.cpp) — no DynInstr is
+/// materialized and no virtual observer dispatch runs per record. Analyses
+/// read through TraceView, a zero-copy span whose cursor materializes a
+/// bit-identical vm::DynInstr on demand (pinned against the legacy observer
+/// path by tests/column_trace_test.cpp).
 #pragma once
 
 #include <cassert>

@@ -1,5 +1,7 @@
 #include "vm/interp.h"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 #include <charconv>
 #include <cmath>
@@ -57,6 +59,12 @@ std::int64_t OutputValue::as_i64() const noexcept {
 
 void Vm::init_memory(const ir::Module& m) {
   mem_.assign(m.memory_size(), 0);
+  if (opts_.track_writes && opts_.program) {
+    const std::uint64_t pages =
+        (mem_.size() + ((std::uint64_t{1} << kDirtyPageShift) - 1)) >>
+        kDirtyPageShift;
+    dirty_.assign((pages + 63) / 64, 0);
+  }
   for (std::uint32_t g = 0; g < m.num_globals(); ++g) {
     const auto& gl = m.global(g);
     if (gl.init_bits.empty()) continue;
@@ -109,6 +117,18 @@ Vm::Vm(const ir::Module& m, VmOptions opts)
 
 Vm::Vm(const DecodedProgram& p, VmOptions opts)
     : Vm(p.module(), (opts.program = &p, opts)) {}
+
+Vm::Vm(const DecodedProgram& p, const Snapshot& s, VmOptions opts)
+    : mod_(&p.module()),
+      prog_(&p),
+      opts_((opts.program = &p, opts)),
+      randlc_(opts.rand_seed) {
+  assert(mod_->laid_out() && "module must be laid out before execution");
+  assert(!opts_.observer && !opts_.column_sink &&
+         "snapshot-constructed Vms run the untraced campaign path");
+  dframes_.reserve(opts_.max_call_depth);
+  restore(s);
+}
 
 Vm::OpVal Vm::eval(const Operand& o, const Frame& fr) const {
   switch (o.kind) {
@@ -194,6 +214,9 @@ void Vm::write_word(std::uint64_t addr, std::uint32_t size,
                     std::uint64_t bits) {
   assert(mem_ok(addr, size));
   std::memcpy(&mem_[addr], &bits, size);
+  // dirty_ is non-empty exactly when write tracking is on; region-entry
+  // faults route through here, so fault flips are tracked too.
+  if (!dirty_.empty()) mark_dirty(addr, size);
 }
 
 std::uint32_t Vm::region_instances(std::uint32_t rid) const {
@@ -575,6 +598,7 @@ Vm::Status Vm::step_decoded(DynInstr* out) {
       std::uint64_t bits = a.bits;
       maybe_flip_result(bits);
       std::memcpy(&mem_[addr], &bits, size);
+      if (!dirty_.empty()) mark_dirty(addr, size);
       has_res = false;
       result_location = mem_loc(addr);
       result = bits;
@@ -1227,13 +1251,22 @@ void Vm::run_decoded_hot() {
   const DecodedInstr* const code = prog_->code();
   const Src* const srcs_all = prog_->srcs();
   const std::uint64_t max_instr = opts_.max_instructions;
+  // One compare serves both the hang budget and run_until()'s pause mark;
+  // which of the two was hit is decided once, at `limit_reached`.
+  const std::uint64_t stop_limit = std::min(max_instr, stop_at_);
   const bool fault_rb = opts_.fault.kind == FaultPlan::Kind::ResultBit;
+  const bool track_writes = !dirty_.empty();
   std::uint64_t retired = n_retired_;
   DFrame* fr = &dframes_.back();
   const DecodedInstr* ins = nullptr;
   const Src* srcs = nullptr;
   trace::ColumnTrace* const sink = opts_.column_sink;
   (void)sink;  // only the Traced instantiation reads it
+  // Retired count of the sink's row 0: zero on a fresh run, the resume
+  // point when a run_until()-paused traced machine continues.
+  std::uint64_t trace_base = 0;
+  if constexpr (Traced) trace_base = retired - sink->size();
+  (void)trace_base;
 
   // Operand value (bits only — locations are derived or escaped at emit
   // time). Const and None read the pre-computed bits; None carries 0,
@@ -1302,14 +1335,14 @@ void Vm::run_decoded_hot() {
 #define FT_OP(name) op_##name
 #define FT_NEXT()                                            \
   do {                                                       \
-    if (++retired >= max_instr) goto hang_trap;              \
+    if (++retired >= stop_limit) goto limit_reached;         \
     ins = &code[fr->pc];                                     \
     srcs = srcs_all + ins->src_begin;                        \
     emit_record();                                           \
     goto* kOpTable[static_cast<std::uint8_t>(ins->op)];      \
   } while (0)
 
-  if (retired >= max_instr) goto hang_trap;
+  if (retired >= stop_limit) goto limit_reached;
   ins = &code[fr->pc];
   srcs = srcs_all + ins->src_begin;
   emit_record();
@@ -1323,7 +1356,7 @@ void Vm::run_decoded_hot() {
   }
 
   for (;;) {
-    if (retired >= max_instr) goto hang_trap;
+    if (retired >= stop_limit) goto limit_reached;
     ins = &code[fr->pc];
     srcs = srcs_all + ins->src_begin;
     emit_record();
@@ -1599,6 +1632,7 @@ void Vm::run_decoded_hot() {
     std::uint64_t bits = val(srcs[0]);
     flip(bits);
     std::memcpy(&mem_[addr], &bits, size);
+    if (track_writes) mark_dirty(addr, size);
     if constexpr (Traced) sink->set_result(bits);
     fr->pc++;
     FT_NEXT();
@@ -1733,13 +1767,17 @@ void Vm::run_decoded_hot() {
 #undef FT_OP
 #undef FT_NEXT
 
-hang_trap:
-  set_trap(TrapKind::Hang);
+limit_reached:
+  // Reaching run_until()'s pause mark is not a trap: the machine stays
+  // Running and a later run resumes here. Only the hang budget traps.
+  if (retired >= max_instr) set_trap(TrapKind::Hang);
 done:
   n_retired_ = retired;
   // A record is opened per *fetched* instruction; an instruction that
   // trapped mid-execution did not retire, so its partial record rolls back.
-  if constexpr (Traced) sink->truncate_to(retired);
+  // Rows are counted relative to the sink (a resumed machine appends its
+  // suffix to whatever the sink already holds).
+  if constexpr (Traced) sink->truncate_to(retired - trace_base);
 }
 
 Vm::Status Vm::step(DynInstr* out) {
@@ -1747,6 +1785,209 @@ Vm::Status Vm::step(DynInstr* out) {
     return out ? step_decoded<true>(out) : step_decoded<false>(nullptr);
   }
   return step_legacy(out);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot / resume: the prefix-reuse primitives the snapshot-forked
+// campaign scheduler (fault/campaign.cpp) is built on. Only the decoded
+// engine supports them — campaigns run nowhere else.
+// ---------------------------------------------------------------------------
+
+void Vm::run_until(std::uint64_t target) {
+  assert(prog_ && "run_until drives the decoded engine only");
+  assert(!opts_.observer && "run_until bypasses the observer path");
+  stop_at_ = target;
+  if (opts_.column_sink) {
+    run_decoded_hot<true>();
+  } else {
+    run_decoded_hot<false>();
+  }
+  stop_at_ = ~std::uint64_t{0};
+}
+
+void Vm::save(Snapshot& out) const {
+  assert(prog_ && "snapshots capture decoded-engine state only");
+  out.mem = mem_;
+  out.frames = dframes_;
+  out.slots.assign(slots_.begin(), slots_.begin() + slot_top_);
+  out.arg_locs.assign(arg_locs_.begin(), arg_locs_.begin() + arg_loc_top_);
+  out.outputs = outputs_;
+  out.region_counts = region_counts_;
+  out.sp = sp_;
+  out.next_activation = next_activation_;
+  out.retired = n_retired_;
+  out.randlc = randlc_;
+  out.trap = trap_;
+  out.status = status_;
+  out.fault_fired = fault_fired_;
+}
+
+Vm::Snapshot Vm::snapshot() const {
+  Snapshot s;
+  save(s);
+  return s;
+}
+
+void Vm::sync_sink_to(std::uint64_t target_retired) {
+  trace::ColumnTrace* const sink = opts_.column_sink;
+  if (!sink || sink->empty()) return;
+  // The sink's rows are a contiguous suffix ending at n_retired_. Restoring
+  // to an earlier point rolls the rows past it back (restoring before the
+  // sink's first row empties it); restoring *forward* of the executed
+  // stream would leave rows claiming instructions that were never traced,
+  // so it is rejected.
+  assert(target_retired <= n_retired_ &&
+         "cannot restore a traced Vm forward of its executed stream");
+  const std::uint64_t base = n_retired_ - sink->size();
+  sink->truncate_to(target_retired > base ? target_retired - base : 0);
+}
+
+void Vm::restore_machine_state(const Snapshot& s) {
+  sync_sink_to(s.retired);
+  dframes_ = s.frames;
+  slots_.assign(s.slots.begin(), s.slots.end());
+  slot_top_ = static_cast<std::uint32_t>(s.slots.size());
+  arg_locs_.assign(s.arg_locs.begin(), s.arg_locs.end());
+  arg_loc_top_ = static_cast<std::uint32_t>(s.arg_locs.size());
+  outputs_ = s.outputs;
+  region_counts_ = s.region_counts;
+  sp_ = s.sp;
+  next_activation_ = s.next_activation;
+  n_retired_ = s.retired;
+  randlc_ = s.randlc;
+  trap_ = s.trap;
+  status_ = s.status;
+  fault_fired_ = s.fault_fired;
+}
+
+void Vm::restore(const Snapshot& s) {
+  assert(prog_ && "snapshots restore decoded-engine state only");
+  assert(s.mem.size() == prog_->module().memory_size() &&
+         "snapshot must come from a Vm over the same module");
+  mem_ = s.mem;
+  if (opts_.track_writes && prog_) {
+    const std::uint64_t pages =
+        (mem_.size() + ((std::uint64_t{1} << kDirtyPageShift) - 1)) >>
+        kDirtyPageShift;
+    dirty_.assign((pages + 63) / 64, 0);  // full restore: everything clean
+  }
+  restore_machine_state(s);
+}
+
+void Vm::fork_from(Vm& golden, bool full) {
+  assert(prog_ && golden.prog_ == prog_ &&
+         "fork_from pairs two machines over one decoded program");
+  assert(!dirty_.empty() && !golden.dirty_.empty() &&
+         "fork_from requires VmOptions::track_writes on both machines");
+  if (full) {
+    mem_ = golden.mem_;
+  } else {
+    // Union of both machines' writes since their memories last matched:
+    // everything else is identical by the precondition.
+    constexpr std::uint64_t kPage = std::uint64_t{1} << kDirtyPageShift;
+    for (std::size_t word = 0; word < dirty_.size(); ++word) {
+      std::uint64_t bits = dirty_[word] | golden.dirty_[word];
+      while (bits != 0) {
+        const auto page = word * 64 +
+                          static_cast<std::uint64_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const std::uint64_t begin = page << kDirtyPageShift;
+        const std::uint64_t len = std::min(kPage, mem_.size() - begin);
+        std::memcpy(&mem_[begin], &golden.mem_[begin], len);
+      }
+    }
+  }
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+  std::fill(golden.dirty_.begin(), golden.dirty_.end(), 0);
+
+  sync_sink_to(golden.n_retired_);
+  dframes_ = golden.dframes_;
+  slots_.assign(golden.slots_.begin(),
+                golden.slots_.begin() + golden.slot_top_);
+  slot_top_ = golden.slot_top_;
+  arg_locs_.assign(golden.arg_locs_.begin(),
+                   golden.arg_locs_.begin() + golden.arg_loc_top_);
+  arg_loc_top_ = golden.arg_loc_top_;
+  outputs_ = golden.outputs_;
+  region_counts_ = golden.region_counts_;
+  sp_ = golden.sp_;
+  next_activation_ = golden.next_activation_;
+  n_retired_ = golden.n_retired_;
+  randlc_ = golden.randlc_;
+  trap_ = golden.trap_;
+  status_ = golden.status_;
+  fault_fired_ = golden.fault_fired_;
+}
+
+void Vm::restore_dirty(const Snapshot& s) {
+  assert(prog_ && !dirty_.empty() &&
+         "restore_dirty requires VmOptions::track_writes");
+  assert(s.mem.size() == mem_.size() &&
+         "snapshot must come from a Vm over the same module");
+  // Copy back only the pages execution wrote since the memory last equaled
+  // s.mem (the restore_dirty precondition); everything else is untouched.
+  constexpr std::uint64_t kPage = std::uint64_t{1} << kDirtyPageShift;
+  for (std::size_t word = 0; word < dirty_.size(); ++word) {
+    std::uint64_t bits = dirty_[word];
+    if (bits == 0) continue;
+    dirty_[word] = 0;
+    while (bits != 0) {
+      const auto page = word * 64 +
+                        static_cast<std::uint64_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      const std::uint64_t begin = page << kDirtyPageShift;
+      const std::uint64_t len = std::min(kPage, mem_.size() - begin);
+      std::memcpy(&mem_[begin], &s.mem[begin], len);
+    }
+  }
+  restore_machine_state(s);
+}
+
+bool Vm::state_equals(const Snapshot& s) const {
+  assert(prog_);
+  // Cheapest discriminators first: counters churn with every frame push
+  // and retired instruction, so mismatched executions bail before the
+  // memory-image compare.
+  if (n_retired_ != s.retired || sp_ != s.sp ||
+      next_activation_ != s.next_activation || status_ != s.status ||
+      trap_ != s.trap) {
+    return false;
+  }
+  if (dframes_.size() != s.frames.size() || slot_top_ != s.slots.size() ||
+      arg_loc_top_ != s.arg_locs.size()) {
+    return false;
+  }
+  if (!std::equal(s.frames.begin(), s.frames.end(), dframes_.begin())) {
+    return false;
+  }
+  if (!std::equal(s.slots.begin(), s.slots.end(), slots_.begin())) {
+    return false;
+  }
+  if (!std::equal(s.arg_locs.begin(), s.arg_locs.end(), arg_locs_.begin())) {
+    return false;
+  }
+  if (outputs_ != s.outputs || region_counts_ != s.region_counts ||
+      randlc_.state() != s.randlc.state()) {
+    return false;
+  }
+  // Strided sample across the memory image before the full scan: a trial
+  // that diverged in memory has usually propagated the corruption through
+  // whole arrays by the time a probe runs, so a mismatch almost always
+  // lands in the sample and the full-image compare is skipped. Equality
+  // still requires the full compare below — the sample only fails fast.
+  const std::size_t n = mem_.size();
+  if (n >= 8192) {
+    const std::size_t stride = n / 128;
+    for (std::size_t i = stride / 2; i + 8 <= n; i += stride) {
+      if (std::memcmp(&mem_[i], &s.mem[i], 8) != 0) return false;
+    }
+  }
+  return mem_ == s.mem;
+}
+
+void Vm::set_fault(const FaultPlan& plan) noexcept {
+  opts_.fault = plan;
+  fault_fired_ = false;
 }
 
 RunResult Vm::run() {

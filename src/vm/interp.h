@@ -1,34 +1,43 @@
-// The MiniIR interpreter.
-//
-// One Vm executes one module deterministically: same module + same options
-// (seed, fault plan) => bit-identical instruction stream. Determinism is
-// what lets FlipTracker match faulty runs against fault-free runs
-// record-by-record (the paper relies on record-and-replay for this, §V-B;
-// our VM is deterministic by construction).
-//
-// Two execution engines, bit-identical by construction and pinned so by
-// tests/decode_test.cpp:
-//   * decoded — constructed from a vm::DecodedProgram (vm/decode.h): flat
-//     pre-resolved instruction stream dispatched over a dense-opcode jump
-//     table, with one contiguous register/argument stack shared by all
-//     frames (no per-frame heap allocation). This is the hot engine every
-//     campaign trial runs on; decode once per program, execute thousands
-//     of times.
-//   * legacy — constructed from an ir::Module directly: walks the nested
-//     ir::Instruction/ir::Operand representation. Kept as the reference
-//     implementation and the A/B baseline for the decoded engine.
-//
-// Three driving styles:
-//   * Vm::run()  — run to completion. With VmOptions::column_sink set (and
-//                  no observer), the decoded hot loop appends every record
-//                  directly into the columnar trace — no DynInstr, no
-//                  virtual dispatch. With an observer, records stream
-//                  through the ExecObserver hook (the gating/selective
-//                  path). With neither, nothing is materialized (the
-//                  campaign fast path).
-//   * Vm::step() — retire one instruction at a time; used by the lockstep
-//                  differential engine (src/acl/) to compare a faulty and a
-//                  fault-free execution.
+/// @file
+/// The MiniIR interpreter.
+///
+/// One Vm executes one module deterministically: same module + same options
+/// (seed, fault plan) => bit-identical instruction stream. Determinism is
+/// what lets FlipTracker match faulty runs against fault-free runs
+/// record-by-record (the paper relies on record-and-replay for this, §V-B;
+/// our VM is deterministic by construction).
+///
+/// Two execution engines, bit-identical by construction and pinned so by
+/// tests/decode_test.cpp:
+///   * decoded — constructed from a vm::DecodedProgram (vm/decode.h): flat
+///     pre-resolved instruction stream dispatched over a dense-opcode jump
+///     table, with one contiguous register/argument stack shared by all
+///     frames (no per-frame heap allocation). This is the hot engine every
+///     campaign trial runs on; decode once per program, execute thousands
+///     of times.
+///   * legacy — constructed from an ir::Module directly: walks the nested
+///     ir::Instruction/ir::Operand representation. Kept as the reference
+///     implementation and the A/B baseline for the decoded engine.
+///
+/// Three driving styles:
+///   * Vm::run()  — run to completion. With VmOptions::column_sink set (and
+///                  no observer), the decoded hot loop appends every record
+///                  directly into the columnar trace — no DynInstr, no
+///                  virtual dispatch. With an observer, records stream
+///                  through the ExecObserver hook (the gating/selective
+///                  path). With neither, nothing is materialized (the
+///                  campaign fast path).
+///   * Vm::step() — retire one instruction at a time; used by the lockstep
+///                  differential engine (src/acl/) to compare a faulty and a
+///                  fault-free execution.
+///   * Vm::run_until() — run the decoded hot loop up to a target retired
+///                  count and stop with the machine still Running. Paired
+///                  with save()/restore()/fork_from() (Vm::Snapshot) this
+///                  is what the snapshot-forked campaign scheduler
+///                  (src/fault/) builds on: execute the golden prefix
+///                  once (a cursor machine, resumed site to site, never
+///                  from zero) and fork every injection trial at exactly
+///                  its site instead of replaying the prefix.
 #pragma once
 
 #include <cstdint>
@@ -76,6 +85,13 @@ struct VmOptions {
   /// materialized and no observer dispatch runs. Ignored when an observer
   /// is also set (the observer path keeps gating/streaming semantics).
   trace::ColumnTrace* column_sink = nullptr;
+  /// Track which memory pages the machine writes (decoded engine): enables
+  /// the incremental state transfers of the campaign scheduler —
+  /// Vm::restore_dirty() (re-restore a snapshot copying only the pages
+  /// dirtied since) and Vm::fork_from() (sync a trial machine to the
+  /// golden cursor through the union of both machines' dirty pages).
+  /// Costs a couple of ALU ops per retired Store.
+  bool track_writes = false;
 };
 
 struct RunResult {
@@ -93,6 +109,10 @@ class Vm {
  public:
   enum class Status : std::uint8_t { Running, Finished, Trapped };
 
+  /// A deep copy of the decoded engine's machine state mid-run (defined
+  /// after the class; it names private frame types). See save()/restore().
+  struct Snapshot;
+
   /// The module must outlive the Vm and must be laid out (Module::layout(),
   /// done by ProgramBuilder::finish()). Runs the legacy tree-walking engine
   /// unless `opts.program` carries a decoded form of `m`.
@@ -101,6 +121,13 @@ class Vm {
   /// Execute the decoded engine over `p` (which must outlive the Vm, as
   /// must the module it was decoded from).
   explicit Vm(const DecodedProgram& p, VmOptions opts = {});
+
+  /// Construct the decoded engine directly in a snapshotted state: cheaper
+  /// than construct-then-restore() because the golden memory image is never
+  /// zeroed and re-initialized first (one full-image write per campaign
+  /// trial on the snapshot-forked path). The snapshot must come from a Vm
+  /// over the same program.
+  Vm(const DecodedProgram& p, const Snapshot& s, VmOptions opts = {});
 
   /// Retire one instruction. If `out` is non-null it receives the dynamic
   /// record of the retired instruction (unset when the instruction trapped).
@@ -112,6 +139,58 @@ class Vm {
   /// One-shot conveniences.
   static RunResult run(const ir::Module& m, VmOptions opts = {});
   static RunResult run(const DecodedProgram& p, VmOptions opts = {});
+
+  // --- snapshot / resume (decoded engine only) -------------------------------
+  /// Run the decoded hot loop until `target` instructions have retired in
+  /// total (n_retired() == target), the program finishes/traps, or the
+  /// hang budget (VmOptions::max_instructions) classifies the run as hung.
+  /// Stopping at the target leaves status() == Running; calling again (or
+  /// run()) resumes exactly where execution stopped. Honors an attached
+  /// column sink; incompatible with an observer.
+  void run_until(std::uint64_t target);
+
+  /// Deep-copy the full machine state (memory image, frame stack, live
+  /// register/argument slots, stack pointer, RNG, outputs, region counts,
+  /// retired count) into `out`, reusing its buffers. Everything execution
+  /// depends on is captured: restore() followed by any run is bit-identical
+  /// to an execution that never snapshotted (pinned by
+  /// tests/snapshot_test.cpp).
+  void save(Snapshot& out) const;
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Overwrite the machine state with `s` (taken from a Vm over the same
+  /// decoded program with the same options). The fault plan is NOT part of
+  /// the snapshot — arm the trial's plan afterwards with set_fault().
+  void restore(const Snapshot& s);
+
+  /// Incremental restore (requires VmOptions::track_writes): copy back only
+  /// the memory pages written since the last (full or incremental) restore,
+  /// then restore the cheap non-memory state as restore() does.
+  /// PRECONDITION: the machine's memory last equaled `s.mem` (it was
+  /// constructed from or restored to this same snapshot) and has since been
+  /// mutated only through tracked execution — restoring to a *different*
+  /// snapshot must go through restore().
+  void restore_dirty(const Snapshot& s);
+
+  /// Become a copy of `golden` (both machines over the same program with
+  /// track_writes on). With `full`, the whole memory image is copied; with
+  /// `full == false` only the pages either machine dirtied since the two
+  /// last had identical memory are copied — the exact-fork step of the
+  /// campaign scheduler, where `golden` is a cursor crawling the fault-free
+  /// prefix and this machine reruns trial after trial. Clears BOTH
+  /// machines' dirty bitmaps (they are in sync again).
+  void fork_from(Vm& golden, bool full);
+
+  /// True when the live machine state equals `s` bit for bit (memory,
+  /// frames, live slots, sp, RNG, outputs, region counts, retired count,
+  /// status). Deliberately ignores the fault-fired flag: the forked-trial
+  /// convergence probe guards on fault_fired() itself before trusting
+  /// state equality (an armed-but-unfired plan could still diverge later).
+  [[nodiscard]] bool state_equals(const Snapshot& s) const;
+
+  /// Re-arm the fault plan mid-life (clears the fired flag). Used by the
+  /// campaign scheduler to reuse one restored machine for a new trial.
+  void set_fault(const FaultPlan& plan) noexcept;
 
   // --- introspection ---------------------------------------------------------
   [[nodiscard]] Status status() const noexcept { return status_; }
@@ -176,6 +255,8 @@ class Vm {
     std::uint32_t nargs = 0;
     std::uint64_t saved_sp = 0;
     std::uint32_t ret_reg = ir::kNoReg;
+
+    bool operator==(const DFrame&) const = default;
   };
 
   struct OpVal {
@@ -183,6 +264,22 @@ class Vm {
     Location loc = kNoLoc;
     ir::Type type = ir::Type::Void;
   };
+
+  /// Keep an attached column sink consistent with a restore to
+  /// `target_retired`: rows past the restore point roll back (the sink's
+  /// rows are a contiguous suffix of the executed stream).
+  void sync_sink_to(std::uint64_t target_retired);
+
+  // --- write tracking (page-granular dirty bitmap) ---------------------------
+  static constexpr std::uint64_t kDirtyPageShift = 12;  // 4 KiB pages
+  void mark_dirty(std::uint64_t addr, std::uint32_t size) noexcept {
+    const std::uint64_t first = addr >> kDirtyPageShift;
+    const std::uint64_t last = (addr + size - 1) >> kDirtyPageShift;
+    for (std::uint64_t p = first; p <= last; ++p) {
+      dirty_[p >> 6] |= std::uint64_t{1} << (p & 63);
+    }
+  }
+  void restore_machine_state(const Snapshot& s);
 
   OpVal eval(const ir::Operand& o, const Frame& fr) const;
   OpVal eval_src(const Src& s, const DFrame& fr) const;
@@ -206,12 +303,16 @@ class Vm {
   const DecodedProgram* prog_ = nullptr;  // non-null => decoded engine
   VmOptions opts_;
   std::vector<std::uint8_t> mem_;
+  std::vector<std::uint64_t> dirty_;  // page bitmap; only with track_writes
   std::vector<Frame> frames_;
   std::vector<DFrame> dframes_;
   std::vector<std::uint64_t> slots_;  // contiguous regs+args, decoded engine
   std::vector<Location> arg_locs_;
   std::uint32_t slot_top_ = 0;
   std::uint32_t arg_loc_top_ = 0;
+  /// Hot-loop stop mark for run_until(): execution pauses (status stays
+  /// Running) once n_retired_ reaches this, independent of the hang budget.
+  std::uint64_t stop_at_ = ~std::uint64_t{0};
   std::uint64_t sp_ = 0;
   std::uint64_t next_activation_ = 1;
   std::uint64_t n_retired_ = 0;
@@ -221,6 +322,41 @@ class Vm {
   TrapKind trap_ = TrapKind::None;
   Status status_ = Status::Running;
   bool fault_fired_ = false;
+};
+
+/// The decoded engine's complete machine state at one retired-instruction
+/// boundary. Snapshots are plain value types: copy/move them freely, reuse
+/// one as a save() target across calls (buffers are recycled), and share a
+/// const snapshot across threads — restore() only reads it. Restoring costs
+/// a handful of memcpys (dominated by the memory image), which is what
+/// makes forking a campaign trial from a snapshot cheap next to replaying
+/// the golden prefix it encodes.
+struct Vm::Snapshot {
+  std::vector<std::uint8_t> mem;
+  std::vector<DFrame> frames;
+  std::vector<std::uint64_t> slots;       // live prefix [0, slot_top)
+  std::vector<Location> arg_locs;         // live prefix [0, arg_loc_top)
+  std::vector<OutputValue> outputs;
+  std::vector<std::uint32_t> region_counts;
+  std::uint64_t sp = 0;
+  std::uint64_t next_activation = 1;
+  std::uint64_t retired = 0;
+  util::Randlc randlc;
+  TrapKind trap = TrapKind::None;
+  Status status = Status::Running;
+  bool fault_fired = false;
+
+  /// Heap bytes the snapshot holds (capacity-independent) — a sizing aid
+  /// for callers budgeting snapshot retention. (The campaign scheduler's
+  /// waypoint cap estimates from the module's memory size instead, which
+  /// dominates every snapshot and is known before any snapshot exists.)
+  [[nodiscard]] std::size_t resident_bytes() const noexcept {
+    return mem.size() + frames.size() * sizeof(DFrame) +
+           slots.size() * sizeof(std::uint64_t) +
+           arg_locs.size() * sizeof(Location) +
+           outputs.size() * sizeof(OutputValue) +
+           region_counts.size() * sizeof(std::uint32_t);
+  }
 };
 
 }  // namespace ft::vm

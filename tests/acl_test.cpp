@@ -109,6 +109,41 @@ TEST(DiffRun, NoFaultMeansNoDifference) {
   EXPECT_EQ(diff.faulty_result.outputs, diff.clean_result.outputs);
 }
 
+TEST(DiffRun, ReserveRecordsIsHonoredOnTheLegacyPath) {
+  // The legacy (non-columnar) diff path must pre-reserve its outputs from
+  // DiffOptions::reserve_records exactly as the columnar path does, so
+  // substrate A/B timings compare appending, not reallocation churn. A
+  // hint far above what organic doubling would reach proves reserve ran.
+  hl::ProgramBuilder pb("t");
+  const auto fid = pb.declare_function("main");
+  {
+    auto f = pb.define(fid);
+    auto s = f.var_f64("s", 0.0);
+    f.for_("i", 0, 50, [&](hl::Value i) { s.set(s.get() + f.sitofp(i)); });
+    f.emit(s.get());
+    f.ret();
+  }
+  auto mod = pb.finish();
+  acl::DiffOptions opts;
+  opts.fault = vm::FaultPlan::result_bit(30, 1);
+  const auto records = acl::diff_run(mod, opts).usable_records();
+  ASSERT_GT(records, 0u);
+
+  opts.reserve_records = records * 4;
+  const auto reserved = acl::diff_run(mod, opts);
+  EXPECT_EQ(reserved.usable_records(), records);
+  EXPECT_GE(reserved.faulty.records.capacity(), records * 4);
+  EXPECT_GE(reserved.clean_bits.capacity(), records * 4);
+  EXPECT_GE(reserved.clean_op_bits.capacity(), records * 4);
+  EXPECT_GE(reserved.differs.words().capacity(), (records * 4 + 63) / 64);
+
+  // The cap still clamps the reserve (no over-allocation past max_records).
+  opts.max_records = records / 2;
+  const auto capped = acl::diff_run(mod, opts);
+  EXPECT_TRUE(capped.truncated);
+  EXPECT_LT(capped.faulty.records.capacity(), records * 4);
+}
+
 TEST(DiffRun, FaultShowsUpExactlyAtInjection) {
   hl::ProgramBuilder pb("t");
   auto arr = pb.global_init_f64("arr", {1.0, 2.0, 3.0, 4.0});

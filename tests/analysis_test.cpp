@@ -231,6 +231,12 @@ TEST(AnalysisRequest, ReportCarriesAppAnalysesAndLookups) {
   EXPECT_GT(app->rates->total_instructions, 0u);
   ASSERT_TRUE(app->whole_app.has_value());
   EXPECT_EQ(app->whole_app->trials, 8u);
+  // The whole-app campaign ran snapshot-forked: the report rolls up its
+  // prefix-reuse counters.
+  EXPECT_GT(report.snapshots_taken, 0u);
+  EXPECT_GT(report.instructions_saved, 0u);
+  EXPECT_GT(report.max_resume_depth, 0u);
+  EXPECT_GT(app->whole_app->prefix_instructions_saved, 0u);
 
   const auto* entry =
       report.find("CG", "cg_b", fault::TargetClass::Internal);

@@ -24,6 +24,12 @@
 #     must stay >= 2x in trials/sec with identical outcome counts (the
 #     binary exits nonzero on a mismatch) and must report prefix reuse.
 #
+#  5. Cross-rank determinism (rank_propagation): 4-rank campaigns on the
+#     rank-decomposed CG/MG/LULESH with the rank-local ForkPolicy A/B'd on
+#     vs off — outcome counts must be bit-identical (the binary exits
+#     nonzero on a mismatch) and the serial-vs-parallel SR table prints
+#     into the artifact.
+#
 # The combined output is also written to <build-dir>/bench_smoke.out so CI
 # can upload it as an artifact.
 #
@@ -36,9 +42,10 @@ bench="$build_dir/fig5_per_region_sr"
 engine_ab="$build_dir/vm_engine_ab"
 trace_ab="$build_dir/trace_substrate_ab"
 fork_ab="$build_dir/campaign_fork_ab"
+rank_prop="$build_dir/rank_propagation"
 out="$build_dir/bench_smoke.out"
 
-for bin in "$bench" "$engine_ab" "$trace_ab" "$fork_ab"; do
+for bin in "$bench" "$engine_ab" "$trace_ab" "$fork_ab" "$rank_prop"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not found (build first: cmake -B $build_dir -S . && cmake --build $build_dir -j)" >&2
     exit 1
@@ -52,10 +59,10 @@ extract_ms() {
   sed -n 's/^campaign wall: \([0-9.]*\) ms.*/\1/p' "$1"
 }
 
-tmp_engine=$(mktemp) tmp_trace=$(mktemp) tmp_batched=$(mktemp) tmp_legacy=$(mktemp) tmp_fork=$(mktemp)
-trap 'rm -f "$tmp_engine" "$tmp_trace" "$tmp_batched" "$tmp_legacy" "$tmp_fork"' EXIT
+tmp_engine=$(mktemp) tmp_trace=$(mktemp) tmp_batched=$(mktemp) tmp_legacy=$(mktemp) tmp_fork=$(mktemp) tmp_rank=$(mktemp)
+trap 'rm -f "$tmp_engine" "$tmp_trace" "$tmp_batched" "$tmp_legacy" "$tmp_fork" "$tmp_rank"' EXIT
 
-echo "== bench smoke 1/4: decoded vs legacy engine on the CG campaign =="
+echo "== bench smoke 1/5: decoded vs legacy engine on the CG campaign =="
 # A longer campaign than section 3 (and interleaved best-of-3 inside the
 # bench) keeps the speedup measurement steady on busy/single-core hosts.
 engine_trials=$(( trials * 2 > 60 ? trials * 2 : 60 ))
@@ -70,7 +77,7 @@ awk -v s="$engine_speedup" 'BEGIN {
 }' | tee -a "$out"
 
 echo
-echo "== bench smoke 2/4: columnar vs DynInstr-observer traced run on CG =="
+echo "== bench smoke 2/5: columnar vs DynInstr-observer traced run on CG =="
 # The binary exits nonzero when the ACL series/events or pattern counts
 # differ between substrates, failing the smoke under pipefail.
 "$trace_ab" | tee "$tmp_trace"
@@ -87,7 +94,7 @@ awk -v s="$trace_speedup" -v r="$bytes_ratio" 'BEGIN {
 }' | tee -a "$out"
 
 echo
-echo "== bench smoke 3/4: fig5 on CG, $trials trials per region/class =="
+echo "== bench smoke 3/5: fig5 on CG, $trials trials per region/class =="
 "$bench" --apps=CG --trials="$trials" | tee "$tmp_batched" | grep -E "^(schedule|campaign)"
 echo
 echo "-- legacy per-region scheduling --"
@@ -106,7 +113,7 @@ awk -v b="$batched_ms" -v l="$legacy_ms" 'BEGIN {
 }' | tee -a "$out"
 
 echo
-echo "== bench smoke 4/4: snapshot-forked vs from-scratch campaign trials on CG =="
+echo "== bench smoke 4/5: snapshot-forked vs from-scratch campaign trials on CG =="
 # A longer campaign than section 3 amortizes the one-time golden pass and
 # keeps the best-of interleaved measurement steady; the binary itself
 # exits nonzero if the two schedulers disagree on any outcome count.
@@ -122,3 +129,18 @@ awk -v s="$fork_speedup" -v n="$fork_snaps" 'BEGIN {
   if (s < 2.0) { printf "REGRESSION: snapshot-forked campaign only %.2fx from-scratch trial throughput (need >= 2x)\n", s; exit 1 }
   printf "campaign scheduler OK (%.2fx >= 2x trials/s, %d snapshots)\n", s, n
 }' | tee -a "$out"
+
+echo
+echo "== bench smoke 5/5: cross-rank campaign determinism (4-rank CG/MG/LULESH) =="
+# The binary runs every multi-rank campaign twice — rank-local snapshot
+# forking on and off — and exits nonzero if any cross-rank outcome count
+# differs, failing the smoke under pipefail.
+"$rank_prop" --trials="$trials" | tee "$tmp_rank"
+cat "$tmp_rank" >> "$out"
+
+rank_ok=$(sed -n 's/^rank determinism: \(.*\)$/\1/p' "$tmp_rank")
+if [[ "$rank_ok" != "OK" ]]; then
+  echo "REGRESSION: cross-rank campaign counts depend on ForkPolicy" | tee -a "$out"
+  exit 1
+fi
+echo "cross-rank determinism OK" | tee -a "$out"

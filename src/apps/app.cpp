@@ -48,6 +48,9 @@ AppSpec build_app(const std::string& name) {
   if (name == "SP") return build_sp();
   if (name == "DC") return build_dc();
   if (name == "FT") return build_ft();
+  if (name == "CG-RANKED") return build_cg_ranked();
+  if (name == "MG-RANKED") return build_mg_ranked();
+  if (name == "LULESH-RANKED") return build_lulesh_ranked();
   throw std::runtime_error("unknown app: " + name);
 }
 

@@ -79,6 +79,16 @@ struct AppSpec {
 [[nodiscard]] AppSpec build_dc();
 [[nodiscard]] AppSpec build_ft();
 
+// --- rank-decomposed variants (cross-rank campaigns) -------------------------
+// The decomposition is read from mpi_rank()/mpi_size() at runtime: one
+// module serves any world size, and a single-rank (null-endpoint) run
+// degenerates to the full serial problem — which is exactly the serial
+// baseline the serial-vs-parallel resilience comparison (Wu et al.) needs.
+// Registry names: "CG-RANKED", "MG-RANKED", "LULESH-RANKED".
+[[nodiscard]] AppSpec build_cg_ranked();      // row blocks + allreduced dots
+[[nodiscard]] AppSpec build_mg_ranked();      // plane slabs + halo exchange
+[[nodiscard]] AppSpec build_lulesh_ranked();  // element blocks + force assembly
+
 /// Use Case 1 (§VII-A): CG with resilience patterns applied.
 struct CgHardening {
   bool dcl_overwrite = false;  // Fig. 12: temp arrays in sprnvc + copy-back

@@ -377,10 +377,271 @@ AppSpec build_cg_impl(double ref, const CgHardening& hard) {
   return spec;
 }
 
+// --- rank-decomposed CG (cg-ranked) ------------------------------------------
+//
+// The multi-rank variant used by the cross-rank campaigns
+// (fault/rank_campaign.h): the decomposition is read from mpi_rank()/
+// mpi_size() at RUNTIME, so one module serves any world size — and a
+// single-rank (null-endpoint) run degenerates to the full serial problem,
+// which is what bake() measures the reference against. Rows are block-
+// partitioned per rank; makea stays replicated (every rank builds the full
+// matrix from the shared randlc stream, as NAS ranks build their local
+// blocks); dot products reduce partial sums with MPI_Allreduce inside the
+// regions exactly where NAS CG places them; and updated p/z blocks are
+// broadcast block-by-block over the p2p channels before each use of the
+// full vector (the matvec and the final r = A z).
+AppSpec build_cg_ranked_impl(double ref) {
+  const CgPattern pat = make_pattern();
+  const auto nnz = static_cast<std::int64_t>(pat.colidx.size());
+
+  hl::ProgramBuilder pb("cg-ranked", __FILE__);
+
+  auto g_a = pb.global_f64("a", nnz);
+  auto g_colidx = pb.global_init_i64("colidx", pat.colidx);
+  auto g_rowstr = pb.global_init_i64("rowstr", pat.rowstr);
+  auto g_diag = pb.global_init_i64("diag_pos", pat.diag_pos);
+  auto g_estart = pb.global_init_i64("edge_start", pat.edge_start);
+  auto g_slota = pb.global_init_i64("edge_slot_a", pat.slot_a);
+  auto g_slotb = pb.global_init_i64("edge_slot_b", pat.slot_b);
+  auto g_v = pb.global_f64("v", kNonzer + 1);
+  auto g_iv = pb.global_i64("iv", kNonzer + 1);
+  auto g_x = pb.global_init_f64("x", std::vector<double>(kNa, 1.0));
+  auto g_z = pb.global_f64("z", kNa);
+  auto g_p = pb.global_f64("p", kNa);
+  auto g_q = pb.global_f64("q", kNa);
+  auto g_r = pb.global_f64("r", kNa);
+  auto g_zeta = pb.global_f64("zeta", 1);
+  auto g_rnorm = pb.global_f64("rnorm", 1);
+
+  const auto r_main = pb.declare_region("main", __LINE__, __LINE__);
+  const auto r_cg_a = pb.declare_region("cg_a", __LINE__, __LINE__);
+  const auto r_cg_b = pb.declare_region("cg_b", __LINE__, __LINE__);
+  const auto r_cg_c = pb.declare_region("cg_c", __LINE__, __LINE__);
+  const auto r_cg_d = pb.declare_region("cg_d", __LINE__, __LINE__);
+  const auto r_cg_e = pb.declare_region("cg_e", __LINE__, __LINE__);
+  const auto r_makea = pb.declare_region("cg_makea", __LINE__, __LINE__);
+
+  const auto f_sprnvc = pb.declare_function("sprnvc");
+  const auto f_makea = pb.declare_function("makea");
+  const auto f_conj_grad = pb.declare_function("conj_grad");
+  const auto f_main = pb.declare_function("main");
+
+  // sprnvc/makea: identical to the serial build (replicated work).
+  {
+    auto f = pb.define(f_sprnvc);
+    f.at(__LINE__);
+    auto nzv = f.var_i64("nzv", 0);
+    f.while_([&] { return nzv.get().lt(kNonzer); },
+             [&] {
+               auto vecelt = f.rand_();
+               auto vecloc = f.rand_();
+               auto i = f.fptosi(vecloc * static_cast<double>(kNn1)) + 1;
+               f.if_(i.le(kNa), [&] {
+                 auto was_gen = f.var_i64("was_gen", 0);
+                 f.for_("ii", 0, nzv.get(), [&](hl::Value ii) {
+                   f.if_(f.ld(g_iv, ii).eq(i), [&] { was_gen.set(1); });
+                 });
+                 f.if_(was_gen.get().eq(0), [&] {
+                   f.st(g_v, nzv.get(), vecelt);
+                   f.st(g_iv, nzv.get(), i);
+                   nzv.set(nzv.get() + 1);
+                 });
+               });
+             });
+    f.ret();
+  }
+  {
+    auto f = pb.define(f_makea);
+    f.at(__LINE__);
+    f.region(r_makea, [&] {
+      f.for_("row", 0, kNa, [&](hl::Value row) {
+        f.call(f_sprnvc);
+        auto es = f.ld(g_estart, row);
+        auto ee = f.ld(g_estart, row + 1);
+        f.for_("k", es, ee, [&](hl::Value k) {
+          auto ordinal = (k - es) % kNonzer;
+          auto vv = f.ld(g_v, ordinal);
+          auto val = vv * -0.1 - 0.2;
+          f.st(g_a, f.ld(g_slota, k), val);
+          f.st(g_a, f.ld(g_slotb, k), val);
+        });
+        f.st(g_a, f.ld(g_diag, row), f.c_f64(kDiag));
+      });
+    });
+    f.ret();
+  }
+
+  // --- conj_grad, row-block decomposed ---------------------------------------
+  {
+    auto f = pb.define(f_conj_grad);
+    f.at(__LINE__);
+    auto rank = f.mpi_rank();
+    auto size = f.mpi_size();
+    auto lo = rank * kNa / size;
+    auto hi = (rank + 1) * kNa / size;
+    auto rho = f.var_f64("rho", 0.0);
+    auto d = f.var_f64("d", 0.0);
+
+    // Block broadcast: every rank sends its owned block of `vec` to every
+    // peer (FIFO channels keep element order), so all ranks hold the full
+    // vector afterwards. At size 1 this emits no messages at all.
+    auto exchange = [&](hl::GlobalArray vec) {
+      f.for_("src", 0, size, [&](hl::Value src) {
+        auto slo = src * kNa / size;
+        auto shi = (src + 1) * kNa / size;
+        f.if_else(
+            rank.eq(src),
+            [&] {
+              f.for_("j", slo, shi, [&](hl::Value j) {
+                auto vj = f.ld(vec, j);
+                f.for_("dst", 0, size, [&](hl::Value dst) {
+                  f.unless(dst.eq(src), [&] { f.mpi_send(dst, vj); });
+                });
+              });
+            },
+            [&] {
+              f.for_("j", slo, shi,
+                     [&](hl::Value j) { f.st(vec, j, f.mpi_recv(src)); });
+            });
+      });
+    };
+
+    f.region(r_cg_a, [&] {  // q = z = 0, r = p = x (owned rows)
+      f.for_("j", lo, hi, [&](hl::Value j) {
+        auto xj = f.ld(g_x, j);
+        f.st(g_q, j, 0.0);
+        f.st(g_z, j, 0.0);
+        f.st(g_r, j, xj);
+        f.st(g_p, j, xj);
+      });
+    });
+    exchange(g_p);
+
+    f.region(r_cg_b, [&] {  // rho = r.r: partial + allreduce
+      rho.set(0.0);
+      f.for_("j", lo, hi, [&](hl::Value j) {
+        auto rj = f.ld(g_r, j);
+        rho.set(rho.get() + rj * rj);
+      });
+      rho.set(f.mpi_allreduce(rho.get(), ir::ReduceOp::Sum));
+    });
+
+    f.region(r_cg_c, [&] {  // the cgit loop
+      f.for_("cgit", 0, kCgitmax, [&](hl::Value) {
+        // q = A p over owned rows (p is full after the exchange).
+        f.for_("j", lo, hi, [&](hl::Value j) {
+          auto sum = f.var_f64("sum", 0.0);
+          f.for_("k", f.ld(g_rowstr, j), f.ld(g_rowstr, j + 1),
+                 [&](hl::Value k) {
+                   auto col = f.ld(g_colidx, k);
+                   sum.set(sum.get() + f.ld(g_a, k) * f.ld(g_p, col));
+                 });
+          f.st(g_q, j, sum.get());
+        });
+        // d = p.q: partial + allreduce (where NAS CG reduces it).
+        d.set(0.0);
+        f.for_("j", lo, hi, [&](hl::Value j) {
+          d.set(d.get() + f.ld(g_p, j) * f.ld(g_q, j));
+        });
+        d.set(f.mpi_allreduce(d.get(), ir::ReduceOp::Sum));
+        auto alpha = rho.get() / d.get();
+        f.for_("j", lo, hi, [&](hl::Value j) {
+          f.st(g_z, j, f.ld(g_z, j) + alpha * f.ld(g_p, j));
+          f.st(g_r, j, f.ld(g_r, j) - alpha * f.ld(g_q, j));
+        });
+        auto rho0 = rho.get();
+        rho.set(0.0);
+        f.for_("j", lo, hi, [&](hl::Value j) {
+          auto rj = f.ld(g_r, j);
+          rho.set(rho.get() + rj * rj);
+        });
+        rho.set(f.mpi_allreduce(rho.get(), ir::ReduceOp::Sum));
+        auto beta = rho.get() / rho0;
+        f.for_("j", lo, hi, [&](hl::Value j) {
+          f.st(g_p, j, f.ld(g_r, j) + beta * f.ld(g_p, j));
+        });
+        exchange(g_p);  // next matvec needs the full updated p
+      });
+    });
+
+    exchange(g_z);          // r = A z needs the full solution vector
+    f.region(r_cg_d, [&] {  // r = A z ; sum = ||x - r||^2: partial + allreduce
+      auto sum = f.var_f64("sum", 0.0);
+      f.for_("j", lo, hi, [&](hl::Value j) {
+        auto rowsum = f.var_f64("rowsum", 0.0);
+        f.for_("k", f.ld(g_rowstr, j), f.ld(g_rowstr, j + 1),
+               [&](hl::Value k) {
+                 auto col = f.ld(g_colidx, k);
+                 rowsum.set(rowsum.get() + f.ld(g_a, k) * f.ld(g_z, col));
+               });
+        f.st(g_r, j, rowsum.get());
+        auto dxr = f.ld(g_x, j) - rowsum.get();
+        sum.set(sum.get() + dxr * dxr);
+      });
+      f.st(g_rnorm, 0,
+           f.fsqrt(f.mpi_allreduce(sum.get(), ir::ReduceOp::Sum)));
+    });
+
+    f.region(r_cg_e, [&] {  // zeta and x normalization (owned rows)
+      auto xz = f.var_f64("xz", 0.0);
+      auto znorm2 = f.var_f64("znorm2", 0.0);
+      f.for_("j", lo, hi, [&](hl::Value j) {
+        auto zj = f.ld(g_z, j);
+        xz.set(xz.get() + f.ld(g_x, j) * zj);
+        znorm2.set(znorm2.get() + zj * zj);
+      });
+      auto gxz = f.mpi_allreduce(xz.get(), ir::ReduceOp::Sum);
+      auto gznorm2 = f.mpi_allreduce(znorm2.get(), ir::ReduceOp::Sum);
+      f.st(g_zeta, 0, f.c_f64(kShift) + f.c_f64(1.0) / gxz);
+      auto inv_norm = f.c_f64(1.0) / f.fsqrt(gznorm2);
+      f.for_("j", lo, hi, [&](hl::Value j) {
+        f.st(g_x, j, f.ld(g_z, j) * inv_norm);
+      });
+    });
+    f.ret();
+  }
+
+  {
+    auto f = pb.define(f_main);
+    f.at(__LINE__);
+    f.call(f_makea);
+    f.for_("it", 0, kNiter, [&](hl::Value) {
+      f.region(r_main, [&] { f.call(f_conj_grad); });
+    });
+    // zeta is built from allreduced quantities only, so every rank holds the
+    // identical value; the reference is baked from the single-rank run and
+    // the tolerance absorbs the rank-ordered-reduction rounding drift.
+    auto zeta = f.ld(g_zeta, 0);
+    auto err = f.fabs_(zeta - f.c_f64(ref));
+    auto pass = f.select(err.le(1e-6), f.c_i64(1), f.c_i64(0));
+    f.emit(pass);
+    f.emit(zeta);
+    f.ret();
+  }
+
+  AppSpec spec;
+  spec.name = pb.module().name();
+  spec.analysis_regions = {
+      {r_cg_a, "cg_a", 0, 0}, {r_cg_b, "cg_b", 0, 0}, {r_cg_c, "cg_c", 0, 0},
+      {r_cg_d, "cg_d", 0, 0}, {r_cg_e, "cg_e", 0, 0},
+      {r_makea, "cg_makea", 0, 0}};
+  spec.main_region = r_main;
+  spec.main_iters = static_cast<int>(kNiter);
+  spec.verify_rel_tol = 1e-6;
+  spec.verifier = standard_verifier(spec.verify_rel_tol);
+  spec.base.max_instructions = std::uint64_t{1} << 28;
+  spec.module = pb.finish();
+  return spec;
+}
+
 }  // namespace
 
 AppSpec build_cg() {
   return bake([](double ref) { return build_cg_impl(ref, CgHardening{}); });
+}
+
+AppSpec build_cg_ranked() {
+  return bake([](double ref) { return build_cg_ranked_impl(ref); });
 }
 
 AppSpec build_cg_hardened(const CgHardening& h) {

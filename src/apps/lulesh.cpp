@@ -157,10 +157,136 @@ AppSpec build_lulesh_impl(double ref) {
   return spec;
 }
 
+// --- rank-decomposed LULESH (lulesh-ranked) ----------------------------------
+//
+// Element decomposition for the cross-rank campaigns: each rank owns a
+// contiguous element range [elo, ehi) from mpi_rank()/mpi_size() (runtime,
+// so a single-rank run owns all elements — the bake() reference). Hourglass
+// forces are computed per owned element into a rank-local partial force
+// array; the nodal force assembly is an MPI_Allreduce per node (boundary
+// nodes genuinely receive contributions from elements on different ranks —
+// the real LULESH force-exchange shape at this scale), after which the
+// nodal integration is replicated on identical data. The reported energy is
+// reduced with Max, which makes the collective itself a resilience
+// mechanism: a downward-perturbed rank contribution is absorbed outright.
+AppSpec build_lulesh_ranked_impl(double ref) {
+  hl::ProgramBuilder pb("lulesh-ranked", __FILE__);
+
+  auto g_nodelist = pb.global_init_i64("nodelist", make_nodelist());
+  auto g_xd = pb.global_f64("xd", kNodes);
+  auto g_fz = pb.global_f64("fz", kNodes);
+  auto g_z = pb.global_f64("z", kNodes);
+  std::vector<double> gamma(8 * 4);
+  const double gm[4][8] = {{1, 1, -1, -1, -1, -1, 1, 1},
+                           {1, -1, -1, 1, -1, 1, 1, -1},
+                           {1, -1, 1, -1, 1, -1, 1, -1},
+                           {-1, 1, -1, 1, 1, -1, 1, -1}};
+  for (std::int64_t n = 0; n < 8; ++n) {
+    for (std::int64_t i = 0; i < 4; ++i) gamma[n * 4 + i] = gm[i][n];
+  }
+  auto g_gamma = pb.global_init_f64("gamma", gamma);
+  auto g_hourgam = pb.global_f64("hourgam", 8 * 4);
+  auto g_hxx = pb.global_f64("hxx", 4);
+
+  const auto r_main = pb.declare_region("main", __LINE__, __LINE__);
+  const auto r_l_a = pb.declare_region("l_a", __LINE__, __LINE__);
+
+  const auto f_main = pb.declare_function("main");
+  auto f = pb.define(f_main);
+  f.at(__LINE__);
+
+  auto rank = f.mpi_rank();
+  auto size = f.mpi_size();
+  auto elo = rank * kElems / size;
+  auto ehi = (rank + 1) * kElems / size;
+
+  // Identical randlc stream on every rank: replicated initial state.
+  f.for_("n", 0, kNodes, [&](hl::Value n) {
+    f.st(g_xd, n, f.rand_() * 0.1 + 0.01);
+    f.st(g_z, n, f.sitofp(n) * 0.05);
+  });
+
+  f.for_("it", 0, kNiter, [&](hl::Value) {
+    f.region(r_main, [&] {
+      f.region(r_l_a, [&] {
+        f.for_("n", 0, kNodes, [&](hl::Value n) { f.st(g_fz, n, 0.0); });
+        f.for_("e", elo, ehi, [&](hl::Value e) {  // owned elements only
+          f.for_("n", 0, 8, [&](hl::Value n) {
+            auto nd = f.ld(g_nodelist, e * 8 + n);
+            f.for_("i", 0, 4, [&](hl::Value i) {
+              f.st(g_hourgam, n * 4 + i,
+                   f.ld(g_gamma, n * 4 + i) + f.ld(g_z, nd) * 0.01);
+            });
+          });
+          f.for_("i", 0, 4, [&](hl::Value i) {
+            auto acc = f.var_f64("acc", 0.0);
+            f.for_("n", 0, 8, [&](hl::Value n) {
+              auto nd = f.ld(g_nodelist, e * 8 + n);
+              acc.set(acc.get() +
+                      f.ld(g_hourgam, n * 4 + i) * f.ld(g_xd, nd));
+            });
+            f.st(g_hxx, i, acc.get());
+          });
+          f.for_("n", 0, 8, [&](hl::Value n) {
+            auto hg = (f.ld(g_hourgam, n * 4 + 0) * f.ld(g_hxx, 0) +
+                       f.ld(g_hourgam, n * 4 + 1) * f.ld(g_hxx, 1) +
+                       f.ld(g_hourgam, n * 4 + 2) * f.ld(g_hxx, 2) +
+                       f.ld(g_hourgam, n * 4 + 3) * f.ld(g_hxx, 3)) *
+                      kCoeff;
+            auto nd = f.ld(g_nodelist, e * 8 + n);
+            f.st(g_fz, nd, f.ld(g_fz, nd) + hg);
+          });
+        });
+        // Nodal force assembly: one reduction per node sums the per-rank
+        // partial scatters (boundary nodes couple the subdomains).
+        f.for_("n", 0, kNodes, [&](hl::Value n) {
+          f.st(g_fz, n, f.mpi_allreduce(f.ld(g_fz, n), ir::ReduceOp::Sum));
+        });
+        // Nodal integration: replicated on identical assembled forces.
+        f.for_("n", 0, kNodes, [&](hl::Value n) {
+          auto vel = f.ld(g_xd, n) + f.ld(g_fz, n) * kDt;
+          f.st(g_xd, n, vel);
+          f.st(g_z, n, f.ld(g_z, n) + vel * kDt);
+        });
+      });
+    });
+  });
+
+  auto energy = f.var_f64("energy", 0.0);
+  f.for_("n", 0, kNodes, [&](hl::Value n) {
+    auto v = f.ld(g_xd, n);
+    energy.set(energy.get() + v * v);
+  });
+  auto en = f.mpi_allreduce(energy.get(), ir::ReduceOp::Max);
+  auto errv = f.fabs_(en - f.c_f64(ref));
+  auto pass = f.select(errv.le(f.fabs_(f.c_f64(ref)) * 1e-4 + 1e-12),
+                       f.c_i64(1), f.c_i64(0));
+  f.emit(pass);
+  f.emit_trunc(en, 6);
+  f.emit(en);
+  f.ret();
+  f.finish();
+
+  AppSpec spec;
+  spec.name = "lulesh-ranked";
+  spec.analysis_regions = {{r_l_a, "l_a", 0, 0}};
+  spec.main_region = r_main;
+  spec.main_iters = static_cast<int>(kNiter);
+  spec.verify_rel_tol = 1e-4;
+  spec.verifier = standard_verifier(spec.verify_rel_tol);
+  spec.base.max_instructions = std::uint64_t{1} << 28;
+  spec.module = pb.finish();
+  return spec;
+}
+
 }  // namespace
 
 AppSpec build_lulesh() {
   return bake([](double ref) { return build_lulesh_impl(ref); });
+}
+
+AppSpec build_lulesh_ranked() {
+  return bake([](double ref) { return build_lulesh_ranked_impl(ref); });
 }
 
 }  // namespace ft::apps

@@ -206,10 +206,243 @@ AppSpec build_mg_impl(double ref) {
   return spec;
 }
 
+// --- rank-decomposed MG (mg-ranked) ------------------------------------------
+//
+// Slab decomposition for the cross-rank campaigns: each rank owns a
+// contiguous range of interior fine-grid planes i3 in [lo3, hi3), computed
+// from mpi_rank()/mpi_size() at runtime (a single-rank run owns everything,
+// which is what bake() measures). The stencils read one plane of halo on
+// each side, exchanged over the p2p channels (sends first, then receives —
+// channels are unbounded, so the symmetric pattern cannot deadlock); the
+// restriction (mg_b) reduces per-coarse-cell partial sums with
+// MPI_Allreduce; the coarse-grid solve (mg_c's psinv on the 4^3 grid) is
+// replicated — every rank holds the identical allreduced coarse residual —
+// while its interpolation back onto the fine grid touches owned planes
+// only. The final residual norm is a partial sum over owned planes,
+// allreduced.
+AppSpec build_mg_ranked_impl(double ref) {
+  hl::ProgramBuilder pb("mg-ranked", __FILE__);
+
+  std::vector<double> v_init(kN3, 0.0);
+  auto at = [](std::int64_t i3, std::int64_t i2, std::int64_t i1) {
+    return (i3 * kN + i2) * kN + i1;
+  };
+  v_init[at(2, 2, 2)] = 1.0;
+  v_init[at(5, 5, 5)] = -1.0;
+  v_init[at(2, 5, 3)] = 1.0;
+  v_init[at(5, 2, 6)] = -1.0;
+
+  auto g_v = pb.global_init_f64("v", v_init);
+  auto g_u = pb.global_f64("u", kN3);
+  auto g_r = pb.global_f64("r", kN3);
+  auto g_u2 = pb.global_f64("u2", kM3);
+  auto g_r2 = pb.global_f64("r2", kM3);
+  auto g_r1row = pb.global_f64("r1row", kN);
+  auto g_r2row = pb.global_f64("r2row", kN);
+
+  const auto r_main = pb.declare_region("main", __LINE__, __LINE__);
+  const auto r_mg_a = pb.declare_region("mg_a", __LINE__, __LINE__);
+  const auto r_mg_b = pb.declare_region("mg_b", __LINE__, __LINE__);
+  const auto r_mg_c = pb.declare_region("mg_c", __LINE__, __LINE__);
+  const auto r_mg_d = pb.declare_region("mg_d", __LINE__, __LINE__);
+
+  const auto f_main = pb.declare_function("main");
+  auto f = pb.define(f_main);
+  f.at(__LINE__);
+
+  auto rank = f.mpi_rank();
+  auto size = f.mpi_size();
+  // Owned interior planes [lo3, hi3) partition [1, kN-1).
+  auto lo3 = rank * (kN - 2) / size + 1;
+  auto hi3 = (rank + 1) * (kN - 2) / size + 1;
+
+  auto fine_idx = [&](hl::Value i3, hl::Value i2, hl::Value i1) {
+    return (i3 * kN + i2) * kN + i1;
+  };
+  auto coarse_idx = [&](hl::Value j3, hl::Value j2, hl::Value j1) {
+    return (j3 * kM + j2) * kM + j1;
+  };
+
+  /// Refresh this rank's halo planes of `vec`: boundary owned planes go to
+  /// the neighbors, their boundary planes come back.
+  auto halo = [&](hl::GlobalArray vec) {
+    auto send_plane = [&](hl::Value dest, hl::Value i3) {
+      f.for_("i2", 0, kN, [&](hl::Value i2) {
+        f.for_("i1", 0, kN, [&](hl::Value i1) {
+          f.mpi_send(dest, f.ld(vec, fine_idx(i3, i2, i1)));
+        });
+      });
+    };
+    auto recv_plane = [&](hl::Value src, hl::Value i3) {
+      f.for_("i2", 0, kN, [&](hl::Value i2) {
+        f.for_("i1", 0, kN, [&](hl::Value i1) {
+          f.st(vec, fine_idx(i3, i2, i1), f.mpi_recv(src));
+        });
+      });
+    };
+    f.if_(rank.gt(0), [&] { send_plane(rank - 1, lo3); });
+    f.if_(rank.lt(size - 1), [&] { send_plane(rank + 1, hi3 - 1); });
+    f.if_(rank.gt(0), [&] { recv_plane(rank - 1, lo3 - 1); });
+    f.if_(rank.lt(size - 1), [&] { recv_plane(rank + 1, hi3); });
+  };
+
+  // r = v - A u over the owned planes (halo of u must be fresh).
+  auto resid = [&] {
+    f.for_("i3", lo3, hi3, [&](hl::Value i3) {
+      f.for_("i2", 1, kN - 1, [&](hl::Value i2) {
+        f.for_("i1", 1, kN - 1, [&](hl::Value i1) {
+          auto c = f.ld(g_u, fine_idx(i3, i2, i1));
+          auto nb = f.ld(g_u, fine_idx(i3, i2, i1 - 1)) +
+                    f.ld(g_u, fine_idx(i3, i2, i1 + 1)) +
+                    f.ld(g_u, fine_idx(i3, i2 - 1, i1)) +
+                    f.ld(g_u, fine_idx(i3, i2 + 1, i1)) +
+                    f.ld(g_u, fine_idx(i3 - 1, i2, i1)) +
+                    f.ld(g_u, fine_idx(i3 + 1, i2, i1));
+          auto au = c * 6.0 - nb;
+          f.st(g_r, fine_idx(i3, i2, i1), f.ld(g_v, fine_idx(i3, i2, i1)) - au);
+        });
+      });
+    });
+  };
+
+  f.for_("it", 0, kNiter, [&](hl::Value) {
+    f.region(r_main, [&] {
+      halo(g_u);
+      f.region(r_mg_a, [&] { resid(); });
+
+      f.region(r_mg_b, [&] {  // rprj3: per-cell partial sums, allreduced
+        f.for_("j3", 1, kM - 1, [&](hl::Value j3) {
+          f.for_("j2", 1, kM - 1, [&](hl::Value j2) {
+            f.for_("j1", 1, kM - 1, [&](hl::Value j1) {
+              auto part = f.var_f64("part", 0.0);
+              auto i2 = j2 * 2, i1 = j1 * 2;
+              for (std::int64_t d3 = 0; d3 < 2; ++d3) {
+                auto i3 = j3 * 2 + d3;
+                f.if_(i3.ge(lo3) & i3.lt(hi3), [&] {
+                  part.set(part.get() + f.ld(g_r, fine_idx(i3, i2, i1)) +
+                           f.ld(g_r, fine_idx(i3, i2, i1 + 1)) +
+                           f.ld(g_r, fine_idx(i3, i2 + 1, i1)) +
+                           f.ld(g_r, fine_idx(i3, i2 + 1, i1 + 1)));
+                });
+              }
+              auto s = f.mpi_allreduce(part.get(), ir::ReduceOp::Sum);
+              f.st(g_r2, coarse_idx(j3, j2, j1), s * 0.125);
+            });
+          });
+        });
+      });
+
+      f.region(r_mg_c, [&] {  // coarse psinv (replicated) + owned interp
+        f.for_("z", 0, kM3, [&](hl::Value z) { f.st(g_u2, z, 0.0); });
+        f.for_("j3", 1, kM - 1, [&](hl::Value j3) {
+          f.for_("j2", 1, kM - 1, [&](hl::Value j2) {
+            f.for_("j1", 1, kM - 1, [&](hl::Value j1) {
+              auto rc = f.ld(g_r2, coarse_idx(j3, j2, j1));
+              f.st(g_u2, coarse_idx(j3, j2, j1),
+                   f.ld(g_u2, coarse_idx(j3, j2, j1)) + rc * (4.0 * kC0));
+            });
+          });
+        });
+        f.for_("j3", 1, kM - 1, [&](hl::Value j3) {
+          f.for_("j2", 1, kM - 1, [&](hl::Value j2) {
+            f.for_("j1", 1, kM - 1, [&](hl::Value j1) {
+              auto c = f.ld(g_u2, coarse_idx(j3, j2, j1));
+              for (std::int64_t d3 = 0; d3 < 2; ++d3) {
+                auto i3 = j3 * 2 + d3;
+                f.if_(i3.ge(lo3) & i3.lt(hi3), [&] {
+                  for (std::int64_t d2 = 0; d2 < 2; ++d2) {
+                    for (std::int64_t d1 = 0; d1 < 2; ++d1) {
+                      auto idx = fine_idx(i3, j2 * 2 + d2, j1 * 2 + d1);
+                      f.st(g_u, idx, f.ld(g_u, idx) + c);
+                    }
+                  }
+                });
+              }
+            });
+          });
+        });
+      });
+
+      halo(g_u);              // mg_c updated owned planes of u
+      f.region(r_mg_d, [&] {  // fine psinv over owned planes (Fig. 9)
+        resid();
+        halo(g_r);  // the row temporaries read r from neighbor planes
+        f.for_("i3", lo3, hi3, [&](hl::Value i3) {
+          f.for_("i2", 1, kN - 1, [&](hl::Value i2) {
+            f.for_("i1", 0, kN, [&](hl::Value i1) {
+              f.st(g_r1row, i1,
+                   f.ld(g_r, fine_idx(i3, i2 - 1, i1)) +
+                       f.ld(g_r, fine_idx(i3, i2 + 1, i1)) +
+                       f.ld(g_r, fine_idx(i3 - 1, i2, i1)) +
+                       f.ld(g_r, fine_idx(i3 + 1, i2, i1)));
+              f.st(g_r2row, i1,
+                   f.ld(g_r, fine_idx(i3 - 1, i2 - 1, i1)) +
+                       f.ld(g_r, fine_idx(i3 - 1, i2 + 1, i1)) +
+                       f.ld(g_r, fine_idx(i3 + 1, i2 - 1, i1)) +
+                       f.ld(g_r, fine_idx(i3 + 1, i2 + 1, i1)));
+            });
+            f.for_("i1", 1, kN - 1, [&](hl::Value i1) {
+              auto idx = fine_idx(i3, i2, i1);
+              f.st(g_u, idx,
+                   f.ld(g_u, idx) + f.ld(g_r, idx) * kC0 +
+                       (f.ld(g_r, fine_idx(i3, i2, i1 - 1)) +
+                        f.ld(g_r, fine_idx(i3, i2, i1 + 1)) +
+                        f.ld(g_r1row, i1)) *
+                           kC1 +
+                       (f.ld(g_r2row, i1) + f.ld(g_r1row, i1 - 1) +
+                        f.ld(g_r1row, i1 + 1)) *
+                           kC2);
+            });
+          });
+        });
+      });
+    });
+  });
+
+  // Verification: partial residual norm over owned planes, allreduced — the
+  // result is identical on every rank.
+  halo(g_u);
+  resid();
+  auto sum = f.var_f64("sum", 0.0);
+  f.for_("i3", lo3, hi3, [&](hl::Value i3) {
+    f.for_("i2", 0, kN, [&](hl::Value i2) {
+      f.for_("i1", 0, kN, [&](hl::Value i1) {
+        auto rj = f.ld(g_r, fine_idx(i3, i2, i1));
+        sum.set(sum.get() + rj * rj);
+      });
+    });
+  });
+  auto rnorm = f.fsqrt(f.mpi_allreduce(sum.get(), ir::ReduceOp::Sum));
+  auto pass = f.select(rnorm.le(f.c_f64(ref) * 1.25 + 1e-12), f.c_i64(1),
+                       f.c_i64(0));
+  f.emit(pass);
+  f.emit(rnorm);
+  f.ret();
+  f.finish();
+
+  AppSpec spec;
+  spec.name = "mg-ranked";
+  spec.analysis_regions = {{r_mg_a, "mg_a", 0, 0},
+                           {r_mg_b, "mg_b", 0, 0},
+                           {r_mg_c, "mg_c", 0, 0},
+                           {r_mg_d, "mg_d", 0, 0}};
+  spec.main_region = r_main;
+  spec.main_iters = static_cast<int>(kNiter);
+  spec.verify_rel_tol = 0.25;
+  spec.verifier = standard_verifier(spec.verify_rel_tol);
+  spec.base.max_instructions = std::uint64_t{1} << 28;
+  spec.module = pb.finish();
+  return spec;
+}
+
 }  // namespace
 
 AppSpec build_mg() {
   return bake([](double ref) { return build_mg_impl(ref); });
+}
+
+AppSpec build_mg_ranked() {
+  return bake([](double ref) { return build_mg_ranked_impl(ref); });
 }
 
 }  // namespace ft::apps

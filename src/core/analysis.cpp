@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <deque>
 #include <stdexcept>
 
 #include "util/stopwatch.h"
@@ -136,6 +137,19 @@ AnalysisSession::whole_program_sites() {
   return whole_sites_;
 }
 
+std::shared_ptr<const fault::RankEnumeration>
+AnalysisSession::rank_enumeration(std::int64_t nranks) {
+  std::lock_guard lock(mu_);
+  if (const auto it = rank_enums_.find(nranks); it != rank_enums_.end()) {
+    return it->second;
+  }
+  auto en = std::make_shared<const fault::RankEnumeration>(
+      fault::enumerate_rank_sites(program_, nranks, app_.base,
+                                  /*keep_traces=*/false));
+  rank_enums_.emplace(nranks, en);
+  return en;
+}
+
 std::shared_ptr<const dddg::Graph> AnalysisSession::region_dddg(
     std::uint32_t region_id, std::uint32_t instance) {
   std::lock_guard lock(mu_);
@@ -178,6 +192,7 @@ void AnalysisSession::invalidate_all() {
   events_.reset();
   rates_.reset();
   whole_sites_.reset();
+  rank_enums_.clear();
   sites_.clear();
   dddgs_.clear();
 }
@@ -203,6 +218,14 @@ fault::CampaignResult AnalysisSession::app_campaign(
       fault::prepare_campaign(*sites, fault::TargetClass::Internal, app_.base,
                               config),
       golden_run->outputs, app_.verifier, *pool);
+}
+
+fault::RankCampaignResult AnalysisSession::rank_campaign(
+    const fault::RankCampaignConfig& config) {
+  const auto en = rank_enumeration(config.nranks);
+  const auto prepared = fault::prepare_rank_campaign(*en, app_.base, config);
+  auto* pool = config.pool ? config.pool : &util::global_pool();
+  return fault::run_rank_campaign(*program_, prepared, app_.verifier, *pool);
 }
 
 std::size_t AnalysisSession::diff_reserve_hint() const {
@@ -316,6 +339,12 @@ AnalysisRequest& AnalysisRequest::app_campaign(
   return *this;
 }
 
+AnalysisRequest& AnalysisRequest::rank_campaign(
+    const fault::RankCampaignConfig& cfg) {
+  rank_campaign_ = cfg;
+  return *this;
+}
+
 AnalysisRequest& AnalysisRequest::pattern_rates() {
   want_pattern_rates_ = true;
   return *this;
@@ -406,6 +435,31 @@ struct UnitRuntime {
   std::uint64_t resume_depth = 0;
 };
 
+/// One cross-rank campaign scheduled into the shared work queue. Trials
+/// (whole worlds, one Vm per rank) interleave with scalar campaign trials
+/// on the same pool; rank-local waypoint snapshots are built lazily by the
+/// first chunk that touches the unit and freed by the last.
+struct RankUnit {
+  std::shared_ptr<AnalysisSession> session;
+  std::shared_ptr<const vm::DecodedProgram> program;
+  fault::PreparedRankCampaign prepared;
+  std::size_t app_index = ~std::size_t{0};  // into report.apps
+};
+
+/// Per-rank-unit state of the batched executor: the shared taxonomy
+/// accumulator (fault::RankCampaignAccumulator owns ALL per-trial
+/// bookkeeping, so batched results cannot drift from run_rank_campaign)
+/// plus the lazily-built rank-local snapshots.
+struct RankUnitCounts {
+  explicit RankUnitCounts(std::size_t nranks) : acc(nranks) {}
+
+  fault::RankCampaignAccumulator acc;
+  std::once_flag once;
+  fault::RankSnapshots snapshots;
+  std::atomic<std::size_t> remaining{0};
+  std::uint64_t snapshots_taken = 0;
+};
+
 fault::CampaignResult unit_result(const CampaignUnit& unit,
                                   const UnitCounts& counts,
                                   const UnitRuntime& runtime) {
@@ -455,16 +509,20 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
   // rather than silently picking one.
   auto* pool = request.pool_;
   if (!pool) {
-    auto* region_pool =
-        request.region_campaign_ ? request.region_campaign_->pool : nullptr;
-    auto* app_pool =
-        request.app_campaign_ ? request.app_campaign_->pool : nullptr;
-    if (region_pool && app_pool && region_pool != app_pool) {
-      throw std::invalid_argument(
-          "run_analysis: success_rates and app_campaign configs name "
-          "different pools; set AnalysisRequest::pool instead");
+    util::ThreadPool* config_pools[] = {
+        request.region_campaign_ ? request.region_campaign_->pool : nullptr,
+        request.app_campaign_ ? request.app_campaign_->pool : nullptr,
+        request.rank_campaign_ ? request.rank_campaign_->pool : nullptr,
+    };
+    for (auto* p : config_pools) {
+      if (!p) continue;
+      if (pool && pool != p) {
+        throw std::invalid_argument(
+            "run_analysis: campaign configs name different pools; set "
+            "AnalysisRequest::pool instead");
+      }
+      pool = p;
     }
-    pool = region_pool ? region_pool : app_pool;
   }
   if (!pool) pool = &util::global_pool();
   report.pool_workers = pool->size();
@@ -473,6 +531,7 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
   if (targets.empty()) targets.push_back(fault::TargetClass::Internal);
 
   std::vector<CampaignUnit> units;
+  std::vector<RankUnit> rank_units;
 
   for (const auto& ref : request.apps_) {
     // 1. Materialize the session (reusing caller-owned ones).
@@ -577,6 +636,17 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
       units.push_back(std::move(unit));
     }
 
+    if (request.rank_campaign_) {
+      RankUnit unit;
+      unit.session = session;
+      unit.program = session->program();
+      unit.prepared = fault::prepare_rank_campaign(
+          *session->rank_enumeration(request.rank_campaign_->nranks),
+          spec.base, *request.rank_campaign_);
+      unit.app_index = report.apps.size();
+      rank_units.push_back(std::move(unit));
+    }
+
     report.apps.push_back(std::move(app_report));
 
     // 4. Bound memory: internally built sessions drop their bulk trace once
@@ -586,24 +656,35 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
     }
   }
 
-  // 5. Execute every campaign trial of every unit as one batched queue.
-  report.campaign_units = units.size();
+  // 5. Execute every campaign trial of every unit as one batched queue —
+  //    scalar trials and whole-world rank trials interleaved.
+  report.campaign_units = units.size() + rank_units.size();
   std::vector<std::size_t> offsets(units.size() + 1, 0);
   for (std::size_t u = 0; u < units.size(); ++u) {
     offsets[u + 1] = offsets[u] + units[u].prepared.plans.size();
   }
   report.total_trials = offsets.back();
+  for (const auto& unit : rank_units) {
+    report.total_trials += unit.prepared.plans.size();
+  }
 
   const util::Stopwatch campaign_sw;
   std::vector<UnitCounts> counts(units.size());
+  std::deque<RankUnitCounts> rank_counts;
+  for (const auto& unit : rank_units) {
+    rank_counts.emplace_back(static_cast<std::size_t>(unit.prepared.nranks))
+        .remaining.store(unit.prepared.plans.size());
+  }
   if (request.mode_ == ExecutionMode::Batched) {
-    // The global queue is chunked per unit: each chunk task owns one
-    // TrialRunner (machine reuse across its trials). A unit's waypoint
-    // snapshots are placed lazily by the first chunk that touches it
-    // (workers on other units keep draining the queue meanwhile) and
+    // The global queue is chunked per unit: each scalar chunk task owns one
+    // TrialRunner (machine reuse across its trials); each rank chunk runs
+    // whole worlds (one per trial, nranks VM threads each). A unit's
+    // waypoint snapshots are placed lazily by the first chunk that touches
+    // it (workers on other units keep draining the queue meanwhile) and
     // freed by the last chunk to finish, so peak snapshot memory tracks
     // the units in flight, not the whole request.
     struct TrialChunk {
+      bool rank = false;      // scalar unit or rank-campaign unit
       std::size_t unit = 0;
       std::size_t begin = 0;  // plan indices within the unit
       std::size_t end = 0;
@@ -617,12 +698,44 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
       const std::size_t chunk =
           std::clamp<std::size_t>(n / (pool->size() * 8), 1, 32);
       for (std::size_t b = 0; b < n; b += chunk) {
-        chunks.push_back(TrialChunk{u, b, std::min(n, b + chunk)});
+        chunks.push_back(TrialChunk{false, u, b, std::min(n, b + chunk)});
+      }
+    }
+    for (std::size_t u = 0; u < rank_units.size(); ++u) {
+      const std::size_t n = rank_units[u].prepared.plans.size();
+      if (n == 0) continue;
+      // Rank trials are whole multi-rank executions: smaller chunks keep
+      // the shared queue balanced against the cheaper scalar trials.
+      const std::size_t chunk = fault::rank_campaign_chunk(n, pool->size());
+      for (std::size_t b = 0; b < n; b += chunk) {
+        chunks.push_back(TrialChunk{true, u, b, std::min(n, b + chunk)});
       }
     }
     if (!chunks.empty()) {
       pool->parallel_for(chunks.size(), [&](std::size_t c) {
-        const auto& [u, begin, end] = chunks[c];
+        const auto& [is_rank, u, begin, end] = chunks[c];
+        if (is_rank) {
+          const auto& unit = rank_units[u];
+          auto& rc = rank_counts[u];
+          std::call_once(rc.once, [&] {
+            rc.snapshots =
+                fault::prepare_rank_snapshots(*unit.program, unit.prepared);
+            rc.snapshots_taken = rc.snapshots.snapshots_taken;
+          });
+          for (std::size_t pos = begin; pos < end; ++pos) {
+            std::uint64_t instr = 0, prefix = 0;
+            const auto trial = fault::run_rank_trial(
+                *unit.program, unit.prepared, rc.snapshots, pos,
+                unit.session->app().verifier, &instr, &prefix);
+            rc.acc.add(trial,
+                       static_cast<std::size_t>(unit.prepared.plan_rank[pos]),
+                       instr, prefix);
+          }
+          if (rc.remaining.fetch_sub(end - begin) == end - begin) {
+            rc.snapshots = fault::RankSnapshots{};
+          }
+          return;
+        }
         const auto& unit = units[u];
         auto& rt = runtimes[u];
         std::call_once(rt.once, [&] {
@@ -670,6 +783,14 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
         report.apps[units[u].app_index].whole_app = result;
       }
     }
+    for (std::size_t u = 0; u < rank_units.size(); ++u) {
+      const auto result = rank_counts[u].acc.result(
+          rank_units[u].prepared, rank_counts[u].snapshots_taken);
+      report.total_instructions += result.instructions_retired;
+      report.instructions_saved += result.prefix_instructions_saved;
+      report.snapshots_taken += result.snapshots_taken;
+      report.apps[rank_units[u].app_index].rank_campaign = result;
+    }
   } else {
     // Legacy mode: one blocking parallel_for per unit, serializing between
     // regions exactly as the facade-era call pattern did (same decoded
@@ -687,6 +808,15 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
       } else {
         report.apps[unit.app_index].whole_app = result;
       }
+    }
+    for (const auto& unit : rank_units) {
+      const auto result = fault::run_rank_campaign(
+          *unit.program, unit.prepared, unit.session->app().verifier, *pool);
+      report.pool_batches += unit.prepared.plans.empty() ? 0 : 1;
+      report.total_instructions += result.instructions_retired;
+      report.instructions_saved += result.prefix_instructions_saved;
+      report.snapshots_taken += result.snapshots_taken;
+      report.apps[unit.app_index].rank_campaign = result;
     }
   }
   report.campaign_ms = campaign_sw.millis();

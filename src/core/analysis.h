@@ -44,6 +44,7 @@
 #include "apps/app.h"
 #include "dddg/graph.h"
 #include "fault/campaign.h"
+#include "fault/rank_campaign.h"
 #include "fault/sites.h"
 #include "patterns/detect.h"
 #include "patterns/rates.h"
@@ -120,6 +121,17 @@ class AnalysisSession {
   /// derived summaries.
   void invalidate_all();
 
+  // --- multi-rank golden artifacts (lazy, cached per world size) ------------
+  /// Site population, per-rank golden outputs/communication logs and fork
+  /// limits of one `nranks`-rank execution (fault/rank_campaign.h). Compact
+  /// — the per-rank traces are dropped after enumeration — so it survives
+  /// invalidate_trace() like the other campaign-feeding summaries; use
+  /// fault::enumerate_rank_sites directly when the traces themselves are
+  /// needed. A serial app is a valid target too: every rank then runs the
+  /// full problem and the campaign measures replicated-execution resilience.
+  std::shared_ptr<const fault::RankEnumeration> rank_enumeration(
+      std::int64_t nranks);
+
   // --- campaigns ------------------------------------------------------------
   [[nodiscard]] fault::CampaignResult region_campaign(
       std::uint32_t region_id, std::uint32_t instance,
@@ -127,6 +139,10 @@ class AnalysisSession {
   /// Whole-application campaign (internal sites over the full run).
   [[nodiscard]] fault::CampaignResult app_campaign(
       const fault::CampaignConfig& config);
+  /// Cross-rank campaign at config.nranks: inject into one rank per trial
+  /// while all ranks run, classified with the cross-rank outcome taxonomy.
+  [[nodiscard]] fault::RankCampaignResult rank_campaign(
+      const fault::RankCampaignConfig& config);
 
   // --- per-plan analyses (stateless; safe from any thread) ------------------
   /// Differential run under one fault plan (array-of-structs faulty
@@ -170,6 +186,9 @@ class AnalysisSession {
   std::shared_ptr<const trace::LocationEvents> events_;
   std::shared_ptr<const patterns::PatternRates> rates_;
   std::shared_ptr<const fault::SiteEnumerationResult> whole_sites_;
+  std::unordered_map<std::int64_t,
+                     std::shared_ptr<const fault::RankEnumeration>>
+      rank_enums_;
   std::unordered_map<std::uint64_t,
                      std::shared_ptr<const fault::SiteEnumerationResult>>
       sites_;
@@ -225,6 +244,9 @@ struct AppReport {
   std::uint64_t golden_instructions = 0;
   std::optional<patterns::PatternRates> rates;
   std::optional<fault::CampaignResult> whole_app;
+  /// Filled when the request asked for a cross-rank campaign: the
+  /// multi-rank outcome taxonomy at the requested world size.
+  std::optional<fault::RankCampaignResult> rank_campaign;
 };
 
 struct AnalysisReport {
@@ -302,6 +324,11 @@ class AnalysisRequest {
   AnalysisRequest& success_rates(const fault::CampaignConfig& cfg);
   /// Whole-application campaign per app with this config.
   AnalysisRequest& app_campaign(const fault::CampaignConfig& cfg);
+  /// Cross-rank campaign per app at cfg.nranks — the multi-rank entry of
+  /// the request schema. Rank-campaign trials (one world each, all ranks
+  /// running) batch onto the same shared pool as every scalar campaign:
+  /// worlds are chunked across pool workers inside the ONE batched queue.
+  AnalysisRequest& rank_campaign(const fault::RankCampaignConfig& cfg);
   /// Fault-free pattern rates per app (Table IV features).
   AnalysisRequest& pattern_rates();
   /// Input/output/internal classification per region entry.
@@ -332,6 +359,7 @@ class AnalysisRequest {
   std::vector<fault::TargetClass> targets_;
   std::optional<fault::CampaignConfig> region_campaign_;
   std::optional<fault::CampaignConfig> app_campaign_;
+  std::optional<fault::RankCampaignConfig> rank_campaign_;
   bool want_pattern_rates_ = false;
   bool want_region_io_ = false;
   util::ThreadPool* pool_ = nullptr;

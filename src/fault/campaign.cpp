@@ -5,26 +5,13 @@
 #include <numeric>
 #include <type_traits>
 
+#include "fault/sampling.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
 namespace ft::fault {
 
-namespace {
-
-/// Pick the site containing global bit offset `u` (sites weighted by width).
-template <typename Site, typename WidthFn>
-std::pair<const Site*, std::uint32_t> pick_weighted(
-    const std::vector<Site>& sites, std::uint64_t u, const WidthFn& width_of) {
-  for (const auto& s : sites) {
-    const std::uint64_t w = width_of(s);
-    if (u < w) return {&s, static_cast<std::uint32_t>(u)};
-    u -= w;
-  }
-  return {nullptr, 0};
-}
-
-}  // namespace
+using detail::pick_weighted;
 
 std::vector<vm::FaultPlan> sample_plans(const SiteEnumerationResult& sites,
                                         TargetClass target,
@@ -118,16 +105,9 @@ CampaignSnapshots prepare_snapshots(const vm::DecodedProgram& program,
   // while every trial still finds a waypoint close below its bound. The
   // byte budget lowers the cap for large memory images — a snapshot is
   // dominated by its copy of program memory.
-  std::size_t max_snapshots = prepared.fork.max_snapshots;
-  if (prepared.fork.max_snapshot_bytes > 0) {
-    const std::size_t snapshot_bytes =
-        program.module().memory_size() + std::size_t{4096};
-    max_snapshots = std::min(
-        max_snapshots,
-        std::max<std::size_t>(1,
-                              prepared.fork.max_snapshot_bytes /
-                                  snapshot_bytes));
-  }
+  std::size_t max_snapshots = detail::cap_snapshots_to_bytes(
+      prepared.fork.max_snapshots, prepared.fork.max_snapshot_bytes,
+      program.module().memory_size());
   // Waypoints seed golden cursors at chunk starts and anchor convergence
   // probes; the exact forking itself rides the cursor, so a modest number
   // scaled to the trial count is enough — each extra snapshot is a full

@@ -1,0 +1,40 @@
+// Internal helpers shared by the single-process (campaign.cpp) and
+// cross-rank (rank_campaign.cpp) campaign engines: width-weighted site
+// selection and the snapshot byte-budget cap. Not part of the public
+// surface.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ft::fault::detail {
+
+/// Pick the site containing global bit offset `u` (sites weighted by
+/// width). Returns the site and the bit offset within it.
+template <typename Site, typename WidthFn>
+std::pair<const Site*, std::uint32_t> pick_weighted(
+    const std::vector<Site>& sites, std::uint64_t u, const WidthFn& width_of) {
+  for (const auto& s : sites) {
+    const std::uint64_t w = width_of(s);
+    if (u < w) return {&s, static_cast<std::uint32_t>(u)};
+    u -= w;
+  }
+  return {nullptr, 0};
+}
+
+/// Lower a snapshot-count cap to a byte budget: a snapshot is dominated by
+/// its copy of program memory (`memory_size`), plus a small overhead for
+/// frames/slots. `max_bytes == 0` leaves the cap alone.
+inline std::size_t cap_snapshots_to_bytes(std::size_t max_snapshots,
+                                          std::size_t max_bytes,
+                                          std::size_t memory_size) {
+  if (max_bytes == 0) return max_snapshots;
+  const std::size_t snapshot_bytes = memory_size + std::size_t{4096};
+  return std::min(max_snapshots,
+                  std::max<std::size_t>(1, max_bytes / snapshot_bytes));
+}
+
+}  // namespace ft::fault::detail

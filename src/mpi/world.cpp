@@ -1,11 +1,39 @@
 #include "mpi/world.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <exception>
 #include <thread>
 
+#include "trace/column.h"
+
 namespace ft::mpi {
+
+// ---------------------------------------------------------------------------
+// CommLog
+// ---------------------------------------------------------------------------
+
+bool CommLog::outbound_equals(const CommLog& golden) const {
+  if (events.size() != golden.events.size()) return false;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& a = events[i];
+    const Event& b = golden.events[i];
+    if (a.op != b.op || a.peer != b.peer || a.reduce != b.reduce) return false;
+    if (a.op == Op::Send || a.op == Op::Allreduce) {
+      // Bitwise: tolerance is a verification concept, not a propagation one.
+      if (std::bit_cast<std::uint64_t>(a.value) !=
+          std::bit_cast<std::uint64_t>(b.value)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Endpoints
+// ---------------------------------------------------------------------------
 
 std::int64_t RankEndpoint::size() const { return world_->size(); }
 
@@ -22,20 +50,151 @@ double RankEndpoint::allreduce(double value, ir::ReduceOp op) {
 }
 
 void RankEndpoint::barrier() {
-  world_->collective_allreduce(0 /*unused*/, 0.0, ir::ReduceOp::Sum);
+  (void)world_->collective_allreduce(rank_, 0.0, ir::ReduceOp::Sum);
 }
+
+void RecordingEndpoint::send(std::int64_t dest_rank, double value) {
+  inner_->send(dest_rank, value);
+  log_->events.push_back(
+      CommLog::Event{CommLog::Op::Send, dest_rank, ir::ReduceOp::Sum, value,
+                     0.0});
+}
+
+double RecordingEndpoint::recv(std::int64_t src_rank) {
+  const double r = inner_->recv(src_rank);
+  log_->events.push_back(
+      CommLog::Event{CommLog::Op::Recv, src_rank, ir::ReduceOp::Sum, 0.0, r});
+  return r;
+}
+
+double RecordingEndpoint::allreduce(double value, ir::ReduceOp op) {
+  const double r = inner_->allreduce(value, op);
+  log_->events.push_back(
+      CommLog::Event{CommLog::Op::Allreduce, -1, op, value, r});
+  return r;
+}
+
+void RecordingEndpoint::barrier() {
+  inner_->barrier();
+  log_->events.push_back(
+      CommLog::Event{CommLog::Op::Barrier, -1, ir::ReduceOp::Sum, 0.0, 0.0});
+}
+
+const CommLog::Event& ReplayEndpoint::next(CommLog::Op op) {
+  if (cursor_ >= log_->events.size()) throw ReplayMismatch();
+  const CommLog::Event& e = log_->events[cursor_++];
+  if (e.op != op) throw ReplayMismatch();
+  return e;
+}
+
+void ReplayEndpoint::send(std::int64_t dest_rank, double) {
+  const auto& e = next(CommLog::Op::Send);
+  if (e.peer != dest_rank) throw ReplayMismatch();
+}
+
+double ReplayEndpoint::recv(std::int64_t src_rank) {
+  const auto& e = next(CommLog::Op::Recv);
+  if (e.peer != src_rank) throw ReplayMismatch();
+  return e.result;
+}
+
+double ReplayEndpoint::allreduce(double, ir::ReduceOp op) {
+  const auto& e = next(CommLog::Op::Allreduce);
+  if (e.reduce != op) throw ReplayMismatch();
+  return e.result;
+}
+
+void ReplayEndpoint::barrier() { (void)next(CommLog::Op::Barrier); }
+
+// ---------------------------------------------------------------------------
+// World
+// ---------------------------------------------------------------------------
 
 World::World(std::int64_t nranks) : nranks_(nranks) {
   assert(nranks >= 1);
   channels_.resize(static_cast<std::size_t>(nranks * nranks));
   coll_values_.resize(static_cast<std::size_t>(nranks));
+  waits_.resize(static_cast<std::size_t>(nranks));
+  in_body_.assign(static_cast<std::size_t>(nranks), 0);
   for (std::int64_t r = 0; r < nranks; ++r) {
     endpoints_.emplace_back(new RankEndpoint(this, r));
   }
 }
 
+void World::abort() noexcept {
+  std::lock_guard lock(mutex_);
+  abort_locked();
+}
+
+bool World::aborted() const {
+  std::lock_guard lock(mutex_);
+  return aborted_;
+}
+
+void World::abort_locked() noexcept {
+  aborted_ = true;
+  cv_.notify_all();
+}
+
+bool World::wait_satisfied(const Wait& w) const {
+  switch (w.kind) {
+    case Wait::Kind::None: return true;
+    case Wait::Kind::P2p: return !channels_[w.channel].queue.empty();
+    case Wait::Kind::Drain: return coll_left_ == 0;
+    case Wait::Kind::Generation: return coll_generation_ != w.generation;
+  }
+  return true;
+}
+
+void World::check_deadlock_locked() {
+  if (aborted_ || active_ == 0) return;
+  // Progress is possible iff some rank inside the launch body is either
+  // running (no registered wait) or waiting on an already-satisfied
+  // predicate (it just has not been scheduled yet). If neither exists, no
+  // thread can ever change world state again — sends never block, so only
+  // the waiters below could act, and none of them can wake.
+  std::int64_t stuck = 0;
+  for (std::int64_t r = 0; r < nranks_; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    if (!in_body_[i]) continue;
+    if (waits_[i].kind != Wait::Kind::None && !wait_satisfied(waits_[i])) {
+      stuck++;
+    }
+  }
+  if (stuck == active_) abort_locked();
+}
+
+void World::wait_rank(std::unique_lock<std::mutex>& lock, std::int64_t rank,
+                      const Wait& w) {
+  if (aborted_) throw WorldAborted();
+  if (wait_satisfied(w)) return;
+  const auto i = static_cast<std::size_t>(rank);
+  waits_[i] = w;
+  check_deadlock_locked();
+  cv_.wait(lock, [&] { return aborted_ || wait_satisfied(w); });
+  waits_[i].kind = Wait::Kind::None;
+  if (aborted_) throw WorldAborted();
+}
+
+void World::rank_done(std::int64_t rank) {
+  std::lock_guard lock(mutex_);
+  in_body_[static_cast<std::size_t>(rank)] = 0;
+  --active_;
+  // This rank will never send or join a collective again: if everyone left
+  // is in an unsatisfied wait, they are stuck for good.
+  check_deadlock_locked();
+}
+
 void World::launch(
     const std::function<void(std::int64_t, vm::MpiEndpoint&)>& body) {
+  {
+    std::lock_guard lock(mutex_);
+    active_ = nranks_;
+    for (std::int64_t r = 0; r < nranks_; ++r) {
+      waits_[static_cast<std::size_t>(r)].kind = Wait::Kind::None;
+      in_body_[static_cast<std::size_t>(r)] = 1;
+    }
+  }
   std::vector<std::thread> threads;
   std::exception_ptr first_error;
   std::mutex err_mutex;
@@ -48,6 +207,7 @@ void World::launch(
         std::lock_guard lock(err_mutex);
         if (!first_error) first_error = std::current_exception();
       }
+      rank_done(r);
     });
   }
   for (auto& t : threads) t.join();
@@ -55,20 +215,20 @@ void World::launch(
 }
 
 void World::p2p_send(std::int64_t src, std::int64_t dest, double value) {
-  assert(dest >= 0 && dest < nranks_);
-  {
-    std::lock_guard lock(p2p_mutex_);
-    channels_[static_cast<std::size_t>(dest * nranks_ + src)].queue.push_back(
-        value);
-  }
-  p2p_cv_.notify_all();
+  if (dest < 0 || dest >= nranks_) throw BadRank(dest);
+  std::lock_guard lock(mutex_);
+  if (aborted_) throw WorldAborted();
+  channels_[static_cast<std::size_t>(dest * nranks_ + src)].queue.push_back(
+      value);
+  cv_.notify_all();
 }
 
 double World::p2p_recv(std::int64_t dest, std::int64_t src) {
-  assert(src >= 0 && src < nranks_);
-  std::unique_lock lock(p2p_mutex_);
-  auto& ch = channels_[static_cast<std::size_t>(dest * nranks_ + src)];
-  p2p_cv_.wait(lock, [&] { return !ch.queue.empty(); });
+  if (src < 0 || src >= nranks_) throw BadRank(src);
+  std::unique_lock lock(mutex_);
+  const auto channel = static_cast<std::size_t>(dest * nranks_ + src);
+  wait_rank(lock, dest, Wait{Wait::Kind::P2p, channel, 0});
+  auto& ch = channels_[channel];
   const double v = ch.queue.front();
   ch.queue.pop_front();
   return v;
@@ -76,9 +236,9 @@ double World::p2p_recv(std::int64_t dest, std::int64_t src) {
 
 double World::collective_allreduce(std::int64_t rank, double value,
                                    ir::ReduceOp op) {
-  std::unique_lock lock(coll_mutex_);
+  std::unique_lock lock(mutex_);
   // Wait for the previous collective to fully drain before joining a new one.
-  coll_cv_.wait(lock, [&] { return coll_left_ == 0; });
+  wait_rank(lock, rank, Wait{Wait::Kind::Drain, 0, 0});
   const std::uint64_t my_generation = coll_generation_;
   if (rank >= 0 && rank < nranks_) {
     coll_values_[static_cast<std::size_t>(rank)] = value;
@@ -99,16 +259,67 @@ double World::collective_allreduce(std::int64_t rank, double value,
     coll_arrived_ = 0;
     coll_left_ = nranks_;
     coll_generation_++;
-    coll_cv_.notify_all();
+    cv_.notify_all();
   } else {
-    coll_cv_.wait(lock, [&] { return coll_generation_ != my_generation; });
+    wait_rank(lock, rank, Wait{Wait::Kind::Generation, 0, my_generation});
   }
   const double result = coll_result_;
   coll_left_--;
-  if (coll_left_ == 0) coll_cv_.notify_all();
+  if (coll_left_ == 0) cv_.notify_all();
   return result;
 }
 
-void World::collective_barrier() { collective_allreduce(0, 0.0, ir::ReduceOp::Sum); }
+// ---------------------------------------------------------------------------
+// run_ranks
+// ---------------------------------------------------------------------------
+
+RankRunReport run_ranks(const vm::DecodedProgram& program, std::int64_t nranks,
+                        const RankRunOptions& opts) {
+  assert(opts.sinks.empty() ||
+         opts.sinks.size() == static_cast<std::size_t>(nranks));
+  assert(opts.max_instructions.empty() ||
+         opts.max_instructions.size() == static_cast<std::size_t>(nranks));
+
+  RankRunReport report;
+  report.ranks.resize(static_cast<std::size_t>(nranks));
+  report.aborted.assign(static_cast<std::size_t>(nranks), 0);
+  if (opts.record_comm) report.comm.resize(static_cast<std::size_t>(nranks));
+
+  World world(nranks);
+  world.launch([&](std::int64_t rank, vm::MpiEndpoint& ep) {
+    const auto r = static_cast<std::size_t>(rank);
+    RecordingEndpoint recording(&ep, opts.record_comm ? &report.comm[r]
+                                                      : nullptr);
+    vm::VmOptions vo = opts.base;
+    vo.mpi = opts.record_comm ? static_cast<vm::MpiEndpoint*>(&recording)
+                              : &ep;
+    vo.observer = nullptr;
+    vo.column_sink = opts.sinks.empty() ? nullptr : opts.sinks[r];
+    vo.fault = rank == opts.fault_rank ? opts.fault : vm::FaultPlan::none();
+    if (!opts.max_instructions.empty()) {
+      vo.max_instructions = opts.max_instructions[r];
+    }
+    try {
+      if (rank == opts.fault_rank && opts.fault_snapshot) {
+        // Rank-local fork: resume the faulted rank from its
+        // communication-free golden prefix instead of re-executing it.
+        vm::Vm vm(program, *opts.fault_snapshot, vo);
+        report.ranks[r] = vm.run();
+      } else {
+        report.ranks[r] = vm::Vm::run(program, vo);
+      }
+    } catch (const WorldAborted&) {
+      // Released mid-communication by a peer's trap/deadlock: this rank has
+      // no meaningful result. The abnormal peer is what classifies the
+      // trial.
+      report.aborted[r] = 1;
+    } catch (const BadRank&) {
+      // A corrupted rank index reached a p2p op: the closest machine analog
+      // is an out-of-bounds access.
+      report.ranks[r].trap = vm::TrapKind::OutOfBounds;
+    }
+  });
+  return report;
+}
 
 }  // namespace ft::mpi

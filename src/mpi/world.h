@@ -1,12 +1,28 @@
-// MiniMPI: a rank-parallel message-passing runtime.
-//
-// Stands in for the MPI substrate of the paper's experiments (§IV-A): each
-// rank is a VM running on its own thread with a private trace sink, so
-// "parallel tracing is a per-process task [and] no synchronization is
-// required" holds here exactly as it does for the paper's per-process trace
-// files. Collectives reduce in rank order, keeping every run deterministic
-// (this subsumes the record-and-replay the paper needs for nondeterministic
-// MPI apps, §V-B).
+/// @file
+/// MiniMPI: a rank-parallel message-passing runtime.
+///
+/// Stands in for the MPI substrate of the paper's experiments (§IV-A): each
+/// rank is a VM running on its own thread with a private trace sink, so
+/// "parallel tracing is a per-process task [and] no synchronization is
+/// required" holds here exactly as it does for the paper's per-process trace
+/// files. Collectives reduce in rank order, keeping every run deterministic
+/// (this subsumes the record-and-replay the paper needs for nondeterministic
+/// MPI apps, §V-B) — and the record-and-replay claim is literal: a
+/// RecordingEndpoint captures every value a rank exchanged (CommLog), and a
+/// ReplayEndpoint re-executes that rank SOLO, bit-identically, from the log
+/// (pinned by tests/mpi_test.cpp).
+///
+/// Fault-injection support: a faulty rank can misbehave in ways a clean
+/// world never does — send to a corrupted rank index (BadRank), trap before
+/// a collective its peers are waiting on, or change its communication
+/// pattern so the world can no longer make progress. The World detects the
+/// latter deterministically (all still-running ranks blocked => nobody can
+/// ever unblock them) and aborts: every blocked communication call throws
+/// WorldAborted, releasing the fault-free peers. run_ranks() packages one
+/// rank-deterministic trial (one world, one Vm per rank, at most one rank
+/// faulted, optional per-rank ColumnTrace sinks and rank-local snapshot
+/// forking) on top of these primitives; the cross-rank campaign engine
+/// (src/fault/rank_campaign.h) builds on it.
 #pragma once
 
 #include <condition_variable>
@@ -15,13 +31,72 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <vector>
 
+#include "vm/interp.h"
 #include "vm/mpi_endpoint.h"
+
+namespace ft::trace {
+class ColumnTrace;
+}  // namespace ft::trace
 
 namespace ft::mpi {
 
 class World;
+
+/// Thrown out of a blocked send/recv/collective when the world aborts —
+/// either explicitly (World::abort()) or because every still-running rank
+/// was blocked with nobody left to wake it (deterministic deadlock, e.g. a
+/// faulted rank trapped before a collective its peers already joined).
+class WorldAborted : public std::runtime_error {
+ public:
+  WorldAborted() : std::runtime_error("mpi: world aborted") {}
+};
+
+/// Thrown by p2p calls naming a rank outside [0, size) — the destination
+/// index of a faulty rank can be any corrupted integer.
+class BadRank : public std::runtime_error {
+ public:
+  explicit BadRank(std::int64_t rank)
+      : std::runtime_error("mpi: bad rank " + std::to_string(rank)) {}
+};
+
+/// Thrown by ReplayEndpoint when the replayed execution issues a
+/// communication op that does not match the recorded log.
+class ReplayMismatch : public std::runtime_error {
+ public:
+  ReplayMismatch() : std::runtime_error("mpi: replay diverged from log") {}
+};
+
+/// Everything one rank exchanged with its world, in program order. The
+/// outbound projection (ops issued + values produced) is what the
+/// cross-rank campaign compares against golden to decide whether an error
+/// ever left a rank; the inbound results are what ReplayEndpoint serves to
+/// re-execute the rank solo.
+struct CommLog {
+  enum class Op : std::uint8_t { Send, Recv, Allreduce, Barrier };
+
+  struct Event {
+    Op op = Op::Barrier;
+    std::int64_t peer = -1;  // dest (Send) / src (Recv); -1 for collectives
+    ir::ReduceOp reduce = ir::ReduceOp::Sum;  // Allreduce only
+    double value = 0.0;   // payload sent / reduction contribution
+    double result = 0.0;  // value received / reduction result
+
+    bool operator==(const Event&) const = default;
+  };
+
+  std::vector<Event> events;
+
+  bool operator==(const CommLog&) const = default;
+
+  /// True when this log's *outbound* projection equals `golden`'s: same op
+  /// sequence (kinds, peers, reduce ops) and bit-identical produced values
+  /// (Send payloads, Allreduce contributions). Inbound results are ignored
+  /// — they are caused by peers, not by this rank.
+  [[nodiscard]] bool outbound_equals(const CommLog& golden) const;
+};
 
 /// Per-rank endpoint handed to a Vm through VmOptions::mpi.
 class RankEndpoint final : public vm::MpiEndpoint {
@@ -41,8 +116,98 @@ class RankEndpoint final : public vm::MpiEndpoint {
   std::int64_t rank_;
 };
 
+/// Decorator endpoint that appends every communication op to a CommLog.
+class RecordingEndpoint final : public vm::MpiEndpoint {
+ public:
+  RecordingEndpoint(vm::MpiEndpoint* inner, CommLog* log)
+      : inner_(inner), log_(log) {}
+
+  [[nodiscard]] std::int64_t rank() const override { return inner_->rank(); }
+  [[nodiscard]] std::int64_t size() const override { return inner_->size(); }
+
+  void send(std::int64_t dest_rank, double value) override;
+  [[nodiscard]] double recv(std::int64_t src_rank) override;
+  [[nodiscard]] double allreduce(double value, ir::ReduceOp op) override;
+  void barrier() override;
+
+ private:
+  vm::MpiEndpoint* inner_;
+  CommLog* log_;
+};
+
+/// Serves a recorded CommLog back to a solo re-execution of one rank: recv
+/// and allreduce return the recorded results, send/barrier are consumed and
+/// checked. With a deterministic VM this replays the rank bit-identically
+/// without the rest of the world (the paper's record-and-replay, §V-B).
+/// Throws ReplayMismatch when the execution's op sequence diverges from the
+/// log.
+class ReplayEndpoint final : public vm::MpiEndpoint {
+ public:
+  ReplayEndpoint(std::int64_t rank, std::int64_t size, const CommLog& log)
+      : rank_(rank), size_(size), log_(&log) {}
+
+  [[nodiscard]] std::int64_t rank() const override { return rank_; }
+  [[nodiscard]] std::int64_t size() const override { return size_; }
+
+  void send(std::int64_t dest_rank, double value) override;
+  [[nodiscard]] double recv(std::int64_t src_rank) override;
+  [[nodiscard]] double allreduce(double value, ir::ReduceOp op) override;
+  void barrier() override;
+
+  /// True when every recorded event has been consumed.
+  [[nodiscard]] bool exhausted() const noexcept {
+    return cursor_ == log_->events.size();
+  }
+
+ private:
+  const CommLog::Event& next(CommLog::Op op);
+
+  std::int64_t rank_;
+  std::int64_t size_;
+  const CommLog* log_;
+  std::size_t cursor_ = 0;
+};
+
+/// Rank/size-only endpoint for executing a rank's *communication-free*
+/// prefix outside its world (the rank-local snapshot prep of the cross-rank
+/// campaign scheduler). Any blocking op throws — a prefix that communicates
+/// is not legal to execute solo.
+class FixedEndpoint final : public vm::MpiEndpoint {
+ public:
+  FixedEndpoint(std::int64_t rank, std::int64_t size)
+      : rank_(rank), size_(size) {}
+
+  [[nodiscard]] std::int64_t rank() const override { return rank_; }
+  [[nodiscard]] std::int64_t size() const override { return size_; }
+
+  void send(std::int64_t, double) override { comm(); }
+  [[nodiscard]] double recv(std::int64_t) override { comm(); return 0.0; }
+  [[nodiscard]] double allreduce(double, ir::ReduceOp) override {
+    comm();
+    return 0.0;
+  }
+  void barrier() override { comm(); }
+
+ private:
+  [[noreturn]] static void comm() {
+    throw std::logic_error(
+        "mpi: FixedEndpoint reached a communication op (prefix not "
+        "communication-free)");
+  }
+  std::int64_t rank_;
+  std::int64_t size_;
+};
+
 /// A fixed-size communicator. Construct with the rank count, then launch():
 /// the callable runs once per rank, concurrently, with that rank's endpoint.
+///
+/// Liveness: all blocking waits are deadlock-checked. When every rank still
+/// inside launch() is blocked (p2p receive with no pending message, or a
+/// collective some rank will never join), no thread can ever make progress —
+/// the world aborts and every blocked call throws WorldAborted. Because
+/// message delivery and collective pairing are deterministic, whether a
+/// given program deadlocks (and which ranks complete first) is a property
+/// of the programs, not of thread scheduling.
 class World {
  public:
   explicit World(std::int64_t nranks);
@@ -50,8 +215,15 @@ class World {
   [[nodiscard]] std::int64_t size() const noexcept { return nranks_; }
 
   /// Run `body(rank, endpoint)` on `nranks` threads; returns when all ranks
-  /// finish. Exceptions from a rank propagate to the caller (first one wins).
+  /// finish. Exceptions from a rank propagate to the caller (first one
+  /// wins); ranks blocked on a thrown-out-of rank are released through the
+  /// deadlock abort and see WorldAborted.
   void launch(const std::function<void(std::int64_t, vm::MpiEndpoint&)>& body);
+
+  /// Release every blocked rank (their blocked calls throw WorldAborted)
+  /// and fail any later communication op. Sticky for the world's lifetime.
+  void abort() noexcept;
+  [[nodiscard]] bool aborted() const;
 
  private:
   friend class RankEndpoint;
@@ -60,7 +232,31 @@ class World {
   double p2p_recv(std::int64_t dest, std::int64_t src);
   double collective_allreduce(std::int64_t rank, double value,
                               ir::ReduceOp op);
-  void collective_barrier();
+
+  /// What a rank is blocked on — a *description* of its wait predicate, so
+  /// the deadlock detector can re-evaluate every rank's predicate against
+  /// current world state instead of trusting a stale "blocked" counter (a
+  /// rank whose condition just became true but has not been scheduled yet
+  /// must not look deadlocked).
+  struct Wait {
+    enum class Kind : std::uint8_t { None, P2p, Drain, Generation };
+    Kind kind = Kind::None;
+    std::size_t channel = 0;        // P2p: channel with an empty queue
+    std::uint64_t generation = 0;   // Generation: the one being waited out
+  };
+
+  [[nodiscard]] bool wait_satisfied(const Wait& w) const;
+  /// Block rank `rank` until `w`'s predicate holds; registers the wait for
+  /// the deadlock detector and throws WorldAborted on abort. Must be
+  /// called with `lock` held on mutex_.
+  void wait_rank(std::unique_lock<std::mutex>& lock, std::int64_t rank,
+                 const Wait& w);
+  /// Abort if every rank still inside the launch body sits in a registered
+  /// wait whose predicate is unsatisfied — then no thread can ever make
+  /// progress (sends never block). Called whenever a rank blocks or leaves.
+  void check_deadlock_locked();
+  void abort_locked() noexcept;
+  void rank_done(std::int64_t rank);
 
   struct Channel {
     std::deque<double> queue;
@@ -69,18 +265,77 @@ class World {
   std::int64_t nranks_;
   std::vector<std::unique_ptr<RankEndpoint>> endpoints_;
 
-  std::mutex p2p_mutex_;
-  std::condition_variable p2p_cv_;
+  // One mutex guards channels, collective state and liveness accounting;
+  // rank counts are single digits, so contention is not a concern and the
+  // single lock keeps the deadlock detector trivially race-free (the TSan
+  // CI job keeps it that way).
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
   // channels_[dest * nranks + src]
   std::vector<Channel> channels_;
 
-  std::mutex coll_mutex_;
-  std::condition_variable coll_cv_;
   std::vector<double> coll_values_;
   std::int64_t coll_arrived_ = 0;
   std::int64_t coll_left_ = 0;
   std::uint64_t coll_generation_ = 0;
   double coll_result_ = 0.0;
+
+  std::int64_t active_ = 0;        // ranks still inside the launch body
+  std::vector<Wait> waits_;        // per-rank registered wait
+  std::vector<std::uint8_t> in_body_;  // per-rank: inside the launch body
+  bool aborted_ = false;
 };
+
+// ---------------------------------------------------------------------------
+// Rank-deterministic trial execution (one world, one Vm per rank).
+// ---------------------------------------------------------------------------
+
+/// Options for one multi-rank execution of a decoded program.
+struct RankRunOptions {
+  /// Per-rank VM base; `mpi`, `observer`, `column_sink` and `fault` are
+  /// overridden per rank.
+  vm::VmOptions base{};
+  /// Rank whose VM runs with `fault` armed (-1 = fault-free golden run).
+  std::int64_t fault_rank = -1;
+  vm::FaultPlan fault{};
+  /// Per-rank direct-emit trace sinks (empty, or one per rank; nullptr
+  /// entries leave that rank untraced).
+  std::vector<trace::ColumnTrace*> sinks;
+  /// Record every rank's communication into RankRunReport::comm.
+  bool record_comm = true;
+  /// Rank-local snapshot fork: construct the faulted rank's machine from
+  /// this snapshot instead of from scratch. Only legal when the snapshot
+  /// covers a communication-free fault-free prefix of that rank (see
+  /// fault::prepare_rank_snapshots) — execution is then bit-identical to a
+  /// from-scratch run by construction.
+  const vm::Vm::Snapshot* fault_snapshot = nullptr;
+  /// Per-rank hang budgets (empty = base.max_instructions for every rank).
+  std::vector<std::uint64_t> max_instructions;
+};
+
+/// Per-rank results of one multi-rank execution.
+struct RankRunReport {
+  std::vector<vm::RunResult> ranks;
+  std::vector<CommLog> comm;          // filled when record_comm
+  std::vector<std::uint8_t> aborted;  // 1 = released by the world abort
+
+  /// True when any rank trapped, hung, or was released by an abort — the
+  /// trial-level "Crashed" condition of the cross-rank taxonomy.
+  [[nodiscard]] bool any_abnormal() const noexcept {
+    for (std::size_t r = 0; r < ranks.size(); ++r) {
+      if (ranks[r].trap != vm::TrapKind::None || aborted[r]) return true;
+    }
+    return false;
+  }
+};
+
+/// Execute `program` once on a fresh `nranks`-rank world, one VM per rank
+/// on its own thread, with at most one rank faulted. Deterministic: same
+/// program + same options => bit-identical per-rank results, traces and
+/// communication logs, independent of thread scheduling (collectives reduce
+/// in rank order; p2p channels are FIFO; deadlocks abort deterministically).
+[[nodiscard]] RankRunReport run_ranks(const vm::DecodedProgram& program,
+                                      std::int64_t nranks,
+                                      const RankRunOptions& opts);
 
 }  // namespace ft::mpi

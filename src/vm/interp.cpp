@@ -25,6 +25,40 @@ using util::f64_to_bits;
 
 namespace {
 
+// --- null-endpoint MiniMPI semantics -----------------------------------------
+// A Vm with no MpiEndpoint behaves as a single-rank world (the contract in
+// vm/mpi_endpoint.h, pinned by tests/mpi_test.cpp): rank 0, size 1, identity
+// allreduce, no-op barrier. Point-to-point ops have no peer to pair with, so
+// send drops its payload and recv yields 0.0 — a single-rank program that
+// genuinely self-messages needs a real one-rank mpi::World. All three
+// engines (legacy, decoded, decoded+traced) route through these helpers so
+// the behavior is stated once instead of implied at every opcode site.
+
+inline std::int64_t mpi_rank_of(const MpiEndpoint* ep) {
+  return ep ? ep->rank() : 0;
+}
+
+inline std::int64_t mpi_size_of(const MpiEndpoint* ep) {
+  return ep ? ep->size() : 1;
+}
+
+inline void mpi_send_on(MpiEndpoint* ep, std::int64_t dest, double value) {
+  if (ep) ep->send(dest, value);
+}
+
+inline double mpi_recv_on(MpiEndpoint* ep, std::int64_t src) {
+  return ep ? ep->recv(src) : 0.0;
+}
+
+inline double mpi_allreduce_on(MpiEndpoint* ep, double value,
+                               ir::ReduceOp op) {
+  return ep ? ep->allreduce(value, op) : value;
+}
+
+inline void mpi_barrier_on(MpiEndpoint* ep) {
+  if (ep) ep->barrier();
+}
+
 /// Round `v` to `digits` significant decimal digits after the leading one,
 /// exactly as the old snprintf("%.*e") / strtod round trip did in the C
 /// locale — but locale-independent and allocation-free: std::to_chars and
@@ -702,36 +736,28 @@ Vm::Status Vm::step_decoded(DynInstr* out) {
     case Opcode::RegionExit:
       break;
 
-    // --- MiniMPI --------------------------------------------------------------------
+    // --- MiniMPI (null endpoint = single-rank world; see helpers above) -------
     case Opcode::MpiRank:
-      result = static_cast<std::uint64_t>(opts_.mpi ? opts_.mpi->rank() : 0);
+      result = static_cast<std::uint64_t>(mpi_rank_of(opts_.mpi));
       break;
     case Opcode::MpiSize:
-      result = static_cast<std::uint64_t>(opts_.mpi ? opts_.mpi->size() : 1);
+      result = static_cast<std::uint64_t>(mpi_size_of(opts_.mpi));
       break;
     case Opcode::MpiSend:
-      if (opts_.mpi) {
-        opts_.mpi->send(static_cast<std::int64_t>(a.bits),
-                        bits_to_f64(b.bits));
-      }
+      mpi_send_on(opts_.mpi, static_cast<std::int64_t>(a.bits),
+                  bits_to_f64(b.bits));
       break;
     case Opcode::MpiRecv:
-      result =
-          f64_to_bits(opts_.mpi ? opts_.mpi->recv(static_cast<std::int64_t>(
-                                      a.bits))
-                                : 0.0);
+      result = f64_to_bits(
+          mpi_recv_on(opts_.mpi, static_cast<std::int64_t>(a.bits)));
       break;
-    case Opcode::MpiAllreduce: {
-      const double v = bits_to_f64(a.bits);
-      const double r = opts_.mpi
-                           ? opts_.mpi->allreduce(
-                                 v, static_cast<ir::ReduceOp>(ins.aux))
-                           : v;
-      result = f64_to_bits(r);
+    case Opcode::MpiAllreduce:
+      result = f64_to_bits(mpi_allreduce_on(
+          opts_.mpi, bits_to_f64(a.bits),
+          static_cast<ir::ReduceOp>(ins.aux)));
       break;
-    }
     case Opcode::MpiBarrier:
-      if (opts_.mpi) opts_.mpi->barrier();
+      mpi_barrier_on(opts_.mpi);
       break;
   }
 
@@ -1164,36 +1190,28 @@ Vm::Status Vm::step_legacy(DynInstr* out) {
     case Opcode::RegionExit:
       break;
 
-    // --- MiniMPI --------------------------------------------------------------------
+    // --- MiniMPI (null endpoint = single-rank world; see helpers above) -------
     case Opcode::MpiRank:
-      result = static_cast<std::uint64_t>(opts_.mpi ? opts_.mpi->rank() : 0);
+      result = static_cast<std::uint64_t>(mpi_rank_of(opts_.mpi));
       break;
     case Opcode::MpiSize:
-      result = static_cast<std::uint64_t>(opts_.mpi ? opts_.mpi->size() : 1);
+      result = static_cast<std::uint64_t>(mpi_size_of(opts_.mpi));
       break;
     case Opcode::MpiSend:
-      if (opts_.mpi) {
-        opts_.mpi->send(static_cast<std::int64_t>(a.bits),
-                        bits_to_f64(b.bits));
-      }
+      mpi_send_on(opts_.mpi, static_cast<std::int64_t>(a.bits),
+                  bits_to_f64(b.bits));
       break;
     case Opcode::MpiRecv:
-      result =
-          f64_to_bits(opts_.mpi ? opts_.mpi->recv(static_cast<std::int64_t>(
-                                      a.bits))
-                                : 0.0);
+      result = f64_to_bits(
+          mpi_recv_on(opts_.mpi, static_cast<std::int64_t>(a.bits)));
       break;
-    case Opcode::MpiAllreduce: {
-      const double v = bits_to_f64(a.bits);
-      const double r = opts_.mpi
-                           ? opts_.mpi->allreduce(
-                                 v, static_cast<ir::ReduceOp>(ins.aux))
-                           : v;
-      result = f64_to_bits(r);
+    case Opcode::MpiAllreduce:
+      result = f64_to_bits(mpi_allreduce_on(
+          opts_.mpi, bits_to_f64(a.bits),
+          static_cast<ir::ReduceOp>(ins.aux)));
       break;
-    }
     case Opcode::MpiBarrier:
-      if (opts_.mpi) opts_.mpi->barrier();
+      mpi_barrier_on(opts_.mpi);
       break;
   }
 
@@ -1720,42 +1738,39 @@ void Vm::run_decoded_hot() {
     fr->pc++;
     FT_NEXT();
   }
+  // MiniMPI: a null endpoint is a single-rank world (helpers at the top of
+  // this file state the exact semantics once for all three engines).
   FT_OP(MpiRank) : {
-    commit(static_cast<std::uint64_t>(opts_.mpi ? opts_.mpi->rank() : 0));
+    commit(static_cast<std::uint64_t>(mpi_rank_of(opts_.mpi)));
     fr->pc++;
     FT_NEXT();
   }
   FT_OP(MpiSize) : {
-    commit(static_cast<std::uint64_t>(opts_.mpi ? opts_.mpi->size() : 1));
+    commit(static_cast<std::uint64_t>(mpi_size_of(opts_.mpi)));
     fr->pc++;
     FT_NEXT();
   }
   FT_OP(MpiSend) : {
-    if (opts_.mpi) {
-      opts_.mpi->send(static_cast<std::int64_t>(val(srcs[0])),
-                      bits_to_f64(val(srcs[1])));
-    }
+    mpi_send_on(opts_.mpi, static_cast<std::int64_t>(val(srcs[0])),
+                bits_to_f64(val(srcs[1])));
     fr->pc++;
     FT_NEXT();
   }
   FT_OP(MpiRecv) : {
     commit(f64_to_bits(
-        opts_.mpi ? opts_.mpi->recv(static_cast<std::int64_t>(val(srcs[0])))
-                  : 0.0));
+        mpi_recv_on(opts_.mpi, static_cast<std::int64_t>(val(srcs[0])))));
     fr->pc++;
     FT_NEXT();
   }
   FT_OP(MpiAllreduce) : {
-    const double v = bits_to_f64(val(srcs[0]));
-    const double r =
-        opts_.mpi ? opts_.mpi->allreduce(v, static_cast<ir::ReduceOp>(ins->aux))
-                  : v;
-    commit(f64_to_bits(r));
+    commit(f64_to_bits(mpi_allreduce_on(
+        opts_.mpi, bits_to_f64(val(srcs[0])),
+        static_cast<ir::ReduceOp>(ins->aux))));
     fr->pc++;
     FT_NEXT();
   }
   FT_OP(MpiBarrier) : {
-    if (opts_.mpi) opts_.mpi->barrier();
+    mpi_barrier_on(opts_.mpi);
     fr->pc++;
     FT_NEXT();
   }

@@ -1,6 +1,11 @@
 // Interface the VM uses for MiniMPI intrinsics. A null endpoint behaves as
-// a single-rank world (rank 0, size 1, allreduce is identity); the real
-// multi-rank runtime lives in src/mpi/.
+// a single-rank world: rank 0, size 1, identity allreduce, no-op barrier;
+// p2p has no peer to pair with, so send drops its payload and recv yields
+// 0.0 (a genuinely self-messaging single-rank program needs a one-rank
+// mpi::World). The exact semantics live in one place — the mpi_*_on
+// helpers at the top of vm/interp.cpp, shared by all three engines — and
+// are pinned by tests/mpi_test.cpp. The real multi-rank runtime lives in
+// src/mpi/.
 #pragma once
 
 #include <cstdint>

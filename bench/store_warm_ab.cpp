@@ -1,0 +1,136 @@
+// Persistent-store A/B: cold vs warm run_analysis on the same request.
+//
+// The cold run starts from an empty artifact store and computes everything
+// — golden run, columnar trace, site enumerations, every campaign — while
+// publishing each artifact as it is produced. The warm run replays the
+// IDENTICAL request against the now-populated store: the golden result and
+// trace come back via zero-copy mmap, the enumerations and campaign
+// outcome counts via content-addressed blobs, and nothing is re-executed.
+// The report's proof counters make "nothing" checkable, not vibes:
+// trials_executed == 0 and golden_traced_instructions == 0 on the warm
+// side, with identical outcome counts on both sides. The binary exits
+// nonzero if the warm run executed any work or any count diverges;
+// scripts/bench_smoke.sh section 6 gates on warm wall-clock >= 5x faster.
+//
+//   store_warm_ab [--trials=N] [--seed=N] [--app=NAME] [--reps=N]
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "store/artifact_store.h"
+
+int main(int argc, char** argv) {
+  using namespace ft;
+  const auto cfg = bench::BenchConfig::parse(argc, argv);
+  const util::Cli cli(argc, argv);
+  const auto name = cli.get("app", "CG");
+  const auto reps = static_cast<int>(cli.get_int("reps", 3));
+  bench::print_header("store A/B - cold compute vs warm artifact replay",
+                      cfg);
+
+  // Build the app once outside the measured region; both sides pay only
+  // decode + analysis, which is exactly what the store can or cannot skip.
+  const auto spec = apps::build_app(name);
+  std::string store_dir;
+  {
+    std::string templ =
+        (std::filesystem::temp_directory_path() / "ft_warm_ab_XXXXXX")
+            .string();
+    std::vector<char> buf(templ.begin(), templ.end());
+    buf.push_back('\0');
+    if (::mkdtemp(buf.data()) == nullptr) {
+      std::fprintf(stderr, "mkdtemp failed\n");
+      return 1;
+    }
+    store_dir = buf.data();
+  }
+  const auto request = [&] {
+    return core::AnalysisRequest()
+        .app(spec)
+        .analysis_regions()
+        .target(fault::TargetClass::Internal)
+        .target(fault::TargetClass::Input)
+        .success_rates(cfg.campaign(60))
+        .app_campaign(cfg.campaign(40))
+        .execution(cfg.mode())
+        .store_dir(store_dir + "/store");
+  };
+
+  util::Stopwatch sw;
+  const auto cold = core::run_analysis(request());
+  const double cold_s = sw.seconds();
+
+  // Best-of-reps for the warm side: it is fast enough that a scheduler
+  // hiccup would otherwise dominate the ratio.
+  double warm_s = 1e30;
+  core::AnalysisReport warm;
+  for (int r = 0; r < reps; ++r) {
+    sw.reset();
+    auto rep = core::run_analysis(request());
+    const double s = sw.seconds();
+    if (s < warm_s) {
+      warm_s = s;
+      warm = std::move(rep);
+    }
+  }
+
+  std::printf("app: %s, %zu campaign units cold, %zu trials\n", name.c_str(),
+              cold.campaign_units, cold.total_trials);
+  std::printf("cold: %8.1f ms  (%zu trials executed, %llu traced instr, "
+              "%llu store bytes written)\n",
+              cold_s * 1e3, cold.trials_executed,
+              static_cast<unsigned long long>(cold.golden_traced_instructions),
+              static_cast<unsigned long long>(cold.store_bytes_written));
+  std::printf("warm: %8.1f ms  (%zu trials executed, %llu traced instr, "
+              "%zu campaigns from store, %llu hits / %llu misses)\n",
+              warm_s * 1e3, warm.trials_executed,
+              static_cast<unsigned long long>(warm.golden_traced_instructions),
+              warm.campaigns_from_store,
+              static_cast<unsigned long long>(warm.store_hits),
+              static_cast<unsigned long long>(warm.store_misses));
+  std::printf("warm speedup: %.2fx\n", cold_s / warm_s);
+
+  // Identity: every outcome count the analysis reports must be
+  // bit-identical between the computed and the replayed run.
+  bool identical = cold.entries.size() == warm.entries.size() &&
+                   cold.total_trials == warm.total_trials;
+  for (std::size_t i = 0; identical && i < cold.entries.size(); ++i) {
+    const auto& a = cold.entries[i].campaign;
+    const auto& b = warm.entries[i].campaign;
+    identical = a.trials == b.trials && a.success == b.success &&
+                a.failed == b.failed && a.crashed == b.crashed &&
+                a.population_bits == b.population_bits;
+  }
+  if (identical && cold.apps.size() == 1 && warm.apps.size() == 1 &&
+      cold.apps[0].whole_app.has_value() &&
+      warm.apps[0].whole_app.has_value()) {
+    const auto& a = *cold.apps[0].whole_app;
+    const auto& b = *warm.apps[0].whole_app;
+    identical = a.trials == b.trials && a.success == b.success &&
+                a.failed == b.failed && a.crashed == b.crashed;
+  }
+  const bool warm_idle =
+      warm.trials_executed == 0 && warm.golden_traced_instructions == 0 &&
+      warm.campaigns_from_store > 0 && warm.store_hits > 0;
+  std::printf("identity: %s; warm executed nothing: %s\n",
+              identical ? "OK" : "MISMATCH", warm_idle ? "OK" : "VIOLATED");
+
+  const store::ArtifactStore st(store_dir + "/store");
+  const auto stats = st.disk_stats();
+  const auto hit_total = warm.store_hits + warm.store_misses;
+  std::printf("store stats: entries=%llu bytes=%llu hit_rate=%.1f%%\n",
+              static_cast<unsigned long long>(stats.entries),
+              static_cast<unsigned long long>(stats.bytes),
+              hit_total == 0
+                  ? 0.0
+                  : 100.0 * static_cast<double>(warm.store_hits) /
+                        static_cast<double>(hit_total));
+
+  std::error_code ec;
+  std::filesystem::remove_all(store_dir, ec);
+  return identical && warm_idle ? 0 : 1;
+}

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Perf-regression canary, four sections:
+# Perf-regression canary, six sections:
 #
 #  1. Engine A/B (vm_engine_ab): decoded vs legacy interpreter on the CG
 #     whole-program campaign. The decoded engine must stay >= 2x the
@@ -30,6 +30,13 @@
 #     nonzero on a mismatch) and the serial-vs-parallel SR table prints
 #     into the artifact.
 #
+#  6. Persistent store A/B (store_warm_ab): cold run_analysis computing and
+#     publishing every artifact vs a warm replay of the identical request
+#     from the store. Warm must be >= 5x faster with bit-identical outcome
+#     counts and zero executed work (the binary exits nonzero on either
+#     violation); the store stats line is also written to
+#     <build-dir>/store_stats.out for the CI artifact.
+#
 # The combined output is also written to <build-dir>/bench_smoke.out so CI
 # can upload it as an artifact.
 #
@@ -43,9 +50,11 @@ engine_ab="$build_dir/vm_engine_ab"
 trace_ab="$build_dir/trace_substrate_ab"
 fork_ab="$build_dir/campaign_fork_ab"
 rank_prop="$build_dir/rank_propagation"
+store_ab="$build_dir/store_warm_ab"
 out="$build_dir/bench_smoke.out"
+store_stats_out="$build_dir/store_stats.out"
 
-for bin in "$bench" "$engine_ab" "$trace_ab" "$fork_ab" "$rank_prop"; do
+for bin in "$bench" "$engine_ab" "$trace_ab" "$fork_ab" "$rank_prop" "$store_ab"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not found (build first: cmake -B $build_dir -S . && cmake --build $build_dir -j)" >&2
     exit 1
@@ -59,10 +68,10 @@ extract_ms() {
   sed -n 's/^campaign wall: \([0-9.]*\) ms.*/\1/p' "$1"
 }
 
-tmp_engine=$(mktemp) tmp_trace=$(mktemp) tmp_batched=$(mktemp) tmp_legacy=$(mktemp) tmp_fork=$(mktemp) tmp_rank=$(mktemp)
-trap 'rm -f "$tmp_engine" "$tmp_trace" "$tmp_batched" "$tmp_legacy" "$tmp_fork" "$tmp_rank"' EXIT
+tmp_engine=$(mktemp) tmp_trace=$(mktemp) tmp_batched=$(mktemp) tmp_legacy=$(mktemp) tmp_fork=$(mktemp) tmp_rank=$(mktemp) tmp_store=$(mktemp)
+trap 'rm -f "$tmp_engine" "$tmp_trace" "$tmp_batched" "$tmp_legacy" "$tmp_fork" "$tmp_rank" "$tmp_store"' EXIT
 
-echo "== bench smoke 1/5: decoded vs legacy engine on the CG campaign =="
+echo "== bench smoke 1/6: decoded vs legacy engine on the CG campaign =="
 # A longer campaign than section 3 (and interleaved best-of-3 inside the
 # bench) keeps the speedup measurement steady on busy/single-core hosts.
 engine_trials=$(( trials * 2 > 60 ? trials * 2 : 60 ))
@@ -77,7 +86,7 @@ awk -v s="$engine_speedup" 'BEGIN {
 }' | tee -a "$out"
 
 echo
-echo "== bench smoke 2/5: columnar vs DynInstr-observer traced run on CG =="
+echo "== bench smoke 2/6: columnar vs DynInstr-observer traced run on CG =="
 # The binary exits nonzero when the ACL series/events or pattern counts
 # differ between substrates, failing the smoke under pipefail.
 "$trace_ab" | tee "$tmp_trace"
@@ -94,7 +103,7 @@ awk -v s="$trace_speedup" -v r="$bytes_ratio" 'BEGIN {
 }' | tee -a "$out"
 
 echo
-echo "== bench smoke 3/5: fig5 on CG, $trials trials per region/class =="
+echo "== bench smoke 3/6: fig5 on CG, $trials trials per region/class =="
 "$bench" --apps=CG --trials="$trials" | tee "$tmp_batched" | grep -E "^(schedule|campaign)"
 echo
 echo "-- legacy per-region scheduling --"
@@ -113,7 +122,7 @@ awk -v b="$batched_ms" -v l="$legacy_ms" 'BEGIN {
 }' | tee -a "$out"
 
 echo
-echo "== bench smoke 4/5: snapshot-forked vs from-scratch campaign trials on CG =="
+echo "== bench smoke 4/6: snapshot-forked vs from-scratch campaign trials on CG =="
 # A longer campaign than section 3 amortizes the one-time golden pass and
 # keeps the best-of interleaved measurement steady; the binary itself
 # exits nonzero if the two schedulers disagree on any outcome count.
@@ -131,7 +140,7 @@ awk -v s="$fork_speedup" -v n="$fork_snaps" 'BEGIN {
 }' | tee -a "$out"
 
 echo
-echo "== bench smoke 5/5: cross-rank campaign determinism (4-rank CG/MG/LULESH) =="
+echo "== bench smoke 5/6: cross-rank campaign determinism (4-rank CG/MG/LULESH) =="
 # The binary runs every multi-rank campaign twice — rank-local snapshot
 # forking on and off — and exits nonzero if any cross-rank outcome count
 # differs, failing the smoke under pipefail.
@@ -144,3 +153,20 @@ if [[ "$rank_ok" != "OK" ]]; then
   exit 1
 fi
 echo "cross-rank determinism OK" | tee -a "$out"
+
+echo
+echo "== bench smoke 6/6: cold compute vs warm artifact-store replay on CG =="
+# The binary exits nonzero if any outcome count differs between the cold
+# and warm run, or if the warm run executed any trials / traced any
+# instructions — the store must serve everything.
+"$store_ab" --trials="$trials" | tee "$tmp_store"
+cat "$tmp_store" >> "$out"
+
+store_speedup=$(sed -n 's/^warm speedup: \([0-9.]*\)x$/\1/p' "$tmp_store")
+awk -v s="$store_speedup" 'BEGIN {
+  if (s == "") { print "ERROR: no warm speedup reported"; exit 1 }
+  if (s < 5.0) { printf "REGRESSION: warm store replay only %.2fx the cold run (need >= 5x)\n", s; exit 1 }
+  printf "persistent store OK (%.2fx >= 5x warm replay)\n", s
+}' | tee -a "$out"
+# The store stats line is its own CI artifact, next to bench_smoke.out.
+sed -n '/^store stats:/p;/^warm speedup:/p;/^identity:/p;/^cold:/p;/^warm:/p' "$tmp_store" > "$store_stats_out"

@@ -5,6 +5,7 @@
 #include <deque>
 #include <stdexcept>
 
+#include "store/artifact_store.h"
 #include "util/stopwatch.h"
 #include "vm/interp.h"
 
@@ -21,6 +22,13 @@ AnalysisSession::AnalysisSession(apps::AppSpec app)
 
 const std::shared_ptr<const vm::RunResult>& AnalysisSession::golden_locked() {
   if (!golden_) {
+    if (store_) {
+      if (auto cached = store_->load_golden(
+              store::golden_key(module_hash(), options_hash()))) {
+        golden_ = std::make_shared<const vm::RunResult>(std::move(*cached));
+        return golden_;
+      }
+    }
     auto run = vm::Vm::run(*program_, app_.base);
     if (!run.completed()) {
       throw std::runtime_error("fault-free run of '" + app_.name +
@@ -28,6 +36,10 @@ const std::shared_ptr<const vm::RunResult>& AnalysisSession::golden_locked() {
                                std::string(vm::trap_name(run.trap)));
     }
     golden_ = std::make_shared<const vm::RunResult>(std::move(run));
+    if (store_) {
+      store_->publish_golden(store::golden_key(module_hash(), options_hash()),
+                             *golden_);
+    }
   }
   return golden_;
 }
@@ -35,6 +47,17 @@ const std::shared_ptr<const vm::RunResult>& AnalysisSession::golden_locked() {
 const std::shared_ptr<const trace::ColumnTrace>&
 AnalysisSession::trace_locked() {
   if (!trace_) {
+    if (store_) {
+      // Store-first: mmap the persisted golden trace segments and adopt
+      // them zero-copy (store/trace_io.h) — every TraceView reader runs
+      // over the mapped columns; no traced execution happens at all.
+      if (auto loaded = store_->load_trace(
+              store::trace_key(module_hash(), options_hash()), program_,
+              module_hash())) {
+        trace_ = std::move(loaded);
+        return trace_;
+      }
+    }
     // Direct-emit traced run: the decoded hot loop appends columnar
     // records itself — no observer, no DynInstr materialization.
     trace::ColumnTrace sink(program_);
@@ -47,10 +70,17 @@ AnalysisSession::trace_locked() {
       throw std::runtime_error("traced fault-free run of '" + app_.name +
                                "' trapped");
     }
+    traced_executed_.fetch_add(run.instructions, std::memory_order_relaxed);
     if (!golden_) {
       golden_ = std::make_shared<const vm::RunResult>(std::move(run));
     }
     trace_ = std::make_shared<const trace::ColumnTrace>(std::move(sink));
+    if (store_) {
+      store_->publish_trace(store::trace_key(module_hash(), options_hash()),
+                            *trace_, module_hash());
+      store_->publish_golden(store::golden_key(module_hash(), options_hash()),
+                             *golden_);
+    }
   }
   return trace_;
 }
@@ -80,12 +110,25 @@ AnalysisSession::sites_locked(std::uint32_t region_id,
                               std::uint32_t instance) {
   const auto k = key(region_id, instance);
   if (const auto it = sites_.find(k); it != sites_.end()) return it->second;
+  const std::uint64_t sk =
+      store_ ? store::sites_key(module_hash(), options_hash(), region_id,
+                                instance)
+             : 0;
+  if (store_) {
+    if (auto cached = store_->load_sites(sk)) {
+      auto sites = std::make_shared<const fault::SiteEnumerationResult>(
+          std::move(*cached));
+      sites_.emplace(k, sites);
+      return sites;
+    }
+  }
   auto sites = std::make_shared<const fault::SiteEnumerationResult>(
       fault::enumerate_sites_from_trace(trace_locked()->view(),
                                         *instances_locked(),
                                         *events_locked(), region_id,
                                         instance));
   sites_.emplace(k, sites);
+  if (store_) store_->publish_sites(sk, *sites);
   return sites;
 }
 
@@ -131,8 +174,24 @@ std::shared_ptr<const fault::SiteEnumerationResult>
 AnalysisSession::whole_program_sites() {
   std::lock_guard lock(mu_);
   if (!whole_sites_) {
-    whole_sites_ = std::make_shared<const fault::SiteEnumerationResult>(
-        fault::enumerate_whole_program_sites(*program_, app_.base));
+    const std::uint64_t sk =
+        store_ ? store::sites_key(module_hash(), options_hash(),
+                                  store::kWholeProgram, store::kWholeProgram)
+               : 0;
+    if (store_) {
+      if (auto cached = store_->load_sites(sk)) {
+        whole_sites_ = std::make_shared<const fault::SiteEnumerationResult>(
+            std::move(*cached));
+        return whole_sites_;
+      }
+    }
+    // The whole-program enumeration performs its own traced run.
+    auto ws = fault::enumerate_whole_program_sites(*program_, app_.base);
+    traced_executed_.fetch_add(ws.fault_free_instructions,
+                               std::memory_order_relaxed);
+    whole_sites_ =
+        std::make_shared<const fault::SiteEnumerationResult>(std::move(ws));
+    if (store_) store_->publish_sites(sk, *whole_sites_);
   }
   return whole_sites_;
 }
@@ -174,6 +233,23 @@ std::optional<regions::RegionIo> AnalysisSession::region_io(
   return regions::classify_io(
       trace_locked()->slice(inst->body_begin(), inst->body_end()),
       *events_locked(), *inst);
+}
+
+void AnalysisSession::attach_store(std::shared_ptr<store::ArtifactStore> s) {
+  std::lock_guard lock(mu_);
+  if (store_ || !s) return;  // first attach wins
+  // Derive the stable content hashes once: every store key of this session
+  // mixes them, so equal hashes across processes address the same bytes.
+  module_hash_.store(store::hash_module(app_.module),
+                     std::memory_order_relaxed);
+  options_hash_.store(store::hash_options(app_.base),
+                      std::memory_order_relaxed);
+  store_ = std::move(s);
+}
+
+std::shared_ptr<store::ArtifactStore> AnalysisSession::store() const {
+  std::lock_guard lock(mu_);
+  return store_;
 }
 
 void AnalysisSession::invalidate_trace() {
@@ -355,6 +431,17 @@ AnalysisRequest& AnalysisRequest::region_io() {
   return *this;
 }
 
+AnalysisRequest& AnalysisRequest::store_dir(std::string dir) {
+  store_dir_ = std::move(dir);
+  return *this;
+}
+
+AnalysisRequest& AnalysisRequest::store(
+    std::shared_ptr<store::ArtifactStore> s) {
+  store_ = std::move(s);
+  return *this;
+}
+
 AnalysisRequest& AnalysisRequest::pool(util::ThreadPool* p) {
   pool_ = p;
   return *this;
@@ -411,6 +498,10 @@ struct CampaignUnit {
   fault::PreparedCampaign prepared;
   std::size_t entry_index = ~std::size_t{0};  // into report.entries, or
   std::size_t app_index = ~std::size_t{0};    // into report.apps
+  /// Content-addressed key the unit's outcome counts publish under after
+  /// execution (0 when the request runs without a store). Units whose key
+  /// HIT the store are never built — their entries are filled verbatim.
+  std::uint64_t store_key = 0;
 };
 
 struct UnitCounts {
@@ -527,6 +618,17 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
   if (!pool) pool = &util::global_pool();
   report.pool_workers = pool->size();
 
+  // Optional persistent artifact store: an explicit store wins; a store_dir
+  // opens (or creates) one for this request. Counters are reported as
+  // deltas so a store shared across requests still reads per-request.
+  std::shared_ptr<store::ArtifactStore> store = request.store_;
+  if (!store && !request.store_dir_.empty()) {
+    store = std::make_shared<store::ArtifactStore>(request.store_dir_);
+  }
+  const auto store_base =
+      store ? store->counters() : store::ArtifactStore::Counters{};
+  std::size_t cached_trials = 0;  // trials of campaigns served from store
+
   auto targets = request.targets_;
   if (targets.empty()) targets.push_back(fault::TargetClass::Internal);
 
@@ -541,6 +643,11 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
       session = std::make_shared<AnalysisSession>(
           ref.spec ? *ref.spec : apps::build_app(ref.name));
     }
+    if (store) session->attach_store(store);
+    const std::uint64_t traced_before =
+        session->traced_instructions_executed();
+    const std::uint64_t mh = session->module_hash();
+    const std::uint64_t oh = session->options_hash();
     const auto& spec = session->app();
     // Apps added by registry name keep that name as their report key
     // ("CG"), matching what the caller will look up; explicit specs and
@@ -607,6 +714,20 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
         report.entries.push_back(std::move(entry));
 
         if (request.region_campaign_ && sites->region_found) {
+          const std::uint64_t ck =
+              store ? store::campaign_key(mh, oh, row.region_id, row.instance,
+                                          target, *request.region_campaign_)
+                    : 0;
+          if (store) {
+            if (auto cached = store->load_campaign(ck)) {
+              // Cache hit: the unit is never built and no trial runs; the
+              // stored outcome counts are served verbatim.
+              report.entries[entry_index].campaign = *cached;
+              ++report.campaigns_from_store;
+              cached_trials += cached->trials;
+              continue;
+            }
+          }
           CampaignUnit unit;
           unit.session = session;
           unit.program = session->program();
@@ -614,6 +735,7 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
           unit.prepared = fault::prepare_campaign(
               *sites, target, spec.base, *request.region_campaign_);
           unit.entry_index = entry_index;
+          unit.store_key = ck;
           report.entries[entry_index].campaign.population_bits =
               unit.prepared.population_bits;
           report.entries[entry_index].campaign.trials =
@@ -624,16 +746,36 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
     }
 
     if (request.app_campaign_) {
-      CampaignUnit unit;
-      unit.session = session;
-      unit.program = session->program();
-      unit.golden = golden_run;
-      unit.prepared =
-          fault::prepare_campaign(*session->whole_program_sites(),
-                                  fault::TargetClass::Internal, spec.base,
-                                  *request.app_campaign_);
-      unit.app_index = report.apps.size();
-      units.push_back(std::move(unit));
+      const std::uint64_t ck =
+          store ? store::campaign_key(mh, oh, store::kWholeProgram,
+                                      store::kWholeProgram,
+                                      fault::TargetClass::Internal,
+                                      *request.app_campaign_)
+                : 0;
+      bool served = false;
+      if (store) {
+        if (auto cached = store->load_campaign(ck)) {
+          // Served verbatim — the whole-program site enumeration (its own
+          // traced run on a cold cache) is skipped entirely.
+          app_report.whole_app = *cached;
+          ++report.campaigns_from_store;
+          cached_trials += cached->trials;
+          served = true;
+        }
+      }
+      if (!served) {
+        CampaignUnit unit;
+        unit.session = session;
+        unit.program = session->program();
+        unit.golden = golden_run;
+        unit.prepared =
+            fault::prepare_campaign(*session->whole_program_sites(),
+                                    fault::TargetClass::Internal, spec.base,
+                                    *request.app_campaign_);
+        unit.app_index = report.apps.size();
+        unit.store_key = ck;
+        units.push_back(std::move(unit));
+      }
     }
 
     if (request.rank_campaign_) {
@@ -654,6 +796,11 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
     if (internal_session && !request.keep_traces_) {
       session->invalidate_trace();
     }
+
+    // Traced golden work this app actually executed during artifact prep
+    // (0 when trace + enumerations were all served from the store).
+    report.golden_traced_instructions +=
+        session->traced_instructions_executed() - traced_before;
   }
 
   // 5. Execute every campaign trial of every unit as one batched queue —
@@ -667,6 +814,11 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
   for (const auto& unit : rank_units) {
     report.total_trials += unit.prepared.plans.size();
   }
+  // Scheduled trials execute; store-served campaigns contribute their
+  // (identical) trial counts to total_trials only — so total_trials reads
+  // the same cold or warm while trials_executed proves what actually ran.
+  report.trials_executed = report.total_trials;
+  report.total_trials += cached_trials;
 
   const util::Stopwatch campaign_sw;
   std::vector<UnitCounts> counts(units.size());
@@ -777,6 +929,9 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
     for (std::size_t u = 0; u < units.size(); ++u) {
       const auto result = unit_result(units[u], counts[u], runtimes[u]);
       fold_prefix_reuse(report, result);
+      if (store && units[u].store_key != 0) {
+        store->publish_campaign(units[u].store_key, result);
+      }
       if (units[u].entry_index != ~std::size_t{0}) {
         report.entries[units[u].entry_index].campaign = result;
       } else {
@@ -803,6 +958,9 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
           *pool);
       report.pool_batches += unit.prepared.plans.empty() ? 0 : 1;
       fold_prefix_reuse(report, result);
+      if (store && unit.store_key != 0) {
+        store->publish_campaign(unit.store_key, result);
+      }
       if (unit.entry_index != ~std::size_t{0}) {
         report.entries[unit.entry_index].campaign = result;
       } else {
@@ -818,6 +976,13 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
       report.snapshots_taken += result.snapshots_taken;
       report.apps[unit.app_index].rank_campaign = result;
     }
+  }
+  if (store) {
+    const auto c = store->counters();
+    report.store_hits = c.hits - store_base.hits;
+    report.store_misses = c.misses - store_base.misses;
+    report.store_bytes_read = c.bytes_read - store_base.bytes_read;
+    report.store_bytes_written = c.bytes_written - store_base.bytes_written;
   }
   report.campaign_ms = campaign_sw.millis();
   report.wall_ms = total.millis();

@@ -31,6 +31,7 @@
 /// release; see README.md ("Migrating from FlipTracker") for the mapping.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -53,6 +54,10 @@
 #include "trace/events.h"
 #include "trace/segment.h"
 #include "util/thread_pool.h"
+
+namespace ft::store {
+class ArtifactStore;
+}  // namespace ft::store
 
 namespace ft::core {
 
@@ -110,6 +115,34 @@ class AnalysisSession {
   /// Input/output/internal classification of one region instance.
   [[nodiscard]] std::optional<regions::RegionIo> region_io(
       std::uint32_t region_id, std::uint32_t instance);
+
+  // --- persistent artifact store (optional) ---------------------------------
+  /// Attach a content-addressed artifact store (store/artifact_store.h):
+  /// golden runs, golden traces, site enumerations and campaign outcome
+  /// counts are looked up in the store before computing and published after
+  /// computing. First attach wins (set-if-unset), and the session's stable
+  /// content hashes are derived once on attach. A store hit is
+  /// bit-identical to a compute by construction — pinned by
+  /// tests/store_test.cpp — so attaching a store changes cost, never
+  /// results.
+  void attach_store(std::shared_ptr<store::ArtifactStore> s);
+  [[nodiscard]] std::shared_ptr<store::ArtifactStore> store() const;
+  /// Stable content hash of the laid-out module / of the base execution
+  /// options (store/artifact_store.h key inputs); 0 until a store is
+  /// attached.
+  [[nodiscard]] std::uint64_t module_hash() const noexcept {
+    return module_hash_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t options_hash() const noexcept {
+    return options_hash_.load(std::memory_order_relaxed);
+  }
+  /// Dynamic instructions this session actually executed on traced golden
+  /// runs (trace production and whole-program site enumeration). Serving
+  /// those artifacts from the store does not grow it — the warm-path proof
+  /// counter behind AnalysisReport::golden_traced_instructions.
+  [[nodiscard]] std::uint64_t traced_instructions_executed() const noexcept {
+    return traced_executed_.load(std::memory_order_relaxed);
+  }
 
   // --- invalidation ---------------------------------------------------------
   /// Drop the bulk trace artifacts (trace, region instances, location
@@ -180,6 +213,10 @@ class AnalysisSession {
   // Immutable after construction (no lock needed): the decoded executable.
   std::shared_ptr<const vm::DecodedProgram> program_;
   mutable std::mutex mu_;
+  std::shared_ptr<store::ArtifactStore> store_;  // guarded by mu_
+  std::atomic<std::uint64_t> module_hash_{0};    // set once on attach_store
+  std::atomic<std::uint64_t> options_hash_{0};
+  std::atomic<std::uint64_t> traced_executed_{0};
   std::shared_ptr<const vm::RunResult> golden_;
   std::shared_ptr<const trace::ColumnTrace> trace_;
   std::shared_ptr<const std::vector<trace::RegionInstance>> instances_;
@@ -275,6 +312,21 @@ struct AnalysisReport {
   std::size_t pool_batches = 0;
   std::size_t pool_workers = 0;
 
+  // --- artifact-store metadata (zero unless a store was attached) -----------
+  /// Trials actually executed by this run: total_trials minus the trials of
+  /// campaigns served verbatim from the store. A fully warm run reports 0.
+  std::size_t trials_executed = 0;
+  /// Campaign units whose outcome counts came from the store.
+  std::size_t campaigns_from_store = 0;
+  /// Dynamic instructions executed by traced golden runs during this
+  /// request (trace production + whole-program enumeration); 0 when every
+  /// golden artifact was served from the store.
+  std::uint64_t golden_traced_instructions = 0;
+  std::uint64_t store_hits = 0;
+  std::uint64_t store_misses = 0;
+  std::uint64_t store_bytes_read = 0;
+  std::uint64_t store_bytes_written = 0;
+
   [[nodiscard]] double trials_per_second() const noexcept {
     return campaign_ms > 0.0
                ? static_cast<double>(total_trials) / (campaign_ms / 1e3)
@@ -334,6 +386,18 @@ class AnalysisRequest {
   /// Input/output/internal classification per region entry.
   AnalysisRequest& region_io();
 
+  // --- persistent artifact store --------------------------------------------
+  /// Run against the content-addressed artifact store rooted at `dir`
+  /// (created if missing): golden runs/traces, site enumerations and
+  /// campaign outcome counts are served from the store when present and
+  /// published when computed. A second run of the same request against a
+  /// populated store produces bit-identical results while executing zero
+  /// campaign trials and zero golden traced instructions — the report's
+  /// store counters prove it (docs/campaign-lifecycle.md).
+  AnalysisRequest& store_dir(std::string dir);
+  /// Share an already-open store across requests (wins over store_dir).
+  AnalysisRequest& store(std::shared_ptr<store::ArtifactStore> s);
+
   // --- execution ------------------------------------------------------------
   /// Pool the batched work queue runs on. When unset, a pool named by the
   /// campaign configs is honored (two configs naming different pools is
@@ -362,6 +426,8 @@ class AnalysisRequest {
   std::optional<fault::RankCampaignConfig> rank_campaign_;
   bool want_pattern_rates_ = false;
   bool want_region_io_ = false;
+  std::string store_dir_;
+  std::shared_ptr<store::ArtifactStore> store_;
   util::ThreadPool* pool_ = nullptr;
   ExecutionMode mode_ = ExecutionMode::Batched;
   bool keep_traces_ = false;

@@ -1,0 +1,166 @@
+/// @file
+/// Content-addressed persistent artifact store.
+///
+/// Everything the analysis pipeline produces that is fully determined by
+/// (program, config, seed) — golden runs, golden columnar traces, site
+/// enumerations, campaign outcome counts — is addressable by a stable
+/// 64-bit content hash of those inputs (util/hash.h; key derivations
+/// below). ArtifactStore is the durable cache behind those keys: a
+/// directory of write-once files, looked up before computing and published
+/// after, so a second process (or a second run of the same request) serves
+/// the artifact instead of re-deriving it. FastFlip's observation (see
+/// PAPERS.md) is the motivation: content-addressed, composable injection
+/// results turn re-analysis cost from O(whole program) into O(diff).
+///
+/// Layout under the store root:
+///
+///     traces/<key>.fttrace   mmap-able ColumnTrace segments (trace_io.h)
+///     blobs/<key>.<kind>     golden / sites / campaign result blobs
+///     tmp/                   uncommitted writer scratch (invisible)
+///
+/// Durability contract: writers serialize into tmp/ under a unique name
+/// and rename(2) into place — atomic on POSIX — so concurrent publishers
+/// of the same key race benignly (last rename wins, all contents
+/// identical by construction) and a crashed writer leaves only tmp/
+/// garbage. Readers validate magic, version, sizes and content hashes and
+/// treat EVERY anomaly as a miss: the store can always be deleted, never
+/// corrupts results, and never serves wrong data (tests/store_test.cpp
+/// pins truncation, bad-magic and no-commit cases).
+///
+/// All operations are thread-safe; hit/miss/byte counters are atomic and
+/// surface in core::AnalysisReport when a request runs against a store.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "fault/campaign.h"
+#include "fault/sites.h"
+#include "store/format.h"
+#include "trace/column.h"
+#include "vm/interp.h"
+
+namespace ft::store {
+
+// ---------------------------------------------------------------------------
+// Key derivation. Stable across processes/platforms (util::Hash64); every
+// key mixes a domain tag so the kinds can never alias each other.
+// ---------------------------------------------------------------------------
+
+/// Content hash of a laid-out module: every semantic field of every
+/// function/block/instruction/operand, global layout (addresses, init
+/// bits), regions, entry point and memory geometry. Two modules with equal
+/// hashes execute identically, so artifacts keyed by it are shareable.
+[[nodiscard]] std::uint64_t hash_module(const ir::Module& m);
+
+/// Content hash of the execution inputs of a golden run (seed, budgets,
+/// call-depth limit). Observer/fault/pool fields do not affect the golden
+/// artifacts and are excluded.
+[[nodiscard]] std::uint64_t hash_options(const vm::VmOptions& base);
+
+/// Sentinel region/instance for whole-program artifacts.
+inline constexpr std::uint32_t kWholeProgram = ~std::uint32_t{0};
+
+[[nodiscard]] std::uint64_t golden_key(std::uint64_t module_hash,
+                                       std::uint64_t options_hash);
+[[nodiscard]] std::uint64_t trace_key(std::uint64_t module_hash,
+                                      std::uint64_t options_hash);
+[[nodiscard]] std::uint64_t sites_key(std::uint64_t module_hash,
+                                      std::uint64_t options_hash,
+                                      std::uint32_t region_id,
+                                      std::uint32_t instance);
+/// Key of one campaign's outcome counts. Hashes exactly the inputs that
+/// determine the counts: trial count, confidence/margin (they derive the
+/// count when trials == 0), sampling seed and hang budget. Scheduling
+/// concerns (pool, ForkPolicy) are excluded — they never change counts
+/// (pinned by bench/campaign_fork_ab.cpp), so a result computed under any
+/// scheduler serves them all. Its cost counters describe the producing run.
+[[nodiscard]] std::uint64_t campaign_key(std::uint64_t module_hash,
+                                         std::uint64_t options_hash,
+                                         std::uint32_t region_id,
+                                         std::uint32_t instance,
+                                         fault::TargetClass target,
+                                         const fault::CampaignConfig& cfg);
+
+// ---------------------------------------------------------------------------
+// The store.
+// ---------------------------------------------------------------------------
+
+class ArtifactStore {
+ public:
+  /// Open (creating if needed) a store rooted at `dir`. Throws
+  /// std::runtime_error when the directory cannot be created.
+  explicit ArtifactStore(std::string dir);
+
+  [[nodiscard]] const std::string& root() const noexcept { return root_; }
+
+  // --- golden columnar traces (zero-copy mmap on hit) -----------------------
+  /// nullptr on miss (absent, torn, corrupt, or wrong program). The
+  /// returned trace aliases the mapping and stays valid for its lifetime.
+  [[nodiscard]] std::shared_ptr<const trace::ColumnTrace> load_trace(
+      std::uint64_t key, std::shared_ptr<const vm::DecodedProgram> program,
+      std::uint64_t program_hash);
+  bool publish_trace(std::uint64_t key, const trace::ColumnTrace& t,
+                     std::uint64_t program_hash);
+
+  // --- golden run results ---------------------------------------------------
+  [[nodiscard]] std::optional<vm::RunResult> load_golden(std::uint64_t key);
+  bool publish_golden(std::uint64_t key, const vm::RunResult& run);
+
+  // --- site enumerations ----------------------------------------------------
+  [[nodiscard]] std::optional<fault::SiteEnumerationResult> load_sites(
+      std::uint64_t key);
+  bool publish_sites(std::uint64_t key, const fault::SiteEnumerationResult& s);
+
+  // --- campaign outcome counts ----------------------------------------------
+  [[nodiscard]] std::optional<fault::CampaignResult> load_campaign(
+      std::uint64_t key);
+  bool publish_campaign(std::uint64_t key, const fault::CampaignResult& r);
+
+  // --- counters / stats -----------------------------------------------------
+  /// Monotonic per-store-object counters (not persisted). `corrupt` counts
+  /// lookups that found a file but rejected it.
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t corrupt = 0;
+    std::uint64_t publishes = 0;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_written = 0;
+  };
+  [[nodiscard]] Counters counters() const noexcept;
+
+  /// Scan the store directory: committed entries and their total bytes
+  /// (tmp/ scratch excluded). Used by the CI store-stats artifact.
+  struct DiskStats {
+    std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;
+  };
+  [[nodiscard]] DiskStats disk_stats() const;
+
+ private:
+  [[nodiscard]] std::string trace_path(std::uint64_t key) const;
+  [[nodiscard]] std::string blob_path(std::uint64_t key, BlobKind kind) const;
+  [[nodiscard]] std::string tmp_path();
+  /// Serialize-and-commit of one result blob (header + payload, tmp +
+  /// rename). Returns false on I/O failure (the store stays consistent).
+  bool publish_blob(std::uint64_t key, BlobKind kind,
+                    const std::string& payload);
+  /// Read + validate one result blob; nullopt on any anomaly (counted).
+  [[nodiscard]] std::optional<std::string> load_blob(std::uint64_t key,
+                                                     BlobKind kind);
+
+  std::string root_;
+  std::atomic<std::uint64_t> seq_{0};  // unique tmp names within the process
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> corrupt_{0};
+  mutable std::atomic<std::uint64_t> publishes_{0};
+  mutable std::atomic<std::uint64_t> bytes_read_{0};
+  mutable std::atomic<std::uint64_t> bytes_written_{0};
+};
+
+}  // namespace ft::store

@@ -5,10 +5,11 @@ namespace ft::trace {
 using vm::SrcKind;
 
 std::size_t ColumnTrace::extras_lower_bound(std::uint64_t row) const {
-  std::size_t lo = 0, hi = extras_.size();
+  const Extra* const extras = extras_col();
+  std::size_t lo = 0, hi = num_extras();
   while (lo < hi) {
     const std::size_t mid = lo + (hi - lo) / 2;
-    if (extras_[mid].row < row) {
+    if (extras[mid].row < row) {
       lo = mid + 1;
     } else {
       hi = mid;
@@ -18,7 +19,7 @@ std::size_t ColumnTrace::extras_lower_bound(std::uint64_t row) const {
 }
 
 void ColumnTrace::materialize(std::size_t row, vm::DynInstr& out) const {
-  const vm::DecodedInstr& ins = prog_->code()[pc_[row]];
+  const vm::DecodedInstr& ins = prog_->code()[pc_col()[row]];
   out = vm::DynInstr{};
   out.index = row;
   out.func = ins.func;
@@ -31,22 +32,26 @@ void ColumnTrace::materialize(std::size_t row, vm::DynInstr& out) const {
   out.line = ins.line;
   out.aux = ins.aux;
 
-  const std::uint64_t act = activation_[row];
+  const std::uint64_t act = activation_col()[row];
   const vm::Src* const srcs = prog_->srcs() + ins.src_begin;
-  const std::uint64_t* const pool = op_bits_.data() + ops_offset_[row];
+  const std::uint64_t* const pool = op_bits_col() + ops_offset_col()[row];
+  const std::uint64_t* const results = result_bits_col();
+  const Extra* const extras = extras_col();
 
   // Escaped locations of this row (rare: Arg operands, Ret commits).
   vm::Location esc_op[vm::kMaxTracedOps] = {vm::kNoLoc, vm::kNoLoc,
                                             vm::kNoLoc};
   vm::Location esc_result = vm::kNoLoc;
-  std::uint64_t load_value = result_bits_[row];
-  if (!extras_.empty()) {
+  std::uint64_t load_value = results[row];
+  if (num_extras() != 0) {
     for (auto e = extras_lower_bound(row);
-         e < extras_.size() && extras_[e].row == row; ++e) {
-      switch (extras_[e].slot) {
-        case kResultSlot: esc_result = extras_[e].loc; break;
-        case kLoadValueSlot: load_value = extras_[e].loc; break;
-        default: esc_op[extras_[e].slot] = extras_[e].loc; break;
+         e < num_extras() && extras[e].row == row; ++e) {
+      switch (extras[e].slot) {
+        case kResultSlot: esc_result = extras[e].loc; break;
+        case kLoadValueSlot: load_value = extras[e].loc; break;
+        default:
+          esc_op[static_cast<std::size_t>(extras[e].slot)] = extras[e].loc;
+          break;
       }
     }
   }
@@ -69,7 +74,7 @@ void ColumnTrace::materialize(std::size_t row, vm::DynInstr& out) const {
     out.op_bits[1] = ptr;
     out.op_type[1] = ir::Type::Ptr;
     out.result_loc = vm::reg_loc(act, ins.result);
-    out.result_bits = result_bits_[row];
+    out.result_bits = results[row];
     return;
   }
 
@@ -90,7 +95,7 @@ void ColumnTrace::materialize(std::size_t row, vm::DynInstr& out) const {
       out.mem_addr = out.op_bits[1];
       out.mem_size = store_size(srcs[0].type);
       out.result_loc = vm::mem_loc(out.op_bits[1]);
-      out.result_bits = result_bits_[row];
+      out.result_bits = results[row];
       break;
     case ir::Opcode::CondBr:
       out.branch_taken = (out.op_bits[0] & 1) != 0;
@@ -98,20 +103,20 @@ void ColumnTrace::materialize(std::size_t row, vm::DynInstr& out) const {
     case ir::Opcode::Ret:
       if (esc_result != vm::kNoLoc) {
         out.result_loc = esc_result;
-        out.result_bits = result_bits_[row];
+        out.result_bits = results[row];
       }
       break;
     case ir::Opcode::Emit:
     case ir::Opcode::EmitTrunc:
       // Emitted bits are exposed for differential comparison, no location.
-      out.result_bits = result_bits_[row];
+      out.result_bits = results[row];
       break;
     case ir::Opcode::Call:
       break;  // the result is committed (and recorded) by the matching Ret
     default:
       if (ins.result != ir::kNoReg) {
         out.result_loc = vm::reg_loc(act, ins.result);
-        out.result_bits = result_bits_[row];
+        out.result_bits = results[row];
       }
       break;
   }

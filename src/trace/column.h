@@ -34,6 +34,15 @@
 /// read through TraceView, a zero-copy span whose cursor materializes a
 /// bit-identical vm::DynInstr on demand (pinned against the legacy observer
 /// path by tests/column_trace_test.cpp).
+///
+/// A ColumnTrace either OWNS its columns (the appending form above) or
+/// BORROWS them from externally managed memory — the zero-copy load path of
+/// the persistent store (store/trace_io.h), which mmaps the on-disk
+/// structure-of-arrays segments and adopts them without touching a byte.
+/// Borrowed traces are read-only (appending asserts); every reader —
+/// materialize, TraceView, the columnar scans — works identically on both
+/// forms, so a golden trace produced in one process serves analyses and
+/// campaigns in any number of later processes.
 #pragma once
 
 #include <cassert>
@@ -65,8 +74,66 @@ class ColumnTrace {
     return prog_;
   }
 
-  [[nodiscard]] std::size_t size() const noexcept { return pc_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return pc_.empty(); }
+  /// Escape-list entry: a location (or raw bits) that cannot be derived
+  /// from the columns. Deliberately padding-free (three u64 fields) so the
+  /// in-memory array IS the on-disk segment — the store writes it verbatim
+  /// and the mmap loader adopts it back without translation.
+  struct Extra {
+    std::uint64_t row;
+    std::uint64_t loc;   // a Location, or raw bits for kLoadValueSlot
+    std::uint64_t slot;  // operand slot, kResultSlot, or kLoadValueSlot
+  };
+  static_assert(sizeof(Extra) == 24, "Extra is the on-disk escape record");
+
+  /// Raw structure-of-arrays view of the dynamic columns: the serialization
+  /// surface of the persistent store (store/trace_io.h) and the adoption
+  /// point of its zero-copy mmap loader.
+  struct RawColumns {
+    const std::uint32_t* pc = nullptr;
+    const std::uint32_t* activation = nullptr;
+    const std::uint32_t* ops_offset = nullptr;
+    const std::uint64_t* result_bits = nullptr;
+    const std::uint64_t* op_bits = nullptr;
+    const Extra* extras = nullptr;
+    std::size_t rows = 0;
+    std::size_t ops = 0;
+    std::size_t num_extras = 0;
+  };
+
+  [[nodiscard]] RawColumns raw() const noexcept {
+    if (borrowed_) return bor_;
+    RawColumns c;
+    c.pc = pc_.data();
+    c.activation = activation_.data();
+    c.ops_offset = ops_offset_.data();
+    c.result_bits = result_bits_.data();
+    c.op_bits = op_bits_.data();
+    c.extras = extras_.data();
+    c.rows = pc_.size();
+    c.ops = op_bits_.size();
+    c.num_extras = extras_.size();
+    return c;
+  }
+
+  /// Construct a read-only trace over externally owned columns (an mmap'd
+  /// store segment). The memory behind `cols` must outlive the trace — the
+  /// store loader guarantees it with an aliasing shared_ptr that pins the
+  /// mapping to the returned trace.
+  [[nodiscard]] static ColumnTrace adopt(
+      std::shared_ptr<const vm::DecodedProgram> program,
+      const RawColumns& cols) {
+    ColumnTrace t(std::move(program));
+    t.borrowed_ = true;
+    t.bor_ = cols;
+    return t;
+  }
+  /// True for mmap-adopted traces (read-only; appending asserts).
+  [[nodiscard]] bool borrowed() const noexcept { return borrowed_; }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return borrowed_ ? bor_.rows : pc_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
 
   // --- appending (inlined into the Vm's direct-emit hot loop) ----------------
   /// Open record `row == size()` for the instruction at `pc`, executed by
@@ -74,6 +141,7 @@ class ColumnTrace {
   /// push_op/push_op_loc; the result is filled by set_result and defaults
   /// to "none".
   void begin_record(std::uint32_t pc, std::uint64_t activation) {
+    assert(!borrowed_ && "mmap-adopted traces are read-only");
     assert(activation <= ~std::uint32_t{0} &&
            "columnar traces index frames with 32-bit activations");
     pc_.push_back(pc);
@@ -86,23 +154,24 @@ class ColumnTrace {
   /// Escape: record slot `slot` holds a location that cannot be derived
   /// from the columns (an Arg operand's caller-provided location).
   void push_op_loc(std::uint8_t slot, vm::Location loc) {
-    extras_.push_back(Extra{size() - 1, loc, slot});
+    extras_.push_back(Extra{pc_.size() - 1, loc, slot});
   }
   void set_result(std::uint64_t bits) { result_bits_.back() = bits; }
   /// Escape: the open record commits its result outside the executing frame
   /// (Ret writing the caller's destination register).
   void set_result_loc(vm::Location loc) {
-    extras_.push_back(Extra{size() - 1, loc, kResultSlot});
+    extras_.push_back(Extra{pc_.size() - 1, loc, kResultSlot});
   }
   /// Escape: a result-bit fault flipped this Load's committed value, so the
   /// recorded memory-cell operand (pre-flip) no longer equals the result
   /// column. At most one record per faulty run takes this path.
   void set_load_value(std::uint64_t bits) {
-    extras_.push_back(Extra{size() - 1, bits, kLoadValueSlot});
+    extras_.push_back(Extra{pc_.size() - 1, bits, kLoadValueSlot});
   }
   /// Drop rows >= `rows` — the direct-emit loop pre-opens a record per
   /// fetched instruction and rolls the last one back if it traps mid-flight.
   void truncate_to(std::uint64_t rows) {
+    assert(!borrowed_ && "mmap-adopted traces are read-only");
     if (rows >= size()) return;
     op_bits_.resize(ops_offset_[rows]);
     pc_.resize(rows);
@@ -137,10 +206,10 @@ class ColumnTrace {
 
   /// Cheap static peeks that skip materialization (columnar scans).
   [[nodiscard]] ir::Opcode opcode_at(std::size_t row) const noexcept {
-    return prog_->code()[pc_[row]].op;
+    return prog_->code()[pc_col()[row]].op;
   }
   [[nodiscard]] std::int64_t aux_at(std::size_t row) const noexcept {
-    return prog_->code()[pc_[row]].aux;
+    return prog_->code()[pc_col()[row]].aux;
   }
 
   [[nodiscard]] TraceView view() const noexcept;
@@ -152,13 +221,12 @@ class ColumnTrace {
   /// Resident bytes of the dynamic columns (capacity-independent: what the
   /// records themselves occupy). The sizing note in README.md and the
   /// bytes/record gate in scripts/bench_smoke.sh are computed from this.
+  /// For a borrowed trace this equals the mapped segment payload.
   [[nodiscard]] std::size_t resident_bytes() const noexcept {
-    return pc_.size() * sizeof(std::uint32_t) +
-           activation_.size() * sizeof(std::uint32_t) +
-           ops_offset_.size() * sizeof(std::uint32_t) +
-           result_bits_.size() * sizeof(std::uint64_t) +
-           op_bits_.size() * sizeof(std::uint64_t) +
-           extras_.size() * sizeof(Extra);
+    const auto c = raw();
+    return c.rows * (2 * sizeof(std::uint32_t) + sizeof(std::uint32_t) +
+                     sizeof(std::uint64_t)) +
+           c.ops * sizeof(std::uint64_t) + c.num_extras * sizeof(Extra);
   }
   [[nodiscard]] double bytes_per_record() const noexcept {
     return empty() ? 0.0
@@ -166,15 +234,36 @@ class ColumnTrace {
                          static_cast<double>(size());
   }
 
- private:
-  static constexpr std::uint8_t kResultSlot = 0xFF;
-  static constexpr std::uint8_t kLoadValueSlot = 0xFE;
+  /// Extra::slot sentinels (public: the store loader validates slots of a
+  /// mapped escape list against them before serving the trace).
+  static constexpr std::uint64_t kResultSlot = 0xFF;
+  static constexpr std::uint64_t kLoadValueSlot = 0xFE;
 
-  struct Extra {
-    std::uint64_t row;
-    std::uint64_t loc;  // a Location, or raw bits for kLoadValueSlot
-    std::uint8_t slot;  // operand slot, kResultSlot, or kLoadValueSlot
-  };
+ private:
+  // Column read accessors: one predictable branch selects owned vectors or
+  // the borrowed (mmap'd) arrays. Readers are analysis paths; the direct-
+  // emit hot loop only appends and never pays it.
+  [[nodiscard]] const std::uint32_t* pc_col() const noexcept {
+    return borrowed_ ? bor_.pc : pc_.data();
+  }
+  [[nodiscard]] const std::uint32_t* activation_col() const noexcept {
+    return borrowed_ ? bor_.activation : activation_.data();
+  }
+  [[nodiscard]] const std::uint32_t* ops_offset_col() const noexcept {
+    return borrowed_ ? bor_.ops_offset : ops_offset_.data();
+  }
+  [[nodiscard]] const std::uint64_t* result_bits_col() const noexcept {
+    return borrowed_ ? bor_.result_bits : result_bits_.data();
+  }
+  [[nodiscard]] const std::uint64_t* op_bits_col() const noexcept {
+    return borrowed_ ? bor_.op_bits : op_bits_.data();
+  }
+  [[nodiscard]] const Extra* extras_col() const noexcept {
+    return borrowed_ ? bor_.extras : extras_.data();
+  }
+  [[nodiscard]] std::size_t num_extras() const noexcept {
+    return borrowed_ ? bor_.num_extras : extras_.size();
+  }
 
   /// Location of operand slot `i` (descriptor `s`) of a record executed by
   /// `activation`; escapes are resolved by the caller.
@@ -193,6 +282,8 @@ class ColumnTrace {
   std::vector<std::uint64_t> result_bits_;
   std::vector<std::uint64_t> op_bits_;
   std::vector<Extra> extras_;
+  bool borrowed_ = false;
+  RawColumns bor_;  // valid only when borrowed_
 };
 
 /// Zero-copy span over a ColumnTrace: [begin, end) rows. Iteration

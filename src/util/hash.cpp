@@ -1,0 +1,26 @@
+#include "util/hash.h"
+
+#include <cstring>
+
+namespace ft::util {
+
+Hash64& Hash64::bytes(const void* data, std::size_t n) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = state_;
+  for (std::size_t i = 0; i < n; ++i) h = (h ^ p[i]) * kPrime;
+  state_ = h;
+  return *this;
+}
+
+Hash64& Hash64::f64(double v) noexcept {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return u64(bits);
+}
+
+std::uint64_t hash_bytes(const void* data, std::size_t n) noexcept {
+  return Hash64().bytes(data, n).digest();
+}
+
+}  // namespace ft::util

@@ -14,11 +14,14 @@
 // Failures print the offending seed and the pretty-printed IR for triage.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "hl/builder.h"
 #include "ir/print.h"
+#include "store/trace_io.h"
 #include "trace/collector.h"
 #include "trace/column.h"
 #include "util/rng.h"
@@ -345,6 +348,31 @@ bool check_seed(std::uint64_t seed, std::string* diag) {
     std::string field;
     if (!same_record(decoded_tc.trace().records[i], sink.record(i), &field)) {
       return fail("observer/columnar record ", i, " differs in ", field);
+    }
+  }
+
+  // On-disk round trip: serialize the columnar trace, mmap-load it back
+  // (zero-copy adoption over the mapped segments), and pin every record
+  // bit-identical to the in-memory trace it came from.
+  {
+    const std::string path = testing::TempDir() + "engine_fuzz_" +
+                             std::to_string(seed) + ".fttrace";
+    std::string err;
+    if (!store::save_trace_file(path, sink, /*program_hash=*/seed, &err)) {
+      return fail("trace save failed: ", err);
+    }
+    const auto loaded = store::load_trace_file(path, program, seed);
+    std::remove(path.c_str());
+    if (!loaded.trace) return fail("trace load failed: ", loaded.error);
+    if (!loaded.trace->borrowed()) return fail("loaded trace not borrowed");
+    if (loaded.trace->size() != sink.size()) {
+      return fail("loaded trace length mismatch");
+    }
+    for (std::size_t i = 0; i < sink.size(); ++i) {
+      std::string field;
+      if (!same_record(sink.record(i), loaded.trace->record(i), &field)) {
+        return fail("saved/loaded record ", i, " differs in ", field);
+      }
     }
   }
 

@@ -1,4 +1,4 @@
-// Unit tests for src/util: bits, rng, stats, thread pool, cli, table.
+// Unit tests for src/util: bits, hash, rng, stats, thread pool, cli, table.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -8,6 +8,7 @@
 
 #include "util/bits.h"
 #include "util/cli.h"
+#include "util/hash.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/stopwatch.h"
@@ -51,6 +52,60 @@ TEST(Bits, SignExtend) {
   EXPECT_EQ(sign_extend(0x7FFFFFFFull, 32), 2147483647ll);
   EXPECT_EQ(sign_extend(0x1ull, 1), -1ll);
   EXPECT_EQ(sign_extend(0x0ull, 1), 0ll);
+}
+
+// --- hash ---------------------------------------------------------------------
+
+TEST(Hash64, MatchesPublishedFnv1aVectors) {
+  // Reference vectors from the FNV spec (64-bit FNV-1a over raw bytes).
+  EXPECT_EQ(Hash64{}.digest(), 0xcbf29ce484222325ull);
+  EXPECT_EQ(hash_bytes("", 0), 0xcbf29ce484222325ull);
+  EXPECT_EQ(hash_bytes("a", 1), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(hash_bytes("foobar", 6), 0x85944171f73967e8ull);
+}
+
+TEST(Hash64, StreamingEqualsOneShot) {
+  const char text[] = "foobar";
+  Hash64 h;
+  for (const char c : {'f', 'o', 'o', 'b', 'a', 'r'}) {
+    h.byte(static_cast<std::uint8_t>(c));
+  }
+  EXPECT_EQ(h.digest(), hash_bytes(text, 6));
+  Hash64 split;
+  split.bytes(text, 3).bytes(text + 3, 3);
+  EXPECT_EQ(split.digest(), hash_bytes(text, 6));
+}
+
+TEST(Hash64, IntegersArePinnedLittleEndianFirst) {
+  // A multi-byte integer must hash exactly like its LSB-first byte
+  // sequence, on every host — the stability contract of the store keys.
+  const std::uint8_t le_bytes[] = {0xEF, 0xBE, 0xAD, 0xDE};
+  EXPECT_EQ(Hash64{}.u32(0xDEADBEEFu).digest(),
+            hash_bytes(le_bytes, sizeof(le_bytes)));
+  const std::uint8_t le64[] = {1, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_EQ(Hash64{}.u64(1).digest(), hash_bytes(le64, sizeof(le64)));
+  EXPECT_NE(Hash64{}.u32(1).digest(), Hash64{}.u64(1).digest());
+}
+
+TEST(Hash64, FloatsHashTheirBitPattern) {
+  EXPECT_EQ(Hash64{}.f64(1.5).digest(),
+            Hash64{}.u64(f64_to_bits(1.5)).digest());
+  EXPECT_NE(Hash64{}.f64(0.0).digest(), Hash64{}.f64(-0.0).digest());
+}
+
+TEST(Hash64, LengthPrefixPreventsConcatenationCollisions) {
+  EXPECT_NE(Hash64{}.str("ab").str("c").digest(),
+            Hash64{}.str("a").str("bc").digest());
+  EXPECT_NE(Hash64{}.str("").str("x").digest(),
+            Hash64{}.str("x").str("").digest());
+}
+
+TEST(Hash64, DomainTagsSeparateStreams) {
+  EXPECT_NE(Hash64("ft.key.trace.v1").u64(7).digest(),
+            Hash64("ft.key.golden.v1").u64(7).digest());
+  // A tagged stream equals hashing the tag first, then the input.
+  EXPECT_EQ(Hash64("tag").u64(7).digest(),
+            Hash64{}.str("tag").u64(7).digest());
 }
 
 // --- rng ----------------------------------------------------------------------

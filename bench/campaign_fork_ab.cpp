@@ -40,10 +40,15 @@ int main(int argc, char** argv) {
   scratch_cfg.fork.enabled = false;
   auto forked_cfg = scratch_cfg;
   forked_cfg.fork.enabled = true;
+  // Strip the session's auto-wired JIT: this bench isolates the snapshot-
+  // forked scheduler against from-scratch trials on the SAME (interpreter)
+  // engine, so native execution must not shorten either side.
+  auto base = spec.base;
+  base.jit = nullptr;
   const auto scratch_prep = fault::prepare_campaign(
-      *sites, fault::TargetClass::Internal, spec.base, scratch_cfg);
+      *sites, fault::TargetClass::Internal, base, scratch_cfg);
   const auto forked_prep = fault::prepare_campaign(
-      *sites, fault::TargetClass::Internal, spec.base, forked_cfg);
+      *sites, fault::TargetClass::Internal, base, forked_cfg);
 
   util::ThreadPool pool(workers);
   std::printf("campaign: %s, %zu trials over %llu population bits, "

@@ -12,6 +12,7 @@
 #include "trace/collector.h"
 #include "trace/column.h"
 #include "trace/events.h"
+#include "jit/jit_program.h"
 #include "trace/segment.h"
 #include "vm/decode.h"
 #include "vm/interp.h"
@@ -73,6 +74,51 @@ void BM_VmDispatchDecoded(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_VmDispatchDecoded);
+
+// The template JIT on the same kernel: untraced native execution (the
+// engine campaign trials run on when a backend is available). Compare
+// against BM_VmDispatchDecoded for the native-over-interpreter speedup.
+void BM_VmUntracedJit(benchmark::State& state) {
+  const auto mod = make_kernel();
+  const auto prog = vm::DecodedProgram::decode(mod);
+  const auto jit = jit::JitProgram::supported() ? jit::JitProgram::compile(prog)
+                                                : nullptr;
+  if (!jit) {
+    state.SkipWithError("jit backend unavailable");
+    return;
+  }
+  vm::VmOptions opts;
+  opts.jit = jit.get();
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    const auto r = vm::Vm::run(prog, opts);
+    instructions = r.instructions;
+    benchmark::DoNotOptimize(r.outputs);
+  }
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VmUntracedJit);
+
+// JIT compile cost — paid once per AnalysisSession (like decode), amortized
+// over every untraced run the session performs.
+void BM_JitCompile(benchmark::State& state) {
+  const auto app = apps::build_cg();
+  const auto prog = vm::DecodedProgram::decode(app.module);
+  if (!jit::JitProgram::supported()) {
+    state.SkipWithError("jit backend unavailable");
+    return;
+  }
+  std::size_t code_bytes = 0;
+  for (auto _ : state) {
+    auto jit = jit::JitProgram::compile(prog);
+    code_bytes = jit ? jit->stats().code_bytes : 0;
+    benchmark::DoNotOptimize(jit);
+  }
+  state.counters["code_bytes"] = static_cast<double>(code_bytes);
+}
+BENCHMARK(BM_JitCompile);
 
 // Decode cost itself — paid once per AnalysisSession, amortized over
 // thousands of trials.

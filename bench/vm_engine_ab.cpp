@@ -28,8 +28,13 @@ int main(int argc, char** argv) {
   // campaign_fork_ab) must not shorten the decoded side's trials.
   auto campaign_cfg = cfg.campaign(40);
   campaign_cfg.fork.enabled = false;
+  // The session auto-wires the native JIT into its base options; this bench
+  // isolates the two INTERPRETERS, so strip it (the JIT's own A/B lives in
+  // jit_engine_ab).
+  auto base = spec.base;
+  base.jit = nullptr;
   const auto prepared = fault::prepare_campaign(
-      *sites, fault::TargetClass::Internal, spec.base, campaign_cfg);
+      *sites, fault::TargetClass::Internal, base, campaign_cfg);
   auto& pool = util::global_pool();
   std::printf("campaign: %zu trials over %llu population bits, %zu workers\n",
               prepared.plans.size(),

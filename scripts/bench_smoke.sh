@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Perf-regression canary, six sections:
+# Perf-regression canary, seven sections:
 #
 #  1. Engine A/B (vm_engine_ab): decoded vs legacy interpreter on the CG
 #     whole-program campaign. The decoded engine must stay >= 2x the
@@ -37,6 +37,15 @@
 #     violation); the store stats line is also written to
 #     <build-dir>/store_stats.out for the CI artifact.
 #
+#  7. Native-engine A/B/C (jit_engine_ab): the template JIT vs the decoded
+#     and legacy interpreters on the CG whole-program campaign (fork off —
+#     raw engine throughput). The JIT must stay >= 3x the decoded
+#     interpreter in instructions/sec with bit-identical outcome counts on
+#     all three engines (the binary exits nonzero on a mismatch). The
+#     section output is also written to <build-dir>/jit_ab.out for the CI
+#     artifact. On targets without a native backend the section reports
+#     "skipped" and passes.
+#
 # The combined output is also written to <build-dir>/bench_smoke.out so CI
 # can upload it as an artifact.
 #
@@ -51,10 +60,12 @@ trace_ab="$build_dir/trace_substrate_ab"
 fork_ab="$build_dir/campaign_fork_ab"
 rank_prop="$build_dir/rank_propagation"
 store_ab="$build_dir/store_warm_ab"
+jit_ab="$build_dir/jit_engine_ab"
 out="$build_dir/bench_smoke.out"
+jit_ab_out="$build_dir/jit_ab.out"
 store_stats_out="$build_dir/store_stats.out"
 
-for bin in "$bench" "$engine_ab" "$trace_ab" "$fork_ab" "$rank_prop" "$store_ab"; do
+for bin in "$bench" "$engine_ab" "$trace_ab" "$fork_ab" "$rank_prop" "$store_ab" "$jit_ab"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not found (build first: cmake -B $build_dir -S . && cmake --build $build_dir -j)" >&2
     exit 1
@@ -68,10 +79,10 @@ extract_ms() {
   sed -n 's/^campaign wall: \([0-9.]*\) ms.*/\1/p' "$1"
 }
 
-tmp_engine=$(mktemp) tmp_trace=$(mktemp) tmp_batched=$(mktemp) tmp_legacy=$(mktemp) tmp_fork=$(mktemp) tmp_rank=$(mktemp) tmp_store=$(mktemp)
-trap 'rm -f "$tmp_engine" "$tmp_trace" "$tmp_batched" "$tmp_legacy" "$tmp_fork" "$tmp_rank" "$tmp_store"' EXIT
+tmp_engine=$(mktemp) tmp_trace=$(mktemp) tmp_batched=$(mktemp) tmp_legacy=$(mktemp) tmp_fork=$(mktemp) tmp_rank=$(mktemp) tmp_store=$(mktemp) tmp_jit=$(mktemp)
+trap 'rm -f "$tmp_engine" "$tmp_trace" "$tmp_batched" "$tmp_legacy" "$tmp_fork" "$tmp_rank" "$tmp_store" "$tmp_jit"' EXIT
 
-echo "== bench smoke 1/6: decoded vs legacy engine on the CG campaign =="
+echo "== bench smoke 1/7: decoded vs legacy engine on the CG campaign =="
 # A longer campaign than section 3 (and interleaved best-of-3 inside the
 # bench) keeps the speedup measurement steady on busy/single-core hosts.
 engine_trials=$(( trials * 2 > 60 ? trials * 2 : 60 ))
@@ -86,7 +97,7 @@ awk -v s="$engine_speedup" 'BEGIN {
 }' | tee -a "$out"
 
 echo
-echo "== bench smoke 2/6: columnar vs DynInstr-observer traced run on CG =="
+echo "== bench smoke 2/7: columnar vs DynInstr-observer traced run on CG =="
 # The binary exits nonzero when the ACL series/events or pattern counts
 # differ between substrates, failing the smoke under pipefail.
 "$trace_ab" | tee "$tmp_trace"
@@ -103,7 +114,7 @@ awk -v s="$trace_speedup" -v r="$bytes_ratio" 'BEGIN {
 }' | tee -a "$out"
 
 echo
-echo "== bench smoke 3/6: fig5 on CG, $trials trials per region/class =="
+echo "== bench smoke 3/7: fig5 on CG, $trials trials per region/class =="
 "$bench" --apps=CG --trials="$trials" | tee "$tmp_batched" | grep -E "^(schedule|campaign)"
 echo
 echo "-- legacy per-region scheduling --"
@@ -122,7 +133,7 @@ awk -v b="$batched_ms" -v l="$legacy_ms" 'BEGIN {
 }' | tee -a "$out"
 
 echo
-echo "== bench smoke 4/6: snapshot-forked vs from-scratch campaign trials on CG =="
+echo "== bench smoke 4/7: snapshot-forked vs from-scratch campaign trials on CG =="
 # A longer campaign than section 3 amortizes the one-time golden pass and
 # keeps the best-of interleaved measurement steady; the binary itself
 # exits nonzero if the two schedulers disagree on any outcome count.
@@ -140,7 +151,7 @@ awk -v s="$fork_speedup" -v n="$fork_snaps" 'BEGIN {
 }' | tee -a "$out"
 
 echo
-echo "== bench smoke 5/6: cross-rank campaign determinism (4-rank CG/MG/LULESH) =="
+echo "== bench smoke 5/7: cross-rank campaign determinism (4-rank CG/MG/LULESH) =="
 # The binary runs every multi-rank campaign twice — rank-local snapshot
 # forking on and off — and exits nonzero if any cross-rank outcome count
 # differs, failing the smoke under pipefail.
@@ -155,7 +166,7 @@ fi
 echo "cross-rank determinism OK" | tee -a "$out"
 
 echo
-echo "== bench smoke 6/6: cold compute vs warm artifact-store replay on CG =="
+echo "== bench smoke 6/7: cold compute vs warm artifact-store replay on CG =="
 # The binary exits nonzero if any outcome count differs between the cold
 # and warm run, or if the warm run executed any trials / traced any
 # instructions — the store must serve everything.
@@ -170,3 +181,23 @@ awk -v s="$store_speedup" 'BEGIN {
 }' | tee -a "$out"
 # The store stats line is its own CI artifact, next to bench_smoke.out.
 sed -n '/^store stats:/p;/^warm speedup:/p;/^identity:/p;/^cold:/p;/^warm:/p' "$tmp_store" > "$store_stats_out"
+
+echo
+echo "== bench smoke 7/7: jit vs decoded vs legacy engine on the CG campaign =="
+# Same campaign shape as section 1 (interleaved best-of inside the bench);
+# the binary exits nonzero when any engine's outcome counts diverge.
+"$jit_ab" --trials="$engine_trials" | tee "$tmp_jit"
+cat "$tmp_jit" >> "$out"
+# The JIT section is its own CI artifact, next to bench_smoke.out.
+cp "$tmp_jit" "$jit_ab_out"
+
+jit_speedup=$(sed -n 's/^jit speedup: \([0-9.]*\)x$/\1/p' "$tmp_jit")
+if grep -q '^jit speedup: skipped$' "$tmp_jit"; then
+  echo "jit engine skipped (no native backend on this target)" | tee -a "$out"
+else
+  awk -v s="$jit_speedup" 'BEGIN {
+    if (s == "") { print "ERROR: no jit speedup reported"; exit 1 }
+    if (s < 3.0) { printf "REGRESSION: jit only %.2fx the decoded interpreter (need >= 3x)\n", s; exit 1 }
+    printf "jit engine OK (%.2fx >= 3x)\n", s
+  }' | tee -a "$out"
+fi

@@ -5,6 +5,7 @@
 #include <deque>
 #include <stdexcept>
 
+#include "jit/jit_program.h"
 #include "store/artifact_store.h"
 #include "util/stopwatch.h"
 #include "vm/interp.h"
@@ -18,7 +19,20 @@ namespace ft::core {
 AnalysisSession::AnalysisSession(apps::AppSpec app)
     : app_(std::move(app)),
       program_(std::make_shared<const vm::DecodedProgram>(
-          vm::DecodedProgram::decode(app_.module))) {}
+          vm::DecodedProgram::decode(app_.module))) {
+  // Compile the native backend once per session and wire it into the base
+  // options: every untraced run downstream of these options — the golden
+  // run, campaign golden cursors, trial tails, convergence probes —
+  // executes natively, while traced/observed/counted runs keep the
+  // interpreter (Vm's engine dispatch arbitrates per run). A null compile
+  // (unsupported target, FT_VM_NO_JIT, mapping failure) degrades to the
+  // decoded interpreter with no behavior change — the engines are
+  // bit-identical by construction.
+  if (jit::JitProgram::runtime_enabled()) {
+    jit_ = jit::JitProgram::compile(*program_);
+    app_.base.jit = jit_.get();
+  }
+}
 
 const std::shared_ptr<const vm::RunResult>& AnalysisSession::golden_locked() {
   if (!golden_) {
@@ -421,6 +435,24 @@ AnalysisRequest& AnalysisRequest::rank_campaign(
   return *this;
 }
 
+AnalysisRequest& AnalysisRequest::opcode_profile() {
+  want_opcode_profile_ = true;
+  return *this;
+}
+
+std::vector<std::pair<ir::Opcode, std::uint64_t>> OpcodeProfile::ranked()
+    const {
+  std::vector<std::pair<ir::Opcode, std::uint64_t>> v;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] != 0) {
+      v.emplace_back(static_cast<ir::Opcode>(i), counts[i]);
+    }
+  }
+  std::sort(v.begin(), v.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return v;
+}
+
 AnalysisRequest& AnalysisRequest::pattern_rates() {
   want_pattern_rates_ = true;
   return *this;
@@ -661,6 +693,34 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
     app_report.golden_instructions = golden_run->instructions;
     if (request.want_pattern_rates_) {
       app_report.rates = *session->pattern_rates();
+    }
+    if (request.want_opcode_profile_) {
+      // One counted interpreter run: count_opcodes forces the decoded hot
+      // loop (native code does not count dispatches), and on a clean run
+      // the counts sum to the retired-instruction total.
+      vm::VmOptions opts = spec.base;
+      opts.count_opcodes = true;
+      vm::Vm counted(*session->program(), opts);
+      counted.run();
+      OpcodeProfile prof;
+      const auto counts = counted.opcode_counts();
+      prof.counts.assign(counts.begin(), counts.end());
+      for (std::size_t op = 0; op < prof.counts.size(); ++op) {
+        if (jit::JitProgram::opcode_compiled(static_cast<ir::Opcode>(op))) {
+          prof.jit_compiled_dispatches += prof.counts[op];
+        } else {
+          prof.jit_deopt_dispatches += prof.counts[op];
+        }
+      }
+      const auto* code = session->program()->code();
+      for (std::size_t pc = 0; pc < session->program()->code_size(); ++pc) {
+        if (jit::JitProgram::opcode_compiled(code[pc].op)) {
+          ++prof.jit_static_compiled;
+        } else {
+          ++prof.jit_static_deopt;
+        }
+      }
+      app_report.opcode_profile = std::move(prof);
     }
 
     // 2. Resolve the region sweep for this application.

@@ -47,6 +47,7 @@
 #include "fault/campaign.h"
 #include "fault/rank_campaign.h"
 #include "fault/sites.h"
+#include "ir/opcode.h"
 #include "patterns/detect.h"
 #include "patterns/rates.h"
 #include "regions/io.h"
@@ -58,6 +59,10 @@
 namespace ft::store {
 class ArtifactStore;
 }  // namespace ft::store
+
+namespace ft::jit {
+class JitProgram;
+}  // namespace ft::jit
 
 namespace ft::core {
 
@@ -84,6 +89,17 @@ class AnalysisSession {
   [[nodiscard]] const std::shared_ptr<const vm::DecodedProgram>& program()
       const noexcept {
     return program_;
+  }
+
+  /// The native x64 program (jit/jit_program.h) compiled once at session
+  /// construction, or null when the JIT is unsupported on this target or
+  /// disabled via FT_VM_NO_JIT. When present it is already wired into the
+  /// session's base VmOptions, so every untraced run the session performs
+  /// — golden runs, campaign golden cursors, trial tails, convergence
+  /// probes — executes natively, while traced/observed/counted runs keep
+  /// the interpreter (the engine dispatch in Vm::run() arbitrates).
+  [[nodiscard]] const jit::JitProgram* jit() const noexcept {
+    return jit_.get();
   }
 
   // --- golden artifacts (lazy, cached, thread-safe) -------------------------
@@ -210,8 +226,10 @@ class AnalysisSession {
   }
 
   apps::AppSpec app_;
-  // Immutable after construction (no lock needed): the decoded executable.
+  // Immutable after construction (no lock needed): the decoded executable
+  // and its native compilation (null when unavailable).
   std::shared_ptr<const vm::DecodedProgram> program_;
+  std::shared_ptr<const jit::JitProgram> jit_;
   mutable std::mutex mu_;
   std::shared_ptr<store::ArtifactStore> store_;  // guarded by mu_
   std::atomic<std::uint64_t> module_hash_{0};    // set once on attach_store
@@ -275,6 +293,28 @@ struct AnalysisEntry {
   std::optional<regions::RegionIo> io;
 };
 
+/// Per-opcode dynamic dispatch profile of one application's fault-free run
+/// (VmOptions::count_opcodes) with the JIT coverage split layered on top:
+/// which opcodes dominate retired instructions, and what share of them
+/// executes natively vs deopts to the interpreter.
+struct OpcodeProfile {
+  /// Dispatch counts indexed by ir::Opcode; sums to golden_instructions on
+  /// a clean run (every dispatched instruction retires).
+  std::vector<std::uint64_t> counts;
+  /// Retired instructions whose opcode has a native JIT template.
+  std::uint64_t jit_compiled_dispatches = 0;
+  /// Retired instructions whose opcode deopts (the MiniMPI ops).
+  std::uint64_t jit_deopt_dispatches = 0;
+  /// Static split of the decoded instruction stream: how many flat
+  /// instructions compile to a native template vs a deopt exit.
+  std::uint32_t jit_static_compiled = 0;
+  std::uint32_t jit_static_deopt = 0;
+  /// Opcodes ranked by retired-instruction share, descending; zero-count
+  /// opcodes are omitted.
+  [[nodiscard]] std::vector<std::pair<ir::Opcode, std::uint64_t>> ranked()
+      const;
+};
+
 /// Per-application results that are not tied to one region.
 struct AppReport {
   std::string app;
@@ -284,6 +324,8 @@ struct AppReport {
   /// Filled when the request asked for a cross-rank campaign: the
   /// multi-rank outcome taxonomy at the requested world size.
   std::optional<fault::RankCampaignResult> rank_campaign;
+  /// Filled when the request asked for an opcode profile.
+  std::optional<OpcodeProfile> opcode_profile;
 };
 
 struct AnalysisReport {
@@ -383,6 +425,10 @@ class AnalysisRequest {
   AnalysisRequest& rank_campaign(const fault::RankCampaignConfig& cfg);
   /// Fault-free pattern rates per app (Table IV features).
   AnalysisRequest& pattern_rates();
+  /// Per-opcode dynamic dispatch profile per app (one counted interpreter
+  /// run under VmOptions::count_opcodes) with the JIT compiled-vs-deopt
+  /// coverage split — AppReport::opcode_profile.
+  AnalysisRequest& opcode_profile();
   /// Input/output/internal classification per region entry.
   AnalysisRequest& region_io();
 
@@ -425,6 +471,7 @@ class AnalysisRequest {
   std::optional<fault::CampaignConfig> app_campaign_;
   std::optional<fault::RankCampaignConfig> rank_campaign_;
   bool want_pattern_rates_ = false;
+  bool want_opcode_profile_ = false;
   bool want_region_io_ = false;
   std::string store_dir_;
   std::shared_ptr<store::ArtifactStore> store_;

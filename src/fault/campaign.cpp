@@ -322,6 +322,7 @@ Outcome run_trial_impl(const Executable& exe, const PreparedCampaign& prepared,
   opts.fault = plan;
   if constexpr (std::is_same_v<Executable, ir::Module>) {
     opts.program = nullptr;  // the module overloads are the legacy baseline
+    opts.jit = nullptr;      // ... which never executes native code
   }
   auto run = vm::Vm::run(exe, opts);
   if (instructions) *instructions = run.instructions;

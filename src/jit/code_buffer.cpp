@@ -1,0 +1,67 @@
+#include "jit/code_buffer.h"
+
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FT_JIT_HAVE_MMAP 1
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#define FT_JIT_HAVE_MMAP 0
+#endif
+
+namespace ft::jit {
+
+CodeBuffer::~CodeBuffer() { release(); }
+
+CodeBuffer::CodeBuffer(CodeBuffer&& other) noexcept
+    : base_(std::exchange(other.base_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      mapped_(std::exchange(other.mapped_, 0)) {}
+
+CodeBuffer& CodeBuffer::operator=(CodeBuffer&& other) noexcept {
+  if (this != &other) {
+    release();
+    base_ = std::exchange(other.base_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, 0);
+  }
+  return *this;
+}
+
+bool CodeBuffer::install(const std::uint8_t* code, std::size_t size) {
+#if FT_JIT_HAVE_MMAP
+  release();
+  if (size == 0) return false;
+  const auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  const std::size_t mapped = (size + page - 1) & ~(page - 1);
+  void* mem = mmap(nullptr, mapped, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) return false;
+  std::memcpy(mem, code, size);
+  if (mprotect(mem, mapped, PROT_READ | PROT_EXEC) != 0) {
+    munmap(mem, mapped);
+    return false;
+  }
+  base_ = static_cast<std::uint8_t*>(mem);
+  size_ = size;
+  mapped_ = mapped;
+  return true;
+#else
+  (void)code;
+  (void)size;
+  return false;
+#endif
+}
+
+void CodeBuffer::release() noexcept {
+#if FT_JIT_HAVE_MMAP
+  if (base_ != nullptr) munmap(base_, mapped_);
+#endif
+  base_ = nullptr;
+  size_ = 0;
+  mapped_ = 0;
+}
+
+}  // namespace ft::jit

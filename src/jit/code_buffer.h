@@ -1,0 +1,45 @@
+/// @file
+/// Executable code mapping with W^X discipline.
+///
+/// The JIT never holds a writable+executable page: code is emitted into an
+/// ordinary std::vector (jit/x64_emitter.h), then install() maps fresh
+/// anonymous pages read-write, copies the bytes in, and flips the mapping
+/// to read-execute. The mapping lives until the CodeBuffer is destroyed —
+/// compiled programs are immutable, so there is no patching-after-install
+/// and never a second protection transition.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ft::jit {
+
+class CodeBuffer {
+ public:
+  CodeBuffer() = default;
+  ~CodeBuffer();
+
+  CodeBuffer(const CodeBuffer&) = delete;
+  CodeBuffer& operator=(const CodeBuffer&) = delete;
+  CodeBuffer(CodeBuffer&& other) noexcept;
+  CodeBuffer& operator=(CodeBuffer&& other) noexcept;
+
+  /// Map `size` bytes (page-rounded) RW, copy `code` in, remap RX.
+  /// Returns false (leaving the buffer empty) if the platform cannot
+  /// provide executable mappings or either syscall fails.
+  [[nodiscard]] bool install(const std::uint8_t* code, std::size_t size);
+
+  /// Base of the executable mapping (null until install() succeeds).
+  [[nodiscard]] const std::uint8_t* base() const noexcept { return base_; }
+  /// Bytes of code installed (not the page-rounded mapping size).
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  void release() noexcept;
+
+  std::uint8_t* base_ = nullptr;
+  std::size_t size_ = 0;    // installed code bytes
+  std::size_t mapped_ = 0;  // page-rounded mapping length
+};
+
+}  // namespace ft::jit

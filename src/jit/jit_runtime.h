@@ -1,0 +1,125 @@
+/// @file
+/// The contract between emitted native code and the interpreter.
+///
+/// A JitContext is the calling convention of compiled programs: the native
+/// driver (Vm::run_jit, src/vm/interp_jit.cpp) fills one in, calls the
+/// code buffer's entry, and reads back how and where execution stopped.
+/// Field offsets are fixed — the emitter addresses them as raw
+/// displacements off the context register — and pinned by static_asserts
+/// below, so a layout change breaks the build instead of the generated
+/// code.
+///
+/// Operations a template cannot (or should not) inline — frame push/pop,
+/// stack allocation, RNG, output emission, region-entry faults, floor —
+/// call the extern "C" ft_jit_helper_* functions, which mutate the owning
+/// Vm through the jit::VmAccess friend door. Helpers never apply ResultBit
+/// flips: the driver guarantees native code only runs over retired-index
+/// ranges where the armed flip cannot fire (the flip instruction itself is
+/// always interpreted).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ft::vm {
+class Vm;
+class DecodedProgram;
+}  // namespace ft::vm
+
+namespace ft::jit {
+
+/// Why the native code returned to the driver.
+enum class ExitReason : std::uint32_t {
+  Limit = 0,     ///< retired count reached stop_limit; machine still running
+  Trap = 1,      ///< exit_trap fired at exit_pc (which did not retire)
+  Finished = 2,  ///< top-level Ret retired; exit_pc stays at the Ret
+  Deopt = 3,     ///< unsupported instruction at exit_pc: interpret one step
+};
+
+/// In/out machine-state block for one native burst. The emitted prologue
+/// loads the hot fields into registers; helpers and the exit stubs write
+/// the out fields back.
+struct JitContext {
+  std::uint64_t* slots;             ///< 0x00 slot stack base (regs + args)
+  std::uint8_t* mem;                ///< 0x08 memory image base
+  std::uint64_t mem_size;           ///< 0x10 memory image size in bytes
+  std::uint64_t stop_limit;         ///< 0x18 pause when retired reaches this
+  std::uint64_t retired;            ///< 0x20 in: resume count; out: new count
+  std::uint64_t* frame_base;        ///< 0x28 &slots[top frame's reg_base]
+  std::uint64_t entry_pc;           ///< 0x30 flat pc to start executing at
+  std::uint32_t exit_pc;            ///< 0x38 out: pc where the burst stopped
+  std::uint32_t exit_reason;        ///< 0x3c out: ExitReason
+  std::uint32_t exit_trap;          ///< 0x40 out: vm::TrapKind when Trap
+  std::uint32_t track_writes;       ///< 0x44 nonzero: maintain dirty bitmap
+  std::uint64_t* dirty;             ///< 0x48 page-dirty bitmap (or null)
+  const std::uint64_t* entries;     ///< 0x50 per-pc native code addresses
+  vm::Vm* vm;                       ///< 0x58 owning machine (helpers)
+  const vm::DecodedProgram* prog;   ///< 0x60 decoded form (helpers)
+};
+
+static_assert(offsetof(JitContext, slots) == 0x00);
+static_assert(offsetof(JitContext, mem) == 0x08);
+static_assert(offsetof(JitContext, mem_size) == 0x10);
+static_assert(offsetof(JitContext, stop_limit) == 0x18);
+static_assert(offsetof(JitContext, retired) == 0x20);
+static_assert(offsetof(JitContext, frame_base) == 0x28);
+static_assert(offsetof(JitContext, entry_pc) == 0x30);
+static_assert(offsetof(JitContext, exit_pc) == 0x38);
+static_assert(offsetof(JitContext, exit_reason) == 0x3c);
+static_assert(offsetof(JitContext, exit_trap) == 0x40);
+static_assert(offsetof(JitContext, track_writes) == 0x44);
+static_assert(offsetof(JitContext, dirty) == 0x48);
+static_assert(offsetof(JitContext, entries) == 0x50);
+static_assert(offsetof(JitContext, vm) == 0x58);
+static_assert(offsetof(JitContext, prog) == 0x60);
+
+/// The single named door through which the JIT runtime (helpers below and
+/// the compiler's frame bookkeeping) touches Vm private state. Declared a
+/// friend by vm::Vm; defined in jit_runtime.cpp.
+struct VmAccess;
+
+}  // namespace ft::jit
+
+// --- runtime helpers called from emitted code --------------------------------
+// SysV AMD64 calling convention; every signature keeps its arguments in
+// integer registers so the templates marshal with plain moves.
+
+extern "C" {
+
+/// Push the callee frame of the Call at `pc` (caller resume pc = pc + 1).
+/// Returns 0 on success; 1 after setting ctx->exit_trap on a call-depth
+/// trap. Refreshes ctx->slots / ctx->frame_base (the slot stack may grow).
+std::uint64_t ft_jit_helper_call(ft::jit::JitContext* ctx, std::uint64_t pc);
+
+/// Pop the top frame, committing `ret_bits` to the caller's result register
+/// if the Call wanted one. Returns the caller's resume pc, or ~0 when the
+/// popped frame was the entry frame (program finished). Refreshes
+/// ctx->frame_base.
+std::uint64_t ft_jit_helper_ret(ft::jit::JitContext* ctx,
+                                std::uint64_t ret_bits);
+
+/// Bump-allocate `size` bytes on the VM stack segment (8-byte aligned).
+/// Returns the address, or ~0 after setting ctx->exit_trap on overflow.
+std::uint64_t ft_jit_helper_alloca(ft::jit::JitContext* ctx,
+                                   std::uint64_t size);
+
+/// Next randlc() double, as IEEE bits.
+std::uint64_t ft_jit_helper_rand(ft::jit::JitContext* ctx);
+
+/// Append {bits, type} to the program's output vector.
+void ft_jit_helper_emit(ft::jit::JitContext* ctx, std::uint64_t bits,
+                        std::uint32_t type);
+
+/// EmitTrunc: round to `digits` significant decimals and append as F64.
+void ft_jit_helper_emit_trunc(ft::jit::JitContext* ctx, std::uint64_t bits,
+                              std::uint32_t is_f32, std::uint32_t digits);
+
+/// RegionEnter bookkeeping: apply a pending region-entry fault, then count
+/// the instance.
+void ft_jit_helper_region_enter(ft::jit::JitContext* ctx, std::uint64_t rid);
+
+/// std::floor on F64 / F32 bits (pure; no context).
+std::uint64_t ft_jit_helper_floor64(std::uint64_t bits);
+std::uint64_t ft_jit_helper_floor32(std::uint64_t bits);
+
+}  // extern "C"

@@ -1,82 +1,25 @@
+// Machine-state plumbing shared by every execution engine: construction,
+// memory/fault primitives, snapshot/restore/fork, and the run() dispatcher.
+// The engines themselves live in their own translation units —
+// interp_legacy.cpp (tree-walker), interp_decoded.cpp (decoded hot loop and
+// stepper) and interp_jit.cpp (native driver) — so the shared helpers in
+// interp_shared.h link from one definition instead of three copies.
 #include "vm/interp.h"
 
 #include <algorithm>
 #include <bit>
 #include <cassert>
-#include <charconv>
-#include <cmath>
 #include <cstring>
-#include <limits>
 
+#include "jit/jit_program.h"
 #include "trace/column.h"
 #include "util/bits.h"
 
 namespace ft::vm {
 
-using ir::CmpPred;
-using ir::Opcode;
-using ir::Operand;
-using ir::OperandKind;
 using ir::Type;
 using util::bits_to_f32;
 using util::bits_to_f64;
-using util::f32_to_bits;
-using util::f64_to_bits;
-
-namespace {
-
-// --- null-endpoint MiniMPI semantics -----------------------------------------
-// A Vm with no MpiEndpoint behaves as a single-rank world (the contract in
-// vm/mpi_endpoint.h, pinned by tests/mpi_test.cpp): rank 0, size 1, identity
-// allreduce, no-op barrier. Point-to-point ops have no peer to pair with, so
-// send drops its payload and recv yields 0.0 — a single-rank program that
-// genuinely self-messages needs a real one-rank mpi::World. All three
-// engines (legacy, decoded, decoded+traced) route through these helpers so
-// the behavior is stated once instead of implied at every opcode site.
-
-inline std::int64_t mpi_rank_of(const MpiEndpoint* ep) {
-  return ep ? ep->rank() : 0;
-}
-
-inline std::int64_t mpi_size_of(const MpiEndpoint* ep) {
-  return ep ? ep->size() : 1;
-}
-
-inline void mpi_send_on(MpiEndpoint* ep, std::int64_t dest, double value) {
-  if (ep) ep->send(dest, value);
-}
-
-inline double mpi_recv_on(MpiEndpoint* ep, std::int64_t src) {
-  return ep ? ep->recv(src) : 0.0;
-}
-
-inline double mpi_allreduce_on(MpiEndpoint* ep, double value,
-                               ir::ReduceOp op) {
-  return ep ? ep->allreduce(value, op) : value;
-}
-
-inline void mpi_barrier_on(MpiEndpoint* ep) {
-  if (ep) ep->barrier();
-}
-
-/// Round `v` to `digits` significant decimal digits after the leading one,
-/// exactly as the old snprintf("%.*e") / strtod round trip did in the C
-/// locale — but locale-independent and allocation-free: std::to_chars and
-/// std::from_chars are correctly rounded in both directions and ignore the
-/// global locale. This sits on the retire path of every EmitTrunc.
-double round_to_digits(double v, int digits) {
-  char buf[64];
-  const auto res = std::to_chars(buf, buf + sizeof buf, v,
-                                 std::chars_format::scientific, digits);
-  // A digit count that overflows the buffer keeps more precision than the
-  // value has anyway; fall back to the unrounded value.
-  if (res.ec != std::errc{}) return v;
-  double out = v;
-  std::from_chars(buf, res.ptr, out);
-  return out;
-}
-
-}  // namespace
 
 double OutputValue::as_f64() const noexcept {
   switch (type) {
@@ -121,7 +64,13 @@ Vm::Vm(const ir::Module& m, VmOptions opts)
   assert((!opts_.column_sink || (&opts_.column_sink->program() == prog_ &&
                                  opts_.column_sink->empty())) &&
          "column sink must be empty and built over the program being run");
+  assert((!opts_.jit || &opts_.jit->program() == prog_) &&
+         "VmOptions::jit must be compiled from the program being run");
   init_memory(m);
+  if (opts_.count_opcodes) {
+    opcode_counts_.assign(static_cast<std::size_t>(ir::Opcode::MpiBarrier) + 1,
+                          0);
+  }
 
   if (prog_) {
     dframes_.reserve(opts_.max_call_depth);
@@ -160,47 +109,14 @@ Vm::Vm(const DecodedProgram& p, const Snapshot& s, VmOptions opts)
   assert(mod_->laid_out() && "module must be laid out before execution");
   assert(!opts_.observer && !opts_.column_sink &&
          "snapshot-constructed Vms run the untraced campaign path");
+  assert((!opts_.jit || &opts_.jit->program() == prog_) &&
+         "VmOptions::jit must be compiled from the program being run");
   dframes_.reserve(opts_.max_call_depth);
+  if (opts_.count_opcodes) {
+    opcode_counts_.assign(static_cast<std::size_t>(ir::Opcode::MpiBarrier) + 1,
+                          0);
+  }
   restore(s);
-}
-
-Vm::OpVal Vm::eval(const Operand& o, const Frame& fr) const {
-  switch (o.kind) {
-    case OperandKind::Reg:
-      return {fr.regs[o.id], reg_loc(fr.activation, o.id), o.type};
-    case OperandKind::ImmI:
-      return {canon_int(static_cast<std::uint64_t>(o.imm_i), o.type), kNoLoc,
-              o.type};
-    case OperandKind::ImmF:
-      return {o.type == Type::F32
-                  ? f32_to_bits(static_cast<float>(o.imm_f))
-                  : f64_to_bits(o.imm_f),
-              kNoLoc, o.type};
-    case OperandKind::Arg:
-      return {fr.arg_bits[o.id], fr.arg_locs[o.id], o.type};
-    case OperandKind::Global:
-      return {mod_->global(o.id).addr, kNoLoc, Type::Ptr};
-    case OperandKind::Block:
-    case OperandKind::None:
-      break;
-  }
-  return {};
-}
-
-Vm::OpVal Vm::eval_src(const Src& s, const DFrame& fr) const {
-  switch (s.kind) {
-    case SrcKind::Reg:
-      return {slots_[fr.reg_base + s.index], reg_loc(fr.activation, s.index),
-              s.type};
-    case SrcKind::Arg:
-      return {slots_[fr.arg_base + s.index],
-              arg_locs_[fr.arg_loc_base + s.index], s.type};
-    case SrcKind::Const:
-      return {s.bits, kNoLoc, s.type};
-    case SrcKind::None:
-      break;
-  }
-  return {};
 }
 
 bool Vm::mem_ok(std::uint64_t addr, std::uint32_t size) const {
@@ -266,1535 +182,6 @@ bool Vm::next_is_region_marker() const {
       mod_->function(fr.func).blocks[fr.block].instrs[fr.pc].op);
 }
 
-void Vm::push_frame(std::uint32_t func, const ir::Instruction& call_ins,
-                    Frame& caller, DynInstr* out) {
-  const auto& callee = mod_->function(func);
-  Frame fr;
-  fr.func = func;
-  fr.activation = next_activation_++;
-  fr.regs.assign(callee.num_regs, 0);
-  fr.arg_bits.reserve(call_ins.ops.size());
-  fr.arg_locs.reserve(call_ins.ops.size());
-  for (std::size_t i = 0; i < call_ins.ops.size(); ++i) {
-    const OpVal v = eval(call_ins.ops[i], caller);
-    fr.arg_bits.push_back(v.bits);
-    fr.arg_locs.push_back(v.loc);
-    if (out && i < kMaxTracedOps) {
-      out->op_loc[i] = v.loc;
-      out->op_bits[i] = v.bits;
-      out->op_type[i] = v.type;
-    }
-  }
-  fr.saved_sp = sp_;
-  fr.ret_reg = call_ins.result;
-  frames_.push_back(std::move(fr));
-}
-
-void Vm::push_dframe(const DecodedInstr& call_ins, const DFrame& caller,
-                     DynInstr* out) {
-  const auto func = static_cast<std::uint32_t>(call_ins.aux);
-  const DecodedFunction& callee = prog_->function(func);
-  DFrame fr;
-  fr.func = func;
-  fr.activation = next_activation_++;
-  fr.pc = callee.entry_pc;
-  fr.reg_base = slot_top_;
-  fr.arg_base = slot_top_ + callee.num_regs;
-  fr.arg_loc_base = arg_loc_top_;
-  fr.nargs = call_ins.src_count;
-  fr.saved_sp = sp_;
-  fr.ret_reg = call_ins.result;
-
-  const std::uint32_t new_top = fr.arg_base + fr.nargs;
-  if (slots_.size() < new_top) slots_.resize(new_top);
-  if (arg_locs_.size() < arg_loc_top_ + fr.nargs) {
-    arg_locs_.resize(arg_loc_top_ + fr.nargs);
-  }
-  std::fill(slots_.begin() + fr.reg_base, slots_.begin() + fr.arg_base, 0);
-
-  const Src* const args = prog_->srcs() + call_ins.src_begin;
-  for (std::uint32_t i = 0; i < fr.nargs; ++i) {
-    const OpVal v = eval_src(args[i], caller);
-    slots_[fr.arg_base + i] = v.bits;
-    arg_locs_[fr.arg_loc_base + i] = v.loc;
-    if (out && i < kMaxTracedOps) {
-      out->op_loc[i] = v.loc;
-      out->op_bits[i] = v.bits;
-      out->op_type[i] = v.type;
-    }
-  }
-  slot_top_ = new_top;
-  arg_loc_top_ += fr.nargs;
-  dframes_.push_back(fr);
-}
-
-// ---------------------------------------------------------------------------
-// Decoded engine: dispatch over the flat pre-resolved instruction stream.
-// Must stay semantically and record-by-record identical to step_legacy —
-// tests/decode_test.cpp pins the equivalence across all ten workloads.
-// ---------------------------------------------------------------------------
-
-template <bool Traced>
-Vm::Status Vm::step_decoded(DynInstr* out) {
-  if (status_ != Status::Running) return status_;
-  if (n_retired_ >= opts_.max_instructions) {
-    set_trap(TrapKind::Hang);
-    return status_;
-  }
-
-  DFrame& fr = dframes_.back();
-  const DecodedInstr& ins = prog_->code()[fr.pc];
-
-  if constexpr (Traced) {
-    *out = DynInstr{};
-    out->index = n_retired_;
-    out->func = ins.func;
-    out->block = ins.block;
-    out->instr = ins.instr;
-    out->op = ins.op;
-    out->pred = ins.pred;
-    out->type = ins.type;
-    out->line = ins.line;
-    out->aux = ins.aux;
-    out->nops = ins.nops;
-  } else {
-    (void)out;
-  }
-
-  // Operands were pre-resolved at decode time; evaluating one is a slot
-  // read (or nothing, for pre-folded constants). Block operands decode to
-  // SrcKind::None and evaluate to the empty value, matching the legacy
-  // engine's skip.
-  const Src* const srcs = prog_->srcs() + ins.src_begin;
-  OpVal a{}, b{}, c{};
-  const std::size_t nsrc = ins.src_count;
-  if (ins.op != Opcode::Call) {
-    if (nsrc > 0) a = eval_src(srcs[0], fr);
-    if (nsrc > 1) b = eval_src(srcs[1], fr);
-    if (nsrc > 2) c = eval_src(srcs[2], fr);
-    if constexpr (Traced) {
-      const OpVal* vals[3] = {&a, &b, &c};
-      for (std::size_t i = 0; i < std::min<std::size_t>(nsrc, 3); ++i) {
-        out->op_loc[i] = vals[i]->loc;
-        out->op_bits[i] = vals[i]->bits;
-        out->op_type[i] = vals[i]->type;
-      }
-    }
-  }
-
-  std::uint64_t result = 0;
-  bool has_res = ins.result != ir::kNoReg;
-  Location result_location =
-      has_res ? reg_loc(fr.activation, ins.result) : kNoLoc;
-  bool advance_pc = true;
-
-  const Type t = ins.type;
-  const auto ia = static_cast<std::int64_t>(a.bits);
-  const auto ib = static_cast<std::int64_t>(b.bits);
-
-  switch (ins.op) {
-    // --- integer binary -----------------------------------------------------
-    case Opcode::Add:
-      result = canon_int(a.bits + b.bits, t);
-      break;
-    case Opcode::Sub:
-      result = canon_int(a.bits - b.bits, t);
-      break;
-    case Opcode::Mul:
-      result = canon_int(a.bits * b.bits, t);
-      break;
-    case Opcode::SDiv:
-    case Opcode::SRem: {
-      if (ib == 0) {
-        set_trap(TrapKind::DivByZero);
-        return status_;
-      }
-      if (ia == std::numeric_limits<std::int64_t>::min() && ib == -1) {
-        set_trap(TrapKind::IntOverflowDiv);
-        return status_;
-      }
-      const std::int64_t r = ins.op == Opcode::SDiv ? ia / ib : ia % ib;
-      result = canon_int(static_cast<std::uint64_t>(r), t);
-      break;
-    }
-    case Opcode::And:
-      result = canon_int(a.bits & b.bits, t);
-      break;
-    case Opcode::Or:
-      result = canon_int(a.bits | b.bits, t);
-      break;
-    case Opcode::Xor:
-      result = canon_int(a.bits ^ b.bits, t);
-      break;
-    case Opcode::Shl:
-    case Opcode::LShr:
-    case Opcode::AShr: {
-      const unsigned width = bit_width(t);
-      const std::uint64_t amt = b.bits;
-      if (amt >= width) {
-        set_trap(TrapKind::BadShift);
-        return status_;
-      }
-      if (ins.op == Opcode::Shl) {
-        result = canon_int(a.bits << amt, t);
-      } else if (ins.op == Opcode::LShr) {
-        const std::uint64_t ua = util::truncate_to(a.bits, width);
-        result = canon_int(ua >> amt, t);
-      } else {
-        result = canon_int(static_cast<std::uint64_t>(ia >> amt), t);
-      }
-      break;
-    }
-
-    // --- floating binary ----------------------------------------------------
-    case Opcode::FAdd:
-    case Opcode::FSub:
-    case Opcode::FMul:
-    case Opcode::FDiv: {
-      if (t == Type::F32) {
-        const float x = bits_to_f32(a.bits), y = bits_to_f32(b.bits);
-        float r = 0;
-        switch (ins.op) {
-          case Opcode::FAdd: r = x + y; break;
-          case Opcode::FSub: r = x - y; break;
-          case Opcode::FMul: r = x * y; break;
-          default: r = x / y; break;
-        }
-        result = f32_to_bits(r);
-      } else {
-        const double x = bits_to_f64(a.bits), y = bits_to_f64(b.bits);
-        double r = 0;
-        switch (ins.op) {
-          case Opcode::FAdd: r = x + y; break;
-          case Opcode::FSub: r = x - y; break;
-          case Opcode::FMul: r = x * y; break;
-          default: r = x / y; break;
-        }
-        result = f64_to_bits(r);
-      }
-      break;
-    }
-
-    // --- floating unary -----------------------------------------------------
-    case Opcode::FNeg:
-    case Opcode::FSqrt:
-    case Opcode::FAbs:
-    case Opcode::FFloor: {
-      if (t == Type::F32) {
-        const float x = bits_to_f32(a.bits);
-        float r = 0;
-        switch (ins.op) {
-          case Opcode::FNeg: r = -x; break;
-          case Opcode::FSqrt: r = std::sqrt(x); break;
-          case Opcode::FAbs: r = std::fabs(x); break;
-          default: r = std::floor(x); break;
-        }
-        result = f32_to_bits(r);
-      } else {
-        const double x = bits_to_f64(a.bits);
-        double r = 0;
-        switch (ins.op) {
-          case Opcode::FNeg: r = -x; break;
-          case Opcode::FSqrt: r = std::sqrt(x); break;
-          case Opcode::FAbs: r = std::fabs(x); break;
-          default: r = std::floor(x); break;
-        }
-        result = f64_to_bits(r);
-      }
-      break;
-    }
-
-    // --- comparisons --------------------------------------------------------
-    case Opcode::ICmp: {
-      bool r = false;
-      switch (ins.pred) {
-        case CmpPred::Eq: r = ia == ib; break;
-        case CmpPred::Ne: r = ia != ib; break;
-        case CmpPred::Lt: r = ia < ib; break;
-        case CmpPred::Le: r = ia <= ib; break;
-        case CmpPred::Gt: r = ia > ib; break;
-        case CmpPred::Ge: r = ia >= ib; break;
-        case CmpPred::None: break;
-      }
-      result = r ? 1 : 0;
-      break;
-    }
-    case Opcode::FCmp: {
-      const double x = a.type == Type::F32
-                           ? static_cast<double>(bits_to_f32(a.bits))
-                           : bits_to_f64(a.bits);
-      const double y = b.type == Type::F32
-                           ? static_cast<double>(bits_to_f32(b.bits))
-                           : bits_to_f64(b.bits);
-      bool r = false;
-      switch (ins.pred) {
-        case CmpPred::Eq: r = x == y; break;
-        case CmpPred::Ne: r = x != y; break;
-        case CmpPred::Lt: r = x < y; break;
-        case CmpPred::Le: r = x <= y; break;
-        case CmpPred::Gt: r = x > y; break;
-        case CmpPred::Ge: r = x >= y; break;
-        case CmpPred::None: break;
-      }
-      result = r ? 1 : 0;
-      break;
-    }
-    case Opcode::Select:
-      result = (a.bits & 1) ? b.bits : c.bits;
-      break;
-
-    // --- casts ---------------------------------------------------------------
-    case Opcode::Trunc:
-      result = canon_int(a.bits, t);
-      break;
-    case Opcode::SExt:
-      result = a.bits;  // canonical form is already sign-extended
-      break;
-    case Opcode::ZExt:
-      result = util::truncate_to(a.bits, bit_width(a.type));
-      break;
-    case Opcode::FPTrunc:
-      result = f32_to_bits(static_cast<float>(bits_to_f64(a.bits)));
-      break;
-    case Opcode::FPExt:
-      result = f64_to_bits(static_cast<double>(bits_to_f32(a.bits)));
-      break;
-    case Opcode::FPToSI: {
-      const double x = a.type == Type::F32
-                           ? static_cast<double>(bits_to_f32(a.bits))
-                           : bits_to_f64(a.bits);
-      if (std::isnan(x) || x < -9.3e18 || x > 9.3e18) {
-        set_trap(TrapKind::FpDomain);
-        return status_;
-      }
-      result = canon_int(static_cast<std::uint64_t>(
-                             static_cast<std::int64_t>(x)),
-                         t);
-      break;
-    }
-    case Opcode::SIToFP: {
-      const auto x = static_cast<double>(ia);
-      result = t == Type::F32 ? f32_to_bits(static_cast<float>(x))
-                              : f64_to_bits(x);
-      break;
-    }
-    case Opcode::Bitcast:
-      if (t == Type::I32) {
-        result = canon_int(a.bits, t);  // keep I32 canonical (sign-extended)
-      } else {
-        result = bit_width(t) == 32 ? util::truncate_to(a.bits, 32) : a.bits;
-      }
-      break;
-
-    // --- memory ---------------------------------------------------------------
-    case Opcode::Alloca: {
-      const auto size = static_cast<std::uint64_t>(ins.aux);
-      const std::uint64_t aligned = (sp_ + 7) & ~std::uint64_t{7};
-      if (aligned + size > mem_.size()) {
-        set_trap(TrapKind::StackOverflow);
-        return status_;
-      }
-      result = aligned;
-      sp_ = aligned + size;
-      break;
-    }
-    case Opcode::Load: {
-      // Operand order in records: [0] = memory cell, [1] = pointer dep.
-      const std::uint64_t addr = a.bits;
-      const auto size = store_size(t);
-      if (!mem_ok(addr, size)) {
-        set_trap(TrapKind::OutOfBounds);
-        return status_;
-      }
-      std::uint64_t bits = 0;
-      std::memcpy(&bits, &mem_[addr], size);
-      result = is_int(t) ? canon_int(bits, t) : bits;
-      if constexpr (Traced) {
-        out->mem_addr = addr;
-        out->mem_size = size;
-        out->nops = 2;
-        out->op_loc[0] = mem_loc(addr);
-        out->op_bits[0] = result;
-        out->op_type[0] = t;
-        out->op_loc[1] = a.loc;  // the pointer value's own location
-        out->op_bits[1] = a.bits;
-        out->op_type[1] = Type::Ptr;
-      }
-      break;
-    }
-    case Opcode::Store: {
-      const std::uint64_t addr = b.bits;
-      const auto size = store_size(a.type);
-      if (!mem_ok(addr, size)) {
-        set_trap(TrapKind::OutOfBounds);
-        return status_;
-      }
-      std::uint64_t bits = a.bits;
-      maybe_flip_result(bits);
-      std::memcpy(&mem_[addr], &bits, size);
-      if (!dirty_.empty()) mark_dirty(addr, size);
-      has_res = false;
-      result_location = mem_loc(addr);
-      result = bits;
-      if constexpr (Traced) {
-        out->mem_addr = addr;
-        out->mem_size = size;
-      }
-      break;
-    }
-    case Opcode::Gep: {
-      // Unsigned multiply: a fault-corrupted index can overflow, and two's
-      // complement wraparound (not signed-overflow UB) is the semantic all
-      // three engine copies share.
-      const std::uint64_t base = a.bits;
-      result = base + b.bits * static_cast<std::uint64_t>(ins.aux);
-      break;
-    }
-
-    // --- control -----------------------------------------------------------------
-    case Opcode::Br:
-      fr.pc = ins.target_taken;
-      advance_pc = false;
-      break;
-    case Opcode::CondBr: {
-      const bool taken = (a.bits & 1) != 0;
-      fr.pc = taken ? ins.target_taken : ins.target_fall;
-      advance_pc = false;
-      if constexpr (Traced) out->branch_taken = taken;
-      break;
-    }
-    case Opcode::Ret: {
-      const bool has_val = nsrc > 0;
-      const std::uint64_t ret_bits = has_val ? a.bits : 0;
-      if (dframes_.size() == 1) {
-        status_ = Status::Finished;
-        advance_pc = false;
-      } else {
-        sp_ = fr.saved_sp;
-        const std::uint32_t dest_reg = fr.ret_reg;
-        slot_top_ = fr.reg_base;
-        arg_loc_top_ = fr.arg_loc_base;
-        dframes_.pop_back();
-        DFrame& caller = dframes_.back();
-        if (dest_reg != ir::kNoReg) {
-          std::uint64_t bits = ret_bits;
-          maybe_flip_result(bits);
-          slots_[caller.reg_base + dest_reg] = bits;
-          result_location = reg_loc(caller.activation, dest_reg);
-          result = bits;
-          if constexpr (Traced) {
-            out->result_loc = result_location;
-            out->result_bits = bits;
-          }
-        }
-        advance_pc = false;  // caller pc was advanced at call time
-      }
-      has_res = false;
-      break;
-    }
-    case Opcode::Call: {
-      if (dframes_.size() >= opts_.max_call_depth) {
-        set_trap(TrapKind::CallDepth);
-        return status_;
-      }
-      fr.pc++;  // resume point after return
-      advance_pc = false;
-      // NB: push_dframe may reallocate dframes_, invalidating `fr`; it
-      // copies what it needs from the caller frame before pushing.
-      push_dframe(ins, fr, Traced ? out : nullptr);
-      has_res = false;  // result is committed by Ret
-      break;
-    }
-
-    // --- intrinsics -----------------------------------------------------------------
-    case Opcode::Rand:
-      result = f64_to_bits(randlc_.next());
-      break;
-    case Opcode::Emit: {
-      outputs_.push_back({a.bits, a.type});
-      // Expose the emitted bits for differential comparison (no location).
-      if constexpr (Traced) out->result_bits = a.bits;
-      break;
-    }
-    case Opcode::EmitTrunc: {
-      const double x = a.type == Type::F32
-                           ? static_cast<double>(bits_to_f32(a.bits))
-                           : bits_to_f64(a.bits);
-      const double r = round_to_digits(x, static_cast<int>(ins.aux));
-      outputs_.push_back({f64_to_bits(r), Type::F64});
-      // The *rounded* value is what the user sees; comparing it is what
-      // makes Pattern 5 (data truncation) observable in the diff.
-      if constexpr (Traced) out->result_bits = f64_to_bits(r);
-      break;
-    }
-    case Opcode::RegionEnter: {
-      const auto rid = static_cast<std::uint32_t>(ins.aux);
-      apply_region_entry_fault(rid);
-      region_counts_[rid]++;
-      break;
-    }
-    case Opcode::RegionExit:
-      break;
-
-    // --- MiniMPI (null endpoint = single-rank world; see helpers above) -------
-    case Opcode::MpiRank:
-      result = static_cast<std::uint64_t>(mpi_rank_of(opts_.mpi));
-      break;
-    case Opcode::MpiSize:
-      result = static_cast<std::uint64_t>(mpi_size_of(opts_.mpi));
-      break;
-    case Opcode::MpiSend:
-      mpi_send_on(opts_.mpi, static_cast<std::int64_t>(a.bits),
-                  bits_to_f64(b.bits));
-      break;
-    case Opcode::MpiRecv:
-      result = f64_to_bits(
-          mpi_recv_on(opts_.mpi, static_cast<std::int64_t>(a.bits)));
-      break;
-    case Opcode::MpiAllreduce:
-      result = f64_to_bits(mpi_allreduce_on(
-          opts_.mpi, bits_to_f64(a.bits),
-          static_cast<ir::ReduceOp>(ins.aux)));
-      break;
-    case Opcode::MpiBarrier:
-      mpi_barrier_on(opts_.mpi);
-      break;
-  }
-
-  if (has_res) {
-    maybe_flip_result(result);
-    // `fr` may dangle only after Call/Ret, which set has_res = false.
-    slots_[fr.reg_base + ins.result] = result;
-  }
-
-  if constexpr (Traced) {
-    if (has_res || ins.op == Opcode::Store) {
-      out->result_loc = result_location;
-      out->result_bits = result;
-    }
-  } else {
-    (void)result_location;
-  }
-
-  if (advance_pc) fr.pc++;
-  n_retired_++;
-  return status_;
-}
-
-// ---------------------------------------------------------------------------
-// Legacy engine: walks the ir::Instruction representation directly. The
-// reference implementation and the decoded engine's A/B baseline.
-// ---------------------------------------------------------------------------
-
-Vm::Status Vm::step_legacy(DynInstr* out) {
-  if (status_ != Status::Running) return status_;
-  if (n_retired_ >= opts_.max_instructions) {
-    set_trap(TrapKind::Hang);
-    return status_;
-  }
-
-  Frame& fr = frames_.back();
-  const auto& fn = mod_->function(fr.func);
-  const auto& ins = fn.blocks[fr.block].instrs[fr.pc];
-
-  if (out) {
-    *out = DynInstr{};
-    out->index = n_retired_;
-    out->func = fr.func;
-    out->block = fr.block;
-    out->instr = fr.pc;
-    out->op = ins.op;
-    out->pred = ins.pred;
-    out->type = ins.type;
-    out->line = ins.line;
-    out->aux = ins.aux;
-    out->nops = static_cast<std::uint8_t>(
-        std::min<std::size_t>(ins.ops.size(), kMaxTracedOps));
-  }
-
-  // Evaluate (up to 3) operands once; ops beyond 3 only occur for Call,
-  // which re-evaluates its own argument list in push_frame.
-  OpVal a{}, b{}, c{};
-  const std::size_t nops = ins.ops.size();
-  if (ins.op != Opcode::Call) {
-    if (nops > 0 && ins.ops[0].kind != OperandKind::Block) {
-      a = eval(ins.ops[0], fr);
-    }
-    if (nops > 1 && ins.ops[1].kind != OperandKind::Block) {
-      b = eval(ins.ops[1], fr);
-    }
-    if (nops > 2 && ins.ops[2].kind != OperandKind::Block) {
-      c = eval(ins.ops[2], fr);
-    }
-    if (out) {
-      const OpVal* vals[3] = {&a, &b, &c};
-      for (std::size_t i = 0; i < std::min<std::size_t>(nops, 3); ++i) {
-        if (ins.ops[i].kind == OperandKind::Block) continue;
-        out->op_loc[i] = vals[i]->loc;
-        out->op_bits[i] = vals[i]->bits;
-        out->op_type[i] = vals[i]->type;
-      }
-    }
-  }
-
-  std::uint64_t result = 0;
-  bool has_res = ins.defines_register();
-  Location result_location =
-      has_res ? reg_loc(fr.activation, ins.result) : kNoLoc;
-  bool advance_pc = true;
-
-  const Type t = ins.type;
-  const auto ia = static_cast<std::int64_t>(a.bits);
-  const auto ib = static_cast<std::int64_t>(b.bits);
-
-  switch (ins.op) {
-    // --- integer binary -----------------------------------------------------
-    case Opcode::Add:
-      result = canon_int(a.bits + b.bits, t);
-      break;
-    case Opcode::Sub:
-      result = canon_int(a.bits - b.bits, t);
-      break;
-    case Opcode::Mul:
-      result = canon_int(a.bits * b.bits, t);
-      break;
-    case Opcode::SDiv:
-    case Opcode::SRem: {
-      if (ib == 0) {
-        set_trap(TrapKind::DivByZero);
-        return status_;
-      }
-      if (ia == std::numeric_limits<std::int64_t>::min() && ib == -1) {
-        set_trap(TrapKind::IntOverflowDiv);
-        return status_;
-      }
-      const std::int64_t r = ins.op == Opcode::SDiv ? ia / ib : ia % ib;
-      result = canon_int(static_cast<std::uint64_t>(r), t);
-      break;
-    }
-    case Opcode::And:
-      result = canon_int(a.bits & b.bits, t);
-      break;
-    case Opcode::Or:
-      result = canon_int(a.bits | b.bits, t);
-      break;
-    case Opcode::Xor:
-      result = canon_int(a.bits ^ b.bits, t);
-      break;
-    case Opcode::Shl:
-    case Opcode::LShr:
-    case Opcode::AShr: {
-      const unsigned width = bit_width(t);
-      const std::uint64_t amt = b.bits;
-      if (amt >= width) {
-        set_trap(TrapKind::BadShift);
-        return status_;
-      }
-      if (ins.op == Opcode::Shl) {
-        result = canon_int(a.bits << amt, t);
-      } else if (ins.op == Opcode::LShr) {
-        const std::uint64_t ua = util::truncate_to(a.bits, width);
-        result = canon_int(ua >> amt, t);
-      } else {
-        result = canon_int(static_cast<std::uint64_t>(ia >> amt), t);
-      }
-      break;
-    }
-
-    // --- floating binary ----------------------------------------------------
-    case Opcode::FAdd:
-    case Opcode::FSub:
-    case Opcode::FMul:
-    case Opcode::FDiv: {
-      if (t == Type::F32) {
-        const float x = bits_to_f32(a.bits), y = bits_to_f32(b.bits);
-        float r = 0;
-        switch (ins.op) {
-          case Opcode::FAdd: r = x + y; break;
-          case Opcode::FSub: r = x - y; break;
-          case Opcode::FMul: r = x * y; break;
-          default: r = x / y; break;
-        }
-        result = f32_to_bits(r);
-      } else {
-        const double x = bits_to_f64(a.bits), y = bits_to_f64(b.bits);
-        double r = 0;
-        switch (ins.op) {
-          case Opcode::FAdd: r = x + y; break;
-          case Opcode::FSub: r = x - y; break;
-          case Opcode::FMul: r = x * y; break;
-          default: r = x / y; break;
-        }
-        result = f64_to_bits(r);
-      }
-      break;
-    }
-
-    // --- floating unary -----------------------------------------------------
-    case Opcode::FNeg:
-    case Opcode::FSqrt:
-    case Opcode::FAbs:
-    case Opcode::FFloor: {
-      if (t == Type::F32) {
-        const float x = bits_to_f32(a.bits);
-        float r = 0;
-        switch (ins.op) {
-          case Opcode::FNeg: r = -x; break;
-          case Opcode::FSqrt: r = std::sqrt(x); break;
-          case Opcode::FAbs: r = std::fabs(x); break;
-          default: r = std::floor(x); break;
-        }
-        result = f32_to_bits(r);
-      } else {
-        const double x = bits_to_f64(a.bits);
-        double r = 0;
-        switch (ins.op) {
-          case Opcode::FNeg: r = -x; break;
-          case Opcode::FSqrt: r = std::sqrt(x); break;
-          case Opcode::FAbs: r = std::fabs(x); break;
-          default: r = std::floor(x); break;
-        }
-        result = f64_to_bits(r);
-      }
-      break;
-    }
-
-    // --- comparisons --------------------------------------------------------
-    case Opcode::ICmp: {
-      bool r = false;
-      switch (ins.pred) {
-        case CmpPred::Eq: r = ia == ib; break;
-        case CmpPred::Ne: r = ia != ib; break;
-        case CmpPred::Lt: r = ia < ib; break;
-        case CmpPred::Le: r = ia <= ib; break;
-        case CmpPred::Gt: r = ia > ib; break;
-        case CmpPred::Ge: r = ia >= ib; break;
-        case CmpPred::None: break;
-      }
-      result = r ? 1 : 0;
-      break;
-    }
-    case Opcode::FCmp: {
-      const double x = a.type == Type::F32
-                           ? static_cast<double>(bits_to_f32(a.bits))
-                           : bits_to_f64(a.bits);
-      const double y = b.type == Type::F32
-                           ? static_cast<double>(bits_to_f32(b.bits))
-                           : bits_to_f64(b.bits);
-      bool r = false;
-      switch (ins.pred) {
-        case CmpPred::Eq: r = x == y; break;
-        case CmpPred::Ne: r = x != y; break;
-        case CmpPred::Lt: r = x < y; break;
-        case CmpPred::Le: r = x <= y; break;
-        case CmpPred::Gt: r = x > y; break;
-        case CmpPred::Ge: r = x >= y; break;
-        case CmpPred::None: break;
-      }
-      result = r ? 1 : 0;
-      break;
-    }
-    case Opcode::Select:
-      result = (a.bits & 1) ? b.bits : c.bits;
-      break;
-
-    // --- casts ---------------------------------------------------------------
-    case Opcode::Trunc:
-      result = canon_int(a.bits, t);
-      break;
-    case Opcode::SExt:
-      result = a.bits;  // canonical form is already sign-extended
-      break;
-    case Opcode::ZExt:
-      result = util::truncate_to(a.bits, bit_width(a.type));
-      break;
-    case Opcode::FPTrunc:
-      result = f32_to_bits(static_cast<float>(bits_to_f64(a.bits)));
-      break;
-    case Opcode::FPExt:
-      result = f64_to_bits(static_cast<double>(bits_to_f32(a.bits)));
-      break;
-    case Opcode::FPToSI: {
-      const double x = a.type == Type::F32
-                           ? static_cast<double>(bits_to_f32(a.bits))
-                           : bits_to_f64(a.bits);
-      if (std::isnan(x) || x < -9.3e18 || x > 9.3e18) {
-        set_trap(TrapKind::FpDomain);
-        return status_;
-      }
-      result = canon_int(static_cast<std::uint64_t>(
-                             static_cast<std::int64_t>(x)),
-                         t);
-      break;
-    }
-    case Opcode::SIToFP: {
-      const auto x = static_cast<double>(ia);
-      result = t == Type::F32 ? f32_to_bits(static_cast<float>(x))
-                              : f64_to_bits(x);
-      break;
-    }
-    case Opcode::Bitcast:
-      if (t == Type::I32) {
-        result = canon_int(a.bits, t);  // keep I32 canonical (sign-extended)
-      } else {
-        result = bit_width(t) == 32 ? util::truncate_to(a.bits, 32) : a.bits;
-      }
-      break;
-
-    // --- memory ---------------------------------------------------------------
-    case Opcode::Alloca: {
-      const auto size = static_cast<std::uint64_t>(ins.aux);
-      const std::uint64_t aligned = (sp_ + 7) & ~std::uint64_t{7};
-      if (aligned + size > mem_.size()) {
-        set_trap(TrapKind::StackOverflow);
-        return status_;
-      }
-      result = aligned;
-      sp_ = aligned + size;
-      break;
-    }
-    case Opcode::Load: {
-      // Operand order in records: [0] = memory cell, [1] = pointer dep.
-      const std::uint64_t addr = a.bits;
-      const auto size = store_size(t);
-      if (!mem_ok(addr, size)) {
-        set_trap(TrapKind::OutOfBounds);
-        return status_;
-      }
-      std::uint64_t bits = 0;
-      std::memcpy(&bits, &mem_[addr], size);
-      result = is_int(t) ? canon_int(bits, t) : bits;
-      if (out) {
-        out->mem_addr = addr;
-        out->mem_size = size;
-        out->nops = 2;
-        out->op_loc[0] = mem_loc(addr);
-        out->op_bits[0] = result;
-        out->op_type[0] = t;
-        out->op_loc[1] = a.loc;  // the pointer value's own location
-        out->op_bits[1] = a.bits;
-        out->op_type[1] = Type::Ptr;
-      }
-      break;
-    }
-    case Opcode::Store: {
-      const std::uint64_t addr = b.bits;
-      const auto size = store_size(a.type);
-      if (!mem_ok(addr, size)) {
-        set_trap(TrapKind::OutOfBounds);
-        return status_;
-      }
-      std::uint64_t bits = a.bits;
-      maybe_flip_result(bits);
-      std::memcpy(&mem_[addr], &bits, size);
-      has_res = false;
-      result_location = mem_loc(addr);
-      result = bits;
-      if (out) {
-        out->mem_addr = addr;
-        out->mem_size = size;
-      }
-      break;
-    }
-    case Opcode::Gep: {
-      // Unsigned multiply: a fault-corrupted index can overflow, and two's
-      // complement wraparound (not signed-overflow UB) is the semantic all
-      // three engine copies share.
-      const std::uint64_t base = a.bits;
-      result = base + b.bits * static_cast<std::uint64_t>(ins.aux);
-      break;
-    }
-
-    // --- control -----------------------------------------------------------------
-    case Opcode::Br:
-      fr.block = ins.ops[0].id;
-      fr.pc = 0;
-      advance_pc = false;
-      break;
-    case Opcode::CondBr: {
-      const bool taken = (a.bits & 1) != 0;
-      fr.block = taken ? ins.ops[1].id : ins.ops[2].id;
-      fr.pc = 0;
-      advance_pc = false;
-      if (out) out->branch_taken = taken;
-      break;
-    }
-    case Opcode::Ret: {
-      const bool has_val = !ins.ops.empty();
-      const std::uint64_t ret_bits = has_val ? a.bits : 0;
-      if (frames_.size() == 1) {
-        status_ = Status::Finished;
-        advance_pc = false;
-      } else {
-        sp_ = fr.saved_sp;
-        const std::uint32_t dest_reg = fr.ret_reg;
-        frames_.pop_back();
-        Frame& caller = frames_.back();
-        if (dest_reg != ir::kNoReg) {
-          std::uint64_t bits = ret_bits;
-          maybe_flip_result(bits);
-          caller.regs[dest_reg] = bits;
-          result_location = reg_loc(caller.activation, dest_reg);
-          result = bits;
-          if (out) {
-            out->result_loc = result_location;
-            out->result_bits = bits;
-          }
-        }
-        advance_pc = false;  // caller pc was advanced at call time
-      }
-      has_res = false;
-      break;
-    }
-    case Opcode::Call: {
-      if (frames_.size() >= opts_.max_call_depth) {
-        set_trap(TrapKind::CallDepth);
-        return status_;
-      }
-      fr.pc++;  // resume point after return
-      advance_pc = false;
-      // NB: push_frame may reallocate frames_, invalidating `fr`; it takes
-      // the caller by reference parameter to do its work first.
-      push_frame(static_cast<std::uint32_t>(ins.aux), ins, fr, out);
-      has_res = false;  // result is committed by Ret
-      break;
-    }
-
-    // --- intrinsics -----------------------------------------------------------------
-    case Opcode::Rand:
-      result = f64_to_bits(randlc_.next());
-      break;
-    case Opcode::Emit: {
-      outputs_.push_back({a.bits, a.type});
-      // Expose the emitted bits for differential comparison (no location).
-      if (out) out->result_bits = a.bits;
-      break;
-    }
-    case Opcode::EmitTrunc: {
-      const double x = a.type == Type::F32
-                           ? static_cast<double>(bits_to_f32(a.bits))
-                           : bits_to_f64(a.bits);
-      const double r = round_to_digits(x, static_cast<int>(ins.aux));
-      outputs_.push_back({f64_to_bits(r), Type::F64});
-      // The *rounded* value is what the user sees; comparing it is what
-      // makes Pattern 5 (data truncation) observable in the diff.
-      if (out) out->result_bits = f64_to_bits(r);
-      break;
-    }
-    case Opcode::RegionEnter: {
-      const auto rid = static_cast<std::uint32_t>(ins.aux);
-      apply_region_entry_fault(rid);
-      region_counts_[rid]++;
-      break;
-    }
-    case Opcode::RegionExit:
-      break;
-
-    // --- MiniMPI (null endpoint = single-rank world; see helpers above) -------
-    case Opcode::MpiRank:
-      result = static_cast<std::uint64_t>(mpi_rank_of(opts_.mpi));
-      break;
-    case Opcode::MpiSize:
-      result = static_cast<std::uint64_t>(mpi_size_of(opts_.mpi));
-      break;
-    case Opcode::MpiSend:
-      mpi_send_on(opts_.mpi, static_cast<std::int64_t>(a.bits),
-                  bits_to_f64(b.bits));
-      break;
-    case Opcode::MpiRecv:
-      result = f64_to_bits(
-          mpi_recv_on(opts_.mpi, static_cast<std::int64_t>(a.bits)));
-      break;
-    case Opcode::MpiAllreduce:
-      result = f64_to_bits(mpi_allreduce_on(
-          opts_.mpi, bits_to_f64(a.bits),
-          static_cast<ir::ReduceOp>(ins.aux)));
-      break;
-    case Opcode::MpiBarrier:
-      mpi_barrier_on(opts_.mpi);
-      break;
-  }
-
-  if (has_res) {
-    maybe_flip_result(result);
-    // `fr` may dangle only after Call/Ret, which set has_res = false.
-    fr.regs[ins.result] = result;
-  }
-
-  if (out) {
-    if (has_res || ins.op == Opcode::Store) {
-      out->result_loc = result_location;
-      out->result_bits = result;
-    }
-  }
-
-  if (advance_pc) fr.pc++;
-  n_retired_++;
-  return status_;
-}
-
-// ---------------------------------------------------------------------------
-// Decoded hot loop: the run-to-completion path every campaign trial and —
-// since the columnar-trace refactor — every full traced run takes. Machine
-// state (retired count, current frame, code/operand base pointers) lives in
-// locals; dispatch is computed goto where the toolchain supports
-// labels-as-values (each opcode body ends in its own indirect jump, so the
-// branch predictor learns per-opcode successor patterns), with a
-// dense-opcode switch fallback elsewhere.
-//
-// Two instantiations:
-//   * Traced == false — the no-observer campaign path (nothing recorded);
-//   * Traced == true  — direct emission into VmOptions::column_sink: each
-//     fetched instruction opens a columnar record (pc, activation, packed
-//     operand bits), results land via set_result at commit time, and a
-//     record whose instruction traps mid-flight is rolled back at `done`.
-//     No DynInstr is materialized and no virtual observer dispatch runs.
-//
-// Semantics must stay identical to step_decoded — tests/decode_test.cpp
-// pins the untraced equivalence against the legacy engine for all ten
-// workloads, and tests/column_trace_test.cpp pins the emitted columnar
-// records against the observer-collected DynInstr stream.
-// ---------------------------------------------------------------------------
-
-#if !defined(FT_VM_NO_COMPUTED_GOTO) && (defined(__GNUC__) || defined(__clang__))
-#define FT_VM_COMPUTED_GOTO 1
-#else
-#define FT_VM_COMPUTED_GOTO 0
-#endif
-
-template <bool Traced>
-void Vm::run_decoded_hot() {
-  if (status_ != Status::Running) return;
-
-  const DecodedInstr* const code = prog_->code();
-  const Src* const srcs_all = prog_->srcs();
-  const std::uint64_t max_instr = opts_.max_instructions;
-  // One compare serves both the hang budget and run_until()'s pause mark;
-  // which of the two was hit is decided once, at `limit_reached`.
-  const std::uint64_t stop_limit = std::min(max_instr, stop_at_);
-  const bool fault_rb = opts_.fault.kind == FaultPlan::Kind::ResultBit;
-  const bool track_writes = !dirty_.empty();
-  std::uint64_t retired = n_retired_;
-  DFrame* fr = &dframes_.back();
-  const DecodedInstr* ins = nullptr;
-  const Src* srcs = nullptr;
-  trace::ColumnTrace* const sink = opts_.column_sink;
-  (void)sink;  // only the Traced instantiation reads it
-  // Retired count of the sink's row 0: zero on a fresh run, the resume
-  // point when a run_until()-paused traced machine continues.
-  std::uint64_t trace_base = 0;
-  if constexpr (Traced) trace_base = retired - sink->size();
-  (void)trace_base;
-
-  // Operand value (bits only — locations are derived or escaped at emit
-  // time). Const and None read the pre-computed bits; None carries 0,
-  // matching the legacy engine's empty evaluation of absent operands.
-  const auto val = [&](const Src& s) -> std::uint64_t {
-    switch (s.kind) {
-      case SrcKind::Reg: return slots_[fr->reg_base + s.index];
-      case SrcKind::Arg: return slots_[fr->arg_base + s.index];
-      default: return s.bits;
-    }
-  };
-  // Fault application at commit time; `retired` is this instruction's
-  // dynamic index (pre-increment), exactly as maybe_flip_result sees it.
-  const auto flip = [&](std::uint64_t& bits) {
-    if (fault_rb && !fault_fired_ && retired == opts_.fault.dyn_index) {
-      bits = util::flip_bit(bits, opts_.fault.bit);
-      fault_fired_ = true;
-    }
-  };
-  // Commit a register-defining result (every defining opcode flips here,
-  // mirroring the has_res path of the stepping engines). Traced: the
-  // committed bits are the record's result column.
-  const auto commit = [&](std::uint64_t bits) {
-    flip(bits);
-    slots_[fr->reg_base + ins->result] = bits;
-    if constexpr (Traced) sink->set_result(bits);
-  };
-  // Open the columnar record of the fetched instruction: pc + activation
-  // fixed columns, operand values into the packed pool, caller-provided
-  // Arg locations into the escape list. Runs before the handler, so
-  // operand values are read pre-commit (a = add a, b records the old a).
-  const auto emit_record = [&] {
-    if constexpr (Traced) {
-      sink->begin_record(fr->pc, fr->activation);
-      const auto nrec = std::min<unsigned>(ins->src_count, kMaxTracedOps);
-      for (unsigned i = 0; i < nrec; ++i) {
-        const Src& s = srcs[i];
-        if (s.kind == SrcKind::None) continue;
-        sink->push_op(val(s));
-        if (s.kind == SrcKind::Arg) {
-          sink->push_op_loc(static_cast<std::uint8_t>(i),
-                            arg_locs_[fr->arg_loc_base + s.index]);
-        }
-      }
-    }
-  };
-
-  static_assert(static_cast<int>(Opcode::MpiBarrier) == 48,
-                "opcode set changed: update the hot-loop dispatch table");
-
-#if FT_VM_COMPUTED_GOTO
-  static const void* const kOpTable[] = {
-      &&op_Add, &&op_Sub, &&op_Mul, &&op_SDiv, &&op_SRem,
-      &&op_And, &&op_Or, &&op_Xor, &&op_Shl, &&op_LShr, &&op_AShr,
-      &&op_FAdd, &&op_FSub, &&op_FMul, &&op_FDiv,
-      &&op_FNeg, &&op_FSqrt, &&op_FAbs, &&op_FFloor,
-      &&op_ICmp, &&op_FCmp, &&op_Select,
-      &&op_Trunc, &&op_SExt, &&op_ZExt, &&op_FPTrunc, &&op_FPExt,
-      &&op_FPToSI, &&op_SIToFP, &&op_Bitcast,
-      &&op_Alloca, &&op_Load, &&op_Store, &&op_Gep,
-      &&op_Br, &&op_CondBr, &&op_Ret, &&op_Call,
-      &&op_Rand, &&op_Emit, &&op_EmitTrunc, &&op_RegionEnter, &&op_RegionExit,
-      &&op_MpiRank, &&op_MpiSize, &&op_MpiSend, &&op_MpiRecv,
-      &&op_MpiAllreduce, &&op_MpiBarrier,
-  };
-#define FT_OP(name) op_##name
-#define FT_NEXT()                                            \
-  do {                                                       \
-    if (++retired >= stop_limit) goto limit_reached;         \
-    ins = &code[fr->pc];                                     \
-    srcs = srcs_all + ins->src_begin;                        \
-    emit_record();                                           \
-    goto* kOpTable[static_cast<std::uint8_t>(ins->op)];      \
-  } while (0)
-
-  if (retired >= stop_limit) goto limit_reached;
-  ins = &code[fr->pc];
-  srcs = srcs_all + ins->src_begin;
-  emit_record();
-  goto* kOpTable[static_cast<std::uint8_t>(ins->op)];
-#else
-#define FT_OP(name) case Opcode::name
-#define FT_NEXT()                                            \
-  {                                                          \
-    ++retired;                                               \
-    break;                                                   \
-  }
-
-  for (;;) {
-    if (retired >= stop_limit) goto limit_reached;
-    ins = &code[fr->pc];
-    srcs = srcs_all + ins->src_begin;
-    emit_record();
-    switch (ins->op) {
-#endif
-
-  FT_OP(Add) : {
-    commit(canon_int(val(srcs[0]) + val(srcs[1]), ins->type));
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(Sub) : {
-    commit(canon_int(val(srcs[0]) - val(srcs[1]), ins->type));
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(Mul) : {
-    commit(canon_int(val(srcs[0]) * val(srcs[1]), ins->type));
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(SDiv) : FT_OP(SRem) : {
-    const auto ia = static_cast<std::int64_t>(val(srcs[0]));
-    const auto ib = static_cast<std::int64_t>(val(srcs[1]));
-    if (ib == 0) {
-      set_trap(TrapKind::DivByZero);
-      goto done;
-    }
-    if (ia == std::numeric_limits<std::int64_t>::min() && ib == -1) {
-      set_trap(TrapKind::IntOverflowDiv);
-      goto done;
-    }
-    const std::int64_t r = ins->op == Opcode::SDiv ? ia / ib : ia % ib;
-    commit(canon_int(static_cast<std::uint64_t>(r), ins->type));
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(And) : {
-    commit(canon_int(val(srcs[0]) & val(srcs[1]), ins->type));
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(Or) : {
-    commit(canon_int(val(srcs[0]) | val(srcs[1]), ins->type));
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(Xor) : {
-    commit(canon_int(val(srcs[0]) ^ val(srcs[1]), ins->type));
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(Shl) : FT_OP(LShr) : FT_OP(AShr) : {
-    const unsigned width = bit_width(ins->type);
-    const std::uint64_t x = val(srcs[0]);
-    const std::uint64_t amt = val(srcs[1]);
-    if (amt >= width) {
-      set_trap(TrapKind::BadShift);
-      goto done;
-    }
-    std::uint64_t r;
-    if (ins->op == Opcode::Shl) {
-      r = canon_int(x << amt, ins->type);
-    } else if (ins->op == Opcode::LShr) {
-      r = canon_int(util::truncate_to(x, width) >> amt, ins->type);
-    } else {
-      r = canon_int(static_cast<std::uint64_t>(
-                        static_cast<std::int64_t>(x) >> amt),
-                    ins->type);
-    }
-    commit(r);
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(FAdd) : FT_OP(FSub) : FT_OP(FMul) : FT_OP(FDiv) : {
-    const std::uint64_t xb = val(srcs[0]), yb = val(srcs[1]);
-    std::uint64_t rb;
-    if (ins->type == Type::F32) {
-      const float x = bits_to_f32(xb), y = bits_to_f32(yb);
-      float r = 0;
-      switch (ins->op) {
-        case Opcode::FAdd: r = x + y; break;
-        case Opcode::FSub: r = x - y; break;
-        case Opcode::FMul: r = x * y; break;
-        default: r = x / y; break;
-      }
-      rb = f32_to_bits(r);
-    } else {
-      const double x = bits_to_f64(xb), y = bits_to_f64(yb);
-      double r = 0;
-      switch (ins->op) {
-        case Opcode::FAdd: r = x + y; break;
-        case Opcode::FSub: r = x - y; break;
-        case Opcode::FMul: r = x * y; break;
-        default: r = x / y; break;
-      }
-      rb = f64_to_bits(r);
-    }
-    commit(rb);
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(FNeg) : FT_OP(FSqrt) : FT_OP(FAbs) : FT_OP(FFloor) : {
-    const std::uint64_t xb = val(srcs[0]);
-    std::uint64_t rb;
-    if (ins->type == Type::F32) {
-      const float x = bits_to_f32(xb);
-      float r = 0;
-      switch (ins->op) {
-        case Opcode::FNeg: r = -x; break;
-        case Opcode::FSqrt: r = std::sqrt(x); break;
-        case Opcode::FAbs: r = std::fabs(x); break;
-        default: r = std::floor(x); break;
-      }
-      rb = f32_to_bits(r);
-    } else {
-      const double x = bits_to_f64(xb);
-      double r = 0;
-      switch (ins->op) {
-        case Opcode::FNeg: r = -x; break;
-        case Opcode::FSqrt: r = std::sqrt(x); break;
-        case Opcode::FAbs: r = std::fabs(x); break;
-        default: r = std::floor(x); break;
-      }
-      rb = f64_to_bits(r);
-    }
-    commit(rb);
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(ICmp) : {
-    const auto ia = static_cast<std::int64_t>(val(srcs[0]));
-    const auto ib = static_cast<std::int64_t>(val(srcs[1]));
-    bool r = false;
-    switch (ins->pred) {
-      case CmpPred::Eq: r = ia == ib; break;
-      case CmpPred::Ne: r = ia != ib; break;
-      case CmpPred::Lt: r = ia < ib; break;
-      case CmpPred::Le: r = ia <= ib; break;
-      case CmpPred::Gt: r = ia > ib; break;
-      case CmpPred::Ge: r = ia >= ib; break;
-      case CmpPred::None: break;
-    }
-    commit(r ? 1 : 0);
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(FCmp) : {
-    const double x = srcs[0].type == Type::F32
-                         ? static_cast<double>(bits_to_f32(val(srcs[0])))
-                         : bits_to_f64(val(srcs[0]));
-    const double y = srcs[1].type == Type::F32
-                         ? static_cast<double>(bits_to_f32(val(srcs[1])))
-                         : bits_to_f64(val(srcs[1]));
-    bool r = false;
-    switch (ins->pred) {
-      case CmpPred::Eq: r = x == y; break;
-      case CmpPred::Ne: r = x != y; break;
-      case CmpPred::Lt: r = x < y; break;
-      case CmpPred::Le: r = x <= y; break;
-      case CmpPred::Gt: r = x > y; break;
-      case CmpPred::Ge: r = x >= y; break;
-      case CmpPred::None: break;
-    }
-    commit(r ? 1 : 0);
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(Select) : {
-    commit((val(srcs[0]) & 1) ? val(srcs[1]) : val(srcs[2]));
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(Trunc) : {
-    commit(canon_int(val(srcs[0]), ins->type));
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(SExt) : {
-    commit(val(srcs[0]));  // canonical form is already sign-extended
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(ZExt) : {
-    commit(util::truncate_to(val(srcs[0]), bit_width(srcs[0].type)));
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(FPTrunc) : {
-    commit(f32_to_bits(static_cast<float>(bits_to_f64(val(srcs[0])))));
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(FPExt) : {
-    commit(f64_to_bits(static_cast<double>(bits_to_f32(val(srcs[0])))));
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(FPToSI) : {
-    const double x = srcs[0].type == Type::F32
-                         ? static_cast<double>(bits_to_f32(val(srcs[0])))
-                         : bits_to_f64(val(srcs[0]));
-    if (std::isnan(x) || x < -9.3e18 || x > 9.3e18) {
-      set_trap(TrapKind::FpDomain);
-      goto done;
-    }
-    commit(canon_int(
-        static_cast<std::uint64_t>(static_cast<std::int64_t>(x)), ins->type));
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(SIToFP) : {
-    const auto x =
-        static_cast<double>(static_cast<std::int64_t>(val(srcs[0])));
-    commit(ins->type == Type::F32 ? f32_to_bits(static_cast<float>(x))
-                                  : f64_to_bits(x));
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(Bitcast) : {
-    const std::uint64_t x = val(srcs[0]);
-    std::uint64_t r;
-    if (ins->type == Type::I32) {
-      r = canon_int(x, ins->type);  // keep I32 canonical (sign-extended)
-    } else {
-      r = bit_width(ins->type) == 32 ? util::truncate_to(x, 32) : x;
-    }
-    commit(r);
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(Alloca) : {
-    const auto size = static_cast<std::uint64_t>(ins->aux);
-    const std::uint64_t aligned = (sp_ + 7) & ~std::uint64_t{7};
-    if (aligned + size > mem_.size()) {
-      set_trap(TrapKind::StackOverflow);
-      goto done;
-    }
-    sp_ = aligned + size;
-    commit(aligned);
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(Load) : {
-    const std::uint64_t addr = val(srcs[0]);
-    const auto size = store_size(ins->type);
-    if (!mem_ok(addr, size)) {
-      set_trap(TrapKind::OutOfBounds);
-      goto done;
-    }
-    std::uint64_t bits = 0;
-    std::memcpy(&bits, &mem_[addr], size);
-    const std::uint64_t loaded =
-        is_int(ins->type) ? canon_int(bits, ins->type) : bits;
-    commit(loaded);
-    if constexpr (Traced) {
-      // Rare escape: a result-bit fault on this very load makes the
-      // recorded memory-cell operand (pre-flip) differ from the result.
-      if (slots_[fr->reg_base + ins->result] != loaded) {
-        sink->set_load_value(loaded);
-      }
-    }
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(Store) : {
-    const std::uint64_t addr = val(srcs[1]);
-    const auto size = store_size(srcs[0].type);
-    if (!mem_ok(addr, size)) {
-      set_trap(TrapKind::OutOfBounds);
-      goto done;
-    }
-    std::uint64_t bits = val(srcs[0]);
-    flip(bits);
-    std::memcpy(&mem_[addr], &bits, size);
-    if (track_writes) mark_dirty(addr, size);
-    if constexpr (Traced) sink->set_result(bits);
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(Gep) : {
-    // Unsigned multiply — see the Gep note in the stepping engines.
-    const std::uint64_t base = val(srcs[0]);
-    commit(base + val(srcs[1]) * static_cast<std::uint64_t>(ins->aux));
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(Br) : {
-    fr->pc = ins->target_taken;
-    FT_NEXT();
-  }
-  FT_OP(CondBr) : {
-    fr->pc = (val(srcs[0]) & 1) != 0 ? ins->target_taken : ins->target_fall;
-    FT_NEXT();
-  }
-  FT_OP(Ret) : {
-    const std::uint64_t ret_bits = ins->src_count > 0 ? val(srcs[0]) : 0;
-    if (dframes_.size() == 1) {
-      status_ = Status::Finished;
-      ++retired;
-      goto done;
-    }
-    sp_ = fr->saved_sp;
-    const std::uint32_t dest_reg = fr->ret_reg;
-    slot_top_ = fr->reg_base;
-    arg_loc_top_ = fr->arg_loc_base;
-    dframes_.pop_back();
-    fr = &dframes_.back();
-    if (dest_reg != ir::kNoReg) {
-      std::uint64_t bits = ret_bits;
-      flip(bits);
-      slots_[fr->reg_base + dest_reg] = bits;
-      if constexpr (Traced) {
-        sink->set_result(bits);
-        sink->set_result_loc(reg_loc(fr->activation, dest_reg));
-      }
-    }
-    FT_NEXT();
-  }
-  FT_OP(Call) : {
-    if (dframes_.size() >= opts_.max_call_depth) {
-      set_trap(TrapKind::CallDepth);
-      goto done;
-    }
-    fr->pc++;  // resume point after return
-    push_dframe(*ins, *fr, nullptr);
-    fr = &dframes_.back();
-    FT_NEXT();
-  }
-  FT_OP(Rand) : {
-    commit(f64_to_bits(randlc_.next()));
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(Emit) : {
-    const std::uint64_t bits = val(srcs[0]);
-    outputs_.push_back({bits, srcs[0].type});
-    // The emitted bits are the record's comparable result (no location).
-    if constexpr (Traced) sink->set_result(bits);
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(EmitTrunc) : {
-    const double x = srcs[0].type == Type::F32
-                         ? static_cast<double>(bits_to_f32(val(srcs[0])))
-                         : bits_to_f64(val(srcs[0]));
-    const double r = round_to_digits(x, static_cast<int>(ins->aux));
-    outputs_.push_back({f64_to_bits(r), Type::F64});
-    if constexpr (Traced) sink->set_result(f64_to_bits(r));
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(RegionEnter) : {
-    const auto rid = static_cast<std::uint32_t>(ins->aux);
-    apply_region_entry_fault(rid);
-    region_counts_[rid]++;
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(RegionExit) : {
-    fr->pc++;
-    FT_NEXT();
-  }
-  // MiniMPI: a null endpoint is a single-rank world (helpers at the top of
-  // this file state the exact semantics once for all three engines).
-  FT_OP(MpiRank) : {
-    commit(static_cast<std::uint64_t>(mpi_rank_of(opts_.mpi)));
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(MpiSize) : {
-    commit(static_cast<std::uint64_t>(mpi_size_of(opts_.mpi)));
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(MpiSend) : {
-    mpi_send_on(opts_.mpi, static_cast<std::int64_t>(val(srcs[0])),
-                bits_to_f64(val(srcs[1])));
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(MpiRecv) : {
-    commit(f64_to_bits(
-        mpi_recv_on(opts_.mpi, static_cast<std::int64_t>(val(srcs[0])))));
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(MpiAllreduce) : {
-    commit(f64_to_bits(mpi_allreduce_on(
-        opts_.mpi, bits_to_f64(val(srcs[0])),
-        static_cast<ir::ReduceOp>(ins->aux))));
-    fr->pc++;
-    FT_NEXT();
-  }
-  FT_OP(MpiBarrier) : {
-    mpi_barrier_on(opts_.mpi);
-    fr->pc++;
-    FT_NEXT();
-  }
-
-#if !FT_VM_COMPUTED_GOTO
-    }
-  }
-#endif
-#undef FT_OP
-#undef FT_NEXT
-
-limit_reached:
-  // Reaching run_until()'s pause mark is not a trap: the machine stays
-  // Running and a later run resumes here. Only the hang budget traps.
-  if (retired >= max_instr) set_trap(TrapKind::Hang);
-done:
-  n_retired_ = retired;
-  // A record is opened per *fetched* instruction; an instruction that
-  // trapped mid-execution did not retire, so its partial record rolls back.
-  // Rows are counted relative to the sink (a resumed machine appends its
-  // suffix to whatever the sink already holds).
-  if constexpr (Traced) sink->truncate_to(retired - trace_base);
-}
-
 Vm::Status Vm::step(DynInstr* out) {
   if (prog_) {
     return out ? step_decoded<true>(out) : step_decoded<false>(nullptr);
@@ -1805,20 +192,10 @@ Vm::Status Vm::step(DynInstr* out) {
 // ---------------------------------------------------------------------------
 // Snapshot / resume: the prefix-reuse primitives the snapshot-forked
 // campaign scheduler (fault/campaign.cpp) is built on. Only the decoded
-// engine supports them — campaigns run nowhere else.
+// engine supports them — campaigns run nowhere else. The JIT shares the
+// interpreter's machine-state layout, so a snapshot taken under either
+// engine restores into the other (pinned by tests/jit_test.cpp).
 // ---------------------------------------------------------------------------
-
-void Vm::run_until(std::uint64_t target) {
-  assert(prog_ && "run_until drives the decoded engine only");
-  assert(!opts_.observer && "run_until bypasses the observer path");
-  stop_at_ = target;
-  if (opts_.column_sink) {
-    run_decoded_hot<true>();
-  } else {
-    run_decoded_hot<false>();
-  }
-  stop_at_ = ~std::uint64_t{0};
-}
 
 void Vm::save(Snapshot& out) const {
   assert(prog_ && "snapshots capture decoded-engine state only");
@@ -2021,6 +398,8 @@ RunResult Vm::run() {
     }
   } else if (prog_ && opts_.column_sink) {
     run_decoded_hot<true>();
+  } else if (prog_ && opts_.jit && opcode_counts_.empty()) {
+    run_jit();
   } else if (prog_) {
     run_decoded_hot<false>();
   } else {

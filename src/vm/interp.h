@@ -56,6 +56,11 @@ namespace ft::trace {
 class ColumnTrace;
 }  // namespace ft::trace
 
+namespace ft::jit {
+class JitProgram;
+struct VmAccess;
+}  // namespace ft::jit
+
 namespace ft::vm {
 
 struct OutputValue {
@@ -92,6 +97,21 @@ struct VmOptions {
   /// golden cursor through the union of both machines' dirty pages).
   /// Costs a couple of ALU ops per retired Store.
   bool track_writes = false;
+  /// When set (decoded engine, untraced runs only), run()/run_until()
+  /// execute natively through this pre-compiled form of the program instead
+  /// of the interpreter hot loop — golden-cursor advances, trial tails and
+  /// convergence probes all go native. Must be compiled from the same
+  /// DecodedProgram the Vm executes, and must outlive the Vm. Ignored on
+  /// observer/column-sink runs (those need per-instruction recording) and
+  /// when `count_opcodes` is set. The machine state layout is shared with
+  /// the interpreter, so snapshots, fork_from() and run_until() stop marks
+  /// behave identically; tests/engine_fuzz_test.cpp pins the equivalence.
+  const jit::JitProgram* jit = nullptr;
+  /// Count per-opcode dynamic dispatches in the decoded interpreter
+  /// (Vm::opcode_counts()). Forces the interpreter even when `jit` is set —
+  /// the counters are how the JIT's opcode coverage is ranked by
+  /// retired-instruction share (core/analysis.h reports them per app).
+  bool count_opcodes = false;
 };
 
 struct RunResult {
@@ -224,7 +244,19 @@ class Vm {
     return dframes_.back().pc;
   }
 
+  /// Per-opcode dynamic dispatch counts (indexed by ir::Opcode), collected
+  /// by the decoded interpreter when VmOptions::count_opcodes is set; empty
+  /// otherwise. A fetched-but-trapping instruction is counted (it was
+  /// dispatched), so on a clean run the sum equals instructions_retired().
+  [[nodiscard]] std::span<const std::uint64_t> opcode_counts() const noexcept {
+    return opcode_counts_;
+  }
+
  private:
+  /// The JIT runtime helpers (jit/jit_runtime.cpp) mutate machine state on
+  /// behalf of emitted code — frame push/pop, RNG, outputs, region faults —
+  /// through this single named door instead of N friend functions.
+  friend struct jit::VmAccess;
   // --- legacy engine ---------------------------------------------------------
   struct Frame {
     std::uint32_t func = 0;
@@ -292,6 +324,10 @@ class Vm {
   Status step_decoded(DynInstr* out);
   template <bool Traced>
   void run_decoded_hot();
+  /// Native driver (interp_jit.cpp): alternates compiled-code bursts with
+  /// single-instruction interpreter steps at deopt sites and the armed
+  /// ResultBit flip index. Requires opts_.jit over prog_, untraced.
+  void run_jit();
   [[nodiscard]] bool next_is_region_marker() const;
   [[nodiscard]] bool mem_ok(std::uint64_t addr, std::uint32_t size) const;
   void init_memory(const ir::Module& m);
@@ -318,6 +354,7 @@ class Vm {
   std::uint64_t n_retired_ = 0;
   std::vector<OutputValue> outputs_;
   std::vector<std::uint32_t> region_counts_;
+  std::vector<std::uint64_t> opcode_counts_;  // only with count_opcodes
   util::Randlc randlc_;
   TrapKind trap_ = TrapKind::None;
   Status status_ = Status::Running;

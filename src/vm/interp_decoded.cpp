@@ -1,0 +1,1119 @@
+// Decoded engine: dispatch over the flat pre-resolved instruction stream.
+// Must stay semantically and record-by-record identical to step_legacy —
+// tests/decode_test.cpp pins the equivalence across all ten workloads — and
+// bit-identical to the JIT backend (tests/engine_fuzz_test.cpp pins that).
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "trace/column.h"
+#include "util/bits.h"
+#include "vm/interp.h"
+#include "vm/interp_shared.h"
+
+namespace ft::vm {
+
+using ir::CmpPred;
+using ir::Opcode;
+using ir::Type;
+using util::bits_to_f32;
+using util::bits_to_f64;
+using util::f32_to_bits;
+using util::f64_to_bits;
+
+Vm::OpVal Vm::eval_src(const Src& s, const DFrame& fr) const {
+  switch (s.kind) {
+    case SrcKind::Reg:
+      return {slots_[fr.reg_base + s.index], reg_loc(fr.activation, s.index),
+              s.type};
+    case SrcKind::Arg:
+      return {slots_[fr.arg_base + s.index],
+              arg_locs_[fr.arg_loc_base + s.index], s.type};
+    case SrcKind::Const:
+      return {s.bits, kNoLoc, s.type};
+    case SrcKind::None:
+      break;
+  }
+  return {};
+}
+
+void Vm::push_dframe(const DecodedInstr& call_ins, const DFrame& caller,
+                     DynInstr* out) {
+  const auto func = static_cast<std::uint32_t>(call_ins.aux);
+  const DecodedFunction& callee = prog_->function(func);
+  DFrame fr;
+  fr.func = func;
+  fr.activation = next_activation_++;
+  fr.pc = callee.entry_pc;
+  fr.reg_base = slot_top_;
+  fr.arg_base = slot_top_ + callee.num_regs;
+  fr.arg_loc_base = arg_loc_top_;
+  fr.nargs = call_ins.src_count;
+  fr.saved_sp = sp_;
+  fr.ret_reg = call_ins.result;
+
+  const std::uint32_t new_top = fr.arg_base + fr.nargs;
+  if (slots_.size() < new_top) slots_.resize(new_top);
+  if (arg_locs_.size() < arg_loc_top_ + fr.nargs) {
+    arg_locs_.resize(arg_loc_top_ + fr.nargs);
+  }
+  std::fill(slots_.begin() + fr.reg_base, slots_.begin() + fr.arg_base, 0);
+
+  const Src* const args = prog_->srcs() + call_ins.src_begin;
+  for (std::uint32_t i = 0; i < fr.nargs; ++i) {
+    const OpVal v = eval_src(args[i], caller);
+    slots_[fr.arg_base + i] = v.bits;
+    arg_locs_[fr.arg_loc_base + i] = v.loc;
+    if (out && i < kMaxTracedOps) {
+      out->op_loc[i] = v.loc;
+      out->op_bits[i] = v.bits;
+      out->op_type[i] = v.type;
+    }
+  }
+  slot_top_ = new_top;
+  arg_loc_top_ += fr.nargs;
+  dframes_.push_back(fr);
+}
+
+template <bool Traced>
+Vm::Status Vm::step_decoded(DynInstr* out) {
+  if (status_ != Status::Running) return status_;
+  if (n_retired_ >= opts_.max_instructions) {
+    set_trap(TrapKind::Hang);
+    return status_;
+  }
+
+  DFrame& fr = dframes_.back();
+  const DecodedInstr& ins = prog_->code()[fr.pc];
+  if (!opcode_counts_.empty()) {
+    ++opcode_counts_[static_cast<std::uint8_t>(ins.op)];
+  }
+
+  if constexpr (Traced) {
+    *out = DynInstr{};
+    out->index = n_retired_;
+    out->func = ins.func;
+    out->block = ins.block;
+    out->instr = ins.instr;
+    out->op = ins.op;
+    out->pred = ins.pred;
+    out->type = ins.type;
+    out->line = ins.line;
+    out->aux = ins.aux;
+    out->nops = ins.nops;
+  } else {
+    (void)out;
+  }
+
+  // Operands were pre-resolved at decode time; evaluating one is a slot
+  // read (or nothing, for pre-folded constants). Block operands decode to
+  // SrcKind::None and evaluate to the empty value, matching the legacy
+  // engine's skip.
+  const Src* const srcs = prog_->srcs() + ins.src_begin;
+  OpVal a{}, b{}, c{};
+  const std::size_t nsrc = ins.src_count;
+  if (ins.op != Opcode::Call) {
+    if (nsrc > 0) a = eval_src(srcs[0], fr);
+    if (nsrc > 1) b = eval_src(srcs[1], fr);
+    if (nsrc > 2) c = eval_src(srcs[2], fr);
+    if constexpr (Traced) {
+      const OpVal* vals[3] = {&a, &b, &c};
+      for (std::size_t i = 0; i < std::min<std::size_t>(nsrc, 3); ++i) {
+        out->op_loc[i] = vals[i]->loc;
+        out->op_bits[i] = vals[i]->bits;
+        out->op_type[i] = vals[i]->type;
+      }
+    }
+  }
+
+  std::uint64_t result = 0;
+  bool has_res = ins.result != ir::kNoReg;
+  Location result_location =
+      has_res ? reg_loc(fr.activation, ins.result) : kNoLoc;
+  bool advance_pc = true;
+
+  const Type t = ins.type;
+  const auto ia = static_cast<std::int64_t>(a.bits);
+  const auto ib = static_cast<std::int64_t>(b.bits);
+
+  switch (ins.op) {
+    // --- integer binary -----------------------------------------------------
+    case Opcode::Add:
+      result = canon_int(a.bits + b.bits, t);
+      break;
+    case Opcode::Sub:
+      result = canon_int(a.bits - b.bits, t);
+      break;
+    case Opcode::Mul:
+      result = canon_int(a.bits * b.bits, t);
+      break;
+    case Opcode::SDiv:
+    case Opcode::SRem: {
+      if (ib == 0) {
+        set_trap(TrapKind::DivByZero);
+        return status_;
+      }
+      if (ia == std::numeric_limits<std::int64_t>::min() && ib == -1) {
+        set_trap(TrapKind::IntOverflowDiv);
+        return status_;
+      }
+      const std::int64_t r = ins.op == Opcode::SDiv ? ia / ib : ia % ib;
+      result = canon_int(static_cast<std::uint64_t>(r), t);
+      break;
+    }
+    case Opcode::And:
+      result = canon_int(a.bits & b.bits, t);
+      break;
+    case Opcode::Or:
+      result = canon_int(a.bits | b.bits, t);
+      break;
+    case Opcode::Xor:
+      result = canon_int(a.bits ^ b.bits, t);
+      break;
+    case Opcode::Shl:
+    case Opcode::LShr:
+    case Opcode::AShr: {
+      const unsigned width = bit_width(t);
+      const std::uint64_t amt = b.bits;
+      if (amt >= width) {
+        set_trap(TrapKind::BadShift);
+        return status_;
+      }
+      if (ins.op == Opcode::Shl) {
+        result = canon_int(a.bits << amt, t);
+      } else if (ins.op == Opcode::LShr) {
+        const std::uint64_t ua = util::truncate_to(a.bits, width);
+        result = canon_int(ua >> amt, t);
+      } else {
+        result = canon_int(static_cast<std::uint64_t>(ia >> amt), t);
+      }
+      break;
+    }
+
+    // --- floating binary ----------------------------------------------------
+    case Opcode::FAdd:
+    case Opcode::FSub:
+    case Opcode::FMul:
+    case Opcode::FDiv: {
+      if (t == Type::F32) {
+        const float x = bits_to_f32(a.bits), y = bits_to_f32(b.bits);
+        float r = 0;
+        switch (ins.op) {
+          case Opcode::FAdd: r = x + y; break;
+          case Opcode::FSub: r = x - y; break;
+          case Opcode::FMul: r = x * y; break;
+          default: r = x / y; break;
+        }
+        result = f32_to_bits(r);
+      } else {
+        const double x = bits_to_f64(a.bits), y = bits_to_f64(b.bits);
+        double r = 0;
+        switch (ins.op) {
+          case Opcode::FAdd: r = x + y; break;
+          case Opcode::FSub: r = x - y; break;
+          case Opcode::FMul: r = x * y; break;
+          default: r = x / y; break;
+        }
+        result = f64_to_bits(r);
+      }
+      break;
+    }
+
+    // --- floating unary -----------------------------------------------------
+    case Opcode::FNeg:
+    case Opcode::FSqrt:
+    case Opcode::FAbs:
+    case Opcode::FFloor: {
+      if (t == Type::F32) {
+        const float x = bits_to_f32(a.bits);
+        float r = 0;
+        switch (ins.op) {
+          case Opcode::FNeg: r = -x; break;
+          case Opcode::FSqrt: r = std::sqrt(x); break;
+          case Opcode::FAbs: r = std::fabs(x); break;
+          default: r = std::floor(x); break;
+        }
+        result = f32_to_bits(r);
+      } else {
+        const double x = bits_to_f64(a.bits);
+        double r = 0;
+        switch (ins.op) {
+          case Opcode::FNeg: r = -x; break;
+          case Opcode::FSqrt: r = std::sqrt(x); break;
+          case Opcode::FAbs: r = std::fabs(x); break;
+          default: r = std::floor(x); break;
+        }
+        result = f64_to_bits(r);
+      }
+      break;
+    }
+
+    // --- comparisons --------------------------------------------------------
+    case Opcode::ICmp: {
+      bool r = false;
+      switch (ins.pred) {
+        case CmpPred::Eq: r = ia == ib; break;
+        case CmpPred::Ne: r = ia != ib; break;
+        case CmpPred::Lt: r = ia < ib; break;
+        case CmpPred::Le: r = ia <= ib; break;
+        case CmpPred::Gt: r = ia > ib; break;
+        case CmpPred::Ge: r = ia >= ib; break;
+        case CmpPred::None: break;
+      }
+      result = r ? 1 : 0;
+      break;
+    }
+    case Opcode::FCmp: {
+      const double x = a.type == Type::F32
+                           ? static_cast<double>(bits_to_f32(a.bits))
+                           : bits_to_f64(a.bits);
+      const double y = b.type == Type::F32
+                           ? static_cast<double>(bits_to_f32(b.bits))
+                           : bits_to_f64(b.bits);
+      bool r = false;
+      switch (ins.pred) {
+        case CmpPred::Eq: r = x == y; break;
+        case CmpPred::Ne: r = x != y; break;
+        case CmpPred::Lt: r = x < y; break;
+        case CmpPred::Le: r = x <= y; break;
+        case CmpPred::Gt: r = x > y; break;
+        case CmpPred::Ge: r = x >= y; break;
+        case CmpPred::None: break;
+      }
+      result = r ? 1 : 0;
+      break;
+    }
+    case Opcode::Select:
+      result = (a.bits & 1) ? b.bits : c.bits;
+      break;
+
+    // --- casts ---------------------------------------------------------------
+    case Opcode::Trunc:
+      result = canon_int(a.bits, t);
+      break;
+    case Opcode::SExt:
+      result = a.bits;  // canonical form is already sign-extended
+      break;
+    case Opcode::ZExt:
+      result = util::truncate_to(a.bits, bit_width(a.type));
+      break;
+    case Opcode::FPTrunc:
+      result = f32_to_bits(static_cast<float>(bits_to_f64(a.bits)));
+      break;
+    case Opcode::FPExt:
+      result = f64_to_bits(static_cast<double>(bits_to_f32(a.bits)));
+      break;
+    case Opcode::FPToSI: {
+      const double x = a.type == Type::F32
+                           ? static_cast<double>(bits_to_f32(a.bits))
+                           : bits_to_f64(a.bits);
+      if (std::isnan(x) || x < -9.3e18 || x > 9.3e18) {
+        set_trap(TrapKind::FpDomain);
+        return status_;
+      }
+      result = canon_int(static_cast<std::uint64_t>(
+                             static_cast<std::int64_t>(x)),
+                         t);
+      break;
+    }
+    case Opcode::SIToFP: {
+      const auto x = static_cast<double>(ia);
+      result = t == Type::F32 ? f32_to_bits(static_cast<float>(x))
+                              : f64_to_bits(x);
+      break;
+    }
+    case Opcode::Bitcast:
+      if (t == Type::I32) {
+        result = canon_int(a.bits, t);  // keep I32 canonical (sign-extended)
+      } else {
+        result = bit_width(t) == 32 ? util::truncate_to(a.bits, 32) : a.bits;
+      }
+      break;
+
+    // --- memory ---------------------------------------------------------------
+    case Opcode::Alloca: {
+      const auto size = static_cast<std::uint64_t>(ins.aux);
+      const std::uint64_t aligned = (sp_ + 7) & ~std::uint64_t{7};
+      if (aligned + size > mem_.size()) {
+        set_trap(TrapKind::StackOverflow);
+        return status_;
+      }
+      result = aligned;
+      sp_ = aligned + size;
+      break;
+    }
+    case Opcode::Load: {
+      // Operand order in records: [0] = memory cell, [1] = pointer dep.
+      const std::uint64_t addr = a.bits;
+      const auto size = store_size(t);
+      if (!mem_ok(addr, size)) {
+        set_trap(TrapKind::OutOfBounds);
+        return status_;
+      }
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &mem_[addr], size);
+      result = is_int(t) ? canon_int(bits, t) : bits;
+      if constexpr (Traced) {
+        out->mem_addr = addr;
+        out->mem_size = size;
+        out->nops = 2;
+        out->op_loc[0] = mem_loc(addr);
+        out->op_bits[0] = result;
+        out->op_type[0] = t;
+        out->op_loc[1] = a.loc;  // the pointer value's own location
+        out->op_bits[1] = a.bits;
+        out->op_type[1] = Type::Ptr;
+      }
+      break;
+    }
+    case Opcode::Store: {
+      const std::uint64_t addr = b.bits;
+      const auto size = store_size(a.type);
+      if (!mem_ok(addr, size)) {
+        set_trap(TrapKind::OutOfBounds);
+        return status_;
+      }
+      std::uint64_t bits = a.bits;
+      maybe_flip_result(bits);
+      std::memcpy(&mem_[addr], &bits, size);
+      if (!dirty_.empty()) mark_dirty(addr, size);
+      has_res = false;
+      result_location = mem_loc(addr);
+      result = bits;
+      if constexpr (Traced) {
+        out->mem_addr = addr;
+        out->mem_size = size;
+      }
+      break;
+    }
+    case Opcode::Gep: {
+      // Unsigned multiply: a fault-corrupted index can overflow, and two's
+      // complement wraparound (not signed-overflow UB) is the semantic all
+      // three engine copies share.
+      const std::uint64_t base = a.bits;
+      result = base + b.bits * static_cast<std::uint64_t>(ins.aux);
+      break;
+    }
+
+    // --- control -----------------------------------------------------------------
+    case Opcode::Br:
+      fr.pc = ins.target_taken;
+      advance_pc = false;
+      break;
+    case Opcode::CondBr: {
+      const bool taken = (a.bits & 1) != 0;
+      fr.pc = taken ? ins.target_taken : ins.target_fall;
+      advance_pc = false;
+      if constexpr (Traced) out->branch_taken = taken;
+      break;
+    }
+    case Opcode::Ret: {
+      const bool has_val = nsrc > 0;
+      const std::uint64_t ret_bits = has_val ? a.bits : 0;
+      if (dframes_.size() == 1) {
+        status_ = Status::Finished;
+        advance_pc = false;
+      } else {
+        sp_ = fr.saved_sp;
+        const std::uint32_t dest_reg = fr.ret_reg;
+        slot_top_ = fr.reg_base;
+        arg_loc_top_ = fr.arg_loc_base;
+        dframes_.pop_back();
+        DFrame& caller = dframes_.back();
+        if (dest_reg != ir::kNoReg) {
+          std::uint64_t bits = ret_bits;
+          maybe_flip_result(bits);
+          slots_[caller.reg_base + dest_reg] = bits;
+          result_location = reg_loc(caller.activation, dest_reg);
+          result = bits;
+          if constexpr (Traced) {
+            out->result_loc = result_location;
+            out->result_bits = bits;
+          }
+        }
+        advance_pc = false;  // caller pc was advanced at call time
+      }
+      has_res = false;
+      break;
+    }
+    case Opcode::Call: {
+      if (dframes_.size() >= opts_.max_call_depth) {
+        set_trap(TrapKind::CallDepth);
+        return status_;
+      }
+      fr.pc++;  // resume point after return
+      advance_pc = false;
+      // NB: push_dframe may reallocate dframes_, invalidating `fr`; it
+      // copies what it needs from the caller frame before pushing.
+      push_dframe(ins, fr, Traced ? out : nullptr);
+      has_res = false;  // result is committed by Ret
+      break;
+    }
+
+    // --- intrinsics -----------------------------------------------------------------
+    case Opcode::Rand:
+      result = f64_to_bits(randlc_.next());
+      break;
+    case Opcode::Emit: {
+      outputs_.push_back({a.bits, a.type});
+      // Expose the emitted bits for differential comparison (no location).
+      if constexpr (Traced) out->result_bits = a.bits;
+      break;
+    }
+    case Opcode::EmitTrunc: {
+      const double x = a.type == Type::F32
+                           ? static_cast<double>(bits_to_f32(a.bits))
+                           : bits_to_f64(a.bits);
+      const double r = detail::round_to_digits(x, static_cast<int>(ins.aux));
+      outputs_.push_back({f64_to_bits(r), Type::F64});
+      // The *rounded* value is what the user sees; comparing it is what
+      // makes Pattern 5 (data truncation) observable in the diff.
+      if constexpr (Traced) out->result_bits = f64_to_bits(r);
+      break;
+    }
+    case Opcode::RegionEnter: {
+      const auto rid = static_cast<std::uint32_t>(ins.aux);
+      apply_region_entry_fault(rid);
+      region_counts_[rid]++;
+      break;
+    }
+    case Opcode::RegionExit:
+      break;
+
+    // --- MiniMPI (null endpoint = single-rank world; see interp_shared.h) -----
+    case Opcode::MpiRank:
+      result = static_cast<std::uint64_t>(detail::mpi_rank_of(opts_.mpi));
+      break;
+    case Opcode::MpiSize:
+      result = static_cast<std::uint64_t>(detail::mpi_size_of(opts_.mpi));
+      break;
+    case Opcode::MpiSend:
+      detail::mpi_send_on(opts_.mpi, static_cast<std::int64_t>(a.bits),
+                          bits_to_f64(b.bits));
+      break;
+    case Opcode::MpiRecv:
+      result = f64_to_bits(
+          detail::mpi_recv_on(opts_.mpi, static_cast<std::int64_t>(a.bits)));
+      break;
+    case Opcode::MpiAllreduce:
+      result = f64_to_bits(detail::mpi_allreduce_on(
+          opts_.mpi, bits_to_f64(a.bits),
+          static_cast<ir::ReduceOp>(ins.aux)));
+      break;
+    case Opcode::MpiBarrier:
+      detail::mpi_barrier_on(opts_.mpi);
+      break;
+  }
+
+  if (has_res) {
+    maybe_flip_result(result);
+    // `fr` may dangle only after Call/Ret, which set has_res = false.
+    slots_[fr.reg_base + ins.result] = result;
+  }
+
+  if constexpr (Traced) {
+    if (has_res || ins.op == Opcode::Store) {
+      out->result_loc = result_location;
+      out->result_bits = result;
+    }
+  } else {
+    (void)result_location;
+  }
+
+  if (advance_pc) fr.pc++;
+  n_retired_++;
+  return status_;
+}
+
+template Vm::Status Vm::step_decoded<true>(DynInstr* out);
+template Vm::Status Vm::step_decoded<false>(DynInstr* out);
+
+// ---------------------------------------------------------------------------
+// Decoded hot loop: the run-to-completion path every campaign trial and —
+// since the columnar-trace refactor — every full traced run takes. Machine
+// state (retired count, current frame, code/operand base pointers) lives in
+// locals; dispatch is computed goto where the toolchain supports
+// labels-as-values (each opcode body ends in its own indirect jump, so the
+// branch predictor learns per-opcode successor patterns), with a
+// dense-opcode switch fallback elsewhere.
+//
+// Two instantiations:
+//   * Traced == false — the no-observer campaign path (nothing recorded);
+//   * Traced == true  — direct emission into VmOptions::column_sink: each
+//     fetched instruction opens a columnar record (pc, activation, packed
+//     operand bits), results land via set_result at commit time, and a
+//     record whose instruction traps mid-flight is rolled back at `done`.
+//     No DynInstr is materialized and no virtual observer dispatch runs.
+//
+// Semantics must stay identical to step_decoded — tests/decode_test.cpp
+// pins the untraced equivalence against the legacy engine for all ten
+// workloads, and tests/column_trace_test.cpp pins the emitted columnar
+// records against the observer-collected DynInstr stream.
+// ---------------------------------------------------------------------------
+
+#if !defined(FT_VM_NO_COMPUTED_GOTO) && (defined(__GNUC__) || defined(__clang__))
+#define FT_VM_COMPUTED_GOTO 1
+#else
+#define FT_VM_COMPUTED_GOTO 0
+#endif
+
+template <bool Traced>
+void Vm::run_decoded_hot() {
+  if (status_ != Status::Running) return;
+
+  const DecodedInstr* const code = prog_->code();
+  const Src* const srcs_all = prog_->srcs();
+  const std::uint64_t max_instr = opts_.max_instructions;
+  // One compare serves both the hang budget and run_until()'s pause mark;
+  // which of the two was hit is decided once, at `limit_reached`.
+  const std::uint64_t stop_limit = std::min(max_instr, stop_at_);
+  const bool fault_rb = opts_.fault.kind == FaultPlan::Kind::ResultBit;
+  const bool track_writes = !dirty_.empty();
+  // Dispatch counters (VmOptions::count_opcodes): one increment per fetch,
+  // kept out of the common path by the null check.
+  std::uint64_t* const opcount =
+      opcode_counts_.empty() ? nullptr : opcode_counts_.data();
+  std::uint64_t retired = n_retired_;
+  DFrame* fr = &dframes_.back();
+  const DecodedInstr* ins = nullptr;
+  const Src* srcs = nullptr;
+  trace::ColumnTrace* const sink = opts_.column_sink;
+  (void)sink;  // only the Traced instantiation reads it
+  // Retired count of the sink's row 0: zero on a fresh run, the resume
+  // point when a run_until()-paused traced machine continues.
+  std::uint64_t trace_base = 0;
+  if constexpr (Traced) trace_base = retired - sink->size();
+  (void)trace_base;
+
+  // Operand value (bits only — locations are derived or escaped at emit
+  // time). Const and None read the pre-computed bits; None carries 0,
+  // matching the legacy engine's empty evaluation of absent operands.
+  const auto val = [&](const Src& s) -> std::uint64_t {
+    switch (s.kind) {
+      case SrcKind::Reg: return slots_[fr->reg_base + s.index];
+      case SrcKind::Arg: return slots_[fr->arg_base + s.index];
+      default: return s.bits;
+    }
+  };
+  // Fault application at commit time; `retired` is this instruction's
+  // dynamic index (pre-increment), exactly as maybe_flip_result sees it.
+  const auto flip = [&](std::uint64_t& bits) {
+    if (fault_rb && !fault_fired_ && retired == opts_.fault.dyn_index) {
+      bits = util::flip_bit(bits, opts_.fault.bit);
+      fault_fired_ = true;
+    }
+  };
+  // Commit a register-defining result (every defining opcode flips here,
+  // mirroring the has_res path of the stepping engines). Traced: the
+  // committed bits are the record's result column.
+  const auto commit = [&](std::uint64_t bits) {
+    flip(bits);
+    slots_[fr->reg_base + ins->result] = bits;
+    if constexpr (Traced) sink->set_result(bits);
+  };
+  // Open the columnar record of the fetched instruction: pc + activation
+  // fixed columns, operand values into the packed pool, caller-provided
+  // Arg locations into the escape list. Runs before the handler, so
+  // operand values are read pre-commit (a = add a, b records the old a).
+  const auto emit_record = [&] {
+    if constexpr (Traced) {
+      sink->begin_record(fr->pc, fr->activation);
+      const auto nrec = std::min<unsigned>(ins->src_count, kMaxTracedOps);
+      for (unsigned i = 0; i < nrec; ++i) {
+        const Src& s = srcs[i];
+        if (s.kind == SrcKind::None) continue;
+        sink->push_op(val(s));
+        if (s.kind == SrcKind::Arg) {
+          sink->push_op_loc(static_cast<std::uint8_t>(i),
+                            arg_locs_[fr->arg_loc_base + s.index]);
+        }
+      }
+    }
+  };
+
+  static_assert(static_cast<int>(Opcode::MpiBarrier) == 48,
+                "opcode set changed: update the hot-loop dispatch table");
+
+#if FT_VM_COMPUTED_GOTO
+  static const void* const kOpTable[] = {
+      &&op_Add, &&op_Sub, &&op_Mul, &&op_SDiv, &&op_SRem,
+      &&op_And, &&op_Or, &&op_Xor, &&op_Shl, &&op_LShr, &&op_AShr,
+      &&op_FAdd, &&op_FSub, &&op_FMul, &&op_FDiv,
+      &&op_FNeg, &&op_FSqrt, &&op_FAbs, &&op_FFloor,
+      &&op_ICmp, &&op_FCmp, &&op_Select,
+      &&op_Trunc, &&op_SExt, &&op_ZExt, &&op_FPTrunc, &&op_FPExt,
+      &&op_FPToSI, &&op_SIToFP, &&op_Bitcast,
+      &&op_Alloca, &&op_Load, &&op_Store, &&op_Gep,
+      &&op_Br, &&op_CondBr, &&op_Ret, &&op_Call,
+      &&op_Rand, &&op_Emit, &&op_EmitTrunc, &&op_RegionEnter, &&op_RegionExit,
+      &&op_MpiRank, &&op_MpiSize, &&op_MpiSend, &&op_MpiRecv,
+      &&op_MpiAllreduce, &&op_MpiBarrier,
+  };
+#define FT_OP(name) op_##name
+#define FT_NEXT()                                            \
+  do {                                                       \
+    if (++retired >= stop_limit) goto limit_reached;         \
+    ins = &code[fr->pc];                                     \
+    srcs = srcs_all + ins->src_begin;                        \
+    if (opcount) ++opcount[static_cast<std::uint8_t>(ins->op)]; \
+    emit_record();                                           \
+    goto* kOpTable[static_cast<std::uint8_t>(ins->op)];      \
+  } while (0)
+
+  if (retired >= stop_limit) goto limit_reached;
+  ins = &code[fr->pc];
+  srcs = srcs_all + ins->src_begin;
+  if (opcount) ++opcount[static_cast<std::uint8_t>(ins->op)];
+  emit_record();
+  goto* kOpTable[static_cast<std::uint8_t>(ins->op)];
+#else
+#define FT_OP(name) case Opcode::name
+#define FT_NEXT()                                            \
+  {                                                          \
+    ++retired;                                               \
+    break;                                                   \
+  }
+
+  for (;;) {
+    if (retired >= stop_limit) goto limit_reached;
+    ins = &code[fr->pc];
+    srcs = srcs_all + ins->src_begin;
+    if (opcount) ++opcount[static_cast<std::uint8_t>(ins->op)];
+    emit_record();
+    switch (ins->op) {
+#endif
+
+  FT_OP(Add) : {
+    commit(canon_int(val(srcs[0]) + val(srcs[1]), ins->type));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(Sub) : {
+    commit(canon_int(val(srcs[0]) - val(srcs[1]), ins->type));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(Mul) : {
+    commit(canon_int(val(srcs[0]) * val(srcs[1]), ins->type));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(SDiv) : FT_OP(SRem) : {
+    const auto ia = static_cast<std::int64_t>(val(srcs[0]));
+    const auto ib = static_cast<std::int64_t>(val(srcs[1]));
+    if (ib == 0) {
+      set_trap(TrapKind::DivByZero);
+      goto done;
+    }
+    if (ia == std::numeric_limits<std::int64_t>::min() && ib == -1) {
+      set_trap(TrapKind::IntOverflowDiv);
+      goto done;
+    }
+    const std::int64_t r = ins->op == Opcode::SDiv ? ia / ib : ia % ib;
+    commit(canon_int(static_cast<std::uint64_t>(r), ins->type));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(And) : {
+    commit(canon_int(val(srcs[0]) & val(srcs[1]), ins->type));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(Or) : {
+    commit(canon_int(val(srcs[0]) | val(srcs[1]), ins->type));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(Xor) : {
+    commit(canon_int(val(srcs[0]) ^ val(srcs[1]), ins->type));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(Shl) : FT_OP(LShr) : FT_OP(AShr) : {
+    const unsigned width = bit_width(ins->type);
+    const std::uint64_t x = val(srcs[0]);
+    const std::uint64_t amt = val(srcs[1]);
+    if (amt >= width) {
+      set_trap(TrapKind::BadShift);
+      goto done;
+    }
+    std::uint64_t r;
+    if (ins->op == Opcode::Shl) {
+      r = canon_int(x << amt, ins->type);
+    } else if (ins->op == Opcode::LShr) {
+      r = canon_int(util::truncate_to(x, width) >> amt, ins->type);
+    } else {
+      r = canon_int(static_cast<std::uint64_t>(
+                        static_cast<std::int64_t>(x) >> amt),
+                    ins->type);
+    }
+    commit(r);
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(FAdd) : FT_OP(FSub) : FT_OP(FMul) : FT_OP(FDiv) : {
+    const std::uint64_t xb = val(srcs[0]), yb = val(srcs[1]);
+    std::uint64_t rb;
+    if (ins->type == Type::F32) {
+      const float x = bits_to_f32(xb), y = bits_to_f32(yb);
+      float r = 0;
+      switch (ins->op) {
+        case Opcode::FAdd: r = x + y; break;
+        case Opcode::FSub: r = x - y; break;
+        case Opcode::FMul: r = x * y; break;
+        default: r = x / y; break;
+      }
+      rb = f32_to_bits(r);
+    } else {
+      const double x = bits_to_f64(xb), y = bits_to_f64(yb);
+      double r = 0;
+      switch (ins->op) {
+        case Opcode::FAdd: r = x + y; break;
+        case Opcode::FSub: r = x - y; break;
+        case Opcode::FMul: r = x * y; break;
+        default: r = x / y; break;
+      }
+      rb = f64_to_bits(r);
+    }
+    commit(rb);
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(FNeg) : FT_OP(FSqrt) : FT_OP(FAbs) : FT_OP(FFloor) : {
+    const std::uint64_t xb = val(srcs[0]);
+    std::uint64_t rb;
+    if (ins->type == Type::F32) {
+      const float x = bits_to_f32(xb);
+      float r = 0;
+      switch (ins->op) {
+        case Opcode::FNeg: r = -x; break;
+        case Opcode::FSqrt: r = std::sqrt(x); break;
+        case Opcode::FAbs: r = std::fabs(x); break;
+        default: r = std::floor(x); break;
+      }
+      rb = f32_to_bits(r);
+    } else {
+      const double x = bits_to_f64(xb);
+      double r = 0;
+      switch (ins->op) {
+        case Opcode::FNeg: r = -x; break;
+        case Opcode::FSqrt: r = std::sqrt(x); break;
+        case Opcode::FAbs: r = std::fabs(x); break;
+        default: r = std::floor(x); break;
+      }
+      rb = f64_to_bits(r);
+    }
+    commit(rb);
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(ICmp) : {
+    const auto ia = static_cast<std::int64_t>(val(srcs[0]));
+    const auto ib = static_cast<std::int64_t>(val(srcs[1]));
+    bool r = false;
+    switch (ins->pred) {
+      case CmpPred::Eq: r = ia == ib; break;
+      case CmpPred::Ne: r = ia != ib; break;
+      case CmpPred::Lt: r = ia < ib; break;
+      case CmpPred::Le: r = ia <= ib; break;
+      case CmpPred::Gt: r = ia > ib; break;
+      case CmpPred::Ge: r = ia >= ib; break;
+      case CmpPred::None: break;
+    }
+    commit(r ? 1 : 0);
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(FCmp) : {
+    const double x = srcs[0].type == Type::F32
+                         ? static_cast<double>(bits_to_f32(val(srcs[0])))
+                         : bits_to_f64(val(srcs[0]));
+    const double y = srcs[1].type == Type::F32
+                         ? static_cast<double>(bits_to_f32(val(srcs[1])))
+                         : bits_to_f64(val(srcs[1]));
+    bool r = false;
+    switch (ins->pred) {
+      case CmpPred::Eq: r = x == y; break;
+      case CmpPred::Ne: r = x != y; break;
+      case CmpPred::Lt: r = x < y; break;
+      case CmpPred::Le: r = x <= y; break;
+      case CmpPred::Gt: r = x > y; break;
+      case CmpPred::Ge: r = x >= y; break;
+      case CmpPred::None: break;
+    }
+    commit(r ? 1 : 0);
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(Select) : {
+    commit((val(srcs[0]) & 1) ? val(srcs[1]) : val(srcs[2]));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(Trunc) : {
+    commit(canon_int(val(srcs[0]), ins->type));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(SExt) : {
+    commit(val(srcs[0]));  // canonical form is already sign-extended
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(ZExt) : {
+    commit(util::truncate_to(val(srcs[0]), bit_width(srcs[0].type)));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(FPTrunc) : {
+    commit(f32_to_bits(static_cast<float>(bits_to_f64(val(srcs[0])))));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(FPExt) : {
+    commit(f64_to_bits(static_cast<double>(bits_to_f32(val(srcs[0])))));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(FPToSI) : {
+    const double x = srcs[0].type == Type::F32
+                         ? static_cast<double>(bits_to_f32(val(srcs[0])))
+                         : bits_to_f64(val(srcs[0]));
+    if (std::isnan(x) || x < -9.3e18 || x > 9.3e18) {
+      set_trap(TrapKind::FpDomain);
+      goto done;
+    }
+    commit(canon_int(
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(x)), ins->type));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(SIToFP) : {
+    const auto x =
+        static_cast<double>(static_cast<std::int64_t>(val(srcs[0])));
+    commit(ins->type == Type::F32 ? f32_to_bits(static_cast<float>(x))
+                                  : f64_to_bits(x));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(Bitcast) : {
+    const std::uint64_t x = val(srcs[0]);
+    std::uint64_t r;
+    if (ins->type == Type::I32) {
+      r = canon_int(x, ins->type);  // keep I32 canonical (sign-extended)
+    } else {
+      r = bit_width(ins->type) == 32 ? util::truncate_to(x, 32) : x;
+    }
+    commit(r);
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(Alloca) : {
+    const auto size = static_cast<std::uint64_t>(ins->aux);
+    const std::uint64_t aligned = (sp_ + 7) & ~std::uint64_t{7};
+    if (aligned + size > mem_.size()) {
+      set_trap(TrapKind::StackOverflow);
+      goto done;
+    }
+    sp_ = aligned + size;
+    commit(aligned);
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(Load) : {
+    const std::uint64_t addr = val(srcs[0]);
+    const auto size = store_size(ins->type);
+    if (!mem_ok(addr, size)) {
+      set_trap(TrapKind::OutOfBounds);
+      goto done;
+    }
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &mem_[addr], size);
+    const std::uint64_t loaded =
+        is_int(ins->type) ? canon_int(bits, ins->type) : bits;
+    commit(loaded);
+    if constexpr (Traced) {
+      // Rare escape: a result-bit fault on this very load makes the
+      // recorded memory-cell operand (pre-flip) differ from the result.
+      if (slots_[fr->reg_base + ins->result] != loaded) {
+        sink->set_load_value(loaded);
+      }
+    }
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(Store) : {
+    const std::uint64_t addr = val(srcs[1]);
+    const auto size = store_size(srcs[0].type);
+    if (!mem_ok(addr, size)) {
+      set_trap(TrapKind::OutOfBounds);
+      goto done;
+    }
+    std::uint64_t bits = val(srcs[0]);
+    flip(bits);
+    std::memcpy(&mem_[addr], &bits, size);
+    if (track_writes) mark_dirty(addr, size);
+    if constexpr (Traced) sink->set_result(bits);
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(Gep) : {
+    // Unsigned multiply — see the Gep note in the stepping engines.
+    const std::uint64_t base = val(srcs[0]);
+    commit(base + val(srcs[1]) * static_cast<std::uint64_t>(ins->aux));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(Br) : {
+    fr->pc = ins->target_taken;
+    FT_NEXT();
+  }
+  FT_OP(CondBr) : {
+    fr->pc = (val(srcs[0]) & 1) != 0 ? ins->target_taken : ins->target_fall;
+    FT_NEXT();
+  }
+  FT_OP(Ret) : {
+    const std::uint64_t ret_bits = ins->src_count > 0 ? val(srcs[0]) : 0;
+    if (dframes_.size() == 1) {
+      status_ = Status::Finished;
+      ++retired;
+      goto done;
+    }
+    sp_ = fr->saved_sp;
+    const std::uint32_t dest_reg = fr->ret_reg;
+    slot_top_ = fr->reg_base;
+    arg_loc_top_ = fr->arg_loc_base;
+    dframes_.pop_back();
+    fr = &dframes_.back();
+    if (dest_reg != ir::kNoReg) {
+      std::uint64_t bits = ret_bits;
+      flip(bits);
+      slots_[fr->reg_base + dest_reg] = bits;
+      if constexpr (Traced) {
+        sink->set_result(bits);
+        sink->set_result_loc(reg_loc(fr->activation, dest_reg));
+      }
+    }
+    FT_NEXT();
+  }
+  FT_OP(Call) : {
+    if (dframes_.size() >= opts_.max_call_depth) {
+      set_trap(TrapKind::CallDepth);
+      goto done;
+    }
+    fr->pc++;  // resume point after return
+    push_dframe(*ins, *fr, nullptr);
+    fr = &dframes_.back();
+    FT_NEXT();
+  }
+  FT_OP(Rand) : {
+    commit(f64_to_bits(randlc_.next()));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(Emit) : {
+    const std::uint64_t bits = val(srcs[0]);
+    outputs_.push_back({bits, srcs[0].type});
+    // The emitted bits are the record's comparable result (no location).
+    if constexpr (Traced) sink->set_result(bits);
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(EmitTrunc) : {
+    const double x = srcs[0].type == Type::F32
+                         ? static_cast<double>(bits_to_f32(val(srcs[0])))
+                         : bits_to_f64(val(srcs[0]));
+    const double r = detail::round_to_digits(x, static_cast<int>(ins->aux));
+    outputs_.push_back({f64_to_bits(r), Type::F64});
+    if constexpr (Traced) sink->set_result(f64_to_bits(r));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(RegionEnter) : {
+    const auto rid = static_cast<std::uint32_t>(ins->aux);
+    apply_region_entry_fault(rid);
+    region_counts_[rid]++;
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(RegionExit) : {
+    fr->pc++;
+    FT_NEXT();
+  }
+  // MiniMPI: a null endpoint is a single-rank world (interp_shared.h states
+  // the exact semantics once for all engines).
+  FT_OP(MpiRank) : {
+    commit(static_cast<std::uint64_t>(detail::mpi_rank_of(opts_.mpi)));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(MpiSize) : {
+    commit(static_cast<std::uint64_t>(detail::mpi_size_of(opts_.mpi)));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(MpiSend) : {
+    detail::mpi_send_on(opts_.mpi, static_cast<std::int64_t>(val(srcs[0])),
+                        bits_to_f64(val(srcs[1])));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(MpiRecv) : {
+    commit(f64_to_bits(detail::mpi_recv_on(
+        opts_.mpi, static_cast<std::int64_t>(val(srcs[0])))));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(MpiAllreduce) : {
+    commit(f64_to_bits(detail::mpi_allreduce_on(
+        opts_.mpi, bits_to_f64(val(srcs[0])),
+        static_cast<ir::ReduceOp>(ins->aux))));
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(MpiBarrier) : {
+    detail::mpi_barrier_on(opts_.mpi);
+    fr->pc++;
+    FT_NEXT();
+  }
+
+#if !FT_VM_COMPUTED_GOTO
+    }
+  }
+#endif
+#undef FT_OP
+#undef FT_NEXT
+
+limit_reached:
+  // Reaching run_until()'s pause mark is not a trap: the machine stays
+  // Running and a later run resumes here. Only the hang budget traps.
+  if (retired >= max_instr) set_trap(TrapKind::Hang);
+done:
+  n_retired_ = retired;
+  // A record is opened per *fetched* instruction; an instruction that
+  // trapped mid-execution did not retire, so its partial record rolls back.
+  // Rows are counted relative to the sink (a resumed machine appends its
+  // suffix to whatever the sink already holds).
+  if constexpr (Traced) sink->truncate_to(retired - trace_base);
+}
+
+template void Vm::run_decoded_hot<true>();
+template void Vm::run_decoded_hot<false>();
+
+void Vm::run_until(std::uint64_t target) {
+  assert(prog_ && "run_until drives the decoded engine only");
+  assert(!opts_.observer && "run_until bypasses the observer path");
+  stop_at_ = target;
+  if (opts_.column_sink) {
+    run_decoded_hot<true>();
+  } else if (opts_.jit && opcode_counts_.empty()) {
+    run_jit();
+  } else {
+    run_decoded_hot<false>();
+  }
+  stop_at_ = ~std::uint64_t{0};
+}
+
+}  // namespace ft::vm

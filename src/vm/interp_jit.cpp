@@ -1,0 +1,98 @@
+// Native driver: alternates compiled-code bursts with single-instruction
+// interpreter steps. The burst boundary invariants that keep the JIT
+// bit-identical to the interpreter:
+//
+//   * Native code never applies ResultBit flips. An armed, unfired plan
+//     clamps the burst's stop limit to the flip's dynamic index, so native
+//     execution pauses exactly there and the flip instruction itself is
+//     interpreted (one step through run_decoded_hot, whose commit path
+//     applies the flip bit-exactly). RegionInputMemoryBit faults fire
+//     inside the RegionEnter helper and need no boundary at all.
+//   * Instructions without a template exit with ExitReason::Deopt; the
+//     driver interprets that one instruction and re-enters native code.
+//   * The guard at every entry point pauses when retired >= stop_limit, so
+//     run_until() marks and the hang budget behave exactly as the hot
+//     loop's loop-top check: pausing at the budget classifies as Hang only
+//     when the budget itself was reached, and a trapping instruction never
+//     retires.
+#include <algorithm>
+#include <cassert>
+
+#include "jit/jit_program.h"
+#include "jit/jit_runtime.h"
+#include "vm/interp.h"
+
+namespace ft::vm {
+
+void Vm::run_jit() {
+  const jit::JitProgram* const jp = opts_.jit;
+  assert(prog_ && jp && &jp->program() == prog_ &&
+         "run_jit requires a JitProgram compiled from the Vm's program");
+  assert(!opts_.observer && !opts_.column_sink &&
+         "the JIT path is untraced-only");
+
+  const bool fault_rb = opts_.fault.kind == FaultPlan::Kind::ResultBit;
+  // One interpreter step: the hot loop with the pause mark right after the
+  // next instruction. Inherits flip/trap/Finished/Hang semantics wholesale.
+  const auto interp_step = [&] {
+    const std::uint64_t saved = stop_at_;
+    stop_at_ = n_retired_ + 1;
+    run_decoded_hot<false>();
+    stop_at_ = saved;
+  };
+
+  for (;;) {
+    if (status_ != Status::Running) return;
+    const std::uint64_t stop = std::min(opts_.max_instructions, stop_at_);
+    if (n_retired_ >= stop) {
+      if (n_retired_ >= opts_.max_instructions) set_trap(TrapKind::Hang);
+      return;
+    }
+
+    std::uint64_t native_stop = stop;
+    if (fault_rb && !fault_fired_ && opts_.fault.dyn_index >= n_retired_) {
+      if (opts_.fault.dyn_index == n_retired_) {
+        interp_step();  // the flip commits through the interpreter
+        continue;
+      }
+      native_stop = std::min(native_stop, opts_.fault.dyn_index);
+    }
+
+    jit::JitContext ctx;
+    ctx.slots = slots_.data();
+    ctx.mem = mem_.data();
+    ctx.mem_size = mem_.size();
+    ctx.stop_limit = native_stop;
+    ctx.retired = n_retired_;
+    ctx.frame_base = slots_.data() + dframes_.back().reg_base;
+    ctx.entry_pc = dframes_.back().pc;
+    ctx.exit_pc = 0;
+    ctx.exit_reason = 0;
+    ctx.exit_trap = 0;
+    ctx.track_writes = dirty_.empty() ? 0 : 1;
+    ctx.dirty = dirty_.empty() ? nullptr : dirty_.data();
+    ctx.entries = jp->entries();
+    ctx.vm = this;
+    ctx.prog = prog_;
+
+    jp->entry()(&ctx);
+
+    n_retired_ = ctx.retired;
+    dframes_.back().pc = ctx.exit_pc;
+    switch (static_cast<jit::ExitReason>(ctx.exit_reason)) {
+      case jit::ExitReason::Limit:
+        break;  // loop top re-checks pause mark / flip index / hang budget
+      case jit::ExitReason::Trap:
+        set_trap(static_cast<TrapKind>(ctx.exit_trap));
+        return;
+      case jit::ExitReason::Finished:
+        status_ = Status::Finished;
+        return;
+      case jit::ExitReason::Deopt:
+        interp_step();
+        break;
+    }
+  }
+}
+
+}  // namespace ft::vm

@@ -1,0 +1,519 @@
+// Legacy engine: walks the ir::Instruction representation directly. The
+// reference implementation and the decoded engine's A/B baseline.
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "util/bits.h"
+#include "vm/interp.h"
+#include "vm/interp_shared.h"
+
+namespace ft::vm {
+
+using ir::CmpPred;
+using ir::Opcode;
+using ir::Operand;
+using ir::OperandKind;
+using ir::Type;
+using util::bits_to_f32;
+using util::bits_to_f64;
+using util::f32_to_bits;
+using util::f64_to_bits;
+
+Vm::OpVal Vm::eval(const Operand& o, const Frame& fr) const {
+  switch (o.kind) {
+    case OperandKind::Reg:
+      return {fr.regs[o.id], reg_loc(fr.activation, o.id), o.type};
+    case OperandKind::ImmI:
+      return {canon_int(static_cast<std::uint64_t>(o.imm_i), o.type), kNoLoc,
+              o.type};
+    case OperandKind::ImmF:
+      return {o.type == Type::F32
+                  ? f32_to_bits(static_cast<float>(o.imm_f))
+                  : f64_to_bits(o.imm_f),
+              kNoLoc, o.type};
+    case OperandKind::Arg:
+      return {fr.arg_bits[o.id], fr.arg_locs[o.id], o.type};
+    case OperandKind::Global:
+      return {mod_->global(o.id).addr, kNoLoc, Type::Ptr};
+    case OperandKind::Block:
+    case OperandKind::None:
+      break;
+  }
+  return {};
+}
+
+void Vm::push_frame(std::uint32_t func, const ir::Instruction& call_ins,
+                    Frame& caller, DynInstr* out) {
+  const auto& callee = mod_->function(func);
+  Frame fr;
+  fr.func = func;
+  fr.activation = next_activation_++;
+  fr.regs.assign(callee.num_regs, 0);
+  fr.arg_bits.reserve(call_ins.ops.size());
+  fr.arg_locs.reserve(call_ins.ops.size());
+  for (std::size_t i = 0; i < call_ins.ops.size(); ++i) {
+    const OpVal v = eval(call_ins.ops[i], caller);
+    fr.arg_bits.push_back(v.bits);
+    fr.arg_locs.push_back(v.loc);
+    if (out && i < kMaxTracedOps) {
+      out->op_loc[i] = v.loc;
+      out->op_bits[i] = v.bits;
+      out->op_type[i] = v.type;
+    }
+  }
+  fr.saved_sp = sp_;
+  fr.ret_reg = call_ins.result;
+  frames_.push_back(std::move(fr));
+}
+
+Vm::Status Vm::step_legacy(DynInstr* out) {
+  if (status_ != Status::Running) return status_;
+  if (n_retired_ >= opts_.max_instructions) {
+    set_trap(TrapKind::Hang);
+    return status_;
+  }
+
+  Frame& fr = frames_.back();
+  const auto& fn = mod_->function(fr.func);
+  const auto& ins = fn.blocks[fr.block].instrs[fr.pc];
+
+  if (out) {
+    *out = DynInstr{};
+    out->index = n_retired_;
+    out->func = fr.func;
+    out->block = fr.block;
+    out->instr = fr.pc;
+    out->op = ins.op;
+    out->pred = ins.pred;
+    out->type = ins.type;
+    out->line = ins.line;
+    out->aux = ins.aux;
+    out->nops = static_cast<std::uint8_t>(
+        std::min<std::size_t>(ins.ops.size(), kMaxTracedOps));
+  }
+
+  // Evaluate (up to 3) operands once; ops beyond 3 only occur for Call,
+  // which re-evaluates its own argument list in push_frame.
+  OpVal a{}, b{}, c{};
+  const std::size_t nops = ins.ops.size();
+  if (ins.op != Opcode::Call) {
+    if (nops > 0 && ins.ops[0].kind != OperandKind::Block) {
+      a = eval(ins.ops[0], fr);
+    }
+    if (nops > 1 && ins.ops[1].kind != OperandKind::Block) {
+      b = eval(ins.ops[1], fr);
+    }
+    if (nops > 2 && ins.ops[2].kind != OperandKind::Block) {
+      c = eval(ins.ops[2], fr);
+    }
+    if (out) {
+      const OpVal* vals[3] = {&a, &b, &c};
+      for (std::size_t i = 0; i < std::min<std::size_t>(nops, 3); ++i) {
+        if (ins.ops[i].kind == OperandKind::Block) continue;
+        out->op_loc[i] = vals[i]->loc;
+        out->op_bits[i] = vals[i]->bits;
+        out->op_type[i] = vals[i]->type;
+      }
+    }
+  }
+
+  std::uint64_t result = 0;
+  bool has_res = ins.defines_register();
+  Location result_location =
+      has_res ? reg_loc(fr.activation, ins.result) : kNoLoc;
+  bool advance_pc = true;
+
+  const Type t = ins.type;
+  const auto ia = static_cast<std::int64_t>(a.bits);
+  const auto ib = static_cast<std::int64_t>(b.bits);
+
+  switch (ins.op) {
+    // --- integer binary -----------------------------------------------------
+    case Opcode::Add:
+      result = canon_int(a.bits + b.bits, t);
+      break;
+    case Opcode::Sub:
+      result = canon_int(a.bits - b.bits, t);
+      break;
+    case Opcode::Mul:
+      result = canon_int(a.bits * b.bits, t);
+      break;
+    case Opcode::SDiv:
+    case Opcode::SRem: {
+      if (ib == 0) {
+        set_trap(TrapKind::DivByZero);
+        return status_;
+      }
+      if (ia == std::numeric_limits<std::int64_t>::min() && ib == -1) {
+        set_trap(TrapKind::IntOverflowDiv);
+        return status_;
+      }
+      const std::int64_t r = ins.op == Opcode::SDiv ? ia / ib : ia % ib;
+      result = canon_int(static_cast<std::uint64_t>(r), t);
+      break;
+    }
+    case Opcode::And:
+      result = canon_int(a.bits & b.bits, t);
+      break;
+    case Opcode::Or:
+      result = canon_int(a.bits | b.bits, t);
+      break;
+    case Opcode::Xor:
+      result = canon_int(a.bits ^ b.bits, t);
+      break;
+    case Opcode::Shl:
+    case Opcode::LShr:
+    case Opcode::AShr: {
+      const unsigned width = bit_width(t);
+      const std::uint64_t amt = b.bits;
+      if (amt >= width) {
+        set_trap(TrapKind::BadShift);
+        return status_;
+      }
+      if (ins.op == Opcode::Shl) {
+        result = canon_int(a.bits << amt, t);
+      } else if (ins.op == Opcode::LShr) {
+        const std::uint64_t ua = util::truncate_to(a.bits, width);
+        result = canon_int(ua >> amt, t);
+      } else {
+        result = canon_int(static_cast<std::uint64_t>(ia >> amt), t);
+      }
+      break;
+    }
+
+    // --- floating binary ----------------------------------------------------
+    case Opcode::FAdd:
+    case Opcode::FSub:
+    case Opcode::FMul:
+    case Opcode::FDiv: {
+      if (t == Type::F32) {
+        const float x = bits_to_f32(a.bits), y = bits_to_f32(b.bits);
+        float r = 0;
+        switch (ins.op) {
+          case Opcode::FAdd: r = x + y; break;
+          case Opcode::FSub: r = x - y; break;
+          case Opcode::FMul: r = x * y; break;
+          default: r = x / y; break;
+        }
+        result = f32_to_bits(r);
+      } else {
+        const double x = bits_to_f64(a.bits), y = bits_to_f64(b.bits);
+        double r = 0;
+        switch (ins.op) {
+          case Opcode::FAdd: r = x + y; break;
+          case Opcode::FSub: r = x - y; break;
+          case Opcode::FMul: r = x * y; break;
+          default: r = x / y; break;
+        }
+        result = f64_to_bits(r);
+      }
+      break;
+    }
+
+    // --- floating unary -----------------------------------------------------
+    case Opcode::FNeg:
+    case Opcode::FSqrt:
+    case Opcode::FAbs:
+    case Opcode::FFloor: {
+      if (t == Type::F32) {
+        const float x = bits_to_f32(a.bits);
+        float r = 0;
+        switch (ins.op) {
+          case Opcode::FNeg: r = -x; break;
+          case Opcode::FSqrt: r = std::sqrt(x); break;
+          case Opcode::FAbs: r = std::fabs(x); break;
+          default: r = std::floor(x); break;
+        }
+        result = f32_to_bits(r);
+      } else {
+        const double x = bits_to_f64(a.bits);
+        double r = 0;
+        switch (ins.op) {
+          case Opcode::FNeg: r = -x; break;
+          case Opcode::FSqrt: r = std::sqrt(x); break;
+          case Opcode::FAbs: r = std::fabs(x); break;
+          default: r = std::floor(x); break;
+        }
+        result = f64_to_bits(r);
+      }
+      break;
+    }
+
+    // --- comparisons --------------------------------------------------------
+    case Opcode::ICmp: {
+      bool r = false;
+      switch (ins.pred) {
+        case CmpPred::Eq: r = ia == ib; break;
+        case CmpPred::Ne: r = ia != ib; break;
+        case CmpPred::Lt: r = ia < ib; break;
+        case CmpPred::Le: r = ia <= ib; break;
+        case CmpPred::Gt: r = ia > ib; break;
+        case CmpPred::Ge: r = ia >= ib; break;
+        case CmpPred::None: break;
+      }
+      result = r ? 1 : 0;
+      break;
+    }
+    case Opcode::FCmp: {
+      const double x = a.type == Type::F32
+                           ? static_cast<double>(bits_to_f32(a.bits))
+                           : bits_to_f64(a.bits);
+      const double y = b.type == Type::F32
+                           ? static_cast<double>(bits_to_f32(b.bits))
+                           : bits_to_f64(b.bits);
+      bool r = false;
+      switch (ins.pred) {
+        case CmpPred::Eq: r = x == y; break;
+        case CmpPred::Ne: r = x != y; break;
+        case CmpPred::Lt: r = x < y; break;
+        case CmpPred::Le: r = x <= y; break;
+        case CmpPred::Gt: r = x > y; break;
+        case CmpPred::Ge: r = x >= y; break;
+        case CmpPred::None: break;
+      }
+      result = r ? 1 : 0;
+      break;
+    }
+    case Opcode::Select:
+      result = (a.bits & 1) ? b.bits : c.bits;
+      break;
+
+    // --- casts ---------------------------------------------------------------
+    case Opcode::Trunc:
+      result = canon_int(a.bits, t);
+      break;
+    case Opcode::SExt:
+      result = a.bits;  // canonical form is already sign-extended
+      break;
+    case Opcode::ZExt:
+      result = util::truncate_to(a.bits, bit_width(a.type));
+      break;
+    case Opcode::FPTrunc:
+      result = f32_to_bits(static_cast<float>(bits_to_f64(a.bits)));
+      break;
+    case Opcode::FPExt:
+      result = f64_to_bits(static_cast<double>(bits_to_f32(a.bits)));
+      break;
+    case Opcode::FPToSI: {
+      const double x = a.type == Type::F32
+                           ? static_cast<double>(bits_to_f32(a.bits))
+                           : bits_to_f64(a.bits);
+      if (std::isnan(x) || x < -9.3e18 || x > 9.3e18) {
+        set_trap(TrapKind::FpDomain);
+        return status_;
+      }
+      result = canon_int(static_cast<std::uint64_t>(
+                             static_cast<std::int64_t>(x)),
+                         t);
+      break;
+    }
+    case Opcode::SIToFP: {
+      const auto x = static_cast<double>(ia);
+      result = t == Type::F32 ? f32_to_bits(static_cast<float>(x))
+                              : f64_to_bits(x);
+      break;
+    }
+    case Opcode::Bitcast:
+      if (t == Type::I32) {
+        result = canon_int(a.bits, t);  // keep I32 canonical (sign-extended)
+      } else {
+        result = bit_width(t) == 32 ? util::truncate_to(a.bits, 32) : a.bits;
+      }
+      break;
+
+    // --- memory ---------------------------------------------------------------
+    case Opcode::Alloca: {
+      const auto size = static_cast<std::uint64_t>(ins.aux);
+      const std::uint64_t aligned = (sp_ + 7) & ~std::uint64_t{7};
+      if (aligned + size > mem_.size()) {
+        set_trap(TrapKind::StackOverflow);
+        return status_;
+      }
+      result = aligned;
+      sp_ = aligned + size;
+      break;
+    }
+    case Opcode::Load: {
+      // Operand order in records: [0] = memory cell, [1] = pointer dep.
+      const std::uint64_t addr = a.bits;
+      const auto size = store_size(t);
+      if (!mem_ok(addr, size)) {
+        set_trap(TrapKind::OutOfBounds);
+        return status_;
+      }
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &mem_[addr], size);
+      result = is_int(t) ? canon_int(bits, t) : bits;
+      if (out) {
+        out->mem_addr = addr;
+        out->mem_size = size;
+        out->nops = 2;
+        out->op_loc[0] = mem_loc(addr);
+        out->op_bits[0] = result;
+        out->op_type[0] = t;
+        out->op_loc[1] = a.loc;  // the pointer value's own location
+        out->op_bits[1] = a.bits;
+        out->op_type[1] = Type::Ptr;
+      }
+      break;
+    }
+    case Opcode::Store: {
+      const std::uint64_t addr = b.bits;
+      const auto size = store_size(a.type);
+      if (!mem_ok(addr, size)) {
+        set_trap(TrapKind::OutOfBounds);
+        return status_;
+      }
+      std::uint64_t bits = a.bits;
+      maybe_flip_result(bits);
+      std::memcpy(&mem_[addr], &bits, size);
+      has_res = false;
+      result_location = mem_loc(addr);
+      result = bits;
+      if (out) {
+        out->mem_addr = addr;
+        out->mem_size = size;
+      }
+      break;
+    }
+    case Opcode::Gep: {
+      // Unsigned multiply: a fault-corrupted index can overflow, and two's
+      // complement wraparound (not signed-overflow UB) is the semantic all
+      // three engine copies share.
+      const std::uint64_t base = a.bits;
+      result = base + b.bits * static_cast<std::uint64_t>(ins.aux);
+      break;
+    }
+
+    // --- control -----------------------------------------------------------------
+    case Opcode::Br:
+      fr.block = ins.ops[0].id;
+      fr.pc = 0;
+      advance_pc = false;
+      break;
+    case Opcode::CondBr: {
+      const bool taken = (a.bits & 1) != 0;
+      fr.block = taken ? ins.ops[1].id : ins.ops[2].id;
+      fr.pc = 0;
+      advance_pc = false;
+      if (out) out->branch_taken = taken;
+      break;
+    }
+    case Opcode::Ret: {
+      const bool has_val = !ins.ops.empty();
+      const std::uint64_t ret_bits = has_val ? a.bits : 0;
+      if (frames_.size() == 1) {
+        status_ = Status::Finished;
+        advance_pc = false;
+      } else {
+        sp_ = fr.saved_sp;
+        const std::uint32_t dest_reg = fr.ret_reg;
+        frames_.pop_back();
+        Frame& caller = frames_.back();
+        if (dest_reg != ir::kNoReg) {
+          std::uint64_t bits = ret_bits;
+          maybe_flip_result(bits);
+          caller.regs[dest_reg] = bits;
+          result_location = reg_loc(caller.activation, dest_reg);
+          result = bits;
+          if (out) {
+            out->result_loc = result_location;
+            out->result_bits = bits;
+          }
+        }
+        advance_pc = false;  // caller pc was advanced at call time
+      }
+      has_res = false;
+      break;
+    }
+    case Opcode::Call: {
+      if (frames_.size() >= opts_.max_call_depth) {
+        set_trap(TrapKind::CallDepth);
+        return status_;
+      }
+      fr.pc++;  // resume point after return
+      advance_pc = false;
+      // NB: push_frame may reallocate frames_, invalidating `fr`; it takes
+      // the caller by reference parameter to do its work first.
+      push_frame(static_cast<std::uint32_t>(ins.aux), ins, fr, out);
+      has_res = false;  // result is committed by Ret
+      break;
+    }
+
+    // --- intrinsics -----------------------------------------------------------------
+    case Opcode::Rand:
+      result = f64_to_bits(randlc_.next());
+      break;
+    case Opcode::Emit: {
+      outputs_.push_back({a.bits, a.type});
+      // Expose the emitted bits for differential comparison (no location).
+      if (out) out->result_bits = a.bits;
+      break;
+    }
+    case Opcode::EmitTrunc: {
+      const double x = a.type == Type::F32
+                           ? static_cast<double>(bits_to_f32(a.bits))
+                           : bits_to_f64(a.bits);
+      const double r = detail::round_to_digits(x, static_cast<int>(ins.aux));
+      outputs_.push_back({f64_to_bits(r), Type::F64});
+      // The *rounded* value is what the user sees; comparing it is what
+      // makes Pattern 5 (data truncation) observable in the diff.
+      if (out) out->result_bits = f64_to_bits(r);
+      break;
+    }
+    case Opcode::RegionEnter: {
+      const auto rid = static_cast<std::uint32_t>(ins.aux);
+      apply_region_entry_fault(rid);
+      region_counts_[rid]++;
+      break;
+    }
+    case Opcode::RegionExit:
+      break;
+
+    // --- MiniMPI (null endpoint = single-rank world; see interp_shared.h) -----
+    case Opcode::MpiRank:
+      result = static_cast<std::uint64_t>(detail::mpi_rank_of(opts_.mpi));
+      break;
+    case Opcode::MpiSize:
+      result = static_cast<std::uint64_t>(detail::mpi_size_of(opts_.mpi));
+      break;
+    case Opcode::MpiSend:
+      detail::mpi_send_on(opts_.mpi, static_cast<std::int64_t>(a.bits),
+                          bits_to_f64(b.bits));
+      break;
+    case Opcode::MpiRecv:
+      result = f64_to_bits(
+          detail::mpi_recv_on(opts_.mpi, static_cast<std::int64_t>(a.bits)));
+      break;
+    case Opcode::MpiAllreduce:
+      result = f64_to_bits(detail::mpi_allreduce_on(
+          opts_.mpi, bits_to_f64(a.bits),
+          static_cast<ir::ReduceOp>(ins.aux)));
+      break;
+    case Opcode::MpiBarrier:
+      detail::mpi_barrier_on(opts_.mpi);
+      break;
+  }
+
+  if (has_res) {
+    maybe_flip_result(result);
+    // `fr` may dangle only after Call/Ret, which set has_res = false.
+    fr.regs[ins.result] = result;
+  }
+
+  if (out) {
+    if (has_res || ins.op == Opcode::Store) {
+      out->result_loc = result_location;
+      out->result_bits = result;
+    }
+  }
+
+  if (advance_pc) fr.pc++;
+  n_retired_++;
+  return status_;
+}
+
+}  // namespace ft::vm

@@ -1,0 +1,71 @@
+// Engine-shared execution helpers.
+//
+// The interpreter is split across translation units (interp.cpp for the
+// machine-state plumbing, interp_legacy.cpp for the tree-walker,
+// interp_decoded.cpp for the decoded hot loop, interp_jit.cpp for the native
+// driver) and the JIT runtime helpers (jit/jit_runtime.cpp) retire the same
+// intrinsics. Everything here is the single definition they all link
+// against — the semantics are stated once instead of implied per engine.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+
+#include "ir/opcode.h"
+#include "vm/mpi_endpoint.h"
+
+namespace ft::vm::detail {
+
+// --- null-endpoint MiniMPI semantics -----------------------------------------
+// A Vm with no MpiEndpoint behaves as a single-rank world (the contract in
+// vm/mpi_endpoint.h, pinned by tests/mpi_test.cpp): rank 0, size 1, identity
+// allreduce, no-op barrier. Point-to-point ops have no peer to pair with, so
+// send drops its payload and recv yields 0.0 — a single-rank program that
+// genuinely self-messages needs a real one-rank mpi::World. All engines
+// (legacy, decoded, decoded+traced, and the JIT's deopt path) route through
+// these helpers so the behavior is stated once instead of per opcode site.
+
+inline std::int64_t mpi_rank_of(const MpiEndpoint* ep) {
+  return ep ? ep->rank() : 0;
+}
+
+inline std::int64_t mpi_size_of(const MpiEndpoint* ep) {
+  return ep ? ep->size() : 1;
+}
+
+inline void mpi_send_on(MpiEndpoint* ep, std::int64_t dest, double value) {
+  if (ep) ep->send(dest, value);
+}
+
+inline double mpi_recv_on(MpiEndpoint* ep, std::int64_t src) {
+  return ep ? ep->recv(src) : 0.0;
+}
+
+inline double mpi_allreduce_on(MpiEndpoint* ep, double value,
+                               ir::ReduceOp op) {
+  return ep ? ep->allreduce(value, op) : value;
+}
+
+inline void mpi_barrier_on(MpiEndpoint* ep) {
+  if (ep) ep->barrier();
+}
+
+/// Round `v` to `digits` significant decimal digits after the leading one,
+/// exactly as the old snprintf("%.*e") / strtod round trip did in the C
+/// locale — but locale-independent and allocation-free: std::to_chars and
+/// std::from_chars are correctly rounded in both directions and ignore the
+/// global locale. This sits on the retire path of every EmitTrunc, in every
+/// engine (the JIT calls it through ft_jit_helper_emit_trunc).
+inline double round_to_digits(double v, int digits) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v,
+                                 std::chars_format::scientific, digits);
+  // A digit count that overflows the buffer keeps more precision than the
+  // value has anyway; fall back to the unrounded value.
+  if (res.ec != std::errc{}) return v;
+  double out = v;
+  std::from_chars(buf, res.ptr, out);
+  return out;
+}
+
+}  // namespace ft::vm::detail

@@ -8,6 +8,7 @@
 
 #include "core/analysis.h"
 #include "hl/builder.h"
+#include "jit/jit_program.h"
 #include "trace/collector.h"
 
 namespace ft {
@@ -246,6 +247,53 @@ TEST(AnalysisRequest, ReportCarriesAppAnalysesAndLookups) {
   EXPECT_FALSE(entry->io->inputs.empty());
   EXPECT_EQ(entry->campaign.trials, 5u);
   EXPECT_EQ(report.find("CG", "cg_b", fault::TargetClass::Input), nullptr);
+}
+
+TEST(AnalysisRequest, OpcodeProfileRanksCoverageAndJitSplit) {
+  const auto report = core::run_analysis(
+      core::AnalysisRequest().app("CG").opcode_profile());
+  const auto* app = report.find_app("CG");
+  ASSERT_NE(app, nullptr);
+  ASSERT_TRUE(app->opcode_profile.has_value());
+  const auto& prof = *app->opcode_profile;
+
+  // Clean run: every dispatched instruction retires, so the counts sum to
+  // the golden instruction total and the compiled/deopt split partitions it.
+  std::uint64_t sum = 0;
+  for (const auto c : prof.counts) sum += c;
+  EXPECT_EQ(sum, app->golden_instructions);
+  EXPECT_EQ(prof.jit_compiled_dispatches + prof.jit_deopt_dispatches, sum);
+  // The single-rank CG workload has no MiniMPI ops: full native coverage,
+  // both dynamically and in the static instruction stream.
+  EXPECT_EQ(prof.jit_deopt_dispatches, 0u);
+  EXPECT_EQ(prof.jit_static_deopt, 0u);
+  EXPECT_GT(prof.jit_static_compiled, 0u);
+
+  // ranked() orders opcodes by retired-instruction share, descending, and
+  // drops zero-count opcodes.
+  const auto ranked = prof.ranked();
+  ASSERT_FALSE(ranked.empty());
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].second, ranked[i].second);
+  }
+  for (const auto& [op, count] : ranked) {
+    EXPECT_GT(count, 0u);
+    EXPECT_EQ(count, prof.counts[static_cast<std::size_t>(op)]);
+  }
+}
+
+TEST(AnalysisSession, CompilesNativeBackendWhenEnabled) {
+  core::AnalysisSession session(apps::build_app("CG"));
+  if (!jit::JitProgram::runtime_enabled()) {
+    EXPECT_EQ(session.jit(), nullptr);
+    return;
+  }
+  // The session's base options carry the compiled program, so campaign
+  // preparation inherits native execution without any per-call wiring.
+  ASSERT_NE(session.jit(), nullptr);
+  EXPECT_EQ(session.app().base.jit, session.jit());
+  EXPECT_EQ(&session.jit()->program(), session.program().get());
+  EXPECT_GT(session.jit()->stats().compiled, 0u);
 }
 
 TEST(AnalysisRequest, UnknownRegionNameThrows) {

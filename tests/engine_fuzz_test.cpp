@@ -7,6 +7,10 @@
 //   * DynInstr observer substrate vs columnar direct-emit substrate
 //   * decoded straight-through vs decoded snapshot-forked (run_until +
 //     snapshot-construct, and fork_from between two tracked machines)
+//   * JIT native execution vs decoded/legacy (clean, under a random
+//     ResultBit flip, snapshot interop in both directions, fork_from a
+//     natively-advanced cursor) — trap kind, trap pc, retired count and
+//     outputs all bit-identical
 //
 // Every generated program terminates by construction (loop trip counts are
 // bounded constants) and is well-typed by construction (expressions are
@@ -15,12 +19,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "hl/builder.h"
 #include "ir/print.h"
+#include "jit/jit_program.h"
 #include "store/trace_io.h"
 #include "trace/collector.h"
 #include "trace/column.h"
@@ -381,6 +387,83 @@ bool check_seed(std::uint64_t seed, std::string* diag) {
     return fail("untraced outputs mismatch");
   }
 
+  // JIT native engine: untraced execution pinned against decoded/legacy —
+  // trap kind, trap pc, retired count and outputs, clean and under a
+  // randomly placed ResultBit flip — plus snapshot interop in both
+  // directions and fork_from a natively-advanced golden cursor.
+  const auto jit = jit::JitProgram::supported()
+                       ? jit::JitProgram::compile(*program)
+                       : nullptr;
+  if (jit) {
+    vm::VmOptions jo;
+    jo.jit = jit.get();
+
+    vm::Vm dv(*program, vm::VmOptions{});
+    const auto dr = dv.run();
+    vm::Vm jv(*program, jo);
+    const auto jr = jv.run();
+    if (jr.trap != dr.trap) return fail("jit trap mismatch");
+    if (jv.next_pc() != dv.next_pc()) {
+      return fail("jit trap-pc mismatch: decoded pc ", dv.next_pc(),
+                  " jit pc ", jv.next_pc());
+    }
+    if (jr.instructions != dr.instructions) {
+      return fail("jit retired-count mismatch: decoded ", dr.instructions,
+                  " jit ", jr.instructions);
+    }
+    if (jr.outputs != dr.outputs) return fail("jit outputs mismatch");
+    if (jr.outputs != legacy.outputs) {
+      return fail("jit/legacy outputs mismatch");
+    }
+
+    if (legacy.instructions > 4) {
+      util::Rng frng(seed * 0x9e3779b97f4a7c15ull + 1);
+      const auto plan = vm::FaultPlan::result_bit(
+          frng.below(legacy.instructions),
+          static_cast<std::uint32_t>(frng.below(64)));
+      vm::VmOptions fo_i;
+      fo_i.fault = plan;
+      auto fo_j = jo;
+      fo_j.fault = plan;
+      const auto fi = vm::Vm::run(*program, fo_i);
+      const auto fj = vm::Vm::run(*program, fo_j);
+      if (fi.trap != fj.trap || fi.instructions != fj.instructions ||
+          fi.fault_fired != fj.fault_fired || fi.outputs != fj.outputs) {
+        return fail("jit faulted-run mismatch at dyn_index ",
+                    plan.dyn_index);
+      }
+
+      const std::uint64_t half = legacy.instructions / 2;
+      vm::Vm jcur(*program, jo);
+      jcur.run_until(half);
+      if (jcur.status() == vm::Vm::Status::Running) {
+        vm::Vm icur(*program, vm::VmOptions{});
+        icur.run_until(half);
+        if (!icur.state_equals(jcur.snapshot())) {
+          return fail("jit/interp machine-state divergence at pause ", half);
+        }
+        vm::Vm tail_i(*program, jcur.snapshot(), {});
+        if (tail_i.run().outputs != decoded.outputs) {
+          return fail("jit-snapshot interpreter-tail outputs mismatch");
+        }
+        vm::Vm tail_j(*program, icur.snapshot(), jo);
+        if (tail_j.run().outputs != decoded.outputs) {
+          return fail("interp-snapshot jit-tail outputs mismatch");
+        }
+
+        auto tracked_j = jo;
+        tracked_j.track_writes = true;
+        vm::Vm jgolden(*program, tracked_j);
+        jgolden.run_until(legacy.instructions / 3);
+        vm::Vm jtrial(*program, tracked_j);
+        jtrial.fork_from(jgolden, /*full=*/true);
+        if (jtrial.run().outputs != decoded.outputs) {
+          return fail("jit fork_from outputs mismatch");
+        }
+      }
+    }
+  }
+
   // Snapshot-forked: pause mid-run, snapshot, resume a fresh machine from
   // the snapshot, and fork a tracked machine from a tracked golden cursor.
   if (legacy.instructions > 4) {
@@ -427,6 +510,21 @@ TEST(EngineFuzz, TwoHundredSeedsAllEnginesAgree) {
   // The corpus must be substantial and mostly well-behaved.
   EXPECT_GT(total_instructions, 100000u);
   EXPECT_LT(trapped, 40u);
+}
+
+TEST(EngineFuzz, NoJitEnvironmentVariableDisablesRuntime) {
+  // FT_VM_NO_JIT is the one switch that forces every JIT user back to the
+  // interpreter; CI runs the full suite once with it set. Empty and "0"
+  // keep the JIT on; anything else turns it off.
+  if (!jit::JitProgram::supported()) GTEST_SKIP();
+  ASSERT_EQ(setenv("FT_VM_NO_JIT", "1", 1), 0);
+  EXPECT_FALSE(jit::JitProgram::runtime_enabled());
+  ASSERT_EQ(setenv("FT_VM_NO_JIT", "0", 1), 0);
+  EXPECT_TRUE(jit::JitProgram::runtime_enabled());
+  ASSERT_EQ(setenv("FT_VM_NO_JIT", "", 1), 0);
+  EXPECT_TRUE(jit::JitProgram::runtime_enabled());
+  unsetenv("FT_VM_NO_JIT");
+  EXPECT_TRUE(jit::JitProgram::runtime_enabled());
 }
 
 }  // namespace

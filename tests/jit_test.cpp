@@ -1,0 +1,242 @@
+// JIT engine coverage: the native x64 backend (src/jit/) must be
+// bit-identical to the decoded interpreter — results, trap kinds, retired
+// counts, outputs and the full machine state at any pause point — for all
+// ten workloads, clean and faulted and trapping. Snapshots taken under one
+// engine must restore into the other with state_equals() true and an
+// identical continuation (the campaign scheduler forks machines without
+// knowing which engine advanced them). Also pins the per-opcode dispatch
+// counters (VmOptions::count_opcodes) the JIT coverage report is built on.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/app.h"
+#include "jit/jit_program.h"
+#include "vm/decode.h"
+#include "vm/interp.h"
+
+namespace ft {
+namespace {
+
+struct JitApp {
+  apps::AppSpec app;
+  vm::DecodedProgram prog;
+  std::shared_ptr<const jit::JitProgram> jit;
+
+  explicit JitApp(const std::string& name)
+      : app(apps::build_app(name)),
+        prog(vm::DecodedProgram::decode(app.module)),
+        jit(jit::JitProgram::compile(prog)) {}
+
+  [[nodiscard]] vm::VmOptions interp_opts() const {
+    auto o = app.base;
+    o.jit = nullptr;
+    return o;
+  }
+  [[nodiscard]] vm::VmOptions jit_opts() const {
+    auto o = app.base;
+    o.jit = jit.get();
+    return o;
+  }
+};
+
+void expect_same_result(const vm::RunResult& a, const vm::RunResult& b) {
+  EXPECT_EQ(a.trap, b.trap);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.fault_fired, b.fault_fired);
+  EXPECT_TRUE(a.outputs == b.outputs);
+}
+
+class JitEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(JitEquivalence, CleanRunBitIdentical) {
+  if (!jit::JitProgram::supported()) GTEST_SKIP();
+  JitApp ja(GetParam());
+  ASSERT_NE(ja.jit, nullptr);
+  expect_same_result(vm::Vm::run(ja.prog, ja.interp_opts()),
+                     vm::Vm::run(ja.prog, ja.jit_opts()));
+}
+
+TEST_P(JitEquivalence, FaultedRunsBitIdentical) {
+  if (!jit::JitProgram::supported()) GTEST_SKIP();
+  JitApp ja(GetParam());
+  ASSERT_NE(ja.jit, nullptr);
+  const auto clean = vm::Vm::run(ja.prog, ja.interp_opts());
+  const std::uint64_t n = clean.instructions;
+  // Flip indices spread across the run (including the very first and very
+  // last retired instruction) and a spread of bit positions — enough to
+  // hit SDC, masked, trapping and verification-failure trials.
+  const std::uint64_t indices[] = {0, 1, n / 7, n / 3, n / 2, n - 2, n - 1};
+  const std::uint32_t bits[] = {0, 13, 31, 40, 62};
+  for (const auto idx : indices) {
+    for (const auto bit : bits) {
+      const auto plan = vm::FaultPlan::result_bit(idx, bit);
+      auto io = ja.interp_opts();
+      auto jo = ja.jit_opts();
+      io.fault = plan;
+      jo.fault = plan;
+      const auto ri = vm::Vm::run(ja.prog, io);
+      const auto rj = vm::Vm::run(ja.prog, jo);
+      EXPECT_EQ(ri.trap, rj.trap) << "idx=" << idx << " bit=" << bit;
+      EXPECT_EQ(ri.instructions, rj.instructions)
+          << "idx=" << idx << " bit=" << bit;
+      EXPECT_EQ(ri.fault_fired, rj.fault_fired)
+          << "idx=" << idx << " bit=" << bit;
+      EXPECT_TRUE(ri.outputs == rj.outputs) << "idx=" << idx
+                                            << " bit=" << bit;
+    }
+  }
+}
+
+TEST_P(JitEquivalence, RegionFaultBitIdentical) {
+  if (!jit::JitProgram::supported()) GTEST_SKIP();
+  JitApp ja(GetParam());
+  ASSERT_NE(ja.jit, nullptr);
+  if (ja.app.main_region == ~std::uint32_t{0}) GTEST_SKIP();
+  // RegionInputMemoryBit faults fire inside the RegionEnter helper — fully
+  // native, no deopt — so pin them separately from ResultBit plans.
+  const auto plan = vm::FaultPlan::region_input_bit(
+      ja.app.main_region, 0, ir::kGlobalBase, 8, 17);
+  auto io = ja.interp_opts();
+  auto jo = ja.jit_opts();
+  io.fault = plan;
+  jo.fault = plan;
+  expect_same_result(vm::Vm::run(ja.prog, io), vm::Vm::run(ja.prog, jo));
+}
+
+TEST_P(JitEquivalence, HangBudgetBitIdentical) {
+  if (!jit::JitProgram::supported()) GTEST_SKIP();
+  JitApp ja(GetParam());
+  ASSERT_NE(ja.jit, nullptr);
+  const auto clean = vm::Vm::run(ja.prog, ja.interp_opts());
+  auto io = ja.interp_opts();
+  auto jo = ja.jit_opts();
+  io.max_instructions = clean.instructions / 2;
+  jo.max_instructions = clean.instructions / 2;
+  const auto ri = vm::Vm::run(ja.prog, io);
+  const auto rj = vm::Vm::run(ja.prog, jo);
+  EXPECT_EQ(ri.trap, vm::TrapKind::Hang);
+  expect_same_result(ri, rj);
+}
+
+// Snapshot interop: pause under the JIT, snapshot, restore into an
+// interpreter machine (and the reverse) — state must match bit for bit and
+// both continuations must agree with a straight-through run.
+TEST_P(JitEquivalence, SnapshotInteropAcrossEngines) {
+  if (!jit::JitProgram::supported()) GTEST_SKIP();
+  JitApp ja(GetParam());
+  ASSERT_NE(ja.jit, nullptr);
+  const auto clean = vm::Vm::run(ja.prog, ja.interp_opts());
+  const std::uint64_t mid = clean.instructions / 2;
+
+  // JIT prefix -> snapshot -> interpreter tail.
+  vm::Vm jv(ja.prog, ja.jit_opts());
+  jv.run_until(mid);
+  ASSERT_EQ(jv.status(), vm::Vm::Status::Running);
+  ASSERT_EQ(jv.instructions_retired(), mid);
+  const auto snap_j = jv.snapshot();
+
+  // Interpreter prefix -> snapshot: the two snapshots must already agree.
+  vm::Vm iv(ja.prog, ja.interp_opts());
+  iv.run_until(mid);
+  ASSERT_EQ(iv.instructions_retired(), mid);
+  EXPECT_TRUE(iv.state_equals(snap_j));
+  const auto snap_i = iv.snapshot();
+  EXPECT_TRUE(jv.state_equals(snap_i));
+
+  // Restore the JIT snapshot into an interpreter machine and finish there.
+  vm::Vm tail_interp(ja.prog, snap_j, ja.interp_opts());
+  auto ri = tail_interp.run();
+  // And the interpreter snapshot into a JIT machine.
+  vm::Vm tail_jit(ja.prog, snap_i, ja.jit_opts());
+  auto rj = tail_jit.run();
+  EXPECT_EQ(ri.trap, rj.trap);
+  EXPECT_EQ(ri.instructions, clean.instructions);
+  EXPECT_EQ(rj.instructions, clean.instructions);
+  // The snapshotted prefix already holds the prefix outputs; the clean
+  // run's output vector must equal prefix + tail on both engines.
+  EXPECT_TRUE(ri.outputs == clean.outputs);
+  EXPECT_TRUE(rj.outputs == clean.outputs);
+}
+
+TEST_P(JitEquivalence, ForkFromJitCursorMatchesInterpreter) {
+  if (!jit::JitProgram::supported()) GTEST_SKIP();
+  JitApp ja(GetParam());
+  ASSERT_NE(ja.jit, nullptr);
+  const auto clean = vm::Vm::run(ja.prog, ja.interp_opts());
+  const std::uint64_t site = clean.instructions / 3;
+
+  // Golden cursor advances natively; the trial machine forks from it,
+  // runs a faulted tail natively, and must match a faulted interpreter run.
+  auto jo = ja.jit_opts();
+  jo.track_writes = true;
+  vm::Vm golden(ja.prog, jo);
+  golden.run_until(site);
+  ASSERT_EQ(golden.status(), vm::Vm::Status::Running);
+
+  vm::Vm trial(ja.prog, jo);
+  trial.fork_from(golden, /*full=*/true);
+  const auto plan = vm::FaultPlan::result_bit(site + 7, 29);
+  trial.set_fault(plan);
+  const auto rt = trial.run();
+
+  auto io = ja.interp_opts();
+  io.fault = plan;
+  const auto ri = vm::Vm::run(ja.prog, io);
+  expect_same_result(ri, rt);
+}
+
+TEST_P(JitEquivalence, OpcodeCountsSumToRetired) {
+  JitApp ja(GetParam());
+  auto o = ja.interp_opts();
+  o.count_opcodes = true;
+  vm::Vm v(ja.prog, o);
+  const auto r = v.run();
+  const auto counts = v.opcode_counts();
+  ASSERT_FALSE(counts.empty());
+  const std::uint64_t sum =
+      std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  EXPECT_EQ(sum, r.instructions);  // clean run: every dispatch retires
+}
+
+TEST_P(JitEquivalence, CountOpcodesForcesInterpreter) {
+  if (!jit::JitProgram::supported()) GTEST_SKIP();
+  JitApp ja(GetParam());
+  ASSERT_NE(ja.jit, nullptr);
+  // count_opcodes needs per-dispatch increments, which native code does
+  // not do — the engine dispatch must fall back to the interpreter and
+  // still produce both the counters and the identical result.
+  auto o = ja.jit_opts();
+  o.count_opcodes = true;
+  vm::Vm v(ja.prog, o);
+  const auto r = v.run();
+  expect_same_result(vm::Vm::run(ja.prog, ja.interp_opts()), r);
+  EXPECT_FALSE(v.opcode_counts().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, JitEquivalence,
+                         ::testing::ValuesIn(apps::all_app_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(JitProgram, StatsReportCompiledAndDeoptSplit) {
+  if (!jit::JitProgram::supported()) GTEST_SKIP();
+  JitApp ja("CG");
+  ASSERT_NE(ja.jit, nullptr);
+  const auto& st = ja.jit->stats();
+  EXPECT_EQ(st.compiled + st.deopt, ja.prog.code_size());
+  EXPECT_GT(st.compiled, 0u);
+  EXPECT_GT(st.code_bytes, 0u);
+  // The single-rank workloads contain no MPI ops, so everything compiles.
+  EXPECT_EQ(st.deopt, 0u);
+}
+
+TEST(JitProgram, OpcodeCompiledMatchesTemplates) {
+  EXPECT_TRUE(jit::JitProgram::opcode_compiled(ir::Opcode::Add));
+  EXPECT_TRUE(jit::JitProgram::opcode_compiled(ir::Opcode::Store));
+  EXPECT_TRUE(jit::JitProgram::opcode_compiled(ir::Opcode::Call));
+  EXPECT_FALSE(jit::JitProgram::opcode_compiled(ir::Opcode::MpiRank));
+  EXPECT_FALSE(jit::JitProgram::opcode_compiled(ir::Opcode::MpiBarrier));
+}
+
+}  // namespace
+}  // namespace ft

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Perf-regression canary, seven sections:
+# Perf-regression canary, eight sections:
 #
 #  1. Engine A/B (vm_engine_ab): decoded vs legacy interpreter on the CG
 #     whole-program campaign. The decoded engine must stay >= 2x the
@@ -46,6 +46,14 @@
 #     artifact. On targets without a native backend the section reports
 #     "skipped" and passes.
 #
+#  8. Hardening A/B (harden_ab): the campaign-guided transform pass (DWC +
+#     ABFT detectors + checkpoint/rollback recovery) vs the hand-built CG
+#     variant. Every protected region's effective success rate must stay >=
+#     its baseline, the aggregate static overhead must stay <= 2x, and at
+#     least one trial must recover via rollback (the binary exits nonzero
+#     on any violation). The section output is also written to
+#     <build-dir>/harden_ab.out for the CI artifact.
+#
 # The combined output is also written to <build-dir>/bench_smoke.out so CI
 # can upload it as an artifact.
 #
@@ -61,11 +69,13 @@ fork_ab="$build_dir/campaign_fork_ab"
 rank_prop="$build_dir/rank_propagation"
 store_ab="$build_dir/store_warm_ab"
 jit_ab="$build_dir/jit_engine_ab"
+harden_ab="$build_dir/harden_ab"
 out="$build_dir/bench_smoke.out"
 jit_ab_out="$build_dir/jit_ab.out"
 store_stats_out="$build_dir/store_stats.out"
+harden_ab_out="$build_dir/harden_ab.out"
 
-for bin in "$bench" "$engine_ab" "$trace_ab" "$fork_ab" "$rank_prop" "$store_ab" "$jit_ab"; do
+for bin in "$bench" "$engine_ab" "$trace_ab" "$fork_ab" "$rank_prop" "$store_ab" "$jit_ab" "$harden_ab"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not found (build first: cmake -B $build_dir -S . && cmake --build $build_dir -j)" >&2
     exit 1
@@ -79,10 +89,10 @@ extract_ms() {
   sed -n 's/^campaign wall: \([0-9.]*\) ms.*/\1/p' "$1"
 }
 
-tmp_engine=$(mktemp) tmp_trace=$(mktemp) tmp_batched=$(mktemp) tmp_legacy=$(mktemp) tmp_fork=$(mktemp) tmp_rank=$(mktemp) tmp_store=$(mktemp) tmp_jit=$(mktemp)
-trap 'rm -f "$tmp_engine" "$tmp_trace" "$tmp_batched" "$tmp_legacy" "$tmp_fork" "$tmp_rank" "$tmp_store" "$tmp_jit"' EXIT
+tmp_engine=$(mktemp) tmp_trace=$(mktemp) tmp_batched=$(mktemp) tmp_legacy=$(mktemp) tmp_fork=$(mktemp) tmp_rank=$(mktemp) tmp_store=$(mktemp) tmp_jit=$(mktemp) tmp_harden=$(mktemp)
+trap 'rm -f "$tmp_engine" "$tmp_trace" "$tmp_batched" "$tmp_legacy" "$tmp_fork" "$tmp_rank" "$tmp_store" "$tmp_jit" "$tmp_harden"' EXIT
 
-echo "== bench smoke 1/7: decoded vs legacy engine on the CG campaign =="
+echo "== bench smoke 1/8: decoded vs legacy engine on the CG campaign =="
 # A longer campaign than section 3 (and interleaved best-of-3 inside the
 # bench) keeps the speedup measurement steady on busy/single-core hosts.
 engine_trials=$(( trials * 2 > 60 ? trials * 2 : 60 ))
@@ -97,7 +107,7 @@ awk -v s="$engine_speedup" 'BEGIN {
 }' | tee -a "$out"
 
 echo
-echo "== bench smoke 2/7: columnar vs DynInstr-observer traced run on CG =="
+echo "== bench smoke 2/8: columnar vs DynInstr-observer traced run on CG =="
 # The binary exits nonzero when the ACL series/events or pattern counts
 # differ between substrates, failing the smoke under pipefail.
 "$trace_ab" | tee "$tmp_trace"
@@ -114,7 +124,7 @@ awk -v s="$trace_speedup" -v r="$bytes_ratio" 'BEGIN {
 }' | tee -a "$out"
 
 echo
-echo "== bench smoke 3/7: fig5 on CG, $trials trials per region/class =="
+echo "== bench smoke 3/8: fig5 on CG, $trials trials per region/class =="
 "$bench" --apps=CG --trials="$trials" | tee "$tmp_batched" | grep -E "^(schedule|campaign)"
 echo
 echo "-- legacy per-region scheduling --"
@@ -133,7 +143,7 @@ awk -v b="$batched_ms" -v l="$legacy_ms" 'BEGIN {
 }' | tee -a "$out"
 
 echo
-echo "== bench smoke 4/7: snapshot-forked vs from-scratch campaign trials on CG =="
+echo "== bench smoke 4/8: snapshot-forked vs from-scratch campaign trials on CG =="
 # A longer campaign than section 3 amortizes the one-time golden pass and
 # keeps the best-of interleaved measurement steady; the binary itself
 # exits nonzero if the two schedulers disagree on any outcome count.
@@ -151,7 +161,7 @@ awk -v s="$fork_speedup" -v n="$fork_snaps" 'BEGIN {
 }' | tee -a "$out"
 
 echo
-echo "== bench smoke 5/7: cross-rank campaign determinism (4-rank CG/MG/LULESH) =="
+echo "== bench smoke 5/8: cross-rank campaign determinism (4-rank CG/MG/LULESH) =="
 # The binary runs every multi-rank campaign twice — rank-local snapshot
 # forking on and off — and exits nonzero if any cross-rank outcome count
 # differs, failing the smoke under pipefail.
@@ -166,7 +176,7 @@ fi
 echo "cross-rank determinism OK" | tee -a "$out"
 
 echo
-echo "== bench smoke 6/7: cold compute vs warm artifact-store replay on CG =="
+echo "== bench smoke 6/8: cold compute vs warm artifact-store replay on CG =="
 # The binary exits nonzero if any outcome count differs between the cold
 # and warm run, or if the warm run executed any trials / traced any
 # instructions — the store must serve everything.
@@ -183,7 +193,7 @@ awk -v s="$store_speedup" 'BEGIN {
 sed -n '/^store stats:/p;/^warm speedup:/p;/^identity:/p;/^cold:/p;/^warm:/p' "$tmp_store" > "$store_stats_out"
 
 echo
-echo "== bench smoke 7/7: jit vs decoded vs legacy engine on the CG campaign =="
+echo "== bench smoke 7/8: jit vs decoded vs legacy engine on the CG campaign =="
 # Same campaign shape as section 1 (interleaved best-of inside the bench);
 # the binary exits nonzero when any engine's outcome counts diverge.
 "$jit_ab" --trials="$engine_trials" | tee "$tmp_jit"
@@ -201,3 +211,20 @@ else
     printf "jit engine OK (%.2fx >= 3x)\n", s
   }' | tee -a "$out"
 fi
+
+echo
+echo "== bench smoke 8/8: campaign-guided hardening pass vs hand-built CG =="
+# The binary exits nonzero if any protected region's effective success
+# rate falls below its baseline, the aggregate static overhead exceeds
+# 2x, or no trial ever exercised the rollback recovery path.
+"$harden_ab" --trials="$trials" | tee "$tmp_harden"
+cat "$tmp_harden" >> "$out"
+# The hardening section is its own CI artifact, next to bench_smoke.out.
+cp "$tmp_harden" "$harden_ab_out"
+
+harden_gates=$(sed -n 's/^harden gates: \(.*\)$/\1/p' "$tmp_harden")
+if [[ "$harden_gates" != "coverage OK, overhead OK, recovery OK" ]]; then
+  echo "REGRESSION: hardening gates violated ($harden_gates)" | tee -a "$out"
+  exit 1
+fi
+echo "hardening OK ($(sed -n 's/^aggregate overhead: \([0-9.]*x\).*/\1/p' "$tmp_harden") aggregate overhead)" | tee -a "$out"

@@ -540,6 +540,8 @@ struct UnitCounts {
   std::atomic<std::size_t> success{0};
   std::atomic<std::size_t> failed{0};
   std::atomic<std::size_t> crashed{0};
+  std::atomic<std::size_t> detected_recovered{0};
+  std::atomic<std::size_t> detected_unrecoverable{0};
   std::atomic<std::size_t> early_exits{0};
   std::atomic<std::uint64_t> instructions{0};
   std::atomic<std::uint64_t> prefix_saved{0};
@@ -592,6 +594,8 @@ fault::CampaignResult unit_result(const CampaignUnit& unit,
   r.success = counts.success.load();
   r.failed = counts.failed.load();
   r.crashed = counts.crashed.load();
+  r.detected_recovered = counts.detected_recovered.load();
+  r.detected_unrecoverable = counts.detected_unrecoverable.load();
   r.instructions_retired = counts.instructions.load();
   r.snapshots_taken = runtime.snapshots_taken;
   r.resume_depth = runtime.resume_depth;
@@ -973,6 +977,12 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
             case fault::Outcome::Crashed:
               counts[u].crashed.fetch_add(1);
               break;
+            case fault::Outcome::DetectedRecovered:
+              counts[u].detected_recovered.fetch_add(1);
+              break;
+            case fault::Outcome::DetectedUnrecoverable:
+              counts[u].detected_unrecoverable.fetch_add(1);
+              break;
           }
           counts[u].instructions.fetch_add(acct.instructions);
           counts[u].prefix_saved.fetch_add(acct.prefix_saved);
@@ -1047,6 +1057,117 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
   report.campaign_ms = campaign_sw.millis();
   report.wall_ms = total.millis();
   return report;
+}
+
+// ---------------------------------------------------------------------------
+// Campaign-guided hardening: campaign -> transform -> re-campaign.
+// ---------------------------------------------------------------------------
+
+HardenReport AnalysisRequest::harden(const harden::HardenConfig& config) const {
+  return run_hardening(*this, config);
+}
+
+HardenReport run_hardening(const AnalysisRequest& request,
+                           const harden::HardenConfig& config) {
+  if (!request.region_campaign_) {
+    throw std::invalid_argument(
+        "run_hardening: the request must ask for success_rates — the "
+        "baseline region campaign is what guides the pass");
+  }
+  HardenReport out;
+  out.baseline = run_analysis(request);
+
+  // Transform each application using its own baseline rows as the guide,
+  // then re-run the same request against the hardened variants. The copy
+  // keeps the pool, store, configs and region sweep; only the apps change.
+  AnalysisRequest hardened_request = request;
+  hardened_request.apps_.clear();
+  for (const auto& ref : request.apps_) {
+    apps::AppSpec spec = ref.session ? ref.session->app()
+                         : ref.spec  ? *ref.spec
+                                     : apps::build_app(ref.name);
+    const std::string app_name =
+        (!ref.session && !ref.spec) ? ref.name : spec.name;
+
+    // Comm protection switches on when the rank taxonomy saw any fault
+    // leave the injected rank (or the caller forced it via the config).
+    bool escaping = false;
+    if (const AppReport* ar = out.baseline.find_app(app_name)) {
+      if (ar->rank_campaign) {
+        escaping = ar->rank_campaign->absorbed_by_collective +
+                       ar->rank_campaign->propagated +
+                       ar->rank_campaign->corrupted_output >
+                   0;
+      }
+    }
+
+    std::vector<harden::RegionGuide> guides;
+    for (const auto& e : out.baseline.entries) {
+      if (e.app != app_name || !e.region_found) continue;
+      if (e.target != fault::TargetClass::Internal) continue;
+      guides.push_back(harden::RegionGuide{e.region_id,
+                                           e.campaign.success_rate(),
+                                           escaping});
+    }
+
+    harden::HardenResult hr =
+        harden::harden_module(spec.module, config, guides);
+    if (!hr.verify_errors.empty()) {
+      std::string msg = "run_hardening: hardened module for '" + app_name +
+                        "' failed ir::verify:";
+      for (const auto& err : hr.verify_errors) msg += "\n  " + err;
+      throw std::runtime_error(msg);
+    }
+
+    HardenedApp happ;
+    happ.app = app_name;
+    happ.spec = std::move(spec);  // regions/verifier/base carry over
+    happ.spec.module = std::move(hr.module);
+    // Registry specs may carry a display name that differs from the
+    // registry key the baseline report is keyed by ("CG" vs "cg"); pin the
+    // hardened spec to the baseline name so the joined reports line up.
+    happ.spec.name = app_name;
+    happ.pass_stats = std::move(hr.regions);
+    happ.comm_sites = hr.comm_sites;
+    happ.comm_guided = !config.protect_comm && escaping && hr.comm_sites > 0;
+    out.apps.push_back(std::move(happ));
+    // Same spec.name, so the joined reports line up row-for-row.
+    hardened_request.apps_.push_back(
+        AnalysisRequest::AppRef{app_name, out.apps.back().spec, nullptr});
+  }
+
+  out.hardened = run_analysis(hardened_request);
+
+  // Join: one row per (protected region, baseline instance) pairing the
+  // guiding success rate with the hardened re-campaign's coverage.
+  for (auto& happ : out.apps) {
+    for (const auto& e : out.baseline.entries) {
+      if (e.app != happ.app || !e.region_found) continue;
+      if (e.target != fault::TargetClass::Internal) continue;
+      const harden::RegionStats* st = nullptr;
+      for (const auto& s : happ.pass_stats) {
+        if (s.region_id == e.region_id) { st = &s; break; }
+      }
+      if (!st) continue;  // region was above the threshold — not protected
+      HardenRegionRow row;
+      row.region_id = e.region_id;
+      row.region_name = e.region_name;
+      row.instance = e.instance;
+      row.baseline_success_rate = e.campaign.success_rate();
+      if (const AnalysisEntry* h = out.hardened.find(
+              happ.app, e.region_name, fault::TargetClass::Internal,
+              e.instance)) {
+        row.hardened_success_rate = h->campaign.effective_success_rate();
+        row.detection_rate = h->campaign.detection_rate();
+      }
+      row.dwc_sites = st->dwc_sites;
+      row.abft_cells = st->abft_cells;
+      row.original_instructions = st->original_instructions;
+      row.added_instructions = st->added_instructions;
+      happ.regions.push_back(std::move(row));
+    }
+  }
+  return out;
 }
 
 }  // namespace ft::core

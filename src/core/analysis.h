@@ -47,6 +47,7 @@
 #include "fault/campaign.h"
 #include "fault/rank_campaign.h"
 #include "fault/sites.h"
+#include "harden/harden.h"
 #include "ir/opcode.h"
 #include "patterns/detect.h"
 #include "patterns/rates.h"
@@ -386,6 +387,60 @@ struct AnalysisReport {
   [[nodiscard]] const AppReport* find_app(std::string_view app) const;
 };
 
+// ---------------------------------------------------------------------------
+// Campaign-guided hardening (src/harden) wired end-to-end.
+// ---------------------------------------------------------------------------
+
+/// One protected region's before/after row: the baseline campaign that
+/// guided the pass joined against the re-campaign of the hardened module.
+struct HardenRegionRow {
+  std::uint32_t region_id = 0;
+  std::string region_name;
+  std::uint32_t instance = 0;
+  /// Measured resilience that selected this region for protection.
+  double baseline_success_rate = 0.0;
+  /// Hardened-module resilience counting detected-and-recovered trials as
+  /// verified (CampaignResult::effective_success_rate).
+  double hardened_success_rate = 0.0;
+  /// Share of hardened-module trials a detector caught (recovered or not).
+  double detection_rate = 0.0;
+  std::size_t dwc_sites = 0;
+  std::size_t abft_cells = 0;
+  std::size_t original_instructions = 0;  // static, region body
+  std::size_t added_instructions = 0;     // static, inserted by the pass
+  /// Static instruction multiplier of the protected region (>= 1.0).
+  [[nodiscard]] double overhead() const noexcept {
+    return original_instructions == 0
+               ? 1.0
+               : 1.0 + static_cast<double>(added_instructions) /
+                           static_cast<double>(original_instructions);
+  }
+};
+
+/// One application's hardening outcome: the emitted variant plus the
+/// coverage-vs-overhead rows of every protected region.
+struct HardenedApp {
+  std::string app;
+  /// The hardened executable form (spec.name matches the original app, so
+  /// the joined reports line up row-for-row).
+  apps::AppSpec spec;
+  /// Static accounting straight from the transform pass.
+  std::vector<harden::RegionStats> pass_stats;
+  std::size_t comm_sites = 0;  // DWC checks at MpiSend/MpiAllreduce feeds
+  /// True when comm protection was turned on by the rank taxonomy (escaping
+  /// faults observed) rather than by HardenConfig::protect_comm.
+  bool comm_guided = false;
+  std::vector<HardenRegionRow> regions;
+};
+
+/// Result of run_hardening: the guiding baseline report, the re-campaign of
+/// the hardened variants, and the per-app join.
+struct HardenReport {
+  AnalysisReport baseline;
+  AnalysisReport hardened;
+  std::vector<HardenedApp> apps;
+};
+
 /// Builder-style request. Example (Fig. 5 shape):
 ///
 ///   auto report = core::run_analysis(
@@ -454,8 +509,14 @@ class AnalysisRequest {
   /// (default: dropped to bound memory, as the old reset_trace() flow did).
   AnalysisRequest& keep_traces(bool keep = true);
 
+  // --- hardening ------------------------------------------------------------
+  /// Convenience spelling of run_hardening(*this, config).
+  [[nodiscard]] HardenReport harden(const harden::HardenConfig& config) const;
+
  private:
   friend AnalysisReport run_analysis(const AnalysisRequest& request);
+  friend HardenReport run_hardening(const AnalysisRequest& request,
+                                    const harden::HardenConfig& config);
 
   struct AppRef {
     std::string name;                          // registry name, or
@@ -485,5 +546,26 @@ class AnalysisRequest {
 /// independent of pool size and execution mode. Throws std::invalid_argument
 /// for unknown app/region names and propagates golden-run failures.
 [[nodiscard]] AnalysisReport run_analysis(const AnalysisRequest& request);
+
+/// Campaign -> transform -> re-campaign in one call:
+///
+///   1. run_analysis(request) measures baseline per-region resilience (the
+///      request must ask for success_rates; Internal-target entries guide
+///      the pass) and, when a rank campaign was requested, the cross-rank
+///      escape taxonomy;
+///   2. each application is hardened by harden::harden_module with
+///      RegionGuides built from its baseline rows — comm-boundary checks
+///      switch on automatically for apps whose rank taxonomy saw escaping
+///      faults (absorbed-by-collective / propagated / corrupted output);
+///   3. the same request re-runs against the hardened variants on the same
+///      batched pool, store and configs.
+///
+/// Both reports and the per-region coverage/overhead join are returned.
+/// Campaign determinism carries over: both legs draw plans from the same
+/// seeds, so the report is independent of pool size and fork policy.
+/// Throws std::runtime_error if a hardened module fails ir::verify and
+/// std::invalid_argument for requests without a success-rate campaign.
+[[nodiscard]] HardenReport run_hardening(const AnalysisRequest& request,
+                                         const harden::HardenConfig& config);
 
 }  // namespace ft::core

@@ -73,6 +73,7 @@ PreparedCampaign prepare_campaign(const SiteEnumerationResult& sites,
   // Fork bounds: the deepest fault-free prefix each trial can be forked at.
   out.fault_free_instructions = sites.fault_free_instructions;
   out.fork = config.fork;
+  out.recovery = config.recovery;
   out.fork_bounds.reserve(out.plans.size());
   for (const auto& plan : out.plans) {
     std::uint64_t bound = 0;
@@ -165,6 +166,34 @@ CampaignSnapshots prepare_snapshots(const vm::DecodedProgram& program,
   }
   return out;
 }
+
+namespace {
+
+/// Modeled checkpoint/rollback verdict for a detector trap. The recovery
+/// runtime checkpoints every RecoveryPolicy::checkpoint_interval retired
+/// instructions; a rollback succeeds iff the last checkpoint at or before
+/// the detection index was taken while the state was still clean (at or
+/// before the fault landing). A later checkpoint captured corrupted state,
+/// and restoring it deterministically re-fires the same detector, so those
+/// trials classify DetectedUnrecoverable without re-running. Both indices
+/// are properties of the deterministic execution — never of scheduling —
+/// which keeps outcome counts identical across pool sizes and fork on/off.
+bool rollback_reaches_clean_state(const RecoveryPolicy& recovery,
+                                  std::uint64_t landing,
+                                  std::uint64_t detect) {
+  const std::uint64_t interval =
+      std::max<std::uint64_t>(recovery.checkpoint_interval, 1);
+  return detect / interval * interval <= landing;
+}
+
+/// Fault landing index when no fork-bound table applies: a result-bit flip
+/// lands when its dynamic instruction retires; everything else is pinned
+/// to the start of the run (conservative — the checkpoint there is clean).
+std::uint64_t plan_landing_index(const vm::FaultPlan& plan) {
+  return plan.kind == vm::FaultPlan::Kind::ResultBit ? plan.dyn_index : 0;
+}
+
+}  // namespace
 
 bool TrialRunner::seek_cursor(std::uint64_t bound) {
   // Re-seed from the deepest waypoint at or before `bound` when the cursor
@@ -283,7 +312,46 @@ Outcome TrialRunner::run(std::size_t plan_index, TrialAccounting* accounting) {
   }
   const auto run = vm.take_result();
   if (accounting) accounting->instructions = run.instructions - fork_index;
+  if (run.trap == vm::TrapKind::DetectedFault && prepared_->recovery.enabled) {
+    return recover(plan_index, bound, run.instructions, accounting);
+  }
   return classify_outcome(run, *golden_, *verify_);
+}
+
+Outcome TrialRunner::recover(std::size_t plan_index, std::uint64_t landing,
+                             std::uint64_t detect,
+                             TrialAccounting* accounting) {
+  if (!rollback_reaches_clean_state(prepared_->recovery, landing, detect)) {
+    return Outcome::DetectedUnrecoverable;
+  }
+  // Roll back to the deepest golden waypoint at or before the fault landing
+  // and re-execute with the plan disarmed. The tail from a clean state is
+  // the golden run itself, so a successful recovery finishes bit-identical
+  // to golden — but we measure that rather than assume it: the rerun is
+  // classified like any other trial.
+  vm::RunResult rerun;
+  const std::size_t w = snapshots_->fork_waypoint.empty()
+                            ? 0
+                            : snapshots_->fork_waypoint[plan_index];
+  if (vm_ && w != 0) {
+    const auto& waypoint = snapshots_->waypoints[w - 1];
+    vm_->rollback(waypoint.state);
+    synced_ = false;  // rollback rebuilt memory; cursor history is gone
+    vm_->run_until(~std::uint64_t{0});
+    rerun = vm_->take_result();
+    if (accounting) {
+      accounting->instructions += rerun.instructions - waypoint.index;
+    }
+  } else {
+    vm::VmOptions opts = prepared_->run_opts;
+    opts.fault = vm::FaultPlan::none();
+    rerun = vm::Vm::run(*program_, opts);
+    if (accounting) accounting->instructions += rerun.instructions;
+  }
+  return classify_outcome(rerun, *golden_, *verify_) ==
+                 Outcome::VerificationSuccess
+             ? Outcome::DetectedRecovered
+             : Outcome::DetectedUnrecoverable;
 }
 
 std::vector<std::uint32_t> fork_schedule(const PreparedCampaign& prepared) {
@@ -315,7 +383,7 @@ namespace {
 /// baseline) — the two overload sets below instantiate them.
 template <typename Executable>
 Outcome run_trial_impl(const Executable& exe, const PreparedCampaign& prepared,
-                       const vm::FaultPlan& plan,
+                       const vm::FaultPlan& plan, std::uint64_t landing,
                        const std::vector<vm::OutputValue>& golden,
                        const Verifier& verify, std::uint64_t* instructions) {
   vm::VmOptions opts = prepared.run_opts;
@@ -326,6 +394,22 @@ Outcome run_trial_impl(const Executable& exe, const PreparedCampaign& prepared,
   }
   auto run = vm::Vm::run(exe, opts);
   if (instructions) *instructions = run.instructions;
+  if (run.trap == vm::TrapKind::DetectedFault && prepared.recovery.enabled) {
+    // Scratch-path recovery: same modeled-checkpoint verdict as the forked
+    // runner, but the clean re-execution starts from zero (no snapshots
+    // here). Outcomes match the forked path exactly — only cost differs.
+    if (!rollback_reaches_clean_state(prepared.recovery, landing,
+                                      run.instructions)) {
+      return Outcome::DetectedUnrecoverable;
+    }
+    opts.fault = vm::FaultPlan::none();
+    auto rerun = vm::Vm::run(exe, opts);
+    if (instructions) *instructions += rerun.instructions;
+    return classify_outcome(rerun, golden, verify) ==
+                   Outcome::VerificationSuccess
+               ? Outcome::DetectedRecovered
+               : Outcome::DetectedUnrecoverable;
+  }
   return classify_outcome(run, golden, verify);
 }
 
@@ -340,15 +424,23 @@ CampaignResult run_prepared_impl(const Executable& exe,
   out.trials = prepared.plans.size();
   if (prepared.plans.empty()) return out;
 
+  const bool bounds =
+      prepared.fork_bounds.size() == prepared.plans.size();
   std::atomic<std::size_t> success{0}, failed{0}, crashed{0};
+  std::atomic<std::size_t> recovered{0}, unrecoverable{0};
   std::atomic<std::uint64_t> instructions{0};
   pool.parallel_for(prepared.plans.size(), [&](std::size_t i) {
     std::uint64_t n = 0;
-    switch (run_trial_impl(exe, prepared, prepared.plans[i], golden, verify,
-                           &n)) {
+    const std::uint64_t landing = bounds
+                                      ? prepared.fork_bounds[i]
+                                      : plan_landing_index(prepared.plans[i]);
+    switch (run_trial_impl(exe, prepared, prepared.plans[i], landing, golden,
+                           verify, &n)) {
       case Outcome::VerificationSuccess: success.fetch_add(1); break;
       case Outcome::VerificationFailed: failed.fetch_add(1); break;
       case Outcome::Crashed: crashed.fetch_add(1); break;
+      case Outcome::DetectedRecovered: recovered.fetch_add(1); break;
+      case Outcome::DetectedUnrecoverable: unrecoverable.fetch_add(1); break;
     }
     instructions.fetch_add(n);
   });
@@ -356,6 +448,8 @@ CampaignResult run_prepared_impl(const Executable& exe,
   out.success = success.load();
   out.failed = failed.load();
   out.crashed = crashed.load();
+  out.detected_recovered = recovered.load();
+  out.detected_unrecoverable = unrecoverable.load();
   out.instructions_retired = instructions.load();
   return out;
 }
@@ -379,6 +473,7 @@ CampaignResult run_prepared_forked(const vm::DecodedProgram& program,
   const auto order = fork_schedule(prepared);
 
   std::atomic<std::size_t> success{0}, failed{0}, crashed{0}, early{0};
+  std::atomic<std::size_t> recovered{0}, unrecoverable{0};
   std::atomic<std::uint64_t> instructions{0}, prefix_saved{0}, conv_saved{0};
   // Chunked dispatch in fork_schedule order: each task owns one TrialRunner,
   // so consecutive trials on a worker reuse one machine and mostly fork from
@@ -398,6 +493,8 @@ CampaignResult run_prepared_forked(const vm::DecodedProgram& program,
         case Outcome::VerificationSuccess: success.fetch_add(1); break;
         case Outcome::VerificationFailed: failed.fetch_add(1); break;
         case Outcome::Crashed: crashed.fetch_add(1); break;
+        case Outcome::DetectedRecovered: recovered.fetch_add(1); break;
+        case Outcome::DetectedUnrecoverable: unrecoverable.fetch_add(1); break;
       }
       instructions.fetch_add(acct.instructions);
       prefix_saved.fetch_add(acct.prefix_saved);
@@ -409,6 +506,8 @@ CampaignResult run_prepared_forked(const vm::DecodedProgram& program,
   out.success = success.load();
   out.failed = failed.load();
   out.crashed = crashed.load();
+  out.detected_recovered = recovered.load();
+  out.detected_unrecoverable = unrecoverable.load();
   out.instructions_retired = instructions.load();
   out.prefix_instructions_saved = prefix_saved.load();
   out.convergence_instructions_saved = conv_saved.load();
@@ -422,14 +521,16 @@ Outcome run_trial(const vm::DecodedProgram& program,
                   const PreparedCampaign& prepared, const vm::FaultPlan& plan,
                   const std::vector<vm::OutputValue>& golden,
                   const Verifier& verify, std::uint64_t* instructions) {
-  return run_trial_impl(program, prepared, plan, golden, verify, instructions);
+  return run_trial_impl(program, prepared, plan, plan_landing_index(plan),
+                        golden, verify, instructions);
 }
 
 Outcome run_trial(const ir::Module& m, const PreparedCampaign& prepared,
                   const vm::FaultPlan& plan,
                   const std::vector<vm::OutputValue>& golden,
                   const Verifier& verify, std::uint64_t* instructions) {
-  return run_trial_impl(m, prepared, plan, golden, verify, instructions);
+  return run_trial_impl(m, prepared, plan, plan_landing_index(plan), golden,
+                        verify, instructions);
 }
 
 CampaignResult run_prepared_campaign(const vm::DecodedProgram& program,

@@ -59,6 +59,32 @@ struct ForkPolicy {
   std::size_t max_probes = 6;
 };
 
+/// Checkpoint/rollback recovery policy for programs carrying hardening
+/// detectors (src/harden/). When a trial traps with
+/// vm::TrapKind::DetectedFault the driver rolls the machine back to the
+/// last clean checkpoint and re-executes with the (transient) fault
+/// disarmed. The checkpoint model is a fixed cadence over retired
+/// instructions: recovery succeeds iff no checkpoint falls between the
+/// fault's landing point and the detection — a checkpoint taken in between
+/// captured the corrupted state, and re-executing from it would
+/// deterministically re-fire the detector (DetectedUnrecoverable).
+///
+/// Both fields are SEMANTIC campaign inputs (they change outcome counts)
+/// and therefore hash into the store's campaign key, unlike the pure
+/// scheduling knobs in ForkPolicy. Outcomes stay independent of pool size,
+/// execution mode and fork on/off: the landing and detection indices are
+/// properties of the deterministic execution, not of the scheduler.
+struct RecoveryPolicy {
+  /// Roll back + re-execute on DetectedFault. Programs without detectors
+  /// never take this path, so the default costs nothing.
+  bool enabled = true;
+  /// Modeled checkpoint cadence in retired instructions. Smaller intervals
+  /// model an aggressive checkpointer (more corrupted-checkpoint captures
+  /// for long-latency detectors); larger ones approximate
+  /// checkpoint-at-region-boundaries.
+  std::uint64_t checkpoint_interval = 4096;
+};
+
 struct CampaignConfig {
   /// Number of injection trials; 0 derives it from the site population via
   /// fault_injection_sample_size(confidence, margin).
@@ -72,6 +98,8 @@ struct CampaignConfig {
   util::ThreadPool* pool = nullptr;  // nullptr = util::global_pool()
   /// Snapshot-forked trial execution (copied into the prepared campaign).
   ForkPolicy fork{};
+  /// Checkpoint/rollback recovery (copied into the prepared campaign).
+  RecoveryPolicy recovery{};
 };
 
 struct CampaignResult {
@@ -79,6 +107,13 @@ struct CampaignResult {
   std::size_t success = 0;
   std::size_t failed = 0;
   std::size_t crashed = 0;
+  /// Trials whose hardening detector fired and whose rollback re-execution
+  /// finished with verified output (bit-identical to golden by
+  /// construction — the re-execution replays the fault-free run).
+  std::size_t detected_recovered = 0;
+  /// Trials whose detector fired but could not be recovered (corrupted
+  /// checkpoint, recovery disabled, or a failed re-execution).
+  std::size_t detected_unrecoverable = 0;
   std::uint64_t population_bits = 0;  // sampled site population size
   /// Dynamic instructions retired across all trials (filled by
   /// run_prepared_campaign; the engine-throughput figure of merit). Under
@@ -107,6 +142,23 @@ struct CampaignResult {
                        : static_cast<double>(success) /
                              static_cast<double>(trials);
   }
+  /// Verified-output share once recovery is in play: plain verification
+  /// successes plus detected-and-recovered trials (which finish
+  /// bit-identical to golden). The resilience figure hardened variants are
+  /// compared on.
+  [[nodiscard]] double effective_success_rate() const noexcept {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(success + detected_recovered) /
+                             static_cast<double>(trials);
+  }
+  /// Share of trials a hardening detector caught (either class). Zero for
+  /// programs without detectors.
+  [[nodiscard]] double detection_rate() const noexcept {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(detected_recovered +
+                                             detected_unrecoverable) /
+                             static_cast<double>(trials);
+  }
 };
 
 /// A campaign broken into its deterministic prelude: the up-front sampled
@@ -131,6 +183,8 @@ struct PreparedCampaign {
   std::uint64_t fault_free_instructions = 0;
   /// Prefix-reuse policy, copied from CampaignConfig::fork.
   ForkPolicy fork{};
+  /// Rollback recovery policy, copied from CampaignConfig::recovery.
+  RecoveryPolicy recovery{};
 };
 
 /// Waypoint snapshots along ONE golden execution of a prepared campaign,
@@ -207,6 +261,15 @@ class TrialRunner {
   /// Returns false when the golden run cannot reach `bound` still Running
   /// (stale bounds) — the caller then forks from scratch.
   bool seek_cursor(std::uint64_t bound);
+
+  /// Checkpoint/rollback tail after a DetectedFault trap: decide
+  /// recoverability against the modeled checkpoint cadence, then roll the
+  /// trial machine back (Vm::rollback onto the deepest waypoint at or
+  /// before the fault landing; fresh scratch run when forking is off) and
+  /// re-execute clean. Returns DetectedRecovered iff the re-execution
+  /// verifies against golden.
+  Outcome recover(std::size_t plan_index, std::uint64_t landing,
+                  std::uint64_t detect, TrialAccounting* accounting);
 
   const vm::DecodedProgram* program_;
   const PreparedCampaign* prepared_;

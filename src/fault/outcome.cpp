@@ -7,7 +7,13 @@ namespace ft::fault {
 Outcome classify_outcome(const vm::RunResult& faulty,
                          const std::vector<vm::OutputValue>& golden,
                          const Verifier& verify) {
-  if (!faulty.completed()) return Outcome::Crashed;
+  if (!faulty.completed()) {
+    // A detector that fired without a recovery driver behind it is still a
+    // detection, not a plain crash: the program stopped itself on purpose.
+    return faulty.trap == vm::TrapKind::DetectedFault
+               ? Outcome::DetectedUnrecoverable
+               : Outcome::Crashed;
+  }
   if (faulty.outputs == golden) return Outcome::VerificationSuccess;
   return verify(faulty.outputs, golden) ? Outcome::VerificationSuccess
                                         : Outcome::VerificationFailed;

@@ -15,6 +15,14 @@ enum class Outcome : std::uint8_t {
   VerificationSuccess,
   VerificationFailed,
   Crashed,
+  /// A hardening detector (ir::Opcode::CheckTrap) fired and the rollback
+  /// re-execution completed with output that passes verification. By
+  /// construction the recovered output is the fault-free one — the fault
+  /// is transient and the re-execution runs clean from the checkpoint.
+  DetectedRecovered,
+  /// A detector fired but recovery was unavailable or the re-execution
+  /// itself failed (trapped again, hung, or produced bad output).
+  DetectedUnrecoverable,
 };
 
 [[nodiscard]] constexpr std::string_view outcome_name(Outcome o) noexcept {
@@ -22,6 +30,8 @@ enum class Outcome : std::uint8_t {
     case Outcome::VerificationSuccess: return "verification-success";
     case Outcome::VerificationFailed: return "verification-failed";
     case Outcome::Crashed: return "crashed";
+    case Outcome::DetectedRecovered: return "detected-recovered";
+    case Outcome::DetectedUnrecoverable: return "detected-unrecoverable";
   }
   return "?";
 }

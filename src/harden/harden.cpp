@@ -1,0 +1,498 @@
+#include "harden/harden.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/verify.h"
+
+namespace ft::harden {
+
+namespace {
+
+using ir::Instruction;
+using ir::Opcode;
+using ir::Operand;
+using ir::OperandKind;
+using ir::Type;
+
+constexpr std::uint32_t kNoRegion = ~std::uint32_t{0};
+
+/// Instructions DWC can duplicate: pure value producers whose re-execution
+/// on the same operands is side-effect free and bit-deterministic. Rand
+/// (RNG cursor), Alloca (stack bump), Call and the MPI ops are excluded;
+/// Load is gated by config (pure between itself and its duplicate, which
+/// is inserted immediately after — no store can intervene).
+bool dwc_candidate(const Instruction& ins, const HardenConfig& cfg) {
+  if (!ins.defines_register()) return false;
+  if (is_int_binary(ins.op) || is_float_binary(ins.op) ||
+      is_float_unary(ins.op) || is_cast(ins.op)) {
+    return true;
+  }
+  switch (ins.op) {
+    case Opcode::ICmp:
+    case Opcode::FCmp:
+    case Opcode::Select:
+    case Opcode::Gep:
+      return true;
+    case Opcode::Load:
+      return cfg.dwc_loads;
+    default:
+      return false;
+  }
+}
+
+/// One shadowed accumulator cell: an Alloca slot every use of which is a
+/// same-typed direct Load/Store, with at least one accumulate chain
+/// (load cell -> add -> store cell) inside a protected region.
+struct CellPlan {
+  std::uint32_t cell_reg = 0;    // Alloca result (the slot's address)
+  std::uint32_t shadow_reg = 0;  // fresh Ptr register for the shadow slot
+  Type type = Type::F64;
+  std::int64_t alloca_aux = 8;
+  std::uint32_t stats_region = kNoRegion;        // attribution
+  std::vector<std::uint32_t> check_regions;      // exits that compare
+};
+
+/// One store to a protected cell that matches the accumulate idiom: the
+/// shadow applies the same increment (same opcode, same operand order)
+/// instead of copying the stored value, so a corrupted cell load or add
+/// result diverges from the shadow.
+struct AccumMirror {
+  std::uint32_t cell_reg = 0;
+  Opcode add_op = Opcode::FAdd;
+  std::uint32_t load_pos = 0;  // operand slot of the cell load in the add
+  Operand inc;                 // the other operand
+};
+
+/// Per-function transform plan, produced by the analysis walk and consumed
+/// by the rebuild walk (both traverse blocks and instructions in the same
+/// linear order, so plans key off the linear instruction index).
+struct FunctionPlan {
+  std::unordered_map<std::size_t, std::uint32_t> dwc;  // li -> stats region
+  std::unordered_map<std::size_t, AccumMirror> accum;  // li of the Store
+  std::unordered_set<std::size_t> plain_mirror;        // li of the Store
+  std::map<std::uint32_t, CellPlan> cells;             // by cell_reg
+  std::size_t comm_sites = 0;
+};
+
+struct RegionTally {
+  std::size_t original = 0;
+  std::size_t dwc_sites = 0;
+  std::size_t abft_cells = 0;
+  std::size_t added = 0;
+};
+
+/// Tracks which protected regions are statically active at a point of the
+/// linear walk. Structured builder code emits RegionEnter, the body blocks,
+/// then RegionExit in construction order, so the linear interval between
+/// the markers is exactly the region body.
+class ActiveRegions {
+ public:
+  explicit ActiveRegions(const std::unordered_set<std::uint32_t>* selected)
+      : selected_(selected) {}
+
+  void step(const Instruction& ins) {
+    if (ins.op == Opcode::RegionEnter && selected_->count(rid(ins))) {
+      stack_.push_back(rid(ins));
+    } else if (ins.op == Opcode::RegionExit && !stack_.empty()) {
+      const auto it = std::find(stack_.rbegin(), stack_.rend(), rid(ins));
+      if (it != stack_.rend()) stack_.erase(std::next(it).base());
+    }
+  }
+
+  [[nodiscard]] bool any() const noexcept { return !stack_.empty(); }
+  [[nodiscard]] std::uint32_t top() const noexcept {
+    return stack_.empty() ? kNoRegion : stack_.back();
+  }
+
+ private:
+  static std::uint32_t rid(const Instruction& ins) noexcept {
+    return static_cast<std::uint32_t>(ins.aux);
+  }
+  const std::unordered_set<std::uint32_t>* selected_;
+  std::vector<std::uint32_t> stack_;
+};
+
+/// Append the DWC check for `ins` (already copied into `out`): duplicate,
+/// bitwise-compare, trap. ICmp compares raw canonical register bits in all
+/// three engines, so one Ne predicate covers ints, floats and pointers.
+void emit_dwc(ir::Function& f, std::vector<Instruction>& out,
+              const Instruction& ins) {
+  Instruction dup = ins;
+  dup.result = f.fresh_reg();
+  out.push_back(dup);
+
+  Instruction cmp;
+  cmp.op = Opcode::ICmp;
+  cmp.type = Type::I1;
+  cmp.pred = ir::CmpPred::Ne;
+  cmp.result = f.fresh_reg();
+  cmp.line = ins.line;
+  cmp.ops = {Operand::reg(ins.result, ins.type),
+             Operand::reg(dup.result, ins.type)};
+  out.push_back(cmp);
+
+  Instruction trap;
+  trap.op = Opcode::CheckTrap;
+  trap.line = ins.line;
+  trap.ops = {Operand::reg(cmp.result, Type::I1)};
+  out.push_back(trap);
+}
+
+/// Append `shadow == cell` detector code (2 loads, bitwise compare, trap).
+void emit_cell_check(ir::Function& f, std::vector<Instruction>& out,
+                     const CellPlan& cell, std::uint32_t line) {
+  Instruction lc;
+  lc.op = Opcode::Load;
+  lc.type = cell.type;
+  lc.result = f.fresh_reg();
+  lc.line = line;
+  lc.ops = {Operand::reg(cell.cell_reg, Type::Ptr)};
+  out.push_back(lc);
+
+  Instruction ls = lc;
+  ls.result = f.fresh_reg();
+  ls.ops = {Operand::reg(cell.shadow_reg, Type::Ptr)};
+  out.push_back(ls);
+
+  Instruction cmp;
+  cmp.op = Opcode::ICmp;
+  cmp.type = Type::I1;
+  cmp.pred = ir::CmpPred::Ne;
+  cmp.result = f.fresh_reg();
+  cmp.line = line;
+  cmp.ops = {Operand::reg(lc.result, cell.type),
+             Operand::reg(ls.result, cell.type)};
+  out.push_back(cmp);
+
+  Instruction trap;
+  trap.op = Opcode::CheckTrap;
+  trap.line = line;
+  trap.ops = {Operand::reg(cmp.result, Type::I1)};
+  out.push_back(trap);
+}
+
+/// Analysis walk of one function. Fills `plan`, tallies per-region static
+/// instruction counts, allocates shadow registers.
+void analyze_function(const ir::Function& f,
+                      const std::unordered_set<std::uint32_t>& selected,
+                      const HardenConfig& cfg, bool comm,
+                      ir::Function& mutable_f, FunctionPlan& plan,
+                      std::map<std::uint32_t, RegionTally>& tally) {
+  // Register definition sites, by linear index and by pointer.
+  std::unordered_map<std::uint32_t, const Instruction*> def;
+  std::unordered_map<std::uint32_t, std::size_t> def_li;
+  std::unordered_map<std::uint32_t, std::size_t> def_block;
+  {
+    std::size_t li = 0;
+    for (std::size_t bi = 0; bi < f.blocks.size(); ++bi) {
+      for (const auto& ins : f.blocks[bi].instrs) {
+        if (ins.defines_register()) {
+          def[ins.result] = &ins;
+          def_li[ins.result] = li;
+          def_block[ins.result] = bi;
+        }
+        ++li;
+      }
+    }
+  }
+
+  // Candidate cells: ENTRY-BLOCK Alloca slots used only as direct same-typed
+  // Load/Store addresses. Any other use (Gep arithmetic, call argument,
+  // stored as a value) could alias the slot past the mirror's sight, so it
+  // disqualifies the cell — a missed mirror would make a clean run trip the
+  // detector. The entry-block restriction is a dominance guarantee: the
+  // region-exit check loads every protected cell unconditionally, and an
+  // Alloca inside a branch or loop body (e.g. a loop counter in a taken-
+  // sometimes arm) may never have executed when the exit retires, leaving
+  // the slot register undefined — the check would dereference garbage.
+  std::unordered_map<std::uint32_t, std::optional<Type>> cell_type;
+  if (!f.blocks.empty()) {
+    for (const auto& ins : f.blocks[0].instrs) {
+      if (ins.op == Opcode::Alloca) cell_type.emplace(ins.result, std::nullopt);
+    }
+  }
+  auto disqualify = [&](std::uint32_t reg) { cell_type.erase(reg); };
+  auto note_access = [&](std::uint32_t reg, Type t) {
+    const auto it = cell_type.find(reg);
+    if (it == cell_type.end()) return;
+    if (!it->second) {
+      it->second = t;
+    } else if (*it->second != t) {
+      disqualify(reg);
+    }
+  };
+  for (const auto& b : f.blocks) {
+    for (const auto& ins : b.instrs) {
+      for (std::size_t oi = 0; oi < ins.ops.size(); ++oi) {
+        const auto& op = ins.ops[oi];
+        if (op.kind != OperandKind::Reg || !cell_type.count(op.id)) continue;
+        const bool load_addr = ins.op == Opcode::Load && oi == 0;
+        const bool store_addr = ins.op == Opcode::Store && oi == 1;
+        if (load_addr) {
+          note_access(op.id, ins.type);
+        } else if (store_addr) {
+          note_access(op.id, ins.ops[0].type);
+        } else {
+          disqualify(op.id);
+        }
+      }
+    }
+  }
+
+  // Main walk: region tracking, DWC marks, accumulate-site detection.
+  ActiveRegions active(&selected);
+  std::map<std::uint32_t, std::size_t> dwc_count;  // per region, for the cap
+  std::size_t li = 0;
+  for (std::size_t bi = 0; bi < f.blocks.size(); ++bi) {
+    for (const auto& ins : f.blocks[bi].instrs) {
+      const bool was_active = active.any();
+      const std::uint32_t region = active.top();
+      active.step(ins);
+      if (was_active && !is_region_marker(ins.op)) {
+        tally[region].original++;
+      }
+
+      if (cfg.dwc && was_active && dwc_candidate(ins, cfg) &&
+          dwc_count[region] < cfg.max_dwc_per_region) {
+        plan.dwc.emplace(li, region);
+        dwc_count[region]++;
+      }
+
+      if (comm &&
+          (ins.op == Opcode::MpiSend || ins.op == Opcode::MpiAllreduce)) {
+        const std::size_t vi = ins.op == Opcode::MpiSend ? 1 : 0;
+        if (vi < ins.ops.size() && ins.ops[vi].kind == OperandKind::Reg) {
+          const auto it = def.find(ins.ops[vi].id);
+          if (it != def.end() && dwc_candidate(*it->second, cfg) &&
+              plan.dwc.emplace(def_li[ins.ops[vi].id], kNoRegion).second) {
+            plan.comm_sites++;
+          }
+        }
+      }
+
+      if (cfg.abft && was_active && ins.op == Opcode::Store &&
+          ins.ops.size() == 2 && ins.ops[1].kind == OperandKind::Reg &&
+          cell_type.count(ins.ops[1].id) &&
+          ins.ops[0].kind == OperandKind::Reg) {
+        const std::uint32_t cell = ins.ops[1].id;
+        const auto rit = def.find(ins.ops[0].id);
+        if (rit != def.end() && def_block[ins.ops[0].id] == bi &&
+            (rit->second->op == Opcode::Add ||
+             rit->second->op == Opcode::FAdd)) {
+          const auto& add = *rit->second;
+          for (std::uint32_t k = 0; k < 2; ++k) {
+            if (add.ops[k].kind != OperandKind::Reg) continue;
+            const auto lit = def.find(add.ops[k].id);
+            if (lit == def.end() || lit->second->op != Opcode::Load) continue;
+            if (def_block[add.ops[k].id] != bi) continue;
+            const auto& ld = *lit->second;
+            if (ld.ops.empty() || ld.ops[0].kind != OperandKind::Reg ||
+                ld.ops[0].id != cell) {
+              continue;
+            }
+            AccumMirror m;
+            m.cell_reg = cell;
+            m.add_op = add.op;
+            m.load_pos = k;
+            m.inc = add.ops[1 - k];
+            plan.accum.emplace(li, m);
+            auto [cit, fresh] = plan.cells.try_emplace(cell);
+            if (fresh) {
+              cit->second.cell_reg = cell;
+              cit->second.shadow_reg = mutable_f.fresh_reg();
+              cit->second.type = *cell_type[cell];
+              cit->second.alloca_aux = def[cell]->aux;
+              cit->second.stats_region = region;
+            }
+            auto& checks = cit->second.check_regions;
+            if (std::find(checks.begin(), checks.end(), region) ==
+                checks.end()) {
+              checks.push_back(region);
+            }
+            break;
+          }
+        }
+      }
+      ++li;
+    }
+  }
+
+  // Every store to a protected cell must be mirrored — including init
+  // stores outside any protected region — or shadow == cell breaks on
+  // clean runs. Accumulate sites re-apply the increment; the rest copy.
+  if (!plan.cells.empty()) {
+    li = 0;
+    for (const auto& b : f.blocks) {
+      for (const auto& ins : b.instrs) {
+        if (ins.op == Opcode::Store && ins.ops.size() == 2 &&
+            ins.ops[1].kind == OperandKind::Reg &&
+            plan.cells.count(ins.ops[1].id) && !plan.accum.count(li)) {
+          plan.plain_mirror.insert(li);
+        }
+        ++li;
+      }
+    }
+    for (const auto& [reg, cell] : plan.cells) {
+      tally[cell.stats_region].abft_cells++;
+    }
+  }
+}
+
+/// Rebuild walk: copy every instruction, splicing in shadow allocas,
+/// store mirrors, region-exit checks and DWC checks planned above.
+void rebuild_function(ir::Function& f, const FunctionPlan& plan,
+                      std::map<std::uint32_t, RegionTally>& tally,
+                      std::size_t* comm_added) {
+  std::size_t li = 0;
+  for (auto& block : f.blocks) {
+    std::vector<Instruction> out;
+    out.reserve(block.instrs.size());
+    for (const auto& ins : block.instrs) {
+      if (ins.op == Opcode::RegionExit) {
+        const auto rid = static_cast<std::uint32_t>(ins.aux);
+        for (const auto& [reg, cell] : plan.cells) {
+          if (std::find(cell.check_regions.begin(), cell.check_regions.end(),
+                        rid) != cell.check_regions.end()) {
+            const std::size_t before = out.size();
+            emit_cell_check(f, out, cell, ins.line);
+            tally[rid].added += out.size() - before;
+          }
+        }
+      }
+      out.push_back(ins);
+
+      if (ins.op == Opcode::Alloca) {
+        const auto cit = plan.cells.find(ins.result);
+        if (cit != plan.cells.end()) {
+          const auto& cell = cit->second;
+          // The shadow slot, plus shadow := cell so the invariant holds
+          // from birth even if the program reads before its first store.
+          Instruction sh = ins;
+          sh.result = cell.shadow_reg;
+          out.push_back(sh);
+          Instruction init_ld;
+          init_ld.op = Opcode::Load;
+          init_ld.type = cell.type;
+          init_ld.result = f.fresh_reg();
+          init_ld.line = ins.line;
+          init_ld.ops = {Operand::reg(cell.cell_reg, Type::Ptr)};
+          out.push_back(init_ld);
+          Instruction init_st;
+          init_st.op = Opcode::Store;
+          init_st.line = ins.line;
+          init_st.ops = {Operand::reg(init_ld.result, cell.type),
+                         Operand::reg(cell.shadow_reg, Type::Ptr)};
+          out.push_back(init_st);
+          tally[cell.stats_region].added += 3;
+        }
+      }
+
+      if (const auto ait = plan.accum.find(li); ait != plan.accum.end()) {
+        const auto& m = ait->second;
+        const auto& cell = plan.cells.at(m.cell_reg);
+        Instruction ld;
+        ld.op = Opcode::Load;
+        ld.type = cell.type;
+        ld.result = f.fresh_reg();
+        ld.line = ins.line;
+        ld.ops = {Operand::reg(cell.shadow_reg, Type::Ptr)};
+        out.push_back(ld);
+        Instruction add;
+        add.op = m.add_op;
+        add.type = cell.type;
+        add.result = f.fresh_reg();
+        add.line = ins.line;
+        add.ops.resize(2);
+        // Same opcode, same operand order as the original chain: the
+        // shadow accumulates bit-identically on clean runs.
+        add.ops[m.load_pos] = Operand::reg(ld.result, cell.type);
+        add.ops[1 - m.load_pos] = m.inc;
+        out.push_back(add);
+        Instruction st;
+        st.op = Opcode::Store;
+        st.line = ins.line;
+        st.ops = {Operand::reg(add.result, cell.type),
+                  Operand::reg(cell.shadow_reg, Type::Ptr)};
+        out.push_back(st);
+        tally[cell.stats_region].added += 3;
+      } else if (plan.plain_mirror.count(li)) {
+        const auto& cell = plan.cells.at(ins.ops[1].id);
+        Instruction st;
+        st.op = Opcode::Store;
+        st.line = ins.line;
+        st.ops = {ins.ops[0], Operand::reg(cell.shadow_reg, Type::Ptr)};
+        out.push_back(st);
+        tally[cell.stats_region].added += 1;
+      }
+
+      if (const auto dit = plan.dwc.find(li); dit != plan.dwc.end()) {
+        const std::size_t before = out.size();
+        emit_dwc(f, out, ins);
+        if (dit->second == kNoRegion) {
+          *comm_added += out.size() - before;
+        } else {
+          tally[dit->second].added += out.size() - before;
+          tally[dit->second].dwc_sites++;
+        }
+      }
+      ++li;
+    }
+    block.instrs = std::move(out);
+  }
+}
+
+}  // namespace
+
+HardenResult harden_module(const ir::Module& m, const HardenConfig& config,
+                           const std::vector<RegionGuide>& guides) {
+  HardenResult out{m, {}, 0, 0, 0, {}};
+
+  std::unordered_set<std::uint32_t> selected;
+  bool comm = config.protect_comm;
+  if (guides.empty()) {
+    for (std::uint32_t r = 0; r < m.num_regions(); ++r) selected.insert(r);
+  } else {
+    for (const auto& g : guides) {
+      if (g.success_rate < config.sr_threshold &&
+          g.region_id < m.num_regions()) {
+        selected.insert(g.region_id);
+        comm = comm || g.escaping;
+      }
+    }
+  }
+
+  std::map<std::uint32_t, RegionTally> tally;
+  for (const auto rid : selected) tally.emplace(rid, RegionTally{});
+  std::size_t comm_added = 0;
+  for (std::uint32_t fi = 0; fi < out.module.num_functions(); ++fi) {
+    out.original_instructions += m.function(fi).instruction_count();
+    FunctionPlan plan;
+    analyze_function(m.function(fi), selected, config, comm,
+                     out.module.function(fi), plan, tally);
+    rebuild_function(out.module.function(fi), plan, tally, &comm_added);
+    out.comm_sites += plan.comm_sites;
+  }
+
+  for (const auto& [rid, t] : tally) {
+    RegionStats rs;
+    rs.region_id = rid;
+    rs.name = out.module.region(rid).name;
+    rs.original_instructions = t.original;
+    rs.dwc_sites = t.dwc_sites;
+    rs.abft_cells = t.abft_cells;
+    rs.added_instructions = t.added;
+    out.added_instructions += t.added;
+    out.regions.push_back(std::move(rs));
+  }
+  out.added_instructions += comm_added;
+
+  out.module.layout();
+  out.verify_errors = ir::verify(out.module);
+  return out;
+}
+
+}  // namespace ft::harden

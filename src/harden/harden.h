@@ -1,0 +1,116 @@
+/// @file
+/// Campaign-guided automatic hardening (IR-to-IR transform pass).
+///
+/// Consumes measured per-region resilience (success rates from a fault
+/// campaign, optionally the cross-rank escape taxonomy) and inserts
+/// protection only where resilience is low:
+///
+///   DWC   selective instruction duplication with compare-and-trap: every
+///         pure value-producing instruction in a protected region is
+///         re-executed on the same operands, the two results are compared
+///         bitwise, and a mismatch raises TrapKind::DetectedFault through
+///         the CheckTrap intrinsic. Detects result-register flips in the
+///         duplicated chain within a couple of instructions (short
+///         detection latency -> usually recoverable by rollback). Cannot
+///         see memory corruption: both copies read the same cells.
+///
+///   ABFT  shadow accumulators on linear-algebra reduction cells (the CG
+///         dot/spmv and MG restriction idiom: load cell -> add -> store
+///         cell). Every store to a protected cell is mirrored into a
+///         shadow slot — accumulate stores re-apply the increment to the
+///         shadow, plain stores copy the value — so shadow == cell is a
+///         bit-exact invariant of every clean run. A bitwise compare at
+///         each RegionExit of the protected region traps on divergence.
+///         Detects corruption of the cell itself (including region-entry
+///         input-memory faults and wild stores through corrupted
+///         addresses) that DWC is structurally blind to, at the price of
+///         detection latency: the trap fires at region exit, so a
+///         checkpoint taken mid-region may capture the corruption and
+///         make the trial DetectedUnrecoverable.
+///
+///   Comm  boundary protection for multi-rank runs: when the rank
+///         taxonomy flags escaping faults (absorbed-by-collective,
+///         propagated, cross-rank corrupted output), the values flowing
+///         into MpiSend / MpiAllreduce are DWC-checked immediately before
+///         they enter the communication layer, wherever they are built.
+///
+/// Clean-run transparency: every inserted duplicate re-computes on the
+/// original operands in the original order, so a clean (fault-free) run of
+/// the hardened module produces output bit-identical to the original on
+/// all three engines — pinned by tests/engine_fuzz_test.cpp. Every emitted
+/// module is re-laid-out and ir::verify'd; errors are returned, never
+/// swallowed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace ft::harden {
+
+/// What to protect and how aggressively. The pass itself is purely
+/// mechanical; policy (which regions are weak) arrives via RegionGuide.
+struct HardenConfig {
+  /// Regions with measured success rate strictly below this are protected.
+  /// 1.0 protects every guided region; with an empty guide list the pass
+  /// protects every region declared by the module (unguided mode).
+  double sr_threshold = 1.0;
+  bool dwc = true;
+  bool abft = true;
+  /// Duplicate Load results too. Loads dominate the internal-site
+  /// population, so this buys coverage on load flips; it cannot help with
+  /// corrupted memory (both copies read the same cell).
+  bool dwc_loads = true;
+  /// DWC-check values entering MpiSend/MpiAllreduce (rank-escape guided).
+  bool protect_comm = false;
+  /// Static cap on DWC sites per region (overhead throttle).
+  std::size_t max_dwc_per_region = ~std::size_t{0};
+};
+
+/// Measured resilience of one module region (CampaignResult::success_rate
+/// of the region campaign). `escaping` marks regions whose faults the
+/// cross-rank taxonomy saw leave the injected rank.
+struct RegionGuide {
+  std::uint32_t region_id = 0;
+  double success_rate = 0.0;
+  bool escaping = false;
+};
+
+/// Static accounting for one protected region.
+struct RegionStats {
+  std::uint32_t region_id = 0;
+  std::string name;
+  std::size_t original_instructions = 0;  // static instrs in line range
+  std::size_t dwc_sites = 0;              // instructions duplicated
+  std::size_t abft_cells = 0;             // shadowed accumulator cells
+  std::size_t added_instructions = 0;     // static instrs inserted
+
+  [[nodiscard]] double overhead() const noexcept {
+    return original_instructions == 0
+               ? 0.0
+               : 1.0 + static_cast<double>(added_instructions) /
+                           static_cast<double>(original_instructions);
+  }
+};
+
+struct HardenResult {
+  ir::Module module;  // the hardened clone (re-laid-out)
+  std::vector<RegionStats> regions;
+  std::size_t comm_sites = 0;           // DWC checks at comm boundaries
+  std::size_t added_instructions = 0;   // total static
+  std::size_t original_instructions = 0;
+  /// ir::verify findings on the emitted module; empty on success.
+  std::vector<std::string> verify_errors;
+};
+
+/// Clone `m` and insert detectors. `guides` selects the protected regions
+/// (see HardenConfig::sr_threshold); an empty list protects every declared
+/// region. Comm-boundary checks are added when config.protect_comm is set
+/// or any selected guide is flagged escaping.
+[[nodiscard]] HardenResult harden_module(const ir::Module& m,
+                                         const HardenConfig& config,
+                                         const std::vector<RegionGuide>& guides = {});
+
+}  // namespace ft::harden

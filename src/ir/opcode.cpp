@@ -53,6 +53,7 @@ std::string_view opcode_name(Opcode op) noexcept {
     case Opcode::MpiRecv: return "mpi.recv";
     case Opcode::MpiAllreduce: return "mpi.allreduce";
     case Opcode::MpiBarrier: return "mpi.barrier";
+    case Opcode::CheckTrap: return "check.trap";
   }
   return "?";
 }

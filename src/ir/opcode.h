@@ -5,6 +5,7 @@
 // pattern detectors (shift, truncation, conditional, overwrite) natural.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -36,7 +37,17 @@ enum class Opcode : std::uint8_t {
   RegionExit,   // aux = region id
   // MiniMPI intrinsics.
   MpiRank, MpiSize, MpiSend, MpiRecv, MpiAllreduce, MpiBarrier,
+  // Hardening intrinsic (src/harden/): traps with TrapKind::DetectedFault
+  // when its I1 operand is true. Emitted by the DWC/ABFT detector passes;
+  // never produced by the workload builders themselves. Appended at the
+  // end of the enum so pre-hardening modules keep their opcode values
+  // (and content hashes) unchanged.
+  CheckTrap,
 };
+
+/// Number of opcodes (dense enum: dispatch/count tables size to this).
+inline constexpr std::size_t kNumOpcodes =
+    static_cast<std::size_t>(Opcode::CheckTrap) + 1;
 
 /// Predicates for ICmp/FCmp (floating comparisons are the ordered forms).
 enum class CmpPred : std::uint8_t {
@@ -92,6 +103,7 @@ enum class ReduceOp : std::int64_t { Sum = 0, Min = 1, Max = 2 };
     case Opcode::RegionExit:
     case Opcode::MpiSend:
     case Opcode::MpiBarrier:
+    case Opcode::CheckTrap:
       return false;
     default:
       return true;

@@ -118,6 +118,10 @@ void verify_function(const Module& m, std::uint32_t fid,
       if (ins.op == Opcode::Gep && ins.aux <= 0) {
         err("gep with non-positive stride");
       }
+      if (ins.op == Opcode::CheckTrap &&
+          (ins.ops.size() != 1 || ins.ops[0].type != Type::I1)) {
+        err("check.trap expects one i1 operand");
+      }
       if (ins.op == Opcode::Alloca && ins.aux <= 0) {
         err("alloca with non-positive size");
       }

@@ -683,6 +683,17 @@ bool emit_instr(Compiler& c, std::uint32_t pc) {
       return true;
     }
 
+    case Opcode::CheckTrap: {
+      // Hardening detector: trap-before-retire on a set I1 operand, so a
+      // firing detector leaves the retired count exactly where the
+      // interpreters leave it (the recovery driver keys off that).
+      load(0, RAX);
+      a.test_al_imm8(1);
+      c.trap_if(CC_NE, pc, TrapKind::DetectedFault);
+      a.inc_r(R14);
+      return true;
+    }
+
     case Opcode::MpiRank:
     case Opcode::MpiSize:
     case Opcode::MpiSend:

@@ -113,7 +113,7 @@ std::uint64_t campaign_key(std::uint64_t module_hash,
                            std::uint64_t options_hash, std::uint32_t region_id,
                            std::uint32_t instance, fault::TargetClass target,
                            const fault::CampaignConfig& cfg) {
-  util::Hash64 h("ft.key.campaign.v1");
+  util::Hash64 h("ft.key.campaign.v2");
   h.u64(module_hash);
   h.u64(options_hash);
   h.u32(region_id);
@@ -124,6 +124,11 @@ std::uint64_t campaign_key(std::uint64_t module_hash,
   h.f64(cfg.margin);
   h.u64(cfg.seed);
   h.f64(cfg.budget_factor);
+  // RecoveryPolicy is semantic, not scheduling: it changes the outcome
+  // taxonomy a campaign produces, so it keys the cache entry (ForkPolicy,
+  // by contrast, stays excluded — forking never changes counts).
+  h.u32(cfg.recovery.enabled ? 1 : 0);
+  h.u64(cfg.recovery.checkpoint_interval);
   return h.digest();
 }
 
@@ -222,6 +227,8 @@ std::string encode_campaign(const fault::CampaignResult& c) {
   w.u64(c.success);
   w.u64(c.failed);
   w.u64(c.crashed);
+  w.u64(c.detected_recovered);
+  w.u64(c.detected_unrecoverable);
   w.u64(c.population_bits);
   w.u64(c.instructions_retired);
   w.u64(c.snapshots_taken);
@@ -240,6 +247,8 @@ std::optional<fault::CampaignResult> decode_campaign(
   out.success = r.u64();
   out.failed = r.u64();
   out.crashed = r.u64();
+  out.detected_recovered = r.u64();
+  out.detected_unrecoverable = r.u64();
   out.population_bits = r.u64();
   out.instructions_retired = r.u64();
   out.snapshots_taken = r.u64();

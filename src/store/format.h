@@ -33,7 +33,10 @@ namespace ft::store {
 inline constexpr std::uint64_t kTraceMagic = 0x3130435254435446ull;
 inline constexpr std::uint64_t kBlobMagic = 0x3130424F4C425446ull;
 inline constexpr std::uint32_t kTraceVersion = 1;
-inline constexpr std::uint32_t kBlobVersion = 1;
+/// v2: campaign blobs grew the detected_recovered / detected_unrecoverable
+/// outcome counts (hardening + checkpoint/rollback recovery). Old-version
+/// blobs are a counted miss — never reinterpreted under the new layout.
+inline constexpr std::uint32_t kBlobVersion = 2;
 /// Byte-order mark: written as a native u32, so a big-endian writer
 /// produces 0x04030201 on disk and the (little-endian) reader rejects it.
 inline constexpr std::uint32_t kEndianMark = 0x01020304u;

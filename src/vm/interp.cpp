@@ -68,8 +68,7 @@ Vm::Vm(const ir::Module& m, VmOptions opts)
          "VmOptions::jit must be compiled from the program being run");
   init_memory(m);
   if (opts_.count_opcodes) {
-    opcode_counts_.assign(static_cast<std::size_t>(ir::Opcode::MpiBarrier) + 1,
-                          0);
+    opcode_counts_.assign(ir::kNumOpcodes, 0);
   }
 
   if (prog_) {
@@ -113,8 +112,7 @@ Vm::Vm(const DecodedProgram& p, const Snapshot& s, VmOptions opts)
          "VmOptions::jit must be compiled from the program being run");
   dframes_.reserve(opts_.max_call_depth);
   if (opts_.count_opcodes) {
-    opcode_counts_.assign(static_cast<std::size_t>(ir::Opcode::MpiBarrier) + 1,
-                          0);
+    opcode_counts_.assign(ir::kNumOpcodes, 0);
   }
   restore(s);
 }
@@ -380,6 +378,19 @@ bool Vm::state_equals(const Snapshot& s) const {
 void Vm::set_fault(const FaultPlan& plan) noexcept {
   opts_.fault = plan;
   fault_fired_ = false;
+}
+
+void Vm::rollback(const Snapshot& s) {
+  restore(s);
+  // Clear any pending pause mark: both the hot loop and the JIT driver
+  // fold stop_at_ into their stop limit, so a stale mark from the
+  // interrupted pre-rollback run would silently cap the re-execution (and
+  // misclassify the pause as a hang at the budget). The hang budget itself
+  // stays the absolute max_instructions ceiling — restore() rewound
+  // n_retired_, which is the other half of that comparison in every
+  // engine. restore() also reset the dirty-page bitmap fully clean.
+  stop_at_ = ~std::uint64_t{0};
+  set_fault(FaultPlan::none());
 }
 
 RunResult Vm::run() {

@@ -212,6 +212,21 @@ class Vm {
   /// campaign scheduler to reuse one restored machine for a new trial.
   void set_fault(const FaultPlan& plan) noexcept;
 
+  /// Checkpoint/rollback recovery re-entry (fault/campaign.h,
+  /// RecoveryPolicy): restore `s` and disarm the fault plan, so the
+  /// re-execution runs clean from the checkpoint. The contract is uniform
+  /// across all three engines — the retired count rewinds to the
+  /// checkpoint's while the hang budget stays the absolute
+  /// VmOptions::max_instructions ceiling (the re-executed tail gets
+  /// exactly the headroom the original execution had at the checkpoint),
+  /// any pending run_until() pause mark is cleared, and the dirty-page
+  /// bitmap is reset fully clean (a rolled-back machine shares no write
+  /// history with any fork partner; the next fork_from must be full).
+  /// Pinned cross-engine by tests/jit_test.cpp: a rollback from a
+  /// native-cursor (JIT) run and from an interpreter run re-execute to
+  /// state_equals-identical machines.
+  void rollback(const Snapshot& s);
+
   // --- introspection ---------------------------------------------------------
   [[nodiscard]] Status status() const noexcept { return status_; }
   [[nodiscard]] TrapKind trap() const noexcept { return trap_; }

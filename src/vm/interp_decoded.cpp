@@ -505,6 +505,15 @@ Vm::Status Vm::step_decoded(DynInstr* out) {
     case Opcode::MpiBarrier:
       detail::mpi_barrier_on(opts_.mpi);
       break;
+
+    case Opcode::CheckTrap:
+      // Hardening detector (src/harden/): trap-before-retire, like every
+      // other trap — the detector instruction itself never commits.
+      if ((a.bits & 1) != 0) {
+        set_trap(TrapKind::DetectedFault);
+        return status_;
+      }
+      break;
   }
 
   if (has_res) {
@@ -633,7 +642,7 @@ void Vm::run_decoded_hot() {
     }
   };
 
-  static_assert(static_cast<int>(Opcode::MpiBarrier) == 48,
+  static_assert(static_cast<int>(Opcode::CheckTrap) == 49,
                 "opcode set changed: update the hot-loop dispatch table");
 
 #if FT_VM_COMPUTED_GOTO
@@ -650,6 +659,7 @@ void Vm::run_decoded_hot() {
       &&op_Rand, &&op_Emit, &&op_EmitTrunc, &&op_RegionEnter, &&op_RegionExit,
       &&op_MpiRank, &&op_MpiSize, &&op_MpiSend, &&op_MpiRecv,
       &&op_MpiAllreduce, &&op_MpiBarrier,
+      &&op_CheckTrap,
   };
 #define FT_OP(name) op_##name
 #define FT_NEXT()                                            \
@@ -1075,6 +1085,16 @@ void Vm::run_decoded_hot() {
   }
   FT_OP(MpiBarrier) : {
     detail::mpi_barrier_on(opts_.mpi);
+    fr->pc++;
+    FT_NEXT();
+  }
+  FT_OP(CheckTrap) : {
+    // Hardening detector: the trapping instruction never retires, so a
+    // firing detector rolls its partial record back like every other trap.
+    if ((val(srcs[0]) & 1) != 0) {
+      set_trap(TrapKind::DetectedFault);
+      goto done;
+    }
     fr->pc++;
     FT_NEXT();
   }

@@ -496,6 +496,15 @@ Vm::Status Vm::step_legacy(DynInstr* out) {
     case Opcode::MpiBarrier:
       detail::mpi_barrier_on(opts_.mpi);
       break;
+
+    case Opcode::CheckTrap:
+      // Hardening detector (src/harden/): trap-before-retire, like every
+      // other trap — the detector instruction itself never commits.
+      if ((a.bits & 1) != 0) {
+        set_trap(TrapKind::DetectedFault);
+        return status_;
+      }
+      break;
   }
 
   if (has_res) {

@@ -17,6 +17,9 @@ enum class TrapKind : std::uint8_t {
   StackOverflow,   // alloca exhausted the stack segment
   CallDepth,       // runaway recursion
   Hang,            // instruction budget exhausted (hang/livelock analog)
+  DetectedFault,   // a hardening detector (ir::Opcode::CheckTrap) fired —
+                   // recoverable: the campaign driver rolls back to a
+                   // checkpoint and re-executes (fault/campaign.h)
 };
 
 [[nodiscard]] constexpr std::string_view trap_name(TrapKind t) noexcept {
@@ -30,6 +33,7 @@ enum class TrapKind : std::uint8_t {
     case TrapKind::StackOverflow: return "stack-overflow";
     case TrapKind::CallDepth: return "call-depth";
     case TrapKind::Hang: return "hang";
+    case TrapKind::DetectedFault: return "detected-fault";
   }
   return "?";
 }

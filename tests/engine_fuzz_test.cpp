@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "harden/harden.h"
 #include "hl/builder.h"
 #include "ir/print.h"
 #include "jit/jit_program.h"
@@ -121,22 +122,27 @@ class ProgramGen {
       has_helper_ = true;
     }
 
+    // The whole main body is one declared region so the hardening pass has
+    // a protection target on every seed (tests/harden_test.cpp pins the
+    // pass itself; the fuzz harness pins its clean-run transparency).
+    const auto body_region = pb_.declare_region("body", 0, 0);
     {
       auto f = pb_.define(f_main);
       f.at(__LINE__);
       acc_ = f.var_f64("acc", 0.25);
       iacc_ = f.var_i64("iacc", 3);
       budget_ = 28 + static_cast<int>(rng_.below(40));
-      block(f, /*depth=*/0, /*loop_vars=*/{});
-      // Checksum reduction over every array so all stored state reaches the
-      // outputs (a silent divergence cannot hide).
-      for (std::size_t a = 0; a < arrays_.size(); ++a) {
-        f.for_("ck" + std::to_string(a), 0, array_size_[a], [&](hl::Value j) {
-          acc_.set(acc_.get() + f.ld(arrays_[a], j));
-        });
-      }
-      f.for_("cki", 0, 8,
-             [&](hl::Value j) { iacc_.set(iacc_.get() + f.ld(iarray_, j)); });
+      f.region(body_region, [&] {
+        block(f, /*depth=*/0, /*loop_vars=*/{});
+        // Checksum reduction over every array so all stored state reaches
+        // the outputs (a silent divergence cannot hide).
+        for (std::size_t a = 0; a < arrays_.size(); ++a) {
+          f.for_("ck" + std::to_string(a), 0, array_size_[a],
+                 [&](hl::Value j) { acc_.set(acc_.get() + f.ld(arrays_[a], j)); });
+        }
+        f.for_("cki", 0, 8,
+               [&](hl::Value j) { iacc_.set(iacc_.get() + f.ld(iarray_, j)); });
+      });
       f.emit(acc_.get());
       f.emit(iacc_.get());
       f.ret();
@@ -485,6 +491,47 @@ bool check_seed(std::uint64_t seed, std::string* diag) {
       trial.fork_from(golden, /*full=*/true);
       if (trial.run().outputs != decoded.outputs) {
         return fail("fork_from outputs mismatch");
+      }
+    }
+  }
+
+  // Hardened leg: the unguided pass protects the generated body region;
+  // the emitted module must verify, and its clean run must be
+  // output-bit-identical to the ORIGINAL program on all three engines
+  // (the detectors may only observe, never perturb).
+  {
+    const auto hardened = harden::harden_module(m, harden::HardenConfig{});
+    if (!hardened.verify_errors.empty()) {
+      return fail("hardened module fails ir::verify: ",
+                  hardened.verify_errors.front());
+    }
+    const auto hlegacy = vm::Vm::run(hardened.module);
+    if (hlegacy.trap != legacy.trap) {
+      return fail("hardened legacy trap mismatch: original ",
+                  static_cast<int>(legacy.trap), " hardened ",
+                  static_cast<int>(hlegacy.trap));
+    }
+    if (hlegacy.outputs != legacy.outputs) {
+      return fail("hardened legacy outputs mismatch");
+    }
+    const auto hprogram = std::make_shared<const vm::DecodedProgram>(
+        vm::DecodedProgram::decode(hardened.module));
+    const auto hdecoded = vm::Vm::run(*hprogram, {});
+    if (hdecoded.trap != hlegacy.trap ||
+        hdecoded.instructions != hlegacy.instructions ||
+        hdecoded.outputs != hlegacy.outputs) {
+      return fail("hardened decoded/legacy divergence");
+    }
+    if (const auto hjit = jit::JitProgram::supported()
+                              ? jit::JitProgram::compile(*hprogram)
+                              : nullptr) {
+      vm::VmOptions jo;
+      jo.jit = hjit.get();
+      const auto hj = vm::Vm::run(*hprogram, jo);
+      if (hj.trap != hdecoded.trap ||
+          hj.instructions != hdecoded.instructions ||
+          hj.outputs != hdecoded.outputs) {
+        return fail("hardened jit/decoded divergence");
       }
     }
   }

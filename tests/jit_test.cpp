@@ -186,6 +186,73 @@ TEST_P(JitEquivalence, ForkFromJitCursorMatchesInterpreter) {
   expect_same_result(ri, rt);
 }
 
+TEST_P(JitEquivalence, RollbackFromNativeCursorReplaysClean) {
+  // Recovery re-entry (fault/campaign.h): after Vm::rollback onto a
+  // waypoint snapshot, the stale run_until pause mark is cleared, the hang
+  // budget is whole again (restore rewound the retired count it is compared
+  // against), the armed fault is disarmed and the dirty-page bitmap is
+  // fully clean — consistently whether the machine advanced natively or
+  // under the interpreter.
+  if (!jit::JitProgram::supported()) GTEST_SKIP();
+  JitApp ja(GetParam());
+  ASSERT_NE(ja.jit, nullptr);
+  const auto clean = vm::Vm::run(ja.prog, ja.interp_opts());
+  const std::uint64_t way = clean.instructions / 4;
+  const std::uint64_t deep = clean.instructions / 2;
+
+  auto jo = ja.jit_opts();
+  jo.track_writes = true;
+  // A budget an un-rewound retired count would bust: rollback re-executes
+  // the tail, so a machine that kept the pre-rollback count would classify
+  // the replay as a hang well before completion.
+  jo.max_instructions = clean.instructions + 8;
+  auto io = ja.interp_opts();
+  io.track_writes = true;
+  io.max_instructions = jo.max_instructions;
+
+  // Native cursor: pause at the waypoint, snapshot, then run on with an
+  // armed fault to a deeper pause — exactly the state an interrupted trial
+  // leaves behind when its detector fires.
+  vm::Vm jv(ja.prog, jo);
+  jv.run_until(way);
+  ASSERT_EQ(jv.status(), vm::Vm::Status::Running);
+  const auto waypoint = jv.snapshot();
+  jv.set_fault(vm::FaultPlan::result_bit(way + 5, 11));
+  jv.run_until(deep);
+  jv.rollback(waypoint);
+
+  // Interpreter machine through the same interrupted history, rolled back
+  // onto the SAME waypoint: the two machines must agree bit for bit.
+  vm::Vm iv(ja.prog, io);
+  iv.set_fault(vm::FaultPlan::result_bit(way + 5, 11));
+  iv.run_until(deep);
+  iv.rollback(waypoint);
+  EXPECT_TRUE(iv.state_equals(jv.snapshot()));
+  EXPECT_TRUE(jv.state_equals(iv.snapshot()));
+
+  // Dirty bitmaps are clean after rollback, so a fork partner must resync
+  // in full; the forked trial's completion pins the bitmap reset.
+  vm::Vm trial(ja.prog, jo);
+  trial.fork_from(jv, /*full=*/true);
+  const auto rt = trial.run();
+  EXPECT_EQ(rt.trap, vm::TrapKind::None);
+  EXPECT_TRUE(rt.outputs == clean.outputs);
+
+  // Both rolled-back machines re-execute to completion: no spurious hang
+  // (budget), no early pause (stale mark), no re-fired fault (disarmed),
+  // outputs bit-identical to golden on both engines.
+  const auto rj = jv.run();
+  const auto ri = iv.run();
+  EXPECT_EQ(rj.trap, vm::TrapKind::None);
+  EXPECT_EQ(ri.trap, vm::TrapKind::None);
+  EXPECT_EQ(rj.instructions, clean.instructions);
+  EXPECT_EQ(ri.instructions, clean.instructions);
+  EXPECT_FALSE(rj.fault_fired);
+  EXPECT_FALSE(ri.fault_fired);
+  EXPECT_TRUE(rj.outputs == clean.outputs);
+  EXPECT_TRUE(ri.outputs == clean.outputs);
+}
+
 TEST_P(JitEquivalence, OpcodeCountsSumToRetired) {
   JitApp ja(GetParam());
   auto o = ja.interp_opts();

@@ -29,6 +29,7 @@
 #include "store/format.h"
 #include "store/trace_io.h"
 #include "trace/column.h"
+#include "util/hash.h"
 #include "vm/decode.h"
 #include "vm/interp.h"
 
@@ -399,6 +400,133 @@ TEST(StoreRobustness, TruncatedHeaderAndTinyFilesAreMisses) {
   std::ofstream(dir.path + "/store/tmp/999.7") << "torn";
   EXPECT_EQ(st.disk_stats().entries, before.entries);
   EXPECT_EQ(st.disk_stats().bytes, before.bytes);
+}
+
+// --- blob version compatibility ---------------------------------------------
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, sizeof(v));
+  out.append(buf, sizeof(buf));
+}
+
+TEST(StoreCompat, PreviousVersionCampaignBlobIsACountedMiss) {
+  TempDir dir;
+  store::ArtifactStore st(dir.path + "/store");
+
+  // A genuine v1-era campaign file: version 1 header over the old 11-field
+  // payload (no detected_recovered / detected_unrecoverable), with an
+  // internally consistent payload hash. Only the version is stale.
+  std::string payload;
+  append_u64(payload, 100);     // trials
+  append_u64(payload, 60);      // success
+  append_u64(payload, 30);      // failed
+  append_u64(payload, 10);      // crashed
+  append_u64(payload, 4096);    // population_bits
+  append_u64(payload, 777777);  // instructions_retired
+  append_u64(payload, 3);       // snapshots_taken
+  append_u64(payload, 50);      // prefix_instructions_saved
+  append_u64(payload, 20);      // convergence_instructions_saved
+  append_u64(payload, 5);       // early_exits
+  append_u64(payload, 2);       // resume_depth
+
+  store::BlobHeader h;
+  h.version = 1;
+  h.kind = static_cast<std::uint32_t>(store::BlobKind::Campaign);
+  h.payload_bytes = payload.size();
+  h.payload_hash = util::hash_bytes(payload.data(), payload.size());
+  const std::uint64_t key = 31;
+  const std::string path =
+      dir.path + "/store/blobs/000000000000001f.campaign";
+  {
+    std::ofstream f(path, std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.write(reinterpret_cast<const char*>(&h), sizeof(h));
+    f.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  }
+
+  // The v2 reader must refuse it before ever touching the payload: a
+  // counted miss, never a reinterpretation of the 11-field layout as 13.
+  EXPECT_FALSE(st.load_campaign(key).has_value());
+  auto counters = st.counters();
+  EXPECT_EQ(counters.misses, 1u);
+  EXPECT_EQ(counters.corrupt, 1u);
+  EXPECT_EQ(counters.hits, 0u);
+
+  // A recompute republishes under the same key and the entry is warm again,
+  // now carrying the v2 outcome classes.
+  fault::CampaignResult camp;
+  camp.trials = 100;
+  camp.success = 55;
+  camp.detected_recovered = 5;
+  camp.detected_unrecoverable = 30;
+  camp.crashed = 10;
+  ASSERT_TRUE(st.publish_campaign(key, camp));
+  const auto reloaded = st.load_campaign(key);
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_EQ(reloaded->detected_recovered, 5u);
+  EXPECT_EQ(reloaded->detected_unrecoverable, 30u);
+  counters = st.counters();
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.misses, 1u);
+}
+
+TEST(StoreCompat, DetectedOutcomeCountsRoundTripAndCorruptionIsAMiss) {
+  TempDir dir;
+  store::ArtifactStore st(dir.path + "/store");
+
+  fault::CampaignResult camp;
+  camp.trials = 256;
+  camp.success = 100;
+  camp.failed = 40;
+  camp.crashed = 20;
+  camp.detected_recovered = 66;
+  camp.detected_unrecoverable = 30;
+  camp.population_bits = 8192;
+  camp.instructions_retired = 123456789;
+  camp.snapshots_taken = 7;
+  camp.prefix_instructions_saved = 1111;
+  camp.convergence_instructions_saved = 2222;
+  camp.early_exits = 9;
+  camp.resume_depth = 3;
+  const std::uint64_t key = 47;
+  ASSERT_TRUE(st.publish_campaign(key, camp));
+
+  const auto c = st.load_campaign(key);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->trials, camp.trials);
+  EXPECT_EQ(c->success, camp.success);
+  EXPECT_EQ(c->failed, camp.failed);
+  EXPECT_EQ(c->crashed, camp.crashed);
+  EXPECT_EQ(c->detected_recovered, camp.detected_recovered);
+  EXPECT_EQ(c->detected_unrecoverable, camp.detected_unrecoverable);
+  EXPECT_EQ(c->population_bits, camp.population_bits);
+  EXPECT_EQ(c->instructions_retired, camp.instructions_retired);
+  EXPECT_EQ(c->snapshots_taken, camp.snapshots_taken);
+  EXPECT_EQ(c->prefix_instructions_saved, camp.prefix_instructions_saved);
+  EXPECT_EQ(c->convergence_instructions_saved,
+            camp.convergence_instructions_saved);
+  EXPECT_EQ(c->early_exits, camp.early_exits);
+  EXPECT_EQ(c->resume_depth, camp.resume_depth);
+
+  // Flip one byte inside the detected_recovered field on disk. The payload
+  // hash catches it: a counted miss, never a silently altered count.
+  const std::string path =
+      dir.path + "/store/blobs/000000000000002f.campaign";
+  ASSERT_TRUE(fs::exists(path));
+  const std::uint8_t stomp = 0x5A;
+  stomp_bytes(path, sizeof(store::BlobHeader) + 4 * 8, &stomp, 1);
+  EXPECT_FALSE(st.load_campaign(key).has_value());
+  const auto counters = st.counters();
+  EXPECT_EQ(counters.misses, 1u);
+  EXPECT_EQ(counters.corrupt, 1u);
+
+  // Republish repairs the entry in place.
+  ASSERT_TRUE(st.publish_campaign(key, camp));
+  const auto repaired = st.load_campaign(key);
+  ASSERT_TRUE(repaired.has_value());
+  EXPECT_EQ(repaired->detected_recovered, camp.detected_recovered);
+  EXPECT_EQ(repaired->detected_unrecoverable, camp.detected_unrecoverable);
 }
 
 }  // namespace

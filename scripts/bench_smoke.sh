@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Perf-regression canary, eight sections:
+# Perf-regression canary, nine sections:
 #
 #  1. Engine A/B (vm_engine_ab): decoded vs legacy interpreter on the CG
 #     whole-program campaign. The decoded engine must stay >= 2x the
@@ -54,6 +54,15 @@
 #     on any violation). The section output is also written to
 #     <build-dir>/harden_ab.out for the CI artifact.
 #
+#  9. Compositional A/B (compose_ab): exhaustive snapshot-forked trials vs
+#     the per-section composed engine on every app (bit-identical outcome
+#     counts, the binary exits nonzero on a mismatch), then a cold composed
+#     run on CG, a one-instruction constant edit, and a warm-incremental
+#     run against the same store. The incremental summarization phase must
+#     stay >= 5x faster than cold (suffix re-execution through the edit is
+#     semantically required and excluded from the gate). The section output
+#     is also written to <build-dir>/compose_ab.out for the CI artifact.
+#
 # The combined output is also written to <build-dir>/bench_smoke.out so CI
 # can upload it as an artifact.
 #
@@ -70,12 +79,14 @@ rank_prop="$build_dir/rank_propagation"
 store_ab="$build_dir/store_warm_ab"
 jit_ab="$build_dir/jit_engine_ab"
 harden_ab="$build_dir/harden_ab"
+compose_ab="$build_dir/compose_ab"
 out="$build_dir/bench_smoke.out"
 jit_ab_out="$build_dir/jit_ab.out"
 store_stats_out="$build_dir/store_stats.out"
 harden_ab_out="$build_dir/harden_ab.out"
+compose_ab_out="$build_dir/compose_ab.out"
 
-for bin in "$bench" "$engine_ab" "$trace_ab" "$fork_ab" "$rank_prop" "$store_ab" "$jit_ab" "$harden_ab"; do
+for bin in "$bench" "$engine_ab" "$trace_ab" "$fork_ab" "$rank_prop" "$store_ab" "$jit_ab" "$harden_ab" "$compose_ab"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not found (build first: cmake -B $build_dir -S . && cmake --build $build_dir -j)" >&2
     exit 1
@@ -89,10 +100,10 @@ extract_ms() {
   sed -n 's/^campaign wall: \([0-9.]*\) ms.*/\1/p' "$1"
 }
 
-tmp_engine=$(mktemp) tmp_trace=$(mktemp) tmp_batched=$(mktemp) tmp_legacy=$(mktemp) tmp_fork=$(mktemp) tmp_rank=$(mktemp) tmp_store=$(mktemp) tmp_jit=$(mktemp) tmp_harden=$(mktemp)
-trap 'rm -f "$tmp_engine" "$tmp_trace" "$tmp_batched" "$tmp_legacy" "$tmp_fork" "$tmp_rank" "$tmp_store" "$tmp_jit" "$tmp_harden"' EXIT
+tmp_engine=$(mktemp) tmp_trace=$(mktemp) tmp_batched=$(mktemp) tmp_legacy=$(mktemp) tmp_fork=$(mktemp) tmp_rank=$(mktemp) tmp_store=$(mktemp) tmp_jit=$(mktemp) tmp_harden=$(mktemp) tmp_compose=$(mktemp)
+trap 'rm -f "$tmp_engine" "$tmp_trace" "$tmp_batched" "$tmp_legacy" "$tmp_fork" "$tmp_rank" "$tmp_store" "$tmp_jit" "$tmp_harden" "$tmp_compose"' EXIT
 
-echo "== bench smoke 1/8: decoded vs legacy engine on the CG campaign =="
+echo "== bench smoke 1/9: decoded vs legacy engine on the CG campaign =="
 # A longer campaign than section 3 (and interleaved best-of-3 inside the
 # bench) keeps the speedup measurement steady on busy/single-core hosts.
 engine_trials=$(( trials * 2 > 60 ? trials * 2 : 60 ))
@@ -107,7 +118,7 @@ awk -v s="$engine_speedup" 'BEGIN {
 }' | tee -a "$out"
 
 echo
-echo "== bench smoke 2/8: columnar vs DynInstr-observer traced run on CG =="
+echo "== bench smoke 2/9: columnar vs DynInstr-observer traced run on CG =="
 # The binary exits nonzero when the ACL series/events or pattern counts
 # differ between substrates, failing the smoke under pipefail.
 "$trace_ab" | tee "$tmp_trace"
@@ -124,7 +135,7 @@ awk -v s="$trace_speedup" -v r="$bytes_ratio" 'BEGIN {
 }' | tee -a "$out"
 
 echo
-echo "== bench smoke 3/8: fig5 on CG, $trials trials per region/class =="
+echo "== bench smoke 3/9: fig5 on CG, $trials trials per region/class =="
 "$bench" --apps=CG --trials="$trials" | tee "$tmp_batched" | grep -E "^(schedule|campaign)"
 echo
 echo "-- legacy per-region scheduling --"
@@ -143,7 +154,7 @@ awk -v b="$batched_ms" -v l="$legacy_ms" 'BEGIN {
 }' | tee -a "$out"
 
 echo
-echo "== bench smoke 4/8: snapshot-forked vs from-scratch campaign trials on CG =="
+echo "== bench smoke 4/9: snapshot-forked vs from-scratch campaign trials on CG =="
 # A longer campaign than section 3 amortizes the one-time golden pass and
 # keeps the best-of interleaved measurement steady; the binary itself
 # exits nonzero if the two schedulers disagree on any outcome count.
@@ -161,7 +172,7 @@ awk -v s="$fork_speedup" -v n="$fork_snaps" 'BEGIN {
 }' | tee -a "$out"
 
 echo
-echo "== bench smoke 5/8: cross-rank campaign determinism (4-rank CG/MG/LULESH) =="
+echo "== bench smoke 5/9: cross-rank campaign determinism (4-rank CG/MG/LULESH) =="
 # The binary runs every multi-rank campaign twice — rank-local snapshot
 # forking on and off — and exits nonzero if any cross-rank outcome count
 # differs, failing the smoke under pipefail.
@@ -176,7 +187,7 @@ fi
 echo "cross-rank determinism OK" | tee -a "$out"
 
 echo
-echo "== bench smoke 6/8: cold compute vs warm artifact-store replay on CG =="
+echo "== bench smoke 6/9: cold compute vs warm artifact-store replay on CG =="
 # The binary exits nonzero if any outcome count differs between the cold
 # and warm run, or if the warm run executed any trials / traced any
 # instructions — the store must serve everything.
@@ -193,7 +204,7 @@ awk -v s="$store_speedup" 'BEGIN {
 sed -n '/^store stats:/p;/^warm speedup:/p;/^identity:/p;/^cold:/p;/^warm:/p' "$tmp_store" > "$store_stats_out"
 
 echo
-echo "== bench smoke 7/8: jit vs decoded vs legacy engine on the CG campaign =="
+echo "== bench smoke 7/9: jit vs decoded vs legacy engine on the CG campaign =="
 # Same campaign shape as section 1 (interleaved best-of inside the bench);
 # the binary exits nonzero when any engine's outcome counts diverge.
 "$jit_ab" --trials="$engine_trials" | tee "$tmp_jit"
@@ -213,7 +224,7 @@ else
 fi
 
 echo
-echo "== bench smoke 8/8: campaign-guided hardening pass vs hand-built CG =="
+echo "== bench smoke 8/9: campaign-guided hardening pass vs hand-built CG =="
 # The binary exits nonzero if any protected region's effective success
 # rate falls below its baseline, the aggregate static overhead exceeds
 # 2x, or no trial ever exercised the rollback recovery path.
@@ -228,3 +239,21 @@ if [[ "$harden_gates" != "coverage OK, overhead OK, recovery OK" ]]; then
   exit 1
 fi
 echo "hardening OK ($(sed -n 's/^aggregate overhead: \([0-9.]*x\).*/\1/p' "$tmp_harden") aggregate overhead)" | tee -a "$out"
+
+echo
+echo "== bench smoke 9/9: compositional campaigns - cold vs warm-incremental =="
+# The binary exits nonzero if the composed engine's outcome counts diverge
+# from the exhaustive scheduler on any app, if the post-edit incremental
+# counts diverge from a from-scratch exhaustive run on the edited module,
+# or if the warm run fails to serve untouched summaries from the store.
+"$compose_ab" --trials="$trials" | tee "$tmp_compose"
+cat "$tmp_compose" >> "$out"
+# The compositional section is its own CI artifact, next to bench_smoke.out.
+cp "$tmp_compose" "$compose_ab_out"
+
+compose_speedup=$(sed -n 's/^compose speedup: \([0-9.]*\)x$/\1/p' "$tmp_compose")
+awk -v s="$compose_speedup" 'BEGIN {
+  if (s == "") { print "ERROR: no compose speedup reported"; exit 1 }
+  if (s < 5.0) { printf "REGRESSION: incremental summarization only %.2fx the cold run (need >= 5x)\n", s; exit 1 }
+  printf "compositional OK (%.2fx >= 5x incremental summarization)\n", s
+}' | tee -a "$out"

@@ -310,6 +310,33 @@ fault::CampaignResult AnalysisSession::app_campaign(
       golden_run->outputs, app_.verifier, *pool);
 }
 
+compose::ComposedResult AnalysisSession::run_compositional(
+    const fault::CampaignConfig& config) {
+  // Same population and golden artifacts as app_campaign; the trace and
+  // region instances additionally drive the section decomposition. Fetch
+  // everything through the cached accessors so a store-served trace is
+  // reused and a warm store can serve the summaries too.
+  const auto sites = whole_program_sites();
+  const auto golden_run = golden();
+  const auto trace = golden_trace();
+  const auto instances = region_instances();
+  auto* pool = config.pool ? config.pool : &util::global_pool();
+  auto prepared = fault::prepare_campaign(
+      *sites, fault::TargetClass::Internal, app_.base, config);
+  const auto plan =
+      compose::plan_sections(*program_, *trace, *instances, prepared);
+  compose::ComposeOptions opts;
+  {
+    std::lock_guard lock(mu_);
+    opts.store = store_;
+  }
+  opts.options_hash = options_hash();
+  opts.config = config;
+  return compose::run_composed_campaign(*program_, prepared, plan,
+                                        golden_run->outputs, app_.verifier,
+                                        *pool, opts);
+}
+
 fault::RankCampaignResult AnalysisSession::rank_campaign(
     const fault::RankCampaignConfig& config) {
   const auto en = rank_enumeration(config.nranks);
@@ -426,6 +453,12 @@ AnalysisRequest& AnalysisRequest::success_rates(
 AnalysisRequest& AnalysisRequest::app_campaign(
     const fault::CampaignConfig& cfg) {
   app_campaign_ = cfg;
+  return *this;
+}
+
+AnalysisRequest& AnalysisRequest::compositional(
+    const fault::CampaignConfig& cfg) {
+  compositional_ = cfg;
   return *this;
 }
 
@@ -639,6 +672,7 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
     util::ThreadPool* config_pools[] = {
         request.region_campaign_ ? request.region_campaign_->pool : nullptr,
         request.app_campaign_ ? request.app_campaign_->pool : nullptr,
+        request.compositional_ ? request.compositional_->pool : nullptr,
         request.rank_campaign_ ? request.rank_campaign_->pool : nullptr,
     };
     for (auto* p : config_pools) {
@@ -664,6 +698,7 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
   const auto store_base =
       store ? store->counters() : store::ArtifactStore::Counters{};
   std::size_t cached_trials = 0;  // trials of campaigns served from store
+  std::size_t composed_trials = 0;  // trials closed by the compositional path
 
   auto targets = request.targets_;
   if (targets.empty()) targets.push_back(fault::TargetClass::Internal);
@@ -842,6 +877,22 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
       }
     }
 
+    if (request.compositional_) {
+      // Runs inline (not in the batched queue): the per-section summary and
+      // per-plan resolution phases are themselves parallel_fors on the
+      // shared pool, and the section planner needs the golden trace before
+      // step 4 drops it.
+      auto cfg = *request.compositional_;
+      if (!cfg.pool) cfg.pool = pool;
+      auto composed = session->run_compositional(cfg);
+      composed_trials += composed.counts.trials;
+      report.sections_composed += composed.sections_composed;
+      report.sections_reexecuted += composed.sections_reexecuted;
+      report.summary_store_hits += composed.summary_store_hits;
+      report.trials_avoided += composed.trials_avoided;
+      app_report.compositional = std::move(composed);
+    }
+
     if (request.rank_campaign_) {
       RankUnit unit;
       unit.session = session;
@@ -883,6 +934,10 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
   // the same cold or warm while trials_executed proves what actually ran.
   report.trials_executed = report.total_trials;
   report.total_trials += cached_trials;
+  // Compositionally closed trials count toward the request's total; the
+  // per-app ComposedResult proof counters break down how many of them
+  // resolved with zero execution.
+  report.total_trials += composed_trials;
 
   const util::Stopwatch campaign_sw;
   std::vector<UnitCounts> counts(units.size());

@@ -43,6 +43,7 @@
 
 #include "acl/diff.h"
 #include "apps/app.h"
+#include "compose/compose.h"
 #include "dddg/graph.h"
 #include "fault/campaign.h"
 #include "fault/rank_campaign.h"
@@ -193,6 +194,14 @@ class AnalysisSession {
   /// while all ranks run, classified with the cross-rank outcome taxonomy.
   [[nodiscard]] fault::RankCampaignResult rank_campaign(
       const fault::RankCampaignConfig& config);
+  /// Whole-application campaign executed compositionally (src/compose/):
+  /// the same site population and plans as app_campaign, but closed
+  /// per-section — summaries loaded from the attached store when warm,
+  /// outcomes composed symbolically where the delta allows. Counts are
+  /// bit-identical to app_campaign(config) by construction; the
+  /// ComposedResult proof counters show how much execution was avoided.
+  [[nodiscard]] compose::ComposedResult run_compositional(
+      const fault::CampaignConfig& config);
 
   // --- per-plan analyses (stateless; safe from any thread) ------------------
   /// Differential run under one fault plan (array-of-structs faulty
@@ -327,6 +336,9 @@ struct AppReport {
   std::optional<fault::RankCampaignResult> rank_campaign;
   /// Filled when the request asked for an opcode profile.
   std::optional<OpcodeProfile> opcode_profile;
+  /// Filled when the request asked for a compositional campaign: the
+  /// composed whole-app outcome counts plus per-run proof counters.
+  std::optional<compose::ComposedResult> compositional;
 };
 
 struct AnalysisReport {
@@ -369,6 +381,18 @@ struct AnalysisReport {
   std::uint64_t store_misses = 0;
   std::uint64_t store_bytes_read = 0;
   std::uint64_t store_bytes_written = 0;
+
+  // --- compositional proof counters (zero unless requested) -----------------
+  /// Rolled up across every app's ComposedResult: symbolic propagation
+  /// steps, sections re-summarized by execution, section summaries served
+  /// from the store, and trials classified with zero trial execution.
+  /// After a one-function edit against a warm store, sections_reexecuted
+  /// stays below the section total while trials_avoided stays positive —
+  /// the observable form of the incremental claim (docs/campaign-lifecycle.md).
+  std::uint64_t sections_composed = 0;
+  std::uint64_t sections_reexecuted = 0;
+  std::uint64_t summary_store_hits = 0;
+  std::uint64_t trials_avoided = 0;
 
   [[nodiscard]] double trials_per_second() const noexcept {
     return campaign_ms > 0.0
@@ -478,6 +502,11 @@ class AnalysisRequest {
   /// running) batch onto the same shared pool as every scalar campaign:
   /// worlds are chunked across pool workers inside the ONE batched queue.
   AnalysisRequest& rank_campaign(const fault::RankCampaignConfig& cfg);
+  /// Whole-application campaign per app executed compositionally
+  /// (AnalysisSession::run_compositional): same counts as app_campaign with
+  /// the same config, but closed per-section with store-served summaries —
+  /// AppReport::compositional plus the report's proof-counter rollup.
+  AnalysisRequest& compositional(const fault::CampaignConfig& cfg);
   /// Fault-free pattern rates per app (Table IV features).
   AnalysisRequest& pattern_rates();
   /// Per-opcode dynamic dispatch profile per app (one counted interpreter
@@ -530,6 +559,7 @@ class AnalysisRequest {
   std::vector<fault::TargetClass> targets_;
   std::optional<fault::CampaignConfig> region_campaign_;
   std::optional<fault::CampaignConfig> app_campaign_;
+  std::optional<fault::CampaignConfig> compositional_;
   std::optional<fault::RankCampaignConfig> rank_campaign_;
   bool want_pattern_rates_ = false;
   bool want_opcode_profile_ = false;

@@ -167,17 +167,6 @@ CampaignSnapshots prepare_snapshots(const vm::DecodedProgram& program,
   return out;
 }
 
-namespace {
-
-/// Modeled checkpoint/rollback verdict for a detector trap. The recovery
-/// runtime checkpoints every RecoveryPolicy::checkpoint_interval retired
-/// instructions; a rollback succeeds iff the last checkpoint at or before
-/// the detection index was taken while the state was still clean (at or
-/// before the fault landing). A later checkpoint captured corrupted state,
-/// and restoring it deterministically re-fires the same detector, so those
-/// trials classify DetectedUnrecoverable without re-running. Both indices
-/// are properties of the deterministic execution — never of scheduling —
-/// which keeps outcome counts identical across pool sizes and fork on/off.
 bool rollback_reaches_clean_state(const RecoveryPolicy& recovery,
                                   std::uint64_t landing,
                                   std::uint64_t detect) {
@@ -185,6 +174,8 @@ bool rollback_reaches_clean_state(const RecoveryPolicy& recovery,
       std::max<std::uint64_t>(recovery.checkpoint_interval, 1);
   return detect / interval * interval <= landing;
 }
+
+namespace {
 
 /// Fault landing index when no fork-bound table applies: a result-bit flip
 /// lands when its dynamic instruction retires; everything else is pinned

@@ -342,6 +342,20 @@ class TrialRunner {
     const std::vector<vm::OutputValue>& golden, const Verifier& verify,
     util::ThreadPool& pool);
 
+/// Modeled checkpoint/rollback verdict for a detector trap. The recovery
+/// runtime checkpoints every RecoveryPolicy::checkpoint_interval retired
+/// instructions; a rollback succeeds iff the last checkpoint at or before
+/// the detection index was taken while the state was still clean (at or
+/// before the fault landing). A later checkpoint captured corrupted state,
+/// and restoring it deterministically re-fires the same detector, so those
+/// trials classify DetectedUnrecoverable without re-running. Both indices
+/// are properties of the deterministic execution — never of scheduling —
+/// which keeps outcome counts identical across pool sizes, fork on/off,
+/// and (src/compose/) composed vs exhaustive execution.
+[[nodiscard]] bool rollback_reaches_clean_state(const RecoveryPolicy& recovery,
+                                                std::uint64_t landing,
+                                                std::uint64_t detect);
+
 /// Run a campaign against one region instance's site population.
 /// `golden` is the fault-free output (from a completed run with the same
 /// `base` options); `verify` is the application's verification phase.

@@ -77,6 +77,21 @@ std::uint64_t hash_module(const ir::Module& m) {
   return h.digest();
 }
 
+std::uint64_t hash_section(const ir::Module& m,
+                           std::span<const InstrCoord> body) {
+  // Per-instruction content hashing mirrors hash_module exactly;
+  // module-level geometry (globals, regions, memory layout) is deliberately
+  // absent — the summary key carries it through the boundary entry-state
+  // hash, which covers the full memory image.
+  util::Hash64 h("ft.section.v1");
+  h.u64(body.size());
+  for (const auto& c : body) {
+    h.u32(c.func).u32(c.block).u32(c.instr);
+    hash_instruction(h, m.function(c.func).blocks[c.block].instrs[c.instr]);
+  }
+  return h.digest();
+}
+
 std::uint64_t hash_options(const vm::VmOptions& base) {
   util::Hash64 h("ft.options.v1");
   h.u64(base.max_instructions);
@@ -127,6 +142,29 @@ std::uint64_t campaign_key(std::uint64_t module_hash,
   // RecoveryPolicy is semantic, not scheduling: it changes the outcome
   // taxonomy a campaign produces, so it keys the cache entry (ForkPolicy,
   // by contrast, stays excluded — forking never changes counts).
+  h.u32(cfg.recovery.enabled ? 1 : 0);
+  h.u64(cfg.recovery.checkpoint_interval);
+  return h.digest();
+}
+
+std::uint64_t summary_key(std::uint64_t section_hash, std::uint64_t entry_hash,
+                          std::uint64_t begin, std::uint64_t end,
+                          std::uint64_t plans_hash, std::uint64_t options_hash,
+                          const fault::CampaignConfig& cfg) {
+  util::Hash64 h("ft.key.summary.v1");
+  h.u64(section_hash);
+  h.u64(entry_hash);
+  h.u64(begin);
+  h.u64(end);
+  h.u64(plans_hash);
+  h.u64(options_hash);
+  // Same semantic campaign fields as campaign_key: they determine the plan
+  // population and the outcome taxonomy the summaries feed.
+  h.u64(cfg.trials);
+  h.f64(cfg.confidence);
+  h.f64(cfg.margin);
+  h.u64(cfg.seed);
+  h.f64(cfg.budget_factor);
   h.u32(cfg.recovery.enabled ? 1 : 0);
   h.u64(cfg.recovery.checkpoint_interval);
   return h.digest();
@@ -272,6 +310,7 @@ const char* kind_ext(BlobKind kind) {
     case BlobKind::GoldenRun: return "golden";
     case BlobKind::Sites: return "sites";
     case BlobKind::Campaign: return "campaign";
+    case BlobKind::Summary: return "summary";
   }
   return "blob";
 }
@@ -446,6 +485,18 @@ std::optional<fault::CampaignResult> ArtifactStore::load_campaign(
 bool ArtifactStore::publish_campaign(std::uint64_t key,
                                      const fault::CampaignResult& r) {
   return publish_blob(key, BlobKind::Campaign, encode_campaign(r));
+}
+
+std::optional<std::string> ArtifactStore::load_summary(std::uint64_t key) {
+  // The payload is compose::encode_summary's byte string; validation beyond
+  // the blob framing (magic/version/hash) is the caller's decode_summary —
+  // a payload it rejects is treated as a miss there, same contract.
+  return load_blob(key, BlobKind::Summary);
+}
+
+bool ArtifactStore::publish_summary(std::uint64_t key,
+                                    const std::string& payload) {
+  return publish_blob(key, BlobKind::Summary, payload);
 }
 
 ArtifactStore::Counters ArtifactStore::counters() const noexcept {

@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "fault/campaign.h"
@@ -61,6 +62,27 @@ namespace ft::store {
 /// artifacts and are excluded.
 [[nodiscard]] std::uint64_t hash_options(const vm::VmOptions& base);
 
+/// One static instruction's coordinates inside a module — the unit
+/// hash_section works over.
+struct InstrCoord {
+  std::uint32_t func = 0;
+  std::uint32_t block = 0;
+  std::uint32_t instr = 0;  // index within block
+};
+
+/// hash_module restricted to the static instructions a trace section
+/// actually executes: each coordinate triple plus the full semantic
+/// content of the instruction it names (same per-instruction hashing as
+/// hash_module; module-level geometry is carried by the summary key's
+/// entry-state hash instead, which covers the whole memory image). Editing
+/// one instruction changes hash_section of exactly the sections that
+/// execute it — the invalidation granularity of the compositional engine
+/// (src/compose/). Instruction granularity matters: the mini-apps are one
+/// big function, so any whole-function hash would invalidate every section
+/// on any edit. `body` must be sorted unique valid coordinates.
+[[nodiscard]] std::uint64_t hash_section(const ir::Module& m,
+                                         std::span<const InstrCoord> body);
+
 /// Sentinel region/instance for whole-program artifacts.
 inline constexpr std::uint32_t kWholeProgram = ~std::uint32_t{0};
 
@@ -84,6 +106,20 @@ inline constexpr std::uint32_t kWholeProgram = ~std::uint32_t{0};
                                          std::uint32_t instance,
                                          fault::TargetClass target,
                                          const fault::CampaignConfig& cfg);
+
+/// Key of one section's summary blob (compose::SectionSummary). Mixes the
+/// section's IR hash (hash_section), its boundary entry-state hash (the
+/// "boundary live-set": everything execution inside the section depends
+/// on), the dynamic span, the site-population hash, the base-options hash
+/// and the campaign's semantic config — the same fields campaign_key uses.
+/// Two sections with identical bodies but different boundary states get
+/// distinct keys (pinned by tests/store_test.cpp).
+[[nodiscard]] std::uint64_t summary_key(std::uint64_t section_hash,
+                                        std::uint64_t entry_hash,
+                                        std::uint64_t begin, std::uint64_t end,
+                                        std::uint64_t plans_hash,
+                                        std::uint64_t options_hash,
+                                        const fault::CampaignConfig& cfg);
 
 // ---------------------------------------------------------------------------
 // The store.
@@ -119,6 +155,13 @@ class ArtifactStore {
   [[nodiscard]] std::optional<fault::CampaignResult> load_campaign(
       std::uint64_t key);
   bool publish_campaign(std::uint64_t key, const fault::CampaignResult& r);
+
+  // --- section summaries (compose::SectionSummary payloads) -----------------
+  /// The payload is the compose::encode_summary byte string; the store
+  /// frames/validates it like every other blob but never interprets it, so
+  /// store stays independent of compose types.
+  [[nodiscard]] std::optional<std::string> load_summary(std::uint64_t key);
+  bool publish_summary(std::uint64_t key, const std::string& payload);
 
   // --- counters / stats -----------------------------------------------------
   /// Monotonic per-store-object counters (not persisted). `corrupt` counts

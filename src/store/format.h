@@ -46,6 +46,7 @@ enum class BlobKind : std::uint32_t {
   GoldenRun = 1,   // serialized vm::RunResult of the fault-free run
   Sites = 2,       // serialized fault::SiteEnumerationResult
   Campaign = 3,    // serialized fault::CampaignResult outcome counts
+  Summary = 4,     // serialized compose::SectionSummary (per-section sites)
 };
 
 /// Header of a trace segment file. 64 bytes, no padding; `header_hash` is

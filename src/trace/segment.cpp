@@ -1,5 +1,7 @@
 #include "trace/segment.h"
 
+#include <algorithm>
+
 namespace ft::trace {
 
 void RegionSegmenter::on_instruction(const vm::DynInstr& d) {
@@ -77,6 +79,36 @@ std::optional<RegionInstance> find_instance(std::span<const RegionInstance> all,
     if (i.region_id == region_id && i.instance == instance) return i;
   }
   return std::nullopt;
+}
+
+std::vector<std::uint64_t> section_boundaries(
+    std::span<const RegionInstance> instances, std::uint64_t total_rows,
+    std::size_t max_cuts) {
+  std::vector<std::uint64_t> cuts;
+  if (total_rows == 0 || max_cuts == 0) return cuts;
+  cuts.reserve(instances.size() * 2);
+  for (const auto& i : instances) {
+    if (!i.complete) continue;
+    if (i.enter_index > 0 && i.enter_index < total_rows) {
+      cuts.push_back(i.enter_index);
+    }
+    const std::uint64_t after = i.exit_index + 1;
+    if (after > 0 && after < total_rows) cuts.push_back(after);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  if (cuts.size() > max_cuts) {
+    // Thin evenly: keep every (size/max_cuts)-th boundary so sections stay
+    // balanced instead of truncating the tail into one giant section.
+    std::vector<std::uint64_t> kept;
+    kept.reserve(max_cuts);
+    for (std::size_t k = 0; k < max_cuts; ++k) {
+      kept.push_back(cuts[(k + 1) * cuts.size() / (max_cuts + 1)]);
+    }
+    kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+    cuts = std::move(kept);
+  }
+  return cuts;
 }
 
 }  // namespace ft::trace

@@ -82,4 +82,14 @@ class RegionSegmenter final : public vm::ExecObserver {
     std::span<const RegionInstance> all, std::uint32_t region_id,
     std::uint32_t instance);
 
+/// Section cut points for the compositional engine (src/compose/): the
+/// sorted unique region-instance boundaries (enter_index and
+/// exit_index + 1 of every complete instance) strictly inside
+/// (0, total_rows), thinned evenly to at most `max_cuts` entries. The
+/// caller prepends 0 to obtain section begins. Returns empty when the
+/// trace has no usable interior boundary.
+[[nodiscard]] std::vector<std::uint64_t> section_boundaries(
+    std::span<const RegionInstance> instances, std::uint64_t total_rows,
+    std::size_t max_cuts);
+
 }  // namespace ft::trace

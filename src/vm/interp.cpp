@@ -375,6 +375,30 @@ bool Vm::state_equals(const Snapshot& s) const {
   return mem_ == s.mem;
 }
 
+bool Vm::control_equals(const Snapshot& s) const {
+  assert(prog_);
+  if (n_retired_ != s.retired || sp_ != s.sp ||
+      next_activation_ != s.next_activation || status_ != s.status ||
+      trap_ != s.trap) {
+    return false;
+  }
+  if (dframes_.size() != s.frames.size() || slot_top_ != s.slots.size() ||
+      arg_loc_top_ != s.arg_locs.size()) {
+    return false;
+  }
+  if (!std::equal(s.frames.begin(), s.frames.end(), dframes_.begin())) {
+    return false;
+  }
+  if (!std::equal(s.slots.begin(), s.slots.end(), slots_.begin())) {
+    return false;
+  }
+  if (!std::equal(s.arg_locs.begin(), s.arg_locs.end(), arg_locs_.begin())) {
+    return false;
+  }
+  return region_counts_ == s.region_counts &&
+         randlc_.state() == s.randlc.state();
+}
+
 void Vm::set_fault(const FaultPlan& plan) noexcept {
   opts_.fault = plan;
   fault_fired_ = false;

@@ -208,6 +208,15 @@ class Vm {
   /// state equality (an armed-but-unfired plan could still diverge later).
   [[nodiscard]] bool state_equals(const Snapshot& s) const;
 
+  /// state_equals minus the memory image and emitted outputs: frames, live
+  /// slots, sp, RNG, region counts, retired count and status all equal.
+  /// The compositional engine (src/compose/) uses this to decide whether a
+  /// faulty section exit differs from golden ONLY in data — in which case
+  /// the difference is expressible as a (memory words, output slots) delta
+  /// and eligible for symbolic propagation. Ignores fault_fired, like
+  /// state_equals.
+  [[nodiscard]] bool control_equals(const Snapshot& s) const;
+
   /// Re-arm the fault plan mid-life (clears the fired flag). Used by the
   /// campaign scheduler to reuse one restored machine for a new trial.
   void set_fault(const FaultPlan& plan) noexcept;

@@ -20,18 +20,26 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "compose/compose.h"
+#include "fault/campaign.h"
+#include "fault/outcome.h"
+#include "fault/sites.h"
 #include "harden/harden.h"
 #include "hl/builder.h"
 #include "ir/print.h"
 #include "jit/jit_program.h"
+#include "store/artifact_store.h"
 #include "store/trace_io.h"
 #include "trace/collector.h"
 #include "trace/column.h"
+#include "trace/segment.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "vm/decode.h"
 #include "vm/interp.h"
 
@@ -491,6 +499,93 @@ bool check_seed(std::uint64_t seed, std::string* diag) {
       trial.fork_from(golden, /*full=*/true);
       if (trial.run().outputs != decoded.outputs) {
         return fail("fork_from outputs mismatch");
+      }
+    }
+  }
+
+  // Composition leg: on every seed with a usable campaign, the composed
+  // engine must report outcome counts bit-identical to the exhaustive
+  // scheduler, and its section summaries must survive a save -> load round
+  // trip through the artifact store (the warm re-run consumes exactly what
+  // the cold run published). A mismatch names the offending section.
+  if (legacy.trap == vm::TrapKind::None && legacy.instructions > 8) {
+    const auto sites = fault::enumerate_whole_program_sites(*program, {});
+    fault::CampaignConfig ccfg;
+    ccfg.trials = 12;
+    ccfg.seed = seed * 0x6C62272E07BB0142ull + 11;
+    const auto prepared = fault::prepare_campaign(
+        sites, fault::TargetClass::Internal, {}, ccfg);
+    if (sites.region_found && !prepared.plans.empty()) {
+      const auto instances = trace::segment_regions(sink);
+      const auto verify = fault::tolerance_verifier(1e-9);
+      util::ThreadPool pool(2);
+      const auto exhaustive = fault::run_prepared_campaign(
+          *program, prepared, decoded.outputs, verify, pool);
+      const auto plan =
+          compose::plan_sections(*program, sink, instances, prepared);
+
+      const auto same = [](const fault::CampaignResult& a,
+                           const fault::CampaignResult& b) {
+        return a.success == b.success && a.failed == b.failed &&
+               a.crashed == b.crashed &&
+               a.detected_recovered == b.detected_recovered &&
+               a.detected_unrecoverable == b.detected_unrecoverable;
+      };
+      const auto offending_section = [&]() -> std::string {
+        for (std::size_t s = 0; s < plan.sections.size(); ++s) {
+          if (plan.section_plans[s].empty()) continue;
+          auto sub = prepared;
+          sub.plans.clear();
+          sub.fork_bounds.clear();
+          for (const auto i : plan.section_plans[s]) {
+            sub.plans.push_back(prepared.plans[i]);
+            sub.fork_bounds.push_back(prepared.fork_bounds[i]);
+          }
+          const auto subplan =
+              compose::plan_sections(*program, sink, instances, sub);
+          const auto ex = fault::run_prepared_campaign(
+              *program, sub, decoded.outputs, verify, pool);
+          const auto co = compose::run_composed_campaign(
+              *program, sub, subplan, decoded.outputs, verify, pool);
+          if (!same(co.counts, ex)) return std::to_string(s);
+        }
+        return "unisolated (cross-section)";
+      };
+
+      const auto composed = compose::run_composed_campaign(
+          *program, prepared, plan, decoded.outputs, verify, pool);
+      if (!same(composed.counts, exhaustive)) {
+        return fail("composed/exhaustive count mismatch, section ",
+                    offending_section());
+      }
+
+      // Save -> load round trip: a cold store-backed run publishes every
+      // summary; the warm re-run must decode them all (hits == computed)
+      // and close with identical counts.
+      std::string tmpl =
+          (std::filesystem::temp_directory_path() / "ft-fuzz-XXXXXX");
+      std::vector<char> buf(tmpl.begin(), tmpl.end());
+      buf.push_back('\0');
+      const std::string dir = mkdtemp(buf.data());
+      {
+        compose::ComposeOptions copts;
+        copts.store = std::make_shared<store::ArtifactStore>(dir);
+        copts.options_hash = store::hash_options({});
+        copts.config = ccfg;
+        const auto cold = compose::run_composed_campaign(
+            *program, prepared, plan, decoded.outputs, verify, pool, copts);
+        const auto warm = compose::run_composed_campaign(
+            *program, prepared, plan, decoded.outputs, verify, pool, copts);
+        std::filesystem::remove_all(dir);
+        if (!same(cold.counts, exhaustive) || !same(warm.counts, exhaustive)) {
+          return fail("store-backed composed count mismatch, section ",
+                      offending_section());
+        }
+        if (warm.summary_store_hits != cold.summaries_computed) {
+          return fail("summary round-trip loss: computed ",
+                      cold.summaries_computed, " summaries, warm run hit ",
+                      warm.summary_store_hits);
+        }
       }
     }
   }

@@ -25,6 +25,7 @@
 
 #include "apps/app.h"
 #include "core/analysis.h"
+#include "fault/campaign.h"
 #include "store/artifact_store.h"
 #include "store/format.h"
 #include "store/trace_io.h"
@@ -172,6 +173,63 @@ TEST(TraceIo, WrongProgramHashIsRejected) {
   const auto loaded = store::load_trace_file(path, program, 2);
   EXPECT_EQ(loaded.trace, nullptr);
   EXPECT_NE(loaded.error.find("program hash"), std::string::npos);
+}
+
+// --- section / summary keys -------------------------------------------------
+
+TEST(SummaryKeys, SectionHashTracksExecutedInstructions) {
+  // hash_section digests the executed-instruction footprint of a trace
+  // section: coordinates plus full instruction content. It must be
+  // deterministic, sensitive to which instructions the section executes
+  // (and in what order they are listed), and must change for exactly the
+  // footprints that contain an edited instruction.
+  const auto app = apps::build_app("CG");
+  const std::vector<store::InstrCoord> a = {{0, 0, 0}, {0, 0, 1}};
+  const std::vector<store::InstrCoord> b = {{0, 0, 0}};
+  const std::vector<store::InstrCoord> rev = {{0, 0, 1}, {0, 0, 0}};
+  EXPECT_EQ(store::hash_section(app.module, a),
+            store::hash_section(app.module, a));
+  EXPECT_NE(store::hash_section(app.module, a),
+            store::hash_section(app.module, b));
+  EXPECT_NE(store::hash_section(app.module, a),
+            store::hash_section(app.module, rev));
+
+  // Edit instruction (0,0,1): footprints containing it change, the
+  // disjoint footprint keeps its digest — the invalidation granularity the
+  // compositional engine's incremental claim rests on.
+  auto edited = app.module;
+  edited.function(0).blocks[0].instrs[1].aux ^= 1;
+  EXPECT_NE(store::hash_section(app.module, a),
+            store::hash_section(edited, a));
+  EXPECT_EQ(store::hash_section(app.module, b),
+            store::hash_section(edited, b));
+}
+
+TEST(SummaryKeys, BoundaryLiveSetDistinguishesIdenticalBodies) {
+  // Two sections executing byte-identical code but entered with different
+  // machine states (different boundary live-sets, i.e. different
+  // entry-state hashes) must never share a summary blob — and every other
+  // key ingredient must separate keys too.
+  fault::CampaignConfig cfg;
+  const std::uint64_t sec = 0x51C7104ull;
+  const auto base = store::summary_key(sec, /*entry=*/1, 0, 100, 7, 9, cfg);
+  EXPECT_EQ(base, store::summary_key(sec, 1, 0, 100, 7, 9, cfg));
+  EXPECT_NE(base, store::summary_key(sec, /*entry=*/2, 0, 100, 7, 9, cfg));
+  EXPECT_NE(base, store::summary_key(~sec, 1, 0, 100, 7, 9, cfg));
+  EXPECT_NE(base, store::summary_key(sec, 1, 1, 100, 7, 9, cfg));
+  EXPECT_NE(base, store::summary_key(sec, 1, 0, 101, 7, 9, cfg));
+  EXPECT_NE(base, store::summary_key(sec, 1, 0, 100, 8, 9, cfg));
+  EXPECT_NE(base, store::summary_key(sec, 1, 0, 100, 7, 10, cfg));
+
+  auto c = cfg;
+  c.trials = 64;
+  EXPECT_NE(base, store::summary_key(sec, 1, 0, 100, 7, 9, c));
+  c = cfg;
+  c.seed ^= 1;
+  EXPECT_NE(base, store::summary_key(sec, 1, 0, 100, 7, 9, c));
+  c = cfg;
+  c.recovery.enabled = !c.recovery.enabled;
+  EXPECT_NE(base, store::summary_key(sec, 1, 0, 100, 7, 9, c));
 }
 
 // --- result blob round trips -----------------------------------------------

@@ -106,6 +106,22 @@ TEST(Hash64, DomainTagsSeparateStreams) {
   // A tagged stream equals hashing the tag first, then the input.
   EXPECT_EQ(Hash64("tag").u64(7).digest(),
             Hash64{}.str("tag").u64(7).digest());
+  // The section-summary domains must be mutually distinct — a summary blob
+  // key may never collide with a window or entry-state digest built from
+  // the same words.
+  EXPECT_NE(Hash64("ft.section.v1").u64(7).digest(),
+            Hash64("ft.section.window.v1").u64(7).digest());
+  EXPECT_NE(Hash64("ft.section.v1").u64(7).digest(),
+            Hash64("ft.key.summary.v1").u64(7).digest());
+}
+
+TEST(Hash64, CountPrefixSeparatesAdjacentLists) {
+  // Two (count, items...) encodings whose flattened words agree but whose
+  // split differs must hash apart — the framing hash_section and the
+  // window digests rely on to keep adjacent variable-length lists from
+  // colliding.
+  EXPECT_NE(Hash64{}.u64(2).u32(1).u32(2).u64(1).u32(3).digest(),
+            Hash64{}.u64(1).u32(1).u64(2).u32(2).u32(3).digest());
 }
 
 // --- rng ----------------------------------------------------------------------

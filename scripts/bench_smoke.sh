@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Perf-regression canary, nine sections:
+# Perf-regression canary, ten sections:
 #
 #  1. Engine A/B (vm_engine_ab): decoded vs legacy interpreter on the CG
 #     whole-program campaign. The decoded engine must stay >= 2x the
@@ -63,6 +63,17 @@
 #     semantically required and excluded from the gate). The section output
 #     is also written to <build-dir>/compose_ab.out for the CI artifact.
 #
+# 10. Scheduler/service A/B (sched_service_ab): an imbalanced multi-request
+#     mix (CG app campaign + LULESH-RANKED rank campaign + MG compositional,
+#     three concurrent clients) on the legacy single-queue ThreadPool vs the
+#     work-stealing Scheduler at the same worker count, plus a
+#     CampaignService leg multiplexing the same mix. Outcome counts must be
+#     bit-identical across all three legs (the binary exits nonzero on a
+#     mismatch); on hosts with >= 4 cores the work-stealing leg must stay
+#     >= 1.3x in mix wall clock, on smaller hosts the speedup reports
+#     "skipped" and only count identity gates. The section output is also
+#     written to <build-dir>/sched_ab.out for the CI artifact.
+#
 # The combined output is also written to <build-dir>/bench_smoke.out so CI
 # can upload it as an artifact.
 #
@@ -80,13 +91,15 @@ store_ab="$build_dir/store_warm_ab"
 jit_ab="$build_dir/jit_engine_ab"
 harden_ab="$build_dir/harden_ab"
 compose_ab="$build_dir/compose_ab"
+sched_ab="$build_dir/sched_service_ab"
 out="$build_dir/bench_smoke.out"
 jit_ab_out="$build_dir/jit_ab.out"
 store_stats_out="$build_dir/store_stats.out"
 harden_ab_out="$build_dir/harden_ab.out"
 compose_ab_out="$build_dir/compose_ab.out"
+sched_ab_out="$build_dir/sched_ab.out"
 
-for bin in "$bench" "$engine_ab" "$trace_ab" "$fork_ab" "$rank_prop" "$store_ab" "$jit_ab" "$harden_ab" "$compose_ab"; do
+for bin in "$bench" "$engine_ab" "$trace_ab" "$fork_ab" "$rank_prop" "$store_ab" "$jit_ab" "$harden_ab" "$compose_ab" "$sched_ab"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not found (build first: cmake -B $build_dir -S . && cmake --build $build_dir -j)" >&2
     exit 1
@@ -100,10 +113,10 @@ extract_ms() {
   sed -n 's/^campaign wall: \([0-9.]*\) ms.*/\1/p' "$1"
 }
 
-tmp_engine=$(mktemp) tmp_trace=$(mktemp) tmp_batched=$(mktemp) tmp_legacy=$(mktemp) tmp_fork=$(mktemp) tmp_rank=$(mktemp) tmp_store=$(mktemp) tmp_jit=$(mktemp) tmp_harden=$(mktemp) tmp_compose=$(mktemp)
-trap 'rm -f "$tmp_engine" "$tmp_trace" "$tmp_batched" "$tmp_legacy" "$tmp_fork" "$tmp_rank" "$tmp_store" "$tmp_jit" "$tmp_harden" "$tmp_compose"' EXIT
+tmp_engine=$(mktemp) tmp_trace=$(mktemp) tmp_batched=$(mktemp) tmp_legacy=$(mktemp) tmp_fork=$(mktemp) tmp_rank=$(mktemp) tmp_store=$(mktemp) tmp_jit=$(mktemp) tmp_harden=$(mktemp) tmp_compose=$(mktemp) tmp_sched=$(mktemp)
+trap 'rm -f "$tmp_engine" "$tmp_trace" "$tmp_batched" "$tmp_legacy" "$tmp_fork" "$tmp_rank" "$tmp_store" "$tmp_jit" "$tmp_harden" "$tmp_compose" "$tmp_sched"' EXIT
 
-echo "== bench smoke 1/9: decoded vs legacy engine on the CG campaign =="
+echo "== bench smoke 1/10: decoded vs legacy engine on the CG campaign =="
 # A longer campaign than section 3 (and interleaved best-of-3 inside the
 # bench) keeps the speedup measurement steady on busy/single-core hosts.
 engine_trials=$(( trials * 2 > 60 ? trials * 2 : 60 ))
@@ -118,7 +131,7 @@ awk -v s="$engine_speedup" 'BEGIN {
 }' | tee -a "$out"
 
 echo
-echo "== bench smoke 2/9: columnar vs DynInstr-observer traced run on CG =="
+echo "== bench smoke 2/10: columnar vs DynInstr-observer traced run on CG =="
 # The binary exits nonzero when the ACL series/events or pattern counts
 # differ between substrates, failing the smoke under pipefail.
 "$trace_ab" | tee "$tmp_trace"
@@ -135,7 +148,7 @@ awk -v s="$trace_speedup" -v r="$bytes_ratio" 'BEGIN {
 }' | tee -a "$out"
 
 echo
-echo "== bench smoke 3/9: fig5 on CG, $trials trials per region/class =="
+echo "== bench smoke 3/10: fig5 on CG, $trials trials per region/class =="
 "$bench" --apps=CG --trials="$trials" | tee "$tmp_batched" | grep -E "^(schedule|campaign)"
 echo
 echo "-- legacy per-region scheduling --"
@@ -154,7 +167,7 @@ awk -v b="$batched_ms" -v l="$legacy_ms" 'BEGIN {
 }' | tee -a "$out"
 
 echo
-echo "== bench smoke 4/9: snapshot-forked vs from-scratch campaign trials on CG =="
+echo "== bench smoke 4/10: snapshot-forked vs from-scratch campaign trials on CG =="
 # A longer campaign than section 3 amortizes the one-time golden pass and
 # keeps the best-of interleaved measurement steady; the binary itself
 # exits nonzero if the two schedulers disagree on any outcome count.
@@ -172,7 +185,7 @@ awk -v s="$fork_speedup" -v n="$fork_snaps" 'BEGIN {
 }' | tee -a "$out"
 
 echo
-echo "== bench smoke 5/9: cross-rank campaign determinism (4-rank CG/MG/LULESH) =="
+echo "== bench smoke 5/10: cross-rank campaign determinism (4-rank CG/MG/LULESH) =="
 # The binary runs every multi-rank campaign twice — rank-local snapshot
 # forking on and off — and exits nonzero if any cross-rank outcome count
 # differs, failing the smoke under pipefail.
@@ -187,7 +200,7 @@ fi
 echo "cross-rank determinism OK" | tee -a "$out"
 
 echo
-echo "== bench smoke 6/9: cold compute vs warm artifact-store replay on CG =="
+echo "== bench smoke 6/10: cold compute vs warm artifact-store replay on CG =="
 # The binary exits nonzero if any outcome count differs between the cold
 # and warm run, or if the warm run executed any trials / traced any
 # instructions — the store must serve everything.
@@ -204,7 +217,7 @@ awk -v s="$store_speedup" 'BEGIN {
 sed -n '/^store stats:/p;/^warm speedup:/p;/^identity:/p;/^cold:/p;/^warm:/p' "$tmp_store" > "$store_stats_out"
 
 echo
-echo "== bench smoke 7/9: jit vs decoded vs legacy engine on the CG campaign =="
+echo "== bench smoke 7/10: jit vs decoded vs legacy engine on the CG campaign =="
 # Same campaign shape as section 1 (interleaved best-of inside the bench);
 # the binary exits nonzero when any engine's outcome counts diverge.
 "$jit_ab" --trials="$engine_trials" | tee "$tmp_jit"
@@ -224,7 +237,7 @@ else
 fi
 
 echo
-echo "== bench smoke 8/9: campaign-guided hardening pass vs hand-built CG =="
+echo "== bench smoke 8/10: campaign-guided hardening pass vs hand-built CG =="
 # The binary exits nonzero if any protected region's effective success
 # rate falls below its baseline, the aggregate static overhead exceeds
 # 2x, or no trial ever exercised the rollback recovery path.
@@ -241,7 +254,7 @@ fi
 echo "hardening OK ($(sed -n 's/^aggregate overhead: \([0-9.]*x\).*/\1/p' "$tmp_harden") aggregate overhead)" | tee -a "$out"
 
 echo
-echo "== bench smoke 9/9: compositional campaigns - cold vs warm-incremental =="
+echo "== bench smoke 9/10: compositional campaigns - cold vs warm-incremental =="
 # The binary exits nonzero if the composed engine's outcome counts diverge
 # from the exhaustive scheduler on any app, if the post-edit incremental
 # counts diverge from a from-scratch exhaustive run on the edited module,
@@ -257,3 +270,25 @@ awk -v s="$compose_speedup" 'BEGIN {
   if (s < 5.0) { printf "REGRESSION: incremental summarization only %.2fx the cold run (need >= 5x)\n", s; exit 1 }
   printf "compositional OK (%.2fx >= 5x incremental summarization)\n", s
 }' | tee -a "$out"
+
+echo
+echo "== bench smoke 10/10: work-stealing scheduler vs single-queue pool on a mixed load =="
+# Three concurrent clients on one executor (quick trial counts are baked
+# into the bench: the mix's imbalance is the point, not its size). The
+# binary exits nonzero when outcome counts differ between the legacy pool,
+# the work-stealing scheduler, or the CampaignService leg.
+"$sched_ab" | tee "$tmp_sched"
+cat "$tmp_sched" >> "$out"
+# The scheduler section is its own CI artifact, next to bench_smoke.out.
+cp "$tmp_sched" "$sched_ab_out"
+
+sched_speedup=$(sed -n 's/^sched speedup: \([0-9.]*\)x$/\1/p' "$tmp_sched")
+if grep -q '^sched speedup: skipped' "$tmp_sched"; then
+  echo "sched speedup skipped (single-core host; count identity still gated)" | tee -a "$out"
+else
+  awk -v s="$sched_speedup" 'BEGIN {
+    if (s == "") { print "ERROR: no sched speedup reported"; exit 1 }
+    if (s < 1.3) { printf "REGRESSION: work-stealing only %.2fx the single-queue pool (need >= 1.3x)\n", s; exit 1 }
+    printf "scheduler OK (%.2fx >= 1.3x on the mixed load)\n", s
+  }' | tee -a "$out"
+fi

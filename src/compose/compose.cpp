@@ -408,7 +408,7 @@ ComposedResult run_composed_campaign(const vm::DecodedProgram& program,
                                      const SectionPlan& plan,
                                      const std::vector<vm::OutputValue>& golden,
                                      const fault::Verifier& verify,
-                                     util::ThreadPool& pool,
+                                     util::Executor& pool,
                                      const ComposeOptions& opts) {
   ComposedResult r;
   r.sections_total = plan.sections.size();

@@ -228,7 +228,7 @@ struct ComposedResult {
 [[nodiscard]] ComposedResult run_composed_campaign(
     const vm::DecodedProgram& program, const fault::PreparedCampaign& prepared,
     const SectionPlan& plan, const std::vector<vm::OutputValue>& golden,
-    const fault::Verifier& verify, util::ThreadPool& pool,
+    const fault::Verifier& verify, util::Executor& pool,
     const ComposeOptions& opts = {});
 
 /// Serialize / parse one section's summaries (the BlobKind::Summary payload;

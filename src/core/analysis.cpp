@@ -292,7 +292,7 @@ fault::CampaignResult AnalysisSession::region_campaign(
     const fault::CampaignConfig& config) {
   const auto sites = region_sites(region_id, instance);
   const auto golden_run = golden();
-  auto* pool = config.pool ? config.pool : &util::global_pool();
+  auto* pool = config.pool ? config.pool : &util::default_executor();
   return fault::run_prepared_campaign(
       *program_, fault::prepare_campaign(*sites, target, app_.base, config),
       golden_run->outputs, app_.verifier, *pool);
@@ -302,7 +302,7 @@ fault::CampaignResult AnalysisSession::app_campaign(
     const fault::CampaignConfig& config) {
   const auto sites = whole_program_sites();
   const auto golden_run = golden();
-  auto* pool = config.pool ? config.pool : &util::global_pool();
+  auto* pool = config.pool ? config.pool : &util::default_executor();
   return fault::run_prepared_campaign(
       *program_,
       fault::prepare_campaign(*sites, fault::TargetClass::Internal, app_.base,
@@ -320,7 +320,7 @@ compose::ComposedResult AnalysisSession::run_compositional(
   const auto golden_run = golden();
   const auto trace = golden_trace();
   const auto instances = region_instances();
-  auto* pool = config.pool ? config.pool : &util::global_pool();
+  auto* pool = config.pool ? config.pool : &util::default_executor();
   auto prepared = fault::prepare_campaign(
       *sites, fault::TargetClass::Internal, app_.base, config);
   const auto plan =
@@ -341,7 +341,7 @@ fault::RankCampaignResult AnalysisSession::rank_campaign(
     const fault::RankCampaignConfig& config) {
   const auto en = rank_enumeration(config.nranks);
   const auto prepared = fault::prepare_rank_campaign(*en, app_.base, config);
-  auto* pool = config.pool ? config.pool : &util::global_pool();
+  auto* pool = config.pool ? config.pool : &util::default_executor();
   return fault::run_rank_campaign(*program_, prepared, app_.verifier, *pool);
 }
 
@@ -507,13 +507,19 @@ AnalysisRequest& AnalysisRequest::store(
   return *this;
 }
 
-AnalysisRequest& AnalysisRequest::pool(util::ThreadPool* p) {
+AnalysisRequest& AnalysisRequest::pool(util::Executor* p) {
   pool_ = p;
   return *this;
 }
 
 AnalysisRequest& AnalysisRequest::execution(ExecutionMode mode) {
   mode_ = mode;
+  return *this;
+}
+
+AnalysisRequest& AnalysisRequest::on_progress(
+    std::function<void(const UnitProgress&)> fn) {
+  progress_ = std::move(fn);
   return *this;
 }
 
@@ -591,6 +597,10 @@ struct UnitRuntime {
   std::atomic<std::size_t> remaining{0};  // trials not yet finished
   std::uint64_t snapshots_taken = 0;
   std::uint64_t resume_depth = 0;
+  /// Highest trials_done already streamed to the progress hook (guarded by
+  /// the executor's progress mutex) — keeps snapshots monotone per unit
+  /// when chunks race to report.
+  std::size_t progress_done = 0;
 };
 
 /// One cross-rank campaign scheduled into the shared work queue. Trials
@@ -616,6 +626,7 @@ struct RankUnitCounts {
   fault::RankSnapshots snapshots;
   std::atomic<std::size_t> remaining{0};
   std::uint64_t snapshots_taken = 0;
+  std::size_t progress_done = 0;  // see UnitRuntime::progress_done
 };
 
 fault::CampaignResult unit_result(const CampaignUnit& unit,
@@ -669,7 +680,7 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
   // rather than silently picking one.
   auto* pool = request.pool_;
   if (!pool) {
-    util::ThreadPool* config_pools[] = {
+    util::Executor* config_pools[] = {
         request.region_campaign_ ? request.region_campaign_->pool : nullptr,
         request.app_campaign_ ? request.app_campaign_->pool : nullptr,
         request.compositional_ ? request.compositional_->pool : nullptr,
@@ -685,7 +696,7 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
       pool = p;
     }
   }
-  if (!pool) pool = &util::global_pool();
+  if (!pool) pool = &util::default_executor();
   report.pool_workers = pool->size();
 
   // Optional persistent artifact store: an explicit store wins; a store_dir
@@ -720,11 +731,12 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
     const std::uint64_t mh = session->module_hash();
     const std::uint64_t oh = session->options_hash();
     const auto& spec = session->app();
-    // Apps added by registry name keep that name as their report key
-    // ("CG"), matching what the caller will look up; explicit specs and
-    // caller sessions key by their spec name.
-    const std::string label =
-        (!ref.session && !ref.spec) ? ref.name : spec.name;
+    // The AppRef name is the report key in every case: the registry name
+    // for name refs ("CG", matching what the caller will look up), and the
+    // spec name for explicit specs and caller sessions (set when the ref
+    // was built). Keying off the ref keeps labels stable when the service
+    // front end swaps a name ref for a shared session.
+    const std::string& label = ref.name;
 
     AppReport app_report;
     app_report.app = label;
@@ -962,6 +974,55 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
     };
     std::vector<TrialChunk> chunks;
     std::vector<UnitRuntime> runtimes(units.size());
+    // Progress streaming: one snapshot at a time under this mutex, counts
+    // loaded inside the critical section so every field is monotone per
+    // unit; stale boundary reports (a chunk that finished earlier but lost
+    // the race to report) are dropped via progress_done. The hook never
+    // feeds back into results.
+    std::mutex progress_mu;
+    const auto& progress = request.progress_;
+    auto emit_scalar = [&](std::size_t u, std::size_t left) {
+      const auto& unit = units[u];
+      UnitProgress p;
+      p.trials_total = unit.prepared.plans.size();
+      p.trials_done = p.trials_total - left;
+      p.done = left == 0;
+      if (unit.entry_index != ~std::size_t{0}) {
+        const auto& e = report.entries[unit.entry_index];
+        p.app = e.app;
+        p.region_id = e.region_id;
+        p.region_name = e.region_name;
+        p.instance = e.instance;
+        p.target = e.target;
+      } else {
+        p.app = report.apps[unit.app_index].app;
+        p.whole_app = true;
+      }
+      std::lock_guard lock(progress_mu);
+      auto& rt = runtimes[u];
+      if (p.trials_done <= rt.progress_done && !p.done) return;
+      rt.progress_done = p.trials_done;
+      p.success = counts[u].success.load();
+      p.failed = counts[u].failed.load();
+      p.crashed = counts[u].crashed.load();
+      p.detected_recovered = counts[u].detected_recovered.load();
+      p.detected_unrecoverable = counts[u].detected_unrecoverable.load();
+      progress(p);
+    };
+    auto emit_rank = [&](std::size_t u, std::size_t left) {
+      const auto& unit = rank_units[u];
+      UnitProgress p;
+      p.app = report.apps[unit.app_index].app;
+      p.rank = true;
+      p.trials_total = unit.prepared.plans.size();
+      p.trials_done = p.trials_total - left;
+      p.done = left == 0;
+      std::lock_guard lock(progress_mu);
+      auto& rc = rank_counts[u];
+      if (p.trials_done <= rc.progress_done && !p.done) return;
+      rc.progress_done = p.trials_done;
+      progress(p);
+    };
     for (std::size_t u = 0; u < units.size(); ++u) {
       const std::size_t n = units[u].prepared.plans.size();
       runtimes[u].remaining.store(n);
@@ -1002,9 +1063,10 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
                        static_cast<std::size_t>(unit.prepared.plan_rank[pos]),
                        instr, prefix);
           }
-          if (rc.remaining.fetch_sub(end - begin) == end - begin) {
-            rc.snapshots = fault::RankSnapshots{};
-          }
+          const std::size_t left =
+              rc.remaining.fetch_sub(end - begin) - (end - begin);
+          if (left == 0) rc.snapshots = fault::RankSnapshots{};
+          if (progress) emit_rank(u, left);
           return;
         }
         const auto& unit = units[u];
@@ -1044,10 +1106,14 @@ AnalysisReport run_analysis(const AnalysisRequest& request) {
           counts[u].convergence_saved.fetch_add(acct.convergence_saved);
           if (acct.early_exit) counts[u].early_exits.fetch_add(1);
         }
-        // Last finisher of the unit releases its waypoint memory.
-        if (rt.remaining.fetch_sub(end - begin) == end - begin) {
-          rt.snapshots = fault::CampaignSnapshots{};
-        }
+        // Last finisher of the unit releases its waypoint memory. The
+        // seq_cst decrement also orders every finished chunk's count
+        // updates before the left == 0 observation, so the final progress
+        // snapshot carries the unit's exact outcome counts.
+        const std::size_t left =
+            rt.remaining.fetch_sub(end - begin) - (end - begin);
+        if (left == 0) rt.snapshots = fault::CampaignSnapshots{};
+        if (progress) emit_scalar(u, left);
       });
       report.pool_batches = 1;
     }
@@ -1141,8 +1207,7 @@ HardenReport run_hardening(const AnalysisRequest& request,
     apps::AppSpec spec = ref.session ? ref.session->app()
                          : ref.spec  ? *ref.spec
                                      : apps::build_app(ref.name);
-    const std::string app_name =
-        (!ref.session && !ref.spec) ? ref.name : spec.name;
+    const std::string& app_name = ref.name;
 
     // Comm protection switches on when the rank taxonomy saw any fault
     // leave the injected rank (or the caller forced it via the config).

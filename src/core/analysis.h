@@ -11,9 +11,10 @@
 ///    performs — golden, traced, diffed, or campaign trial — executes the
 ///    decoded engine; campaigns share the immutable decoded program across
 ///    all pool workers. Sessions are cheap to construct from an
-///    apps::AppSpec and safe to share across a util::ThreadPool; every
-///    accessor returns a shared_ptr snapshot so invalidation never pulls
-///    data out from under a concurrent reader.
+///    apps::AppSpec and safe to share across executor workers and across
+///    concurrent requests (core/service.h); every accessor returns a
+///    shared_ptr snapshot so invalidation never pulls data out from under a
+///    concurrent reader.
 ///
 ///  * AnalysisRequest / AnalysisReport — a declarative request ("these apps,
 ///    these regions, these target classes, these analyses") executed by
@@ -33,6 +34,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -465,6 +467,33 @@ struct HardenReport {
   std::vector<HardenedApp> apps;
 };
 
+/// One executing campaign unit's aggregate counts at a chunk boundary —
+/// what AnalysisRequest::on_progress streams while a batched run executes.
+/// Counts are cumulative and monotone per unit; the snapshot with
+/// `done == true` carries the unit's exact final counts (identical to the
+/// matching report entry). Rank units stream trial progress only — their
+/// cross-rank outcome taxonomy is aggregated in the final report.
+struct UnitProgress {
+  std::string app;
+  /// True for whole-app campaign units (region fields are zero/empty).
+  bool whole_app = false;
+  /// True for cross-rank campaign units (outcome fields stay zero).
+  bool rank = false;
+  std::uint32_t region_id = 0;
+  std::string region_name;
+  std::uint32_t instance = 0;
+  fault::TargetClass target = fault::TargetClass::Internal;
+  std::size_t trials_total = 0;
+  std::size_t trials_done = 0;
+  // Scalar-unit outcome counts so far (CampaignResult field names).
+  std::size_t success = 0;
+  std::size_t failed = 0;
+  std::size_t crashed = 0;
+  std::size_t detected_recovered = 0;
+  std::size_t detected_unrecoverable = 0;
+  bool done = false;
+};
+
 /// Builder-style request. Example (Fig. 5 shape):
 ///
 ///   auto report = core::run_analysis(
@@ -531,9 +560,15 @@ class AnalysisRequest {
   // --- execution ------------------------------------------------------------
   /// Pool the batched work queue runs on. When unset, a pool named by the
   /// campaign configs is honored (two configs naming different pools is
-  /// rejected); otherwise util::global_pool().
-  AnalysisRequest& pool(util::ThreadPool* p);
+  /// rejected); otherwise util::default_executor() (the work-stealing scheduler).
+  AnalysisRequest& pool(util::Executor* p);
   AnalysisRequest& execution(ExecutionMode mode);
+  /// Stream per-unit aggregate snapshots as campaign chunks complete
+  /// (Batched mode only; LegacyPerRegion ignores the hook). The callback is
+  /// invoked under an internal mutex — one snapshot at a time — from
+  /// whichever executor thread finished a chunk, so it must not re-enter
+  /// run_analysis or block on the executor. Snapshots never affect results.
+  AnalysisRequest& on_progress(std::function<void(const UnitProgress&)> fn);
   /// Keep golden traces of internally built sessions after artifact prep
   /// (default: dropped to bound memory, as the old reset_trace() flow did).
   AnalysisRequest& keep_traces(bool keep = true);
@@ -546,6 +581,10 @@ class AnalysisRequest {
   friend AnalysisReport run_analysis(const AnalysisRequest& request);
   friend HardenReport run_hardening(const AnalysisRequest& request,
                                     const harden::HardenConfig& config);
+  // The async front end (core/service.h) rewrites admitted requests in
+  // place: registry-name apps resolve to shared sessions, the service store
+  // and scheduler fill the unset seams.
+  friend class CampaignService;
 
   struct AppRef {
     std::string name;                          // registry name, or
@@ -566,8 +605,9 @@ class AnalysisRequest {
   bool want_region_io_ = false;
   std::string store_dir_;
   std::shared_ptr<store::ArtifactStore> store_;
-  util::ThreadPool* pool_ = nullptr;
+  util::Executor* pool_ = nullptr;
   ExecutionMode mode_ = ExecutionMode::Batched;
+  std::function<void(const UnitProgress&)> progress_;
   bool keep_traces_ = false;
 };
 

@@ -409,7 +409,7 @@ CampaignResult run_prepared_impl(const Executable& exe,
                                  const PreparedCampaign& prepared,
                                  const std::vector<vm::OutputValue>& golden,
                                  const Verifier& verify,
-                                 util::ThreadPool& pool) {
+                                 util::Executor& pool) {
   CampaignResult out;
   out.population_bits = prepared.population_bits;
   out.trials = prepared.plans.size();
@@ -452,7 +452,7 @@ CampaignResult run_prepared_forked(const vm::DecodedProgram& program,
                                    const PreparedCampaign& prepared,
                                    const std::vector<vm::OutputValue>& golden,
                                    const Verifier& verify,
-                                   util::ThreadPool& pool) {
+                                   util::Executor& pool) {
   CampaignResult out;
   out.population_bits = prepared.population_bits;
   out.trials = prepared.plans.size();
@@ -528,7 +528,7 @@ CampaignResult run_prepared_campaign(const vm::DecodedProgram& program,
                                      const PreparedCampaign& prepared,
                                      const std::vector<vm::OutputValue>& golden,
                                      const Verifier& verify,
-                                     util::ThreadPool& pool) {
+                                     util::Executor& pool) {
   if (prepared.fork.enabled &&
       prepared.fork_bounds.size() == prepared.plans.size()) {
     return run_prepared_forked(program, prepared, golden, verify, pool);
@@ -540,7 +540,7 @@ CampaignResult run_prepared_campaign(const ir::Module& m,
                                      const PreparedCampaign& prepared,
                                      const std::vector<vm::OutputValue>& golden,
                                      const Verifier& verify,
-                                     util::ThreadPool& pool) {
+                                     util::Executor& pool) {
   return run_prepared_impl(m, prepared, golden, verify, pool);
 }
 
@@ -550,7 +550,7 @@ CampaignResult run_campaign(const ir::Module& m,
                             const std::vector<vm::OutputValue>& golden,
                             const Verifier& verify, const vm::VmOptions& base,
                             const CampaignConfig& config) {
-  auto* pool = config.pool ? config.pool : &util::global_pool();
+  auto* pool = config.pool ? config.pool : &util::default_executor();
   return run_prepared_campaign(m, prepare_campaign(sites, target, base, config),
                                golden, verify, *pool);
 }

@@ -95,7 +95,7 @@ struct CampaignConfig {
   /// Hang budget: faulty runs may retire at most this multiple of the
   /// fault-free instruction count before classifying as Crashed(hang).
   double budget_factor = 8.0;
-  util::ThreadPool* pool = nullptr;  // nullptr = util::global_pool()
+  util::Executor* pool = nullptr;  // nullptr = util::default_executor()
   /// Snapshot-forked trial execution (copied into the prepared campaign).
   ForkPolicy fork{};
   /// Checkpoint/rollback recovery (copied into the prepared campaign).
@@ -334,13 +334,13 @@ class TrialRunner {
 [[nodiscard]] CampaignResult run_prepared_campaign(
     const vm::DecodedProgram& program, const PreparedCampaign& prepared,
     const std::vector<vm::OutputValue>& golden, const Verifier& verify,
-    util::ThreadPool& pool);
+    util::Executor& pool);
 
 /// Legacy-engine form (A/B baseline).
 [[nodiscard]] CampaignResult run_prepared_campaign(
     const ir::Module& m, const PreparedCampaign& prepared,
     const std::vector<vm::OutputValue>& golden, const Verifier& verify,
-    util::ThreadPool& pool);
+    util::Executor& pool);
 
 /// Modeled checkpoint/rollback verdict for a detector trap. The recovery
 /// runtime checkpoints every RecoveryPolicy::checkpoint_interval retired

@@ -1,7 +1,10 @@
 #include "store/artifact_store.h"
 
+#include <signal.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -334,14 +337,46 @@ bool write_file(const std::string& path, const void* data, std::size_t n) {
 // ---------------------------------------------------------------------------
 
 ArtifactStore::ArtifactStore(std::string dir) : root_(std::move(dir)) {
-  std::error_code ec;
-  fs::create_directories(fs::path(root_) / "traces", ec);
-  fs::create_directories(fs::path(root_) / "blobs", ec);
-  fs::create_directories(fs::path(root_) / "tmp", ec);
-  if (ec) {
-    throw std::runtime_error("ArtifactStore: cannot create " + root_ + ": " +
-                             ec.message());
+  // One error_code per call: reusing a single ec across the three creates
+  // let a traces/ or blobs/ failure be cleared by a succeeding tmp/ call,
+  // and the store then failed much later with a confusing write error.
+  for (const char* sub : {"traces", "blobs", "tmp"}) {
+    std::error_code ec;
+    const fs::path p = fs::path(root_) / sub;
+    fs::create_directories(p, ec);
+    if (ec) {
+      throw std::runtime_error("ArtifactStore: cannot create " + p.string() +
+                               ": " + ec.message());
+    }
   }
+  sweep_stale_tmp();
+}
+
+std::size_t ArtifactStore::sweep_stale_tmp() {
+  // tmp/ names are "<pid>.<seq>" (tmp_path below). A crashed process never
+  // renames its scratch into place, so its files stay forever; anything
+  // from a pid that provably no longer exists (kill(pid, 0) == ESRCH) is
+  // garbage. Our own files, live pids, unprobeable pids (EPERM) and
+  // foreign names are all left alone.
+  std::size_t swept = 0;
+  const pid_t self = ::getpid();
+  std::error_code ec;
+  fs::directory_iterator it(fs::path(root_) / "tmp", ec);
+  for (const fs::directory_iterator end; !ec && it != end; it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    const auto dot = name.find('.');
+    if (dot == std::string::npos || dot == 0) continue;
+    pid_t pid = 0;
+    const auto [ptr, perr] =
+        std::from_chars(name.data(), name.data() + dot, pid);
+    if (perr != std::errc{} || ptr != name.data() + dot || pid <= 0) continue;
+    if (pid == self) continue;
+    if (::kill(pid, 0) == 0 || errno != ESRCH) continue;
+    std::error_code rec;
+    if (fs::remove(it->path(), rec) && !rec) ++swept;
+  }
+  tmp_swept_.fetch_add(swept, std::memory_order_relaxed);
+  return swept;
 }
 
 std::string ArtifactStore::trace_path(std::uint64_t key) const {
@@ -507,6 +542,7 @@ ArtifactStore::Counters ArtifactStore::counters() const noexcept {
   c.publishes = publishes_.load(std::memory_order_relaxed);
   c.bytes_read = bytes_read_.load(std::memory_order_relaxed);
   c.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  c.stale_tmp_swept = tmp_swept_.load(std::memory_order_relaxed);
   return c;
 }
 

@@ -128,40 +128,52 @@ inline constexpr std::uint32_t kWholeProgram = ~std::uint32_t{0};
 class ArtifactStore {
  public:
   /// Open (creating if needed) a store rooted at `dir`. Throws
-  /// std::runtime_error when the directory cannot be created.
+  /// std::runtime_error when any of the store subdirectories cannot be
+  /// created (each create is checked individually). Opening also sweeps
+  /// stale tmp/ scratch left by crashed processes: entries named
+  /// `<pid>.<n>` whose pid no longer exists are removed (counted in
+  /// Counters::stale_tmp_swept); live writers are never touched.
   explicit ArtifactStore(std::string dir);
+  virtual ~ArtifactStore() = default;
+
+  ArtifactStore(const ArtifactStore&) = delete;
+  ArtifactStore& operator=(const ArtifactStore&) = delete;
 
   [[nodiscard]] const std::string& root() const noexcept { return root_; }
 
   // --- golden columnar traces (zero-copy mmap on hit) -----------------------
   /// nullptr on miss (absent, torn, corrupt, or wrong program). The
   /// returned trace aliases the mapping and stays valid for its lifetime.
-  [[nodiscard]] std::shared_ptr<const trace::ColumnTrace> load_trace(
+  [[nodiscard]] virtual std::shared_ptr<const trace::ColumnTrace> load_trace(
       std::uint64_t key, std::shared_ptr<const vm::DecodedProgram> program,
       std::uint64_t program_hash);
-  bool publish_trace(std::uint64_t key, const trace::ColumnTrace& t,
-                     std::uint64_t program_hash);
+  virtual bool publish_trace(std::uint64_t key, const trace::ColumnTrace& t,
+                             std::uint64_t program_hash);
 
   // --- golden run results ---------------------------------------------------
-  [[nodiscard]] std::optional<vm::RunResult> load_golden(std::uint64_t key);
-  bool publish_golden(std::uint64_t key, const vm::RunResult& run);
+  [[nodiscard]] virtual std::optional<vm::RunResult> load_golden(
+      std::uint64_t key);
+  virtual bool publish_golden(std::uint64_t key, const vm::RunResult& run);
 
   // --- site enumerations ----------------------------------------------------
-  [[nodiscard]] std::optional<fault::SiteEnumerationResult> load_sites(
+  [[nodiscard]] virtual std::optional<fault::SiteEnumerationResult> load_sites(
       std::uint64_t key);
-  bool publish_sites(std::uint64_t key, const fault::SiteEnumerationResult& s);
+  virtual bool publish_sites(std::uint64_t key,
+                             const fault::SiteEnumerationResult& s);
 
   // --- campaign outcome counts ----------------------------------------------
-  [[nodiscard]] std::optional<fault::CampaignResult> load_campaign(
+  [[nodiscard]] virtual std::optional<fault::CampaignResult> load_campaign(
       std::uint64_t key);
-  bool publish_campaign(std::uint64_t key, const fault::CampaignResult& r);
+  virtual bool publish_campaign(std::uint64_t key,
+                                const fault::CampaignResult& r);
 
   // --- section summaries (compose::SectionSummary payloads) -----------------
   /// The payload is the compose::encode_summary byte string; the store
   /// frames/validates it like every other blob but never interprets it, so
   /// store stays independent of compose types.
-  [[nodiscard]] std::optional<std::string> load_summary(std::uint64_t key);
-  bool publish_summary(std::uint64_t key, const std::string& payload);
+  [[nodiscard]] virtual std::optional<std::string> load_summary(
+      std::uint64_t key);
+  virtual bool publish_summary(std::uint64_t key, const std::string& payload);
 
   // --- counters / stats -----------------------------------------------------
   /// Monotonic per-store-object counters (not persisted). `corrupt` counts
@@ -173,8 +185,10 @@ class ArtifactStore {
     std::uint64_t publishes = 0;
     std::uint64_t bytes_read = 0;
     std::uint64_t bytes_written = 0;
+    /// Orphaned tmp/ files from dead pids removed when this store opened.
+    std::uint64_t stale_tmp_swept = 0;
   };
-  [[nodiscard]] Counters counters() const noexcept;
+  [[nodiscard]] virtual Counters counters() const noexcept;
 
   /// Scan the store directory: committed entries and their total bytes
   /// (tmp/ scratch excluded). Used by the CI store-stats artifact.
@@ -196,6 +210,11 @@ class ArtifactStore {
   [[nodiscard]] std::optional<std::string> load_blob(std::uint64_t key,
                                                      BlobKind kind);
 
+  /// Remove tmp/ entries left by pids that no longer exist. Returns the
+  /// number removed; never touches this process's files, unparseable
+  /// names, or pids that are alive (or merely unprobeable).
+  std::size_t sweep_stale_tmp();
+
   std::string root_;
   std::atomic<std::uint64_t> seq_{0};  // unique tmp names within the process
   mutable std::atomic<std::uint64_t> hits_{0};
@@ -204,6 +223,7 @@ class ArtifactStore {
   mutable std::atomic<std::uint64_t> publishes_{0};
   mutable std::atomic<std::uint64_t> bytes_read_{0};
   mutable std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<std::uint64_t> tmp_swept_{0};
 };
 
 }  // namespace ft::store

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 
 namespace ft::util {
 
@@ -42,15 +43,29 @@ void ThreadPool::parallel_for(std::size_t count,
   parallel_for_calls_.fetch_add(1, std::memory_order_relaxed);
   const std::size_t nchunks = std::min(count, size() * 4);
   std::atomic<std::size_t> next_chunk{0};
+  std::atomic<bool> cancelled{false};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
   const std::size_t chunk = (count + nchunks - 1) / nchunks;
 
-  auto drain = [&] {
+  // The drain itself never throws: a chunk exception is recorded once and
+  // cancels further claims, so every submitted task runs to completion and
+  // the locals above outlive all references to them. Unwinding out of here
+  // while workers still hold `fn`/`next_chunk` was a use-after-scope.
+  auto drain = [&]() noexcept {
     for (;;) {
+      if (cancelled.load(std::memory_order_relaxed)) return;
       const std::size_t c = next_chunk.fetch_add(1);
       const std::size_t begin = c * chunk;
       if (begin >= count) return;
       const std::size_t end = std::min(begin + chunk, count);
-      for (std::size_t i = begin; i < end; ++i) fn(i);
+      try {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        cancelled.store(true, std::memory_order_relaxed);
+      }
     }
   };
 
@@ -60,7 +75,8 @@ void ThreadPool::parallel_for(std::size_t count,
     futures.push_back(submit(drain));
   }
   drain();  // the calling thread participates
-  for (auto& f : futures) f.get();
+  for (auto& f : futures) f.get();  // join ALL chunks before propagating
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::worker_loop() {

@@ -1,7 +1,13 @@
-// A small fixed-size thread pool used to parallelize fault-injection
-// campaigns (each injection run is an independent VM execution) and the
-// MiniMPI rank runtime. Follows CP.4 from the C++ Core Guidelines: callers
-// think in tasks; threads are an implementation detail.
+// Task execution for fault-injection campaigns (each injection run is an
+// independent VM execution) and the MiniMPI rank runtime. Follows CP.4 from
+// the C++ Core Guidelines: callers think in tasks; threads are an
+// implementation detail.
+//
+// Two implementations share the `Executor` interface:
+//  - `ThreadPool` (this header): the original single-queue pool, kept as the
+//    A/B baseline and for callers that want strict FIFO task order.
+//  - `Scheduler` (util/scheduler.h): the per-worker-deque work-stealing
+//    scheduler that campaign runners default to via `default_executor()`.
 #pragma once
 
 #include <atomic>
@@ -17,30 +23,34 @@
 
 namespace ft::util {
 
-class ThreadPool {
+/// Abstract task executor: a fixed set of worker threads that run submitted
+/// tasks and cooperatively drain `parallel_for` index ranges. Campaign
+/// runners hold `Executor*` so the single-queue pool and the work-stealing
+/// scheduler are interchangeable behind one seam; outcome counts never
+/// depend on which one runs the trials (plans are drawn up-front from the
+/// config seed and aggregated commutatively).
+class Executor {
  public:
-  /// Creates `n` worker threads. n == 0 means hardware_concurrency().
-  explicit ThreadPool(std::size_t n = 0);
-  ~ThreadPool();
+  virtual ~Executor() = default;
 
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+  /// Number of worker threads.
+  [[nodiscard]] virtual std::size_t size() const noexcept = 0;
 
   /// Enqueue a task; returns a future for its completion.
-  std::future<void> submit(std::function<void()> task);
+  virtual std::future<void> submit(std::function<void()> task) = 0;
 
-  /// Run fn(i) for i in [0, count) across the pool and wait for all.
-  /// Work is distributed in contiguous chunks for cache friendliness.
-  void parallel_for(std::size_t count,
-                    const std::function<void(std::size_t)>& fn);
+  /// Run fn(i) for i in [0, count) across the workers and wait for all.
+  /// All outstanding chunks are joined before the first exception thrown by
+  /// `fn` propagates, so `fn` and any state it captures stay valid for the
+  /// full lifetime of every chunk.
+  virtual void parallel_for(std::size_t count,
+                            const std::function<void(std::size_t)>& fn) = 0;
 
-  // --- scheduling telemetry ---------------------------------------------------
+  // --- scheduling telemetry --------------------------------------------------
   // Monotonic counters since construction; the batching tests use them to
   // prove that a multi-region analysis dispatches as ONE work queue rather
   // than one parallel_for per region.
-  /// Number of parallel_for invocations dispatched through this pool.
+  /// Number of parallel_for invocations dispatched through this executor.
   [[nodiscard]] std::uint64_t parallel_for_calls() const noexcept {
     return parallel_for_calls_.load(std::memory_order_relaxed);
   }
@@ -48,6 +58,39 @@ class ThreadPool {
   [[nodiscard]] std::uint64_t tasks_submitted() const noexcept {
     return tasks_submitted_.load(std::memory_order_relaxed);
   }
+  /// Tasks taken from another worker's queue (always 0 for the single-queue
+  /// pool, which has nothing to steal from).
+  [[nodiscard]] virtual std::uint64_t steals() const noexcept { return 0; }
+  /// High-water mark of any single queue's depth.
+  [[nodiscard]] virtual std::uint64_t queue_depth_max() const noexcept {
+    return 0;
+  }
+
+ protected:
+  std::atomic<std::uint64_t> parallel_for_calls_{0};
+  std::atomic<std::uint64_t> tasks_submitted_{0};
+};
+
+/// The original single-queue pool: one mutex-guarded FIFO drained by all
+/// workers. Retained as the scheduling A/B baseline (bench_smoke section 10)
+/// and for tests that assert strict submission-order semantics.
+class ThreadPool final : public Executor {
+ public:
+  /// Creates `n` worker threads. n == 0 means hardware_concurrency().
+  explicit ThreadPool(std::size_t n = 0);
+  ~ThreadPool() override;
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return workers_.size();
+  }
+
+  std::future<void> submit(std::function<void()> task) override;
+
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn) override;
 
  private:
   void worker_loop();
@@ -57,12 +100,16 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
-  std::atomic<std::uint64_t> parallel_for_calls_{0};
-  std::atomic<std::uint64_t> tasks_submitted_{0};
 };
 
-/// Process-wide pool (lazily constructed); used by campaign runners unless
-/// an explicit pool is supplied.
+/// Process-wide legacy pool (lazily constructed). Campaign runners no longer
+/// default to it — see `default_executor()` — but the A/B benches and
+/// FIFO-order tests still do.
 ThreadPool& global_pool();
+
+/// Process-wide default executor for campaign runners that are not handed an
+/// explicit pool: the work-stealing `global_scheduler()` from
+/// util/scheduler.h (defined there to keep this header scheduler-agnostic).
+Executor& default_executor();
 
 }  // namespace ft::util

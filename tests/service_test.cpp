@@ -1,0 +1,210 @@
+// CampaignService (core/service.h): concurrent identical and distinct
+// requests produce reports bit-identical to serial run_analysis, with the
+// golden work deduplicated — proven by the trials_executed /
+// golden_traced_instructions counters, not by timing. Also covers session
+// sharing, progress streaming, storeless operation and failure isolation.
+// Runs under the TSan CI job.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/service.h"
+#include "fault/campaign.h"
+#include "store/artifact_store.h"
+#include "util/scheduler.h"
+
+namespace ft {
+namespace {
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    std::string tmpl = testing::TempDir() + "ft_service_XXXXXX";
+    path = mkdtemp(tmpl.data());
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+fault::CampaignConfig small_campaign() {
+  fault::CampaignConfig cfg;
+  cfg.trials = 16;
+  cfg.seed = 424242;
+  return cfg;
+}
+
+core::AnalysisRequest app_request(const std::string& name) {
+  return core::AnalysisRequest().app(name).app_campaign(small_campaign());
+}
+
+void expect_same_counts(const fault::CampaignResult& got,
+                        const fault::CampaignResult& want) {
+  EXPECT_EQ(got.trials, want.trials);
+  EXPECT_EQ(got.success, want.success);
+  EXPECT_EQ(got.failed, want.failed);
+  EXPECT_EQ(got.crashed, want.crashed);
+  EXPECT_EQ(got.detected_recovered, want.detected_recovered);
+  EXPECT_EQ(got.detected_unrecoverable, want.detected_unrecoverable);
+  EXPECT_EQ(got.population_bits, want.population_bits);
+}
+
+// The acceptance shape: N concurrent identical requests through one service
+// yield counts bit-identical to a serial run_analysis, and the expensive
+// work ran once — the summed trials_executed across all N equals the serial
+// run's, and the golden trace was produced by exactly one session.
+TEST(CampaignService, ConcurrentIdenticalRequestsMatchSerialWithDedup) {
+  TempDir serial_dir;
+  const auto baseline =
+      core::run_analysis(app_request("CG").store_dir(serial_dir.path));
+  ASSERT_TRUE(baseline.find_app("CG") != nullptr);
+  ASSERT_TRUE(baseline.find_app("CG")->whole_app.has_value());
+  ASSERT_GT(baseline.trials_executed, 0u);
+  ASSERT_GT(baseline.golden_traced_instructions, 0u);
+
+  constexpr int kRequests = 8;
+  TempDir service_dir;
+  util::Scheduler sched(4);
+  core::ServiceOptions opts;
+  opts.scheduler = &sched;
+  opts.store_dir = service_dir.path;
+  core::CampaignService service(opts);
+
+  std::vector<std::future<core::AnalysisReport>> futures;
+  futures.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(service.submit(app_request("CG")));
+  }
+
+  std::size_t executed_sum = 0;
+  for (auto& f : futures) {
+    const auto report = f.get();
+    const auto* app = report.find_app("CG");
+    ASSERT_TRUE(app != nullptr);
+    ASSERT_TRUE(app->whole_app.has_value());
+    expect_same_counts(*app->whole_app,
+                       *baseline.find_app("CG")->whole_app);
+    executed_sum += report.trials_executed;
+  }
+  // Dedup proof 1: the trials ran once across all eight requests — every
+  // other request was served by the store (waiting on the in-flight compute
+  // when it overlapped), so the summed trials_executed equals the serial
+  // run's, not eight times it.
+  EXPECT_EQ(executed_sum, baseline.trials_executed);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.requests_admitted, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(stats.requests_completed, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(stats.requests_failed, 0u);
+  EXPECT_EQ(stats.sessions_created, 1u);
+  EXPECT_EQ(stats.sessions_shared, static_cast<std::uint64_t>(kRequests - 1));
+  EXPECT_EQ(stats.inflight, 0u);
+
+  // Dedup proof 2: ONE shared session served all eight requests and traced
+  // the golden run exactly once — its lifetime traced-instruction counter
+  // equals the serial run's per-request figure.
+  EXPECT_EQ(service.session_for("CG")->traced_instructions_executed(),
+            baseline.golden_traced_instructions);
+}
+
+// Distinct requests interleave on the same scheduler without contaminating
+// each other: each app's counts match its own serial baseline.
+TEST(CampaignService, DistinctConcurrentRequestsMatchTheirSerialRuns) {
+  const auto base_cg = core::run_analysis(app_request("CG"));
+  const auto base_mg = core::run_analysis(app_request("MG"));
+
+  TempDir dir;
+  util::Scheduler sched(4);
+  core::ServiceOptions opts;
+  opts.scheduler = &sched;
+  opts.store_dir = dir.path;
+  core::CampaignService service(opts);
+  auto f_cg = service.submit(app_request("CG"));
+  auto f_mg = service.submit(app_request("MG"));
+  auto f_cg2 = service.submit(app_request("CG"));
+
+  const auto r_cg = f_cg.get();
+  const auto r_mg = f_mg.get();
+  const auto r_cg2 = f_cg2.get();
+  expect_same_counts(*r_cg.find_app("CG")->whole_app,
+                     *base_cg.find_app("CG")->whole_app);
+  expect_same_counts(*r_mg.find_app("MG")->whole_app,
+                     *base_mg.find_app("MG")->whole_app);
+  expect_same_counts(*r_cg2.find_app("CG")->whole_app,
+                     *base_cg.find_app("CG")->whole_app);
+
+  EXPECT_EQ(service.stats().sessions_created, 2u);  // CG and MG
+}
+
+TEST(CampaignService, SessionForSharesOneSessionPerName) {
+  core::CampaignService service;
+  auto a = service.session_for("CG");
+  auto b = service.session_for("CG");
+  EXPECT_EQ(a.get(), b.get());
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.sessions_created, 1u);
+  EXPECT_EQ(stats.sessions_shared, 1u);
+}
+
+TEST(CampaignService, StorelessServiceMatchesSerial) {
+  const auto baseline = core::run_analysis(app_request("CG"));
+  core::CampaignService service;  // no store, default scheduler
+  const auto report = service.run(app_request("CG"));
+  expect_same_counts(*report.find_app("CG")->whole_app,
+                     *baseline.find_app("CG")->whole_app);
+  EXPECT_FALSE(service.store());
+}
+
+// Progress streaming: snapshots are tagged with the request id, trials_done
+// is monotone, and the final done == true snapshot carries the unit's exact
+// report counts.
+TEST(CampaignService, StreamsMonotoneProgressEndingInFinalCounts) {
+  core::CampaignService service;
+  std::mutex mu;
+  std::vector<core::ServiceSnapshot> snaps;
+  const auto report = service.run(
+      app_request("CG"), [&](const core::ServiceSnapshot& s) {
+        std::lock_guard lock(mu);
+        snaps.push_back(s);
+      });
+  ASSERT_FALSE(snaps.empty());
+  std::size_t prev_done = 0;
+  for (const auto& s : snaps) {
+    EXPECT_EQ(s.request_id, snaps.front().request_id);
+    EXPECT_TRUE(s.unit.whole_app);
+    EXPECT_EQ(s.unit.app, "CG");
+    EXPECT_GE(s.unit.trials_done, prev_done);
+    prev_done = s.unit.trials_done;
+  }
+  const auto& last = snaps.back();
+  EXPECT_TRUE(last.unit.done);
+  const auto& want = *report.find_app("CG")->whole_app;
+  EXPECT_EQ(last.unit.trials_done, want.trials);
+  EXPECT_EQ(last.unit.success, want.success);
+  EXPECT_EQ(last.unit.failed, want.failed);
+  EXPECT_EQ(last.unit.crashed, want.crashed);
+}
+
+// A failing request resolves its future with the thrown exception and does
+// not wedge the service: subsequent requests still complete.
+TEST(CampaignService, FailedRequestPropagatesAndServiceSurvives) {
+  core::CampaignService service;
+  auto bad = service.submit(app_request("NO-SUCH-APP"));
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  EXPECT_EQ(service.stats().requests_failed, 1u);
+
+  const auto report = service.run(app_request("CG"));
+  EXPECT_TRUE(report.find_app("CG")->whole_app.has_value());
+  EXPECT_EQ(service.stats().requests_completed, 1u);
+}
+
+}  // namespace
+}  // namespace ft

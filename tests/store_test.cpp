@@ -587,5 +587,52 @@ TEST(StoreCompat, DetectedOutcomeCountsRoundTripAndCorruptionIsAMiss) {
   EXPECT_EQ(repaired->detected_unrecoverable, camp.detected_unrecoverable);
 }
 
+// Every subdirectory creation is checked individually. A regular file
+// squatting where a subdir must go makes that one create_directories fail —
+// even for root, where permission-based setups are ignored. This pins the
+// old bug where one error_code was reused across all three calls and only
+// the LAST one was checked: with "blobs" blocked, the later "tmp" creation
+// succeeded, cleared the code, and the ctor reported a healthy store.
+TEST(ArtifactStore, CtorThrowsWhenAnySubdirCannotBeCreated) {
+  for (const char* sub : {"traces", "blobs", "tmp"}) {
+    TempDir dir;
+    const std::string root = dir.path + "/store";
+    ASSERT_TRUE(fs::create_directories(root));
+    std::ofstream(root + "/" + sub) << "squatter";  // file where a dir must go
+    EXPECT_THROW(store::ArtifactStore{root}, std::runtime_error) << sub;
+  }
+}
+
+// Construction sweeps tmp/ entries left by crashed processes: a dead pid's
+// scratch files are removed and counted, a live pid's (ours) survive.
+TEST(ArtifactStore, SweepsDeadPidTmpFilesOnOpen) {
+  TempDir dir;
+  const std::string root = dir.path + "/store";
+  { store::ArtifactStore st(root); }  // create layout
+
+  // A guaranteed-dead pid: fork a child that exits immediately and reap it.
+  const pid_t dead = fork();
+  ASSERT_NE(dead, -1);
+  if (dead == 0) _exit(0);
+  int status = 0;
+  ASSERT_EQ(waitpid(dead, &status, 0), dead);
+
+  const std::string orphan1 = root + "/tmp/" + std::to_string(dead) + ".0";
+  const std::string orphan2 = root + "/tmp/" + std::to_string(dead) + ".17";
+  const std::string live =
+      root + "/tmp/" + std::to_string(::getpid()) + ".0";
+  const std::string odd = root + "/tmp/not-a-pid-entry";
+  for (const auto& p : {orphan1, orphan2, live, odd}) {
+    std::ofstream(p) << "scratch";
+  }
+
+  store::ArtifactStore st(root);
+  EXPECT_FALSE(fs::exists(orphan1));
+  EXPECT_FALSE(fs::exists(orphan2));
+  EXPECT_TRUE(fs::exists(live)) << "live writer's scratch must survive";
+  EXPECT_TRUE(fs::exists(odd)) << "non-pid names are left alone";
+  EXPECT_EQ(st.counters().stale_tmp_swept, 2u);
+}
+
 }  // namespace
 }  // namespace ft

@@ -2,9 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
 
 #include "util/bits.h"
 #include "util/cli.h"
@@ -263,6 +266,34 @@ TEST(ThreadPool, SubmitRuns) {
 TEST(ThreadPool, ZeroCountIsNoop) {
   ThreadPool pool(2);
   pool.parallel_for(0, [&](std::size_t) { FAIL(); });
+}
+
+// A worker exception propagates to the caller, and parallel_for returns only
+// after EVERY chunk finished — pinning the old use-after-scope where the
+// caller's stack frame (holding `next`/fn) was torn down while a worker was
+// still draining, and the worker's exception was silently dropped.
+TEST(ThreadPool, ParallelForJoinsAllChunksBeforeThrowing) {
+  ThreadPool pool(4);
+  std::atomic<int> entered{0};
+  std::atomic<int> exited{0};
+  auto run = [&] {
+    pool.parallel_for(400, [&](std::size_t i) {
+      entered.fetch_add(1);
+      if (i == 13) {
+        exited.fetch_add(1);
+        throw std::runtime_error("trial failure");
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      exited.fetch_add(1);
+    });
+  };
+  EXPECT_THROW(run(), std::runtime_error);
+  // No chunk is still running once parallel_for returned.
+  EXPECT_EQ(entered.load(), exited.load());
+  // The pool survives and runs clean work afterwards.
+  std::atomic<int> after{0};
+  pool.parallel_for(100, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 100);
 }
 
 // --- cli -----------------------------------------------------------------------------
